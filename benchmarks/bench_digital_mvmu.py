@@ -1,0 +1,23 @@
+"""Section 7.4.3: analog vs digital MVMU comparison."""
+
+import pytest
+
+from repro.baselines.digital_mvmu import digital_mvmu_comparison
+
+
+def test_digital_mvmu(benchmark):
+    cmp = benchmark(digital_mvmu_comparison)
+    # Paper: 4.17x energy / 8.97x area per MVMU; 6.76x / 4.93x chip level.
+    assert cmp.energy_factor == pytest.approx(4.17, rel=0.05)
+    assert cmp.area_factor == pytest.approx(8.97, rel=0.15)
+    assert cmp.chip_energy_factor == pytest.approx(6.76, rel=0.05)
+    assert cmp.chip_area_factor == pytest.approx(4.93, rel=0.25)
+    print()
+    print(f"memristive MVMU: {cmp.memristive_energy_nj:.2f} nJ, "
+          f"{cmp.memristive_area_mm2:.4f} mm2 per {cmp.macs_per_mvm} MACs "
+          f"in {cmp.latency_ns:.0f} ns")
+    print(f"digital MVMU:    {cmp.digital_energy_nj:.2f} nJ "
+          f"({cmp.energy_factor:.2f}x), {cmp.digital_area_mm2:.4f} mm2 "
+          f"({cmp.area_factor:.2f}x)")
+    print(f"chip level:      {cmp.chip_energy_factor:.2f}x energy, "
+          f"{cmp.chip_area_factor:.2f}x area")

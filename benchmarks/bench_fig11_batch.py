@@ -1,0 +1,30 @@
+"""Figure 11(c)+(d): batch energy savings and throughput vs Haswell.
+
+Paper claims: PUMA keeps superior energy efficiency at every batch size;
+the benefit shrinks slightly as batching exposes weight reuse that CMOS
+can amortize (Section 7.3).
+"""
+
+from repro.figures import fig11
+from repro.figures.common import format_table
+
+
+def test_fig11_batch_energy(once):
+    rows = once(fig11.batch_energy_rows)
+    for row in rows:
+        # Energy savings persist at every batch size...
+        assert all(row[f"B{b}"] > 1 for b in (16, 32, 64, 128))
+        # ... but shrink (or stay flat) as the batch grows.
+        assert row["B128"] <= row["B16"]
+    print()
+    print(format_table(rows, title="Figure 11(c): batch energy savings "
+                                   "vs Haswell"))
+
+
+def test_fig11_batch_throughput(once):
+    rows = once(fig11.batch_throughput_rows)
+    for row in rows:
+        assert all(row[f"B{b}"] > 0 for b in (16, 32, 64, 128))
+    print()
+    print(format_table(rows, title="Figure 11(d): batch throughput vs "
+                                   "Haswell"))

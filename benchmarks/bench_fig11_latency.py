@@ -1,0 +1,26 @@
+"""Figure 11(b): inference latency normalized to PUMA (batch 1).
+
+Paper reference points (vs Pascal): MLP 0.24-0.40x (PUMA slower!),
+Deep LSTM 41-66x, Wide LSTM 4.70-5.24x, CNN 2.73-2.99x.
+"""
+
+from repro.figures import fig11
+from repro.figures.common import format_table
+
+
+def test_fig11_latency(once):
+    rows = once(fig11.latency_rows)
+    by_bench = {r["Benchmark"]: r for r in rows}
+    # Ordering vs Pascal: Deep LSTM > Wide LSTM > CNN, with MLP weakest.
+    assert by_bench["NMTL3"]["Pascal"] > by_bench["BigLSTM"]["Pascal"]
+    assert by_bench["BigLSTM"]["Pascal"] > by_bench["Vgg16"]["Pascal"]
+    assert by_bench["MLPL4"]["Pascal"] == min(
+        by_bench[b]["Pascal"] for b in ("MLPL4", "NMTL3", "BigLSTM",
+                                        "Vgg16"))
+    # Deep LSTM in the paper's band (41-66x), same order of magnitude.
+    assert 30 < by_bench["NMTL3"]["Pascal"] < 150
+    # CNN in the paper's band (2.73-2.99x).
+    assert 1.5 < by_bench["Vgg16"]["Pascal"] < 6
+    print()
+    print(format_table(rows, title="Figure 11(b): latency normalized to "
+                                   "PUMA (>1 = PUMA faster)"))

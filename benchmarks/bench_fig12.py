@@ -1,0 +1,31 @@
+"""Figure 12: design-space exploration sweeps."""
+
+from repro.energy.dse import sweep, sweet_spot
+from repro.figures import fig12
+
+
+def test_fig12_sweeps(once):
+    def all_sweeps():
+        return {p: sweep(p) for p in fig12.SWEEP_PARAMETERS}
+
+    results = once(all_sweeps)
+    # Power efficiency peaks at the paper's design choices.
+    dim = {p.mvmu_dim: p.gops_per_w for p in results["mvmu_dim"]}
+    assert dim[128] == max(dim.values())
+    vfu = {p.vfu_width: p.gops_per_w for p in results["vfu_width"]}
+    assert vfu[4] == max(vfu.values())
+    cores = {p.num_cores: p.gops_per_w for p in results["num_cores"]}
+    assert cores[8] == max(cores.values())
+    rf = [p.gops_per_w for p in results["rf_scale"]]
+    assert rf == sorted(rf, reverse=True)
+    sp = sweet_spot()
+    print()
+    print(fig12.render())
+    assert sp.gops_per_w > 600
+
+
+def test_fig12_register_spilling(once):
+    rows = once(fig12.spill_rows)
+    spills = {r["RF scale"]: r["% accesses from spills"] for r in rows}
+    assert spills[0.25] > 0      # a too-small RF spills (Section 7.6)
+    assert spills[16.0] == 0

@@ -1,0 +1,18 @@
+"""Figure 13: inference accuracy vs memristor precision and write noise."""
+
+from repro.figures import fig13
+
+
+def test_fig13(once):
+    rows = once(fig13.rows, trials=5)
+    grid = {row["sigma_N"]: row for row in rows}
+    # sigma_N = 0: flat near the float accuracy at every precision.
+    noiseless = [grid[0.0][f"{b}-bit"] for b in range(1, 7)]
+    assert max(noiseless) - min(noiseless) < 2.0
+    # The paper's conclusion: 2-bit cells tolerate sigma_N = 0.3 ...
+    assert grid[0.3]["2-bit"] > 90
+    # ... while high precisions lose their noise margin.
+    assert grid[0.3]["6-bit"] < 50
+    assert grid[0.2]["6-bit"] < grid[0.2]["4-bit"] < grid[0.2]["2-bit"] + 1
+    print()
+    print(fig13.render())

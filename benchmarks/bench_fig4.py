@@ -1,0 +1,15 @@
+"""Figure 4: static instruction usage (compiles all six workloads)."""
+
+from repro.figures import fig4
+
+
+def test_fig4(once):
+    fig4.usage_breakdowns.cache_clear()
+    rows = once(fig4.rows)
+    assert len(rows) == 6
+    cnn = next(r for r in rows if "CNN" in r["Workload"])
+    assert cnn["Control Flow"] > 0          # the paper's CNN signature
+    for row in rows:
+        assert row["MVM Unit (crossbar)"] > 0
+    print()
+    print(fig4.render())

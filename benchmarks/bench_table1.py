@@ -1,0 +1,14 @@
+"""Table 1: workload characterization."""
+
+from repro.figures import table1
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1.rows)
+    assert len(rows) == 3
+    mlp, lstm, cnn = rows
+    assert mlp["Bounded resource"] == "Memory"
+    assert lstm["Bounded resource"] == "Memory"
+    assert cnn["Bounded resource"] == "Compute"
+    print()
+    print(table1.render())

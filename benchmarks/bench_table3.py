@@ -1,0 +1,15 @@
+"""Table 3: PUMA hardware characteristics (component model roll-ups)."""
+
+import pytest
+
+from repro.figures import table3
+
+
+def test_table3(benchmark):
+    rows = benchmark(table3.rows)
+    by_name = {r["component"]: r for r in rows}
+    node = by_name["Node"]
+    assert node["model_power_mw"] == pytest.approx(62500, rel=0.03)
+    assert node["model_area_mm2"] == pytest.approx(90.638, rel=0.03)
+    print()
+    print(table3.render())

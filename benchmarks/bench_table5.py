@@ -1,0 +1,16 @@
+"""Table 5: benchmark catalog with parameter counts."""
+
+import pytest
+
+from repro.figures import table5
+
+
+def test_table5(benchmark):
+    rows = benchmark(table5.rows)
+    params = {r["DNN Name"]: r["# Parameters (M)"] for r in rows}
+    assert params["MLPL4"] == pytest.approx(5, rel=0.05)
+    assert params["NMTL3"] == pytest.approx(91, rel=0.02)
+    assert params["BigLSTM"] == pytest.approx(856, rel=0.01)
+    assert params["Vgg16"] == pytest.approx(136, rel=0.03)
+    print()
+    print(table5.render())

@@ -1,0 +1,17 @@
+"""Table 6: comparison with the TPU and ISAAC."""
+
+import pytest
+
+from repro.figures import table6
+
+
+def test_table6(benchmark):
+    factors = benchmark(table6.comparison_factors)
+    # Paper: PUMA has 8.3x the TPU's peak area efficiency, 1.65x its
+    # power efficiency; 29.2%/20.7% below ISAAC's (programmability cost).
+    assert factors["puma_vs_tpu_peak_ae"] == pytest.approx(8.3, rel=0.05)
+    assert factors["puma_vs_tpu_peak_pe"] == pytest.approx(1.65, rel=0.05)
+    assert factors["puma_vs_isaac_ae"] == pytest.approx(0.708, rel=0.05)
+    assert factors["puma_vs_isaac_pe"] == pytest.approx(0.793, rel=0.05)
+    print()
+    print(table6.render())

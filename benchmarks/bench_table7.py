@@ -1,0 +1,12 @@
+"""Table 7: programmability comparison with ISAAC."""
+
+from repro.figures import table7
+
+
+def test_table7(benchmark):
+    rows = benchmark(table7.rows)
+    workloads = next(r for r in rows if r["Aspect"] == "Workloads")
+    assert workloads["ISAAC"] == "CNN"
+    assert "LSTM" in workloads["PUMA"]
+    print()
+    print(table7.render())

@@ -1,0 +1,32 @@
+"""Table 8: optimization ablations (compiled and simulated)."""
+
+from repro.figures import table8
+
+
+def test_table8_compiled_ablations(once):
+    table8.compiled_ablation_rows.cache_clear()
+    rows = once(table8.compiled_ablation_rows)
+    for row in rows:
+        # Affinity partitioning never loses to random placement.
+        assert row["Graph partitioning (energy)"] <= 1.02
+        # Paper: little or no spilled-register traffic.
+        assert row["Register pressure (% spilled)"] < 3.0
+        # Coalescing cannot hurt latency.
+        assert row["MVM coalescing (latency)"] <= 1.0
+    print()
+    print(table8.render())
+
+
+def test_table8_input_shuffling(once):
+    ratios = once(table8.input_shuffling_ratios)
+    # Shuffling halves the XbarIn traffic on Lenet5.
+    assert ratios["load_words_ratio"] < 0.6
+    assert ratios["energy_ratio"] <= 1.0
+
+
+def test_table8_shared_memory_sizing(once):
+    rows = once(table8.shared_memory_sizing_rows)
+    ratios = {r["Workload"]: r["Energy ratio"] for r in rows}
+    assert ratios["MLPL4"] == 1          # MLPs gain nothing (no reuse)
+    assert ratios["NMTL3"] < 0.9         # pipelined sizing saves energy
+    assert ratios["Vgg16"] < 1.0

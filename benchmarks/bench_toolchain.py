@@ -1,0 +1,50 @@
+"""Toolchain throughput: compiler and simulator performance.
+
+Not a paper exhibit — keeps the reproduction's own machinery honest by
+timing how fast models compile and how fast PUMAsim retires instructions.
+"""
+
+import numpy as np
+
+from repro import Simulator, compile_model, default_config
+from repro.fixedpoint import FixedPointFormat
+from repro.workloads.mlp import build_mlp_model
+
+FMT = FixedPointFormat()
+CFG = default_config()
+DIMS = [256, 384, 384, 128]
+
+
+def test_compile_throughput(benchmark):
+    def compile_once():
+        return compile_model(build_mlp_model(DIMS, seed=1), CFG)
+
+    compiled = benchmark(compile_once)
+    assert compiled.program.total_instructions() > 0
+
+
+def test_simulation_throughput(benchmark):
+    compiled = compile_model(build_mlp_model(DIMS, seed=1), CFG)
+    x = FMT.quantize(np.random.default_rng(0).normal(0, 0.3, size=DIMS[0]))
+
+    def run_once():
+        sim = Simulator(CFG, compiled.program, seed=0)
+        sim.run({"x": x})
+        return sim
+
+    sim = benchmark(run_once)
+    assert sim.stats.total_instructions > 0
+
+
+def test_mvmu_throughput(benchmark):
+    """Functional crossbar MVM rate (the simulator's inner loop)."""
+    from repro.arch.crossbar import CrossbarModel
+    from repro.arch.mvmu import MVMU
+
+    rng = np.random.default_rng(0)
+    mvmu = MVMU(CrossbarModel(), FMT)
+    mvmu.program(FMT.quantize(rng.normal(0, 0.1, size=(128, 128))))
+    x = FMT.quantize(rng.normal(0, 0.5, size=128))
+
+    result = benchmark(mvmu.execute, x)
+    assert result.shape == (128,)

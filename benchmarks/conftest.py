@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures
+(see DESIGN.md's per-experiment index) under pytest-benchmark timing.
+Expensive exhibits run one round via ``benchmark.pedantic``.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a regeneration exactly once under timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,64 @@
+"""Lenet5 on PUMA through the loop-based CNN lowering.
+
+Convolutions compile to row/column loops (``brn`` + scalar address
+arithmetic — the control-flow share Figure 4 shows for CNNs), with sliding
+windows kept in XbarIn as circular buffers via the MVM filter/stride
+operands (input shuffling, Section 3.2.3).  The script runs the same image
+with shuffling on and off: identical results, much less data movement.
+
+Run:  python examples/cnn_lenet.py
+"""
+
+import numpy as np
+
+from repro import FixedPointFormat, Simulator, default_config
+from repro.compiler.cnn import cnn_reference, compile_cnn
+from repro.isa.opcodes import Opcode
+from repro.workloads.cnn import build_lenet5_spec
+
+FMT = FixedPointFormat()
+
+
+def run(spec, image, input_shuffle):
+    config = default_config()
+    compiled = compile_cnn(spec, config, input_shuffle=input_shuffle)
+    sim = Simulator(config, compiled.program, seed=0)
+    outputs = sim.run({"image": FMT.quantize(image.reshape(-1))})
+    return FMT.dequantize(outputs["out"]), sim
+
+
+def main() -> None:
+    spec = build_lenet5_spec(seed=2)
+    rng = np.random.default_rng(4)
+    image = rng.uniform(-0.5, 0.5, size=(32, 32, 1))
+
+    logits_shuffled, sim_s = run(spec, image, input_shuffle=True)
+    logits_plain, sim_p = run(spec, image, input_shuffle=False)
+    reference = cnn_reference(spec, image)
+
+    print("Lenet5 (conv 5x5x6 / pool / conv 5x5x16 / pool / 400-120-84-10)")
+    print(f"predicted class: {np.argmax(logits_shuffled)} "
+          f"(float reference: {np.argmax(reference)})")
+    print(f"max |PUMA - numpy| = "
+          f"{np.abs(logits_shuffled - reference).max():.4f}")
+    assert np.argmax(logits_shuffled) == np.argmax(reference)
+    assert np.allclose(logits_shuffled, logits_plain, atol=1e-9), \
+        "shuffled and plain codegen must agree bit-for-bit"
+
+    words_s = sim_s.stats.words_by_opcode[Opcode.LOAD]
+    words_p = sim_p.stats.words_by_opcode[Opcode.LOAD]
+    print(f"\nwith input shuffling:    {words_s:8d} words loaded, "
+          f"{sim_s.stats.cycles} cycles")
+    print(f"without input shuffling: {words_p:8d} words loaded, "
+          f"{sim_p.stats.cycles} cycles")
+    print(f"shuffling moves {words_s / words_p:.2f}x the data "
+          "(reused window columns stay in XbarIn; the MVM's filter/stride "
+          "operands rotate them logically)")
+
+    brn = sim_s.stats.dynamic_instructions[Opcode.BRN]
+    print(f"\ndynamic branches executed: {brn} "
+          "(row and column loops; Figure 4's CNN control flow)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Design-space exploration with the Table 3 component models.
+
+Recomputes the paper's headline efficiency numbers (Table 6's 52.31 TOPS/s,
+0.58 TOPS/s/mm2, 0.84 TOPS/s/W node metrics) from the configuration, then
+walks the Figure 12 sweeps to show why the shipped design point —
+128x128 crossbars, 2 MVMUs/core, narrow VFU, 8 cores/tile — sits where
+it does.
+
+Run:  python examples/design_space.py
+"""
+
+from repro import default_config
+from repro.baselines.digital_mvmu import digital_mvmu_comparison
+from repro.energy.area import node_metrics
+from repro.energy.dse import SWEEP_PARAMETERS_DOC, sweep, sweet_spot
+
+
+def main() -> None:
+    metrics = node_metrics(default_config())
+    print("PUMA node (Table 3 configuration):")
+    print(f"  peak throughput : {metrics.peak_tops:.2f} TOPS/s "
+          "(paper: 52.31)")
+    print(f"  area            : {metrics.area_mm2:.1f} mm2 (paper: 90.6)")
+    print(f"  power           : {metrics.power_w:.1f} W (paper: 62.5)")
+    print(f"  area efficiency : {metrics.tops_per_mm2:.3f} TOPS/s/mm2 "
+          "(paper: 0.58)")
+    print(f"  power efficiency: {metrics.tops_per_w:.3f} TOPS/s/W "
+          "(paper: 0.84)")
+    print(f"  weight capacity : {metrics.weight_capacity_bytes / 2**20:.0f} "
+          "MB (paper: 69 MB)")
+
+    cmp = digital_mvmu_comparison()
+    print("\nWhy analog? A latency-matched digital MVMU would cost "
+          f"{cmp.energy_factor:.2f}x the energy and {cmp.area_factor:.1f}x "
+          "the area (Section 7.4.3: 4.17x / 8.97x).")
+
+    sp = sweet_spot()
+    print(f"\nFigure 12 sweeps (tile level; sweet spot {sp.gops:.0f} GOPS, "
+          f"{sp.gops_per_mm2:.0f} GOPS/s/mm2, {sp.gops_per_w:.0f} GOPS/s/W):")
+    for parameter in ("mvmu_dim", "num_mvmus", "vfu_width", "num_cores",
+                      "rf_scale"):
+        points = sweep(parameter)
+        print(f"\n  {parameter}: {SWEEP_PARAMETERS_DOC[parameter]}")
+        for p in points:
+            marker = " <-- design point" if _is_design_point(parameter, p) \
+                else ""
+            print(f"    {getattr(p, parameter):>6} : "
+                  f"AE {p.gops_per_mm2:6.1f}  PE {p.gops_per_w:6.1f}"
+                  f"{marker}")
+
+
+def _is_design_point(parameter: str, point) -> bool:
+    design = {"mvmu_dim": 128, "num_mvmus": 2, "vfu_width": 4,
+              "num_cores": 8, "rf_scale": 1.0}
+    return getattr(point, parameter) == design[parameter]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Digit-style classification on PUMA: train in float, deploy on crossbars.
+
+The inference-accelerator workflow of the paper: a classifier is trained
+offline (numpy SGD), its weights are written into memristor crossbars at
+configuration time (Section 3.2.5), and inference runs entirely on-chip in
+16-bit fixed point.  The script compares float accuracy against the
+simulated fixed-point accelerator, and then against deployment on *noisy*
+crossbars (the Figure 13 scenario).
+
+Run:  python examples/mlp_digits.py
+"""
+
+import numpy as np
+
+from repro import (
+    ConstMatrix,
+    FixedPointFormat,
+    InVector,
+    Model,
+    OutVector,
+    Simulator,
+    compile_model,
+    const_vector,
+    default_config,
+    relu,
+)
+from repro.accuracy import (
+    corrupt_weights,
+    make_dataset,
+    rescale_for_fixed_point,
+    train_mlp,
+)
+
+FMT = FixedPointFormat()
+
+
+def build_puma_model(weights, name="digits"):
+    """Wrap trained (W, b) pairs as a compilable PUMA model."""
+    model = Model.create(name)
+    in_features = weights[0][0].shape[0]
+    h = InVector.create(model, in_features, "x")
+    for i, (w, b) in enumerate(weights):
+        mat = ConstMatrix.create(model, *w.shape, f"w{i}", w)
+        h = mat @ h + const_vector(model, b, f"b{i}")
+        if i < len(weights) - 1:
+            h = relu(h)
+    out = OutVector.create(model, weights[-1][0].shape[1], "logits")
+    out.assign(h)
+    return model
+
+
+def puma_accuracy(weights, data, samples=60):
+    config = default_config()
+    compiled = compile_model(build_puma_model(weights), config)
+    correct = 0
+    for i in range(samples):
+        sim = Simulator(config, compiled.program, seed=0)
+        outputs = sim.run({"x": FMT.quantize(data.x_test[i])})
+        prediction = int(np.argmax(FMT.dequantize(outputs["logits"])))
+        correct += prediction == int(data.y_test[i])
+    return correct / samples
+
+
+def main() -> None:
+    data = make_dataset(seed=0)
+    model = train_mlp(data, seed=0)
+    float_acc = model.accuracy(data.x_test, data.y_test)
+    print(f"float accuracy:                {float_acc * 100:.1f}%")
+
+    # Deploy-time rescaling keeps pre-activations inside the 16-bit
+    # fixed-point range (argmax is unchanged for ReLU networks).
+    deployed = rescale_for_fixed_point(model.weights, data.x_train)
+    puma_acc = puma_accuracy(deployed, data)
+    print(f"PUMA 16-bit fixed point:       {puma_acc * 100:.1f}% "
+          "(simulated, ideal crossbars)")
+
+    rng = np.random.default_rng(1)
+    for bits, sigma in ((2, 0.3), (6, 0.3)):
+        noisy = [(corrupt_weights(w, bits, sigma, rng), b)
+                 for w, b in deployed]
+        acc = puma_accuracy(noisy, data)
+        print(f"PUMA {bits}-bit cells, sigma={sigma}: "
+              f"{acc * 100:.1f}% (simulated, noisy crossbars)")
+
+    print("\nThe 2-bit configuration (the paper's conservative choice) "
+          "holds accuracy; 6-bit cells collapse under the same write "
+          "noise — Figure 13's conclusion.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Spatial pipelining: streaming a batch through stationary weights.
+
+PUMA's crossbars hold the model permanently (Section 3.2.5); independent
+inputs stream through the layer pipeline, each layer working on a
+different item at once (Sections 4.1.2, 7.3).  This script compiles one
+program that pushes a whole batch through shared weight matrices and
+shows the steady-state throughput beating the single-inference latency.
+
+Run:  python examples/streaming_pipeline.py
+"""
+
+import numpy as np
+
+from repro import FixedPointFormat, Simulator, compile_model, default_config
+from repro.compiler.frontend import (
+    ConstMatrix,
+    InVector,
+    Model,
+    OutVector,
+    relu,
+)
+
+FMT = FixedPointFormat()
+DIMS = (128, 128, 128, 64)
+
+
+def batched_model(batch: int, seed: int = 0) -> Model:
+    rng = np.random.default_rng(seed)
+    model = Model.create(f"stream_b{batch}")
+    mats = [ConstMatrix.create(model, m, n, f"w{i}",
+                               rng.normal(0, 1 / np.sqrt(m), (m, n)))
+            for i, (m, n) in enumerate(zip(DIMS[:-1], DIMS[1:]))]
+    for b in range(batch):
+        h = InVector.create(model, DIMS[0], f"x{b}")
+        for i, mat in enumerate(mats):
+            h = mat @ h
+            if i < len(mats) - 1:
+                h = relu(h)
+        OutVector.create(model, DIMS[-1], f"out{b}").assign(h)
+    return model
+
+
+def run(batch: int):
+    config = default_config()
+    compiled = compile_model(batched_model(batch), config)
+    rng = np.random.default_rng(1)
+    inputs = {f"x{b}": FMT.quantize(rng.normal(0, 0.3, size=DIMS[0]))
+              for b in range(batch)}
+    sim = Simulator(config, compiled.program, seed=0)
+    sim.run(inputs)
+    return compiled, sim
+
+
+def main() -> None:
+    print(f"MLP {'-'.join(map(str, DIMS))}, weights stationary in "
+          "crossbars; batches stream through the layer pipeline\n")
+    single, sim1 = run(1)
+    print(f"{'batch':>6} {'cycles':>9} {'cycles/item':>12} "
+          f"{'throughput gain':>16} {'crossbars':>10}")
+    for batch in (1, 2, 4, 8):
+        compiled, sim = run(batch)
+        gain = (sim1.stats.cycles * batch) / sim.stats.cycles
+        print(f"{batch:>6} {sim.stats.cycles:>9} "
+              f"{sim.stats.cycles / batch:>12.0f} {gain:>15.2f}x "
+              f"{len(compiled.program.weights):>10}")
+    print("\nThe crossbar count stays constant — the same weights serve "
+          "every item — while per-item cycles fall to the bottleneck "
+          "core's MVM work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""repro: a from-scratch reproduction of PUMA (ASPLOS 2019).
+
+PUMA is a programmable memristor-crossbar accelerator for ML inference.
+This package provides the full system described in the paper:
+
+* the microarchitecture and ISA (:mod:`repro.arch`, :mod:`repro.isa`);
+* the compiler from a high-level model API to per-core/tile instruction
+  streams (:mod:`repro.compiler`);
+* PUMAsim, the functional + timing + energy simulator (:mod:`repro.sim`);
+* power/area models and design-space exploration (:mod:`repro.energy`);
+* DNN workload builders matching the paper's benchmarks
+  (:mod:`repro.workloads`);
+* analytic baseline platforms (CPU/GPU/TPU/ISAAC) and the PUMA layer-level
+  performance model used for paper-scale networks (:mod:`repro.baselines`,
+  :mod:`repro.perf`);
+* the accuracy-under-write-noise study (:mod:`repro.accuracy`) and the
+  experiment drivers that regenerate every table and figure
+  (:mod:`repro.figures`).
+
+Quickstart (the paper's Figure 7 example)::
+
+    import numpy as np
+    from repro import (Model, InVector, OutVector, ConstMatrix, tanh,
+                       compile_model, Simulator, default_config)
+
+    m = Model.create("example")
+    x = InVector.create(m, 128, "x")
+    y = InVector.create(m, 128, "y")
+    z = OutVector.create(m, 64, "z")
+    A = ConstMatrix.create(m, 128, 64, "A", np.random.randn(128, 64) * 0.1)
+    B = ConstMatrix.create(m, 128, 64, "B", np.random.randn(128, 64) * 0.1)
+    z.assign(tanh(A @ x + B @ y))
+
+    compiled = compile_model(m)
+    sim = Simulator(default_config(), compiled.program)
+    outputs = sim.run({"x": ..., "y": ...})
+"""
+
+from repro.arch.config import (
+    CoreConfig,
+    NodeConfig,
+    PumaConfig,
+    TileConfig,
+    default_config,
+)
+from repro.arch.crossbar import Crossbar, CrossbarModel
+from repro.compiler import (
+    CompiledModel,
+    CompilerOptions,
+    ConstMatrix,
+    InVector,
+    Model,
+    OutVector,
+    binarize,
+    compile_model,
+    concat,
+    exp,
+    log,
+    log_softmax,
+    maximum,
+    minimum,
+    random_like,
+    relu,
+    sigmoid,
+    tanh,
+)
+from repro.compiler.frontend import const_vector
+from repro.fixedpoint import FixedPointFormat
+from repro.sim import SimulationDeadlock, SimulationStats, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreConfig",
+    "TileConfig",
+    "NodeConfig",
+    "PumaConfig",
+    "default_config",
+    "Crossbar",
+    "CrossbarModel",
+    "FixedPointFormat",
+    "Model",
+    "InVector",
+    "OutVector",
+    "ConstMatrix",
+    "const_vector",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "exp",
+    "log",
+    "log_softmax",
+    "maximum",
+    "minimum",
+    "concat",
+    "random_like",
+    "binarize",
+    "CompilerOptions",
+    "CompiledModel",
+    "compile_model",
+    "Simulator",
+    "SimulationStats",
+    "SimulationDeadlock",
+    "__version__",
+]

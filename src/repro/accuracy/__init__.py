@@ -1,0 +1,18 @@
+"""Inference accuracy under memristor write noise (Figure 13)."""
+
+from repro.accuracy.dataset import make_dataset
+from repro.accuracy.train import TrainedMlp, train_mlp
+from repro.accuracy.noise import corrupt_weights, weight_noise_sigma
+from repro.accuracy.deploy import rescale_for_fixed_point
+from repro.accuracy.eval import accuracy_sweep, noisy_accuracy
+
+__all__ = [
+    "make_dataset",
+    "TrainedMlp",
+    "train_mlp",
+    "corrupt_weights",
+    "weight_noise_sigma",
+    "rescale_for_fixed_point",
+    "noisy_accuracy",
+    "accuracy_sweep",
+]

@@ -1,0 +1,48 @@
+"""Deploy-time rescaling for fixed-point inference.
+
+The datapath's 16-bit fixed-point format represents roughly [-8, 8); a
+float-trained network whose pre-activations exceed that range saturates on
+the accelerator.  For ReLU networks the standard remedy costs nothing:
+``relu(a*x) = a*relu(x)`` for ``a > 0``, so each layer's weights can be
+scaled down until its pre-activations fit, and the final logits are a
+positive multiple of the originals — argmax (the classification) is
+unchanged.
+
+This is part of the configuration-time deployment flow (Section 3.2.5):
+weights are prepared once, written to the crossbars, and never touched
+during execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Keep calibrated pre-activations comfortably inside the [-8, 8) range.
+DEFAULT_LIMIT = 6.0
+
+
+def rescale_for_fixed_point(weights: list, x_calibration: np.ndarray,
+                            limit: float = DEFAULT_LIMIT) -> list:
+    """Scale a ReLU MLP so pre-activations fit the fixed-point range.
+
+    Args:
+        weights: list of ``(W, b)`` pairs (hidden layers use ReLU).
+        x_calibration: batch of representative inputs.
+        limit: target bound for calibrated |pre-activation|.
+
+    Returns:
+        New ``(W, b)`` list computing a positively-scaled version of the
+        same function (identical argmax, bounded intermediate values).
+    """
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+    h = np.asarray(x_calibration, dtype=np.float64)
+    scaled = []
+    for i, (w, b) in enumerate(weights):
+        pre = h @ w + b
+        peak = float(np.max(np.abs(pre)))
+        alpha = min(1.0, limit / peak) if peak > 0 else 1.0
+        scaled.append((w * alpha, b * alpha))
+        pre = pre * alpha
+        h = np.maximum(pre, 0.0) if i < len(weights) - 1 else pre
+    return scaled

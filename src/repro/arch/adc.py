@@ -1,0 +1,70 @@
+"""Analog-to-digital converter model (SAR design, Section 6.1).
+
+The ADC digitizes the integrated column current of a crossbar.  Its
+resolution bounds the largest column dot product that can be read back
+exactly: a crossbar of ``dim`` rows with ``b_c``-bit cells and ``b_in``-bit
+input slices produces column sums up to
+``dim * (2**b_in - 1) * (2**b_c - 1)``.
+
+:func:`exact_adc_bits` returns the resolution needed for lossless readout —
+the functional simulator's default — while callers may configure fewer bits
+to study quantization loss (the energy model separately charges ADC
+power/area as a function of resolution, which is what drives the Figure 12
+MVMU-dimension trade-off).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def exact_adc_bits(dim: int, bits_per_cell: int, bits_per_input: int) -> int:
+    """Resolution for lossless readout of a full column dot product."""
+    max_sum = dim * ((1 << bits_per_input) - 1) * ((1 << bits_per_cell) - 1)
+    return max(1, math.ceil(math.log2(max_sum + 1)))
+
+
+@dataclass(frozen=True)
+class AdcArray:
+    """Column ADC shared across crossbar columns via multiplexing (Fig 2b).
+
+    Attributes:
+        bits: converter resolution.
+        full_scale: the analog value (integrated column sum, in
+            level units) mapped to the top code.
+    """
+
+    bits: int
+    full_scale: float
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("ADC bits must be >= 1")
+        if self.full_scale <= 0:
+            raise ValueError("full_scale must be positive")
+
+    @property
+    def levels(self) -> int:
+        return 1 << self.bits
+
+    @property
+    def lsb(self) -> float:
+        """Analog units per code."""
+        return self.full_scale / (self.levels - 1)
+
+    def convert(self, analog: np.ndarray) -> np.ndarray:
+        """Quantize analog column sums to integer codes (clipping at range)."""
+        arr = np.asarray(analog, dtype=np.float64)
+        codes = np.round(arr / self.lsb)
+        return np.clip(codes, 0, self.levels - 1).astype(np.int64)
+
+    def reconstruct(self, codes: np.ndarray) -> np.ndarray:
+        """Map codes back to analog-unit estimates (what digital logic sees).
+
+        With ``lsb == 1`` (exact resolution) this is the identity on
+        integer sums, making the ideal crossbar bit-exact.
+        """
+        return np.asarray(codes, dtype=np.float64) * self.lsb

@@ -1,0 +1,217 @@
+"""PUMA architecture configuration (Table 3 defaults).
+
+Everything that Figure 12 sweeps is a field here: MVMU dimension, MVMUs per
+core, VFU width, cores per tile, and register-file size.  The energy/area
+models in :mod:`repro.energy` consume these same dataclasses so that a single
+configuration object drives the functional simulator, the timing model, and
+the design-space exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.fixedpoint import FixedPointFormat
+from repro.isa.opcodes import RegisterClass
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """One PUMA core (Figure 1, Table 3).
+
+    Attributes:
+        mvmu_dim: crossbar rows/columns (128 in the paper).
+        num_mvmus: MVMUs per core (2 in the paper).
+        bits_per_cell: memristor device precision (2 in the paper).
+        bits_per_input: DAC input-slice width for bit-streamed inputs.
+        vfu_width: VFU lanes; temporal SIMD executes wider vectors over
+            multiple cycles (Table 3 lists width 1; Section 7.6 finds the
+            sweet spot at 4 — we default to Table 3).
+        num_general_registers: general-purpose register file entries.
+            Table 3's 1 KB register file = 512 16-bit words, which matches
+            the sizing rule 2 * mvmu_dim * num_mvmus (Section 3.4.2).
+        instruction_memory_bytes: core instruction memory (4 KB).
+        rom_lut_entries: entries per transcendental look-up table in the
+            ROM-Embedded RAM.
+    """
+
+    mvmu_dim: int = 128
+    num_mvmus: int = 2
+    bits_per_cell: int = 2
+    bits_per_input: int = 1
+    vfu_width: int = 1
+    num_general_registers: int = 512
+    instruction_memory_bytes: int = 4096
+    rom_lut_entries: int = 256
+    fixed_point: FixedPointFormat = field(default_factory=FixedPointFormat)
+
+    def __post_init__(self) -> None:
+        if self.mvmu_dim <= 0 or self.num_mvmus <= 0:
+            raise ValueError("mvmu_dim and num_mvmus must be positive")
+        if self.fixed_point.total_bits % self.bits_per_cell != 0:
+            raise ValueError(
+                "word width must be divisible by bits_per_cell "
+                f"({self.fixed_point.total_bits} % {self.bits_per_cell})"
+            )
+        if self.vfu_width <= 0:
+            raise ValueError("vfu_width must be positive")
+
+    @property
+    def num_slices(self) -> int:
+        """Crossbars ganged per MVMU for full-precision weights (8 = 16/2)."""
+        return self.fixed_point.total_bits // self.bits_per_cell
+
+    @property
+    def xbar_in_size(self) -> int:
+        """Total XbarIn registers: one vector of mvmu_dim per MVMU."""
+        return self.mvmu_dim * self.num_mvmus
+
+    @property
+    def xbar_out_size(self) -> int:
+        """Total XbarOut registers: one vector of mvmu_dim per MVMU."""
+        return self.mvmu_dim * self.num_mvmus
+
+    @property
+    def num_registers(self) -> int:
+        """Size of the flat register index space."""
+        return self.xbar_in_size + self.xbar_out_size + self.num_general_registers
+
+    def register_class(self, index: int) -> RegisterClass:
+        """Which register class a flat index belongs to."""
+        if index < 0 or index >= self.num_registers:
+            raise IndexError(f"register index {index} out of range "
+                             f"[0, {self.num_registers})")
+        if index < self.xbar_in_size:
+            return RegisterClass.XBAR_IN
+        if index < self.xbar_in_size + self.xbar_out_size:
+            return RegisterClass.XBAR_OUT
+        return RegisterClass.GENERAL
+
+    def xbar_in_base(self, mvmu: int) -> int:
+        """Flat index of XbarIn register 0 of ``mvmu``."""
+        self._check_mvmu(mvmu)
+        return mvmu * self.mvmu_dim
+
+    def xbar_out_base(self, mvmu: int) -> int:
+        """Flat index of XbarOut register 0 of ``mvmu``."""
+        self._check_mvmu(mvmu)
+        return self.xbar_in_size + mvmu * self.mvmu_dim
+
+    @property
+    def general_base(self) -> int:
+        """Flat index of general-purpose register 0."""
+        return self.xbar_in_size + self.xbar_out_size
+
+    def _check_mvmu(self, mvmu: int) -> None:
+        if not 0 <= mvmu < self.num_mvmus:
+            raise IndexError(f"MVMU index {mvmu} out of range "
+                             f"[0, {self.num_mvmus})")
+
+    @property
+    def max_instructions(self) -> int:
+        """Instruction-memory capacity in instructions."""
+        from repro.isa.encoding import INSTRUCTION_BYTES
+
+        return self.instruction_memory_bytes // INSTRUCTION_BYTES
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """One PUMA tile (Figure 5, Table 3)."""
+
+    num_cores: int = 8
+    shared_memory_bytes: int = 65536       # 64 KB eDRAM
+    tile_instruction_memory_bytes: int = 8192
+    attribute_entries: int = 32768         # 32K valid/count entries
+    receive_fifos: int = 16
+    receive_fifo_depth: int = 2
+    memory_bus_width_bits: int = 384
+    core: CoreConfig = field(default_factory=CoreConfig)
+
+    @property
+    def shared_memory_words(self) -> int:
+        """Shared-memory capacity in 16-bit words."""
+        return self.shared_memory_bytes // 2
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """One PUMA node (Table 3): tiles plus the on-chip network."""
+
+    num_tiles: int = 138
+    noc_flit_size_bits: int = 32
+    noc_ports: int = 4
+    noc_concentration: int = 4
+    offchip_link_bandwidth_gbps: float = 6.4
+    tile: TileConfig = field(default_factory=TileConfig)
+
+
+@dataclass(frozen=True)
+class PumaConfig:
+    """Top-level configuration: the accelerator plus global timing facts.
+
+    ``num_nodes`` > 1 enables large-scale execution across the chip-to-chip
+    interconnect (Section 3: "nodes can be connected together via a
+    chip-to-chip interconnect for large-scale execution").  Tiles carry
+    global ids; tile ``t`` lives on node ``t // node.num_tiles``.
+    """
+
+    clock_ghz: float = 1.0
+    num_nodes: int = 1
+    node: NodeConfig = field(default_factory=NodeConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.clock_ghz
+
+    @property
+    def total_tiles(self) -> int:
+        """Tiles across the whole multi-node system."""
+        return self.num_nodes * self.node.num_tiles
+
+    def node_of_tile(self, tile_id: int) -> int:
+        """Which node hosts global tile ``tile_id``."""
+        if not 0 <= tile_id < self.total_tiles:
+            raise IndexError(f"tile {tile_id} outside the "
+                             f"{self.total_tiles}-tile system")
+        return tile_id // self.node.num_tiles
+
+    @property
+    def core(self) -> CoreConfig:
+        return self.node.tile.core
+
+    @property
+    def tile(self) -> TileConfig:
+        return self.node.tile
+
+    def with_core(self, **kwargs) -> "PumaConfig":
+        """Derive a configuration with modified core parameters."""
+        core = replace(self.core, **kwargs)
+        return self._rebuild(core=core)
+
+    def with_tile(self, **kwargs) -> "PumaConfig":
+        """Derive a configuration with modified tile parameters."""
+        core = kwargs.pop("core", self.core)
+        tile = replace(self.tile, core=core, **kwargs)
+        node = replace(self.node, tile=tile)
+        return replace(self, node=node)
+
+    def with_node(self, **kwargs) -> "PumaConfig":
+        """Derive a configuration with modified node parameters."""
+        tile = kwargs.pop("tile", self.tile)
+        node = replace(self.node, tile=tile, **kwargs)
+        return replace(self, node=node)
+
+    def _rebuild(self, core: CoreConfig) -> "PumaConfig":
+        tile = replace(self.tile, core=core)
+        node = replace(self.node, tile=tile)
+        return replace(self, node=node)
+
+
+def default_config() -> PumaConfig:
+    """The Table 3 configuration: 1 GHz, 2x128x128 MVMUs, 8 cores, 138 tiles."""
+    return PumaConfig()

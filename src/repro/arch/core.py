@@ -1,0 +1,244 @@
+"""Core execution engine: the functional semantics of one PUMA core.
+
+A :class:`Core` owns the architectural state of Figure 1 — program counter,
+register file (XbarIn / XbarOut / general purpose), MVMUs, VFU, SFU — and
+executes instructions one at a time.  Memory-side effects go through the
+owning tile's shared memory, whose valid/count protocol can *block* an
+instruction; blocking is reported to the simulator through
+:class:`ExecStatus` rather than by spinning, so the scheduler can park the
+core on the memory's waiter list.
+
+Timing and energy are intentionally absent here: the simulator charges them
+via :mod:`repro.energy` using the :class:`ExecOutcome` description of what
+the instruction did.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.arch.config import CoreConfig
+from repro.arch.crossbar import CrossbarModel
+from repro.arch.mvmu import MVMU
+from repro.arch.registers import RegisterFile
+from repro.arch.sfu import ScalarFunctionalUnit
+from repro.arch.vfu import VectorFunctionalUnit
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import AluOp, Opcode
+
+if TYPE_CHECKING:  # avoid a circular import with repro.tile
+    from repro.tile.shared_memory import SharedMemory
+
+
+class ExecStatus(enum.Enum):
+    """What happened when the core tried to execute an instruction."""
+
+    DONE = "done"
+    BLOCKED_READ = "blocked-read"     # load/send waiting for valid data
+    BLOCKED_WRITE = "blocked-write"   # store/receive waiting for free space
+    BLOCKED_FIFO = "blocked-fifo"     # receive waiting for a packet
+    HALTED = "halted"
+
+
+@dataclass(frozen=True)
+class ExecOutcome:
+    """Result of one execution attempt, consumed by the timing model.
+
+    Attributes:
+        status: completion or the blocking reason.
+        instruction: what executed (or tried to).
+        vec_width: effective vector width processed.
+        mvm_count: MVMUs activated (coalesced MVM activates several).
+        rom_access: whether the op went through the ROM-Embedded RAM.
+    """
+
+    status: ExecStatus
+    instruction: Instruction | None = None
+    vec_width: int = 1
+    mvm_count: int = 0
+    rom_access: bool = False
+
+
+class Core:
+    """One PUMA core: registers, MVMUs, functional units, and a PC.
+
+    Args:
+        core_id: index within the tile.
+        config: core configuration.
+        shared_memory: the owning tile's shared memory.
+        crossbar_model: device model for the MVMU crossbars.
+        rng: random generator (write noise, RANDOM op).
+    """
+
+    def __init__(self, core_id: int, config: CoreConfig,
+                 shared_memory: "SharedMemory",
+                 crossbar_model: CrossbarModel | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.memory = shared_memory
+        self._rng = rng if rng is not None else np.random.default_rng()
+        model = crossbar_model if crossbar_model is not None else CrossbarModel(
+            dim=config.mvmu_dim,
+            bits_per_cell=config.bits_per_cell,
+            bits_per_input=config.bits_per_input,
+        )
+        if model.dim != config.mvmu_dim:
+            raise ValueError(
+                f"crossbar dim {model.dim} != core mvmu_dim {config.mvmu_dim}")
+        self.registers = RegisterFile(config)
+        self.mvmus = [MVMU(model, config.fixed_point, rng=self._rng)
+                      for _ in range(config.num_mvmus)]
+        self.vfu = VectorFunctionalUnit(
+            config.vfu_width, config.fixed_point,
+            lut=self.registers.lut_evaluate, rng=self._rng)
+        self.sfu = ScalarFunctionalUnit(config.fixed_point)
+        self.pc = 0
+        self.halted = False
+        self.instructions_executed = 0
+
+    def program_mvmu(self, mvmu_index: int, matrix: np.ndarray) -> None:
+        """Configuration-time crossbar write (Section 3.2.5)."""
+        self.mvmus[mvmu_index].program(matrix)
+
+    def reset(self) -> None:
+        """Reset control state (registers and crossbars persist)."""
+        self.pc = 0
+        self.halted = False
+
+    def execute(self, instr: Instruction) -> ExecOutcome:
+        """Attempt to execute ``instr`` at the current PC.
+
+        On DONE the PC advances (or jumps); on a blocked outcome all state
+        is untouched so the attempt can be retried verbatim.
+        """
+        if self.halted:
+            return ExecOutcome(ExecStatus.HALTED)
+        op = instr.opcode
+        handler = {
+            Opcode.MVM: self._exec_mvm,
+            Opcode.ALU: self._exec_alu,
+            Opcode.ALUI: self._exec_alui,
+            Opcode.ALU_INT: self._exec_alu_int,
+            Opcode.SET: self._exec_set,
+            Opcode.COPY: self._exec_copy,
+            Opcode.LOAD: self._exec_load,
+            Opcode.STORE: self._exec_store,
+            Opcode.JMP: self._exec_jmp,
+            Opcode.BRN: self._exec_brn,
+            Opcode.HLT: self._exec_hlt,
+        }.get(op)
+        if handler is None:
+            raise ValueError(
+                f"{op.name} cannot execute on a core (tile-level instruction)")
+        outcome = handler(instr)
+        if outcome.status == ExecStatus.DONE:
+            self.instructions_executed += 1
+        return outcome
+
+    # -- instruction handlers -------------------------------------------
+
+    def _advance(self, instr: Instruction, next_pc: int | None = None,
+                 **fields) -> ExecOutcome:
+        self.pc = self.pc + 1 if next_pc is None else next_pc
+        return ExecOutcome(ExecStatus.DONE, instr, **fields)
+
+    def _exec_mvm(self, instr: Instruction) -> ExecOutcome:
+        active = [i for i in range(self.config.num_mvmus)
+                  if instr.mask & (1 << i)]
+        if not active:
+            raise ValueError("MVM mask selects no MVMU on this core")
+        for i in active:
+            mvmu = self.mvmus[i]
+            if not mvmu.is_programmed:
+                raise RuntimeError(
+                    f"core {self.core_id}: MVM on unprogrammed MVMU {i}")
+            x = self.registers.xbar_in_vector(i)
+            if instr.filter:
+                x = MVMU.shuffle_inputs(x, instr.filter, instr.stride)
+            y = mvmu.execute(x)
+            self.registers.write_xbar_out(i, y)
+        return self._advance(instr, mvm_count=len(active),
+                             vec_width=self.config.mvmu_dim)
+
+    def _exec_alu(self, instr: Instruction) -> ExecOutcome:
+        op = instr.alu_op
+        w = instr.vec_width
+        src1 = self.registers.read(instr.src1, w)
+        if op == AluOp.SUBSAMPLE:
+            src2 = self.registers.read(instr.src2, 1)
+        elif op.num_sources == 2:
+            src2 = self.registers.read(instr.src2, w)
+        else:
+            src2 = None
+        result = self.vfu.execute(op, src1, src2)
+        self.registers.write(instr.dest, result)
+        return self._advance(instr, vec_width=w,
+                             rom_access=bool(op.is_transcendental))
+
+    def _exec_alui(self, instr: Instruction) -> ExecOutcome:
+        w = instr.vec_width
+        src1 = self.registers.read(instr.src1, w)
+        imm_vec = np.full(w, instr.imm, dtype=np.int64)
+        result = self.vfu.execute(instr.alu_op, src1, imm_vec)
+        self.registers.write(instr.dest, result)
+        return self._advance(instr, vec_width=w)
+
+    def _exec_alu_int(self, instr: Instruction) -> ExecOutcome:
+        a = int(self.registers.read(instr.src1, 1)[0])
+        b = instr.imm if instr.imm_mode else int(
+            self.registers.read(instr.src2, 1)[0])
+        result = self.sfu.execute(instr.alu_op, a, b)
+        self.registers.write(instr.dest, np.array([result]))
+        return self._advance(instr)
+
+    def _exec_set(self, instr: Instruction) -> ExecOutcome:
+        w = instr.vec_width
+        self.registers.write(instr.dest, np.full(w, instr.imm, dtype=np.int64))
+        return self._advance(instr, vec_width=w)
+
+    def _exec_copy(self, instr: Instruction) -> ExecOutcome:
+        w = instr.vec_width
+        data = self.registers.read(instr.src1, w)
+        self.registers.write(instr.dest, data)
+        return self._advance(instr, vec_width=w)
+
+    def _effective_address(self, instr: Instruction) -> int:
+        addr = instr.mem_addr
+        if instr.reg_indirect:
+            addr += int(self.registers.read(instr.addr_reg, 1)[0])
+        return addr
+
+    def _exec_load(self, instr: Instruction) -> ExecOutcome:
+        addr = self._effective_address(instr)
+        data = self.memory.try_read(addr, instr.vec_width)
+        if data is None:
+            return ExecOutcome(ExecStatus.BLOCKED_READ, instr,
+                               vec_width=instr.vec_width)
+        self.registers.write(instr.dest, data)
+        return self._advance(instr, vec_width=instr.vec_width)
+
+    def _exec_store(self, instr: Instruction) -> ExecOutcome:
+        addr = self._effective_address(instr)
+        data = self.registers.read(instr.src1, instr.vec_width)
+        if not self.memory.try_write(addr, data, count=instr.count):
+            return ExecOutcome(ExecStatus.BLOCKED_WRITE, instr,
+                               vec_width=instr.vec_width)
+        return self._advance(instr, vec_width=instr.vec_width)
+
+    def _exec_jmp(self, instr: Instruction) -> ExecOutcome:
+        return self._advance(instr, next_pc=instr.pc)
+
+    def _exec_brn(self, instr: Instruction) -> ExecOutcome:
+        a = int(self.registers.read(instr.src1, 1)[0])
+        b = int(self.registers.read(instr.src2, 1)[0])
+        taken = self.sfu.branch_taken(instr.brn_op, a, b)
+        return self._advance(instr, next_pc=instr.pc if taken else None)
+
+    def _exec_hlt(self, instr: Instruction) -> ExecOutcome:
+        self.halted = True
+        return ExecOutcome(ExecStatus.HALTED, instr)

@@ -1,0 +1,203 @@
+"""Memristor crossbar model (Figure 2).
+
+A crossbar stores one *bit slice* of a weight matrix: each device holds
+``bits_per_cell`` bits as one of ``2**bits_per_cell`` conductance levels in
+``[g_min, g_max]``.  Applying row voltages produces column currents
+``I_j = sum_i V_i * g_ij`` (Kirchhoff's law) — an analog MVM in one step.
+
+Device non-ideality is modelled as *write noise*: programming a target level
+leaves the conductance displaced by a Gaussian whose standard deviation is a
+device property, independent of how many levels the target format squeezes
+into the conductance window.  We express it as ``sigma_n`` in units of the
+2-bit level separation (the paper's conservative cell choice), i.e.::
+
+    g_programmed = g_target + N(0, sigma_n * (g_max - g_min) / 4)
+
+This reproduces Figure 13's qualitative behaviour: 2-bit cells tolerate
+``sigma_n`` up to ~0.3 while higher bit-per-cell formats lose accuracy
+because their level spacing shrinks below the fixed noise floor (the
+"reduction in noise margin" of Section 7.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.adc import AdcArray, exact_adc_bits
+from repro.arch.dac import DacArray
+
+# Memristor resistance range 100 kOhm - 1 MOhm (Section 6.1).
+DEFAULT_G_MIN = 1.0 / 1e6
+DEFAULT_G_MAX = 1.0 / 1e5
+# Write-noise sigma is calibrated in units of the 2-bit level separation.
+_NOISE_REFERENCE_LEVELS = 4
+
+
+@dataclass(frozen=True)
+class CrossbarModel:
+    """Device and converter parameters shared by the crossbars of an MVMU.
+
+    Attributes:
+        dim: rows and columns (crossbars are square in PUMA).
+        bits_per_cell: stored bits per device (2 in the paper).
+        bits_per_input: DAC slice width (1 in the paper).
+        g_min / g_max: conductance range in siemens.
+        write_noise_sigma: Gaussian write-noise sigma in units of the 2-bit
+            level separation (sigma_N in Figure 13).
+        adc_bits: ADC resolution; ``None`` selects lossless resolution.
+        read_voltage: DAC full-scale voltage.
+    """
+
+    dim: int = 128
+    bits_per_cell: int = 2
+    bits_per_input: int = 1
+    g_min: float = DEFAULT_G_MIN
+    g_max: float = DEFAULT_G_MAX
+    write_noise_sigma: float = 0.0
+    adc_bits: int | None = None
+    read_voltage: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.dim <= 0:
+            raise ValueError("dim must be positive")
+        if self.bits_per_cell < 1:
+            raise ValueError("bits_per_cell must be >= 1")
+        if self.g_max <= self.g_min:
+            raise ValueError("g_max must exceed g_min")
+        if self.write_noise_sigma < 0:
+            raise ValueError("write_noise_sigma must be non-negative")
+
+    @property
+    def levels(self) -> int:
+        """Conductance levels per device."""
+        return 1 << self.bits_per_cell
+
+    @property
+    def level_spacing(self) -> float:
+        """Conductance separation between adjacent levels."""
+        return (self.g_max - self.g_min) / (self.levels - 1)
+
+    @property
+    def noise_sigma_conductance(self) -> float:
+        """Absolute write-noise sigma in siemens."""
+        reference_spacing = (self.g_max - self.g_min) / _NOISE_REFERENCE_LEVELS
+        return self.write_noise_sigma * reference_spacing
+
+    @property
+    def effective_adc_bits(self) -> int:
+        if self.adc_bits is not None:
+            return self.adc_bits
+        return exact_adc_bits(self.dim, self.bits_per_cell, self.bits_per_input)
+
+    def build_dac(self) -> DacArray:
+        return DacArray(bits=self.bits_per_input, read_voltage=self.read_voltage)
+
+    def build_adc(self) -> AdcArray:
+        max_sum = (self.dim * ((1 << self.bits_per_input) - 1)
+                   * (self.levels - 1))
+        top_code = (1 << self.effective_adc_bits) - 1
+        # When the code range covers every possible column sum the ADC is
+        # lossless (one code per level unit); otherwise the analog range is
+        # compressed onto fewer codes and quantization error appears.
+        full_scale = float(max(max_sum, top_code))
+        return AdcArray(bits=self.effective_adc_bits, full_scale=full_scale)
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when the analog path is bit-exact (no noise, lossless ADC)."""
+        lossless = self.effective_adc_bits >= exact_adc_bits(
+            self.dim, self.bits_per_cell, self.bits_per_input)
+        return self.write_noise_sigma == 0.0 and lossless
+
+
+class Crossbar:
+    """One programmed crossbar holding a single bit slice of a weight tile.
+
+    The crossbar is written once at configuration time (Section 3.2.5) and
+    read through :meth:`column_sums` during execution.
+    """
+
+    def __init__(self, model: CrossbarModel,
+                 rng: np.random.Generator | None = None) -> None:
+        self.model = model
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._levels = np.zeros((model.dim, model.dim), dtype=np.int64)
+        self._conductance = np.full(
+            (model.dim, model.dim), model.g_min, dtype=np.float64)
+        self._programmed = False
+
+    @property
+    def target_levels(self) -> np.ndarray:
+        """The digital levels the crossbar was asked to store (read-only)."""
+        return self._levels.copy()
+
+    @property
+    def conductance(self) -> np.ndarray:
+        """The (possibly noisy) programmed conductances (read-only)."""
+        return self._conductance.copy()
+
+    def program(self, levels: np.ndarray) -> None:
+        """Serially write a matrix of device levels (configuration time).
+
+        Args:
+            levels: ``(dim, dim)`` integers in ``[0, 2**bits_per_cell)``;
+                ``levels[i, j]`` is the device at row *i*, column *j*.
+        """
+        arr = np.asarray(levels, dtype=np.int64)
+        if arr.shape != (self.model.dim, self.model.dim):
+            raise ValueError(
+                f"expected shape {(self.model.dim, self.model.dim)}, "
+                f"got {arr.shape}"
+            )
+        if np.any(arr < 0) or np.any(arr >= self.model.levels):
+            raise ValueError(
+                f"levels out of range [0, {self.model.levels})"
+            )
+        self._levels = arr.copy()
+        target_g = self.model.g_min + arr * self.model.level_spacing
+        if self.model.write_noise_sigma > 0.0:
+            noise = self._rng.normal(
+                0.0, self.model.noise_sigma_conductance, size=arr.shape)
+            target_g = target_g + noise
+        self._conductance = np.clip(target_g, self.model.g_min, self.model.g_max)
+        self._programmed = True
+
+    def effective_levels(self) -> np.ndarray:
+        """Continuous level values implied by the programmed conductances."""
+        return (self._conductance - self.model.g_min) / self.model.level_spacing
+
+    def column_sums(self, input_slices: np.ndarray) -> np.ndarray:
+        """Analog MVM for one input slice: returns digitized column sums.
+
+        Implements the full chain of Figure 2a: DAC -> crossbar currents ->
+        integrator -> ADC.  The returned values are in *level units*, i.e.
+        estimates of ``sum_i x_i * w_ij`` where ``x`` is the digital input
+        slice and ``w`` the stored levels.  With an ideal model the result
+        is exact.
+
+        Args:
+            input_slices: ``(dim,)`` integers in ``[0, 2**bits_per_input)``.
+        """
+        if not self._programmed:
+            raise RuntimeError("crossbar has not been programmed")
+        x = np.asarray(input_slices, dtype=np.int64)
+        if x.shape != (self.model.dim,):
+            raise ValueError(f"expected shape ({self.model.dim},), got {x.shape}")
+
+        dac = self.model.build_dac()
+        voltages = dac.convert(x)
+        currents = voltages @ self._conductance  # I_j = sum_i V_i * g_ij
+
+        # The integrator converts charge to a voltage proportional to the
+        # column sum in level units; digital logic removes the g_min offset
+        # using the digitally-computed input sum (a standard peripheral
+        # arrangement, cf. ISAAC).
+        input_sum = float(x.sum()) * dac.lsb_voltage
+        level_sums = ((currents - input_sum * self.model.g_min)
+                      / (self.model.level_spacing * dac.lsb_voltage))
+
+        adc = self.model.build_adc()
+        codes = adc.convert(np.maximum(level_sums, 0.0))
+        return adc.reconstruct(codes)

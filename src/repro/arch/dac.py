@@ -1,0 +1,60 @@
+"""Digital-to-analog converter array model.
+
+Each crossbar row is fed by a DAC that converts an input slice (``b_in``
+bits, 1 in the paper's bit-streamed design) to a voltage in
+``[0, read_voltage]`` (Figure 2a).  The model is ideal in value — converter
+non-idealities relevant to the paper's study enter through the crossbar's
+write noise and the ADC's quantization — but it owns the digital/analog
+scaling so the crossbar can work purely in conductances and volts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DacArray:
+    """An array of row DACs.
+
+    Attributes:
+        bits: input slice width converted per step (1 in the paper).
+        read_voltage: full-scale output voltage (0.5 V, Section 6.1).
+    """
+
+    bits: int = 1
+    read_voltage: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("DAC bits must be >= 1")
+        if self.read_voltage <= 0:
+            raise ValueError("read_voltage must be positive")
+
+    @property
+    def levels(self) -> int:
+        return 1 << self.bits
+
+    @property
+    def lsb_voltage(self) -> float:
+        """Voltage per input LSB."""
+        return self.read_voltage / (self.levels - 1)
+
+    def convert(self, slices: np.ndarray) -> np.ndarray:
+        """Convert digital input slices to row voltages.
+
+        Args:
+            slices: integer array with values in ``[0, 2**bits)``.
+
+        Returns:
+            Voltages, same shape as ``slices``.
+        """
+        arr = np.asarray(slices)
+        if np.any(arr < 0) or np.any(arr >= self.levels):
+            raise ValueError(
+                f"DAC input out of range [0, {self.levels}): "
+                f"min={arr.min()}, max={arr.max()}"
+            )
+        return arr.astype(np.float64) * self.lsb_voltage

@@ -1,0 +1,204 @@
+"""Matrix-Vector Multiplication Unit: bit-sliced 16-bit MVM (Section 3.2).
+
+An MVMU combines ``16 / bits_per_cell`` crossbars (8 with the paper's 2-bit
+cells) that hold the bit slices of one weight tile, co-located so they share
+the XbarIn registers and DAC array (Section 3.2.2).  Inputs are streamed
+bit-serially (``bits_per_input`` per step); partial column sums from every
+(input step, weight slice) pair are shifted and added to reconstruct the full
+16-bit x 16-bit dot products.
+
+Signedness: both weights and inputs use offset-binary encoding (value +
+2^15).  The cross terms introduced by the offsets are removed digitally
+using the per-column weight sums (a compile-time constant stored with the
+unit) and the input sum (computed on the fly) — the standard arrangement for
+signed arithmetic on unipolar conductances.
+
+The unit exposes two functionally identical paths:
+
+* :meth:`execute` — full analog emulation through
+  :class:`~repro.arch.crossbar.Crossbar` (DAC/ADC, write noise).
+* the ideal shortcut taken automatically when the model is bit-exact, which
+  computes the same integer product directly (orders of magnitude faster;
+  property tests in ``tests/test_mvmu.py`` check the equivalence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.crossbar import Crossbar, CrossbarModel
+from repro.fixedpoint import FixedPointFormat, bit_slices
+
+
+class MVMU:
+    """One matrix-vector multiplication unit.
+
+    Args:
+        model: device/converter parameters (dimension, cell bits, noise).
+        fmt: datapath fixed-point format (16-bit).
+        rng: random generator for write noise (shared across slices).
+    """
+
+    def __init__(self, model: CrossbarModel,
+                 fmt: FixedPointFormat | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        self.model = model
+        self.fmt = fmt if fmt is not None else FixedPointFormat()
+        if self.fmt.total_bits % model.bits_per_cell != 0:
+            raise ValueError("word width must be divisible by bits_per_cell")
+        if self.fmt.total_bits % model.bits_per_input != 0:
+            raise ValueError("word width must be divisible by bits_per_input")
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.num_slices = self.fmt.total_bits // model.bits_per_cell
+        self.num_input_steps = self.fmt.total_bits // model.bits_per_input
+        self._crossbars: list[Crossbar] = []
+        self._column_offset_sums: np.ndarray | None = None
+        self._matrix: np.ndarray | None = None
+
+    @property
+    def dim(self) -> int:
+        return self.model.dim
+
+    @property
+    def is_programmed(self) -> bool:
+        return self._matrix is not None
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The signed fixed-point matrix the unit was programmed with."""
+        if self._matrix is None:
+            raise RuntimeError("MVMU has not been programmed")
+        return self._matrix.copy()
+
+    def program(self, matrix: np.ndarray) -> None:
+        """Program a signed fixed-point weight tile (configuration time).
+
+        Args:
+            matrix: ``(dim, dim)`` signed integers (16-bit fixed point);
+                ``matrix[i, j]`` multiplies input *i* into output *j*.
+        """
+        arr = np.asarray(matrix, dtype=np.int64)
+        if arr.shape != (self.dim, self.dim):
+            raise ValueError(f"expected {(self.dim, self.dim)}, got {arr.shape}")
+        if np.any(arr < self.fmt.int_min) or np.any(arr > self.fmt.int_max):
+            raise ValueError("matrix values exceed the fixed-point range")
+
+        # Offset-binary encoding: value + 2^15 in [0, 2^16), NOT the two's
+        # complement pattern — the offset-cancellation algebra in dot()
+        # requires the true biased representation.
+        offset = 1 << (self.fmt.total_bits - 1)
+        unsigned = arr + offset
+        slices = bit_slices(unsigned, self.model.bits_per_cell,
+                            self.fmt.total_bits)
+        self._crossbars = []
+        for level_matrix in slices:
+            xbar = Crossbar(self.model, rng=self._rng)
+            xbar.program(level_matrix)
+            self._crossbars.append(xbar)
+        # Per-column sums of unsigned weights, used to cancel the input
+        # offset term digitally.  With noise, use the conductances actually
+        # programmed so the cancellation matches the analog array.
+        effective = self._effective_unsigned_matrix()
+        self._column_offset_sums = effective.sum(axis=0)
+        self._matrix = arr.copy()
+
+    def _effective_unsigned_matrix(self) -> np.ndarray:
+        """Unsigned weights implied by the programmed conductances."""
+        acc = np.zeros((self.dim, self.dim), dtype=np.float64)
+        for i, xbar in enumerate(self._crossbars):
+            acc += xbar.effective_levels() * float(
+                1 << (i * self.model.bits_per_cell))
+        return acc
+
+    def dot_ideal(self, inputs: np.ndarray) -> np.ndarray:
+        """Exact signed integer product ``inputs @ matrix`` (reference path)."""
+        if self._matrix is None:
+            raise RuntimeError("MVMU has not been programmed")
+        x = np.asarray(inputs, dtype=np.int64)
+        return x @ self._matrix
+
+    def dot(self, inputs: np.ndarray, force_analog: bool = False) -> np.ndarray:
+        """Full-precision dot products through the modelled analog path.
+
+        Args:
+            inputs: ``(dim,)`` signed fixed-point integers.
+            force_analog: skip the ideal-model shortcut and run the full
+                bit-sliced emulation (used by equivalence tests).
+
+        Returns:
+            ``(dim,)`` float column results at full precision (callers
+            rescale to the 16-bit format; see :meth:`execute`).
+        """
+        if self._matrix is None:
+            raise RuntimeError("MVMU has not been programmed")
+        x = np.asarray(inputs, dtype=np.int64)
+        if x.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {x.shape}")
+        if self.model.is_ideal and not force_analog:
+            return self.dot_ideal(x).astype(np.float64)
+
+        offset = 1 << (self.fmt.total_bits - 1)
+        unsigned_x = x + offset  # offset-binary, matching program()
+        input_steps = bit_slices(unsigned_x, self.model.bits_per_input,
+                                 self.fmt.total_bits)
+
+        # sum over input steps k and weight slices s of
+        #   column_sums(x_k, W_s) << (k*b_in + s*b_cell)
+        acc = np.zeros(self.dim, dtype=np.float64)
+        for k, x_step in enumerate(input_steps):
+            shift_k = k * self.model.bits_per_input
+            for s, xbar in enumerate(self._crossbars):
+                shift_s = s * self.model.bits_per_cell
+                partial = xbar.column_sums(x_step)
+                acc += partial * float(1 << (shift_k + shift_s))
+
+        # Remove offset-binary cross terms:
+        #   sum (ux-H)(uw-H) = sum ux*uw - H*sum(ux) - H*sum(uw) + n*H^2
+        input_sum = float(unsigned_x.sum())
+        weight_sums = self._column_offset_sums
+        n = float(self.dim)
+        h = float(offset)
+        return acc - h * weight_sums - h * input_sum + n * h * h
+
+    def execute(self, inputs: np.ndarray) -> np.ndarray:
+        """A complete MVM instruction's datapath: dot, rescale, saturate.
+
+        Both operands carry ``frac_bits`` fractional bits, so the product is
+        rescaled by ``>> frac_bits`` and saturated to the 16-bit range,
+        matching the VFU's multiply semantics.
+        """
+        full = self.dot(inputs)
+        scaled = np.floor(full / self.fmt.scale + 0.5)
+        return self.fmt.saturate(scaled.astype(np.int64))
+
+    @staticmethod
+    def shuffle_inputs(xbar_in: np.ndarray, filter: int, stride: int) -> np.ndarray:
+        """Logical input shuffling (Section 3.2.3).
+
+        Re-routes XbarIn registers to DACs with a *blocked rotation*: the
+        register vector is viewed as consecutive blocks of ``filter``
+        registers, and within every complete block DAC row ``k`` reads
+        register ``(k + stride) % filter``.  Trailing registers that do not
+        fill a block map identity.
+
+        This is exactly what sliding-window kernels need: each window row
+        keeps a circular buffer of column slices in one block; advancing
+        the window overwrites one slice per block and bumps the rotation,
+        with no physical data movement (~80% of the input is reused for a
+        5x5 filter at unit stride, Section 3.2.3).
+
+        Args:
+            xbar_in: the XbarIn register contents, ``(dim,)``.
+            filter: block (window-row buffer) length; 0 disables shuffling.
+            stride: rotation offset within each block.
+        """
+        x = np.asarray(xbar_in)
+        if filter <= 0:
+            return x.copy()
+        if filter > x.shape[0]:
+            raise ValueError(f"filter {filter} exceeds vector length {x.shape[0]}")
+        routed = x.copy()
+        rotation = (np.arange(filter) + stride) % filter
+        for base in range(0, x.shape[0] - filter + 1, filter):
+            routed[base:base + filter] = x[base + rotation]
+        return routed

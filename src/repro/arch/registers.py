@@ -1,0 +1,120 @@
+"""Per-core register file: XbarIn, XbarOut, and general-purpose registers.
+
+The three classes live in one flat index space (Section 5.4 describes their
+distinct read/write constraints, which the functional simulator enforces):
+
+* XbarIn — written by non-MVM instructions, read only by MVM;
+* XbarOut — written only by MVM, read by non-MVM instructions;
+* general purpose — read and written by non-MVM instructions, hosted in the
+  ROM-Embedded RAM structure alongside the transcendental LUTs.
+
+The class-constraint checks catch compiler register-allocation bugs early;
+they can be disabled for hand-written kernels that deliberately bend the
+rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.config import CoreConfig
+from repro.arch.rom_lut import RomEmbeddedRam
+from repro.isa.opcodes import AluOp, RegisterClass
+
+
+class RegisterAccessError(RuntimeError):
+    """An instruction accessed a register class it is not allowed to."""
+
+
+class RegisterFile:
+    """The register state of one core.
+
+    Args:
+        config: core configuration (sizes and layout).
+        enforce_classes: enforce the XbarIn/XbarOut access rules.
+    """
+
+    def __init__(self, config: CoreConfig, enforce_classes: bool = True) -> None:
+        self.config = config
+        self.enforce_classes = enforce_classes
+        self._data = np.zeros(config.num_registers, dtype=np.int64)
+        self.rom = RomEmbeddedRam(config.rom_lut_entries, config.fixed_point)
+        self.reads = {cls: 0 for cls in RegisterClass}
+        self.writes = {cls: 0 for cls in RegisterClass}
+
+    def _check_range(self, start: int, width: int) -> None:
+        if width < 1:
+            raise ValueError(f"vector width must be >= 1, got {width}")
+        if start < 0 or start + width > self.config.num_registers:
+            raise IndexError(
+                f"register range [{start}, {start + width}) exceeds the "
+                f"register space [0, {self.config.num_registers})"
+            )
+
+    def _classes_in_range(self, start: int, width: int) -> set[RegisterClass]:
+        classes = {self.config.register_class(start)}
+        classes.add(self.config.register_class(start + width - 1))
+        # A range can straddle at most adjacent classes given the layout.
+        if (start < self.config.xbar_in_size
+                and start + width > self.config.xbar_in_size):
+            classes.add(RegisterClass.XBAR_OUT)
+        return classes
+
+    def read(self, start: int, width: int = 1, from_mvm: bool = False) -> np.ndarray:
+        """Read ``width`` consecutive registers.
+
+        Args:
+            start: flat register index.
+            width: vector width.
+            from_mvm: True when the reader is the MVM unit (only MVM may
+                read XbarIn; only non-MVM readers may read XbarOut).
+        """
+        self._check_range(start, width)
+        classes = self._classes_in_range(start, width)
+        if self.enforce_classes:
+            if not from_mvm and RegisterClass.XBAR_IN in classes:
+                raise RegisterAccessError(
+                    f"non-MVM read of XbarIn registers at {start}")
+            if from_mvm and classes != {RegisterClass.XBAR_IN}:
+                raise RegisterAccessError(
+                    f"MVM read outside XbarIn registers at {start}")
+        for cls in classes:
+            self.reads[cls] += width
+        return self._data[start:start + width].copy()
+
+    def write(self, start: int, values: np.ndarray, from_mvm: bool = False) -> None:
+        """Write consecutive registers with a vector of fixed-point words."""
+        arr = np.atleast_1d(np.asarray(values, dtype=np.int64))
+        self._check_range(start, arr.size)
+        classes = self._classes_in_range(start, arr.size)
+        if self.enforce_classes:
+            if not from_mvm and RegisterClass.XBAR_OUT in classes:
+                raise RegisterAccessError(
+                    f"non-MVM write of XbarOut registers at {start}")
+            if from_mvm and classes != {RegisterClass.XBAR_OUT}:
+                raise RegisterAccessError(
+                    f"MVM write outside XbarOut registers at {start}")
+        fmt = self.config.fixed_point
+        if np.any(arr < fmt.int_min) or np.any(arr > fmt.int_max):
+            raise ValueError("register write exceeds the fixed-point range")
+        for cls in classes:
+            self.writes[cls] += arr.size
+        self._data[start:start + arr.size] = arr
+
+    def lut_evaluate(self, op: AluOp, values: np.ndarray) -> np.ndarray:
+        """Evaluate a transcendental through the embedded ROM."""
+        return self.rom.lookup(op, values)
+
+    def xbar_in_vector(self, mvmu: int) -> np.ndarray:
+        """The XbarIn register vector of one MVMU (MVM-unit access)."""
+        base = self.config.xbar_in_base(mvmu)
+        return self.read(base, self.config.mvmu_dim, from_mvm=True)
+
+    def write_xbar_out(self, mvmu: int, values: np.ndarray) -> None:
+        """Write one MVMU's result vector into XbarOut (MVM-unit access)."""
+        base = self.config.xbar_out_base(mvmu)
+        self.write(base, values, from_mvm=True)
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the whole register space (for tests/debugging)."""
+        return self._data.copy()

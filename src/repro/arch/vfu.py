@@ -1,0 +1,131 @@
+"""Vector Functional Unit with temporal SIMD (Section 3.3).
+
+The VFU has ``vfu_width`` lanes; vector instructions wider than that execute
+over multiple cycles while the operand steer unit streams register operands
+— *temporal SIMD*.  Functionally the whole vector is computed at once here;
+the cycle cost is ``ceil(vec_width / vfu_width)`` and is charged by the
+timing model (:meth:`cycles`).
+
+Arithmetic semantics: 16-bit fixed point with saturation; multiplies and
+divides rescale by the fractional bits; logical operations act on the raw
+two's-complement bit patterns.  Transcendentals delegate to the
+ROM-Embedded RAM LUTs owned by the register file.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.fixedpoint import FixedPointFormat
+from repro.isa.opcodes import AluOp
+
+LutEvaluator = Callable[[AluOp, np.ndarray], np.ndarray]
+
+
+class VectorFunctionalUnit:
+    """Executes ALU / ALUimm vector operations.
+
+    Args:
+        width: number of hardware lanes.
+        fmt: datapath fixed-point format.
+        lut: evaluator for transcendental ops (the register file's ROM).
+        rng: generator behind the RANDOM op (BM/RBM stochastic units).
+    """
+
+    def __init__(self, width: int, fmt: FixedPointFormat,
+                 lut: LutEvaluator | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        if width < 1:
+            raise ValueError("VFU width must be >= 1")
+        self.width = width
+        self.fmt = fmt
+        self._lut = lut
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.ops_executed = 0
+        self.cycles_busy = 0
+
+    def cycles(self, vec_width: int) -> int:
+        """Temporal-SIMD cycle cost of a ``vec_width`` operation."""
+        return max(1, math.ceil(vec_width / self.width))
+
+    def execute(self, op: AluOp, src1: np.ndarray,
+                src2: np.ndarray | None = None) -> np.ndarray:
+        """Compute ``op`` over ``src1`` (and ``src2`` for binary ops).
+
+        Args:
+            op: the ALU sub-operation.
+            src1: first operand vector (fixed-point integers).
+            src2: second operand vector, broadcastable to ``src1``; for
+                ALUimm the caller passes the broadcast immediate.
+
+        Returns:
+            Result vector, saturated to the fixed-point range.
+        """
+        a = np.asarray(src1, dtype=np.int64)
+        self.ops_executed += int(a.size)
+        self.cycles_busy += self.cycles(int(a.size))
+
+        if op.num_sources == 2:
+            if src2 is None:
+                raise ValueError(f"{op.name} needs two source operands")
+            b = np.asarray(src2, dtype=np.int64)
+        else:
+            b = None
+
+        return self._apply(op, a, b)
+
+    def _apply(self, op: AluOp, a: np.ndarray, b: np.ndarray | None) -> np.ndarray:
+        fmt = self.fmt
+        if op == AluOp.ADD:
+            return fmt.saturate(a + b)
+        if op == AluOp.SUB:
+            return fmt.saturate(a - b)
+        if op == AluOp.MUL:
+            return fmt.multiply(a, b)
+        if op == AluOp.DIV:
+            return fmt.divide(a, b)
+        if op == AluOp.SHL:
+            shift = np.clip(b, 0, fmt.total_bits - 1)
+            return fmt.wrap(fmt.to_unsigned(a) << shift)
+        if op == AluOp.SHR:
+            shift = np.clip(b, 0, fmt.total_bits - 1)
+            return a >> shift  # arithmetic shift on signed values
+        if op == AluOp.AND:
+            return fmt.from_unsigned(fmt.to_unsigned(a) & fmt.to_unsigned(b))
+        if op == AluOp.OR:
+            return fmt.from_unsigned(fmt.to_unsigned(a) | fmt.to_unsigned(b))
+        if op == AluOp.NOT:
+            return fmt.from_unsigned(~fmt.to_unsigned(a) & ((1 << fmt.total_bits) - 1))
+        if op == AluOp.RELU:
+            return np.maximum(a, 0)
+        if op == AluOp.MIN:
+            return np.minimum(a, b)
+        if op == AluOp.MAX:
+            return np.maximum(a, b)
+        if op == AluOp.RANDOM:
+            # Uniform fixed-point samples in [0, 1): the comparison source
+            # for stochastic Boltzmann-machine units.
+            return self._rng.integers(0, fmt.scale, size=a.shape, dtype=np.int64)
+        if op == AluOp.SUBSAMPLE:
+            factor = max(1, int(b.flat[0]) if b is not None and b.size else 2)
+            return a[::factor]
+        if op.is_transcendental:
+            return self._transcendental(op, a)
+        raise ValueError(f"VFU cannot execute {op.name}")
+
+    def _transcendental(self, op: AluOp, a: np.ndarray) -> np.ndarray:
+        if self._lut is None:
+            raise RuntimeError(
+                f"{op.name} requires a ROM LUT evaluator but none is attached")
+        if op == AluOp.LOG_SOFTMAX:
+            # dest = x - log(sum(exp(x))): exp and log through the LUTs,
+            # accumulation at full precision in the VFU adder tree.
+            exps = self._lut(AluOp.EXP, a)
+            total = int(np.sum(exps))
+            total = min(total, self.fmt.int_max)
+            log_total = self._lut(AluOp.LOG, np.array([total], dtype=np.int64))
+            return self.fmt.saturate(a - int(log_total[0]))
+        return self._lut(op, a)

@@ -1,0 +1,35 @@
+"""Baseline platform models (Table 4 systems, TPU, ISAAC, digital MVMU).
+
+The paper measures CPUs/GPUs with Torch7 and management-tool power meters;
+offline we model each platform with a calibrated roofline: batch-1 DNN
+inference is bound by weight traffic and per-kernel framework overhead,
+batch-N inference by the compute roofline.  Published peak FLOP/s, memory
+bandwidth, and TDP parameterize each platform; two global calibration
+constants (memory efficiency, per-kernel launch overhead) are shared by all
+platforms and documented in :mod:`repro.baselines.analytic`.
+"""
+
+from repro.baselines.platform import (
+    CPU_PLATFORMS,
+    GPU_PLATFORMS,
+    PLATFORMS,
+    PlatformSpec,
+)
+from repro.baselines.analytic import PlatformResult, estimate
+from repro.baselines.tpu import TPU_SPEC, tpu_best_efficiency
+from repro.baselines.isaac import ISAAC_METRICS, isaac_programmability
+from repro.baselines.digital_mvmu import digital_mvmu_comparison
+
+__all__ = [
+    "PlatformSpec",
+    "PLATFORMS",
+    "CPU_PLATFORMS",
+    "GPU_PLATFORMS",
+    "PlatformResult",
+    "estimate",
+    "TPU_SPEC",
+    "tpu_best_efficiency",
+    "ISAAC_METRICS",
+    "isaac_programmability",
+    "digital_mvmu_comparison",
+]

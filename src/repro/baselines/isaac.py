@@ -1,0 +1,56 @@
+"""ISAAC model (Tables 6 and 7).
+
+ISAAC is the application-specific memristor CNN accelerator PUMA is
+benchmarked against.  Its published metrics quantify the cost of PUMA's
+programmability: PUMA gives up ~21% power efficiency and ~29% area
+efficiency relative to ISAAC (Section 7.4.2) in exchange for running
+everything rather than CNNs only (Table 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IsaacMetrics:
+    name: str = "ISAAC"
+    year: int = 2016
+    technology: str = "CMOS(32nm)-Memristive"
+    clock_mhz: float = 1200.0
+    area_mm2: float = 85.4
+    power_w: float = 65.8
+    peak_tops: float = 69.53
+
+    @property
+    def peak_area_efficiency(self) -> float:
+        return self.peak_tops / self.area_mm2
+
+    @property
+    def peak_power_efficiency(self) -> float:
+        return self.peak_tops / self.power_w
+
+
+ISAAC_METRICS = IsaacMetrics()
+
+
+def isaac_programmability() -> dict[str, dict[str, str]]:
+    """The Table 7 programmability comparison."""
+    return {
+        "PUMA": {
+            "architecture": ("Instruction execution pipeline, flexible "
+                             "inter-core synchronization, vector functional "
+                             "unit, ROM-Embedded RAM"),
+            "programmability": ("Compiler-generated instructions "
+                                "(per tile & core)"),
+            "workloads": ("CNN, MLP, LSTM, RNN, GAN, BM, RBM, SVM, "
+                          "Linear Regression, Logistic Regression"),
+        },
+        "ISAAC": {
+            "architecture": ("Application specific state machine, "
+                             "sigmoid unit"),
+            "programmability": ("Manually configured state machine "
+                                "(per tile)"),
+            "workloads": "CNN",
+        },
+    }

@@ -1,0 +1,96 @@
+"""Platform catalog: the Table 4 systems with published specifications.
+
+Peak throughput is single-precision FMA throughput (the paper ran Torch7
+FP32 on CPUs/GPUs); memory bandwidth and TDP are vendor numbers.  Energy
+coefficients follow standard technology estimates: DDR4 ~15 pJ/bit, GDDR5
+~12 pJ/bit, HBM2 ~5 pJ/bit, and a per-FLOP core energy consistent with
+each chip's peak power at peak throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A CPU/GPU baseline platform.
+
+    Attributes:
+        name: platform name as used in the figures.
+        kind: ``"cpu"`` or ``"gpu"``.
+        peak_gflops: peak FP32 throughput (GFLOP/s).
+        mem_bandwidth_gbs: peak DRAM bandwidth (GB/s).
+        dram_pj_per_byte: DRAM access energy (pJ/byte).
+        flop_pj: dynamic energy per FLOP (pJ).
+        tdp_w: board/package power at load.
+        idle_fraction: fraction of TDP drawn while stalled on memory or
+            launch overhead (static + uncore power).
+        kernel_overhead_us: per-kernel launch + framework dispatch cost.
+        lstm_step_overhead_us: additional per-layer-per-step framework
+            cost of recurrent cells (the Torch7 rnn-style interpreter loop
+            that clones modules and dispatches the unfused gate/cell
+            kernels each time step — the dominant term in measured batch-1
+            LSTM inference).
+    """
+
+    name: str
+    kind: str
+    peak_gflops: float
+    mem_bandwidth_gbs: float
+    dram_pj_per_byte: float
+    flop_pj: float
+    tdp_w: float
+    idle_fraction: float = 0.35
+    kernel_overhead_us: float = 3.0
+    lstm_step_overhead_us: float = 300.0
+
+
+# Dual-socket Xeon E5-2650v3: 2 x 10 cores x 2.3 GHz x 16 FLOP/cycle.
+HASWELL = PlatformSpec(
+    name="Haswell", kind="cpu",
+    peak_gflops=736.0, mem_bandwidth_gbs=136.0,
+    dram_pj_per_byte=120.0, flop_pj=60.0, tdp_w=210.0,
+    idle_fraction=0.45, kernel_overhead_us=6.0,
+    lstm_step_overhead_us=400.0,
+)
+
+# Dual-socket Xeon Platinum 8180: 2 x 28 cores x 2.5 GHz x 32 FLOP/cycle.
+SKYLAKE = PlatformSpec(
+    name="Skylake", kind="cpu",
+    peak_gflops=4480.0, mem_bandwidth_gbs=238.0,
+    dram_pj_per_byte=120.0, flop_pj=45.0, tdp_w=410.0,
+    idle_fraction=0.45, kernel_overhead_us=6.0,
+    lstm_step_overhead_us=400.0,
+)
+
+# Tesla K80, single GK210 (the paper uses one of the two GPUs).
+KEPLER = PlatformSpec(
+    name="Kepler", kind="gpu",
+    peak_gflops=4370.0, mem_bandwidth_gbs=240.0,
+    dram_pj_per_byte=96.0, flop_pj=25.0, tdp_w=150.0,
+    idle_fraction=0.5, kernel_overhead_us=2.5,
+    lstm_step_overhead_us=320.0,
+)
+
+# GeForce Titan X (Maxwell).
+MAXWELL = PlatformSpec(
+    name="Maxwell", kind="gpu",
+    peak_gflops=6700.0, mem_bandwidth_gbs=336.0,
+    dram_pj_per_byte=96.0, flop_pj=15.0, tdp_w=250.0,
+    idle_fraction=0.5, kernel_overhead_us=2.0,
+    lstm_step_overhead_us=300.0,
+)
+
+# Tesla P100 (Pascal, HBM2).
+PASCAL = PlatformSpec(
+    name="Pascal", kind="gpu",
+    peak_gflops=10600.0, mem_bandwidth_gbs=732.0,
+    dram_pj_per_byte=40.0, flop_pj=10.0, tdp_w=250.0,
+    idle_fraction=0.5, kernel_overhead_us=1.5,
+    lstm_step_overhead_us=300.0,
+)
+
+CPU_PLATFORMS = {p.name: p for p in (HASWELL, SKYLAKE)}
+GPU_PLATFORMS = {p.name: p for p in (KEPLER, MAXWELL, PASCAL)}
+PLATFORMS: dict[str, PlatformSpec] = {**CPU_PLATFORMS, **GPU_PLATFORMS}

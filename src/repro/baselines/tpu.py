@@ -1,0 +1,107 @@
+"""Google TPU v1 model (Table 6 comparison).
+
+Published characteristics: 92 TOPS at 8-bit (23 TOPS scaled to 16-bit,
+Table 6 footnote), 34 GB/s DDR3 weight memory, 28 nm, 700 MHz, <= 331 mm²,
+~45 W.  The TPU streams weights from DRAM, so workloads without reuse are
+bound by the 34 GB/s weight bandwidth — the reason its effective
+area/power efficiency collapses on MLPs and LSTMs (Table 6's per-workload
+rows) while PUMA's stays at peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.spec import (
+    BYTES_PER_WORD,
+    ConvLayer,
+    DenseLayer,
+    LstmLayer,
+    WorkloadSpec,
+)
+
+
+@dataclass(frozen=True)
+class TpuSpec:
+    name: str = "TPU"
+    peak_tops_16b: float = 23.0
+    weight_bandwidth_gbs: float = 34.0
+    area_mm2: float = 330.0
+    power_w: float = 45.0
+    best_batch: int = 128
+
+    @property
+    def peak_area_efficiency(self) -> float:
+        return self.peak_tops_16b / self.area_mm2
+
+    @property
+    def peak_power_efficiency(self) -> float:
+        return self.peak_tops_16b / self.power_w
+
+
+TPU_SPEC = TpuSpec()
+
+# Measured TPU utilization per workload class (Jouppi et al., ISCA'17,
+# Table 3: MLP0 12.1%, LSTM0 3.7%, CNN0 78.2% of peak) — what the paper's
+# Table 6 "best AE/PE" rows for the TPU derive from.
+TPU_MEASURED_UTILIZATION = {"MLP": 0.121, "LSTM": 0.037, "CNN": 0.782}
+
+
+def tpu_measured_efficiency(workload_class: str,
+                            tpu: TpuSpec = TPU_SPEC) -> dict[str, float]:
+    """Best-case efficiency from the TPU paper's measured utilization."""
+    util = TPU_MEASURED_UTILIZATION[workload_class]
+    tops = tpu.peak_tops_16b * util
+    return {
+        "tops": tops,
+        "area_efficiency": tops / tpu.area_mm2,
+        "power_efficiency": tops / tpu.power_w,
+    }
+
+
+def tpu_effective_tops(spec: WorkloadSpec, batch: int = 128,
+                       tpu: TpuSpec = TPU_SPEC) -> float:
+    """Achieved TOPS on a workload at a given batch size.
+
+    Weight-stationary systolic execution: each layer's weights stream from
+    DRAM once per batch; recurrent layers repeat per time step (weights
+    re-stream each step because the 24 MiB on-chip buffer holds
+    activations, not multi-hundred-MB weight sets).
+    """
+    bw = tpu.weight_bandwidth_gbs * 1e9
+    peak = tpu.peak_tops_16b * 1e12
+    recurrent = spec.dnn_type in ("DeepLSTM", "WideLSTM", "RNN")
+
+    total_time = 0.0
+    total_ops = 0.0
+    for layer in spec.layers:
+        if isinstance(layer, LstmLayer):
+            invocations = spec.seq_len
+            macs = layer.macs
+        elif isinstance(layer, DenseLayer):
+            invocations = spec.seq_len if recurrent else 1
+            macs = layer.macs
+        elif isinstance(layer, ConvLayer):
+            invocations = 1
+            macs = layer.macs
+        else:
+            continue
+        ops = 2.0 * macs * batch
+        weight_time = layer.params * BYTES_PER_WORD / bw
+        compute_time = ops / peak
+        total_time += invocations * max(weight_time, compute_time)
+        total_ops += invocations * ops
+    if total_time == 0:
+        return 0.0
+    return total_ops / total_time / 1e12
+
+
+def tpu_best_efficiency(spec: WorkloadSpec, batch: int = 128,
+                        tpu: TpuSpec = TPU_SPEC) -> dict[str, float]:
+    """Best-batch area/power efficiency (the Table 6 per-workload rows)."""
+    tops = tpu_effective_tops(spec, batch, tpu)
+    return {
+        "tops": tops,
+        "area_efficiency": tops / tpu.area_mm2,
+        "power_efficiency": tops / tpu.power_w,
+    }

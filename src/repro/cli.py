@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report [EXHIBIT ...]`` — regenerate paper tables/figures (default all);
+* ``run GRAPH.json --input name=val,val,...`` — import a JSON graph
+  (see :mod:`repro.compiler.importer`), compile, simulate, print outputs
+  and run statistics;
+* ``disasm GRAPH.json`` — compile a graph and print the per-core/tile
+  assembly listings;
+* ``metrics`` — the Table 6 node metrics for the default configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.figures.runner import EXHIBITS, run_all
+
+    if not args.exhibits:
+        run_all(stream=sys.stdout)
+        return 0
+    by_name = {name.lower().replace(" ", ""): module
+               for name, module in EXHIBITS}
+    for requested in args.exhibits:
+        key = requested.lower().replace(" ", "").replace("_", "")
+        module = by_name.get(key)
+        if module is None:
+            print(f"unknown exhibit {requested!r}; choose from: "
+                  f"{', '.join(sorted(by_name))}", file=sys.stderr)
+            return 2
+        print(module.render())
+        print()
+    return 0
+
+
+def _parse_inputs(pairs: list[str]) -> dict[str, np.ndarray]:
+    inputs = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--input expects name=v1,v2,... got {pair!r}")
+        name, values = pair.split("=", 1)
+        inputs[name] = np.array([float(v) for v in values.split(",")])
+    return inputs
+
+
+def _compile_graph(path: str):
+    from repro import compile_model, default_config
+    from repro.compiler.importer import import_graph_file
+
+    config = default_config()
+    model = import_graph_file(path)
+    return config, compile_model(model, config)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import Simulator
+    from repro.fixedpoint import FixedPointFormat
+
+    fmt = FixedPointFormat()
+    config, compiled = _compile_graph(args.graph)
+    provided = _parse_inputs(args.input or [])
+    rng = np.random.default_rng(args.seed)
+    inputs = {}
+    for name, (_tile, _addr, length) in \
+            compiled.program.input_layout.items():
+        if name in provided:
+            if provided[name].size != length:
+                raise SystemExit(
+                    f"input {name!r} expects {length} values, got "
+                    f"{provided[name].size}")
+            inputs[name] = fmt.quantize(provided[name])
+        else:
+            inputs[name] = fmt.quantize(rng.normal(0, 0.3, size=length))
+            print(f"(input {name!r} not provided; using random values)")
+    sim = Simulator(config, compiled.program, seed=args.seed)
+    outputs = sim.run(inputs)
+    for name, values in outputs.items():
+        print(f"{name} = {np.array2string(fmt.dequantize(values), precision=4)}")
+    print()
+    print(sim.stats.summary())
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.isa.assembler import disassemble
+
+    _config, compiled = _compile_graph(args.graph)
+    for tile_id, tile in sorted(compiled.program.tiles.items()):
+        if tile.tile_instructions:
+            print(f"; ---- tile {tile_id} control stream")
+            print(disassemble(tile.tile_instructions, numbered=True))
+        for core_id, core in sorted(tile.cores.items()):
+            print(f"; ---- tile {tile_id} core {core_id}")
+            print(disassemble(core.instructions, numbered=True))
+    return 0
+
+
+def _cmd_metrics(_args: argparse.Namespace) -> int:
+    from repro.energy.area import node_metrics
+
+    metrics = node_metrics()
+    print(f"peak throughput : {metrics.peak_tops:.2f} TOPS/s")
+    print(f"area            : {metrics.area_mm2:.1f} mm2")
+    print(f"power           : {metrics.power_w:.1f} W")
+    print(f"area efficiency : {metrics.tops_per_mm2:.3f} TOPS/s/mm2")
+    print(f"power efficiency: {metrics.tops_per_w:.3f} TOPS/s/W")
+    print(f"weight capacity : {metrics.weight_capacity_bytes / 2**20:.0f} MB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PUMA reproduction: compile, simulate, and regenerate "
+                    "the paper's results.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="regenerate tables/figures")
+    report.add_argument("exhibits", nargs="*",
+                        help="e.g. table6 fig11 (default: all)")
+    report.set_defaults(fn=_cmd_report)
+
+    run = sub.add_parser("run", help="compile and simulate a JSON graph")
+    run.add_argument("graph", help="path to the graph description (JSON)")
+    run.add_argument("--input", action="append", metavar="NAME=V1,V2,...",
+                     help="input values (repeatable)")
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(fn=_cmd_run)
+
+    disasm = sub.add_parser("disasm",
+                            help="compile a JSON graph and print assembly")
+    disasm.add_argument("graph")
+    disasm.set_defaults(fn=_cmd_disasm)
+
+    metrics = sub.add_parser("metrics", help="Table 6 node metrics")
+    metrics.set_defaults(fn=_cmd_metrics)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+"""The PUMA compiler (Section 5).
+
+Translates models written against the high-level programming interface
+(Figure 7) into per-core and per-tile PUMA ISA streams:
+
+1. the frontend builds a computation graph (:mod:`repro.compiler.frontend`);
+2. tensors are tiled into MVMU-sized 2-D tiles and the graph is lowered to
+   segment-level tasks (:mod:`repro.compiler.tiling`);
+3. hierarchical graph partitioning places tasks onto MVMUs, cores, and
+   tiles (:mod:`repro.compiler.partition`);
+4. instruction scheduling linearizes the whole graph at once in reverse
+   postorder — low register pressure, deadlock-free — and coalesces
+   independent MVMs (:mod:`repro.compiler.schedule`,
+   :mod:`repro.compiler.coalesce`);
+5. code generation with integrated register allocation and spilling emits
+   the final ISA (:mod:`repro.compiler.codegen`,
+   :mod:`repro.compiler.regalloc`).
+
+Convolutional networks additionally use the loop-based lowering in
+:mod:`repro.compiler.cnn`.
+"""
+
+from repro.compiler.frontend import (
+    ConstMatrix,
+    InVector,
+    Model,
+    OutVector,
+    VectorExpr,
+    binarize,
+    concat,
+    exp,
+    log,
+    log_softmax,
+    maximum,
+    minimum,
+    random_like,
+    relu,
+    sigmoid,
+    tanh,
+)
+from repro.compiler.options import CompilerOptions
+from repro.compiler.compile import CompiledModel, compile_model
+
+__all__ = [
+    "Model",
+    "InVector",
+    "OutVector",
+    "ConstMatrix",
+    "VectorExpr",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "exp",
+    "log",
+    "log_softmax",
+    "maximum",
+    "minimum",
+    "concat",
+    "random_like",
+    "binarize",
+    "CompilerOptions",
+    "CompiledModel",
+    "compile_model",
+]

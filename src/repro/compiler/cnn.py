@@ -1,0 +1,594 @@
+"""Loop-based CNN lowering (Sections 2.3, 3.2.3, 5).
+
+Convolutional layers iterate a sliding window over the input; representing
+every position as straight-line code would bloat the instruction memory, so
+this lowering emits *loops* — the control-flow instructions (``jmp``,
+``brn``) and scalar address arithmetic (``alu-int``) whose presence in CNN
+code Figure 4 shows.
+
+Layout conventions:
+
+* feature maps are stored position-major: ``map[h][w][ch]`` flattened so a
+  conv window row is ``kernel * channels`` contiguous words;
+* each conv layer runs on one core, its window split across that core's
+  MVMUs in whole window-row chunks;
+* the loop runs over output rows (scalar counter + ``brn``); positions
+  within a row are unrolled, giving static per-position operands;
+* with ``input_shuffle`` enabled, XbarIn holds per-window-row circular
+  buffers: only the new column slice is loaded per position and the MVM's
+  filter/stride operands rotate the rows logically (Section 3.2.3) —
+  disabling it (the Table 8 ablation) reloads full window rows instead;
+* pooling runs on the preceding layer's core with wide vector MAX ops;
+* the dense tail uses one MVMU per weight tile, coalesced per core, with
+  partial sums reduced through shared memory.
+
+All inter-layer feature maps live in tile shared memory with persistent
+attribute counts: words become valid when the producing layer stores them,
+so consuming layers' loads naturally block until the data exists — the
+layers pipeline through the tile at row granularity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.config import PumaConfig
+from repro.isa import instruction as isa
+from repro.isa.opcodes import AluOp, BrnOp
+from repro.isa.program import CoreProgram, NodeProgram
+from repro.tile.attribute_buffer import PERSISTENT_COUNT
+from repro.workloads.cnn import CnnSpec
+from repro.workloads.spec import ConvLayer, DenseLayer, PoolLayer
+
+
+class CnnCompileError(RuntimeError):
+    """The CNN spec cannot be lowered onto the configured hardware."""
+
+
+@dataclass
+class CnnWeights:
+    """Randomly initialized parameters for a :class:`CnnSpec`."""
+
+    conv_kernels: dict[int, np.ndarray] = field(default_factory=dict)
+    conv_biases: dict[int, np.ndarray] = field(default_factory=dict)
+    dense_weights: dict[int, np.ndarray] = field(default_factory=dict)
+    dense_biases: dict[int, np.ndarray] = field(default_factory=dict)
+
+
+def init_weights(spec: CnnSpec) -> CnnWeights:
+    """Deterministic random parameters shared by codegen and reference."""
+    rng = np.random.default_rng(spec.seed)
+    weights = CnnWeights()
+    for idx, layer in enumerate(spec.layers):
+        if isinstance(layer, ConvLayer):
+            fan_in = layer.window
+            weights.conv_kernels[idx] = rng.normal(
+                0, 1.0 / np.sqrt(fan_in),
+                size=(layer.window, layer.out_channels))
+            weights.conv_biases[idx] = rng.normal(
+                0, 0.05, size=layer.out_channels)
+        elif isinstance(layer, DenseLayer):
+            weights.dense_weights[idx] = rng.normal(
+                0, 1.0 / np.sqrt(layer.in_features),
+                size=(layer.in_features, layer.out_features))
+            weights.dense_biases[idx] = rng.normal(
+                0, 0.05, size=layer.out_features)
+    return weights
+
+
+def cnn_reference(spec: CnnSpec, image: np.ndarray) -> np.ndarray:
+    """Float reference of the compiled CNN (same weights, same layouts).
+
+    Args:
+        image: ``(in_h, in_w, in_channels)`` input (position-major).
+    """
+    weights = init_weights(spec)
+    x = np.asarray(image, dtype=np.float64)
+    for idx, layer in enumerate(spec.layers):
+        if isinstance(layer, ConvLayer):
+            if layer.padding:
+                raise CnnCompileError("padding is not supported by the "
+                                      "loop lowering")
+            h, w = layer.out_h, layer.out_w
+            k, c = layer.kernel, layer.in_channels
+            out = np.zeros((h, w, layer.out_channels))
+            kern = weights.conv_kernels[idx]
+            for r in range(h):
+                for col in range(w):
+                    window = x[r * layer.stride:r * layer.stride + k,
+                               col * layer.stride:col * layer.stride + k, :]
+                    out[r, col] = window.reshape(k * k * c) @ kern
+            out += weights.conv_biases[idx]
+            x = np.maximum(out, 0) if layer.activation == "relu" else out
+        elif isinstance(layer, PoolLayer):
+            h, w = layer.out_h, layer.out_w
+            out = np.zeros((h, w, layer.channels))
+            for r in range(h):
+                for col in range(w):
+                    window = x[r * layer.stride:r * layer.stride + layer.size,
+                               col * layer.stride:col * layer.stride
+                               + layer.size, :]
+                    out[r, col] = window.max(axis=(0, 1))
+            x = out
+        elif isinstance(layer, DenseLayer):
+            flat = x.reshape(-1)
+            x = flat @ weights.dense_weights[idx] + weights.dense_biases[idx]
+            if layer.activation == "relu":
+                x = np.maximum(x, 0)
+        else:
+            raise CnnCompileError(f"unsupported layer {layer!r}")
+    return np.asarray(x, dtype=np.float64).reshape(-1)
+
+
+@dataclass
+class CnnCompiled:
+    """The compiled CNN program plus layer placement info."""
+
+    program: NodeProgram
+    spec: CnnSpec
+    loads_emitted: int = 0
+    load_words_emitted: int = 0
+    mvm_instructions: int = 0
+
+
+class _CoreEmitter:
+    """Manual instruction emission onto one core with bump registers."""
+
+    def __init__(self, prog: CoreProgram, config: PumaConfig) -> None:
+        self.prog = prog
+        self.config = config.core
+        self._next_gpr = self.config.general_base
+        self._limit = self.config.general_base + self.config.num_general_registers
+
+    def gpr(self, width: int) -> int:
+        """Reserve ``width`` general registers for the core's lifetime."""
+        base = self._next_gpr
+        if base + width > self._limit:
+            raise CnnCompileError(
+                f"core register file exhausted ({width} more words needed)")
+        self._next_gpr += width
+        return base
+
+    def emit(self, instr: isa.Instruction) -> None:
+        self.prog.append(instr)
+
+    @property
+    def pc(self) -> int:
+        return len(self.prog.instructions)
+
+
+class CnnCompiler:
+    """Compiles a :class:`CnnSpec` into a single-tile NodeProgram."""
+
+    def __init__(self, spec: CnnSpec, config: PumaConfig | None = None,
+                 input_shuffle: bool = True) -> None:
+        self.spec = spec
+        self.config = config if config is not None else PumaConfig()
+        self.input_shuffle = input_shuffle
+        self.weights = init_weights(spec)
+        self.fmt = self.config.core.fixed_point
+        self.program = NodeProgram(name=spec.name)
+        self.tile = self.program.tile(0)
+        self._next_mem = 0
+        self._next_core = 0
+        self.result = CnnCompiled(self.program, spec)
+
+    # -- resource helpers ---------------------------------------------------
+
+    def _alloc_mem(self, words: int) -> int:
+        base = self._next_mem
+        if base + words > self.config.tile.shared_memory_words:
+            raise CnnCompileError("tile shared memory exhausted")
+        self._next_mem += words
+        return base
+
+    def _new_core(self) -> tuple[int, _CoreEmitter]:
+        core_id = self._next_core
+        if core_id >= self.config.tile.num_cores:
+            raise CnnCompileError(
+                f"CNN needs more than {self.config.tile.num_cores} cores; "
+                f"multi-tile CNN lowering is not implemented")
+        self._next_core += 1
+        return core_id, _CoreEmitter(self.tile.core(core_id), self.config)
+
+    def _add_const(self, values: np.ndarray) -> int:
+        addr = self._alloc_mem(values.size)
+        self.program.const_memory.setdefault(0, []).append(
+            (addr, self.fmt.quantize(values)))
+        return addr
+
+    # -- top level ------------------------------------------------------------
+
+    def compile(self) -> CnnCompiled:
+        spec = self.spec
+        in_words = spec.in_h * spec.in_w * spec.in_channels
+        image_addr = self._alloc_mem(in_words)
+        self.program.input_layout["image"] = (0, image_addr, in_words)
+
+        cur_addr = image_addr
+        cur_shape = (spec.in_h, spec.in_w, spec.in_channels)
+        emitter: _CoreEmitter | None = None
+        for idx, layer in enumerate(spec.layers):
+            if isinstance(layer, ConvLayer):
+                core_id, emitter = self._new_core()
+                out_words = layer.out_h * layer.out_w * layer.out_channels
+                out_addr = self._alloc_mem(out_words)
+                self._emit_conv(emitter, core_id, idx, layer, cur_addr,
+                                out_addr)
+                cur_addr = out_addr
+                cur_shape = (layer.out_h, layer.out_w, layer.out_channels)
+            elif isinstance(layer, PoolLayer):
+                if emitter is None:
+                    _, emitter = self._new_core()
+                out_words = layer.out_h * layer.out_w * layer.channels
+                out_addr = self._alloc_mem(out_words)
+                self._emit_pool(emitter, layer, cur_addr, out_addr)
+                cur_addr = out_addr
+                cur_shape = (layer.out_h, layer.out_w, layer.channels)
+            elif isinstance(layer, DenseLayer):
+                cur_addr = self._emit_dense(idx, layer, cur_addr)
+                cur_shape = (1, 1, layer.out_features)
+            else:
+                raise CnnCompileError(f"unsupported layer {layer!r}")
+
+        out_words = cur_shape[0] * cur_shape[1] * cur_shape[2]
+        self.program.output_layout["out"] = (0, cur_addr, out_words)
+        for core_prog in self.tile.cores.values():
+            core_prog.append(isa.hlt())
+        return self.result
+
+    # -- conv -----------------------------------------------------------------
+
+    def _conv_chunk_plan(self, layer: ConvLayer) -> list[list[int]]:
+        """Assign window-row chunks (length kernel*in_channels) to MVMUs."""
+        dim = self.config.core.mvmu_dim
+        chunk_len = layer.kernel * layer.in_channels
+        if chunk_len > dim:
+            raise CnnCompileError(
+                f"window row of {chunk_len} words exceeds the "
+                f"{dim}-row MVMU")
+        per_mvmu = dim // chunk_len
+        chunks = list(range(layer.kernel))
+        plan = [chunks[i:i + per_mvmu]
+                for i in range(0, layer.kernel, per_mvmu)]
+        if len(plan) > self.config.core.num_mvmus:
+            raise CnnCompileError(
+                f"conv window needs {len(plan)} MVMUs but a core has "
+                f"{self.config.core.num_mvmus}")
+        return plan
+
+    def _conv_weight_blocks(self, layer: ConvLayer, kernel: np.ndarray,
+                            plan: list[list[int]]) -> list[np.ndarray]:
+        """Per-MVMU weight tiles matching the chunked XbarIn layout."""
+        dim = self.config.core.mvmu_dim
+        chunk_len = layer.kernel * layer.in_channels
+        blocks = []
+        for chunks in plan:
+            block = np.zeros((dim, dim), dtype=np.int64)
+            for slot, chunk in enumerate(chunks):
+                rows = self.fmt.quantize(
+                    kernel[chunk * chunk_len:(chunk + 1) * chunk_len, :])
+                base = slot * chunk_len
+                block[base:base + chunk_len, :layer.out_channels] = rows
+            blocks.append(block)
+        return blocks
+
+    def _emit_conv(self, em: _CoreEmitter, core_id: int, idx: int,
+                   layer: ConvLayer, in_addr: int, out_addr: int) -> None:
+        if layer.padding:
+            raise CnnCompileError("padded convolutions are not lowered")
+        c = layer.in_channels
+        k = layer.kernel
+        chunk_len = k * c
+        row_words = layer.in_w * c
+        out_row_words = layer.out_w * layer.out_channels
+        plan = self._conv_chunk_plan(layer)
+        blocks = self._conv_weight_blocks(
+            layer, self.weights.conv_kernels[idx], plan)
+        for mvmu, block in enumerate(blocks):
+            self.program.weights[(0, core_id, mvmu)] = block
+        mask = sum(1 << m for m in range(len(plan)))
+
+        bias_addr = self._add_const(self.weights.conv_biases[idx])
+        bias = em.gpr(layer.out_channels)
+        acc = em.gpr(layer.out_channels)
+        row = em.gpr(1)
+        row_limit = em.gpr(1)
+        in_base = em.gpr(1)
+        out_base = em.gpr(1)
+        in_pos = em.gpr(1)
+        out_pos = em.gpr(1)
+        block = em.gpr(1)
+        block_limit = em.gpr(1)
+
+        em.emit(isa.load(bias, bias_addr, vec_width=layer.out_channels)
+                .with_comment(f"conv{idx} bias"))
+        em.emit(isa.set_(row, 0))
+        em.emit(isa.set_(row_limit, layer.out_h))
+        em.emit(isa.set_(in_base, in_addr))
+        em.emit(isa.set_(out_base, out_addr))
+
+        c = layer.in_channels
+        k = layer.kernel
+        out_ch = layer.out_channels
+        use_shuffle = self.input_shuffle and layer.stride == 1
+
+        row_top = em.pc
+        if use_shuffle and layer.out_w > k:
+            # Peel block 0: full reload at col 0, steady cols 1..k-1, all
+            # addressed off in_base with static offsets.
+            self._emit_full_position(em, layer, plan, mask, in_base, 0,
+                                     out_base, 0, bias, acc, shuffled=True)
+            for j in range(1, min(k, layer.out_w)):
+                self._emit_steady_position(em, layer, plan, mask, in_base,
+                                           (j + k - 1) * c, j, out_base,
+                                           j * out_ch, bias, acc)
+            # Column-block loop: each iteration handles k steady positions.
+            # The body executes before the backward branch (do-while), so
+            # the loop is emitted only when at least one full block beyond
+            # the peeled one exists.
+            num_blocks = layer.out_w // k
+            if num_blocks > 1:
+                em.emit(isa.alu_int(AluOp.ADD, in_pos, in_base, imm=k * c,
+                                    imm_mode=True))
+                em.emit(isa.alu_int(AluOp.ADD, out_pos, out_base,
+                                    imm=k * out_ch, imm_mode=True))
+                em.emit(isa.set_(block, 1))
+                em.emit(isa.set_(block_limit, num_blocks))
+                col_top = em.pc
+                for j in range(k):
+                    # col = block*k + j; slot/rotation depend on j only.
+                    self._emit_steady_position(em, layer, plan, mask, in_pos,
+                                               (j + k - 1) * c, j, out_pos,
+                                               j * out_ch, bias, acc)
+                em.emit(isa.alu_int(AluOp.ADD, in_pos, in_pos, imm=k * c,
+                                    imm_mode=True))
+                em.emit(isa.alu_int(AluOp.ADD, out_pos, out_pos,
+                                    imm=k * out_ch, imm_mode=True))
+                em.emit(isa.alu_int(AluOp.ADD, block, block, imm=1,
+                                    imm_mode=True))
+                em.emit(isa.brn(BrnOp.LT, block, block_limit, col_top)
+                        .with_comment(f"conv{idx} column-block loop"))
+            # Remainder columns: full reloads, shuffle-free.
+            for col in range(num_blocks * k, layer.out_w):
+                self._emit_full_position(em, layer, plan, mask, in_base,
+                                         col * c, out_base, col * out_ch,
+                                         bias, acc, shuffled=False)
+        else:
+            # One position per column-loop iteration, full reload each time.
+            em.emit(isa.alu_int(AluOp.ADD, in_pos, in_base, imm=0,
+                                imm_mode=True))
+            em.emit(isa.alu_int(AluOp.ADD, out_pos, out_base, imm=0,
+                                imm_mode=True))
+            em.emit(isa.set_(block, 0))
+            em.emit(isa.set_(block_limit, layer.out_w))
+            col_top = em.pc
+            self._emit_full_position(em, layer, plan, mask, in_pos, 0,
+                                     out_pos, 0, bias, acc, shuffled=False)
+            em.emit(isa.alu_int(AluOp.ADD, in_pos, in_pos,
+                                imm=layer.stride * c, imm_mode=True))
+            em.emit(isa.alu_int(AluOp.ADD, out_pos, out_pos, imm=out_ch,
+                                imm_mode=True))
+            em.emit(isa.alu_int(AluOp.ADD, block, block, imm=1,
+                                imm_mode=True))
+            em.emit(isa.brn(BrnOp.LT, block, block_limit, col_top)
+                    .with_comment(f"conv{idx} column loop"))
+
+        em.emit(isa.alu_int(AluOp.ADD, row, row, imm=1, imm_mode=True))
+        em.emit(isa.alu_int(AluOp.ADD, in_base, in_base,
+                            imm=layer.stride * row_words, imm_mode=True))
+        em.emit(isa.alu_int(AluOp.ADD, out_base, out_base,
+                            imm=out_row_words, imm_mode=True))
+        em.emit(isa.brn(BrnOp.LT, row, row_limit, row_top)
+                .with_comment(f"conv{idx} row loop"))
+
+    def _emit_full_position(self, em: _CoreEmitter, layer: ConvLayer,
+                            plan: list[list[int]], mask: int, addr_reg: int,
+                            col_words: int, out_reg: int, out_off: int,
+                            bias: int, acc: int, shuffled: bool) -> None:
+        """One window position with a full window reload.
+
+        Loads land in natural chunk order; when ``shuffled``, the position's
+        column is a multiple of the kernel size, so natural order satisfies
+        the circular-buffer invariant with rotation 0.
+        """
+        c = layer.in_channels
+        chunk_len = layer.kernel * c
+        row_words = layer.in_w * c
+        cfg = self.config.core
+        for m, chunks in enumerate(plan):
+            xbase = cfg.xbar_in_base(m)
+            for s, chunk in enumerate(chunks):
+                em.emit(isa.load(xbase + s * chunk_len,
+                                 chunk * row_words + col_words,
+                                 vec_width=chunk_len,
+                                 addr_reg=addr_reg, reg_indirect=True))
+                self.result.loads_emitted += 1
+                self.result.load_words_emitted += chunk_len
+        if shuffled:
+            em.emit(isa.mvm(mask, filter=chunk_len, stride=0))
+        else:
+            em.emit(isa.mvm(mask))
+        self.result.mvm_instructions += 1
+        self._emit_reduce_store(em, layer, plan, bias, acc, out_reg, out_off)
+
+    def _emit_steady_position(self, em: _CoreEmitter, layer: ConvLayer,
+                              plan: list[list[int]], mask: int,
+                              addr_reg: int, newcol_words: int, phase: int,
+                              out_reg: int, out_off: int,
+                              bias: int, acc: int) -> None:
+        """One sliding position: load only the new column slice per window
+        row into the circular-buffer slot, rotate via filter/stride."""
+        c = layer.in_channels
+        k = layer.kernel
+        chunk_len = k * c
+        row_words = layer.in_w * c
+        cfg = self.config.core
+        slot = (phase + k - 1) % k
+        for m, chunks in enumerate(plan):
+            xbase = cfg.xbar_in_base(m)
+            for s, chunk in enumerate(chunks):
+                em.emit(isa.load(xbase + s * chunk_len + slot * c,
+                                 chunk * row_words + newcol_words,
+                                 vec_width=c,
+                                 addr_reg=addr_reg, reg_indirect=True))
+                self.result.loads_emitted += 1
+                self.result.load_words_emitted += c
+        em.emit(isa.mvm(mask, filter=chunk_len, stride=phase * c))
+        self.result.mvm_instructions += 1
+        self._emit_reduce_store(em, layer, plan, bias, acc, out_reg, out_off)
+
+    def _emit_reduce_store(self, em: _CoreEmitter, layer: ConvLayer,
+                           plan: list[list[int]], bias: int, acc: int,
+                           out_reg: int, out_off: int) -> None:
+        """Reduce MVMU partials, add bias, apply ReLU, store the pixel."""
+        cfg = self.config.core
+        out_ch = layer.out_channels
+        first_out = cfg.xbar_out_base(0)
+        if len(plan) == 1:
+            em.emit(isa.alu(AluOp.ADD, acc, first_out, bias,
+                            vec_width=out_ch))
+        else:
+            em.emit(isa.alu(AluOp.ADD, acc, first_out,
+                            cfg.xbar_out_base(1), vec_width=out_ch))
+            for m in range(2, len(plan)):
+                em.emit(isa.alu(AluOp.ADD, acc, acc, cfg.xbar_out_base(m),
+                                vec_width=out_ch))
+            em.emit(isa.alu(AluOp.ADD, acc, acc, bias, vec_width=out_ch))
+        if layer.activation == "relu":
+            em.emit(isa.alu(AluOp.RELU, acc, acc, vec_width=out_ch))
+        em.emit(isa.store(acc, out_off, count=PERSISTENT_COUNT,
+                          vec_width=out_ch, addr_reg=out_reg,
+                          reg_indirect=True))
+
+    # -- pooling ----------------------------------------------------------------
+
+    def _emit_pool(self, em: _CoreEmitter, layer: PoolLayer,
+                   in_addr: int, out_addr: int) -> None:
+        if layer.size != 2 or layer.stride != 2:
+            raise CnnCompileError("only 2x2/2 max pooling is lowered")
+        c = layer.channels
+        row_words = layer.in_w * c
+        out_row_words = layer.out_w * c
+
+        r0 = em.gpr(row_words)
+        r1 = em.gpr(row_words)
+        row = em.gpr(1)
+        row_limit = em.gpr(1)
+        in_base = em.gpr(1)
+        out_base = em.gpr(1)
+
+        em.emit(isa.set_(row, 0))
+        em.emit(isa.set_(row_limit, layer.out_h))
+        em.emit(isa.set_(in_base, in_addr))
+        em.emit(isa.set_(out_base, out_addr))
+        loop_top = em.pc
+        em.emit(isa.load(r0, 0, vec_width=row_words, addr_reg=in_base,
+                         reg_indirect=True))
+        em.emit(isa.load(r1, row_words, vec_width=row_words,
+                         addr_reg=in_base, reg_indirect=True))
+        em.emit(isa.alu(AluOp.MAX, r0, r0, r1, vec_width=row_words))
+        # Horizontal max of adjacent column slices, written into r1's space.
+        for j in range(layer.out_w):
+            em.emit(isa.alu(AluOp.MAX, r1 + j * c, r0 + 2 * j * c,
+                            r0 + (2 * j + 1) * c, vec_width=c))
+        em.emit(isa.store(r1, 0, count=PERSISTENT_COUNT,
+                          vec_width=out_row_words, addr_reg=out_base,
+                          reg_indirect=True))
+        em.emit(isa.alu_int(AluOp.ADD, row, row, imm=1, imm_mode=True))
+        em.emit(isa.alu_int(AluOp.ADD, in_base, in_base,
+                            imm=2 * row_words, imm_mode=True))
+        em.emit(isa.alu_int(AluOp.ADD, out_base, out_base,
+                            imm=out_row_words, imm_mode=True))
+        em.emit(isa.brn(BrnOp.LT, row, row_limit, loop_top)
+                .with_comment("pool row loop"))
+
+    # -- dense tail ----------------------------------------------------------------
+
+    def _emit_dense(self, idx: int, layer: DenseLayer, in_addr: int) -> int:
+        dim = self.config.core.mvmu_dim
+        if layer.out_features > dim:
+            raise CnnCompileError(
+                "dense layers wider than one MVMU column tile are not "
+                "lowered here; use the general compiler")
+        weights = self.fmt.quantize(self.weights.dense_weights[idx])
+        bias_addr = self._add_const(self.weights.dense_biases[idx])
+        out_addr = self._alloc_mem(layer.out_features)
+
+        row_tiles = math.ceil(layer.in_features / dim)
+        per_core = self.config.core.num_mvmus
+        num_cores = math.ceil(row_tiles / per_core)
+        partial_addrs: list[int] = []
+        emitters: list[_CoreEmitter] = []
+        first_core_em: _CoreEmitter | None = None
+
+        tile_idx = 0
+        for core_ordinal in range(num_cores):
+            core_id, em = self._new_core()
+            emitters.append(em)
+            if first_core_em is None:
+                first_core_em = em
+            mask = 0
+            local = []
+            while tile_idx < row_tiles and len(local) < per_core:
+                mvmu = len(local)
+                start = tile_idx * dim
+                width = min(dim, layer.in_features - start)
+                block = np.zeros((dim, dim), dtype=np.int64)
+                block[:width, :layer.out_features] = weights[
+                    start:start + width, :]
+                self.program.weights[(0, core_id, mvmu)] = block
+                em.emit(isa.load(self.config.core.xbar_in_base(mvmu),
+                                 in_addr + start, vec_width=width)
+                        .with_comment(f"dense{idx} tile {tile_idx}"))
+                mask |= 1 << mvmu
+                local.append(mvmu)
+                tile_idx += 1
+            em.emit(isa.mvm(mask))
+            acc = em.gpr(layer.out_features)
+            xout0 = self.config.core.xbar_out_base(local[0])
+            if len(local) == 1:
+                em.emit(isa.copy(acc, xout0, vec_width=layer.out_features))
+            else:
+                em.emit(isa.alu(AluOp.ADD, acc, xout0,
+                                self.config.core.xbar_out_base(local[1]),
+                                vec_width=layer.out_features))
+                for m in local[2:]:
+                    em.emit(isa.alu(AluOp.ADD, acc, acc,
+                                    self.config.core.xbar_out_base(m),
+                                    vec_width=layer.out_features))
+            if core_ordinal == 0:
+                self._dense_acc = acc
+            else:
+                part = self._alloc_mem(layer.out_features)
+                partial_addrs.append(part)
+                em.emit(isa.store(acc, part, count=1,
+                                  vec_width=layer.out_features))
+
+        em = first_core_em
+        assert em is not None
+        acc = self._dense_acc
+        tmp = em.gpr(layer.out_features)
+        for part in partial_addrs:
+            em.emit(isa.load(tmp, part, vec_width=layer.out_features))
+            em.emit(isa.alu(AluOp.ADD, acc, acc, tmp,
+                            vec_width=layer.out_features))
+        em.emit(isa.load(tmp, bias_addr, vec_width=layer.out_features))
+        em.emit(isa.alu(AluOp.ADD, acc, acc, tmp,
+                        vec_width=layer.out_features))
+        if layer.activation == "relu":
+            em.emit(isa.alu(AluOp.RELU, acc, acc,
+                            vec_width=layer.out_features))
+        em.emit(isa.store(acc, out_addr, count=PERSISTENT_COUNT,
+                          vec_width=layer.out_features))
+        self.result.mvm_instructions += num_cores
+        return out_addr
+
+
+def compile_cnn(spec: CnnSpec, config: PumaConfig | None = None,
+                input_shuffle: bool = True) -> CnnCompiled:
+    """Compile a CNN spec into a runnable single-tile program."""
+    return CnnCompiler(spec, config, input_shuffle).compile()

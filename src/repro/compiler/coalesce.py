@@ -1,0 +1,271 @@
+"""MVM coalescing (Section 5.3.2).
+
+Independent MVM tiles mapped to different MVMUs of the same core are fused
+into one MVM instruction whose mask activates all of them, capturing the
+ILP between MVMUs that the in-order pipeline cannot discover by itself.
+
+The paper's strategy, followed here: first pair tiles that belong to the
+same large (logical) MVM operation — these are independent by construction;
+once exhausted, fuse remaining MVMs with the first eligible candidate found
+in traversal order, checking reachability so fusion never creates a
+dependence cycle.  Fusion happens *before* linearization; the scheduler
+treats a fused group as one unit whose inputs are the union of member
+inputs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.compiler.options import CompilerOptions
+from repro.compiler.partition import PartitionResult
+from repro.compiler.tiling import TaskKind, TiledGraph
+
+
+def _reachable(graph: TiledGraph, src: int, dst: int,
+               consumers: dict[int, list[int]]) -> bool:
+    """True when a dependence path src -> ... -> dst exists."""
+    if src == dst:
+        return True
+    seen = {src}
+    frontier = [src]
+    while frontier:
+        current = frontier.pop()
+        for nxt in consumers[current]:
+            if nxt == dst:
+                return True
+            if nxt not in seen and nxt <= dst:
+                # Task ids are topological, so only ids <= dst can reach dst.
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def coalesce(graph: TiledGraph, placement: PartitionResult,
+             options: CompilerOptions | None = None) -> list[list[int]]:
+    """Group task ids into coalesced units.
+
+    Returns:
+        A list of groups covering every task exactly once; non-MVM tasks
+        and unfused MVMs are singleton groups.  Members of a group share
+        one core and occupy distinct MVMUs.
+    """
+    options = options if options is not None else CompilerOptions()
+    group_of: dict[int, int] = {}
+    groups: list[list[int]] = []
+
+    def new_group(members: list[int]) -> None:
+        idx = len(groups)
+        groups.append(members)
+        for m in members:
+            group_of[m] = idx
+
+    if not options.coalesce_mvms:
+        for task in graph.tasks:
+            new_group([task.task_id])
+        return groups
+
+    consumers = graph.consumers()
+    mvms_by_core: dict[tuple[int, int], list[int]] = defaultdict(list)
+    for task in graph.tasks:
+        if task.kind == TaskKind.MVM_TILE:
+            mvms_by_core[placement.of(task.task_id).core_key].append(
+                task.task_id)
+
+    fused: set[int] = set()
+    planned: list[list[int]] = []
+    for _core_key, members in sorted(mvms_by_core.items()):
+        # Phase 1: fuse tiles of the same logical MVM (same matvec node) —
+        # independent by construction and on distinct MVMUs.
+        by_matvec: dict[int, list[int]] = defaultdict(list)
+        for tid in members:
+            by_matvec[graph.task(tid).node_id].append(tid)
+        for tids in by_matvec.values():
+            unfused = [t for t in tids if t not in fused]
+            while len(unfused) >= 2:
+                a = unfused.pop(0)
+                partner_idx = next(
+                    (k for k, b in enumerate(unfused)
+                     if placement.of(a).mvmu != placement.of(b).mvmu), None)
+                if partner_idx is None:
+                    continue
+                b = unfused.pop(partner_idx)
+                planned.append(sorted([a, b]))
+                fused.update((a, b))
+        # Phase 2: fuse the remainder with the first eligible candidate in
+        # traversal order, rejecting pairs connected by a dependence path
+        # or sharing a physical MVMU (re-invocations of the same weights
+        # execute sequentially and cannot fuse).
+        remaining = [t for t in members if t not in fused]
+        i = 0
+        while i < len(remaining):
+            a = remaining[i]
+            partner = None
+            for b in remaining[i + 1:]:
+                if placement.of(a).mvmu == placement.of(b).mvmu:
+                    continue
+                lo, hi = min(a, b), max(a, b)
+                if not _reachable(graph, lo, hi, consumers):
+                    partner = b
+                    break
+            if partner is None:
+                i += 1
+                continue
+            planned.append(sorted([a, partner]))
+            fused.update((a, partner))
+            remaining = [t for t in remaining if t not in fused]
+
+    planned = _drop_cyclic_fusions(graph, planned)
+
+    planned_ids = {m for g in planned for m in g}
+    plan_iter = iter(sorted(planned, key=lambda g: g[0]))
+    next_plan = next(plan_iter, None)
+    for task in graph.tasks:
+        tid = task.task_id
+        if tid in planned_ids:
+            if next_plan is not None and tid == next_plan[0]:
+                new_group(next_plan)
+                next_plan = next(plan_iter, None)
+            continue  # non-leading members were added with their leader
+        new_group([tid])
+    return groups
+
+
+def _drop_cyclic_fusions(graph: TiledGraph,
+                         planned: list[list[int]]) -> list[list[int]]:
+    """Drop fusions until the group-level dependence graph is acyclic.
+
+    Pairwise reachability checks cannot see cycles created by the
+    *combination* of several fusions; this post-pass detects them with a
+    topological sort and conservatively unfuses the latest-planned group on
+    a cycle (the paper instead updates dependence information after every
+    fusion — same effect, different bookkeeping).
+    """
+    planned = [list(g) for g in planned]
+    while planned:
+        group_of = {}
+        for gi, members in enumerate(planned):
+            for m in members:
+                group_of[m] = gi
+        n_singleton_base = len(planned)
+        # Assign implicit singleton groups to remaining tasks.
+        next_gi = n_singleton_base
+        for task in graph.tasks:
+            if task.task_id not in group_of:
+                group_of[task.task_id] = next_gi
+                next_gi += 1
+        edges: dict[int, set[int]] = {g: set() for g in range(next_gi)}
+        indegree = {g: 0 for g in range(next_gi)}
+        for task in graph.tasks:
+            gi = group_of[task.task_id]
+            for piece in task.inputs:
+                src = group_of[piece.task_id]
+                if src != gi and gi not in edges[src]:
+                    edges[src].add(gi)
+                    indegree[gi] += 1
+        ready = [g for g, d in indegree.items() if d == 0]
+        seen = 0
+        while ready:
+            g = ready.pop()
+            seen += 1
+            for nxt in edges[g]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if seen == next_gi:
+            return planned
+        planned.pop()  # unfuse the most recently planned group and retry
+    return planned
+
+
+def grouped_schedule(graph: TiledGraph, groups: list[list[int]],
+                     options: CompilerOptions | None = None) -> list[int]:
+    """Linearize the graph with coalesced groups as atomic units.
+
+    Produces a task order where group members are adjacent and every task
+    appears after all inputs of its whole group.
+    """
+    options = options if options is not None else CompilerOptions()
+    group_of = {}
+    for gi, members in enumerate(groups):
+        for m in members:
+            group_of[m] = gi
+
+    # Group-level dependence edges.
+    group_inputs: list[set[int]] = [set() for _ in groups]
+    for task in graph.tasks:
+        gi = group_of[task.task_id]
+        for piece in task.inputs:
+            src_group = group_of[piece.task_id]
+            if src_group != gi:
+                group_inputs[gi].add(src_group)
+
+    if options.schedule == "naive":
+        # Construction-order linearization (Figure 9(b)'s high-pressure
+        # baseline): Kahn's algorithm with a min-id priority queue — still
+        # topological over the *group* DAG, which plain construction order
+        # is not once groups merge tasks from distant graph regions.
+        import heapq
+
+        indegree = [0] * len(groups)
+        dependents: list[set[int]] = [set() for _ in groups]
+        for gi, inputs in enumerate(group_inputs):
+            indegree[gi] = len(inputs)
+            for src in inputs:
+                dependents[src].add(gi)
+        ready = [gi for gi, d in enumerate(indegree) if d == 0]
+        heapq.heapify(ready)
+        naive_order: list[int] = []
+        while ready:
+            gi = heapq.heappop(ready)
+            naive_order.append(gi)
+            for nxt in sorted(dependents[gi]):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    heapq.heappush(ready, nxt)
+        task_order = [tid for gi in naive_order for tid in groups[gi]]
+        _check_group_order(graph, task_order)
+        return task_order
+
+    # Depth-first postorder over the group DAG, outputs first.
+    roots = [group_of[t.task_id] for t in graph.tasks
+             if t.kind == TaskKind.OUTPUT_SEG]
+    roots += list(range(len(groups)))
+    visited = [False] * len(groups)
+    order: list[int] = []
+    for root in roots:
+        if visited[root]:
+            continue
+        visited[root] = True
+        stack: list[tuple[int, list[int], int]] = [
+            (root, sorted(group_inputs[root]), 0)]
+        while stack:
+            gi, inputs, idx = stack.pop()
+            advanced = False
+            while idx < len(inputs):
+                child = inputs[idx]
+                idx += 1
+                if not visited[child]:
+                    visited[child] = True
+                    stack.append((gi, inputs, idx))
+                    stack.append((child, sorted(group_inputs[child]), 0))
+                    advanced = True
+                    break
+            if not advanced and idx >= len(inputs):
+                order.append(gi)
+
+    task_order = [tid for gi in order for tid in groups[gi]]
+    _check_group_order(graph, task_order)
+    return task_order
+
+
+def _check_group_order(graph: TiledGraph, order: list[int]) -> None:
+    position = {tid: i for i, tid in enumerate(order)}
+    if len(position) != len(graph.tasks):
+        raise AssertionError("grouped schedule dropped or duplicated tasks")
+    for task in graph.tasks:
+        for piece in task.inputs:
+            if position[piece.task_id] >= position[task.task_id]:
+                raise AssertionError(
+                    f"task {task.task_id} ordered before input "
+                    f"{piece.task_id}")

@@ -1,0 +1,122 @@
+"""Top-level compile driver: model -> NodeProgram.
+
+``compile_model`` chains the backend passes — tiling, partitioning,
+coalescing, global scheduling, code generation with register allocation —
+and returns a :class:`CompiledModel` bundling the executable program with
+the statistics the evaluation reads (instruction mix, data-movement counts,
+spill rates, memory usage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.config import PumaConfig
+from repro.compiler.coalesce import coalesce, grouped_schedule
+from repro.compiler.codegen import CodegenStats, CodeGenerator
+from repro.compiler.frontend import Model
+from repro.compiler.options import CompilerOptions
+from repro.compiler.partition import PartitionResult, partition
+from repro.compiler.schedule import max_live_values
+from repro.compiler.tiling import TaskKind, TiledGraph, tile_model
+from repro.isa.program import NodeProgram
+
+
+@dataclass
+class CompiledModel:
+    """A compiled model plus compile-time artifacts and statistics."""
+
+    program: NodeProgram
+    graph: TiledGraph
+    placement: PartitionResult
+    order: list[int]
+    groups: list[list[int]]
+    codegen_stats: CodegenStats
+    memory_usage: dict[int, int] = field(default_factory=dict)
+    recycled_words: int = 0
+
+    @property
+    def num_mvmus_used(self) -> int:
+        return self.placement.num_mvmus
+
+    @property
+    def num_cores_used(self) -> int:
+        return self.placement.num_cores
+
+    @property
+    def num_tiles_used(self) -> int:
+        return self.placement.num_tiles
+
+    @property
+    def max_live_values(self) -> int:
+        """Scheduler register-pressure metric (Figure 9)."""
+        return max_live_values(self.graph, self.order)
+
+    @property
+    def coalesced_mvm_instructions(self) -> int:
+        """Number of MVM instructions after coalescing."""
+        return sum(
+            1 for g in self.groups
+            if self.graph.task(g[0]).kind == TaskKind.MVM_TILE)
+
+    def spilled_access_fraction(self) -> float:
+        """Table 8 register-pressure column."""
+        return self.codegen_stats.spilled_access_fraction
+
+    def instruction_memory_report(self, config: PumaConfig) -> list[str]:
+        """Streams exceeding their instruction memories (Table 3: 4 KB per
+        core, 8 KB per tile).  The simulator still runs oversized programs
+        — real deployments would re-partition across more cores — but the
+        compiler surfaces the pressure."""
+        from repro.isa.encoding import INSTRUCTION_BYTES
+
+        core_cap = config.core.instruction_memory_bytes
+        tile_cap = config.tile.tile_instruction_memory_bytes
+        over = []
+        for tile_id, tile in self.program.tiles.items():
+            tile_bytes = len(tile.tile_instructions) * INSTRUCTION_BYTES
+            if tile_bytes > tile_cap:
+                over.append(f"tile {tile_id}: {tile_bytes} B tile stream "
+                            f"> {tile_cap} B")
+            for core_id, core in tile.cores.items():
+                core_bytes = len(core.instructions) * INSTRUCTION_BYTES
+                if core_bytes > core_cap:
+                    over.append(f"tile {tile_id} core {core_id}: "
+                                f"{core_bytes} B > {core_cap} B")
+        return over
+
+
+def compile_model(model: Model, config: PumaConfig | None = None,
+                  options: CompilerOptions | None = None) -> CompiledModel:
+    """Compile a frontend model to PUMA ISA.
+
+    Args:
+        model: the model built against :mod:`repro.compiler.frontend`.
+        config: accelerator configuration (Table 3 defaults when omitted).
+        options: backend options / ablation switches.
+
+    Returns:
+        The compiled model; ``result.program`` runs on
+        :class:`repro.sim.Simulator`.
+    """
+    config = config if config is not None else PumaConfig()
+    options = options if options is not None else CompilerOptions()
+
+    graph = tile_model(model, config)
+    placement = partition(graph, config, options)
+    groups = coalesce(graph, placement, options)
+    order = grouped_schedule(graph, groups, options)
+    generator = CodeGenerator(graph, placement, order, groups, config,
+                              model.name, options)
+    program = generator.run()
+    return CompiledModel(
+        program=program,
+        graph=graph,
+        placement=placement,
+        order=order,
+        groups=groups,
+        codegen_stats=generator.stats,
+        memory_usage=generator.memory.usage(),
+        recycled_words=sum(p.recycled_words
+                           for p in generator.memory.tiles.values()),
+    )

@@ -1,0 +1,324 @@
+"""High-level programming interface (Figure 7).
+
+The interface mirrors the paper's C++ runtime-compiler library in Python::
+
+    m = Model.create("example")
+    x = InVector.create(m, M, "x")
+    y = InVector.create(m, M, "y")
+    z = OutVector.create(m, N, "z")
+    A = ConstMatrix.create(m, M, N, "A", weights_a)
+    B = ConstMatrix.create(m, M, N, "B", weights_b)
+    z.assign(tanh(A @ x + B @ y))
+    program = compile_model(m, config)
+
+Expressions build a DAG of :class:`GraphNode` records inside the model;
+``compile_model`` lowers the DAG through the backend passes.  Matrices are
+dense float arrays quantized to the datapath fixed-point format at compile
+time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.isa.opcodes import AluOp
+
+
+class NodeKind(enum.Enum):
+    """Computation-graph node kinds."""
+
+    INPUT = "input"
+    CONST = "const"           # constant vector (biases)
+    MATVEC = "matvec"         # x @ W with a ConstMatrix
+    EWISE = "ewise"           # elementwise binary (ALU two-source)
+    EWISE_IMM = "ewise_imm"   # elementwise with scalar immediate
+    UNARY = "unary"           # elementwise unary (relu, transcendentals)
+    RANDOM = "random"         # uniform [0,1) vector
+    CONCAT = "concat"
+    SLICE = "slice"
+    OUTPUT = "output"
+
+
+@dataclass
+class GraphNode:
+    """One node of the model's computation DAG."""
+
+    node_id: int
+    kind: NodeKind
+    length: int
+    inputs: list[int] = field(default_factory=list)
+    alu_op: Optional[AluOp] = None
+    name: str = ""
+    matrix_name: str = ""
+    values: Optional[np.ndarray] = None      # CONST payload (float)
+    immediate: float = 0.0                   # EWISE_IMM payload
+    slice_start: int = 0                     # SLICE payload
+
+
+class Model:
+    """A model under construction: the DAG plus named matrices."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: list[GraphNode] = []
+        self.matrices: dict[str, np.ndarray] = {}
+        self.input_names: dict[str, int] = {}
+        self.output_names: dict[str, int] = {}
+
+    @classmethod
+    def create(cls, name: str) -> "Model":
+        return cls(name)
+
+    def _add(self, kind: NodeKind, length: int, inputs: Sequence[int] = (),
+             **attrs) -> GraphNode:
+        if length <= 0:
+            raise ValueError(f"vector length must be positive, got {length}")
+        node = GraphNode(len(self.nodes), kind, length, list(inputs), **attrs)
+        self.nodes.append(node)
+        return node
+
+    def node(self, node_id: int) -> GraphNode:
+        return self.nodes[node_id]
+
+    def consumers(self) -> dict[int, list[int]]:
+        """Map node id -> ids of nodes that consume it."""
+        out: dict[int, list[int]] = {n.node_id: [] for n in self.nodes}
+        for n in self.nodes:
+            for src in n.inputs:
+                out[src].append(n.node_id)
+        return out
+
+    def validate(self) -> None:
+        """Check the DAG is well formed before compilation."""
+        if not self.output_names:
+            raise ValueError(f"model {self.name!r} has no outputs")
+        for n in self.nodes:
+            for src in n.inputs:
+                if not 0 <= src < n.node_id:
+                    raise ValueError(
+                        f"node {n.node_id} has a non-topological input {src}")
+
+
+@dataclass(frozen=True)
+class VectorExpr:
+    """A handle to a DAG node, with operator sugar."""
+
+    model: Model
+    node_id: int
+
+    @property
+    def length(self) -> int:
+        return self.model.node(self.node_id).length
+
+    def _binary(self, other: "VectorExpr | float | int", op: AluOp) -> "VectorExpr":
+        if isinstance(other, (int, float)):
+            node = self.model._add(NodeKind.EWISE_IMM, self.length,
+                                   [self.node_id], alu_op=op,
+                                   immediate=float(other))
+            return VectorExpr(self.model, node.node_id)
+        if other.model is not self.model:
+            raise ValueError("cannot mix vectors from different models")
+        if other.length != self.length:
+            raise ValueError(
+                f"elementwise length mismatch: {self.length} vs {other.length}")
+        node = self.model._add(NodeKind.EWISE, self.length,
+                               [self.node_id, other.node_id], alu_op=op)
+        return VectorExpr(self.model, node.node_id)
+
+    def __add__(self, other: "VectorExpr | float | int") -> "VectorExpr":
+        return self._binary(other, AluOp.ADD)
+
+    def __radd__(self, other: float | int) -> "VectorExpr":
+        return self._binary(other, AluOp.ADD)
+
+    def __sub__(self, other: "VectorExpr | float | int") -> "VectorExpr":
+        return self._binary(other, AluOp.SUB)
+
+    def __mul__(self, other: "VectorExpr | float | int") -> "VectorExpr":
+        return self._binary(other, AluOp.MUL)
+
+    def __rmul__(self, other: float | int) -> "VectorExpr":
+        return self._binary(other, AluOp.MUL)
+
+    def __truediv__(self, other: "VectorExpr | float | int") -> "VectorExpr":
+        return self._binary(other, AluOp.DIV)
+
+    def __getitem__(self, index: slice) -> "VectorExpr":
+        if not isinstance(index, slice) or index.step not in (None, 1):
+            raise TypeError("vectors support contiguous slices only")
+        start = index.start or 0
+        stop = index.stop if index.stop is not None else self.length
+        if not 0 <= start < stop <= self.length:
+            raise IndexError(f"slice [{start}:{stop}] out of range "
+                             f"for length {self.length}")
+        node = self.model._add(NodeKind.SLICE, stop - start, [self.node_id],
+                               slice_start=start)
+        return VectorExpr(self.model, node.node_id)
+
+
+class InVector(VectorExpr):
+    """A named model input."""
+
+    @classmethod
+    def create(cls, model: Model, length: int, name: str) -> "InVector":
+        if name in model.input_names:
+            raise ValueError(f"duplicate input name {name!r}")
+        node = model._add(NodeKind.INPUT, length, name=name)
+        model.input_names[name] = node.node_id
+        return cls(model, node.node_id)
+
+
+class OutVector:
+    """A named model output; bind a computation with :meth:`assign`."""
+
+    def __init__(self, model: Model, length: int, name: str) -> None:
+        self.model = model
+        self.length = length
+        self.name = name
+        self.node_id: Optional[int] = None
+
+    @classmethod
+    def create(cls, model: Model, length: int, name: str) -> "OutVector":
+        if name in model.output_names:
+            raise ValueError(f"duplicate output name {name!r}")
+        return cls(model, length, name)
+
+    def assign(self, expr: VectorExpr) -> None:
+        if self.node_id is not None:
+            raise ValueError(f"output {self.name!r} already assigned")
+        if expr.length != self.length:
+            raise ValueError(
+                f"output {self.name!r} expects length {self.length}, "
+                f"got {expr.length}")
+        node = self.model._add(NodeKind.OUTPUT, self.length, [expr.node_id],
+                               name=self.name)
+        self.node_id = node.node_id
+        self.model.output_names[self.name] = node.node_id
+
+
+class ConstMatrix:
+    """A constant weight matrix stored in crossbars.
+
+    The matrix maps a length-``rows`` vector to a length-``cols`` vector:
+    ``y = x @ W`` with ``W`` of shape ``(rows, cols)``.
+    """
+
+    def __init__(self, model: Model, rows: int, cols: int, name: str,
+                 values: np.ndarray) -> None:
+        self.model = model
+        self.rows = rows
+        self.cols = cols
+        self.name = name
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.shape != (rows, cols):
+            raise ValueError(
+                f"matrix {name!r} expects shape {(rows, cols)}, "
+                f"got {arr.shape}")
+        model.matrices[name] = arr
+
+    @classmethod
+    def create(cls, model: Model, rows: int, cols: int, name: str,
+               values: np.ndarray | None = None) -> "ConstMatrix":
+        if name in model.matrices:
+            raise ValueError(f"duplicate matrix name {name!r}")
+        if values is None:
+            values = np.zeros((rows, cols))
+        return cls(model, rows, cols, name, values)
+
+    @property
+    def values(self) -> np.ndarray:
+        return self.model.matrices[self.name]
+
+    def __matmul__(self, x: VectorExpr) -> VectorExpr:
+        if x.model is not self.model:
+            raise ValueError("matrix and vector belong to different models")
+        if x.length != self.rows:
+            raise ValueError(
+                f"matrix {self.name!r} expects input length {self.rows}, "
+                f"got {x.length}")
+        node = self.model._add(NodeKind.MATVEC, self.cols, [x.node_id],
+                               matrix_name=self.name)
+        return VectorExpr(self.model, node.node_id)
+
+    def __mul__(self, x: VectorExpr) -> VectorExpr:
+        """Figure 7 writes ``A*x``; it means matrix-vector multiply."""
+        return self.__matmul__(x)
+
+
+def const_vector(model: Model, values: np.ndarray, name: str = "") -> VectorExpr:
+    """A constant vector (e.g. a bias), materialized in tile memory."""
+    arr = np.atleast_1d(np.asarray(values, dtype=np.float64))
+    node = model._add(NodeKind.CONST, arr.size, values=arr, name=name)
+    return VectorExpr(model, node.node_id)
+
+
+def _unary(x: VectorExpr, op: AluOp) -> VectorExpr:
+    node = x.model._add(NodeKind.UNARY, x.length, [x.node_id], alu_op=op)
+    return VectorExpr(x.model, node.node_id)
+
+
+def relu(x: VectorExpr) -> VectorExpr:
+    return _unary(x, AluOp.RELU)
+
+
+def sigmoid(x: VectorExpr) -> VectorExpr:
+    return _unary(x, AluOp.SIGMOID)
+
+
+def tanh(x: VectorExpr) -> VectorExpr:
+    return _unary(x, AluOp.TANH)
+
+
+def exp(x: VectorExpr) -> VectorExpr:
+    return _unary(x, AluOp.EXP)
+
+
+def log(x: VectorExpr) -> VectorExpr:
+    return _unary(x, AluOp.LOG)
+
+
+def log_softmax(x: VectorExpr) -> VectorExpr:
+    return _unary(x, AluOp.LOG_SOFTMAX)
+
+
+def maximum(a: VectorExpr, b: VectorExpr) -> VectorExpr:
+    return a._binary(b, AluOp.MAX)
+
+
+def minimum(a: VectorExpr, b: VectorExpr) -> VectorExpr:
+    return a._binary(b, AluOp.MIN)
+
+
+def concat(parts: Sequence[VectorExpr]) -> VectorExpr:
+    """Concatenate vectors (e.g. ``[h, x]`` feeding an LSTM matrix)."""
+    if not parts:
+        raise ValueError("concat needs at least one vector")
+    model = parts[0].model
+    for p in parts:
+        if p.model is not model:
+            raise ValueError("cannot concat vectors from different models")
+    length = sum(p.length for p in parts)
+    node = model._add(NodeKind.CONCAT, length, [p.node_id for p in parts])
+    return VectorExpr(model, node.node_id)
+
+
+def random_like(x: VectorExpr) -> VectorExpr:
+    """A fresh uniform-[0,1) random vector of the same length as ``x``."""
+    node = x.model._add(NodeKind.RANDOM, x.length, [x.node_id])
+    return VectorExpr(x.model, node.node_id)
+
+
+def binarize(p: VectorExpr) -> VectorExpr:
+    """Stochastic binarization: 1 with probability ``p``, else 0.
+
+    Used by the Boltzmann-machine workloads.  Lowers to RANDOM, SUB, RELU,
+    DIV: ``d = p - rand; b = relu(d) / d`` which is exactly 1 when ``d > 0``
+    and 0 otherwise (0/0 is 0 in the datapath).
+    """
+    noise = random_like(p)
+    d = p - noise
+    return relu(d) / d

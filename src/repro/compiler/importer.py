@@ -1,0 +1,177 @@
+"""Graph import: build models from a declarative JSON-style description.
+
+The paper provides ONNX bindings "for further adoption and
+interoperability, enabling the compilation of models written in popular
+DNN frameworks" (Section 5.1).  ONNX itself is unavailable offline, so
+this module provides the equivalent adoption surface: a framework-neutral
+dictionary format (JSON-serializable) describing the computation graph,
+lowered onto the native frontend.
+
+Format::
+
+    {
+      "name": "my_model",
+      "inputs":  [{"name": "x", "length": 64}],
+      "outputs": [{"name": "out", "source": "logits"}],
+      "initializers": {"w0": [[...]], "b0": [...]},   # or numpy arrays
+      "nodes": [
+        {"op": "matvec",  "name": "h0", "input": "x", "weights": "w0"},
+        {"op": "add",     "name": "h1", "inputs": ["h0", "b0"]},
+        {"op": "relu",    "name": "h2", "input": "h1"},
+        {"op": "concat",  "name": "c",  "inputs": ["h2", "x"]},
+        {"op": "slice",   "name": "s",  "input": "c", "start": 0, "stop": 8},
+        {"op": "mul_imm", "name": "logits", "input": "s", "value": 0.5}
+      ]
+    }
+
+Supported ops: ``matvec``, ``add``, ``sub``, ``mul``, ``div``, ``maximum``,
+``minimum``, ``relu``, ``sigmoid``, ``tanh``, ``exp``, ``log``,
+``log_softmax``, ``concat``, ``slice``, ``add_imm``/``sub_imm``/
+``mul_imm``/``div_imm``, ``random``.  1-D initializers referenced as node
+inputs become constant vectors.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+import numpy as np
+
+from repro.compiler.frontend import (
+    ConstMatrix,
+    InVector,
+    Model,
+    OutVector,
+    VectorExpr,
+    concat,
+    const_vector,
+    exp,
+    log,
+    log_softmax,
+    maximum,
+    minimum,
+    random_like,
+    relu,
+    sigmoid,
+    tanh,
+)
+
+
+class GraphImportError(ValueError):
+    """The graph description is malformed."""
+
+
+_UNARY_OPS = {"relu": relu, "sigmoid": sigmoid, "tanh": tanh, "exp": exp,
+              "log": log, "log_softmax": log_softmax}
+_BINARY_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a / b,
+    "maximum": maximum,
+    "minimum": minimum,
+}
+_IMM_OPS = {
+    "add_imm": lambda a, v: a + v,
+    "sub_imm": lambda a, v: a - v,
+    "mul_imm": lambda a, v: a * v,
+    "div_imm": lambda a, v: a / v,
+}
+
+
+def import_graph(description: Mapping) -> Model:
+    """Build a frontend :class:`Model` from a graph description.
+
+    Args:
+        description: the dictionary format documented in the module
+            docstring (e.g. loaded from JSON).
+
+    Raises:
+        GraphImportError: on unknown ops, missing tensors, duplicate
+            names, or shape problems surfaced by the frontend.
+    """
+    name = description.get("name", "imported")
+    model = Model.create(name)
+    initializers = {
+        key: np.asarray(value, dtype=np.float64)
+        for key, value in description.get("initializers", {}).items()
+    }
+    tensors: dict[str, VectorExpr] = {}
+
+    def resolve(ref: str) -> VectorExpr:
+        if ref in tensors:
+            return tensors[ref]
+        if ref in initializers:
+            arr = initializers[ref]
+            if arr.ndim != 1:
+                raise GraphImportError(
+                    f"initializer {ref!r} used as a vector must be 1-D")
+            tensors[ref] = const_vector(model, arr, ref)
+            return tensors[ref]
+        raise GraphImportError(f"unknown tensor {ref!r}")
+
+    def define(node_name: str, expr: VectorExpr) -> None:
+        if node_name in tensors or node_name in initializers:
+            raise GraphImportError(f"duplicate tensor name {node_name!r}")
+        tensors[node_name] = expr
+
+    for spec in description.get("inputs", ()):
+        define(spec["name"],
+               InVector.create(model, int(spec["length"]), spec["name"]))
+
+    for node in description.get("nodes", ()):
+        op = node.get("op")
+        node_name = node.get("name")
+        if not op or not node_name:
+            raise GraphImportError(f"node missing op/name: {node!r}")
+        if op == "matvec":
+            weights_ref = node["weights"]
+            if weights_ref not in initializers:
+                raise GraphImportError(
+                    f"matvec weights {weights_ref!r} not an initializer")
+            w = initializers[weights_ref]
+            if w.ndim != 2:
+                raise GraphImportError(
+                    f"matvec weights {weights_ref!r} must be 2-D")
+            x = resolve(node["input"])
+            mat = ConstMatrix.create(model, w.shape[0], w.shape[1],
+                                     weights_ref, w)
+            define(node_name, mat @ x)
+        elif op in _UNARY_OPS:
+            define(node_name, _UNARY_OPS[op](resolve(node["input"])))
+        elif op in _BINARY_OPS:
+            a, b = (resolve(r) for r in node["inputs"])
+            define(node_name, _BINARY_OPS[op](a, b))
+        elif op in _IMM_OPS:
+            define(node_name, _IMM_OPS[op](resolve(node["input"]),
+                                           float(node["value"])))
+        elif op == "concat":
+            define(node_name, concat([resolve(r) for r in node["inputs"]]))
+        elif op == "slice":
+            src = resolve(node["input"])
+            define(node_name, src[int(node["start"]):int(node["stop"])])
+        elif op == "random":
+            define(node_name, random_like(resolve(node["like"])))
+        else:
+            raise GraphImportError(f"unknown op {op!r}")
+
+    outputs = description.get("outputs", ())
+    if not outputs:
+        raise GraphImportError("graph has no outputs")
+    for spec in outputs:
+        source = resolve(spec["source"])
+        out = OutVector.create(model, source.length, spec["name"])
+        out.assign(source)
+    return model
+
+
+def import_graph_json(text: str) -> Model:
+    """Build a model from a JSON string of the graph format."""
+    return import_graph(json.loads(text))
+
+
+def import_graph_file(path: str) -> Model:
+    """Build a model from a JSON file of the graph format."""
+    with open(path) as handle:
+        return import_graph(json.load(handle))

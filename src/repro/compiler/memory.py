@@ -1,0 +1,137 @@
+"""Compile-time tile memory planning with guarded location reuse.
+
+Each tile's shared memory is laid out statically: model inputs, constant
+vectors, inter-core values, received copies, spill slots, and model
+outputs get word ranges.  Transient values can be *recycled* — "reusing
+memory locations when there is pipelining" (Section 5.2) — but reuse
+across independently-executing cores needs a guard: the valid/count
+protocol tags words, not value versions, so a consumer of the *new* value
+at a reused address could race a late reader of the *old* one and steal
+its count.
+
+The sound rule (enforced by the code generator) is *stream confinement*,
+on both sides of the protocol:
+
+* all reads of the old copy and all planned reads of the new copy execute
+  on one and the same instruction stream (a core, or the tile control
+  unit): program order serializes old reads before new reads, and a new
+  read cannot consume the old value because the old reads exhausted its
+  count first (full-width reads only);
+* the old and new producers also share one stream (not necessarily the
+  readers'): the new store is emitted after the old one, so it cannot
+  steal the address before the old value was ever written.
+
+Under both conditions the only runtime interleaving is
+``old store -> old reads -> new store -> new reads`` with every edge
+either program order or a valid/count wait consistent with the global
+linearization — no deadlock, no version confusion.
+
+(Weaker guards fail in practice, not just in theory: a dataflow-ancestor
+condition lets a new-value reader on another core steal the old count,
+and reader-only confinement lets a new *producer* on another core claim
+the address before the old producer stores.  Both failures were observed
+under fuzzing; see tests/test_memory_reuse.py.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+# A stream: a core (tile, core) or the tile control unit ("tile-ctrl",
+# tile).  predicate(producer_stream, reader_streams) -> True when the new
+# copy may reuse a block with that provenance.
+Stream = tuple
+RecyclePredicate = Callable[[Stream, frozenset], bool]
+
+
+class TileMemoryOverflow(RuntimeError):
+    """A tile's data memory cannot hold the planned allocations."""
+
+
+@dataclass
+class _RetiredBlock:
+    start: int
+    length: int
+    producer_stream: Stream
+    reader_streams: frozenset
+
+
+@dataclass
+class TileMemoryPlanner:
+    """Word allocator for one tile's shared memory."""
+
+    tile_id: int
+    capacity_words: int
+    next_free: int = 0
+    recycled_words: int = 0
+    labels: dict[str, tuple[int, int]] = field(default_factory=dict)
+    _retired: list[_RetiredBlock] = field(default_factory=list)
+
+    def allocate(self, words: int, label: str = "",
+                 recycle_if: RecyclePredicate | None = None) -> int:
+        """Reserve ``words`` and return the base address.
+
+        With ``recycle_if``, a retired block of sufficient size whose
+        reader set satisfies the predicate is reused; otherwise (or when
+        none qualifies) the allocation bumps fresh space.
+        """
+        if words <= 0:
+            raise ValueError("allocation must be at least one word")
+        if recycle_if is not None:
+            for i, block in enumerate(self._retired):
+                if block.length >= words and recycle_if(
+                        block.producer_stream, block.reader_streams):
+                    base = block.start
+                    block.start += words
+                    block.length -= words
+                    if block.length == 0:
+                        del self._retired[i]
+                    self.recycled_words += words
+                    if label:
+                        self.labels[label] = (base, words)
+                    return base
+        base = self.next_free
+        if base + words > self.capacity_words:
+            raise TileMemoryOverflow(
+                f"tile {self.tile_id}: allocating {words} words at {base} "
+                f"exceeds the {self.capacity_words}-word data memory")
+        self.next_free += words
+        if label:
+            self.labels[label] = (base, words)
+        return base
+
+    def retire(self, start: int, words: int, producer_stream: Stream,
+               reader_streams: frozenset) -> None:
+        """Offer a range for reuse, tagged with its provenance."""
+        if words <= 0:
+            raise ValueError("retire of a non-positive range")
+        if start < 0 or start + words > self.next_free:
+            raise ValueError(
+                f"tile {self.tile_id}: retire of [{start}, {start + words})"
+                f" outside the allocated region")
+        self._retired.append(
+            _RetiredBlock(start, words, producer_stream, reader_streams))
+
+    @property
+    def words_used(self) -> int:
+        """High-water mark of the bump region (the memory footprint)."""
+        return self.next_free
+
+
+@dataclass
+class MemoryPlan:
+    """Planners for every tile a program touches."""
+
+    capacity_words: int
+    tiles: dict[int, TileMemoryPlanner] = field(default_factory=dict)
+
+    def tile(self, tile_id: int) -> TileMemoryPlanner:
+        if tile_id not in self.tiles:
+            self.tiles[tile_id] = TileMemoryPlanner(tile_id,
+                                                    self.capacity_words)
+        return self.tiles[tile_id]
+
+    def usage(self) -> dict[int, int]:
+        """Words used per tile (shared-memory sizing studies)."""
+        return {tid: p.words_used for tid, p in self.tiles.items()}

@@ -1,0 +1,44 @@
+"""Compiler options, including the ablation switches of Table 8."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Knobs controlling the backend passes.
+
+    Attributes:
+        partition: ``"affinity"`` uses the paper's placement priorities
+            (same-output, then same-input, then producer-consumer);
+            ``"random"`` shuffles MVM tiles before packing — the Table 8
+            graph-partitioning baseline.
+        coalesce_mvms: fuse independent MVMs on different MVMUs of a core
+            into one instruction (Section 5.3.2); disabling it is the
+            Table 8 MVM-coalescing baseline.
+        schedule: ``"reverse_postorder"`` is the paper's low-pressure
+            linearization (Section 5.3.1); ``"naive"`` linearizes in graph
+            construction order, the high-pressure baseline of Figure 9(b).
+        input_shuffle: let sliding-window (CNN) code use the MVM
+            filter/stride operands instead of re-copying reused inputs
+            (Section 3.2.3); the Table 8 input-shuffling ablation.
+        memory_reuse: recycle shared-memory locations whose values were
+            fully consumed, under the stream-confinement guard
+            (Section 5.2's "reusing memory locations when there is
+            pipelining"; see :mod:`repro.compiler.memory`).
+        seed: RNG seed for the random-partition baseline.
+    """
+
+    partition: str = "affinity"
+    coalesce_mvms: bool = True
+    schedule: str = "reverse_postorder"
+    input_shuffle: bool = True
+    memory_reuse: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.partition not in ("affinity", "random"):
+            raise ValueError(f"unknown partition mode {self.partition!r}")
+        if self.schedule not in ("reverse_postorder", "naive"):
+            raise ValueError(f"unknown schedule mode {self.schedule!r}")

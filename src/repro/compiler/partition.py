@@ -1,0 +1,153 @@
+"""Hierarchical graph partitioning (Section 5.2, Figure 8).
+
+MVM tiles are packed onto MVMUs, cores, and tiles in an order that realizes
+the paper's placement priorities: tiles that feed the same output segment
+("same outputs") are adjacent, tiles of the same matrix reading the same
+input segment come next to each other ("same inputs"), and consecutive
+matvecs of the model ("producer-consumer") pack into neighbouring
+cores/tiles.  The ``random`` mode shuffles the packing order — the Table 8
+baseline showing how much the affinity order saves in loads/stores/sends/
+receives.
+
+Non-MVM tasks are placed where their operands are produced: each task goes
+to the core that produces its first placed input, walking the graph in
+topological order.  Memory-resident tasks (inputs/constants) get a home
+tile chosen from their first consumer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.arch.config import PumaConfig
+from repro.compiler.options import CompilerOptions
+from repro.compiler.tiling import Task, TaskKind, TiledGraph
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where a task executes (or resides, for memory tasks)."""
+
+    tile: int
+    core: int = -1      # -1 for memory-resident tasks
+    mvmu: int = -1      # only MVM tiles occupy an MVMU
+
+    @property
+    def core_key(self) -> tuple[int, int]:
+        return (self.tile, self.core)
+
+
+@dataclass
+class PartitionResult:
+    """Placements plus occupancy statistics."""
+
+    placements: dict[int, Placement] = field(default_factory=dict)
+    num_tiles: int = 0
+    num_cores: int = 0
+    num_mvmus: int = 0
+
+    def of(self, task_id: int) -> Placement:
+        return self.placements[task_id]
+
+
+def _pack_mvm_tiles(order: list[Task], config: PumaConfig,
+                    result: PartitionResult) -> None:
+    """Assign MVM tiles to (tile, core, mvmu) slots in packing order.
+
+    Tile ids are global across the multi-node system; consecutive tiles
+    fill one node before spilling to the next, so the affinity order also
+    keeps inter-node traffic low.
+    """
+    mvmus_per_core = config.core.num_mvmus
+    cores_per_tile = config.tile.num_cores
+    max_tiles = config.total_tiles
+    # Invocations of the same weight block share one physical MVMU
+    # (weights are stationary; the LSTM re-fires its gate matrix every
+    # step rather than duplicating it).
+    slot_of_weights: dict[tuple, Placement] = {}
+    slot = 0
+    for task in order:
+        shared = (slot_of_weights.get(task.weight_key)
+                  if task.weight_key is not None else None)
+        if shared is not None:
+            result.placements[task.task_id] = shared
+            continue
+        mvmu = slot % mvmus_per_core
+        core = (slot // mvmus_per_core) % cores_per_tile
+        tile = slot // (mvmus_per_core * cores_per_tile)
+        if tile >= max_tiles:
+            raise ValueError(
+                f"model needs more than "
+                f"{max_tiles * cores_per_tile * mvmus_per_core} MVMUs, "
+                f"the {config.num_nodes}-node system's capacity")
+        placement = Placement(tile, core, mvmu)
+        result.placements[task.task_id] = placement
+        if task.weight_key is not None:
+            slot_of_weights[task.weight_key] = placement
+        slot += 1
+    result.num_mvmus = slot
+
+
+def partition(graph: TiledGraph, config: PumaConfig,
+              options: CompilerOptions | None = None) -> PartitionResult:
+    """Place every task of the tiled graph."""
+    options = options if options is not None else CompilerOptions()
+    result = PartitionResult()
+
+    mvm_tiles = [t for t in graph.tasks if t.kind == TaskKind.MVM_TILE]
+    # Affinity order: group by matvec output segment (same outputs
+    # adjacent), then by input segment (same inputs adjacent).  Tasks were
+    # created in (node, out_seg, in_seg) order, so sorting by matvec_key
+    # plus creation order realizes the paper's priorities.
+    order = sorted(mvm_tiles, key=lambda t: (t.matvec_key, t.task_id))
+    if options.partition == "random":
+        rng = random.Random(options.seed)
+        order = order[:]
+        rng.shuffle(order)
+    _pack_mvm_tiles(order, config, result)
+
+    # Compute tasks follow their operands; walk in topological (id) order.
+    for task in graph.tasks:
+        if task.kind == TaskKind.MVM_TILE:
+            continue
+        if task.kind in (TaskKind.INPUT_SEG, TaskKind.CONST_SEG):
+            continue  # resolved after consumers are placed
+        placed = None
+        for piece in task.inputs:
+            p = result.placements.get(piece.task_id)
+            if p is not None and p.core >= 0:
+                placed = p
+                break
+        if placed is None:
+            placed = Placement(0, 0)
+        result.placements[task.task_id] = Placement(placed.tile, placed.core)
+
+    # Memory-resident tasks live on the tile of their first consumer.
+    # All segments of one *input* share a home: the input vector occupies
+    # one contiguous block, so its layout must name a single tile.
+    consumers = graph.consumers()
+    input_home: dict[int, int] = {}
+    for task in graph.tasks:
+        if task.kind not in (TaskKind.INPUT_SEG, TaskKind.CONST_SEG):
+            continue
+        home = None
+        if task.kind == TaskKind.INPUT_SEG:
+            home = input_home.get(task.node_id)
+        if home is None:
+            home = 0
+            for consumer in consumers[task.task_id]:
+                p = result.placements.get(consumer)
+                if p is not None:
+                    home = p.tile
+                    break
+            if task.kind == TaskKind.INPUT_SEG:
+                input_home[task.node_id] = home
+        result.placements[task.task_id] = Placement(home)
+
+    used_cores = {p.core_key for p in result.placements.values()
+                  if p.core >= 0}
+    used_tiles = {p.tile for p in result.placements.values()}
+    result.num_cores = len(used_cores)
+    result.num_tiles = len(used_tiles)
+    return result

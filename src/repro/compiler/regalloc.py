@@ -1,0 +1,128 @@
+"""Register allocation support (Section 5.4).
+
+The allocator manages one core's general-purpose register space as a
+first-fit free list of contiguous ranges (values are vectors, so ranges —
+not single registers — are the allocation unit).  Code generation performs
+liveness itself (it knows every consumer's position from the global
+schedule) and calls :meth:`allocate`/:meth:`release`; when allocation
+fails, codegen picks a victim and spills it to tile memory, re-loading on
+demand — the events behind Table 8's "% accesses from spilled registers".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.config import CoreConfig
+
+
+class RegisterExhaustion(RuntimeError):
+    """No allocation is possible even after spilling everything legal."""
+
+
+@dataclass
+class AllocatorStats:
+    """Register-file pressure statistics for one core."""
+
+    allocations: int = 0
+    spill_stores: int = 0
+    spill_loads: int = 0
+    peak_words: int = 0
+    register_reads: int = 0
+    register_writes: int = 0
+
+    @property
+    def spilled_access_fraction(self) -> float:
+        """Fraction of register accesses served by spilled values —
+        the Table 8 register-pressure metric."""
+        total = self.register_reads + self.register_writes
+        spill = self.spill_loads + self.spill_stores
+        if total + spill == 0:
+            return 0.0
+        return spill / (total + spill)
+
+
+@dataclass
+class _FreeBlock:
+    start: int
+    length: int
+
+
+@dataclass
+class RegisterAllocator:
+    """First-fit range allocator over one core's general registers."""
+
+    config: CoreConfig
+    stats: AllocatorStats = field(default_factory=AllocatorStats)
+
+    def __post_init__(self) -> None:
+        self._base = self.config.general_base
+        self._capacity = self.config.num_general_registers
+        self._free: list[_FreeBlock] = [_FreeBlock(self._base, self._capacity)]
+        self._in_use = 0
+
+    @property
+    def words_in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def allocate(self, width: int) -> int | None:
+        """Reserve ``width`` contiguous registers; None when impossible.
+
+        Best-fit: the smallest adequate hole is used, so values dropped
+        into holes left by same-width predecessors refill them exactly —
+        the dominant pattern when vector widths repeat — which keeps
+        fragmentation from stranding free space between pinned operands.
+        """
+        if width <= 0:
+            raise ValueError("allocation width must be positive")
+        best = None
+        for i, block in enumerate(self._free):
+            if block.length >= width and (
+                    best is None or block.length < self._free[best].length):
+                best = i
+        if best is None:
+            return None
+        block = self._free[best]
+        start = block.start
+        block.start += width
+        block.length -= width
+        if block.length == 0:
+            del self._free[best]
+        self._in_use += width
+        self.stats.allocations += 1
+        self.stats.peak_words = max(self.stats.peak_words, self._in_use)
+        return start
+
+    def release(self, start: int, width: int) -> None:
+        """Return a range to the free list, coalescing neighbours."""
+        if width <= 0:
+            raise ValueError("release width must be positive")
+        if not (self._base <= start
+                and start + width <= self._base + self._capacity):
+            raise ValueError(
+                f"release of [{start}, {start + width}) outside the "
+                f"general-register space")
+        self._in_use -= width
+        new_block = _FreeBlock(start, width)
+        idx = 0
+        while idx < len(self._free) and self._free[idx].start < start:
+            idx += 1
+        self._free.insert(idx, new_block)
+        self._coalesce(max(0, idx - 1))
+
+    def _coalesce(self, idx: int) -> None:
+        while idx + 1 < len(self._free):
+            a, b = self._free[idx], self._free[idx + 1]
+            if a.start + a.length > b.start:
+                raise AssertionError("overlapping free blocks: double free?")
+            if a.start + a.length == b.start:
+                a.length += b.length
+                del self._free[idx + 1]
+            else:
+                idx += 1
+                if idx + 1 >= len(self._free):
+                    break

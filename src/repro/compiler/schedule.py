@@ -1,0 +1,105 @@
+"""Global instruction scheduling (Section 5.3).
+
+The whole task graph is linearized *at once* — not per core — so that the
+order each core/tile sees is the restriction of one global order.  With the
+blocking shared-memory protocol (Section 4.1.1), per-core linearizations
+that are mutually inconsistent can deadlock (Figure 10); a single global
+linear order is the paper's cure (Section 5.3.3).
+
+The order itself is a depth-first postorder over the dependence DAG
+("reverse postorder" in Figure 9's terms): a task is emitted immediately
+after the subgraph producing its operands, which keeps values short-lived
+and register pressure low.  The ``naive`` mode emits tasks in construction
+order instead — Figure 9(b)'s high-pressure linearization — and exists for
+the register-pressure ablation.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.options import CompilerOptions
+from repro.compiler.tiling import TaskKind, TiledGraph
+
+
+def _postorder(graph: TiledGraph) -> list[int]:
+    """Iterative DFS postorder from the output tasks."""
+    visited = [False] * len(graph.tasks)
+    order: list[int] = []
+    roots = [t.task_id for t in graph.tasks if t.kind == TaskKind.OUTPUT_SEG]
+    # Also keep tasks not reachable from any output (dead code) at the end;
+    # they are compiled anyway so the static instruction counts match the
+    # written program.
+    roots += [t.task_id for t in graph.tasks]
+
+    for root in roots:
+        if visited[root]:
+            continue
+        stack: list[tuple[int, int]] = [(root, 0)]
+        visited[root] = True
+        while stack:
+            task_id, child_idx = stack.pop()
+            inputs = graph.task(task_id).inputs
+            advanced = False
+            while child_idx < len(inputs):
+                child = inputs[child_idx].task_id
+                child_idx += 1
+                if not visited[child]:
+                    visited[child] = True
+                    stack.append((task_id, child_idx))
+                    stack.append((child, 0))
+                    advanced = True
+                    break
+            if not advanced and child_idx >= len(inputs):
+                order.append(task_id)
+    return order
+
+
+def schedule(graph: TiledGraph,
+             options: CompilerOptions | None = None) -> list[int]:
+    """Produce the global linearization of the task graph.
+
+    Returns:
+        Task ids in execution order; every task appears exactly once and
+        after all of its inputs.
+    """
+    options = options if options is not None else CompilerOptions()
+    if options.schedule == "naive":
+        return [t.task_id for t in graph.tasks]
+    order = _postorder(graph)
+    _check_topological(graph, order)
+    return order
+
+
+def _check_topological(graph: TiledGraph, order: list[int]) -> None:
+    position = {task_id: i for i, task_id in enumerate(order)}
+    if len(position) != len(graph.tasks):
+        raise AssertionError("schedule dropped or duplicated tasks")
+    for task in graph.tasks:
+        for piece in task.inputs:
+            if position[piece.task_id] >= position[task.task_id]:
+                raise AssertionError(
+                    f"task {task.task_id} scheduled before its input "
+                    f"{piece.task_id}")
+
+
+def max_live_values(graph: TiledGraph, order: list[int]) -> int:
+    """Peak number of simultaneously live task values under ``order``.
+
+    The register-pressure metric of Figure 9: a value becomes live when
+    produced and dies after its last consumer executes.
+    """
+    position = {task_id: i for i, task_id in enumerate(order)}
+    last_use: dict[int, int] = {}
+    for task in graph.tasks:
+        for piece in task.inputs:
+            last_use[piece.task_id] = max(
+                last_use.get(piece.task_id, -1), position[task.task_id])
+    live = 0
+    peak = 0
+    expiring: dict[int, int] = {}
+    for step, task_id in enumerate(order):
+        live += 1
+        peak = max(peak, live)
+        death = last_use.get(task_id, step)
+        expiring[death] = expiring.get(death, 0) + 1
+        live -= expiring.pop(step, 0)
+    return peak

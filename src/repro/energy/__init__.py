@@ -1,0 +1,29 @@
+"""Power, area, and timing models (Table 3) plus design-space exploration."""
+
+from repro.energy.components import (
+    ComponentSpec,
+    CoreBudget,
+    NodeBudget,
+    TileBudget,
+    core_budget,
+    node_budget,
+    table3_rows,
+    tile_budget,
+)
+from repro.energy.model import EnergyModel, LatencyModel
+from repro.energy.area import NodeMetrics, node_metrics
+
+__all__ = [
+    "ComponentSpec",
+    "CoreBudget",
+    "TileBudget",
+    "NodeBudget",
+    "core_budget",
+    "tile_budget",
+    "node_budget",
+    "table3_rows",
+    "EnergyModel",
+    "LatencyModel",
+    "NodeMetrics",
+    "node_metrics",
+]

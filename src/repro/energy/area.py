@@ -1,0 +1,56 @@
+"""Node-level efficiency metrics: peak throughput, TOPS/s/mm², TOPS/s/W.
+
+These are the Table 6 numbers for PUMA: 52.31 TOPS/s peak, 0.58 TOPS/s/mm²,
+0.84 TOPS/s/W at 90.6 mm² and 62.5 W.  Multiply and add count as two
+separate operations (Table 6 footnote).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import PumaConfig
+from repro.energy.components import node_budget
+from repro.energy.model import mvm_initiation_interval_cycles
+
+
+@dataclass(frozen=True)
+class NodeMetrics:
+    """Peak efficiency metrics of one node configuration."""
+
+    peak_tops: float
+    power_w: float
+    area_mm2: float
+    weight_capacity_bytes: int
+
+    @property
+    def tops_per_mm2(self) -> float:
+        """Peak area efficiency (AE in Table 6)."""
+        return self.peak_tops / self.area_mm2
+
+    @property
+    def tops_per_w(self) -> float:
+        """Peak power efficiency (PE in Table 6)."""
+        return self.peak_tops / self.power_w
+
+
+def node_metrics(config: PumaConfig | None = None) -> NodeMetrics:
+    """Compute peak node metrics from a configuration."""
+    config = config if config is not None else PumaConfig()
+    core = config.core
+    node = config.node
+    num_mvmus = node.num_tiles * node.tile.num_cores * core.num_mvmus
+    ops_per_mvm = 2 * core.mvmu_dim * core.mvmu_dim  # MAC = 2 ops
+    input_steps = core.fixed_point.total_bits // core.bits_per_input
+    interval_s = (mvm_initiation_interval_cycles(core.mvmu_dim, input_steps)
+                  * config.cycle_ns * 1e-9)
+    peak_ops = num_mvmus * ops_per_mvm / interval_s
+    budget = node_budget(node)
+    weight_bits = (num_mvmus * core.mvmu_dim * core.mvmu_dim
+                   * core.fixed_point.total_bits)
+    return NodeMetrics(
+        peak_tops=peak_ops / 1e12,
+        power_w=budget.power_w,
+        area_mm2=budget.area_mm2,
+        weight_capacity_bytes=weight_bits // 8,
+    )

@@ -1,0 +1,249 @@
+"""Component power/area models calibrated to Table 3.
+
+The paper obtained these numbers from RTL synthesis (IBM 45 nm, scaled to
+32 nm), Cacti (memories), and Orion (NoC); PUMAsim consumed them as
+constants.  We embed the published values and add the parametric scaling
+laws the design-space exploration of Section 7.6 relies on:
+
+* ADC power/area grow exponentially with resolution (SAR converters), and
+  resolution is tied to crossbar dimension: ``bits = log2(dim) + cell_bits
+  - 1`` (the ISAAC encoding PUMA adopts);
+* DAC array and drivers grow linearly with rows;
+* the crossbar array itself grows with device count but is tiny next to its
+  peripherals;
+* VFU power/area grow linearly with lane count;
+* memory power/area grow linearly with capacity (the Cacti trend over the
+  small capacities swept here).
+
+Published constants are per-component at 1 GHz, 32 nm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import CoreConfig, NodeConfig, PumaConfig, TileConfig
+
+MW = 1e-3  # watts per milliwatt
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One Table 3 row: published power/area plus its parameters."""
+
+    name: str
+    power_mw: float
+    area_mm2: float
+    parameter: str = ""
+    specification: str = ""
+
+
+# Table 3, transcribed.
+TABLE3: dict[str, ComponentSpec] = {
+    "control_pipeline": ComponentSpec("Control Pipeline", 0.25, 0.0033,
+                                      "# stages", "3"),
+    "instruction_memory": ComponentSpec("Instruction Memory", 1.52, 0.0031,
+                                        "capacity", "4KB"),
+    "register_file": ComponentSpec("Register File", 0.477, 0.00192,
+                                   "capacity", "1KB"),
+    "mvmu": ComponentSpec("MVMU", 19.09, 0.012, "# per core / dimensions",
+                          "2 / 128x128"),
+    "vfu": ComponentSpec("VFU", 1.90, 0.004, "width", "1"),
+    "sfu": ComponentSpec("SFU", 0.055, 0.0006, "-", "-"),
+    "core": ComponentSpec("Core", 42.37, 0.036, "# per tile", "8"),
+    "tile_control_unit": ComponentSpec("Tile Control Unit", 0.5, 0.00145,
+                                       "-", "-"),
+    "tile_instruction_memory": ComponentSpec("Tile Instruction Memory", 1.91,
+                                             0.0054, "capacity", "8KB"),
+    "tile_data_memory": ComponentSpec("Tile Data Memory", 17.66, 0.086,
+                                      "capacity / technology", "64KB eDRAM"),
+    "tile_memory_bus": ComponentSpec("Tile Memory Bus", 7.0, 0.090,
+                                     "width", "384 bits"),
+    "tile_attribute_memory": ComponentSpec("Tile Attribute Memory", 2.77,
+                                           0.012, "# entries / technology",
+                                           "32K eDRAM"),
+    "tile_receive_buffer": ComponentSpec("Tile Receive Buffer", 9.14, 0.0044,
+                                         "# fifos / depth", "16 / 2"),
+    "tile": ComponentSpec("Tile", 373.8, 0.479, "# per node", "138"),
+    "noc": ComponentSpec("On-chip Network", 570.63, 1.622,
+                         "flit_size / ports / conc", "32 / 4 / 4"),
+    "node": ComponentSpec("Node", 62500.0, 90.638, "-", "-"),
+    "offchip_network": ComponentSpec("Off-chip Network (per node)", 10400.0,
+                                     22.88, "type / link bandwidth",
+                                     "HyperTransport / 6.4 GB/sec"),
+}
+
+# Reference design point the constants were published for.
+_REF_DIM = 128
+_REF_CELL_BITS = 2
+_REF_NUM_MVMUS = 2
+_REF_VFU_WIDTH = 1
+_REF_RF_BYTES = 1024
+_REF_CORES_PER_TILE = 8
+_REF_SMEM_BYTES = 65536
+
+# MVMU internal energy/area partition (calibration; ADC-dominated per the
+# ISAAC analysis the paper builds on).
+_MVMU_ADC_POWER_FRACTION = 0.60
+_MVMU_DAC_POWER_FRACTION = 0.25
+_MVMU_XBAR_POWER_FRACTION = 0.15
+_MVMU_ADC_AREA_FRACTION = 0.50
+_MVMU_DAC_AREA_FRACTION = 0.30
+_MVMU_XBAR_AREA_FRACTION = 0.20
+
+
+def adc_bits_for(dim: int, cell_bits: int) -> int:
+    """ADC resolution required by a ``dim``-row crossbar of ``cell_bits``
+    cells with 1-bit input slicing (ISAAC encoding: one bit saved)."""
+    return max(1, int(math.ceil(math.log2(max(dim, 2)))) + cell_bits - 1)
+
+
+def mvmu_power_mw(dim: int = _REF_DIM, cell_bits: int = _REF_CELL_BITS) -> float:
+    """MVMU power scaled from the reference point.
+
+    ADC count is fixed (one per crossbar slice, shared across columns), so
+    ADC power scales as ``2**bits``; DAC/driver power scales with rows; the
+    crossbar term scales with device count.
+    """
+    ref = TABLE3["mvmu"].power_mw
+    ref_bits = adc_bits_for(_REF_DIM, _REF_CELL_BITS)
+    bits = adc_bits_for(dim, cell_bits)
+    adc = ref * _MVMU_ADC_POWER_FRACTION * (2.0 ** (bits - ref_bits))
+    dac = ref * _MVMU_DAC_POWER_FRACTION * (dim / _REF_DIM)
+    xbar = ref * _MVMU_XBAR_POWER_FRACTION * (dim / _REF_DIM) ** 2
+    return adc + dac + xbar
+
+
+def mvmu_area_mm2(dim: int = _REF_DIM, cell_bits: int = _REF_CELL_BITS) -> float:
+    """MVMU area scaled from the reference point (see :func:`mvmu_power_mw`)."""
+    ref = TABLE3["mvmu"].area_mm2
+    ref_bits = adc_bits_for(_REF_DIM, _REF_CELL_BITS)
+    bits = adc_bits_for(dim, cell_bits)
+    adc = ref * _MVMU_ADC_AREA_FRACTION * (2.0 ** (bits - ref_bits))
+    dac = ref * _MVMU_DAC_AREA_FRACTION * (dim / _REF_DIM)
+    xbar = ref * _MVMU_XBAR_AREA_FRACTION * (dim / _REF_DIM) ** 2
+    return adc + dac + xbar
+
+
+@dataclass(frozen=True)
+class CoreBudget:
+    """Power/area roll-up of one core."""
+
+    power_mw: float
+    area_mm2: float
+    mvmu_power_mw: float
+    mvmu_area_mm2: float
+
+
+def core_budget(core: CoreConfig) -> CoreBudget:
+    """Compute a core's power/area from its configuration."""
+    mvmu_p = mvmu_power_mw(core.mvmu_dim, core.bits_per_cell)
+    mvmu_a = mvmu_area_mm2(core.mvmu_dim, core.bits_per_cell)
+    vfu_p = TABLE3["vfu"].power_mw * core.vfu_width / _REF_VFU_WIDTH
+    vfu_a = TABLE3["vfu"].area_mm2 * core.vfu_width / _REF_VFU_WIDTH
+    rf_bytes = core.num_general_registers * 2
+    rf_scale = rf_bytes / _REF_RF_BYTES
+    power = (TABLE3["control_pipeline"].power_mw
+             + TABLE3["instruction_memory"].power_mw
+             + TABLE3["register_file"].power_mw * rf_scale
+             + core.num_mvmus * mvmu_p
+             + vfu_p
+             + TABLE3["sfu"].power_mw)
+    area = (TABLE3["control_pipeline"].area_mm2
+            + TABLE3["instruction_memory"].area_mm2
+            + TABLE3["register_file"].area_mm2 * rf_scale
+            + core.num_mvmus * mvmu_a
+            + vfu_a
+            + TABLE3["sfu"].area_mm2)
+    return CoreBudget(power, area, mvmu_p, mvmu_a)
+
+
+@dataclass(frozen=True)
+class TileBudget:
+    """Power/area roll-up of one tile."""
+
+    power_mw: float
+    area_mm2: float
+    core: CoreBudget
+
+
+def tile_budget(tile: TileConfig) -> TileBudget:
+    """Compute a tile's power/area from its configuration.
+
+    Shared memory and attribute memory scale with capacity, which is what
+    the shared-memory-sizing ablation of Table 8 measures.
+    """
+    core = core_budget(tile.core)
+    smem_scale = tile.shared_memory_bytes / _REF_SMEM_BYTES
+    attr_scale = tile.attribute_entries / 32768
+    fifo_scale = ((tile.receive_fifos * tile.receive_fifo_depth)
+                  / (16 * 2))
+    power = (tile.num_cores * core.power_mw
+             + TABLE3["tile_control_unit"].power_mw
+             + TABLE3["tile_instruction_memory"].power_mw
+             + TABLE3["tile_data_memory"].power_mw * smem_scale
+             + TABLE3["tile_memory_bus"].power_mw
+             + TABLE3["tile_attribute_memory"].power_mw * attr_scale
+             + TABLE3["tile_receive_buffer"].power_mw * fifo_scale)
+    area = (tile.num_cores * core.area_mm2
+            + TABLE3["tile_control_unit"].area_mm2
+            + TABLE3["tile_instruction_memory"].area_mm2
+            + TABLE3["tile_data_memory"].area_mm2 * smem_scale
+            + TABLE3["tile_memory_bus"].area_mm2
+            + TABLE3["tile_attribute_memory"].area_mm2 * attr_scale
+            + TABLE3["tile_receive_buffer"].area_mm2 * fifo_scale)
+    return TileBudget(power, area, core)
+
+
+@dataclass(frozen=True)
+class NodeBudget:
+    """Power/area roll-up of one node."""
+
+    power_w: float
+    area_mm2: float
+    tile: TileBudget
+
+
+def node_budget(node: NodeConfig) -> NodeBudget:
+    """Compute a node's power/area from its configuration."""
+    tile = tile_budget(node.tile)
+    power_mw = (node.num_tiles * tile.power_mw
+                + TABLE3["noc"].power_mw
+                + TABLE3["offchip_network"].power_mw)
+    area = (node.num_tiles * tile.area_mm2
+            + TABLE3["noc"].area_mm2
+            + TABLE3["offchip_network"].area_mm2)
+    return NodeBudget(power_mw * MW, area, tile)
+
+
+def table3_rows(config: PumaConfig | None = None) -> list[dict[str, object]]:
+    """Regenerate Table 3: published constants plus model roll-ups.
+
+    Roll-up rows (Core, Tile, Node) are recomputed from the configuration so
+    that the test suite can check the model against the published totals.
+    """
+    config = config if config is not None else PumaConfig()
+    core = core_budget(config.core)
+    tile = tile_budget(config.tile)
+    node = node_budget(config.node)
+    rows = []
+    for key, spec in TABLE3.items():
+        row = {
+            "component": spec.name,
+            "power_mw": spec.power_mw,
+            "area_mm2": spec.area_mm2,
+            "parameter": spec.parameter,
+            "specification": spec.specification,
+        }
+        if key == "core":
+            row["model_power_mw"] = core.power_mw
+            row["model_area_mm2"] = core.area_mm2
+        elif key == "tile":
+            row["model_power_mw"] = tile.power_mw
+            row["model_area_mm2"] = tile.area_mm2
+        elif key == "node":
+            row["model_power_mw"] = node.power_w / MW
+            row["model_area_mm2"] = node.area_mm2
+        rows.append(row)
+    return rows

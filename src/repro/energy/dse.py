@@ -1,0 +1,210 @@
+"""Design-space exploration (Figure 12).
+
+Sweeps tile-level peak area efficiency (GOPS/s/mm²) and power efficiency
+(GOPS/s/W) across the five design parameters of Section 7.6, evaluating the
+paper's synthetic benchmark: *an MVM operation on each MVMU, followed by a
+VFU operation, then a ROM-Embedded RAM look-up*.
+
+Per-iteration timing of one core:
+
+* the pipelined MVMUs sustain one (coalesced) MVM per initiation interval;
+* the VFU tail — the vector op plus the ROM look-up (two ROM phases) —
+  depends on the MVM results, so it serializes after the MVM issue slot;
+* the iteration streams operands through the tile's shared memory: inputs
+  and results for every stage, six passes of ``num_mvmus x dim`` words;
+  the 384-bit bus is the shared-resource ceiling that ends core scaling
+  ("until shared memory bandwidth becomes the bottleneck").
+
+Every sweep holds the other parameters at the sweet spot found by
+:func:`sweet_spot` (cf. the paper's methodology).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import PumaConfig
+from repro.energy.components import tile_budget
+from repro.energy.model import (
+    BUS_WORDS_PER_CYCLE,
+    mvm_initiation_interval_cycles,
+)
+
+# VFU passes per iteration: the vector op plus the ROM look-up, which
+# costs two VFU-coupled phases (probe + interpolate).
+_VFU_PASSES = 3
+# Shared-memory traffic per core per iteration, in vectors of
+# num_mvmus * dim words: stage inputs and outputs for MVM, VFU, and ROM.
+_MEMORY_PASSES = 6
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One configuration's efficiency under the synthetic benchmark."""
+
+    mvmu_dim: int
+    num_mvmus: int
+    vfu_width: int
+    num_cores: int
+    rf_scale: float
+    gops: float
+    tile_power_w: float
+    tile_area_mm2: float
+
+    @property
+    def gops_per_mm2(self) -> float:
+        return self.gops / self.tile_area_mm2
+
+    @property
+    def gops_per_w(self) -> float:
+        return self.gops / self.tile_power_w
+
+
+def _config_for(dim: int, mvmus: int, vfu: int, cores: int,
+                rf_scale: float) -> PumaConfig:
+    base = PumaConfig()
+    rf_registers = max(8, int(2 * dim * mvmus * rf_scale))
+    config = base.with_core(
+        mvmu_dim=dim, num_mvmus=mvmus, vfu_width=vfu,
+        num_general_registers=rf_registers)
+    return config.with_tile(num_cores=cores, core=config.core)
+
+
+def evaluate_design(dim: int = 128, mvmus: int = 2, vfu: int = 1,
+                    cores: int = 8, rf_scale: float = 1.0) -> DesignPoint:
+    """Evaluate one design point under the synthetic benchmark."""
+    config = _config_for(dim, mvmus, vfu, cores, rf_scale)
+    core = config.core
+    input_steps = core.fixed_point.total_bits // core.bits_per_input
+
+    interval = mvm_initiation_interval_cycles(dim, input_steps)
+    vfu_tail = _VFU_PASSES * mvmus * dim / vfu
+    per_core_cycles = interval + vfu_tail
+
+    # Shared memory ceiling across the tile's cores: the 384-bit bus moves
+    # 24 words/cycle at peak, but the random transaction mix of many cores
+    # pays the eDRAM access cycles per line, halving effective throughput.
+    effective_bus = BUS_WORDS_PER_CYCLE / 2
+    words_per_iter = _MEMORY_PASSES * mvmus * dim
+    memory_cycles = cores * words_per_iter / effective_bus
+    iter_cycles = max(per_core_cycles, memory_cycles)
+
+    # MACs count as two ops; the VFU/ROM ops add 2 ops per element.
+    ops_per_iter = (2 * dim * dim * mvmus + 2 * mvmus * dim)
+    total_ops_per_s = (cores * ops_per_iter
+                       / (iter_cycles * config.cycle_ns * 1e-9))
+
+    budget = tile_budget(config.tile)
+    return DesignPoint(
+        mvmu_dim=dim, num_mvmus=mvmus, vfu_width=vfu, num_cores=cores,
+        rf_scale=rf_scale,
+        gops=total_ops_per_s / 1e9,
+        tile_power_w=budget.power_mw * 1e-3,
+        tile_area_mm2=budget.area_mm2,
+    )
+
+
+# One-line interpretation of each Figure 12 sweep (Section 7.6's text).
+SWEEP_PARAMETERS_DOC = {
+    "mvmu_dim": "quadratic MAC growth vs non-linear ADC overhead",
+    "num_mvmus": "crossbar efficiency until the VFU becomes the bottleneck",
+    "vfu_width": "narrow CMOS units; 4 lanes balance throughput vs area",
+    "num_cores": "amortize tile overheads until memory bandwidth binds",
+    "rf_scale": "larger register files only cost area/power",
+}
+
+MVMU_DIM_SWEEP = (64, 128, 256)
+NUM_MVMUS_SWEEP = (1, 4, 16, 64)
+VFU_WIDTH_SWEEP = (1, 4, 16, 64)
+CORES_SWEEP = (1, 4, 8, 16)
+RF_SCALE_SWEEP = (0.25, 1.0, 4.0, 16.0)
+
+# The paper's sweet spot (Section 7.6): 128x128 MVMUs, a handful per core,
+# 4 VFU lanes, 8 cores.  Sweeps pin the other parameters here.
+SWEET_SPOT = {"dim": 128, "mvmus": 2, "vfu": 4, "cores": 8, "rf_scale": 1.0}
+
+
+def sweep(parameter: str) -> list[DesignPoint]:
+    """Sweep one parameter with the others at the sweet spot.
+
+    Args:
+        parameter: one of ``mvmu_dim``, ``num_mvmus``, ``vfu_width``,
+            ``num_cores``, ``rf_scale``.
+    """
+    values = {
+        "mvmu_dim": MVMU_DIM_SWEEP,
+        "num_mvmus": NUM_MVMUS_SWEEP,
+        "vfu_width": VFU_WIDTH_SWEEP,
+        "num_cores": CORES_SWEEP,
+        "rf_scale": RF_SCALE_SWEEP,
+    }.get(parameter)
+    if values is None:
+        raise KeyError(f"unknown sweep parameter {parameter!r}")
+    points = []
+    for value in values:
+        args = dict(SWEET_SPOT)
+        key = {"mvmu_dim": "dim", "num_mvmus": "mvmus", "vfu_width": "vfu",
+               "num_cores": "cores", "rf_scale": "rf_scale"}[parameter]
+        args[key] = value
+        points.append(evaluate_design(
+            dim=args["dim"], mvmus=args["mvmus"], vfu=args["vfu"],
+            cores=args["cores"], rf_scale=args["rf_scale"]))
+    return points
+
+
+def sweet_spot() -> DesignPoint:
+    """The maximum-efficiency configuration's design point."""
+    return evaluate_design(**{
+        "dim": SWEET_SPOT["dim"], "mvmus": SWEET_SPOT["mvmus"],
+        "vfu": SWEET_SPOT["vfu"], "cores": SWEET_SPOT["cores"],
+        "rf_scale": SWEET_SPOT["rf_scale"]})
+
+
+def register_spill_sweep(rf_scales=RF_SCALE_SWEEP) -> dict[float, float]:
+    """Figure 12's spill panel: % register accesses from spills vs RF size.
+
+    Measured by actually compiling the Figure 4 MLP at each register-file
+    size and reading the code generator's spill counters.
+    """
+    import numpy as np
+
+    from repro.compiler import compile_model
+    from repro.compiler.frontend import (ConstMatrix, InVector, Model,
+                                         OutVector, sigmoid)
+
+    def pressure_probe(tag: str) -> Model:
+        # Two 42-wide values held across a long dependent chain on one
+        # core: the 42-word width keeps any single op's operands within
+        # even the smallest swept register file, while the held values
+        # push peak liveness beyond it — the sweep measures *spilling*,
+        # not infeasibility.  (This is the "window-based computations with
+        # a large number of intervening instructions" pattern Section 3.4.2
+        # names as the spilling case.)
+        rng = np.random.default_rng(0)
+        width = 42
+        model = Model.create(f"pressure_{tag}")
+        x = InVector.create(model, width, "x")
+        w0 = ConstMatrix.create(model, width, width, "w0",
+                                rng.normal(0, 0.15, (width, width)))
+        w1 = ConstMatrix.create(model, width, width, "w1",
+                                rng.normal(0, 0.15, (width, width)))
+        held_a = sigmoid(w0 @ x)
+        held_b = sigmoid(w1 @ x)
+        t = held_a
+        for _ in range(10):
+            t = sigmoid(t)
+        out = OutVector.create(model, width, "out")
+        out.assign(t * held_a + held_b)
+        return model
+
+    results = {}
+    for scale in rf_scales:
+        config = _config_for(dim=128, mvmus=2, vfu=1, cores=8,
+                             rf_scale=scale)
+        try:
+            compiled = compile_model(pressure_probe(str(scale)), config)
+            results[scale] = compiled.spilled_access_fraction() * 100.0
+        except Exception:
+            results[scale] = math.nan  # too small to compile at all
+    return results

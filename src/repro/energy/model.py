@@ -1,0 +1,222 @@
+"""Per-instruction latency and energy models.
+
+The detailed simulator charges each executed instruction through these
+models; the analytic layer model (:mod:`repro.perf`) uses the same
+constants, so both levels of the evaluation agree by construction.
+
+Key calibration facts from the paper:
+
+* a 128x128 memristive MVMU performs 16,384 MACs in 2304 ns consuming
+  43.97 nJ (Section 7.4.3) — equal to the Table 3 MVMU power (19.09 mW)
+  times the MVM latency, so energy is modelled as component power times
+  busy time throughout;
+* MVM latency decomposes as ``input_steps * dim * 9/8`` ADC-limited cycles
+  (16 x 128 x 1.125 = 2304), which provides the scaling for the
+  design-space sweeps;
+* the MVMU is pipelined (Figure 1); back-to-back MVMs achieve an initiation
+  interval of ``0.6 x latency``, the value that reproduces Table 6's peak
+  52.31 TOPS/s for 2208 MVMUs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.arch.config import PumaConfig, TileConfig
+from repro.arch.core import ExecOutcome
+from repro.energy.components import MW, TABLE3, adc_bits_for, mvmu_power_mw
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+# The MVM is ADC-limited: each input step digitizes every column, and a SAR
+# conversion costs (bits + 1) cycles at the 1 GHz clock.  At the reference
+# point that is 16 steps x 128 rows x (8+1)/8 ... = 2304 cycles, matching
+# the published 2304 ns (Section 7.4.3); larger crossbars need higher
+# resolution, which is the counterweight in the Figure 12 dimension sweep.
+_SAR_CYCLES_PER_BIT_GROUP = 8  # conversions pipeline 8 bit-slices wide
+# Pipelined MVMU initiation interval as a fraction of MVM latency.
+MVM_PIPELINE_FACTOR = 0.6
+# Tile memory bus moves 384 bits = 24 words per cycle.
+BUS_WORDS_PER_CYCLE = 24
+# eDRAM random-access overhead per transaction.
+MEMORY_ACCESS_CYCLES = 2
+# Register-file port width seen by copy/set.
+COPY_WORDS_PER_CYCLE = 4
+# ROM-mode access energy relative to a RAM access of the register file.
+ROM_ACCESS_FACTOR = 2.0
+# NoC energy per flit-hop (Orion-class router + link at 32 nm).
+NOC_FLIT_HOP_ENERGY_J = 1.15e-12
+# Chip-to-chip link energy per 16-bit word (HyperTransport-class SerDes,
+# ~6 pJ/bit at 32 nm).
+OFFCHIP_WORD_ENERGY_J = 96e-12
+
+
+def mvm_latency_cycles(dim: int, input_steps: int,
+                       cell_bits: int = 2) -> int:
+    """End-to-end latency of one MVM operation in cycles.
+
+    ``input_steps * dim`` conversions at ``(adc_bits + 1)`` SAR cycles
+    each, pipelined ``_SAR_CYCLES_PER_BIT_GROUP`` wide: 2304 at the
+    128x128/2-bit reference point.
+    """
+    bits = adc_bits_for(dim, cell_bits)
+    cycles = input_steps * dim * (bits + 1) / _SAR_CYCLES_PER_BIT_GROUP
+    return max(1, round(cycles))
+
+
+def mvm_initiation_interval_cycles(dim: int, input_steps: int,
+                                   cell_bits: int = 2) -> float:
+    """Pipelined issue interval between back-to-back MVMs."""
+    return mvm_latency_cycles(dim, input_steps, cell_bits) * MVM_PIPELINE_FACTOR
+
+
+class LatencyModel:
+    """Instruction latency in cycles for a given configuration."""
+
+    def __init__(self, config: PumaConfig) -> None:
+        self.config = config
+        core = config.core
+        self._mvm_cycles = mvm_latency_cycles(
+            core.mvmu_dim, core.fixed_point.total_bits // core.bits_per_input)
+
+    def cycles(self, instr: Instruction, outcome: ExecOutcome) -> int:
+        """Cycles the issuing unit is busy executing ``instr``."""
+        op = instr.opcode
+        w = outcome.vec_width
+        if op == Opcode.MVM:
+            return self._mvm_cycles
+        if op in (Opcode.ALU, Opcode.ALUI):
+            lanes = self.config.core.vfu_width
+            cycles = math.ceil(w / lanes)
+            if outcome.rom_access:
+                cycles += math.ceil(w / lanes)  # ROM probe/restore overlap
+            return max(1, cycles)
+        if op in (Opcode.SET, Opcode.COPY):
+            return max(1, math.ceil(w / COPY_WORDS_PER_CYCLE))
+        if op in (Opcode.LOAD, Opcode.STORE):
+            return MEMORY_ACCESS_CYCLES + math.ceil(w / BUS_WORDS_PER_CYCLE)
+        if op in (Opcode.SEND, Opcode.RECEIVE):
+            # Tile-side occupancy: the memory transaction plus injection /
+            # ejection; network traversal is charged by the NoC itself.
+            return (MEMORY_ACCESS_CYCLES + math.ceil(w / BUS_WORDS_PER_CYCLE)
+                    + 1)
+        if op in (Opcode.ALU_INT, Opcode.JMP, Opcode.BRN, Opcode.HLT):
+            return 1
+        raise ValueError(f"no latency model for {op.name}")
+
+
+@dataclass
+class EnergyBreakdown:
+    """Accumulated energy by component category (joules)."""
+
+    mvm: float = 0.0
+    vfu: float = 0.0
+    sfu: float = 0.0
+    register_file: float = 0.0
+    rom: float = 0.0
+    shared_memory: float = 0.0
+    network: float = 0.0
+    fetch_decode: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return (self.mvm + self.vfu + self.sfu + self.register_file
+                + self.rom + self.shared_memory + self.network
+                + self.fetch_decode + sum(self.extra.values()))
+
+    def merge(self, other: "EnergyBreakdown") -> None:
+        self.mvm += other.mvm
+        self.vfu += other.vfu
+        self.sfu += other.sfu
+        self.register_file += other.register_file
+        self.rom += other.rom
+        self.shared_memory += other.shared_memory
+        self.network += other.network
+        self.fetch_decode += other.fetch_decode
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0.0) + value
+
+    def as_dict(self) -> dict[str, float]:
+        out = {
+            "mvm": self.mvm,
+            "vfu": self.vfu,
+            "sfu": self.sfu,
+            "register_file": self.register_file,
+            "rom": self.rom,
+            "shared_memory": self.shared_memory,
+            "network": self.network,
+            "fetch_decode": self.fetch_decode,
+        }
+        out.update(self.extra)
+        return out
+
+
+class EnergyModel:
+    """Instruction energy as component power times busy time.
+
+    The tile configuration matters: shared-memory energy scales with the
+    configured capacity, which is exactly what the shared-memory-sizing
+    ablation (Table 8) measures.
+    """
+
+    def __init__(self, config: PumaConfig) -> None:
+        self.config = config
+        self.cycle_s = config.cycle_ns * 1e-9
+        self.latency = LatencyModel(config)
+        core = config.core
+        tile = config.tile
+        self._p_mvmu = mvmu_power_mw(core.mvmu_dim, core.bits_per_cell) * MW
+        self._p_vfu = TABLE3["vfu"].power_mw * MW * core.vfu_width
+        self._p_sfu = TABLE3["sfu"].power_mw * MW
+        rf_scale = (core.num_general_registers * 2) / 1024
+        self._p_rf = TABLE3["register_file"].power_mw * MW * rf_scale
+        smem_scale = tile.shared_memory_bytes / 65536
+        self._p_smem = (TABLE3["tile_data_memory"].power_mw * MW * smem_scale
+                        + TABLE3["tile_memory_bus"].power_mw * MW
+                        + TABLE3["tile_attribute_memory"].power_mw * MW
+                        * (tile.attribute_entries / 32768))
+        self._p_fetch = (TABLE3["instruction_memory"].power_mw
+                         + TABLE3["control_pipeline"].power_mw) * MW
+        self._p_rbuf = TABLE3["tile_receive_buffer"].power_mw * MW
+
+    def energy(self, instr: Instruction, outcome: ExecOutcome) -> EnergyBreakdown:
+        """Energy of one completed instruction."""
+        op = instr.opcode
+        cycles = self.latency.cycles(instr, outcome)
+        t = cycles * self.cycle_s
+        out = EnergyBreakdown()
+        out.fetch_decode += self._p_fetch * self.cycle_s  # one fetch/decode
+        if op == Opcode.MVM:
+            out.mvm += self._p_mvmu * t * max(1, outcome.mvm_count)
+            return out
+        if op in (Opcode.ALU, Opcode.ALUI):
+            out.vfu += self._p_vfu * t
+            out.register_file += self._p_rf * t
+            if outcome.rom_access:
+                out.rom += self._p_rf * t * ROM_ACCESS_FACTOR
+            return out
+        if op in (Opcode.SET, Opcode.COPY):
+            out.register_file += self._p_rf * t * 2  # read + write streams
+            return out
+        if op in (Opcode.LOAD, Opcode.STORE):
+            out.shared_memory += self._p_smem * t
+            out.register_file += self._p_rf * t
+            return out
+        if op in (Opcode.SEND, Opcode.RECEIVE):
+            out.shared_memory += self._p_smem * t
+            if op == Opcode.RECEIVE:
+                out.network += self._p_rbuf * t
+            return out
+        if op == Opcode.ALU_INT:
+            out.sfu += self._p_sfu * t
+            return out
+        if op in (Opcode.JMP, Opcode.BRN, Opcode.HLT):
+            return out
+        raise ValueError(f"no energy model for {op.name}")
+
+    def network_energy(self, flit_hops: int, offchip_words: int = 0) -> float:
+        """NoC traversal energy plus chip-to-chip link energy."""
+        return (flit_hops * NOC_FLIT_HOP_ENERGY_J
+                + offchip_words * OFFCHIP_WORD_ENERGY_J)

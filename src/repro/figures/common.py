@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None,
+                 title: str = "") -> str:
+    """Render rows of dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no data)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    formatted_rows = []
+    for row in rows:
+        formatted = {}
+        for c in columns:
+            value = row.get(c, "")
+            if isinstance(value, float):
+                text = f"{value:.4g}"
+            else:
+                text = str(value)
+            formatted[c] = text
+            widths[c] = max(widths[c], len(text))
+        formatted_rows.append(formatted)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(f"{c:<{widths[c]}}" for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for formatted in formatted_rows:
+        lines.append(" | ".join(f"{formatted[c]:<{widths[c]}}"
+                                for c in columns))
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Figure 11: energy and latency vs CPU/GPU platforms.
+
+(a) inference energy normalized to PUMA (batch 1);
+(b) inference latency normalized to PUMA (batch 1);
+(c) batch energy savings compared to Haswell (batches 16..128);
+(d) batch throughput normalized to Haswell.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.baselines import PLATFORMS, estimate
+from repro.figures.common import format_table
+from repro.perf import estimate_puma
+from repro.workloads.registry import TABLE5_BENCHMARKS, benchmark
+
+BATCH_SIZES = (16, 32, 64, 128)
+BENCHES = tuple(TABLE5_BENCHMARKS)
+
+
+@lru_cache(maxsize=8)
+def _puma(name: str, batch: int = 1):
+    return estimate_puma(benchmark(name), batch=batch)
+
+
+@lru_cache(maxsize=64)
+def _platform(name: str, platform: str, batch: int = 1):
+    return estimate(benchmark(name), PLATFORMS[platform], batch=batch)
+
+
+def energy_rows() -> list[dict]:
+    """Fig 11(a): per-inference energy normalized to PUMA (higher = PUMA
+    saves more)."""
+    rows = []
+    for bench in BENCHES:
+        puma = _puma(bench)
+        row: dict = {"Benchmark": bench}
+        for platform in PLATFORMS:
+            ratio = (_platform(bench, platform).energy_per_inference_j
+                     / puma.energy_per_inference_j)
+            row[platform] = round(ratio, 2)
+        rows.append(row)
+    return rows
+
+
+def latency_rows() -> list[dict]:
+    """Fig 11(b): latency normalized to PUMA (values < 1 mean the platform
+    beats PUMA — the MLP-on-GPU case the paper highlights)."""
+    rows = []
+    for bench in BENCHES:
+        puma = _puma(bench)
+        row: dict = {"Benchmark": bench}
+        for platform in PLATFORMS:
+            ratio = (_platform(bench, platform).latency_per_inference_s
+                     / puma.latency_per_inference_s)
+            row[platform] = round(ratio, 3)
+        rows.append(row)
+    return rows
+
+
+def batch_energy_rows() -> list[dict]:
+    """Fig 11(c): PUMA batch energy savings relative to Haswell."""
+    rows = []
+    for bench in BENCHES:
+        row: dict = {"Benchmark": bench}
+        for batch in BATCH_SIZES:
+            haswell = _platform(bench, "Haswell", batch)
+            puma = _puma(bench, batch)
+            row[f"B{batch}"] = round(
+                haswell.energy_per_inference_j
+                / puma.energy_per_inference_j, 1)
+        rows.append(row)
+    return rows
+
+
+def batch_throughput_rows() -> list[dict]:
+    """Fig 11(d): PUMA batch throughput normalized to Haswell."""
+    rows = []
+    for bench in BENCHES:
+        row: dict = {"Benchmark": bench}
+        for batch in BATCH_SIZES:
+            haswell = _platform(bench, "Haswell", batch)
+            puma = _puma(bench, batch)
+            row[f"B{batch}"] = round(
+                puma.throughput_ips / haswell.throughput_ips, 1)
+        rows.append(row)
+    return rows
+
+
+def puma_absolute_rows() -> list[dict]:
+    """The PUMA-side absolute numbers behind the figure."""
+    rows = []
+    for bench in BENCHES:
+        puma = _puma(bench)
+        rows.append({
+            "Benchmark": bench,
+            "Latency (ms)": round(puma.latency_s * 1e3, 3),
+            "Energy (mJ)": round(puma.energy_j * 1e3, 3),
+            "MVMUs": puma.mvmus_used,
+            "Nodes": puma.nodes_used,
+        })
+    return rows
+
+
+def render() -> str:
+    parts = [
+        format_table(energy_rows(),
+                     title="Figure 11(a): inference energy normalized to "
+                           "PUMA (batch 1, higher = PUMA better)"),
+        format_table(latency_rows(),
+                     title="Figure 11(b): inference latency normalized to "
+                           "PUMA (batch 1, >1 = PUMA faster)"),
+        format_table(batch_energy_rows(),
+                     title="Figure 11(c): batch energy savings vs Haswell"),
+        format_table(batch_throughput_rows(),
+                     title="Figure 11(d): batch throughput vs Haswell"),
+        format_table(puma_absolute_rows(),
+                     title="PUMA absolute estimates (batch 1)"),
+    ]
+    return "\n\n".join(parts)

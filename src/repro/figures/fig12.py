@@ -1,0 +1,44 @@
+"""Figure 12: design space exploration."""
+
+from __future__ import annotations
+
+from repro.energy.dse import register_spill_sweep, sweep, sweet_spot
+from repro.figures.common import format_table
+
+SWEEP_PARAMETERS = ("mvmu_dim", "num_mvmus", "vfu_width", "num_cores",
+                    "rf_scale")
+
+
+def sweep_rows(parameter: str) -> list[dict]:
+    rows = []
+    for point in sweep(parameter):
+        rows.append({
+            parameter: getattr(point, parameter),
+            "GOPS": round(point.gops, 1),
+            "AE (GOPS/s/mm2)": round(point.gops_per_mm2, 1),
+            "PE (GOPS/s/W)": round(point.gops_per_w, 1),
+        })
+    return rows
+
+
+def spill_rows() -> list[dict]:
+    return [{"RF scale": scale, "% accesses from spills": round(pct, 2)}
+            for scale, pct in register_spill_sweep().items()]
+
+
+def render() -> str:
+    sp = sweet_spot()
+    parts = [
+        "Figure 12: Design Space Exploration "
+        f"(sweet spot: {sp.gops:.0f} GOPS, AE {sp.gops_per_mm2:.0f} "
+        f"GOPS/s/mm2, PE {sp.gops_per_w:.0f} GOPS/s/W)",
+    ]
+    for parameter in SWEEP_PARAMETERS:
+        parts.append("")
+        parts.append(format_table(sweep_rows(parameter),
+                                  title=f"Sweep: {parameter}"))
+    parts.append("")
+    parts.append(format_table(
+        spill_rows(),
+        title="Register spilling vs RF size (compiled Figure 4 MLP)"))
+    return "\n".join(parts)

@@ -1,0 +1,25 @@
+"""Figure 13: inference accuracy vs memristor precision and write noise."""
+
+from __future__ import annotations
+
+from repro.accuracy import accuracy_sweep
+from repro.accuracy.eval import PRECISION_SWEEP, SIGMA_SWEEP
+from repro.figures.common import format_table
+
+
+def rows(trials: int = 5) -> list[dict]:
+    grid = accuracy_sweep(trials=trials)
+    table = []
+    for sigma in SIGMA_SWEEP:
+        row: dict = {"sigma_N": sigma}
+        for bits in PRECISION_SWEEP:
+            row[f"{bits}-bit"] = round(grid[sigma][bits] * 100.0, 1)
+        table.append(row)
+    return table
+
+
+def render() -> str:
+    return format_table(
+        rows(),
+        title="Figure 13: Inference accuracy (%) vs memristor precision "
+              "(bits/cell) and write noise (sigma_N)")

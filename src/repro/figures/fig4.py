@@ -1,0 +1,61 @@
+"""Figure 4: static instruction usage by execution unit.
+
+Compiles each of the six small workloads with the real compiler (the CNN
+through the loop-based lowering) and reports the static instruction counts
+bucketed by execution unit: inter-tile data transfer, inter-core data
+transfer, control flow, SFU, VFU, MVM unit.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.arch.config import PumaConfig
+from repro.compiler import compile_model
+from repro.compiler.cnn import compile_cnn
+from repro.figures.common import format_table
+from repro.workloads.cnn import build_lenet5_spec
+from repro.workloads.registry import FIGURE4_WORKLOADS, figure4_model
+
+CATEGORY_LABELS = {
+    "inter_tile": "Inter-Tile Data Transfer",
+    "inter_core": "Inter-Core Data Transfer",
+    "control_flow": "Control Flow",
+    "sfu": "Scalar Functional Unit",
+    "vfu": "Vector Functional Unit",
+    "mvm": "MVM Unit (crossbar)",
+}
+
+
+@lru_cache(maxsize=1)
+def usage_breakdowns(seq_len: int = 2) -> dict[str, dict[str, int]]:
+    """Static instruction counts per workload, by execution unit."""
+    config = PumaConfig()
+    out: dict[str, dict[str, int]] = {}
+    for name in FIGURE4_WORKLOADS:
+        if "CNN" in name:
+            compiled = compile_cnn(build_lenet5_spec(), config)
+            out[name] = compiled.program.usage_breakdown()
+        else:
+            model = figure4_model(name, seq_len=seq_len)
+            out[name] = compile_model(model, config).program.usage_breakdown()
+    return out
+
+
+def rows(seq_len: int = 2) -> list[dict]:
+    """Percentage breakdown per workload (the Figure 4 bars)."""
+    table = []
+    for name, usage in usage_breakdowns(seq_len).items():
+        total = sum(usage.values())
+        row: dict = {"Workload": name, "Total": total}
+        for key, label in CATEGORY_LABELS.items():
+            row[label] = round(100.0 * usage.get(key, 0) / max(total, 1), 1)
+        table.append(row)
+    return table
+
+
+def render() -> str:
+    return format_table(
+        rows(),
+        ["Workload", *CATEGORY_LABELS.values(), "Total"],
+        title="Figure 4: Static instruction usage (%)")

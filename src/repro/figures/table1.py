@@ -1,0 +1,26 @@
+"""Table 1: workload characterization, derived from the layer specs."""
+
+from __future__ import annotations
+
+from repro.figures.common import format_table
+from repro.workloads.characterize import table1_rows
+
+
+def rows() -> list[dict]:
+    """Characterization rows for the MLP / LSTM / CNN classes."""
+    return table1_rows()
+
+
+def render() -> str:
+    data = rows()
+    # Transpose: characteristics as rows, workload classes as columns.
+    classes = [r["Characteristic"] for r in data]
+    keys = [k for k in data[0] if k != "Characteristic"]
+    table = []
+    for key in keys:
+        row = {"Characteristic": key}
+        for cls, r in zip(classes, data):
+            row[cls] = r[key]
+        table.append(row)
+    return format_table(table, ["Characteristic", *classes],
+                        title="Table 1: Workload Characterization")

@@ -1,0 +1,31 @@
+"""Table 3: PUMA hardware characteristics (published vs model roll-ups)."""
+
+from __future__ import annotations
+
+from repro.energy.components import table3_rows
+from repro.figures.common import format_table
+
+
+def rows() -> list[dict]:
+    return table3_rows()
+
+
+def render() -> str:
+    data = []
+    for row in rows():
+        entry = {
+            "Component": row["component"],
+            "Power (mW)": row["power_mw"],
+            "Area (mm2)": row["area_mm2"],
+            "Parameter": row["parameter"],
+            "Spec": row["specification"],
+        }
+        if "model_power_mw" in row:
+            entry["Model power"] = f"{row['model_power_mw']:.4g}"
+            entry["Model area"] = f"{row['model_area_mm2']:.4g}"
+        data.append(entry)
+    return format_table(
+        data,
+        ["Component", "Power (mW)", "Area (mm2)", "Parameter", "Spec",
+         "Model power", "Model area"],
+        title="Table 3: PUMA Hardware Characteristics (1 GHz, 32 nm)")

@@ -1,0 +1,27 @@
+"""Table 5: the benchmark networks and their parameter counts."""
+
+from __future__ import annotations
+
+from repro.figures.common import format_table
+from repro.workloads.registry import BENCHMARK_GROUPS, TABLE5_BENCHMARKS
+
+
+def rows() -> list[dict]:
+    table = []
+    for name, spec_fn in TABLE5_BENCHMARKS.items():
+        spec = spec_fn()
+        table.append({
+            "DNN Name": name,
+            "Type": BENCHMARK_GROUPS[name],
+            "# FC Layers": spec.num_fc_layers,
+            "# LSTM Layers": spec.num_lstm_layers or "-",
+            "# Conv Layers": spec.num_conv_layers or "-",
+            "# Parameters (M)": round(spec.params / 1e6, 1),
+            "Non-linear": ", ".join(spec.nonlinear),
+            "Sequence": spec.seq_len if spec.seq_len > 1 else "-",
+        })
+    return table
+
+
+def render() -> str:
+    return format_table(rows(), title="Table 5: Benchmarks")

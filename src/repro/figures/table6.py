@@ -1,0 +1,95 @@
+"""Table 6: comparison with ML accelerators (TPU, ISAAC)."""
+
+from __future__ import annotations
+
+from repro.baselines.isaac import ISAAC_METRICS
+from repro.baselines.tpu import TPU_SPEC, tpu_measured_efficiency
+from repro.energy.area import node_metrics
+from repro.figures.common import format_table
+
+_CLASSES = ("MLP", "LSTM", "CNN")
+
+
+def rows() -> list[dict]:
+    puma = node_metrics()
+    table = [
+        {
+            "Platform": "PUMA",
+            "Area (mm2)": round(puma.area_mm2, 1),
+            "Power (W)": round(puma.power_w, 1),
+            "Peak TOPS/s": round(puma.peak_tops, 2),
+            "Peak AE (TOPS/s/mm2)": round(puma.tops_per_mm2, 3),
+            "Peak PE (TOPS/s/W)": round(puma.tops_per_w, 3),
+        },
+        {
+            "Platform": "TPU",
+            "Area (mm2)": TPU_SPEC.area_mm2,
+            "Power (W)": TPU_SPEC.power_w,
+            "Peak TOPS/s": TPU_SPEC.peak_tops_16b,
+            "Peak AE (TOPS/s/mm2)": round(TPU_SPEC.peak_area_efficiency, 3),
+            "Peak PE (TOPS/s/W)": round(TPU_SPEC.peak_power_efficiency, 3),
+        },
+        {
+            "Platform": "ISAAC",
+            "Area (mm2)": ISAAC_METRICS.area_mm2,
+            "Power (W)": ISAAC_METRICS.power_w,
+            "Peak TOPS/s": ISAAC_METRICS.peak_tops,
+            "Peak AE (TOPS/s/mm2)": round(
+                ISAAC_METRICS.peak_area_efficiency, 3),
+            "Peak PE (TOPS/s/W)": round(
+                ISAAC_METRICS.peak_power_efficiency, 3),
+        },
+    ]
+    return table
+
+
+def per_workload_rows() -> list[dict]:
+    """Best per-class AE/PE: PUMA stays at peak (no batch dependence);
+    the TPU's collapses when weight reuse is absent (measured TPU
+    utilizations: MLP 12.1%, LSTM 3.7%, CNN 78.2%)."""
+    puma = node_metrics()
+    table = []
+    for cls in _CLASSES:
+        tpu = tpu_measured_efficiency(cls)
+        table.append({
+            "Workload": cls,
+            "PUMA AE": round(puma.tops_per_mm2, 3),
+            "TPU AE": round(tpu["area_efficiency"], 4),
+            "PUMA PE": round(puma.tops_per_w, 3),
+            "TPU PE": round(tpu["power_efficiency"], 4),
+            "PUMA/TPU AE": round(puma.tops_per_mm2
+                                 / tpu["area_efficiency"], 1),
+        })
+    return table
+
+
+def comparison_factors() -> dict[str, float]:
+    """The headline Table 6 factors."""
+    puma = node_metrics()
+    return {
+        "puma_vs_tpu_peak_ae": puma.tops_per_mm2 / TPU_SPEC.peak_area_efficiency,
+        "puma_vs_tpu_peak_pe": puma.tops_per_w / TPU_SPEC.peak_power_efficiency,
+        "puma_vs_isaac_ae": puma.tops_per_mm2
+        / ISAAC_METRICS.peak_area_efficiency,
+        "puma_vs_isaac_pe": puma.tops_per_w
+        / ISAAC_METRICS.peak_power_efficiency,
+    }
+
+
+def render() -> str:
+    factors = comparison_factors()
+    lines = [
+        format_table(rows(), title="Table 6: Comparison with ML accelerators"),
+        "",
+        format_table(per_workload_rows(),
+                     title="Per-workload best efficiency (TPU at its best "
+                           "batch)"),
+        "",
+        f"PUMA vs TPU: {factors['puma_vs_tpu_peak_ae']:.1f}x peak AE, "
+        f"{factors['puma_vs_tpu_peak_pe']:.2f}x peak PE "
+        "(paper: 8.3x, 1.65x)",
+        f"PUMA vs ISAAC: {factors['puma_vs_isaac_ae']:.2f}x AE, "
+        f"{factors['puma_vs_isaac_pe']:.2f}x PE "
+        "(paper: 0.708x = 29.2% lower, 0.793x = 20.7% lower)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Table 7: programmability comparison with ISAAC."""
+
+from __future__ import annotations
+
+from repro.baselines.isaac import isaac_programmability
+from repro.figures.common import format_table
+
+
+def rows() -> list[dict]:
+    data = isaac_programmability()
+    return [
+        {"Aspect": "Architecture",
+         "PUMA": data["PUMA"]["architecture"],
+         "ISAAC": data["ISAAC"]["architecture"]},
+        {"Aspect": "Programmability",
+         "PUMA": data["PUMA"]["programmability"],
+         "ISAAC": data["ISAAC"]["programmability"]},
+        {"Aspect": "Workloads",
+         "PUMA": data["PUMA"]["workloads"],
+         "ISAAC": data["ISAAC"]["workloads"]},
+    ]
+
+
+def render() -> str:
+    return format_table(rows(),
+                        title="Table 7: Programmability comparison")

@@ -1,0 +1,182 @@
+"""16-bit fixed-point arithmetic used throughout the PUMA datapath.
+
+PUMA computes in 16-bit fixed point (paper Section 6.1: "We use 16 bit
+fixed-point precision that provides very high accuracy in inference
+applications").  This module provides the number format shared by the
+functional simulator, the compiler's constant lowering, and the crossbar
+weight programming path.
+
+The format is signed two's complement with a configurable number of
+fractional bits (default 12, leaving 3 integer bits plus sign, a common
+choice for inference where activations are normalized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+TOTAL_BITS = 16
+DEFAULT_FRAC_BITS = 12
+
+INT_MIN = -(1 << (TOTAL_BITS - 1))
+INT_MAX = (1 << (TOTAL_BITS - 1)) - 1
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed two's-complement fixed-point format.
+
+    Attributes:
+        total_bits: word width in bits (PUMA uses 16).
+        frac_bits: number of fractional bits.
+    """
+
+    total_bits: int = TOTAL_BITS
+    frac_bits: int = DEFAULT_FRAC_BITS
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ValueError("total_bits must be at least 2")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ValueError(
+                f"frac_bits must be in [0, {self.total_bits}), "
+                f"got {self.frac_bits}"
+            )
+
+    @property
+    def scale(self) -> int:
+        """Integer units per 1.0."""
+        return 1 << self.frac_bits
+
+    @property
+    def int_min(self) -> int:
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def int_max(self) -> int:
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable real value."""
+        return self.int_min / self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Most positive representable real value."""
+        return self.int_max / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable increment."""
+        return 1.0 / self.scale
+
+    def quantize(self, values: np.ndarray | float) -> np.ndarray:
+        """Convert real values to fixed-point integers with saturation."""
+        scaled = np.round(np.asarray(values, dtype=np.float64) * self.scale)
+        return np.clip(scaled, self.int_min, self.int_max).astype(np.int64)
+
+    def dequantize(self, ints: np.ndarray | int) -> np.ndarray:
+        """Convert fixed-point integers back to real values."""
+        return np.asarray(ints, dtype=np.float64) / self.scale
+
+    def saturate(self, ints: np.ndarray | int) -> np.ndarray:
+        """Clamp integer values into the representable range."""
+        return np.clip(np.asarray(ints, dtype=np.int64), self.int_min, self.int_max)
+
+    def wrap(self, ints: np.ndarray | int) -> np.ndarray:
+        """Two's-complement wrap-around (hardware overflow semantics)."""
+        arr = np.asarray(ints, dtype=np.int64)
+        mask = (1 << self.total_bits) - 1
+        wrapped = arr & mask
+        sign_bit = 1 << (self.total_bits - 1)
+        return np.where(wrapped >= sign_bit, wrapped - (1 << self.total_bits), wrapped)
+
+    def multiply(self, a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray:
+        """Fixed-point multiply: full-width product rescaled, saturated."""
+        prod = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+        return self.saturate(prod >> self.frac_bits)
+
+    def divide(self, a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray:
+        """Fixed-point divide with round-toward-zero, saturated.
+
+        Division by zero saturates to the format extreme with the sign of
+        the numerator (hardware-style sticky saturation rather than a trap);
+        0/0 yields 0.
+        """
+        num = np.asarray(a, dtype=np.int64) << self.frac_bits
+        den = np.asarray(b, dtype=np.int64)
+        num, den = np.broadcast_arrays(num, den)
+        out = np.empty(num.shape, dtype=np.int64)
+        zero = den == 0
+        safe_den = np.where(zero, 1, den)
+        quotient = (num / safe_den).astype(np.int64)  # trunc toward zero
+        out[...] = quotient
+        out[zero & (num > 0)] = self.int_max
+        out[zero & (num < 0)] = self.int_min
+        out[zero & (num == 0)] = 0
+        return self.saturate(out)
+
+    def to_unsigned(self, ints: np.ndarray | int) -> np.ndarray:
+        """Reinterpret signed words as unsigned bit patterns (for slicing)."""
+        arr = np.asarray(ints, dtype=np.int64)
+        return arr & ((1 << self.total_bits) - 1)
+
+    def from_unsigned(self, raw: np.ndarray | int) -> np.ndarray:
+        """Reinterpret unsigned bit patterns as signed words."""
+        return self.wrap(np.asarray(raw, dtype=np.int64))
+
+
+DEFAULT_FORMAT = FixedPointFormat()
+
+
+def to_fixed(values: np.ndarray | float, fmt: FixedPointFormat = DEFAULT_FORMAT) -> np.ndarray:
+    """Quantize real values using ``fmt`` (module-level convenience)."""
+    return fmt.quantize(values)
+
+
+def to_float(ints: np.ndarray | int, fmt: FixedPointFormat = DEFAULT_FORMAT) -> np.ndarray:
+    """Dequantize integers using ``fmt`` (module-level convenience)."""
+    return fmt.dequantize(ints)
+
+
+def bit_slices(words: np.ndarray, bits_per_slice: int, total_bits: int = TOTAL_BITS) -> list[np.ndarray]:
+    """Split unsigned words into little-endian slices of ``bits_per_slice``.
+
+    This is the digital half of the paper's bit-slicing scheme (Fig 2b): a
+    16-bit weight is distributed over ``16 / bits_per_slice`` crossbars, each
+    holding ``bits_per_slice`` bits per device.
+
+    Args:
+        words: unsigned integer array (use :meth:`FixedPointFormat.to_unsigned`).
+        bits_per_slice: bits stored per memristor device (paper uses 2).
+        total_bits: total word width.
+
+    Returns:
+        List of arrays, slice 0 being the least significant.
+    """
+    if total_bits % bits_per_slice != 0:
+        raise ValueError(
+            f"total_bits ({total_bits}) must be divisible by "
+            f"bits_per_slice ({bits_per_slice})"
+        )
+    arr = np.asarray(words, dtype=np.int64)
+    if np.any(arr < 0):
+        raise ValueError("bit_slices expects unsigned words")
+    n_slices = total_bits // bits_per_slice
+    mask = (1 << bits_per_slice) - 1
+    return [(arr >> (i * bits_per_slice)) & mask for i in range(n_slices)]
+
+
+def combine_slices(slices: list[np.ndarray], bits_per_slice: int, total_bits: int = TOTAL_BITS) -> np.ndarray:
+    """Inverse of :func:`bit_slices`: shift-and-add the slices back together."""
+    if len(slices) * bits_per_slice != total_bits:
+        raise ValueError(
+            f"expected {total_bits // bits_per_slice} slices, got {len(slices)}"
+        )
+    acc = np.zeros_like(np.asarray(slices[0], dtype=np.int64))
+    for i, s in enumerate(slices):
+        acc = acc + (np.asarray(s, dtype=np.int64) << (i * bits_per_slice))
+    return acc

@@ -1,0 +1,65 @@
+"""PUMA Instruction Set Architecture (paper Table 2).
+
+The ISA has five instruction categories:
+
+* compute: ``mvm``, ``alu``, ``alui``, ``alu-int``
+* intra-core data movement: ``set``, ``copy``
+* intra-tile data movement: ``load``, ``store``
+* intra-node data movement: ``send``, ``receive``
+* control: ``jmp``, ``brn`` (plus ``hlt`` to terminate a stream)
+
+Instructions are seven bytes wide (Section 3.1); the wide format carries the
+``vec-width`` operand needed by temporal SIMD (Section 3.3) and the long
+register operands needed to address a register file sized to match the
+crossbars (Section 3.4.3).
+"""
+
+from repro.isa.opcodes import AluOp, BrnOp, Opcode, RegisterClass
+from repro.isa.instruction import (
+    Instruction,
+    alu,
+    alu_int,
+    alui,
+    brn,
+    copy,
+    hlt,
+    jmp,
+    load,
+    mvm,
+    receive,
+    send,
+    set_,
+    store,
+)
+from repro.isa.encoding import INSTRUCTION_BYTES, decode, encode
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.program import CoreProgram, NodeProgram, TileProgram
+
+__all__ = [
+    "AluOp",
+    "BrnOp",
+    "Opcode",
+    "RegisterClass",
+    "Instruction",
+    "INSTRUCTION_BYTES",
+    "encode",
+    "decode",
+    "assemble",
+    "disassemble",
+    "CoreProgram",
+    "TileProgram",
+    "NodeProgram",
+    "mvm",
+    "alu",
+    "alui",
+    "alu_int",
+    "set_",
+    "copy",
+    "load",
+    "store",
+    "send",
+    "receive",
+    "jmp",
+    "brn",
+    "hlt",
+]

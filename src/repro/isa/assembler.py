@@ -1,0 +1,272 @@
+"""Textual assembly for the PUMA ISA.
+
+The assembler exists for debuggability: compiled programs can be dumped to a
+readable listing and reassembled, and tests can author small kernels by
+hand.  The syntax is one instruction per line::
+
+    mvm mask=0b11 filter=5 stride=1
+    alu tanh r520, r256 w128
+    alui add r520, r520, #16 w128
+    copy r0, r520 w128
+    load r0, @42 w16
+    load r0, @[r600+4] w16
+    store r520, @42 count=2 w16
+    send @42 fifo=3 tile=7 w128
+    receive @42 fifo=3 count=1 w128
+    set r600, #0
+    alu-int add r600, r600, #1
+    brn lt r600, r601, 4
+    jmp 0
+    hlt
+
+Registers are written ``rN`` (flat index); ``@N`` is a shared-memory word
+address; ``#N`` an immediate; ``wN`` a vector width.  ``;`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.isa.instruction import (
+    Instruction,
+    alu,
+    alu_int,
+    alui,
+    brn,
+    copy,
+    hlt,
+    jmp,
+    load,
+    mvm,
+    receive,
+    send,
+    set_,
+    store,
+)
+from repro.isa.opcodes import AluOp, BrnOp, Opcode
+
+_ALU_NAMES = {op.name.lower().replace("_", "-"): op for op in AluOp}
+_BRN_NAMES = {op.name.lower(): op for op in BrnOp}
+
+_REG_RE = re.compile(r"^r(\d+)$")
+_ADDR_RE = re.compile(r"^@(\d+)$")
+_IND_RE = re.compile(r"^@\[r(\d+)(?:\+(\d+))?\]$")
+_IMM_RE = re.compile(r"^#(-?\d+)$")
+_WIDTH_RE = re.compile(r"^w(\d+)$")
+_INT_RE = re.compile(r"^(-?\d+)$")
+_KV_RE = re.compile(r"^([a-z_]+)=(0b[01]+|0x[0-9a-fA-F]+|-?\d+)$")
+
+
+class AssemblyError(ValueError):
+    """Raised when a line cannot be assembled."""
+
+
+def _parse_int(text: str) -> int:
+    if text.startswith("0b"):
+        return int(text, 2)
+    if text.startswith("0x"):
+        return int(text, 16)
+    return int(text)
+
+
+def _tokenize(line: str) -> list[str]:
+    body = line.split(";", 1)[0].strip()
+    if not body:
+        return []
+    return body.replace(",", " ").split()
+
+
+def _reg(token: str, line: str) -> int:
+    m = _REG_RE.match(token)
+    if not m:
+        raise AssemblyError(f"expected register, got {token!r} in: {line}")
+    return int(m.group(1))
+
+
+def _split_extras(tokens: list[str]) -> tuple[list[str], dict[str, int], int]:
+    """Split positional tokens from key=value pairs and a wN width."""
+    positional: list[str] = []
+    kv: dict[str, int] = {}
+    width = 1
+    for tok in tokens:
+        m = _KV_RE.match(tok)
+        if m:
+            kv[m.group(1)] = _parse_int(m.group(2))
+            continue
+        m = _WIDTH_RE.match(tok)
+        if m:
+            width = int(m.group(1))
+            continue
+        positional.append(tok)
+    return positional, kv, width
+
+
+def assemble_line(line: str) -> Instruction | None:
+    """Assemble one line; returns None for blank/comment lines."""
+    tokens = _tokenize(line)
+    if not tokens:
+        return None
+    mnemonic, rest = tokens[0].lower(), tokens[1:]
+    positional, kv, width = _split_extras(rest)
+
+    try:
+        return _assemble_tokens(mnemonic, positional, kv, width, line)
+    except AssemblyError:
+        raise
+    except (ValueError, IndexError) as exc:
+        raise AssemblyError(f"{exc} in: {line}") from exc
+
+
+def _assemble_tokens(mnemonic: str, positional: list[str], kv: dict[str, int],
+                     width: int, line: str) -> Instruction:
+    if mnemonic == "mvm":
+        return mvm(kv.get("mask", 1), kv.get("filter", 0), kv.get("stride", 0))
+    if mnemonic == "alu":
+        op = _ALU_NAMES[positional[0].lower()]
+        dest = _reg(positional[1], line)
+        src1 = _reg(positional[2], line)
+        src2 = _reg(positional[3], line) if len(positional) > 3 else 0
+        return alu(op, dest, src1, src2, vec_width=width)
+    if mnemonic == "alui":
+        op = _ALU_NAMES[positional[0].lower()]
+        dest = _reg(positional[1], line)
+        src1 = _reg(positional[2], line)
+        m = _IMM_RE.match(positional[3])
+        if not m:
+            raise AssemblyError(f"alui needs #imm in: {line}")
+        return alui(op, dest, src1, int(m.group(1)), vec_width=width)
+    if mnemonic == "alu-int":
+        op = _ALU_NAMES[positional[0].lower()]
+        dest = _reg(positional[1], line)
+        src1 = _reg(positional[2], line)
+        m = _IMM_RE.match(positional[3])
+        if m:
+            return alu_int(op, dest, src1, imm=int(m.group(1)), imm_mode=True)
+        return alu_int(op, dest, src1, _reg(positional[3], line))
+    if mnemonic == "set":
+        dest = _reg(positional[0], line)
+        m = _IMM_RE.match(positional[1])
+        if not m:
+            raise AssemblyError(f"set needs #imm in: {line}")
+        return set_(dest, int(m.group(1)), vec_width=width)
+    if mnemonic == "copy":
+        return copy(_reg(positional[0], line), _reg(positional[1], line),
+                    vec_width=width)
+    if mnemonic == "load":
+        dest = _reg(positional[0], line)
+        m = _ADDR_RE.match(positional[1])
+        if m:
+            return load(dest, int(m.group(1)), vec_width=width)
+        m = _IND_RE.match(positional[1])
+        if m:
+            return load(dest, int(m.group(2) or 0), vec_width=width,
+                        addr_reg=int(m.group(1)), reg_indirect=True)
+        raise AssemblyError(f"load needs @addr or @[rN+k] in: {line}")
+    if mnemonic == "store":
+        src = _reg(positional[0], line)
+        count = kv.get("count", 1)
+        m = _ADDR_RE.match(positional[1])
+        if m:
+            return store(src, int(m.group(1)), count=count, vec_width=width)
+        m = _IND_RE.match(positional[1])
+        if m:
+            return store(src, int(m.group(2) or 0), count=count,
+                         vec_width=width, addr_reg=int(m.group(1)),
+                         reg_indirect=True)
+        raise AssemblyError(f"store needs @addr or @[rN+k] in: {line}")
+    if mnemonic == "send":
+        m = _ADDR_RE.match(positional[0])
+        if not m:
+            raise AssemblyError(f"send needs @addr in: {line}")
+        return send(int(m.group(1)), kv["fifo"], kv["tile"], vec_width=width)
+    if mnemonic == "receive":
+        m = _ADDR_RE.match(positional[0])
+        if not m:
+            raise AssemblyError(f"receive needs @addr in: {line}")
+        return receive(int(m.group(1)), kv["fifo"], count=kv.get("count", 1),
+                       vec_width=width)
+    if mnemonic == "jmp":
+        return jmp(int(positional[0]))
+    if mnemonic == "brn":
+        op = _BRN_NAMES[positional[0].lower()]
+        return brn(op, _reg(positional[1], line), _reg(positional[2], line),
+                   int(positional[3]))
+    if mnemonic == "hlt":
+        return hlt()
+    raise AssemblyError(f"unknown mnemonic {mnemonic!r} in: {line}")
+
+
+def assemble(text: str) -> list[Instruction]:
+    """Assemble a multi-line program."""
+    program = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        try:
+            instr = assemble_line(line)
+        except AssemblyError as exc:
+            raise AssemblyError(f"line {lineno}: {exc}") from exc
+        if instr is not None:
+            program.append(instr)
+    return program
+
+
+def disassemble_one(instr: Instruction) -> str:
+    """Render one instruction in assembler syntax."""
+    op = instr.opcode
+    w = f" w{instr.vec_width}" if instr.is_vector and instr.vec_width != 1 else ""
+    if op == Opcode.MVM:
+        text = f"mvm mask=0b{instr.mask:b}"
+        if instr.filter:
+            text += f" filter={instr.filter} stride={instr.stride}"
+        return text
+    if op == Opcode.ALU:
+        name = instr.alu_op.name.lower().replace("_", "-")
+        if instr.alu_op.num_sources == 1:
+            return f"alu {name} r{instr.dest}, r{instr.src1}{w}"
+        return f"alu {name} r{instr.dest}, r{instr.src1}, r{instr.src2}{w}"
+    if op == Opcode.ALUI:
+        name = instr.alu_op.name.lower()
+        return f"alui {name} r{instr.dest}, r{instr.src1}, #{instr.imm}{w}"
+    if op == Opcode.ALU_INT:
+        name = instr.alu_op.name.lower()
+        rhs = f"#{instr.imm}" if instr.imm_mode else f"r{instr.src2}"
+        return f"alu-int {name} r{instr.dest}, r{instr.src1}, {rhs}"
+    if op == Opcode.SET:
+        return f"set r{instr.dest}, #{instr.imm}{w}"
+    if op == Opcode.COPY:
+        return f"copy r{instr.dest}, r{instr.src1}{w}"
+    if op == Opcode.LOAD:
+        addr = (f"@[r{instr.addr_reg}+{instr.mem_addr}]" if instr.reg_indirect
+                else f"@{instr.mem_addr}")
+        return f"load r{instr.dest}, {addr}{w}"
+    if op == Opcode.STORE:
+        addr = (f"@[r{instr.addr_reg}+{instr.mem_addr}]" if instr.reg_indirect
+                else f"@{instr.mem_addr}")
+        return f"store r{instr.src1}, {addr} count={instr.count}{w}"
+    if op == Opcode.SEND:
+        return (f"send @{instr.mem_addr} fifo={instr.fifo_id} "
+                f"tile={instr.target}{w}")
+    if op == Opcode.RECEIVE:
+        return (f"receive @{instr.mem_addr} fifo={instr.fifo_id} "
+                f"count={instr.count}{w}")
+    if op == Opcode.JMP:
+        return f"jmp {instr.pc}"
+    if op == Opcode.BRN:
+        return (f"brn {instr.brn_op.name.lower()} r{instr.src1}, "
+                f"r{instr.src2}, {instr.pc}")
+    if op == Opcode.HLT:
+        return "hlt"
+    raise ValueError(f"cannot disassemble opcode {op!r}")
+
+
+def disassemble(instructions: Iterable[Instruction], numbered: bool = False) -> str:
+    """Render a program listing; ``numbered`` adds instruction indices."""
+    lines = []
+    for idx, instr in enumerate(instructions):
+        text = disassemble_one(instr)
+        if instr.comment:
+            text = f"{text:<48}; {instr.comment}"
+        if numbered:
+            text = f"{idx:5d}: {text}"
+        lines.append(text)
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Binary encoding of PUMA instructions.
+
+Instructions encode to exactly seven bytes (56 bits), matching the paper's
+"Instructions are seven bytes wide" (Section 3.1).  The wide format exists to
+carry the long register operands (Section 3.4.3) and the ``vec-width``
+operand required by temporal SIMD (Section 3.3).
+
+Each opcode has its own field layout; a four-bit opcode tag leads, followed
+by opcode-specific fields packed most-significant-first.  ``vec_width`` is
+stored biased by -1 (1..512 in nine bits).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import AluOp, BrnOp, Opcode
+
+INSTRUCTION_BYTES = 7
+_TOTAL_BITS = INSTRUCTION_BYTES * 8
+_OPCODE_BITS = 4
+
+# Per-opcode layouts: ordered (field, bits).  Special pseudo-fields:
+#   vec_width_m1  -> instruction.vec_width - 1
+#   imm_s16       -> instruction.imm as 16-bit two's complement
+#   int_operand   -> ALU_INT's union field: imm (imm_mode) or src2
+_LAYOUTS: dict[Opcode, Sequence[tuple[str, int]]] = {
+    Opcode.MVM: (("mask", 8), ("filter", 10), ("stride", 10)),
+    Opcode.ALU: (("alu_op", 6), ("dest", 10), ("src1", 10), ("src2", 10),
+                 ("vec_width_m1", 9)),
+    # ALUI only encodes add/sub/mul/div (values 0-3), so 5 bits suffice and
+    # keep the layout within the 56-bit budget.
+    Opcode.ALUI: (("alu_op", 5), ("dest", 10), ("src1", 10), ("imm_s16", 16),
+                  ("vec_width_m1", 9)),
+    Opcode.ALU_INT: (("alu_op", 6), ("dest", 10), ("src1", 10),
+                     ("imm_mode", 1), ("int_operand", 16)),
+    Opcode.SET: (("dest", 10), ("imm_s16", 16), ("vec_width_m1", 9)),
+    Opcode.COPY: (("dest", 10), ("src1", 10), ("vec_width_m1", 9)),
+    Opcode.LOAD: (("dest", 10), ("mem_addr", 15), ("addr_reg", 10),
+                  ("reg_indirect", 1), ("vec_width_m1", 9)),
+    Opcode.STORE: (("src1", 10), ("mem_addr", 15), ("addr_reg", 10),
+                   ("reg_indirect", 1), ("count", 7), ("vec_width_m1", 9)),
+    Opcode.SEND: (("mem_addr", 15), ("fifo_id", 4), ("target", 10),
+                  ("vec_width_m1", 9)),
+    Opcode.RECEIVE: (("mem_addr", 15), ("fifo_id", 4), ("count", 7),
+                     ("vec_width_m1", 9)),
+    Opcode.JMP: (("pc", 16),),
+    Opcode.BRN: (("brn_op", 3), ("src1", 10), ("src2", 10), ("pc", 16)),
+    Opcode.HLT: (),
+}
+
+
+def _field_value(instr: Instruction, name: str, bits: int) -> int:
+    if name == "vec_width_m1":
+        value = instr.vec_width - 1
+    elif name == "imm_s16":
+        value = instr.imm & 0xFFFF
+    elif name == "int_operand":
+        value = (instr.imm & 0xFFFF) if instr.imm_mode else instr.src2
+    elif name in ("reg_indirect", "imm_mode"):
+        value = int(getattr(instr, name))
+    elif name == "alu_op":
+        value = int(instr.alu_op) if instr.alu_op is not None else 0
+    elif name == "brn_op":
+        value = int(instr.brn_op) if instr.brn_op is not None else 0
+    else:
+        value = int(getattr(instr, name))
+    if not 0 <= value < (1 << bits):
+        raise ValueError(
+            f"field {name}={value} does not fit in {bits} bits "
+            f"for opcode {instr.opcode.name}"
+        )
+    return value
+
+
+def encode(instr: Instruction) -> bytes:
+    """Encode an instruction into its seven-byte binary form."""
+    layout = _LAYOUTS[instr.opcode]
+    word = int(instr.opcode)
+    used = _OPCODE_BITS
+    for name, bits in layout:
+        word = (word << bits) | _field_value(instr, name, bits)
+        used += bits
+    if used > _TOTAL_BITS:
+        raise AssertionError(
+            f"layout for {instr.opcode.name} uses {used} bits > {_TOTAL_BITS}"
+        )
+    word <<= _TOTAL_BITS - used
+    return word.to_bytes(INSTRUCTION_BYTES, byteorder="big")
+
+
+def decode(data: bytes) -> Instruction:
+    """Decode seven bytes back into an :class:`Instruction`.
+
+    Raises:
+        ValueError: if the byte count is wrong or the opcode tag is invalid.
+    """
+    if len(data) != INSTRUCTION_BYTES:
+        raise ValueError(f"expected {INSTRUCTION_BYTES} bytes, got {len(data)}")
+    word = int.from_bytes(data, byteorder="big")
+    opcode_val = word >> (_TOTAL_BITS - _OPCODE_BITS)
+    try:
+        opcode = Opcode(opcode_val)
+    except ValueError as exc:
+        raise ValueError(f"invalid opcode tag {opcode_val}") from exc
+
+    layout = _LAYOUTS[opcode]
+    shift = _TOTAL_BITS - _OPCODE_BITS
+    fields: dict[str, int] = {}
+    for name, bits in layout:
+        shift -= bits
+        fields[name] = (word >> shift) & ((1 << bits) - 1)
+
+    kwargs: dict[str, object] = {}
+    int_operand = None
+    for name, value in fields.items():
+        if name == "vec_width_m1":
+            kwargs["vec_width"] = value + 1
+        elif name == "imm_s16":
+            kwargs["imm"] = value - 0x10000 if value >= 0x8000 else value
+        elif name == "int_operand":
+            int_operand = value
+        elif name in ("reg_indirect", "imm_mode"):
+            kwargs[name] = bool(value)
+        elif name == "alu_op":
+            kwargs["alu_op"] = AluOp(value)
+        elif name == "brn_op":
+            kwargs["brn_op"] = BrnOp(value)
+        else:
+            kwargs[name] = value
+    if int_operand is not None:
+        if kwargs.get("imm_mode"):
+            kwargs["imm"] = (int_operand - 0x10000
+                             if int_operand >= 0x8000 else int_operand)
+        else:
+            kwargs["src2"] = int_operand
+    return Instruction(opcode, **kwargs)  # type: ignore[arg-type]
+
+
+def encode_program(instructions: Sequence[Instruction]) -> bytes:
+    """Encode an instruction sequence into a contiguous binary image."""
+    return b"".join(encode(i) for i in instructions)
+
+
+def decode_program(image: bytes) -> list[Instruction]:
+    """Decode a binary image produced by :func:`encode_program`."""
+    if len(image) % INSTRUCTION_BYTES != 0:
+        raise ValueError("image length is not a multiple of the instruction size")
+    return [decode(image[i:i + INSTRUCTION_BYTES])
+            for i in range(0, len(image), INSTRUCTION_BYTES)]

@@ -1,0 +1,131 @@
+"""Opcode and sub-operation enumerations for the PUMA ISA (Table 2)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.IntEnum):
+    """Primary instruction opcodes.
+
+    The categories follow Table 2 of the paper.  ``HLT`` is an addition that
+    terminates a core/tile instruction stream; the paper's code generator
+    needs an equivalent marker to stop the fetch unit.
+    """
+
+    MVM = 0x01        # matrix-vector multiplication (possibly coalesced)
+    ALU = 0x02        # vector arithmetic / logical / nonlinear
+    ALUI = 0x03       # vector arithmetic with immediate
+    ALU_INT = 0x04    # scalar integer arithmetic / compare (SFU)
+    SET = 0x05        # register initialization with immediate
+    COPY = 0x06       # move between register classes
+    LOAD = 0x07       # load from tile shared memory
+    STORE = 0x08      # store to tile shared memory
+    SEND = 0x09       # send to another tile (tile instruction)
+    RECEIVE = 0x0A    # receive from another tile (tile instruction)
+    JMP = 0x0B        # unconditional jump
+    BRN = 0x0C        # conditional branch
+    HLT = 0x0D        # halt the instruction stream
+
+    @property
+    def is_compute(self) -> bool:
+        return self in (Opcode.MVM, Opcode.ALU, Opcode.ALUI, Opcode.ALU_INT)
+
+    @property
+    def is_control(self) -> bool:
+        return self in (Opcode.JMP, Opcode.BRN)
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (Opcode.LOAD, Opcode.STORE)
+
+    @property
+    def is_network(self) -> bool:
+        return self in (Opcode.SEND, Opcode.RECEIVE)
+
+
+class AluOp(enum.IntEnum):
+    """Sub-operations for ALU / ALUI / ALU_INT instructions.
+
+    Covers the paper's three ALU groups: arithmetic/logical, nonlinear
+    (including the transcendentals evaluated via ROM-Embedded RAM), and
+    "other" (random vector, subsampling, min/max).
+    """
+
+    # Vector arithmetic / logical
+    ADD = 0x00
+    SUB = 0x01
+    MUL = 0x02
+    DIV = 0x03
+    SHL = 0x04
+    SHR = 0x05
+    AND = 0x06
+    OR = 0x07
+    NOT = 0x08
+    # Vector nonlinear (RELU in VFU; transcendentals via ROM-Embedded RAM)
+    RELU = 0x10
+    SIGMOID = 0x11
+    TANH = 0x12
+    LOG = 0x13
+    EXP = 0x14
+    LOG_SOFTMAX = 0x15
+    # Other
+    RANDOM = 0x20
+    SUBSAMPLE = 0x21
+    MIN = 0x22
+    MAX = 0x23
+    # Scalar compare group (ALU_INT)
+    EQ = 0x30
+    GT = 0x31
+    NEQ = 0x32
+
+    @property
+    def is_transcendental(self) -> bool:
+        """True for operations evaluated via the ROM-Embedded RAM LUTs."""
+        return self in (AluOp.SIGMOID, AluOp.TANH, AluOp.LOG, AluOp.EXP,
+                        AluOp.LOG_SOFTMAX)
+
+    @property
+    def is_nonlinear(self) -> bool:
+        return self in (AluOp.RELU, AluOp.SIGMOID, AluOp.TANH, AluOp.LOG,
+                        AluOp.EXP, AluOp.LOG_SOFTMAX)
+
+    @property
+    def is_compare(self) -> bool:
+        return self in (AluOp.EQ, AluOp.GT, AluOp.NEQ)
+
+    @property
+    def num_sources(self) -> int:
+        """How many register source operands the operation consumes.
+
+        SUBSAMPLE counts two: the vector plus a scalar register holding the
+        subsampling factor.
+        """
+        if self in (AluOp.NOT, AluOp.RANDOM) or self.is_nonlinear:
+            return 1
+        return 2
+
+
+class BrnOp(enum.IntEnum):
+    """Branch conditions for the ``brn`` instruction."""
+
+    EQ = 0x00
+    NEQ = 0x01
+    LT = 0x02
+    LE = 0x03
+    GT = 0x04
+    GE = 0x05
+
+
+class RegisterClass(enum.IntEnum):
+    """The three register classes of a core (Section 5.4).
+
+    XbarIn registers feed the DAC array; XbarOut registers capture ADC
+    output; general-purpose registers live in the ROM-Embedded RAM register
+    file.  The compiler's register allocator performs liveness analysis on
+    each class separately.
+    """
+
+    XBAR_IN = 0
+    XBAR_OUT = 1
+    GENERAL = 2

@@ -1,0 +1,175 @@
+"""Program containers: per-core and per-tile instruction streams.
+
+PUMA is a spatial architecture — each core and each tile runs its own
+instruction stream (Section 5).  A :class:`NodeProgram` is the unit the
+compiler emits and the simulator consumes: one :class:`TileProgram` per tile,
+each holding one :class:`CoreProgram` per core plus the tile-level
+send/receive stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.isa.encoding import INSTRUCTION_BYTES, decode_program, encode_program
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+@dataclass
+class CoreProgram:
+    """The instruction stream of one core."""
+
+    core_id: int
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def append(self, instr: Instruction) -> None:
+        self.instructions.append(instr)
+
+    def extend(self, instrs: list[Instruction]) -> None:
+        self.instructions.extend(instrs)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    @property
+    def size_bytes(self) -> int:
+        """Footprint in the core instruction memory."""
+        return len(self.instructions) * INSTRUCTION_BYTES
+
+    def opcode_histogram(self) -> dict[Opcode, int]:
+        """Static instruction counts by opcode (input to Figure 4)."""
+        hist: dict[Opcode, int] = {}
+        for instr in self.instructions:
+            hist[instr.opcode] = hist.get(instr.opcode, 0) + 1
+        return hist
+
+    def to_binary(self) -> bytes:
+        return encode_program(self.instructions)
+
+    @classmethod
+    def from_binary(cls, core_id: int, image: bytes) -> "CoreProgram":
+        return cls(core_id, decode_program(image))
+
+
+@dataclass
+class TileProgram:
+    """The instruction streams of one tile: its cores plus the tile stream.
+
+    The tile stream holds the ``send``/``receive`` instructions executed by
+    the tile control unit (Section 4); core streams hold everything else.
+    """
+
+    tile_id: int
+    cores: dict[int, CoreProgram] = field(default_factory=dict)
+    tile_instructions: list[Instruction] = field(default_factory=list)
+
+    def core(self, core_id: int) -> CoreProgram:
+        """Get (creating on first use) the program of core ``core_id``."""
+        if core_id not in self.cores:
+            self.cores[core_id] = CoreProgram(core_id)
+        return self.cores[core_id]
+
+    def append_tile(self, instr: Instruction) -> None:
+        if instr.opcode not in (Opcode.SEND, Opcode.RECEIVE, Opcode.HLT,
+                                Opcode.JMP, Opcode.BRN, Opcode.SET,
+                                Opcode.ALU_INT):
+            raise ValueError(
+                f"{instr.opcode.name} is not a tile-level instruction"
+            )
+        self.tile_instructions.append(instr)
+
+    @property
+    def size_bytes(self) -> int:
+        """Footprint in the tile instruction memory (tile stream only)."""
+        return len(self.tile_instructions) * INSTRUCTION_BYTES
+
+    def opcode_histogram(self) -> dict[Opcode, int]:
+        """Static counts across the tile stream and all core streams."""
+        hist: dict[Opcode, int] = {}
+        for instr in self.tile_instructions:
+            hist[instr.opcode] = hist.get(instr.opcode, 0) + 1
+        for core in self.cores.values():
+            for opcode, n in core.opcode_histogram().items():
+                hist[opcode] = hist.get(opcode, 0) + n
+        return hist
+
+
+@dataclass
+class NodeProgram:
+    """A compiled model: one :class:`TileProgram` per tile, plus metadata.
+
+    Attributes:
+        tiles: tile programs keyed by tile id.
+        weights: crossbar weight assignments produced by the compiler;
+            maps ``(tile, core, mvmu)`` to a 2-D integer matrix.
+        const_memory: constant data images preloaded into tile shared
+            memories at configuration time: tile id -> list of
+            ``(address, fixed-point words)``.
+        input_layout / output_layout: where model inputs must be written
+            and outputs will appear, as ``(tile, address, length)`` tuples
+            keyed by vector name.
+        name: model name.
+    """
+
+    name: str = "model"
+    tiles: dict[int, TileProgram] = field(default_factory=dict)
+    weights: dict[tuple[int, int, int], object] = field(default_factory=dict)
+    const_memory: dict[int, list[tuple[int, object]]] = field(default_factory=dict)
+    input_layout: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+    output_layout: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+
+    def tile(self, tile_id: int) -> TileProgram:
+        """Get (creating on first use) the program of tile ``tile_id``."""
+        if tile_id not in self.tiles:
+            self.tiles[tile_id] = TileProgram(tile_id)
+        return self.tiles[tile_id]
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def num_cores(self) -> int:
+        return sum(len(t.cores) for t in self.tiles.values())
+
+    def total_instructions(self) -> int:
+        return sum(
+            len(t.tile_instructions) + sum(len(c) for c in t.cores.values())
+            for t in self.tiles.values()
+        )
+
+    def opcode_histogram(self) -> dict[Opcode, int]:
+        """Static instruction counts across the whole node (Figure 4)."""
+        hist: dict[Opcode, int] = {}
+        for tile in self.tiles.values():
+            for opcode, n in tile.opcode_histogram().items():
+                hist[opcode] = hist.get(opcode, 0) + n
+        return hist
+
+    def usage_breakdown(self) -> dict[str, int]:
+        """Static instruction usage by execution unit, as in Figure 4.
+
+        Categories: inter-tile data transfer (send/receive), inter-core data
+        transfer (load/store/copy/set), control flow (jmp/brn), scalar
+        functional unit (alu-int), vector functional unit (alu/alui), and
+        the MVM unit.
+        """
+        hist = self.opcode_histogram()
+
+        def take(*ops: Opcode) -> int:
+            return sum(hist.get(op, 0) for op in ops)
+
+        return {
+            "inter_tile": take(Opcode.SEND, Opcode.RECEIVE),
+            "inter_core": take(Opcode.LOAD, Opcode.STORE, Opcode.COPY,
+                               Opcode.SET),
+            "control_flow": take(Opcode.JMP, Opcode.BRN),
+            "sfu": take(Opcode.ALU_INT),
+            "vfu": take(Opcode.ALU, Opcode.ALUI),
+            "mvm": take(Opcode.MVM),
+        }

@@ -1,0 +1,6 @@
+"""PUMA node tier: tiles connected by an on-chip network."""
+
+from repro.node.noc import NetworkOnChip
+from repro.node.node import Node
+
+__all__ = ["NetworkOnChip", "Node"]

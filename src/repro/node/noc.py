@@ -1,0 +1,165 @@
+"""On-chip network model (Table 3: 32-bit flits, 4 ports, concentration 4).
+
+The paper models its NoC with Booksim (cycle level) and Orion (energy).
+PUMA traffic is statically-routed producer/consumer streams, so a per-hop
+latency plus per-flit-hop energy model captures the figure-level costs; the
+energy constants are calibrated against the Table 3 NoC power budget in
+:mod:`repro.energy.components`.
+
+Topology: tiles are concentrated ``concentration`` per router; routers form
+a 2-D mesh with dimension-order (XY) routing.  Per-(destination, FIFO)
+ordering is preserved: a delivery that finds the receive FIFO full parks and
+retries head-first, so packets never overtake within a flow.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.arch.config import PumaConfig
+from repro.tile.receive_buffer import Packet, ReceiveBuffer
+
+# schedule(delay_cycles, callback): provided by the simulator's event loop.
+ScheduleFunction = Callable[[int, Callable[[], None]], None]
+
+ROUTER_PIPELINE_CYCLES = 3   # per-hop router traversal
+LINK_CYCLES = 1              # per-hop link traversal
+WORD_BITS = 16
+# Chip-to-chip (HyperTransport-class) link: fixed traversal latency plus
+# serialization at the Table 3 bandwidth (6.4 GB/s).
+OFFCHIP_BASE_CYCLES = 250
+
+
+@dataclass(frozen=True)
+class MeshGeometry:
+    """Router-mesh geometry derived from tile count and concentration."""
+
+    num_tiles: int
+    concentration: int
+
+    @property
+    def num_routers(self) -> int:
+        return math.ceil(self.num_tiles / self.concentration)
+
+    @property
+    def mesh_width(self) -> int:
+        return max(1, math.ceil(math.sqrt(self.num_routers)))
+
+    def router_of(self, tile_id: int) -> tuple[int, int]:
+        """(x, y) coordinates of the router serving ``tile_id``."""
+        router = tile_id // self.concentration
+        return router % self.mesh_width, router // self.mesh_width
+
+    def hops(self, src_tile: int, dst_tile: int) -> int:
+        """XY-routing hop count between two tiles' routers."""
+        sx, sy = self.router_of(src_tile)
+        dx, dy = self.router_of(dst_tile)
+        return abs(sx - dx) + abs(sy - dy)
+
+
+class NetworkOnChip:
+    """Delivers packets between tiles with modelled latency and ordering.
+
+    Args:
+        config: node configuration (flit size, concentration).
+        receive_buffers: destination receive buffers keyed by tile id.
+        schedule: event-loop scheduling hook from the simulator.
+    """
+
+    def __init__(self, config: PumaConfig,
+                 receive_buffers: dict[int, ReceiveBuffer],
+                 schedule: ScheduleFunction) -> None:
+        self.config = config
+        node = config.node
+        self.geometry = MeshGeometry(node.num_tiles, node.noc_concentration)
+        self._buffers = receive_buffers
+        self._schedule = schedule
+        # In-order delivery queues per (destination tile, fifo), ordered by
+        # *injection* time: a short packet must not overtake a long one
+        # within the same flow just because it serializes faster.
+        self._pending: dict[tuple[int, int], deque[list]] = {}
+        self.packets_in_flight = 0
+        self.flit_hops = 0
+        self.packets_delivered = 0
+        self.offchip_words = 0
+        self.offchip_packets = 0
+
+    def flits_for(self, packet: Packet) -> int:
+        """Flit count for a packet's payload."""
+        bits = packet.num_words * WORD_BITS
+        return max(1, math.ceil(bits / self.config.node.noc_flit_size_bits))
+
+    def _local(self, tile_id: int) -> int:
+        return tile_id % self.config.node.num_tiles
+
+    def is_offchip(self, src_tile: int, dst_tile: int) -> bool:
+        """True when the route crosses the chip-to-chip interconnect."""
+        return (self.config.node_of_tile(src_tile)
+                != self.config.node_of_tile(dst_tile))
+
+    def latency_cycles(self, src_tile: int, dst_tile: int, packet: Packet) -> int:
+        """Head latency plus serialization for the whole packet.
+
+        Inter-node routes add the off-chip link: a fixed traversal plus
+        serialization at the HyperTransport bandwidth, with each side's
+        mesh traversal to/from the chip edge.
+        """
+        if self.is_offchip(src_tile, dst_tile):
+            edge_hops = self.geometry.mesh_width  # to and from the edge
+            head = (edge_hops * (ROUTER_PIPELINE_CYCLES + LINK_CYCLES)
+                    + OFFCHIP_BASE_CYCLES)
+            bytes_ = packet.num_words * WORD_BITS / 8
+            link = math.ceil(
+                bytes_ * self.config.clock_ghz
+                / self.config.node.offchip_link_bandwidth_gbps)
+            return max(1, head + link)
+        hops = self.geometry.hops(self._local(src_tile),
+                                  self._local(dst_tile))
+        head = hops * (ROUTER_PIPELINE_CYCLES + LINK_CYCLES)
+        serialization = self.flits_for(packet)
+        return max(1, head + serialization)
+
+    def send(self, src_tile: int, dst_tile: int, fifo_id: int,
+             packet: Packet) -> None:
+        """Inject a packet; it arrives after the modelled latency."""
+        if dst_tile not in self._buffers:
+            raise KeyError(f"destination tile {dst_tile} has no receive buffer")
+        if self.is_offchip(src_tile, dst_tile):
+            self.offchip_words += packet.num_words
+            self.offchip_packets += 1
+            hops = self.geometry.mesh_width
+        else:
+            hops = self.geometry.hops(self._local(src_tile),
+                                      self._local(dst_tile))
+        self.flit_hops += self.flits_for(packet) * max(1, hops)
+        self.packets_in_flight += 1
+        key = (dst_tile, fifo_id)
+        entry = [packet, False]  # [payload, arrived]
+        self._pending.setdefault(key, deque()).append(entry)
+        latency = self.latency_cycles(src_tile, dst_tile, packet)
+        self._schedule(latency, lambda: self._arrive(key, entry))
+
+    def _arrive(self, key: tuple[int, int], entry: list) -> None:
+        entry[1] = True
+        self._drain(key)
+
+    def _drain(self, key: tuple[int, int]) -> None:
+        """Deliver arrived packets head-first while the FIFO has space."""
+        dst_tile, fifo_id = key
+        queue = self._pending.get(key)
+        buffer = self._buffers[dst_tile]
+        while queue and queue[0][1] and buffer.push(fifo_id, queue[0][0]):
+            queue.popleft()
+            self.packets_in_flight -= 1
+            self.packets_delivered += 1
+        if queue and queue[0][1]:
+            # Head has arrived but the FIFO is full: retry on a pop.
+            buffer.wait_for_space(lambda: self._drain(key))
+
+    @property
+    def idle(self) -> bool:
+        """True when no packets are queued or in flight."""
+        return self.packets_in_flight == 0

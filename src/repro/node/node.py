@@ -1,0 +1,89 @@
+"""Node: the instantiated accelerator — tiles plus the network fabric.
+
+A :class:`Node` instantiates only the tiles a compiled program actually
+uses (a 138-tile node with all tiles built would waste simulation memory
+for small models), wires their receive buffers into the NoC, and loads
+crossbar weights from the program's weight map.  With
+``config.num_nodes > 1`` the same object represents the whole multi-node
+system: tile ids are global, and the network routes inter-node flows over
+the chip-to-chip interconnect.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.arch.config import PumaConfig
+from repro.arch.crossbar import CrossbarModel
+from repro.isa.program import NodeProgram
+from repro.node.noc import NetworkOnChip, ScheduleFunction
+from repro.tile.tile import Tile
+
+
+class Node:
+    """The instantiated hardware for one compiled program.
+
+    Args:
+        config: accelerator configuration.
+        tile_ids: which tiles to build.
+        schedule: event-loop hook handed to the NoC.
+        crossbar_model: device model (noise studies override the default).
+        seed: RNG seed for write noise and the RANDOM op.
+    """
+
+    def __init__(self, config: PumaConfig, tile_ids: Iterable[int],
+                 schedule: ScheduleFunction,
+                 crossbar_model: CrossbarModel | None = None,
+                 seed: int | None = None) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        if crossbar_model is None:
+            core = config.core
+            crossbar_model = CrossbarModel(
+                dim=core.mvmu_dim,
+                bits_per_cell=core.bits_per_cell,
+                bits_per_input=core.bits_per_input,
+            )
+        self.crossbar_model = crossbar_model
+        self.tiles: dict[int, Tile] = {}
+        for tile_id in sorted(set(tile_ids)):
+            if not 0 <= tile_id < config.total_tiles:
+                raise ValueError(
+                    f"tile id {tile_id} outside the {config.num_nodes}-node "
+                    f"system's {config.total_tiles} tiles")
+            self.tiles[tile_id] = Tile(
+                tile_id, config.tile, send_fn=None,
+                crossbar_model=crossbar_model, rng=rng)
+        buffers = {tid: t.receive_buffer for tid, t in self.tiles.items()}
+        self.noc = NetworkOnChip(config, buffers, schedule)
+        for tile in self.tiles.values():
+            tile.attach_network(self.noc.send)
+
+    @classmethod
+    def for_program(cls, config: PumaConfig, program: NodeProgram,
+                    schedule: ScheduleFunction,
+                    crossbar_model: CrossbarModel | None = None,
+                    seed: int | None = None) -> "Node":
+        """Build a node sized for ``program`` and load its weights."""
+        node = cls(config, program.tiles.keys(), schedule,
+                   crossbar_model=crossbar_model, seed=seed)
+        node.load_weights(program)
+        return node
+
+    def load_weights(self, program: NodeProgram) -> None:
+        """Program every crossbar listed in the compiled weight map."""
+        for (tile_id, core_id, mvmu_id), matrix in program.weights.items():
+            tile = self.tiles.get(tile_id)
+            if tile is None:
+                raise KeyError(f"program references missing tile {tile_id}")
+            tile.cores[core_id].program_mvmu(
+                mvmu_id, np.asarray(matrix, dtype=np.int64))
+
+    def tile(self, tile_id: int) -> Tile:
+        return self.tiles[tile_id]
+
+    def reset(self) -> None:
+        for tile in self.tiles.values():
+            tile.reset()

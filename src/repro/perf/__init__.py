@@ -1,0 +1,20 @@
+"""Analytic PUMA performance model for paper-scale workloads.
+
+The detailed simulator (:mod:`repro.sim`) is exact but instruction-level;
+100M+-parameter networks (Table 5) are evaluated with this layer-level
+model instead.  It uses the *same* cost constants as the simulator's
+timing/energy models (:mod:`repro.energy.model`) and is validated against
+the detailed simulator on small networks in
+``tests/test_perf_validation.py``.
+"""
+
+from repro.perf.layer_model import LayerCost, StageCost, layer_cost
+from repro.perf.pipeline_model import PumaEstimate, estimate_puma
+
+__all__ = [
+    "StageCost",
+    "LayerCost",
+    "layer_cost",
+    "PumaEstimate",
+    "estimate_puma",
+]

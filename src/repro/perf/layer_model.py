@@ -1,0 +1,246 @@
+"""Per-layer PUMA stage costs.
+
+A *stage* is one layer processing one input vector (one time step for
+recurrent layers, one window position for convolutions).  Its latency
+follows the code the compiler generates:
+
+1. distribute the input vector into the XbarIn registers of every core
+   holding row tiles (parallel across cores; a load per MVMU);
+2. fire the (coalesced) MVMs — all row/column tiles in parallel, the
+   2304 ns crossbar latency (Section 7.4.3);
+3. reduce the ``R`` row-tile partials of each output segment: a local add
+   per core, then a serial chain of load+add on the aggregator core
+   (cross-tile partials add network hops);
+4. run the layer's vector work (bias, activations; gate arithmetic for
+   LSTM cells) under temporal SIMD;
+5. store the result.
+
+Output segments reduce on different aggregator cores, so stage latency
+scales with row tiles but not with output width.  Energy counts every MVM
+activation at the calibrated 43.97 nJ plus VFU/register/memory/network
+contributions at the Table 3 component rates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import PumaConfig
+from repro.energy.components import MW, TABLE3, mvmu_power_mw
+from repro.energy.model import (
+    BUS_WORDS_PER_CYCLE,
+    MEMORY_ACCESS_CYCLES,
+    NOC_FLIT_HOP_ENERGY_J,
+    mvm_latency_cycles,
+)
+
+# Average NoC hops for intra-layer traffic (layers span neighbouring tiles).
+AVG_HOPS = 3
+_ROUTER_CYCLES_PER_HOP = 4
+# Elementwise work whose operands live in *different* tiles (the LSTM
+# gate/cell chain of wide cells: i/f/o/c~ segments sit in different column
+# tiles) is serialized through shared memory and tile streams — roughly one
+# load + op + store round per word, as the generated code does.  This is
+# the "higher intra-layer data movement overhead" of wide LSTMs (Sec 7.2).
+CROSS_TILE_EWISE_CYCLES_PER_WORD = 8
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Latency and operation counts of one layer stage."""
+
+    latency_cycles: float
+    mvm_activations: int
+    vfu_ops: int
+    memory_words: int
+    network_words: int
+    instructions: int
+
+    def merge(self, other: "StageCost") -> "StageCost":
+        return StageCost(
+            self.latency_cycles + other.latency_cycles,
+            self.mvm_activations + other.mvm_activations,
+            self.vfu_ops + other.vfu_ops,
+            self.memory_words + other.memory_words,
+            self.network_words + other.network_words,
+            self.instructions + other.instructions,
+        )
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Stage cost plus layer occupancy."""
+
+    stage: StageCost
+    mvmus: int          # crossbars storing this layer's weights
+    stages: int         # stage invocations per inference (steps/positions)
+
+
+def _matvec_stage(config: PumaConfig, in_features: int, out_features: int,
+                  vector_ops_per_out: float = 2.0) -> StageCost:
+    """Stage cost of a tiled matrix-vector product plus its vector tail."""
+    core = config.core
+    dim = core.mvmu_dim
+    row_tiles = max(1, math.ceil(in_features / dim))
+    col_tiles = max(1, math.ceil(out_features / dim))
+    mvmus = row_tiles * col_tiles
+    cores_per_reduce = math.ceil(row_tiles / core.num_mvmus)
+    tiles_spanned = math.ceil(mvmus / (core.num_mvmus
+                                       * config.tile.num_cores))
+
+    seg = min(dim, out_features)
+    load_cycles = MEMORY_ACCESS_CYCLES + math.ceil(dim / BUS_WORDS_PER_CYCLE)
+    add_cycles = math.ceil(seg / core.vfu_width)
+
+    # 1. input distribution (parallel loads; network if layer spans tiles)
+    t = load_cycles
+    if tiles_spanned > 1:
+        t += AVG_HOPS * _ROUTER_CYCLES_PER_HOP + math.ceil(dim / 2)
+    # 2. crossbar MVM (row/col tiles all fire in parallel)
+    t += mvm_latency_cycles(dim, core.fixed_point.total_bits
+                            // core.bits_per_input)
+    # 3. partial reduction: local pair-add, then a serial aggregation chain
+    t += add_cycles  # local coalesced-pair add
+    remote_partials = max(0, cores_per_reduce - 1)
+    per_partial = load_cycles + add_cycles
+    if tiles_spanned > 1:
+        per_partial += AVG_HOPS * _ROUTER_CYCLES_PER_HOP + math.ceil(seg / 2)
+    t += remote_partials * per_partial
+    # 4. vector tail (bias + activation, or the LSTM gate arithmetic)
+    t += math.ceil(vector_ops_per_out * seg / core.vfu_width)
+    # 5. store the result segment
+    t += MEMORY_ACCESS_CYCLES + math.ceil(seg / BUS_WORDS_PER_CYCLE)
+
+    vfu_ops = int(vector_ops_per_out * out_features) \
+        + row_tiles * min(dim, out_features)  # reduction adds
+    memory_words = (row_tiles * dim                       # XbarIn loads
+                    + 2 * max(0, row_tiles - 1) * out_features  # partials
+                    + out_features)                        # result store
+    network_words = 0
+    if tiles_spanned > 1:
+        network_words = in_features + max(0, row_tiles - 1) * out_features
+    instructions = mvmus * 2 + row_tiles * col_tiles + 4 * col_tiles
+
+    return StageCost(
+        latency_cycles=float(t),
+        mvm_activations=mvmus,
+        vfu_ops=vfu_ops,
+        memory_words=memory_words,
+        network_words=network_words,
+        instructions=instructions,
+    )
+
+
+def dense_layer_cost(config: PumaConfig, in_features: int,
+                     out_features: int, activation: bool = True) -> LayerCost:
+    stage = _matvec_stage(config, in_features, out_features,
+                          vector_ops_per_out=2.0 if activation else 1.0)
+    dim = config.core.mvmu_dim
+    mvmus = math.ceil(in_features / dim) * math.ceil(out_features / dim)
+    return LayerCost(stage=stage, mvmus=mvmus, stages=1)
+
+
+def lstm_layer_cost(config: PumaConfig, input_size: int, hidden_size: int,
+                    proj_size: int = 0) -> LayerCost:
+    """One LSTM step: fused gate matvec, cell update, optional projection."""
+    state = proj_size if proj_size else hidden_size
+    gate = _matvec_stage(config, input_size + state, 4 * hidden_size,
+                         vector_ops_per_out=0.0)
+    # Cell update: 4 transcendental + 4 elementwise ops over hidden-size
+    # vectors, distributed over the cores holding the gate column tiles.
+    core = config.core
+    col_tiles = math.ceil(4 * hidden_size / core.mvmu_dim)
+    col_cores = max(1, col_tiles // core.num_mvmus)
+    cell_ops = 8 * hidden_size
+    cell_cycles = math.ceil(cell_ops / col_cores / core.vfu_width)
+    tiles_spanned = math.ceil(col_cores / config.tile.num_cores)
+    network_words = 0
+    if tiles_spanned > 1:
+        # The i/f/o/c~ segments combined by the cell update live in
+        # different tiles: gather/scatter serializes per word.
+        cell_cycles += hidden_size * CROSS_TILE_EWISE_CYCLES_PER_WORD
+        network_words = 3 * hidden_size
+    cell = StageCost(latency_cycles=float(cell_cycles),
+                     mvm_activations=0, vfu_ops=cell_ops,
+                     memory_words=2 * hidden_size,
+                     network_words=network_words,
+                     instructions=8 * max(1, hidden_size // core.mvmu_dim))
+    stage = gate.merge(cell)
+    mvmus = (math.ceil((input_size + state) / core.mvmu_dim)
+             * math.ceil(4 * hidden_size / core.mvmu_dim))
+    if proj_size:
+        proj = _matvec_stage(config, hidden_size, proj_size,
+                             vector_ops_per_out=0.0)
+        stage = stage.merge(proj)
+        mvmus += (math.ceil(hidden_size / core.mvmu_dim)
+                  * math.ceil(proj_size / core.mvmu_dim))
+    return LayerCost(stage=stage, mvmus=mvmus, stages=1)
+
+
+def conv_layer_cost(config: PumaConfig, window: int, out_channels: int,
+                    positions: int) -> LayerCost:
+    """One conv layer: a matvec stage per window position."""
+    stage = _matvec_stage(config, window, out_channels,
+                          vector_ops_per_out=2.0)
+    dim = config.core.mvmu_dim
+    mvmus = math.ceil(window / dim) * math.ceil(out_channels / dim)
+    return LayerCost(stage=stage, mvmus=mvmus, stages=positions)
+
+
+def pool_layer_cost(config: PumaConfig, channels: int, positions: int,
+                    window: int = 4) -> LayerCost:
+    core = config.core
+    ops = channels * window
+    cycles = math.ceil(ops / core.vfu_width) + 2 * (
+        MEMORY_ACCESS_CYCLES + math.ceil(channels / BUS_WORDS_PER_CYCLE))
+    stage = StageCost(latency_cycles=float(cycles), mvm_activations=0,
+                      vfu_ops=ops, memory_words=2 * channels,
+                      network_words=0, instructions=window + 2)
+    return LayerCost(stage=stage, mvmus=0, stages=positions)
+
+
+def stage_energy_j(config: PumaConfig, stage: StageCost) -> float:
+    """Energy of one stage from the Table 3 component rates."""
+    core = config.core
+    cycle_s = config.cycle_ns * 1e-9
+    input_steps = core.fixed_point.total_bits // core.bits_per_input
+    mvm_j = (mvmu_power_mw(core.mvmu_dim, core.bits_per_cell) * MW
+             * mvm_latency_cycles(core.mvmu_dim, input_steps) * cycle_s)
+    vfu_j_per_op = (TABLE3["vfu"].power_mw + TABLE3["register_file"].power_mw) \
+        * MW * cycle_s / max(core.vfu_width, 1) * core.vfu_width
+    smem_scale = config.tile.shared_memory_bytes / 65536
+    mem_j_per_word = ((TABLE3["tile_data_memory"].power_mw * smem_scale
+                       + TABLE3["tile_memory_bus"].power_mw
+                       + TABLE3["tile_attribute_memory"].power_mw
+                       * (config.tile.attribute_entries / 32768)) * MW
+                      * cycle_s / BUS_WORDS_PER_CYCLE)
+    fetch_j = (TABLE3["instruction_memory"].power_mw
+               + TABLE3["control_pipeline"].power_mw) * MW * cycle_s
+    noc_j_per_word = NOC_FLIT_HOP_ENERGY_J * AVG_HOPS / 2  # 2 words/flit
+    return (stage.mvm_activations * mvm_j
+            + stage.vfu_ops * vfu_j_per_op
+            + stage.memory_words * mem_j_per_word
+            + stage.network_words * noc_j_per_word
+            + stage.instructions * fetch_j)
+
+
+def layer_cost(config: PumaConfig, layer) -> LayerCost:
+    """Dispatch a workload-spec layer to its cost function."""
+    from repro.workloads.spec import (ConvLayer, DenseLayer, LstmLayer,
+                                      PoolLayer)
+
+    if isinstance(layer, DenseLayer):
+        return dense_layer_cost(config, layer.in_features,
+                                layer.out_features,
+                                activation=bool(layer.activation))
+    if isinstance(layer, LstmLayer):
+        return lstm_layer_cost(config, layer.input_size, layer.hidden_size,
+                               layer.proj_size)
+    if isinstance(layer, ConvLayer):
+        return conv_layer_cost(config, layer.window, layer.out_channels,
+                               layer.positions)
+    if isinstance(layer, PoolLayer):
+        return pool_layer_cost(config, layer.channels,
+                               layer.out_h * layer.out_w)
+    raise TypeError(f"no PUMA cost model for {layer!r}")

@@ -1,0 +1,138 @@
+"""Whole-network PUMA latency/energy: spatial pipelining and batching.
+
+Network-level composition rules (Sections 4.1.2, 7.2):
+
+* **MLP**, batch 1: no inter-layer parallelism for a single input — the
+  latency is the sum of layer stages.  A batch streams through the layer
+  pipeline, so batch latency is fill + (B-1) x bottleneck stage.
+* **LSTM/RNN**: layers pipeline across time steps (wavefront); the
+  recurrence serializes consecutive steps of the same layer.  Measured
+  overlap in the detailed simulator falls short of the ideal wavefront
+  because synchronization through shared memory serializes the gate/cell/
+  projection chain, captured by ``PIPELINE_EFFICIENCY``.
+* **CNN**: convolution layers pipeline across window positions.  Early
+  layers have far more positions than late ones, so their crossbars are
+  *replicated* until the per-layer position counts balance (the standard
+  spatial-CNN mapping); replication spends spare MVMUs but does not change
+  the operation count, hence latency drops while energy stays put.
+
+Energy is operation-count based (the simulator's event-energy view): MVM
+activations, VFU ops, memory words, network words, instruction fetches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import PumaConfig
+from repro.energy.model import mvm_initiation_interval_cycles
+from repro.perf.layer_model import layer_cost, stage_energy_j
+from repro.workloads.spec import ConvLayer, DenseLayer, LstmLayer, WorkloadSpec
+
+# Fraction of the ideal recurrent wavefront actually achieved; calibrated
+# against the detailed simulator on small LSTMs (synchronization through
+# the shared-memory valid/count protocol serializes parts of each step).
+PIPELINE_EFFICIENCY = 0.5
+# The analytic stage model tracks the critical path; the detailed simulator
+# additionally serializes instruction issue and synchronization retries.
+# Measured detailed/analytic latency ratio on compiled small networks
+# (tests/test_perf_validation.py) — applied as a global correction.
+DETAILED_SIM_CORRECTION = 1.4
+# Convolution layers replicate crossbars until the busiest layer processes
+# at most this many window positions per inference — the design point where
+# further replication costs more area than the latency it buys (the
+# standard ISAAC-style pipeline balancing PUMA inherits).
+REPLICATION_TARGET_POSITIONS = 640
+
+
+@dataclass(frozen=True)
+class PumaEstimate:
+    """PUMA latency/energy estimate for one workload at one batch size."""
+
+    workload: str
+    batch: int
+    latency_s: float
+    energy_j: float
+    mvmus_used: int
+    nodes_used: int
+
+    @property
+    def latency_per_inference_s(self) -> float:
+        return self.latency_s / self.batch
+
+    @property
+    def energy_per_inference_j(self) -> float:
+        return self.energy_j / self.batch
+
+    @property
+    def throughput_ips(self) -> float:
+        return self.batch / self.latency_s
+
+
+def _mvmus_per_node(config: PumaConfig) -> int:
+    return (config.node.num_tiles * config.tile.num_cores
+            * config.core.num_mvmus)
+
+
+def estimate_puma(spec: WorkloadSpec, config: PumaConfig | None = None,
+                  batch: int = 1) -> PumaEstimate:
+    """Latency and energy of ``batch`` inferences of ``spec`` on PUMA."""
+    config = config if config is not None else PumaConfig()
+    cycle_s = config.cycle_ns * 1e-9
+    costs = [layer_cost(config, layer) for layer in spec.layers]
+    weight_mvmus = sum(c.mvmus for c in costs)
+    per_node = _mvmus_per_node(config)
+
+    recurrent = spec.dnn_type in ("DeepLSTM", "WideLSTM", "RNN")
+    is_cnn = spec.dnn_type == "CNN"
+
+    core = config.core
+    interval = mvm_initiation_interval_cycles(
+        core.mvmu_dim, core.fixed_point.total_bits // core.bits_per_input)
+
+    if is_cnn:
+        replicas = [max(1, math.ceil(c.stages / REPLICATION_TARGET_POSITIONS))
+                    for c in costs]
+        replicated = weight_mvmus + sum(
+            (r - 1) * c.mvmus for c, r in zip(costs, replicas))
+        nodes = max(1, math.ceil(replicated / per_node))
+        fill = sum(c.stage.latency_cycles for c in costs)
+        bottleneck = max(
+            (c.stages / r) * max(interval, c.stage.latency_cycles
+                                 if c.stages == 1 else interval)
+            for c, r in zip(costs, replicas))
+        steady = bottleneck
+        latency_cycles = fill + batch * steady
+        mvmus_used = weight_mvmus + sum(
+            (r - 1) * c.mvmus for c, r in zip(costs, replicas))
+    elif recurrent:
+        step_chain = sum(c.stage.latency_cycles for c in costs)
+        bottleneck = max(c.stage.latency_cycles for c in costs)
+        ideal = step_chain + (spec.seq_len - 1) * bottleneck
+        per_sequence = ideal / PIPELINE_EFFICIENCY
+        # Batched sequences stream through the same wavefront.
+        latency_cycles = (step_chain
+                          + batch * spec.seq_len * bottleneck
+                          / PIPELINE_EFFICIENCY)
+        latency_cycles = max(latency_cycles, per_sequence)
+        nodes = max(1, math.ceil(weight_mvmus / per_node))
+        mvmus_used = weight_mvmus
+    else:  # MLP and friends: serial layers per input, pipelined batch
+        chain = sum(c.stage.latency_cycles for c in costs)
+        bottleneck = max(c.stage.latency_cycles for c in costs)
+        latency_cycles = chain + (batch - 1) * bottleneck
+        nodes = max(1, math.ceil(weight_mvmus / per_node))
+        mvmus_used = weight_mvmus
+
+    steps = spec.seq_len if recurrent else 1
+    energy_one = sum(stage_energy_j(config, c.stage) * c.stages * steps
+                     for c in costs)
+    return PumaEstimate(
+        workload=spec.name,
+        batch=batch,
+        latency_s=latency_cycles * cycle_s * DETAILED_SIM_CORRECTION,
+        energy_j=energy_one * batch,
+        mvmus_used=mvmus_used,
+        nodes_used=max(nodes, math.ceil(mvmus_used / per_node)),
+    )

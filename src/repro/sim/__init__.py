@@ -1,0 +1,13 @@
+"""PUMAsim: event-driven functional + timing + energy simulation."""
+
+from repro.sim.simulator import SimulationDeadlock, Simulator
+from repro.sim.stats import SimulationStats
+from repro.sim.trace import TraceEntry, TraceRecorder
+
+__all__ = [
+    "Simulator",
+    "SimulationDeadlock",
+    "SimulationStats",
+    "TraceEntry",
+    "TraceRecorder",
+]

@@ -1,0 +1,250 @@
+"""PUMAsim: the event-driven execution engine.
+
+The simulator runs a compiled :class:`~repro.isa.program.NodeProgram` on an
+instantiated :class:`~repro.node.node.Node`, producing functional results
+(the model outputs) and a :class:`~repro.sim.stats.SimulationStats` with
+timing and energy.
+
+Execution model: every core and every tile control unit is an *agent*.
+Agents execute their streams in order; an instruction that completes
+occupies its agent for the modelled latency; an instruction that blocks
+(valid/count protocol, FIFO empty/full) parks the agent on the resource's
+waiter list and retries when the resource changes.  A global event queue
+(time-ordered heap) drives everything, including NoC packet deliveries.
+
+Deadlock — the condition the compiler's global linearization exists to
+prevent (Section 5.3.3) — is detected exactly: if the event queue drains
+while unhalted agents remain parked, the simulator raises
+:class:`SimulationDeadlock` naming every blocked agent and its instruction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+import numpy as np
+
+from repro.arch.config import PumaConfig
+from repro.arch.core import Core, ExecOutcome, ExecStatus
+from repro.arch.crossbar import CrossbarModel
+from repro.energy.model import EnergyModel
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import NodeProgram
+from repro.node.node import Node
+from repro.sim.stats import SimulationStats
+from repro.sim.trace import TraceRecorder
+from repro.tile.attribute_buffer import PERSISTENT_COUNT
+from repro.tile.tile import Tile
+
+
+class SimulationDeadlock(RuntimeError):
+    """All pending agents are blocked and no event can unblock them."""
+
+
+class _Agent:
+    """One instruction-stream executor (a core or a tile control unit)."""
+
+    def __init__(self, name: str, tile: Tile, core: Core | None,
+                 instructions: list[Instruction]) -> None:
+        self.name = name
+        self.tile = tile
+        self.core = core
+        self.instructions = instructions
+        self.done = not instructions
+        self.parked = False
+
+    @property
+    def pc(self) -> int:
+        return self.core.pc if self.core is not None else self.tile.pc
+
+    def current_instruction(self) -> Instruction | None:
+        if self.done or self.pc >= len(self.instructions):
+            return None
+        return self.instructions[self.pc]
+
+    def execute(self, instr: Instruction) -> ExecOutcome:
+        if self.core is not None:
+            return self.core.execute(instr)
+        return self.tile.execute_tile_instruction(instr)
+
+
+class Simulator:
+    """Runs compiled programs on the modelled hardware.
+
+    Args:
+        config: accelerator configuration.
+        program: compiled node program (instructions + weights + layouts).
+        crossbar_model: overrides the device model (noise studies).
+        seed: RNG seed for noise and the RANDOM op.
+        trace: optional trace recorder.
+        max_cycles: safety bound on simulated time.
+    """
+
+    def __init__(self, config: PumaConfig, program: NodeProgram,
+                 crossbar_model: CrossbarModel | None = None,
+                 seed: int | None = None,
+                 trace: TraceRecorder | None = None,
+                 max_cycles: int = 2_000_000_000) -> None:
+        self.config = config
+        self.program = program
+        self.max_cycles = max_cycles
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self._events: list[tuple[int, int, Callable[[], None]]] = []
+        self._event_seq = 0
+        self.now = 0
+        self.node = Node.for_program(config, program, self._schedule_delay,
+                                     crossbar_model=crossbar_model, seed=seed)
+        self.energy_model = EnergyModel(config)
+        self.stats = SimulationStats(cycle_ns=config.cycle_ns)
+        self._agents = self._build_agents()
+        self._finish_time = 0
+
+    def _build_agents(self) -> list[_Agent]:
+        agents = []
+        for tile_id, tile_prog in sorted(self.program.tiles.items()):
+            tile = self.node.tile(tile_id)
+            if tile_prog.tile_instructions:
+                agents.append(_Agent(f"t{tile_id}", tile, None,
+                                     tile_prog.tile_instructions))
+            for core_id, core_prog in sorted(tile_prog.cores.items()):
+                agents.append(_Agent(f"t{tile_id}c{core_id}", tile,
+                                     tile.cores[core_id],
+                                     core_prog.instructions))
+        return agents
+
+    # -- event queue -----------------------------------------------------
+
+    def _schedule_at(self, time: int, callback: Callable[[], None]) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (time, self._event_seq, callback))
+
+    def _schedule_delay(self, delay: int, callback: Callable[[], None]) -> None:
+        self._schedule_at(self.now + max(0, int(delay)), callback)
+
+    # -- data movement in/out of the accelerator --------------------------
+
+    def write_input(self, name: str, values: np.ndarray) -> None:
+        """Preload one named model input (already fixed-point integers)."""
+        if name not in self.program.input_layout:
+            raise KeyError(f"program has no input named {name!r}")
+        tile_id, addr, length = self.program.input_layout[name]
+        arr = np.atleast_1d(np.asarray(values, dtype=np.int64))
+        if arr.size != length:
+            raise ValueError(
+                f"input {name!r} expects {length} words, got {arr.size}")
+        self.node.tile(tile_id).memory.preload(addr, arr, PERSISTENT_COUNT)
+
+    def read_output(self, name: str) -> np.ndarray:
+        """Read one named model output after the run."""
+        if name not in self.program.output_layout:
+            raise KeyError(f"program has no output named {name!r}")
+        tile_id, addr, length = self.program.output_layout[name]
+        return self.node.tile(tile_id).memory.peek(addr, length)
+
+    # -- main loop --------------------------------------------------------
+
+    def run(self, inputs: dict[str, np.ndarray] | None = None
+            ) -> dict[str, np.ndarray]:
+        """Execute to completion; returns the model outputs by name.
+
+        Raises:
+            SimulationDeadlock: if blocked agents can never make progress.
+            RuntimeError: if ``max_cycles`` is exceeded.
+        """
+        for tile_id, entries in self.program.const_memory.items():
+            for addr, values in entries:
+                self.node.tile(tile_id).memory.preload(
+                    addr, np.asarray(values, dtype=np.int64),
+                    PERSISTENT_COUNT)
+        for name, values in (inputs or {}).items():
+            self.write_input(name, values)
+        for agent in self._agents:
+            if not agent.done:
+                self._schedule_at(0, self._stepper(agent))
+
+        while self._events:
+            time, _seq, callback = heapq.heappop(self._events)
+            if time > self.max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {self.max_cycles} cycles")
+            self.now = time
+            callback()
+
+        self._check_for_deadlock()
+        self.stats.cycles = self._finish_time
+        self.stats.noc_flit_hops = self.node.noc.flit_hops
+        self.stats.noc_packets = self.node.noc.packets_delivered
+        self.stats.offchip_words = self.node.noc.offchip_words
+        self.stats.energy.network += self.energy_model.network_energy(
+            self.node.noc.flit_hops, self.node.noc.offchip_words)
+        return {name: self.read_output(name)
+                for name in self.program.output_layout}
+
+    def _check_for_deadlock(self) -> None:
+        stuck = [a for a in self._agents if not a.done]
+        if not stuck:
+            return
+        details = []
+        for agent in stuck:
+            instr = agent.current_instruction()
+            details.append(f"  {agent.name} pc={agent.pc}: "
+                           f"{instr if instr is not None else '<end>'}")
+        raise SimulationDeadlock(
+            "deadlock: blocked agents with no pending events\n"
+            + "\n".join(details))
+
+    def _stepper(self, agent: _Agent) -> Callable[[], None]:
+        return lambda: self._step(agent)
+
+    def _wake(self, agent: _Agent) -> None:
+        """Resume a parked agent one cycle after the waking event."""
+        if agent.parked:
+            agent.parked = False
+            self._schedule_delay(1, self._stepper(agent))
+
+    def _step(self, agent: _Agent) -> None:
+        if agent.done:
+            return
+        instr = agent.current_instruction()
+        if instr is None:
+            # Stream ended without hlt: treat as completion.
+            agent.done = True
+            self._finish_time = max(self._finish_time, self.now)
+            return
+
+        outcome = agent.execute(instr)
+        status = outcome.status
+
+        if status == ExecStatus.DONE:
+            latency = self.energy_model.latency.cycles(instr, outcome)
+            self.stats.count(instr.opcode,
+                             words=outcome.vec_width
+                             if instr.is_vector else 0)
+            self.stats.record_busy(agent.name, latency)
+            self.stats.energy.merge(self.energy_model.energy(instr, outcome))
+            self.trace.record(self.now, agent.name, instr, latency)
+            self._schedule_delay(latency, self._stepper(agent))
+            return
+
+        if status == ExecStatus.HALTED:
+            agent.done = True
+            self.stats.count(Opcode.HLT)
+            self.trace.record(self.now, agent.name, instr, 1)
+            self._finish_time = max(self._finish_time, self.now + 1)
+            return
+
+        # Blocked: park on the resource that must change first.
+        self.stats.record_stall(agent.name)
+        self.trace.record(self.now, agent.name, instr, 0, blocked=True)
+        agent.parked = True
+        wake = lambda agent=agent: self._wake(agent)  # noqa: E731
+        if status == ExecStatus.BLOCKED_READ:
+            agent.tile.memory.wait_for_read(wake)
+        elif status == ExecStatus.BLOCKED_WRITE:
+            agent.tile.memory.wait_for_write(wake)
+        elif status == ExecStatus.BLOCKED_FIFO:
+            agent.tile.receive_buffer.wait_for_packet(wake)
+        else:
+            raise AssertionError(f"unhandled status {status}")

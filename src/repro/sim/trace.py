@@ -1,0 +1,59 @@
+"""Execution tracing: a per-instruction record of what ran where and when."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.isa.instruction import Instruction
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed (or blocked) instruction."""
+
+    time: int
+    agent: str
+    instruction: Instruction
+    latency: int
+    blocked: bool = False
+
+    def __str__(self) -> str:
+        marker = "~" if self.blocked else " "
+        return (f"{self.time:>10d}{marker} {self.agent:<14s} "
+                f"{self.instruction}")
+
+
+class TraceRecorder:
+    """Collects trace entries; disabled recorders cost almost nothing.
+
+    Args:
+        enabled: record entries when True.
+        include_blocked: also record blocked execution attempts.
+        limit: stop recording beyond this many entries (safety valve).
+    """
+
+    def __init__(self, enabled: bool = False, include_blocked: bool = False,
+                 limit: int = 1_000_000) -> None:
+        self.enabled = enabled
+        self.include_blocked = include_blocked
+        self.limit = limit
+        self.entries: list[TraceEntry] = []
+
+    def record(self, time: int, agent: str, instruction: Instruction,
+               latency: int, blocked: bool = False) -> None:
+        if not self.enabled or len(self.entries) >= self.limit:
+            return
+        if blocked and not self.include_blocked:
+            return
+        self.entries.append(TraceEntry(time, agent, instruction, latency,
+                                       blocked))
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def format(self) -> str:
+        return "\n".join(str(entry) for entry in self.entries)

@@ -1,0 +1,14 @@
+"""PUMA tile: cores around a shared memory with synchronization (Section 4)."""
+
+from repro.tile.attribute_buffer import PERSISTENT_COUNT, AttributeBuffer
+from repro.tile.shared_memory import SharedMemory
+from repro.tile.receive_buffer import ReceiveBuffer
+from repro.tile.tile import Tile
+
+__all__ = [
+    "AttributeBuffer",
+    "PERSISTENT_COUNT",
+    "SharedMemory",
+    "ReceiveBuffer",
+    "Tile",
+]

@@ -1,0 +1,95 @@
+"""Receive buffer: per-tile FIFO array for inter-tile traffic (Section 4.2).
+
+The buffer has ``num_fifos`` FIFOs of ``depth`` entries each.  One entry
+holds one packet (the payload of one ``send`` instruction).  FIFOs preserve
+ordering from a given sender; multiple FIFOs let different producer tiles
+stream concurrently, and FIFO IDs are *virtualized* by the compiler — a
+physical FIFO can serve different sender tiles in different program phases,
+which is how 16 FIFOs suffice for a 138-tile node.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+WakeCallback = Callable[[], None]
+
+
+@dataclass
+class Packet:
+    """One ``send`` payload traversing the network."""
+
+    data: np.ndarray
+    source_tile: int
+
+    @property
+    def num_words(self) -> int:
+        return int(np.atleast_1d(self.data).size)
+
+
+class ReceiveBuffer:
+    """The FIFO array at a tile's network ingress."""
+
+    def __init__(self, num_fifos: int = 16, depth: int = 2) -> None:
+        if num_fifos < 1 or depth < 1:
+            raise ValueError("need at least one FIFO of depth one")
+        self.num_fifos = num_fifos
+        self.depth = depth
+        self._fifos: list[deque[Packet]] = [deque() for _ in range(num_fifos)]
+        self._pop_waiters: list[WakeCallback] = []
+        self._push_waiters: list[WakeCallback] = []
+        self.packets_received = 0
+
+    def _check_fifo(self, fifo_id: int) -> None:
+        if not 0 <= fifo_id < self.num_fifos:
+            raise IndexError(f"FIFO {fifo_id} out of range [0, {self.num_fifos})")
+
+    def can_push(self, fifo_id: int) -> bool:
+        self._check_fifo(fifo_id)
+        return len(self._fifos[fifo_id]) < self.depth
+
+    def push(self, fifo_id: int, packet: Packet) -> bool:
+        """Deliver a packet from the network; ``False`` when the FIFO is full
+        (backpressure into the network/sender)."""
+        self._check_fifo(fifo_id)
+        if not self.can_push(fifo_id):
+            return False
+        self._fifos[fifo_id].append(packet)
+        self.packets_received += 1
+        self._wake_poppers()
+        return True
+
+    def try_pop(self, fifo_id: int) -> Packet | None:
+        """Pop the head packet for a ``receive``; ``None`` when empty."""
+        self._check_fifo(fifo_id)
+        if not self._fifos[fifo_id]:
+            return None
+        packet = self._fifos[fifo_id].popleft()
+        self._wake_pushers()
+        return packet
+
+    def occupancy(self, fifo_id: int) -> int:
+        self._check_fifo(fifo_id)
+        return len(self._fifos[fifo_id])
+
+    def wait_for_packet(self, wake: WakeCallback) -> None:
+        """Park a blocked ``receive``; woken by the next delivery."""
+        self._pop_waiters.append(wake)
+
+    def wait_for_space(self, wake: WakeCallback) -> None:
+        """Park a blocked delivery; woken by the next ``receive``."""
+        self._push_waiters.append(wake)
+
+    def _wake_poppers(self) -> None:
+        waiters, self._pop_waiters = self._pop_waiters, []
+        for wake in waiters:
+            wake()
+
+    def _wake_pushers(self) -> None:
+        waiters, self._push_waiters = self._push_waiters, []
+        for wake in waiters:
+            wake()

@@ -1,0 +1,104 @@
+"""Tile shared memory: eDRAM data array plus attribute synchronization.
+
+The shared memory is the communication fabric between the cores of a tile
+(Section 4.1).  All accesses go through the attribute buffer's valid/count
+protocol; ``try_read``/``try_write`` return ``None``/``False`` instead of
+blocking, and the simulator parks the issuing core on a waiter list that the
+opposite operation wakes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.tile.attribute_buffer import PERSISTENT_COUNT, AttributeBuffer
+
+WakeCallback = Callable[[], None]
+
+
+class SharedMemory:
+    """Word-addressed shared memory with valid/count synchronization.
+
+    Args:
+        words: capacity in 16-bit words.
+        attribute_entries: attribute-buffer entries (>= words for full
+            coverage; the Table 3 tile pairs 32K words with 32K entries).
+    """
+
+    def __init__(self, words: int, attribute_entries: int | None = None) -> None:
+        if words <= 0:
+            raise ValueError("shared memory needs at least one word")
+        self.words = words
+        self._data = np.zeros(words, dtype=np.int64)
+        self.attributes = AttributeBuffer(
+            attribute_entries if attribute_entries is not None else words)
+        self._read_waiters: list[WakeCallback] = []
+        self._write_waiters: list[WakeCallback] = []
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, addr: int, width: int) -> None:
+        if addr < 0 or addr + width > self.words:
+            raise IndexError(
+                f"memory range [{addr}, {addr + width}) exceeds "
+                f"[0, {self.words})"
+            )
+
+    def try_read(self, addr: int, width: int = 1) -> np.ndarray | None:
+        """Read if every word is valid; ``None`` when the reader must wait."""
+        self._check(addr, width)
+        if not self.attributes.can_read(addr, width):
+            return None
+        self.attributes.on_read(addr, width)
+        self.reads += width
+        data = self._data[addr:addr + width].copy()
+        self._wake_writers()
+        return data
+
+    def try_write(self, addr: int, values: np.ndarray, count: int = 1) -> bool:
+        """Write if every word is invalid; ``False`` when the writer must wait."""
+        arr = np.atleast_1d(np.asarray(values, dtype=np.int64))
+        self._check(addr, arr.size)
+        if not self.attributes.can_write(addr, arr.size):
+            return False
+        self._data[addr:addr + arr.size] = arr
+        self.attributes.on_write(addr, arr.size, count)
+        self.writes += arr.size
+        self._wake_readers()
+        return True
+
+    def wait_for_read(self, wake: WakeCallback) -> None:
+        """Park a blocked reader; woken by the next successful write."""
+        self._read_waiters.append(wake)
+
+    def wait_for_write(self, wake: WakeCallback) -> None:
+        """Park a blocked writer; woken by the next successful read."""
+        self._write_waiters.append(wake)
+
+    def _wake_readers(self) -> None:
+        waiters, self._read_waiters = self._read_waiters, []
+        for wake in waiters:
+            wake()
+
+    def _wake_writers(self) -> None:
+        waiters, self._write_waiters = self._write_waiters, []
+        for wake in waiters:
+            wake()
+
+    # -- simulator setup/teardown helpers (bypass synchronization) --
+
+    def preload(self, addr: int, values: np.ndarray,
+                count: int = PERSISTENT_COUNT) -> None:
+        """Install data before execution starts (model inputs, constants)."""
+        arr = np.atleast_1d(np.asarray(values, dtype=np.int64))
+        self._check(addr, arr.size)
+        self.attributes.force_invalidate(addr, arr.size)
+        self._data[addr:addr + arr.size] = arr
+        self.attributes.on_write(addr, arr.size, count)
+
+    def peek(self, addr: int, width: int = 1) -> np.ndarray:
+        """Read raw data without touching attributes (result extraction)."""
+        self._check(addr, width)
+        return self._data[addr:addr + width].copy()

@@ -1,0 +1,165 @@
+"""Tile: cores, shared memory, receive buffer, and the tile control unit.
+
+The tile control unit (Figure 5) runs the tile instruction stream — the
+``send``/``receive`` instructions that move data between tiles — plus the
+scalar/control instructions needed to loop over sequence inputs.  Sends
+consume shared-memory words through the same valid/count protocol as core
+loads; receives produce words exactly like core stores.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.arch.config import TileConfig
+from repro.arch.core import Core, ExecOutcome, ExecStatus
+from repro.arch.crossbar import CrossbarModel
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import AluOp, Opcode
+from repro.tile.receive_buffer import Packet, ReceiveBuffer
+from repro.tile.shared_memory import SharedMemory
+
+# send(source_tile, target_tile, fifo_id, packet) -> None
+SendFunction = Callable[[int, int, int, Packet], None]
+
+_TILE_SCALAR_REGISTERS = 64
+
+
+class Tile:
+    """One PUMA tile and its control unit state.
+
+    Args:
+        tile_id: index within the node.
+        config: tile configuration.
+        send_fn: callback handing an outgoing packet to the on-chip network
+            (wired by the node); ``None`` leaves the tile network-less,
+            which single-tile tests use.
+        crossbar_model: device model shared by the cores' MVMUs.
+        rng: random generator for the cores.
+    """
+
+    def __init__(self, tile_id: int, config: TileConfig,
+                 send_fn: SendFunction | None = None,
+                 crossbar_model: CrossbarModel | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        self.tile_id = tile_id
+        self.config = config
+        self.memory = SharedMemory(config.shared_memory_words,
+                                   config.attribute_entries)
+        self.receive_buffer = ReceiveBuffer(config.receive_fifos,
+                                            config.receive_fifo_depth)
+        self._send_fn = send_fn
+        self.cores = [
+            Core(i, config.core, self.memory,
+                 crossbar_model=crossbar_model, rng=rng)
+            for i in range(config.num_cores)
+        ]
+        # Tile control unit state: PC plus a small scalar register file for
+        # sequence loops in the tile stream.
+        self.pc = 0
+        self.halted = False
+        self._scalars = np.zeros(_TILE_SCALAR_REGISTERS, dtype=np.int64)
+        self.tile_instructions_executed = 0
+        self.words_sent = 0
+        self.words_received = 0
+
+    def attach_network(self, send_fn: SendFunction) -> None:
+        """Wire the tile's outgoing sends into the node's NoC."""
+        self._send_fn = send_fn
+
+    def reset(self) -> None:
+        self.pc = 0
+        self.halted = False
+        self._scalars[:] = 0
+        for core in self.cores:
+            core.reset()
+
+    def _scalar(self, index: int) -> int:
+        return int(self._scalars[index % _TILE_SCALAR_REGISTERS])
+
+    def _set_scalar(self, index: int, value: int) -> None:
+        self._scalars[index % _TILE_SCALAR_REGISTERS] = value
+
+    def execute_tile_instruction(self, instr: Instruction) -> ExecOutcome:
+        """Attempt one tile-stream instruction; blocked attempts are
+        side-effect free and may be retried."""
+        if self.halted:
+            return ExecOutcome(ExecStatus.HALTED)
+        op = instr.opcode
+        if op == Opcode.SEND:
+            return self._exec_send(instr)
+        if op == Opcode.RECEIVE:
+            return self._exec_receive(instr)
+        if op == Opcode.SET:
+            self._set_scalar(instr.dest, instr.imm)
+            return self._advance(instr)
+        if op == Opcode.ALU_INT:
+            a = self._scalar(instr.src1)
+            b = instr.imm if instr.imm_mode else self._scalar(instr.src2)
+            if instr.alu_op == AluOp.ADD:
+                self._set_scalar(instr.dest, a + b)
+            elif instr.alu_op == AluOp.SUB:
+                self._set_scalar(instr.dest, a - b)
+            else:
+                self._set_scalar(instr.dest, int(
+                    {AluOp.EQ: a == b, AluOp.GT: a > b,
+                     AluOp.NEQ: a != b}[instr.alu_op]))
+            return self._advance(instr)
+        if op == Opcode.JMP:
+            return self._advance(instr, next_pc=instr.pc)
+        if op == Opcode.BRN:
+            a, b = self._scalar(instr.src1), self._scalar(instr.src2)
+            from repro.arch.sfu import ScalarFunctionalUnit
+
+            taken = ScalarFunctionalUnit(
+                self.config.core.fixed_point).branch_taken(instr.brn_op, a, b)
+            return self._advance(instr, next_pc=instr.pc if taken else None)
+        if op == Opcode.HLT:
+            self.halted = True
+            return ExecOutcome(ExecStatus.HALTED, instr)
+        raise ValueError(f"{op.name} is not a tile-level instruction")
+
+    def _advance(self, instr: Instruction, next_pc: int | None = None,
+                 **fields) -> ExecOutcome:
+        self.pc = self.pc + 1 if next_pc is None else next_pc
+        self.tile_instructions_executed += 1
+        return ExecOutcome(ExecStatus.DONE, instr, **fields)
+
+    def _exec_send(self, instr: Instruction) -> ExecOutcome:
+        if self._send_fn is None:
+            raise RuntimeError(
+                f"tile {self.tile_id} has no network attached for send")
+        data = self.memory.try_read(instr.mem_addr, instr.vec_width)
+        if data is None:
+            return ExecOutcome(ExecStatus.BLOCKED_READ, instr,
+                               vec_width=instr.vec_width)
+        packet = Packet(data=data, source_tile=self.tile_id)
+        self._send_fn(self.tile_id, instr.target, instr.fifo_id, packet)
+        self.words_sent += instr.vec_width
+        return self._advance(instr, vec_width=instr.vec_width)
+
+    def _exec_receive(self, instr: Instruction) -> ExecOutcome:
+        fifo = instr.fifo_id
+        if self.receive_buffer.occupancy(fifo) == 0:
+            return ExecOutcome(ExecStatus.BLOCKED_FIFO, instr,
+                               vec_width=instr.vec_width)
+        # Check destination space before popping so a blocked receive leaves
+        # the packet at the head of its FIFO.
+        if not self.memory.attributes.can_write(instr.mem_addr, instr.vec_width):
+            return ExecOutcome(ExecStatus.BLOCKED_WRITE, instr,
+                               vec_width=instr.vec_width)
+        packet = self.receive_buffer.try_pop(fifo)
+        assert packet is not None
+        if packet.num_words != instr.vec_width:
+            raise RuntimeError(
+                f"tile {self.tile_id} FIFO {fifo}: packet of "
+                f"{packet.num_words} words does not match receive width "
+                f"{instr.vec_width}"
+            )
+        ok = self.memory.try_write(instr.mem_addr, packet.data,
+                                   count=instr.count)
+        assert ok, "writability was checked before the pop"
+        self.words_received += instr.vec_width
+        return self._advance(instr, vec_width=instr.vec_width)

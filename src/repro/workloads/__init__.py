@@ -1,0 +1,58 @@
+"""DNN workload builders: the paper's benchmarks (Table 5, Figure 4).
+
+Each workload exists in up to two forms:
+
+* a :class:`~repro.workloads.spec.WorkloadSpec` — the layer-level
+  description consumed by the analytic performance models (all sizes,
+  including the 100M+-parameter networks of Table 5);
+* a frontend :class:`~repro.compiler.Model` — a fully compilable and
+  simulatable network (the Figure 4 workloads and scaled-down variants).
+"""
+
+from repro.workloads.spec import (
+    ConvLayer,
+    DenseLayer,
+    LstmLayer,
+    PoolLayer,
+    WorkloadSpec,
+)
+from repro.workloads.mlp import build_mlp_model, mlp_spec
+from repro.workloads.lstm import build_lstm_model, lstm_spec
+from repro.workloads.rnn import build_rnn_model, rnn_spec
+from repro.workloads.cnn import build_lenet5_spec, vgg_spec
+from repro.workloads.boltzmann import (
+    bm_spec,
+    build_bm_model,
+    build_rbm_model,
+    rbm_spec,
+)
+from repro.workloads.registry import (
+    FIGURE4_WORKLOADS,
+    TABLE5_BENCHMARKS,
+    benchmark,
+    figure4_model,
+)
+
+__all__ = [
+    "DenseLayer",
+    "LstmLayer",
+    "ConvLayer",
+    "PoolLayer",
+    "WorkloadSpec",
+    "build_mlp_model",
+    "mlp_spec",
+    "build_lstm_model",
+    "lstm_spec",
+    "build_rnn_model",
+    "rnn_spec",
+    "build_lenet5_spec",
+    "vgg_spec",
+    "build_bm_model",
+    "build_rbm_model",
+    "bm_spec",
+    "rbm_spec",
+    "TABLE5_BENCHMARKS",
+    "FIGURE4_WORKLOADS",
+    "benchmark",
+    "figure4_model",
+]

@@ -1,0 +1,124 @@
+"""Boltzmann machine workloads (Figure 4: BM and RBM, V500-H500).
+
+The RBM inference pass runs Gibbs steps between the visible and hidden
+layers: ``h = binarize(sigmoid(v @ W + b))`` and back through the
+transposed weights.  The BM variant additionally has lateral
+visible-visible weights.  Stochastic binarization exercises the ISA's
+RANDOM vector operation (Table 2's "random vector").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.frontend import (
+    ConstMatrix,
+    InVector,
+    Model,
+    OutVector,
+    binarize,
+    const_vector,
+    sigmoid,
+)
+from repro.workloads.spec import DenseLayer, WorkloadSpec
+
+
+def rbm_spec(name: str = "RBM-V500-H500", visible: int = 500,
+             hidden: int = 500, gibbs_steps: int = 1) -> WorkloadSpec:
+    layers = (
+        DenseLayer(visible, hidden, "sigmoid"),
+        DenseLayer(hidden, visible, "sigmoid"),
+    )
+    return WorkloadSpec(name=name, dnn_type="RBM", layers=layers,
+                        seq_len=gibbs_steps, nonlinear=("sigmoid",))
+
+
+def bm_spec(name: str = "BM-V500-H500", visible: int = 500,
+            hidden: int = 500, gibbs_steps: int = 1) -> WorkloadSpec:
+    layers = (
+        DenseLayer(visible, hidden, "sigmoid"),
+        DenseLayer(visible, visible, "sigmoid"),   # lateral connections
+        DenseLayer(hidden, visible, "sigmoid"),
+    )
+    return WorkloadSpec(name=name, dnn_type="BM", layers=layers,
+                        seq_len=gibbs_steps, nonlinear=("sigmoid",))
+
+
+def build_rbm_model(visible: int = 500, hidden: int = 500,
+                    gibbs_steps: int = 1, stochastic: bool = True,
+                    name: str = "rbm", seed: int = 0) -> Model:
+    """A compilable RBM performing ``gibbs_steps`` up/down passes.
+
+    Outputs ``h`` (final hidden probabilities or samples) and ``v_recon``
+    (final visible reconstruction).
+    """
+    rng = np.random.default_rng(seed)
+    model = Model.create(name)
+    w_up = rng.normal(0, 1.0 / np.sqrt(visible), size=(visible, hidden))
+    w_down = rng.normal(0, 1.0 / np.sqrt(hidden), size=(hidden, visible))
+    up = ConstMatrix.create(model, visible, hidden, "w_up", w_up)
+    down = ConstMatrix.create(model, hidden, visible, "w_down", w_down)
+    b_h = const_vector(model, rng.normal(0, 0.05, size=hidden), "b_h")
+    b_v = const_vector(model, rng.normal(0, 0.05, size=visible), "b_v")
+
+    v = InVector.create(model, visible, "v")
+    h = sigmoid(up @ v + b_h)
+    for _ in range(gibbs_steps):
+        h_state = binarize(h) if stochastic else h
+        v = sigmoid(down @ h_state + b_v)
+        h = sigmoid(up @ v + b_h)
+    out_h = OutVector.create(model, hidden, "h")
+    out_h.assign(h)
+    out_v = OutVector.create(model, visible, "v_recon")
+    out_v.assign(v)
+    return model
+
+
+def build_bm_model(visible: int = 500, hidden: int = 500,
+                   name: str = "bm", seed: int = 0) -> Model:
+    """A compilable Boltzmann machine energy-relaxation step.
+
+    One update: hidden from visible, then visible from both the hidden
+    units and the lateral visible-visible weights.
+    """
+    rng = np.random.default_rng(seed)
+    model = Model.create(name)
+    w_vh = rng.normal(0, 1.0 / np.sqrt(visible), size=(visible, hidden))
+    w_vv = rng.normal(0, 1.0 / np.sqrt(visible), size=(visible, visible))
+    w_hv = rng.normal(0, 1.0 / np.sqrt(hidden), size=(hidden, visible))
+    vh = ConstMatrix.create(model, visible, hidden, "w_vh", w_vh)
+    vv = ConstMatrix.create(model, visible, visible, "w_vv", w_vv)
+    hv = ConstMatrix.create(model, hidden, visible, "w_hv", w_hv)
+    b_h = const_vector(model, rng.normal(0, 0.05, size=hidden), "b_h")
+    b_v = const_vector(model, rng.normal(0, 0.05, size=visible), "b_v")
+
+    v = InVector.create(model, visible, "v")
+    h = sigmoid(vh @ v + b_h)
+    v_next = sigmoid(hv @ h + vv @ v + b_v)
+    out_h = OutVector.create(model, hidden, "h")
+    out_h.assign(h)
+    out_v = OutVector.create(model, visible, "v_next")
+    out_v.assign(v_next)
+    return model
+
+
+def rbm_reference(visible: int, hidden: int, v0: np.ndarray,
+                  gibbs_steps: int = 1, seed: int = 0
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Float reference of the *deterministic* RBM
+    (``stochastic=False``)."""
+    rng = np.random.default_rng(seed)
+    w_up = rng.normal(0, 1.0 / np.sqrt(visible), size=(visible, hidden))
+    w_down = rng.normal(0, 1.0 / np.sqrt(hidden), size=(hidden, visible))
+    b_h = rng.normal(0, 0.05, size=hidden)
+    b_v = rng.normal(0, 0.05, size=visible)
+
+    def sig(x):
+        return 1.0 / (1.0 + np.exp(-x))
+
+    v = np.asarray(v0, dtype=np.float64)
+    h = sig(v @ w_up + b_h)
+    for _ in range(gibbs_steps):
+        v = sig(h @ w_down + b_v)
+        h = sig(v @ w_up + b_h)
+    return h, v

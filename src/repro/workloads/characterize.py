@@ -1,0 +1,104 @@
+"""Workload characterization (Table 1).
+
+Derives the Table 1 characteristics programmatically from the layer specs:
+operation mix (MVM dominance), linear/transcendental vector operations,
+weight/input reuse, the bounding resource, and access-pattern regularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.spec import ConvLayer, DenseLayer, LstmLayer, WorkloadSpec
+
+_TRANSCENDENTALS = {"sigmoid", "tanh", "exp", "log", "log_softmax"}
+
+
+@dataclass(frozen=True)
+class Characterization:
+    """The Table 1 row derived for one workload."""
+
+    name: str
+    dominance_of_mvm: bool
+    high_data_parallelism: bool
+    nonlinear_operations: bool
+    linear_operations: bool
+    transcendental_operations: bool
+    weight_data_reuse: bool
+    input_data_reuse: bool
+    bounded_resource: str       # "Memory" or "Compute"
+    sequential_access: bool
+
+    def as_row(self) -> dict[str, object]:
+        def yn(flag: bool) -> str:
+            return "Yes" if flag else "No"
+
+        return {
+            "Characteristic": self.name,
+            "Dominance of MVM": yn(self.dominance_of_mvm),
+            "High data parallelism": yn(self.high_data_parallelism),
+            "Nonlinear operations": yn(self.nonlinear_operations),
+            "Linear operations": yn(self.linear_operations),
+            "Trancendental operations": yn(self.transcendental_operations),
+            "Weight data reuse": yn(self.weight_data_reuse),
+            "Input data reuse": yn(self.input_data_reuse),
+            "Bounded resource": self.bounded_resource,
+            "Sequential access pattern": yn(self.sequential_access),
+        }
+
+
+def characterize(spec: WorkloadSpec) -> Characterization:
+    """Derive a workload's Table 1 characteristics from its layers."""
+    macs = spec.macs_per_inference()
+    vector_ops = 0
+    has_lstm = False
+    has_conv = False
+    for layer in spec.layers:
+        if isinstance(layer, LstmLayer):
+            has_lstm = True
+            vector_ops += layer.vector_ops * spec.seq_len
+        elif isinstance(layer, ConvLayer):
+            has_conv = True
+            vector_ops += layer.out_size
+        elif isinstance(layer, DenseLayer):
+            vector_ops += layer.out_features if layer.activation else 0
+        else:  # pooling
+            vector_ops += layer.vector_ops
+
+    transcendental = bool(set(spec.nonlinear) & _TRANSCENDENTALS)
+    # Weight reuse: each parameter touched more than ~once per inference
+    # (sliding windows or sequence steps).
+    weight_reuse = spec.weight_reuse_factor() > 1.5
+    # Compute-bound when the *within-step* arithmetic intensity is high:
+    # sequence-step reuse is serialized by the recurrence, so LSTMs stay
+    # memory-bound (Section 2.2.2) despite touching weights many times.
+    per_step_reuse = (spec.macs_per_inference() / max(spec.seq_len, 1)
+                      / max(spec.params, 1))
+    compute_bound = per_step_reuse > 16
+
+    return Characterization(
+        name=spec.name,
+        dominance_of_mvm=macs > 4 * max(vector_ops, 1),
+        high_data_parallelism=True,   # all DNN inference workloads qualify
+        nonlinear_operations=bool(spec.nonlinear),
+        linear_operations=has_lstm,   # gate/cell elementwise arithmetic
+        transcendental_operations=transcendental,
+        weight_data_reuse=weight_reuse,
+        input_data_reuse=has_conv,
+        bounded_resource="Compute" if compute_bound else "Memory",
+        sequential_access=not has_conv,
+    )
+
+
+def table1_rows() -> list[dict[str, object]]:
+    """Regenerate Table 1 for the MLP / LSTM / CNN workload classes."""
+    from repro.workloads.lstm import nmt_spec
+    from repro.workloads.mlp import MLPL4_DIMS, mlp_spec
+    from repro.workloads.cnn import vgg_spec
+
+    rows = []
+    for spec in (mlp_spec("MLP", MLPL4_DIMS),
+                 nmt_spec("LSTM", num_layers=6),
+                 vgg_spec("Vgg16")):
+        rows.append(characterize(spec).as_row())
+    return rows

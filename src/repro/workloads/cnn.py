@@ -1,0 +1,92 @@
+"""CNN workloads (Table 5: VGG16/VGG19; Figure 4: Lenet5).
+
+Layer specs feed the analytic models; the compilable loop-based Lenet5
+program is produced by :mod:`repro.compiler.cnn`, which consumes the
+:class:`CnnSpec` returned here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.spec import (
+    ConvLayer,
+    DenseLayer,
+    PoolLayer,
+    WorkloadSpec,
+    sequential_conv_stack,
+)
+
+VGG16_PLAN = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"]
+VGG19_PLAN = [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+              512, 512, 512, 512, "M", 512, 512, 512, 512, "M"]
+
+
+def vgg_spec(name: str) -> WorkloadSpec:
+    """VGG16 or VGG19 at 224x224x3 with the standard 4096/4096/1000 head."""
+    plan = {"Vgg16": VGG16_PLAN, "Vgg19": VGG19_PLAN}[name]
+    layers, ch, h, w = sequential_conv_stack(plan, 224, 224, 3)
+    layers += [
+        DenseLayer(ch * h * w, 4096, "relu"),
+        DenseLayer(4096, 4096, "relu"),
+        DenseLayer(4096, 1000),
+    ]
+    return WorkloadSpec(name=name, dnn_type="CNN", layers=tuple(layers),
+                        nonlinear=("relu",))
+
+
+def lenet5_spec() -> WorkloadSpec:
+    """Lenet5 (Figure 4's CNN): 32x32 input, two conv/pool stages, 3 FCs."""
+    layers = (
+        ConvLayer(1, 6, 5, 32, 32),            # -> 6 x 28 x 28
+        PoolLayer(6, 28, 28),                  # -> 6 x 14 x 14
+        ConvLayer(6, 16, 5, 14, 14),           # -> 16 x 10 x 10
+        PoolLayer(16, 10, 10),                 # -> 16 x 5 x 5
+        DenseLayer(400, 120, "relu"),
+        DenseLayer(120, 84, "relu"),
+        DenseLayer(84, 10),
+    )
+    return WorkloadSpec(name="Lenet5", dnn_type="CNN", layers=layers,
+                        nonlinear=("relu",))
+
+
+@dataclass(frozen=True)
+class CnnSpec:
+    """A compilable CNN description for :mod:`repro.compiler.cnn`.
+
+    Attributes:
+        name: model name.
+        in_channels / in_h / in_w: input feature-map geometry.
+        layers: the conv/pool/dense stack (dense layers must come last).
+        seed: weight initialization seed.
+    """
+
+    name: str
+    in_channels: int
+    in_h: int
+    in_w: int
+    layers: tuple
+    seed: int = 0
+
+
+def build_lenet5_spec(seed: int = 0) -> CnnSpec:
+    """The compilable Lenet5 description."""
+    return CnnSpec(
+        name="lenet5",
+        in_channels=1, in_h=32, in_w=32,
+        layers=lenet5_spec().layers,
+        seed=seed,
+    )
+
+
+def small_cnn_spec(seed: int = 0) -> CnnSpec:
+    """A miniature conv/pool/dense network for fast functional tests."""
+    layers = (
+        ConvLayer(1, 4, 3, 8, 8),      # -> 4 x 6 x 6
+        PoolLayer(4, 6, 6),            # -> 4 x 3 x 3
+        DenseLayer(36, 10, "relu"),
+        DenseLayer(10, 4),
+    )
+    return CnnSpec(name="small_cnn", in_channels=1, in_h=8, in_w=8,
+                   layers=layers, seed=seed)

@@ -1,0 +1,143 @@
+"""LSTM workloads (Table 5: NMT-L3/L5, BigLSTM, LSTM-2048; Figure 4 LSTM).
+
+Deep LSTMs (NMT) stack many 1024-cell layers (3/5 encoder + 3/5 decoder in
+the paper) and finish with one FC projection to the target vocabulary.
+Wide LSTMs use giant cells (8192) with output projections; their final FC
+spans the language-model vocabulary.  Vocabulary sizes are chosen so the
+total parameter counts match Table 5 (91M / 125M / 856M / 554M).
+
+The compilable builder unrolls a single-stack LSTM over ``seq_len`` time
+steps using the fused-gate formulation::
+
+    g = [x_t, h_{t-1}] @ W          (one MVM, 4*hidden wide)
+    i, f, o, c~ = sigma/tanh gates of g
+    c_t = f * c_{t-1} + i * c~
+    h_t = o * tanh(c_t)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.frontend import (
+    ConstMatrix,
+    InVector,
+    Model,
+    OutVector,
+    VectorExpr,
+    concat,
+    const_vector,
+    sigmoid,
+    tanh,
+)
+from repro.workloads.spec import DenseLayer, LstmLayer, WorkloadSpec
+
+
+def lstm_spec(name: str, dnn_type: str, num_layers: int, input_size: int,
+              hidden_size: int, proj_size: int = 0, vocab: int = 0,
+              seq_len: int = 50) -> WorkloadSpec:
+    """Layer spec for a stacked LSTM with an optional vocabulary FC."""
+    layers: list = []
+    in_size = input_size
+    for _ in range(num_layers):
+        layer = LstmLayer(in_size, hidden_size, proj_size)
+        layers.append(layer)
+        in_size = layer.state_size
+    nonlinear = ["sigmoid", "tanh"]
+    if vocab:
+        layers.append(DenseLayer(in_size, vocab))
+        nonlinear.append("log_softmax")
+    return WorkloadSpec(name=name, dnn_type=dnn_type, layers=tuple(layers),
+                        seq_len=seq_len, nonlinear=tuple(nonlinear))
+
+
+def nmt_spec(name: str, num_layers: int, seq_len: int = 50) -> WorkloadSpec:
+    """Deep LSTM for neural machine translation (NMT-L3 / NMT-L5)."""
+    return lstm_spec(name, "DeepLSTM", num_layers, input_size=1024,
+                     hidden_size=1024, vocab=40000, seq_len=seq_len)
+
+
+def big_lstm_spec(seq_len: int = 50) -> WorkloadSpec:
+    """BigLSTM: 2 layers, 8192 cells, 1024 projection, 856M parameters."""
+    return lstm_spec("BigLSTM", "WideLSTM", num_layers=2, input_size=1024,
+                     hidden_size=8192, proj_size=1024, vocab=689000,
+                     seq_len=seq_len)
+
+
+def lstm_2048_spec(seq_len: int = 50) -> WorkloadSpec:
+    """LSTM-2048: 1 layer, 8192 cells, 2048 projection, 554M parameters."""
+    return lstm_spec("LSTM-2048", "WideLSTM", num_layers=1, input_size=2048,
+                     hidden_size=8192, proj_size=2048, vocab=197000,
+                     seq_len=seq_len)
+
+
+def _lstm_cell(model: Model, x: VectorExpr, h: VectorExpr, c: VectorExpr,
+               weights: ConstMatrix, bias: VectorExpr,
+               hidden: int) -> tuple[VectorExpr, VectorExpr]:
+    """One unrolled LSTM step; returns (h_t, c_t)."""
+    gates = weights @ concat([x, h]) + bias
+    i = sigmoid(gates[0:hidden])
+    f = sigmoid(gates[hidden:2 * hidden])
+    o = sigmoid(gates[2 * hidden:3 * hidden])
+    c_tilde = tanh(gates[3 * hidden:4 * hidden])
+    c_t = f * c + i * c_tilde
+    h_t = o * tanh(c_t)
+    return h_t, c_t
+
+
+def build_lstm_model(input_size: int, hidden_size: int, output_size: int,
+                     seq_len: int = 2, name: str = "lstm",
+                     seed: int = 0) -> Model:
+    """A compilable single-layer LSTM + output FC, unrolled over time.
+
+    The Figure 4 LSTM is ``build_lstm_model(26, 120, 61)``.  Inputs are
+    named ``x0 .. x{seq_len-1}``; the output ``out`` is the FC applied to
+    the last hidden state.
+    """
+    rng = np.random.default_rng(seed)
+    model = Model.create(name)
+    w = rng.normal(0, 1.0 / np.sqrt(input_size + hidden_size),
+                   size=(input_size + hidden_size, 4 * hidden_size))
+    b = rng.normal(0, 0.05, size=4 * hidden_size)
+    weights = ConstMatrix.create(model, input_size + hidden_size,
+                                 4 * hidden_size, "w_gates", w)
+    bias = const_vector(model, b, "b_gates")
+    w_out = rng.normal(0, 1.0 / np.sqrt(hidden_size),
+                       size=(hidden_size, output_size))
+    out_mat = ConstMatrix.create(model, hidden_size, output_size, "w_out",
+                                 w_out)
+
+    h = const_vector(model, np.zeros(hidden_size), "h0")
+    c = const_vector(model, np.zeros(hidden_size), "c0")
+    for t in range(seq_len):
+        x = InVector.create(model, input_size, f"x{t}")
+        h, c = _lstm_cell(model, x, h, c, weights, bias, hidden_size)
+    out = OutVector.create(model, output_size, "out")
+    out.assign(out_mat @ h)
+    return model
+
+
+def lstm_reference(input_size: int, hidden_size: int, output_size: int,
+                   xs: list[np.ndarray], seed: int = 0) -> np.ndarray:
+    """Float reference of :func:`build_lstm_model`."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(0, 1.0 / np.sqrt(input_size + hidden_size),
+                   size=(input_size + hidden_size, 4 * hidden_size))
+    b = rng.normal(0, 0.05, size=4 * hidden_size)
+    w_out = rng.normal(0, 1.0 / np.sqrt(hidden_size),
+                       size=(hidden_size, output_size))
+
+    def sig(v):
+        return 1.0 / (1.0 + np.exp(-v))
+
+    h = np.zeros(hidden_size)
+    c = np.zeros(hidden_size)
+    for x in xs:
+        gates = np.concatenate([x, h]) @ w + b
+        i = sig(gates[0:hidden_size])
+        f = sig(gates[hidden_size:2 * hidden_size])
+        o = sig(gates[2 * hidden_size:3 * hidden_size])
+        c_tilde = np.tanh(gates[3 * hidden_size:4 * hidden_size])
+        c = f * c + i * c_tilde
+        h = o * np.tanh(c)
+    return h @ w_out

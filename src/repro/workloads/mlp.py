@@ -1,0 +1,84 @@
+"""MLP workloads (Table 5: MLPL4, MLPL5; Figure 4: MLP 64-150-150-14).
+
+Table 5 gives parameter counts (5M and 21M) rather than layer sizes; we use
+uniform hidden widths chosen to hit those counts: four 1120-wide layers give
+5.0M parameters, five 2048-wide layers give 21.0M.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.compiler.frontend import (
+    ConstMatrix,
+    InVector,
+    Model,
+    OutVector,
+    VectorExpr,
+    const_vector,
+    relu,
+    sigmoid,
+)
+from repro.workloads.spec import DenseLayer, WorkloadSpec
+
+
+def mlp_spec(name: str, dims: Sequence[int],
+             activation: str = "sigmoid") -> WorkloadSpec:
+    """Layer spec for an MLP with the given layer widths."""
+    layers = tuple(
+        DenseLayer(m, n, activation if i < len(dims) - 2 else "")
+        for i, (m, n) in enumerate(zip(dims[:-1], dims[1:])))
+    return WorkloadSpec(name=name, dnn_type="MLP", layers=layers,
+                        nonlinear=(activation,))
+
+
+def build_mlp_model(dims: Sequence[int], name: str = "mlp",
+                    activation: str = "sigmoid",
+                    seed: int = 0) -> Model:
+    """A compilable MLP with random weights.
+
+    Args:
+        dims: layer widths, e.g. ``[64, 150, 150, 14]`` (the Figure 4 MLP).
+        activation: hidden-layer nonlinearity (``relu`` or ``sigmoid``).
+        seed: weight initialization seed.
+    """
+    if len(dims) < 2:
+        raise ValueError("an MLP needs at least input and output widths")
+    rng = np.random.default_rng(seed)
+    act = {"relu": relu, "sigmoid": sigmoid}[activation]
+    model = Model.create(name)
+    x: VectorExpr = InVector.create(model, dims[0], "x")
+    h = x
+    for i, (m, n) in enumerate(zip(dims[:-1], dims[1:])):
+        w = rng.normal(0.0, 1.0 / np.sqrt(m), size=(m, n))
+        b = rng.normal(0.0, 0.05, size=n)
+        mat = ConstMatrix.create(model, m, n, f"w{i}", w)
+        h = mat @ h + const_vector(model, b, f"b{i}")
+        if i < len(dims) - 2:
+            h = act(h)
+    out = OutVector.create(model, dims[-1], "out")
+    out.assign(h)
+    return model
+
+
+def mlp_reference(dims: Sequence[int], x: np.ndarray,
+                  activation: str = "sigmoid", seed: int = 0) -> np.ndarray:
+    """Float reference of :func:`build_mlp_model` for functional tests."""
+    rng = np.random.default_rng(seed)
+    h = np.asarray(x, dtype=np.float64)
+    for i, (m, n) in enumerate(zip(dims[:-1], dims[1:])):
+        w = rng.normal(0.0, 1.0 / np.sqrt(m), size=(m, n))
+        b = rng.normal(0.0, 0.05, size=n)
+        h = h @ w + b
+        if i < len(dims) - 2:
+            h = np.maximum(h, 0) if activation == "relu" \
+                else 1.0 / (1.0 + np.exp(-h))
+    return h
+
+
+# Table 5 configurations.
+MLPL4_DIMS = [1120] * 5            # 4 FC layers, 5.0M parameters
+MLPL5_DIMS = [2048] * 6            # 5 FC layers, 21.0M parameters
+FIGURE4_MLP_DIMS = [64, 150, 150, 14]

@@ -1,0 +1,98 @@
+"""The benchmark catalog: Table 5 networks and Figure 4 workloads."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.compiler.frontend import Model
+from repro.workloads.boltzmann import (
+    bm_spec,
+    build_bm_model,
+    build_rbm_model,
+    rbm_spec,
+)
+from repro.workloads.cnn import lenet5_spec, vgg_spec
+from repro.workloads.lstm import (
+    big_lstm_spec,
+    build_lstm_model,
+    lstm_2048_spec,
+    lstm_spec,
+    nmt_spec,
+)
+from repro.workloads.mlp import (
+    FIGURE4_MLP_DIMS,
+    MLPL4_DIMS,
+    MLPL5_DIMS,
+    build_mlp_model,
+    mlp_spec,
+)
+from repro.workloads.rnn import build_rnn_model, rnn_spec
+from repro.workloads.spec import WorkloadSpec
+
+# Table 5: the eight evaluation benchmarks, grouped as in the paper.
+TABLE5_BENCHMARKS: dict[str, Callable[[], WorkloadSpec]] = {
+    "MLPL4": lambda: mlp_spec("MLPL4", MLPL4_DIMS),
+    "MLPL5": lambda: mlp_spec("MLPL5", MLPL5_DIMS),
+    "NMTL3": lambda: nmt_spec("NMTL3", num_layers=6),
+    "NMTL5": lambda: nmt_spec("NMTL5", num_layers=10),
+    "BigLSTM": big_lstm_spec,
+    "LSTM-2048": lstm_2048_spec,
+    "Vgg16": lambda: vgg_spec("Vgg16"),
+    "Vgg19": lambda: vgg_spec("Vgg19"),
+}
+
+# Benchmark -> DNN-type group, as the figures label them.
+BENCHMARK_GROUPS: dict[str, str] = {
+    "MLPL4": "MLP",
+    "MLPL5": "MLP",
+    "NMTL3": "Deep LSTM",
+    "NMTL5": "Deep LSTM",
+    "BigLSTM": "Wide LSTM",
+    "LSTM-2048": "Wide LSTM",
+    "Vgg16": "CNN",
+    "Vgg19": "CNN",
+}
+
+# Figure 4: the six static-instruction-usage workloads (small, compilable).
+FIGURE4_WORKLOADS: dict[str, Callable[[], WorkloadSpec]] = {
+    "CNN (Lenet5)": lenet5_spec,
+    "MLP (64-150-150-14)": lambda: mlp_spec("MLP-64-150-150-14",
+                                            FIGURE4_MLP_DIMS),
+    "LSTM (26-120-61)": lambda: lstm_spec("LSTM-26-120-61", "DeepLSTM", 1,
+                                          26, 120, vocab=61, seq_len=2),
+    "RNN (26-93-61)": lambda: rnn_spec("RNN-26-93-61", 26, 93, 61,
+                                       seq_len=2),
+    "BM (V500-H500)": bm_spec,
+    "RBM (V500-H500)": rbm_spec,
+}
+
+
+def benchmark(name: str) -> WorkloadSpec:
+    """Look up a Table 5 benchmark spec by name."""
+    try:
+        return TABLE5_BENCHMARKS[name]()
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from "
+            f"{sorted(TABLE5_BENCHMARKS)}") from exc
+
+
+def figure4_model(name: str, seq_len: int = 2, seed: int = 0) -> Model:
+    """Build the compilable frontend model for a Figure 4 workload.
+
+    The CNN entry is handled by :mod:`repro.compiler.cnn` (loop-based
+    lowering) and is not built through this function.
+    """
+    if name == "MLP (64-150-150-14)":
+        return build_mlp_model(FIGURE4_MLP_DIMS, name="mlp_fig4")
+    if name == "LSTM (26-120-61)":
+        return build_lstm_model(26, 120, 61, seq_len=seq_len,
+                                name="lstm_fig4", seed=seed)
+    if name == "RNN (26-93-61)":
+        return build_rnn_model(26, 93, 61, seq_len=seq_len,
+                               name="rnn_fig4", seed=seed)
+    if name == "BM (V500-H500)":
+        return build_bm_model(500, 500, name="bm_fig4", seed=seed)
+    if name == "RBM (V500-H500)":
+        return build_rbm_model(500, 500, name="rbm_fig4", seed=seed)
+    raise KeyError(f"no frontend builder for {name!r}")

@@ -1,0 +1,74 @@
+"""Vanilla RNN workload (Figure 4: RNN 26-93-61).
+
+``h_t = tanh([x_t, h_{t-1}] @ W)`` followed by an output FC — an LSTM
+without the gate/cell vector operations (Section 2.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.frontend import (
+    ConstMatrix,
+    InVector,
+    Model,
+    OutVector,
+    concat,
+    const_vector,
+    tanh,
+)
+from repro.workloads.spec import DenseLayer, WorkloadSpec
+
+
+def rnn_spec(name: str, input_size: int, hidden_size: int, output_size: int,
+             seq_len: int = 50) -> WorkloadSpec:
+    layers = (
+        DenseLayer(input_size + hidden_size, hidden_size, "tanh"),
+        DenseLayer(hidden_size, output_size),
+    )
+    return WorkloadSpec(name=name, dnn_type="RNN", layers=layers,
+                        seq_len=seq_len, nonlinear=("tanh",))
+
+
+def build_rnn_model(input_size: int, hidden_size: int, output_size: int,
+                    seq_len: int = 2, name: str = "rnn",
+                    seed: int = 0) -> Model:
+    """A compilable RNN unrolled over ``seq_len`` steps.
+
+    Inputs are ``x0 .. x{seq_len-1}``; output ``out`` is the FC of the
+    final hidden state.
+    """
+    rng = np.random.default_rng(seed)
+    model = Model.create(name)
+    w = rng.normal(0, 1.0 / np.sqrt(input_size + hidden_size),
+                   size=(input_size + hidden_size, hidden_size))
+    weights = ConstMatrix.create(model, input_size + hidden_size,
+                                 hidden_size, "w", w)
+    b = const_vector(model, rng.normal(0, 0.05, size=hidden_size), "b")
+    w_out = rng.normal(0, 1.0 / np.sqrt(hidden_size),
+                       size=(hidden_size, output_size))
+    out_mat = ConstMatrix.create(model, hidden_size, output_size, "w_out",
+                                 w_out)
+
+    h = const_vector(model, np.zeros(hidden_size), "h0")
+    for t in range(seq_len):
+        x = InVector.create(model, input_size, f"x{t}")
+        h = tanh(weights @ concat([x, h]) + b)
+    out = OutVector.create(model, output_size, "out")
+    out.assign(out_mat @ h)
+    return model
+
+
+def rnn_reference(input_size: int, hidden_size: int, output_size: int,
+                  xs: list[np.ndarray], seed: int = 0) -> np.ndarray:
+    """Float reference of :func:`build_rnn_model`."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(0, 1.0 / np.sqrt(input_size + hidden_size),
+                   size=(input_size + hidden_size, hidden_size))
+    b = rng.normal(0, 0.05, size=hidden_size)
+    w_out = rng.normal(0, 1.0 / np.sqrt(hidden_size),
+                       size=(hidden_size, output_size))
+    h = np.zeros(hidden_size)
+    for x in xs:
+        h = np.tanh(np.concatenate([x, h]) @ w + b)
+    return h @ w_out

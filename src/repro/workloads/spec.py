@@ -1,0 +1,271 @@
+"""Layer-level workload descriptions.
+
+A :class:`WorkloadSpec` is the shared currency between the workload
+builders, the analytic PUMA performance model, and the CPU/GPU/TPU baseline
+models: per-layer parameter counts, MAC counts, and activation sizes for a
+batch-one inference, plus sequence/reuse structure.
+
+All sizes assume 16-bit operands (the paper's precision on every platform
+compared, Table 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+BYTES_PER_WORD = 2
+
+
+@dataclass(frozen=True)
+class DenseLayer:
+    """Fully-connected layer: ``out = act(x @ W + b)``."""
+
+    in_features: int
+    out_features: int
+    activation: str = ""
+
+    @property
+    def params(self) -> int:
+        return self.in_features * self.out_features + self.out_features
+
+    @property
+    def macs(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def in_size(self) -> int:
+        return self.in_features
+
+    @property
+    def out_size(self) -> int:
+        return self.out_features
+
+
+@dataclass(frozen=True)
+class LstmLayer:
+    """LSTM layer with optional projection (the wide-LSTM structure).
+
+    The four gate matrices are modelled as one fused
+    ``(input + state) x 4*hidden`` weight; ``proj`` adds the
+    ``hidden x proj`` output projection used by BigLSTM / LSTM-2048.
+    The recurrent state size is ``proj`` when projected, else ``hidden``.
+    """
+
+    input_size: int
+    hidden_size: int
+    proj_size: int = 0
+
+    @property
+    def state_size(self) -> int:
+        return self.proj_size if self.proj_size else self.hidden_size
+
+    @property
+    def gate_params(self) -> int:
+        return (self.input_size + self.state_size) * 4 * self.hidden_size
+
+    @property
+    def proj_params(self) -> int:
+        return self.hidden_size * self.proj_size if self.proj_size else 0
+
+    @property
+    def params(self) -> int:
+        return self.gate_params + self.proj_params + 4 * self.hidden_size
+
+    @property
+    def macs(self) -> int:
+        """MACs per time step."""
+        return (self.input_size + self.state_size) * 4 * self.hidden_size \
+            + (self.hidden_size * self.proj_size if self.proj_size else 0)
+
+    @property
+    def vector_ops(self) -> int:
+        """Elementwise/nonlinear operations per time step (gates, cell)."""
+        return 8 * self.hidden_size
+
+    @property
+    def in_size(self) -> int:
+        return self.input_size
+
+    @property
+    def out_size(self) -> int:
+        return self.state_size
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """2-D convolution with square kernels, unit dilation."""
+
+    in_channels: int
+    out_channels: int
+    kernel: int
+    in_h: int
+    in_w: int
+    stride: int = 1
+    padding: int = 0
+    activation: str = "relu"
+
+    @property
+    def out_h(self) -> int:
+        return (self.in_h + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_w(self) -> int:
+        return (self.in_w + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def positions(self) -> int:
+        return self.out_h * self.out_w
+
+    @property
+    def window(self) -> int:
+        """im2col window length: the MVM input dimension."""
+        return self.in_channels * self.kernel * self.kernel
+
+    @property
+    def params(self) -> int:
+        return self.window * self.out_channels + self.out_channels
+
+    @property
+    def macs(self) -> int:
+        return self.positions * self.window * self.out_channels
+
+    @property
+    def in_size(self) -> int:
+        return self.in_channels * self.in_h * self.in_w
+
+    @property
+    def out_size(self) -> int:
+        return self.out_channels * self.positions
+
+
+@dataclass(frozen=True)
+class PoolLayer:
+    """Max pooling (no parameters)."""
+
+    channels: int
+    in_h: int
+    in_w: int
+    size: int = 2
+    stride: int = 2
+
+    @property
+    def out_h(self) -> int:
+        return (self.in_h - self.size) // self.stride + 1
+
+    @property
+    def out_w(self) -> int:
+        return (self.in_w - self.size) // self.stride + 1
+
+    @property
+    def params(self) -> int:
+        return 0
+
+    @property
+    def macs(self) -> int:
+        return 0
+
+    @property
+    def vector_ops(self) -> int:
+        return self.channels * self.out_h * self.out_w * self.size * self.size
+
+    @property
+    def in_size(self) -> int:
+        return self.channels * self.in_h * self.in_w
+
+    @property
+    def out_size(self) -> int:
+        return self.channels * self.out_h * self.out_w
+
+
+Layer = Union[DenseLayer, LstmLayer, ConvLayer, PoolLayer]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark network.
+
+    Attributes:
+        name: benchmark name as in Table 5.
+        dnn_type: MLP / DeepLSTM / WideLSTM / CNN / RNN / BM / RBM.
+        layers: layer descriptions, in order.
+        seq_len: sequence length (LSTM/RNN inference processes the
+            sequence through every layer; 1 for feed-forward nets).
+        nonlinear: names of nonlinear functions used (Table 5 column).
+    """
+
+    name: str
+    dnn_type: str
+    layers: tuple[Layer, ...]
+    seq_len: int = 1
+    nonlinear: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def params(self) -> int:
+        return sum(layer.params for layer in self.layers)
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.params * BYTES_PER_WORD
+
+    def macs_per_inference(self) -> int:
+        """Total MACs for one inference (whole sequence for recurrent)."""
+        total = 0
+        for layer in self.layers:
+            if isinstance(layer, (LstmLayer,)):
+                total += layer.macs * self.seq_len
+            elif isinstance(layer, DenseLayer) and self.seq_len > 1 \
+                    and self.dnn_type in ("DeepLSTM", "WideLSTM", "RNN"):
+                total += layer.macs * self.seq_len
+            else:
+                total += layer.macs
+        return total
+
+    def activation_traffic_words(self) -> int:
+        """Input+output activation words moved per inference."""
+        total = 0
+        steps = self.seq_len if self.dnn_type in (
+            "DeepLSTM", "WideLSTM", "RNN") else 1
+        for layer in self.layers:
+            total += (layer.in_size + layer.out_size) * steps
+        return total
+
+    @property
+    def num_fc_layers(self) -> int:
+        return sum(isinstance(layer, DenseLayer) for layer in self.layers)
+
+    @property
+    def num_lstm_layers(self) -> int:
+        return sum(isinstance(layer, LstmLayer) for layer in self.layers)
+
+    @property
+    def num_conv_layers(self) -> int:
+        return sum(isinstance(layer, ConvLayer) for layer in self.layers)
+
+    def weight_reuse_factor(self) -> float:
+        """MACs per weight parameter: >1 means weights are reused
+        (convolution windows, sequence steps), the property that lets CMOS
+        amortize DRAM traffic (Section 2)."""
+        if self.params == 0:
+            return 0.0
+        return self.macs_per_inference() / self.params
+
+
+def sequential_conv_stack(channels_plan: Sequence, in_h: int, in_w: int,
+                          in_channels: int) -> tuple[list[Layer], int, int, int]:
+    """Build conv/pool layers from a VGG-style plan.
+
+    Plan entries: an int adds a 3x3 same-padded conv to that channel count;
+    ``"M"`` adds 2x2 max pooling.  Returns the layers and the final
+    (channels, h, w).
+    """
+    layers: list[Layer] = []
+    ch, h, w = in_channels, in_h, in_w
+    for entry in channels_plan:
+        if entry == "M":
+            layers.append(PoolLayer(ch, h, w, size=2, stride=2))
+            h, w = h // 2, w // 2
+        else:
+            layers.append(ConvLayer(ch, int(entry), 3, h, w, padding=1))
+            ch = int(entry)
+    return layers, ch, h, w

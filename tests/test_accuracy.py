@@ -1,0 +1,110 @@
+"""Tests for the accuracy-under-noise study (Figure 13)."""
+
+import numpy as np
+import pytest
+
+from repro.accuracy import (
+    accuracy_sweep,
+    corrupt_weights,
+    make_dataset,
+    noisy_accuracy,
+    train_mlp,
+    weight_noise_sigma,
+)
+from repro.accuracy.noise import cells_per_weight
+
+
+class TestDataset:
+    def test_shapes_and_labels(self):
+        data = make_dataset(num_classes=10, num_features=64,
+                            train_per_class=50, test_per_class=20)
+        assert data.x_train.shape == (500, 64)
+        assert data.x_test.shape == (200, 64)
+        assert data.num_classes == 10
+        assert set(np.unique(data.y_test)) == set(range(10))
+
+    def test_deterministic(self):
+        a = make_dataset(seed=3)
+        b = make_dataset(seed=3)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+
+    def test_different_seeds_differ(self):
+        a = make_dataset(seed=3)
+        b = make_dataset(seed=4)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+
+class TestTraining:
+    def test_reaches_high_accuracy(self):
+        data = make_dataset(seed=0)
+        model = train_mlp(data, seed=0)
+        assert model.accuracy(data.x_test, data.y_test) > 0.93
+
+    def test_better_than_chance_on_train(self):
+        data = make_dataset(seed=1, train_per_class=50)
+        model = train_mlp(data, epochs=5, seed=1)
+        assert model.accuracy(data.x_train, data.y_train) > 0.5
+
+
+class TestNoiseModel:
+    def test_sigma_grows_with_bits(self):
+        sigmas = [weight_noise_sigma(b, 0.2) for b in range(1, 7)]
+        assert sigmas == sorted(sigmas)
+        assert sigmas[-1] > 4 * sigmas[0]
+
+    def test_zero_noise_identity_up_to_quantization(self):
+        w = np.random.default_rng(0).normal(0, 0.3, size=(16, 8))
+        out = corrupt_weights(w, bits_per_cell=2, sigma_n=0.0)
+        np.testing.assert_allclose(out, w, atol=np.abs(w).max() / 2**15)
+
+    def test_noise_perturbs(self):
+        w = np.random.default_rng(0).normal(0, 0.3, size=(16, 8))
+        out = corrupt_weights(w, 6, 0.3, rng=np.random.default_rng(1))
+        assert not np.allclose(out, w, atol=1e-4)
+
+    def test_clipping_to_range(self):
+        w = np.array([[1.0, -1.0]])
+        out = corrupt_weights(w, 6, 0.3, rng=np.random.default_rng(2))
+        assert np.abs(out).max() <= 1.0
+
+    def test_cells_per_weight(self):
+        assert cells_per_weight(2) == 8
+        assert cells_per_weight(3) == 6
+        assert cells_per_weight(6) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weight_noise_sigma(0, 0.1)
+        with pytest.raises(ValueError):
+            weight_noise_sigma(2, -0.1)
+
+
+class TestFigure13Shape:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return accuracy_sweep(trials=3, seed=0)
+
+    def test_noiseless_flat_across_precision(self, grid):
+        accs = list(grid[0.0].values())
+        assert max(accs) - min(accs) < 0.02
+
+    def test_2bit_robust_at_high_noise(self, grid):
+        # The paper's conclusion: 2-bit cells work even at sigma_N = 0.3.
+        assert grid[0.3][2] > 0.9
+
+    def test_6bit_collapses_at_high_noise(self, grid):
+        assert grid[0.3][6] < 0.5
+
+    def test_accuracy_decreases_with_precision(self, grid):
+        for sigma in (0.2, 0.3):
+            accs = [grid[sigma][b] for b in (2, 4, 6)]
+            assert accs[0] > accs[1] > accs[2]
+
+    def test_accuracy_decreases_with_noise(self, grid):
+        for bits in (5, 6):
+            accs = [grid[s][bits] for s in (0.0, 0.1, 0.2, 0.3)]
+            assert accs[0] > accs[-1]
+
+    def test_noisy_accuracy_single_point(self):
+        acc = noisy_accuracy(2, 0.1, trials=2)
+        assert 0.9 < acc <= 1.0

@@ -1,0 +1,238 @@
+"""Unit tests for core-architecture components: register file,
+ROM-Embedded RAM LUTs, VFU, SFU, and configuration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import CoreConfig, PumaConfig
+from repro.arch.registers import RegisterAccessError, RegisterFile
+from repro.arch.rom_lut import RomEmbeddedRam, build_lut
+from repro.arch.sfu import ScalarFunctionalUnit
+from repro.arch.vfu import VectorFunctionalUnit
+from repro.fixedpoint import FixedPointFormat
+from repro.isa.opcodes import AluOp, BrnOp, RegisterClass
+
+FMT = FixedPointFormat()
+CFG = CoreConfig()
+
+
+class TestCoreConfig:
+    def test_register_space_layout(self):
+        # Default: 256 XbarIn + 256 XbarOut + 512 general = 1024.
+        assert CFG.xbar_in_size == 256
+        assert CFG.xbar_out_size == 256
+        assert CFG.num_registers == 1024
+        assert CFG.register_class(0) == RegisterClass.XBAR_IN
+        assert CFG.register_class(256) == RegisterClass.XBAR_OUT
+        assert CFG.register_class(512) == RegisterClass.GENERAL
+        assert CFG.general_base == 512
+
+    def test_register_file_matches_table3(self):
+        # 1 KB register file = 512 16-bit words = 2 * 128 * 2 (Sec 3.4.2).
+        assert CFG.num_general_registers == 2 * CFG.mvmu_dim * CFG.num_mvmus
+
+    def test_slices(self):
+        assert CFG.num_slices == 8  # 16-bit / 2-bit cells
+
+    def test_derived_configs(self):
+        config = PumaConfig().with_core(mvmu_dim=64)
+        assert config.core.mvmu_dim == 64
+        config2 = config.with_tile(num_cores=4)
+        assert config2.tile.num_cores == 4
+        assert config2.core.mvmu_dim == 64  # preserved
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreConfig(bits_per_cell=3)  # 16 % 3 != 0
+        with pytest.raises(ValueError):
+            CoreConfig(vfu_width=0)
+
+
+class TestRegisterFile:
+    def test_general_read_write(self):
+        rf = RegisterFile(CFG)
+        rf.write(CFG.general_base, np.array([1, 2, 3]))
+        np.testing.assert_array_equal(
+            rf.read(CFG.general_base, 3), [1, 2, 3])
+
+    def test_xbar_in_rules(self):
+        rf = RegisterFile(CFG)
+        rf.write(0, np.array([5]))        # non-MVM write allowed
+        with pytest.raises(RegisterAccessError):
+            rf.read(0, 1)                 # non-MVM read forbidden
+        assert rf.read(0, 1, from_mvm=True)[0] == 5
+
+    def test_xbar_out_rules(self):
+        rf = RegisterFile(CFG)
+        base = CFG.xbar_out_base(0)
+        rf.write(base, np.array([9]), from_mvm=True)
+        assert rf.read(base, 1)[0] == 9   # non-MVM read allowed
+        with pytest.raises(RegisterAccessError):
+            rf.write(base, np.array([1]))  # non-MVM write forbidden
+
+    def test_range_check(self):
+        rf = RegisterFile(CFG)
+        with pytest.raises(IndexError):
+            rf.read(CFG.num_registers - 1, 2)
+
+    def test_value_range_check(self):
+        rf = RegisterFile(CFG)
+        with pytest.raises(ValueError):
+            rf.write(CFG.general_base, np.array([40000]))
+
+    def test_access_counters(self):
+        rf = RegisterFile(CFG)
+        rf.write(CFG.general_base, np.arange(8))
+        rf.read(CFG.general_base, 8)
+        assert rf.writes[RegisterClass.GENERAL] == 8
+        assert rf.reads[RegisterClass.GENERAL] == 8
+
+
+class TestRomLut:
+    @pytest.mark.parametrize("op,ref", [
+        (AluOp.SIGMOID, lambda x: 1 / (1 + np.exp(-x))),
+        (AluOp.TANH, np.tanh),
+    ])
+    def test_lut_accuracy(self, op, ref):
+        lut = build_lut(op, entries=256, fmt=FMT)
+        xs = np.linspace(-7.5, 7.5, 500)
+        approx = FMT.dequantize(lut.evaluate(FMT.quantize(xs)))
+        np.testing.assert_allclose(approx, ref(xs), atol=0.01)
+
+    def test_exp_saturates(self):
+        lut = build_lut(AluOp.EXP, fmt=FMT)
+        big = lut.evaluate(FMT.quantize(np.array([7.0])))
+        assert big[0] == FMT.int_max  # exp(7) >> max representable
+
+    def test_log_domain(self):
+        lut = build_lut(AluOp.LOG, fmt=FMT)
+        val = FMT.dequantize(lut.evaluate(FMT.quantize(np.array([1.0]))))
+        assert abs(val[0]) < 0.02
+        # Non-positive inputs clamp to the smallest positive value.
+        neg = lut.evaluate(FMT.quantize(np.array([-3.0])))
+        assert neg[0] == lut.y_values[0]
+
+    def test_max_interpolation_error_small(self):
+        lut = build_lut(AluOp.TANH, entries=256, fmt=FMT)
+        assert lut.max_interpolation_error() < 0.01
+
+    def test_rom_mode_counts_accesses(self):
+        rom = RomEmbeddedRam(fmt=FMT)
+        rom.lookup(AluOp.SIGMOID, FMT.quantize(np.zeros(10)))
+        assert rom.rom_accesses == 10
+
+    def test_rom_preserves_ram(self):
+        """The ROM-mode protocol (Figure 3) buffers and restores RAM data:
+        LUT evaluations must not corrupt the register file contents."""
+        rf_cfg = CoreConfig()
+        rf = RegisterFile(rf_cfg)
+        rf.write(rf_cfg.general_base, np.arange(32))
+        rf.lut_evaluate(AluOp.TANH, FMT.quantize(np.linspace(-1, 1, 64)))
+        np.testing.assert_array_equal(rf.read(rf_cfg.general_base, 32),
+                                      np.arange(32))
+
+
+class TestVfu:
+    def _vfu(self, width=4):
+        rom = RomEmbeddedRam(fmt=FMT)
+        return VectorFunctionalUnit(width, FMT, lut=rom.lookup,
+                                    rng=np.random.default_rng(0))
+
+    def test_temporal_simd_cycles(self):
+        vfu = self._vfu(width=4)
+        assert vfu.cycles(4) == 1
+        assert vfu.cycles(5) == 2
+        assert vfu.cycles(128) == 32
+
+    def test_add_saturates(self):
+        vfu = self._vfu()
+        out = vfu.execute(AluOp.ADD, np.array([FMT.int_max]), np.array([10]))
+        assert out[0] == FMT.int_max
+
+    def test_mul_fixed_point(self):
+        vfu = self._vfu()
+        a = FMT.quantize(np.array([1.5]))
+        b = FMT.quantize(np.array([2.0]))
+        assert FMT.dequantize(vfu.execute(AluOp.MUL, a, b))[0] == \
+            pytest.approx(3.0, abs=FMT.resolution)
+
+    def test_relu(self):
+        vfu = self._vfu()
+        out = vfu.execute(AluOp.RELU, np.array([-5, 0, 5]))
+        np.testing.assert_array_equal(out, [0, 0, 5])
+
+    def test_min_max(self):
+        vfu = self._vfu()
+        a, b = np.array([1, 5]), np.array([3, 2])
+        np.testing.assert_array_equal(vfu.execute(AluOp.MIN, a, b), [1, 2])
+        np.testing.assert_array_equal(vfu.execute(AluOp.MAX, a, b), [3, 5])
+
+    def test_logical_ops(self):
+        vfu = self._vfu()
+        a = np.array([0b1100])
+        b = np.array([0b1010])
+        assert vfu.execute(AluOp.AND, a, b)[0] == 0b1000
+        assert vfu.execute(AluOp.OR, a, b)[0] == 0b1110
+        assert FMT.to_unsigned(vfu.execute(AluOp.NOT, a))[0] == \
+            0xFFFF ^ 0b1100
+
+    def test_shifts(self):
+        vfu = self._vfu()
+        assert vfu.execute(AluOp.SHL, np.array([3]), np.array([2]))[0] == 12
+        assert vfu.execute(AluOp.SHR, np.array([-8]), np.array([1]))[0] == -4
+
+    def test_random_in_unit_range(self):
+        vfu = self._vfu()
+        out = vfu.execute(AluOp.RANDOM, np.zeros(1000, dtype=np.int64))
+        assert out.min() >= 0
+        assert out.max() < FMT.scale
+
+    def test_subsample(self):
+        vfu = self._vfu()
+        out = vfu.execute(AluOp.SUBSAMPLE, np.arange(8), np.array([2]))
+        np.testing.assert_array_equal(out, [0, 2, 4, 6])
+
+    def test_transcendental_requires_lut(self):
+        vfu = VectorFunctionalUnit(1, FMT, lut=None)
+        with pytest.raises(RuntimeError):
+            vfu.execute(AluOp.TANH, np.array([0]))
+
+    def test_log_softmax_sums_to_one(self):
+        vfu = self._vfu()
+        x = FMT.quantize(np.array([0.5, 1.0, -0.5, 0.0]))
+        out = FMT.dequantize(vfu.execute(AluOp.LOG_SOFTMAX, x))
+        assert np.exp(out).sum() == pytest.approx(1.0, abs=0.1)
+
+    @given(st.lists(st.integers(-30000, 30000), min_size=1, max_size=64))
+    @settings(max_examples=50)
+    def test_results_always_in_range(self, values):
+        vfu = self._vfu()
+        arr = np.array(values)
+        for op in (AluOp.ADD, AluOp.SUB, AluOp.MUL):
+            out = vfu.execute(op, arr, arr[::-1].copy())
+            assert out.min() >= FMT.int_min
+            assert out.max() <= FMT.int_max
+
+
+class TestSfu:
+    def test_scalar_arithmetic(self):
+        sfu = ScalarFunctionalUnit(FMT)
+        assert sfu.execute(AluOp.ADD, 3, 4) == 7
+        assert sfu.execute(AluOp.SUB, 3, 4) == -1
+
+    def test_compares(self):
+        sfu = ScalarFunctionalUnit(FMT)
+        assert sfu.execute(AluOp.EQ, 5, 5) == 1
+        assert sfu.execute(AluOp.GT, 5, 4) == 1
+        assert sfu.execute(AluOp.NEQ, 5, 5) == 0
+
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (BrnOp.EQ, 1, 1, True), (BrnOp.NEQ, 1, 2, True),
+        (BrnOp.LT, 1, 2, True), (BrnOp.LE, 2, 2, True),
+        (BrnOp.GT, 3, 2, True), (BrnOp.GE, 2, 3, False),
+    ])
+    def test_branch_conditions(self, op, a, b, expected):
+        sfu = ScalarFunctionalUnit(FMT)
+        assert sfu.branch_taken(op, a, b) is expected

@@ -1,0 +1,260 @@
+"""Tests for individual compiler passes: tiling, partitioning, coalescing,
+scheduling, register allocation, and memory planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CompilerOptions, default_config
+from repro.compiler.coalesce import coalesce, grouped_schedule
+from repro.compiler.frontend import (
+    ConstMatrix,
+    InVector,
+    Model,
+    OutVector,
+    relu,
+    tanh,
+)
+from repro.compiler.memory import MemoryPlan, TileMemoryOverflow
+from repro.compiler.partition import partition
+from repro.compiler.regalloc import RegisterAllocator
+from repro.compiler.schedule import max_live_values, schedule
+from repro.compiler.tiling import TaskKind, tile_model
+
+CFG = default_config()
+RNG = np.random.default_rng(0)
+
+
+def two_matvec_model(m=200, n=150):
+    """The Figure 7 example model at a multi-tile size."""
+    model = Model.create("fig7")
+    x = InVector.create(model, m, "x")
+    y = InVector.create(model, m, "y")
+    z = OutVector.create(model, n, "z")
+    a = ConstMatrix.create(model, m, n, "A", RNG.normal(0, 0.1, (m, n)))
+    b = ConstMatrix.create(model, m, n, "B", RNG.normal(0, 0.1, (m, n)))
+    z.assign(tanh(a @ x + b @ y))
+    return model
+
+
+class TestTiling:
+    def test_matvec_tile_grid(self):
+        graph = tile_model(two_matvec_model(), CFG)
+        mvms = [t for t in graph.tasks if t.kind == TaskKind.MVM_TILE]
+        # 200x150 -> 2 row tiles x 2 col tiles per matrix, two matrices.
+        assert len(mvms) == 8
+        reduces = [t for t in graph.tasks if t.kind == TaskKind.REDUCE]
+        assert len(reduces) == 4
+        for r in reduces:
+            assert len(r.inputs) == 2  # two row-tile partials each
+
+    def test_weights_padded_to_mvmu(self):
+        graph = tile_model(two_matvec_model(), CFG)
+        for t in graph.tasks:
+            if t.kind == TaskKind.MVM_TILE:
+                assert t.weights.shape == (128, 128)
+                # Rows beyond in_width are zero padding.
+                assert np.all(t.weights[t.in_width:, :] == 0)
+
+    def test_segment_widths_bounded(self):
+        graph = tile_model(two_matvec_model(), CFG)
+        for t in graph.tasks:
+            assert 1 <= t.width <= CFG.core.mvmu_dim
+
+    def test_inputs_are_topological(self):
+        graph = tile_model(two_matvec_model(), CFG)
+        for t in graph.tasks:
+            for piece in t.inputs:
+                assert piece.task_id < t.task_id
+
+    def test_rejects_model_without_outputs(self):
+        model = Model.create("empty")
+        InVector.create(model, 4, "x")
+        with pytest.raises(ValueError):
+            tile_model(model, CFG)
+
+
+class TestPartition:
+    def test_same_output_tiles_share_cores(self):
+        """Affinity packing: the row tiles of one output segment sit on
+        the same core (so their partials reduce locally)."""
+        graph = tile_model(two_matvec_model(), CFG)
+        placement = partition(graph, CFG)
+        by_reduce = {}
+        for t in graph.tasks:
+            if t.kind == TaskKind.REDUCE:
+                cores = {placement.of(p.task_id).core_key
+                         for p in t.inputs}
+                by_reduce[t.task_id] = cores
+        assert all(len(cores) == 1 for cores in by_reduce.values())
+
+    def test_each_mvmu_hosts_one_tile(self):
+        graph = tile_model(two_matvec_model(), CFG)
+        placement = partition(graph, CFG)
+        slots = [
+            (p.tile, p.core, p.mvmu)
+            for tid, p in placement.placements.items()
+            if graph.task(tid).kind == TaskKind.MVM_TILE
+        ]
+        assert len(slots) == len(set(slots))
+
+    def test_random_mode_changes_packing(self):
+        graph = tile_model(two_matvec_model(), CFG)
+        affinity = partition(graph, CFG, CompilerOptions())
+        rand = partition(graph, CFG,
+                         CompilerOptions(partition="random", seed=3))
+        mvm_ids = [t.task_id for t in graph.tasks
+                   if t.kind == TaskKind.MVM_TILE]
+        assert any(affinity.of(t) != rand.of(t) for t in mvm_ids)
+
+    def test_capacity_check(self):
+        tiny = CFG.with_node(num_tiles=1).with_tile(num_cores=1)
+        model = two_matvec_model(500, 500)  # 32 MVM tiles > 2 slots
+        graph = tile_model(model, tiny)
+        with pytest.raises(ValueError, match="MVMUs"):
+            partition(graph, tiny)
+
+
+class TestScheduling:
+    def test_reverse_postorder_beats_naive_pressure(self):
+        """Figure 9's claim: the compiler's linearization keeps fewer
+        values live than construction order."""
+        model = Model.create("pressure")
+        x = InVector.create(model, 64, "x")
+        branches = []
+        for i in range(6):
+            w = ConstMatrix.create(model, 64, 64, f"w{i}",
+                                   RNG.normal(0, 0.1, (64, 64)))
+            branches.append(relu(w @ x))
+        total = branches[0]
+        for b in branches[1:]:
+            total = total + b
+        out = OutVector.create(model, 64, "out")
+        out.assign(total)
+        graph = tile_model(model, CFG)
+        rpo = schedule(graph, CompilerOptions())
+        naive = schedule(graph, CompilerOptions(schedule="naive"))
+        assert max_live_values(graph, rpo) <= max_live_values(graph, naive)
+
+    def test_schedule_covers_all_tasks(self):
+        graph = tile_model(two_matvec_model(), CFG)
+        order = schedule(graph)
+        assert sorted(order) == list(range(len(graph.tasks)))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_grouped_schedule_topological(self, seed):
+        """Property: for random partitions, the grouped schedule always
+        respects dependences (checked internally, would raise)."""
+        graph = tile_model(two_matvec_model(), CFG)
+        options = CompilerOptions(partition="random", seed=seed)
+        placement = partition(graph, CFG, options)
+        groups = coalesce(graph, placement, options)
+        order = grouped_schedule(graph, groups, options)
+        position = {t: i for i, t in enumerate(order)}
+        for task in graph.tasks:
+            for piece in task.inputs:
+                assert position[piece.task_id] < position[task.task_id]
+
+
+class TestCoalescing:
+    def test_same_matvec_tiles_fused(self):
+        graph = tile_model(two_matvec_model(), CFG)
+        placement = partition(graph, CFG)
+        groups = coalesce(graph, placement, CompilerOptions())
+        fused = [g for g in groups if len(g) > 1]
+        assert fused, "expected at least one coalesced MVM pair"
+        for group in fused:
+            cores = {placement.of(t).core_key for t in group}
+            mvmus = [placement.of(t).mvmu for t in group]
+            assert len(cores) == 1
+            assert len(set(mvmus)) == len(mvmus)
+
+    def test_disabled_coalescing_gives_singletons(self):
+        graph = tile_model(two_matvec_model(), CFG)
+        placement = partition(graph, CFG)
+        groups = coalesce(graph, placement,
+                          CompilerOptions(coalesce_mvms=False))
+        assert all(len(g) == 1 for g in groups)
+
+    def test_groups_partition_tasks(self):
+        graph = tile_model(two_matvec_model(), CFG)
+        placement = partition(graph, CFG)
+        groups = coalesce(graph, placement, CompilerOptions())
+        flat = sorted(t for g in groups for t in g)
+        assert flat == list(range(len(graph.tasks)))
+
+
+class TestRegisterAllocator:
+    def test_first_fit_and_release(self):
+        alloc = RegisterAllocator(CFG.core)
+        a = alloc.allocate(100)
+        b = alloc.allocate(100)
+        assert b == a + 100
+        alloc.release(a, 100)
+        c = alloc.allocate(50)
+        assert c == a  # reuses the freed hole
+
+    def test_exhaustion_returns_none(self):
+        alloc = RegisterAllocator(CFG.core)
+        assert alloc.allocate(512) is not None
+        assert alloc.allocate(1) is None
+
+    def test_coalescing_free_blocks(self):
+        alloc = RegisterAllocator(CFG.core)
+        a = alloc.allocate(128)
+        b = alloc.allocate(128)
+        alloc.release(a, 128)
+        alloc.release(b, 128)
+        assert alloc.allocate(256) == a
+
+    def test_double_free_detected(self):
+        alloc = RegisterAllocator(CFG.core)
+        a = alloc.allocate(10)
+        alloc.release(a, 10)
+        with pytest.raises(AssertionError):
+            alloc.release(a, 10)
+
+    def test_peak_tracking(self):
+        alloc = RegisterAllocator(CFG.core)
+        alloc.allocate(100)
+        alloc.allocate(200)
+        assert alloc.stats.peak_words == 300
+
+    @given(st.lists(st.integers(1, 64), max_size=30))
+    @settings(max_examples=50)
+    def test_no_overlapping_allocations(self, widths):
+        """Property: live allocations never overlap."""
+        alloc = RegisterAllocator(CFG.core)
+        live = []
+        for w in widths:
+            base = alloc.allocate(w)
+            if base is None:
+                if live:
+                    b, bw = live.pop(0)
+                    alloc.release(b, bw)
+                continue
+            for b, bw in live:
+                assert base + w <= b or b + bw <= base
+            live.append((base, w))
+
+
+class TestMemoryPlan:
+    def test_bump_allocation(self):
+        plan = MemoryPlan(capacity_words=100)
+        a = plan.tile(0).allocate(40, "a")
+        b = plan.tile(0).allocate(40, "b")
+        assert (a, b) == (0, 40)
+        assert plan.usage() == {0: 80}
+
+    def test_overflow(self):
+        plan = MemoryPlan(capacity_words=100)
+        plan.tile(0).allocate(90)
+        with pytest.raises(TileMemoryOverflow):
+            plan.tile(0).allocate(20)
+
+    def test_tiles_independent(self):
+        plan = MemoryPlan(capacity_words=100)
+        plan.tile(0).allocate(90)
+        assert plan.tile(1).allocate(90) == 0

@@ -1,0 +1,179 @@
+"""End-to-end integration: compile with the full backend, run on PUMAsim,
+and check functional results against a numpy fixed-point reference."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompilerOptions,
+    ConstMatrix,
+    InVector,
+    Model,
+    OutVector,
+    Simulator,
+    compile_model,
+    concat,
+    const_vector,
+    default_config,
+    relu,
+    sigmoid,
+    tanh,
+)
+from repro.fixedpoint import FixedPointFormat
+
+FMT = FixedPointFormat()
+RNG = np.random.default_rng(42)
+
+
+def run_model(model, inputs, options=None, config=None):
+    config = config or default_config()
+    compiled = compile_model(model, config, options)
+    sim = Simulator(config, compiled.program, seed=0)
+    fixed_inputs = {k: FMT.quantize(v) for k, v in inputs.items()}
+    outputs = sim.run(fixed_inputs)
+    return ({k: FMT.dequantize(v) for k, v in outputs.items()},
+            compiled, sim)
+
+
+class TestFigure7Example:
+    """The paper's own code example: z = tanh(A x + B y)."""
+
+    def _build(self, m_dim, n_dim):
+        a = RNG.normal(0, 0.1, size=(m_dim, n_dim))
+        b = RNG.normal(0, 0.1, size=(m_dim, n_dim))
+        model = Model.create("example")
+        x = InVector.create(model, m_dim, "x")
+        y = InVector.create(model, m_dim, "y")
+        z = OutVector.create(model, n_dim, "z")
+        mat_a = ConstMatrix.create(model, m_dim, n_dim, "A", a)
+        mat_b = ConstMatrix.create(model, m_dim, n_dim, "B", b)
+        z.assign(tanh(mat_a @ x + mat_b @ y))
+        return model, a, b
+
+    @pytest.mark.parametrize("m_dim,n_dim", [(16, 16), (128, 64), (200, 150)])
+    def test_matches_reference(self, m_dim, n_dim):
+        model, a, b = self._build(m_dim, n_dim)
+        xv = RNG.normal(0, 0.5, size=m_dim)
+        yv = RNG.normal(0, 0.5, size=m_dim)
+        outputs, compiled, _ = run_model(model, {"x": xv, "y": yv})
+        expected = np.tanh(xv @ a + yv @ b)
+        np.testing.assert_allclose(outputs["z"], expected, atol=0.03)
+
+    def test_multi_tile_when_matrix_is_large(self):
+        # 200 inputs -> 2 row tiles; 150 outputs -> 2 col tiles; two
+        # matrices => 8 MVMUs = 4 cores, single tile with default config.
+        model, _, _ = self._build(200, 150)
+        compiled = compile_model(model, default_config())
+        assert compiled.num_mvmus_used == 8
+        assert compiled.num_cores_used >= 4
+
+
+class TestElementwiseKernels:
+    def test_add_mul_chain(self):
+        n = 100
+        model = Model.create("ewise")
+        x = InVector.create(model, n, "x")
+        y = InVector.create(model, n, "y")
+        out = OutVector.create(model, n, "out")
+        out.assign((x + y) * x - y)
+        xv = RNG.normal(0, 0.5, size=n)
+        yv = RNG.normal(0, 0.5, size=n)
+        outputs, _, _ = run_model(model, {"x": xv, "y": yv})
+        np.testing.assert_allclose(outputs["out"], (xv + yv) * xv - yv,
+                                   atol=0.01)
+
+    def test_scalar_immediates(self):
+        n = 30
+        model = Model.create("imm")
+        x = InVector.create(model, n, "x")
+        out = OutVector.create(model, n, "out")
+        out.assign(x * 0.5 + 1.25)
+        xv = RNG.normal(0, 1.0, size=n)
+        outputs, _, _ = run_model(model, {"x": xv})
+        np.testing.assert_allclose(outputs["out"], xv * 0.5 + 1.25, atol=0.01)
+
+    def test_relu_and_sigmoid(self):
+        n = 64
+        model = Model.create("nonlin")
+        x = InVector.create(model, n, "x")
+        r = OutVector.create(model, n, "r")
+        s = OutVector.create(model, n, "s")
+        r.assign(relu(x))
+        s.assign(sigmoid(x))
+        xv = RNG.normal(0, 2.0, size=n)
+        outputs, _, _ = run_model(model, {"x": xv})
+        np.testing.assert_allclose(outputs["r"], np.maximum(xv, 0), atol=0.01)
+        np.testing.assert_allclose(outputs["s"], 1 / (1 + np.exp(-xv)),
+                                   atol=0.02)
+
+    def test_const_vector_bias(self):
+        n = 20
+        bias = RNG.normal(0, 1.0, size=n)
+        model = Model.create("bias")
+        x = InVector.create(model, n, "x")
+        out = OutVector.create(model, n, "out")
+        out.assign(x + const_vector(model, bias, "b"))
+        xv = RNG.normal(0, 1.0, size=n)
+        outputs, _, _ = run_model(model, {"x": xv})
+        np.testing.assert_allclose(outputs["out"], xv + bias, atol=0.01)
+
+    def test_concat_and_slice(self):
+        model = Model.create("cat")
+        x = InVector.create(model, 100, "x")
+        y = InVector.create(model, 60, "y")
+        out = OutVector.create(model, 40, "out")
+        joined = concat([x, y])          # length 160
+        out.assign(joined[80:120])       # spans the x/y boundary
+        xv = RNG.normal(0, 1.0, size=100)
+        yv = RNG.normal(0, 1.0, size=60)
+        outputs, _, _ = run_model(model, {"x": xv, "y": yv})
+        expected = np.concatenate([xv, yv])[80:120]
+        np.testing.assert_allclose(outputs["out"], expected, atol=0.01)
+
+
+class TestMlpEndToEnd:
+    def _mlp(self, dims):
+        model = Model.create("mlp")
+        x = InVector.create(model, dims[0], "x")
+        weights = []
+        h = x
+        for i, (m, n) in enumerate(zip(dims[:-1], dims[1:])):
+            w = RNG.normal(0, 1.0 / np.sqrt(m), size=(m, n))
+            weights.append(w)
+            mat = ConstMatrix.create(model, m, n, f"w{i}", w)
+            h = mat @ h
+            if i < len(dims) - 2:
+                h = relu(h)
+        out = OutVector.create(model, dims[-1], "out")
+        out.assign(h)
+        return model, weights
+
+    def test_small_mlp_matches_numpy(self):
+        dims = [64, 150, 150, 14]  # the Figure 4 MLP
+        model, weights = self._mlp(dims)
+        xv = RNG.normal(0, 0.5, size=dims[0])
+        outputs, compiled, sim = run_model(model, {"x": xv})
+        h = xv
+        for i, w in enumerate(weights):
+            h = h @ w
+            if i < len(weights) - 1:
+                h = np.maximum(h, 0)
+        np.testing.assert_allclose(outputs["out"], h, atol=0.06)
+        assert sim.stats.total_instructions > 0
+        assert sim.stats.cycles > 0
+        assert sim.stats.total_energy_j > 0
+
+    def test_all_schedule_and_partition_modes_agree(self):
+        dims = [64, 150, 14]
+        model, weights = self._mlp(dims)
+        xv = RNG.normal(0, 0.5, size=dims[0])
+        results = []
+        for part in ("affinity", "random"):
+            for sched in ("reverse_postorder", "naive"):
+                for coal in (True, False):
+                    opts = CompilerOptions(partition=part, schedule=sched,
+                                           coalesce_mvms=coal, seed=3)
+                    outputs, _, _ = run_model(model, {"x": xv}, options=opts)
+                    results.append(outputs["out"])
+        for other in results[1:]:
+            np.testing.assert_allclose(other, results[0], atol=1e-9)

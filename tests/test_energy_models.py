@@ -1,0 +1,146 @@
+"""Tests for the power/area/timing models against the paper's numbers."""
+
+import pytest
+
+from repro.arch.config import PumaConfig
+from repro.baselines.digital_mvmu import digital_mvmu_comparison
+from repro.energy.area import node_metrics
+from repro.energy.components import (
+    adc_bits_for,
+    core_budget,
+    node_budget,
+    table3_rows,
+    tile_budget,
+)
+from repro.energy.dse import evaluate_design, sweep, sweet_spot
+from repro.energy.model import (
+    mvm_initiation_interval_cycles,
+    mvm_latency_cycles,
+)
+
+CFG = PumaConfig()
+
+
+class TestTable3Consistency:
+    """The component model must roll up to the published Table 3 totals."""
+
+    def test_core_power_matches(self):
+        budget = core_budget(CFG.core)
+        assert budget.power_mw == pytest.approx(42.37, rel=0.02)
+
+    def test_core_area_matches(self):
+        budget = core_budget(CFG.core)
+        assert budget.area_mm2 == pytest.approx(0.036, rel=0.05)
+
+    def test_tile_power_matches(self):
+        budget = tile_budget(CFG.tile)
+        assert budget.power_mw == pytest.approx(373.8, rel=0.03)
+
+    def test_tile_area_matches(self):
+        budget = tile_budget(CFG.tile)
+        assert budget.area_mm2 == pytest.approx(0.479, rel=0.04)
+
+    def test_node_power_matches(self):
+        budget = node_budget(CFG.node)
+        assert budget.power_w == pytest.approx(62.5, rel=0.03)
+
+    def test_node_area_matches(self):
+        budget = node_budget(CFG.node)
+        assert budget.area_mm2 == pytest.approx(90.638, rel=0.03)
+
+    def test_rows_include_model_columns(self):
+        rows = table3_rows()
+        core_row = next(r for r in rows if r["component"] == "Core")
+        assert "model_power_mw" in core_row
+
+
+class TestMvmTiming:
+    def test_reference_latency_2304ns(self):
+        # Section 7.4.3: 16,384 MACs in 2304 ns.
+        assert mvm_latency_cycles(128, 16) == 2304
+
+    def test_adc_resolution(self):
+        assert adc_bits_for(128, 2) == 8
+        assert adc_bits_for(256, 2) == 9
+        assert adc_bits_for(64, 2) == 7
+
+    def test_latency_grows_with_dimension(self):
+        assert mvm_latency_cycles(256, 16) > 2 * mvm_latency_cycles(128, 16)
+
+    def test_pipelined_interval(self):
+        assert mvm_initiation_interval_cycles(128, 16) < \
+            mvm_latency_cycles(128, 16)
+
+
+class TestNodeMetrics:
+    """Table 6's PUMA row."""
+
+    def test_peak_tops(self):
+        assert node_metrics().peak_tops == pytest.approx(52.31, rel=0.01)
+
+    def test_area_efficiency(self):
+        assert node_metrics().tops_per_mm2 == pytest.approx(0.58, rel=0.05)
+
+    def test_power_efficiency(self):
+        assert node_metrics().tops_per_w == pytest.approx(0.84, rel=0.03)
+
+    def test_weight_capacity_69mb(self):
+        # Section 1: "A 90mm2 PUMA node can store ML models with up to
+        # 69MB of weight data."
+        assert node_metrics().weight_capacity_bytes == 69 * 2**20
+
+
+class TestDigitalMvmu:
+    """Section 7.4.3's analog-vs-digital factors."""
+
+    def test_energy_factor(self):
+        cmp = digital_mvmu_comparison()
+        assert cmp.energy_factor == pytest.approx(4.17, rel=0.05)
+
+    def test_area_factor(self):
+        cmp = digital_mvmu_comparison()
+        assert cmp.area_factor == pytest.approx(8.97, rel=0.15)
+
+    def test_chip_level_factors(self):
+        cmp = digital_mvmu_comparison()
+        assert cmp.chip_area_factor == pytest.approx(4.93, rel=0.25)
+        assert cmp.chip_energy_factor == pytest.approx(6.76, rel=0.05)
+
+
+class TestDesignSpace:
+    """Figure 12's qualitative shapes."""
+
+    def test_sweet_spot_efficiencies(self):
+        sp = sweet_spot()
+        # Tile-level efficiencies in the Figure 12 ballpark (~600-800).
+        assert 400 < sp.gops_per_mm2 < 900
+        assert 600 < sp.gops_per_w < 1000
+
+    def test_mvmu_dim_power_peaks_at_128(self):
+        points = {p.mvmu_dim: p for p in sweep("mvmu_dim")}
+        assert points[128].gops_per_w > points[64].gops_per_w
+        assert points[128].gops_per_w > points[256].gops_per_w
+
+    def test_num_mvmus_rises_then_falls(self):
+        points = [p.gops_per_w for p in sweep("num_mvmus")]
+        assert points[1] > points[0]      # 4 beats 1
+        assert points[1] > points[2] > points[3]  # VFU bottleneck
+
+    def test_vfu_width_peaks_at_4(self):
+        points = {p.vfu_width: p for p in sweep("vfu_width")}
+        best = max(points.values(), key=lambda p: p.gops_per_w)
+        assert best.vfu_width == 4  # Section 7.6: "sweetspot ... 4 lanes"
+
+    def test_cores_peak_at_8(self):
+        points = {p.num_cores: p for p in sweep("num_cores")}
+        best = max(points.values(), key=lambda p: p.gops_per_w)
+        assert best.num_cores == 8  # shared-memory bandwidth bottleneck
+
+    def test_rf_size_monotonically_hurts(self):
+        points = [p.gops_per_w for p in sweep("rf_scale")]
+        assert points == sorted(points, reverse=True)
+
+    def test_evaluate_design_custom_point(self):
+        point = evaluate_design(dim=64, mvmus=1, vfu=1, cores=1)
+        assert point.gops > 0
+        assert point.tile_area_mm2 > 0

@@ -1,0 +1,183 @@
+"""Error-path and edge-case coverage across the stack."""
+
+import numpy as np
+import pytest
+
+from repro import Simulator, compile_model, default_config
+from repro.arch.config import CoreConfig
+from repro.arch.core import Core
+from repro.compiler.frontend import (
+    ConstMatrix,
+    InVector,
+    Model,
+    OutVector,
+    concat,
+)
+from repro.isa import instruction as isa
+from repro.isa.opcodes import AluOp
+from repro.isa.program import NodeProgram
+from repro.sim.trace import TraceRecorder
+from repro.tile.shared_memory import SharedMemory
+from repro.workloads.mlp import build_mlp_model
+
+CFG = default_config()
+
+
+class TestFrontendValidation:
+    def test_length_mismatch(self):
+        model = Model.create("m")
+        a = InVector.create(model, 8, "a")
+        b = InVector.create(model, 9, "b")
+        with pytest.raises(ValueError, match="length mismatch"):
+            _ = a + b
+
+    def test_matrix_shape_mismatch(self):
+        model = Model.create("m")
+        x = InVector.create(model, 8, "x")
+        w = ConstMatrix.create(model, 16, 4, "w")
+        with pytest.raises(ValueError, match="input length"):
+            _ = w @ x
+
+    def test_duplicate_input_name(self):
+        model = Model.create("m")
+        InVector.create(model, 8, "x")
+        with pytest.raises(ValueError, match="duplicate"):
+            InVector.create(model, 8, "x")
+
+    def test_duplicate_matrix_name(self):
+        model = Model.create("m")
+        ConstMatrix.create(model, 4, 4, "w")
+        with pytest.raises(ValueError, match="duplicate"):
+            ConstMatrix.create(model, 4, 4, "w")
+
+    def test_output_double_assign(self):
+        model = Model.create("m")
+        x = InVector.create(model, 8, "x")
+        out = OutVector.create(model, 8, "out")
+        out.assign(x)
+        with pytest.raises(ValueError, match="already assigned"):
+            out.assign(x)
+
+    def test_output_length_mismatch(self):
+        model = Model.create("m")
+        x = InVector.create(model, 8, "x")
+        out = OutVector.create(model, 4, "out")
+        with pytest.raises(ValueError, match="expects length"):
+            out.assign(x)
+
+    def test_cross_model_mixing(self):
+        m1, m2 = Model.create("a"), Model.create("b")
+        x1 = InVector.create(m1, 8, "x")
+        x2 = InVector.create(m2, 8, "x")
+        with pytest.raises(ValueError, match="different models"):
+            _ = x1 + x2
+        with pytest.raises(ValueError, match="different models"):
+            concat([x1, x2])
+
+    def test_bad_slice(self):
+        model = Model.create("m")
+        x = InVector.create(model, 8, "x")
+        with pytest.raises(IndexError):
+            _ = x[4:20]
+        with pytest.raises(TypeError):
+            _ = x[::2]
+
+
+class TestCoreErrorPaths:
+    def _core(self):
+        return Core(0, CoreConfig(), SharedMemory(256))
+
+    def test_mvm_on_unprogrammed_mvmu(self):
+        core = self._core()
+        with pytest.raises(RuntimeError, match="unprogrammed"):
+            core.execute(isa.mvm(mask=1))
+
+    def test_mvm_empty_mask_after_width(self):
+        core = self._core()
+        with pytest.raises(ValueError, match="no MVMU"):
+            core.execute(isa.mvm(mask=4))  # only 2 MVMUs on this core
+
+    def test_tile_instruction_on_core(self):
+        core = self._core()
+        with pytest.raises(ValueError, match="tile-level"):
+            core.execute(isa.send(0, 0, 1))
+
+    def test_halted_core_stays_halted(self):
+        from repro.arch.core import ExecStatus
+
+        core = self._core()
+        core.execute(isa.hlt())
+        outcome = core.execute(isa.set_(CFG.core.general_base, 1))
+        assert outcome.status == ExecStatus.HALTED
+
+
+class TestSimulatorLimits:
+    def test_max_cycles_guard(self):
+        program = NodeProgram()
+        g = CFG.core.general_base
+        # Infinite loop: jmp to self.
+        program.tile(0).core(0).extend([isa.set_(g, 0), isa.jmp(1)])
+        sim = Simulator(CFG, program, max_cycles=10_000)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run()
+
+    def test_unknown_input_name(self):
+        model = build_mlp_model([16, 8], seed=0)
+        compiled = compile_model(model, CFG)
+        sim = Simulator(CFG, compiled.program)
+        with pytest.raises(KeyError, match="no input"):
+            sim.write_input("bogus", np.zeros(16))
+
+    def test_wrong_input_length(self):
+        model = build_mlp_model([16, 8], seed=0)
+        compiled = compile_model(model, CFG)
+        sim = Simulator(CFG, compiled.program)
+        with pytest.raises(ValueError, match="expects 16"):
+            sim.write_input("x", np.zeros(4))
+
+    def test_unknown_output_name(self):
+        model = build_mlp_model([16, 8], seed=0)
+        compiled = compile_model(model, CFG)
+        sim = Simulator(CFG, compiled.program)
+        with pytest.raises(KeyError, match="no output"):
+            sim.read_output("bogus")
+
+
+class TestTraceRecorder:
+    def test_records_and_formats(self):
+        model = build_mlp_model([16, 8], seed=0)
+        compiled = compile_model(model, CFG)
+        trace = TraceRecorder(enabled=True)
+        sim = Simulator(CFG, compiled.program, trace=trace)
+        sim.run({"x": np.zeros(16, dtype=np.int64)})
+        assert len(trace) == sim.stats.total_instructions
+        text = trace.format()
+        assert "mvm" in text
+        assert "t0c0" in text
+
+    def test_disabled_recorder_is_empty(self):
+        model = build_mlp_model([16, 8], seed=0)
+        compiled = compile_model(model, CFG)
+        sim = Simulator(CFG, compiled.program)  # default: disabled
+        sim.run({"x": np.zeros(16, dtype=np.int64)})
+        assert len(sim.trace) == 0
+
+    def test_limit_respected(self):
+        trace = TraceRecorder(enabled=True, limit=3)
+        for i in range(10):
+            trace.record(i, "a", isa.hlt(), 1)
+        assert len(trace) == 3
+
+
+class TestInstructionMemoryReport:
+    def test_small_program_fits(self):
+        compiled = compile_model(build_mlp_model([16, 8], seed=0), CFG)
+        assert compiled.instruction_memory_report(CFG) == []
+
+    def test_oversized_core_reported(self):
+        tight = CFG.with_core(instruction_memory_bytes=64)  # ~9 instructions
+        compiled = compile_model(build_mlp_model([64, 150, 14], seed=0),
+                                 tight)
+        report = compiled.instruction_memory_report(tight)
+        assert report
+        assert "core" in report[0]

@@ -1,0 +1,131 @@
+"""Smoke and shape tests for the experiment drivers (figures package)."""
+
+import pytest
+
+from repro.figures import (
+    fig4,
+    fig11,
+    fig12,
+    fig13,
+    table1,
+    table3,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+
+class TestFig4:
+    def test_every_workload_present(self):
+        rows = {r["Workload"] for r in fig4.rows()}
+        assert len(rows) == 6
+        assert any("CNN" in w for w in rows)
+
+    def test_percentages_sum_to_100(self):
+        for row in fig4.rows():
+            total = sum(v for k, v in row.items()
+                        if k not in ("Workload", "Total"))
+            assert total == pytest.approx(100.0, abs=1.0)
+
+    def test_cnn_uses_control_flow(self):
+        cnn = next(r for r in fig4.rows() if "CNN" in r["Workload"])
+        assert cnn["Control Flow"] > 0
+        assert cnn["Scalar Functional Unit"] > 0
+
+    def test_straightline_nets_have_no_control_flow(self):
+        mlp = next(r for r in fig4.rows() if "MLP" in r["Workload"])
+        assert mlp["Control Flow"] == 0
+
+    def test_mvm_alone_is_insufficient(self):
+        """Section 3.6's point: every workload needs non-MVM units."""
+        for row in fig4.rows():
+            assert row["MVM Unit (crossbar)"] < 50
+
+    def test_bm_rbm_use_network(self):
+        for name in ("BM", "RBM"):
+            row = next(r for r in fig4.rows() if name in r["Workload"])
+            assert row["Inter-Tile Data Transfer"] > 0
+
+
+class TestFig11:
+    def test_energy_rows_cover_all_platforms(self):
+        rows = fig11.energy_rows()
+        assert len(rows) == 8
+        for row in rows:
+            for platform in ("Haswell", "Skylake", "Kepler", "Maxwell",
+                             "Pascal"):
+                assert row[platform] > 0
+
+    def test_energy_savings_everywhere(self):
+        for row in fig11.energy_rows():
+            assert min(v for k, v in row.items() if k != "Benchmark") > 1
+
+    def test_batch_rows(self):
+        rows = fig11.batch_throughput_rows()
+        for row in rows:
+            assert row["B16"] > 0
+
+    def test_batch_benefit_shrinks_with_batch(self):
+        """Section 7.3: benefits decrease slightly with larger batches."""
+        for row in fig11.batch_energy_rows():
+            assert row["B128"] <= row["B16"]
+
+
+class TestTables:
+    def test_table1_renders(self):
+        assert "MLP" in table1.render()
+
+    def test_table3_renders(self):
+        text = table3.render()
+        assert "MVMU" in text
+        assert "19.09" in text
+
+    def test_table5_parameter_column(self):
+        rows = {r["DNN Name"]: r for r in table5.rows()}
+        assert rows["BigLSTM"]["# Parameters (M)"] == pytest.approx(856, rel=0.01)
+
+    def test_table6_factors(self):
+        factors = table6.comparison_factors()
+        assert factors["puma_vs_tpu_peak_ae"] == pytest.approx(8.3, rel=0.05)
+        assert factors["puma_vs_isaac_ae"] < 1  # programmability overhead
+
+    def test_table6_tpu_per_workload_ordering(self):
+        rows = {r["Workload"]: r for r in table6.per_workload_rows()}
+        # Paper: TPU AE is MLP 0.009, LSTM 0.003, CNN 0.06.
+        assert rows["LSTM"]["TPU AE"] < rows["MLP"]["TPU AE"] \
+            < rows["CNN"]["TPU AE"]
+        assert rows["MLP"]["TPU AE"] == pytest.approx(0.009, rel=0.1)
+
+    def test_table7_renders(self):
+        text = table7.render()
+        assert "state machine" in text
+
+    def test_table8_sizing_rows(self):
+        rows = {r["Workload"]: r for r in table8.shared_memory_sizing_rows()}
+        assert rows["MLPL4"]["Energy ratio"] == 1  # no pipelining benefit
+        assert rows["NMTL3"]["Energy ratio"] < 1
+
+
+class TestFig12:
+    def test_sweep_rows(self):
+        rows = fig12.sweep_rows("vfu_width")
+        assert [r["vfu_width"] for r in rows] == [1, 4, 16, 64]
+
+    def test_unknown_parameter(self):
+        with pytest.raises(KeyError):
+            fig12.sweep_rows("bogus")
+
+    def test_spill_rows_shape(self):
+        rows = fig12.spill_rows()
+        small = next(r for r in rows if r["RF scale"] == 0.25)
+        large = next(r for r in rows if r["RF scale"] == 16.0)
+        assert small["% accesses from spills"] > 0
+        assert large["% accesses from spills"] == 0
+
+
+class TestFig13:
+    def test_rows_structure(self):
+        rows = fig13.rows(trials=2)
+        assert len(rows) == 4  # four noise levels
+        assert "2-bit" in rows[0]

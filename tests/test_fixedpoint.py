@@ -1,0 +1,107 @@
+"""Unit and property tests for the 16-bit fixed-point format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint import (
+    DEFAULT_FORMAT,
+    FixedPointFormat,
+    bit_slices,
+    combine_slices,
+)
+
+words = st.integers(min_value=DEFAULT_FORMAT.int_min,
+                    max_value=DEFAULT_FORMAT.int_max)
+reals = st.floats(min_value=-7.9, max_value=7.9, allow_nan=False)
+
+
+class TestFormat:
+    def test_default_is_16_bit(self):
+        assert DEFAULT_FORMAT.total_bits == 16
+        assert DEFAULT_FORMAT.int_min == -32768
+        assert DEFAULT_FORMAT.int_max == 32767
+
+    def test_scale(self):
+        fmt = FixedPointFormat(frac_bits=12)
+        assert fmt.scale == 4096
+        assert fmt.resolution == pytest.approx(1 / 4096)
+
+    def test_invalid_frac_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(frac_bits=16)
+        with pytest.raises(ValueError):
+            FixedPointFormat(frac_bits=-1)
+
+    def test_quantize_saturates(self):
+        fmt = FixedPointFormat()
+        assert fmt.quantize(1000.0) == fmt.int_max
+        assert fmt.quantize(-1000.0) == fmt.int_min
+
+    @given(reals)
+    def test_roundtrip_within_resolution(self, value):
+        fmt = FixedPointFormat()
+        back = fmt.dequantize(fmt.quantize(value))
+        assert abs(back - value) <= fmt.resolution / 2 + 1e-12
+
+    @given(words, words)
+    def test_multiply_matches_float(self, a, b):
+        fmt = FixedPointFormat()
+        res = fmt.dequantize(fmt.multiply(a, b))
+        exact = fmt.dequantize(a) * fmt.dequantize(b)
+        clipped = np.clip(exact, fmt.min_value, fmt.max_value)
+        assert abs(res - clipped) <= fmt.resolution + 1e-9
+
+    def test_divide_by_zero(self):
+        fmt = FixedPointFormat()
+        assert fmt.divide(100, 0) == fmt.int_max
+        assert fmt.divide(-100, 0) == fmt.int_min
+        assert fmt.divide(0, 0) == 0
+
+    @given(words)
+    def test_wrap_is_identity_in_range(self, a):
+        fmt = FixedPointFormat()
+        assert fmt.wrap(a) == a
+
+    def test_wrap_overflow(self):
+        fmt = FixedPointFormat()
+        assert fmt.wrap(fmt.int_max + 1) == fmt.int_min
+        assert fmt.wrap(fmt.int_min - 1) == fmt.int_max
+
+    @given(words)
+    def test_unsigned_roundtrip(self, a):
+        fmt = FixedPointFormat()
+        assert fmt.from_unsigned(fmt.to_unsigned(a)) == a
+
+
+class TestBitSlicing:
+    @given(st.lists(words, min_size=1, max_size=16),
+           st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=100)
+    def test_slice_combine_roundtrip(self, values, bits):
+        fmt = FixedPointFormat()
+        unsigned = fmt.to_unsigned(np.array(values))
+        slices = bit_slices(unsigned, bits)
+        assert len(slices) == 16 // bits
+        recombined = combine_slices(slices, bits)
+        np.testing.assert_array_equal(recombined, unsigned)
+
+    def test_slices_in_range(self):
+        fmt = FixedPointFormat()
+        unsigned = fmt.to_unsigned(np.arange(-100, 100))
+        for s in bit_slices(unsigned, 2):
+            assert s.min() >= 0
+            assert s.max() < 4
+
+    def test_rejects_signed(self):
+        with pytest.raises(ValueError):
+            bit_slices(np.array([-1]), 2)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            bit_slices(np.array([1]), 3)
+
+    def test_combine_rejects_wrong_count(self):
+        with pytest.raises(ValueError):
+            combine_slices([np.array([1])], 2)

@@ -1,0 +1,189 @@
+"""Unit and property tests for the ISA: encoding, assembler, programs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    AluOp,
+    BrnOp,
+    CoreProgram,
+    INSTRUCTION_BYTES,
+    Instruction,
+    NodeProgram,
+    Opcode,
+    assemble,
+    decode,
+    disassemble,
+    encode,
+)
+from repro.isa import instruction as isa
+from repro.isa.encoding import decode_program, encode_program
+
+regs = st.integers(min_value=0, max_value=isa.MAX_REGISTER_INDEX)
+widths = st.integers(min_value=1, max_value=isa.MAX_VEC_WIDTH)
+addrs = st.integers(min_value=0, max_value=isa.MAX_MEM_ADDR)
+imms = st.integers(min_value=isa.MIN_IMMEDIATE, max_value=isa.MAX_IMMEDIATE)
+pcs = st.integers(min_value=0, max_value=isa.MAX_PC)
+counts = st.integers(min_value=1, max_value=isa.MAX_COUNT)
+fifos = st.integers(min_value=0, max_value=isa.MAX_FIFO_ID)
+targets = st.integers(min_value=0, max_value=1023)
+
+vector_alu_ops = st.sampled_from([op for op in AluOp if not op.is_compare])
+imm_alu_ops = st.sampled_from([AluOp.ADD, AluOp.SUB, AluOp.MUL, AluOp.DIV])
+int_alu_ops = st.sampled_from([AluOp.ADD, AluOp.SUB, AluOp.EQ, AluOp.GT,
+                               AluOp.NEQ])
+brn_ops = st.sampled_from(list(BrnOp))
+
+
+@st.composite
+def instructions(draw) -> Instruction:
+    opcode = draw(st.sampled_from(list(Opcode)))
+    if opcode == Opcode.MVM:
+        return isa.mvm(draw(st.integers(1, 255)),
+                       draw(st.integers(0, 512)), draw(st.integers(0, 512)))
+    if opcode == Opcode.ALU:
+        return isa.alu(draw(vector_alu_ops), draw(regs), draw(regs),
+                       draw(regs), draw(widths))
+    if opcode == Opcode.ALUI:
+        return isa.alui(draw(imm_alu_ops), draw(regs), draw(regs),
+                        draw(imms), draw(widths))
+    if opcode == Opcode.ALU_INT:
+        if draw(st.booleans()):
+            return isa.alu_int(draw(int_alu_ops), draw(regs), draw(regs),
+                               imm=draw(imms), imm_mode=True)
+        return isa.alu_int(draw(int_alu_ops), draw(regs), draw(regs),
+                           draw(regs))
+    if opcode == Opcode.SET:
+        return isa.set_(draw(regs), draw(imms), draw(widths))
+    if opcode == Opcode.COPY:
+        return isa.copy(draw(regs), draw(regs), draw(widths))
+    if opcode == Opcode.LOAD:
+        if draw(st.booleans()):
+            return isa.load(draw(regs), draw(addrs), draw(widths),
+                            addr_reg=draw(regs), reg_indirect=True)
+        return isa.load(draw(regs), draw(addrs), draw(widths))
+    if opcode == Opcode.STORE:
+        return isa.store(draw(regs), draw(addrs), draw(counts), draw(widths))
+    if opcode == Opcode.SEND:
+        return isa.send(draw(addrs), draw(fifos), draw(targets), draw(widths))
+    if opcode == Opcode.RECEIVE:
+        return isa.receive(draw(addrs), draw(fifos), draw(counts),
+                           draw(widths))
+    if opcode == Opcode.JMP:
+        return isa.jmp(draw(pcs))
+    if opcode == Opcode.BRN:
+        return isa.brn(draw(brn_ops), draw(regs), draw(regs), draw(pcs))
+    return isa.hlt()
+
+
+class TestEncoding:
+    @given(instructions())
+    @settings(max_examples=400)
+    def test_encode_decode_roundtrip(self, instr):
+        blob = encode(instr)
+        assert len(blob) == INSTRUCTION_BYTES
+        assert decode(blob) == instr
+
+    def test_instructions_are_seven_bytes(self):
+        # Section 3.1: "Instructions are seven bytes wide."
+        assert INSTRUCTION_BYTES == 7
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            decode(b"\x00" * 6)
+
+    def test_decode_rejects_bad_opcode(self):
+        with pytest.raises(ValueError):
+            decode(b"\xff" * 7)
+
+    @given(st.lists(instructions(), max_size=20))
+    @settings(max_examples=50)
+    def test_program_image_roundtrip(self, instrs):
+        image = encode_program(instrs)
+        assert decode_program(image) == instrs
+
+
+class TestConstructorValidation:
+    def test_mvm_rejects_zero_mask(self):
+        with pytest.raises(ValueError):
+            isa.mvm(0)
+
+    def test_alu_rejects_compare_ops(self):
+        with pytest.raises(ValueError):
+            isa.alu(AluOp.EQ, 0, 0, 0)
+
+    def test_alui_rejects_nonimm_ops(self):
+        with pytest.raises(ValueError):
+            isa.alui(AluOp.RELU, 0, 0, 0)
+
+    def test_vec_width_bounds(self):
+        with pytest.raises(ValueError):
+            isa.copy(0, 0, vec_width=0)
+        with pytest.raises(ValueError):
+            isa.copy(0, 0, vec_width=isa.MAX_VEC_WIDTH + 1)
+
+    def test_store_count_bounds(self):
+        with pytest.raises(ValueError):
+            isa.store(0, 0, count=0)
+        with pytest.raises(ValueError):
+            isa.store(0, 0, count=256)
+
+    def test_register_bounds(self):
+        with pytest.raises(ValueError):
+            isa.copy(isa.MAX_REGISTER_INDEX + 1, 0)
+
+
+class TestAssembler:
+    @given(st.lists(instructions(), max_size=30))
+    @settings(max_examples=50)
+    def test_disassemble_assemble_roundtrip(self, instrs):
+        text = disassemble(instrs)
+        assert assemble(text) == instrs
+
+    def test_assemble_example_kernel(self):
+        program = assemble("""
+            ; doubles a vector from memory
+            load r512, @0 w16
+            alui add r513, r512, #5 w1
+            alu add r514, r512, r512 w16
+            store r514, @64 count=1 w16
+            hlt
+        """)
+        assert [i.opcode for i in program] == [
+            Opcode.LOAD, Opcode.ALUI, Opcode.ALU, Opcode.STORE, Opcode.HLT]
+
+    def test_assemble_reports_line(self):
+        from repro.isa.assembler import AssemblyError
+
+        with pytest.raises(AssemblyError, match="line 2"):
+            assemble("hlt\nbogus r1\n")
+
+
+class TestProgramContainers:
+    def test_core_histogram(self):
+        prog = CoreProgram(0, [isa.mvm(1), isa.mvm(3), isa.hlt()])
+        hist = prog.opcode_histogram()
+        assert hist[Opcode.MVM] == 2
+        assert prog.size_bytes == 3 * INSTRUCTION_BYTES
+
+    def test_node_usage_breakdown(self):
+        node = NodeProgram()
+        tile = node.tile(0)
+        core = tile.core(0)
+        core.extend([isa.mvm(1), isa.alu(AluOp.RELU, 512, 512),
+                     isa.load(512, 0), isa.jmp(0),
+                     isa.alu_int(AluOp.ADD, 600, 600, 600)])
+        tile.append_tile(isa.send(0, 0, 1, vec_width=4))
+        usage = node.usage_breakdown()
+        assert usage["mvm"] == 1
+        assert usage["vfu"] == 1
+        assert usage["inter_core"] == 1
+        assert usage["control_flow"] == 1
+        assert usage["sfu"] == 1
+        assert usage["inter_tile"] == 1
+
+    def test_tile_rejects_core_instructions(self):
+        node = NodeProgram()
+        with pytest.raises(ValueError):
+            node.tile(0).append_tile(isa.mvm(1))

@@ -1,0 +1,126 @@
+"""Shared-memory location reuse (Section 5.2) under the stream-confinement
+guard — including regression cases for the two unsound variants that
+fuzzing caught (see repro.compiler.memory's module docstring)."""
+
+import numpy as np
+import pytest
+
+from repro import CompilerOptions, Simulator, compile_model, default_config
+from repro.compiler.memory import TileMemoryPlanner
+from repro.fixedpoint import FixedPointFormat
+from repro.workloads.lstm import build_lstm_model, lstm_reference
+from repro.workloads.mlp import build_mlp_model, mlp_reference
+
+FMT = FixedPointFormat()
+CFG = default_config()
+
+
+class TestPlanner:
+    def _stream(self, n):
+        return (0, n)
+
+    def test_reuse_requires_matching_streams(self):
+        planner = TileMemoryPlanner(0, 1000)
+        a = planner.allocate(100)
+        planner.retire(a, 100, producer_stream=self._stream(1),
+                       reader_streams=frozenset({self._stream(2)}))
+        # Wrong reader stream: no reuse.
+        b = planner.allocate(
+            100, recycle_if=lambda p, r: r == frozenset({self._stream(3)}))
+        assert b != a
+        # Matching provenance: reuse.
+        c = planner.allocate(
+            100, recycle_if=lambda p, r: p == self._stream(1)
+            and r == frozenset({self._stream(2)}))
+        assert c == a
+        assert planner.recycled_words == 100
+
+    def test_partial_block_reuse(self):
+        planner = TileMemoryPlanner(0, 1000)
+        a = planner.allocate(100)
+        planner.retire(a, 100, (0, 0), frozenset({(0, 1)}))
+        first = planner.allocate(40, recycle_if=lambda p, r: True)
+        second = planner.allocate(40, recycle_if=lambda p, r: True)
+        assert (first, second) == (a, a + 40)
+
+    def test_retire_validation(self):
+        planner = TileMemoryPlanner(0, 100)
+        with pytest.raises(ValueError):
+            planner.retire(50, 100, (0, 0), frozenset())
+
+
+class TestCompiledReuse:
+    def _lstm_compiled(self, reuse: bool, seq_len: int = 3):
+        model = build_lstm_model(64, 128, 32, seq_len=seq_len, seed=2)
+        options = CompilerOptions(memory_reuse=reuse)
+        return compile_model(model, CFG, options)
+
+    def test_unrolled_lstm_recycles_memory(self):
+        with_reuse = self._lstm_compiled(True)
+        without = self._lstm_compiled(False)
+        used_with = sum(with_reuse.memory_usage.values())
+        used_without = sum(without.memory_usage.values())
+        assert with_reuse.recycled_words > 0
+        assert used_with < used_without
+
+    def test_reuse_preserves_results(self):
+        rng = np.random.default_rng(3)
+        xs = [rng.normal(0, 0.4, size=64) for _ in range(3)]
+        inputs = {f"x{t}": FMT.quantize(xs[t]) for t in range(3)}
+        outs = {}
+        for reuse in (True, False):
+            compiled = self._lstm_compiled(reuse)
+            sim = Simulator(CFG, compiled.program, seed=0)
+            outs[reuse] = sim.run(inputs)["out"]
+        np.testing.assert_array_equal(outs[True], outs[False])
+        expected = lstm_reference(64, 128, 32, xs, seed=2)
+        np.testing.assert_allclose(FMT.dequantize(outs[True]), expected,
+                                   atol=0.05)
+
+    def test_mlp_reuse_correct(self):
+        dims = [256, 384, 384, 128]
+        model = build_mlp_model(dims, seed=4)
+        compiled = compile_model(model, CFG, CompilerOptions())
+        x = np.random.default_rng(5).normal(0, 0.3, size=dims[0])
+        sim = Simulator(CFG, compiled.program, seed=0)
+        out = FMT.dequantize(sim.run({"x": FMT.quantize(x)})["out"])
+        np.testing.assert_allclose(out, mlp_reference(dims, x, seed=4),
+                                   atol=0.06)
+
+
+class TestUnsoundVariantsRegression:
+    """The exact structures that broke the weaker reuse guards must now
+    compile to programs that run to completion with correct results."""
+
+    def _fuzz_case(self, seed, lengths, op_kinds, options):
+        import tests.test_property_end_to_end as fuzz
+
+        builder = fuzz._Builder(seed)
+        for length in lengths:
+            builder.add_input(length)
+        for kind in op_kinds:
+            builder.apply_random_op(kind)
+        reference = np.clip(builder.finish(), FMT.min_value, FMT.max_value)
+        compiled = compile_model(builder.model, CFG, options)
+        sim = Simulator(CFG, compiled.program, seed=0)
+        out = FMT.dequantize(sim.run(
+            {k: FMT.quantize(v) for k, v in builder.inputs.items()})["out"])
+        interior = np.abs(reference) < 7.5
+        np.testing.assert_allclose(out[interior], reference[interior],
+                                   atol=0.08)
+
+    def test_version_race_case(self):
+        # Broke the dataflow-ancestor guard: a new-value reader stole the
+        # old value's count.
+        self._fuzz_case(
+            908, [120, 151], [1, 0, 1, 0, 4, 0, 3, 1, 1, 4],
+            CompilerOptions(partition="affinity", coalesce_mvms=False,
+                            schedule="reverse_postorder", seed=908))
+
+    def test_producer_race_case(self):
+        # Broke reader-only confinement: a new producer on another core
+        # claimed the address before the old producer stored.
+        self._fuzz_case(
+            75794, [139], [0, 1, 3, 2, 2, 0, 1, 0, 0, 1, 4],
+            CompilerOptions(partition="random", coalesce_mvms=False,
+                            schedule="reverse_postorder", seed=75794))

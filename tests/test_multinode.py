@@ -1,0 +1,133 @@
+"""Multi-node execution over the chip-to-chip interconnect (Section 3:
+"nodes can be connected together via a chip-to-chip interconnect for
+large-scale execution").
+
+Tests use deliberately tiny nodes (2 tiles x 2 cores x 2 MVMUs) so that a
+modest model overflows one node and the compiled program provably crosses
+the off-chip link — while staying fast to simulate.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompilerOptions,
+    PumaConfig,
+    Simulator,
+    compile_model,
+    default_config,
+)
+from repro.compiler.partition import partition
+from repro.compiler.tiling import tile_model
+from repro.fixedpoint import FixedPointFormat
+from repro.node.noc import MeshGeometry, NetworkOnChip
+from repro.tile.receive_buffer import Packet
+from repro.workloads.mlp import build_mlp_model, mlp_reference
+
+FMT = FixedPointFormat()
+
+
+def tiny_system(num_nodes: int) -> PumaConfig:
+    """A num_nodes-system of 2-tile nodes with 2 cores x 2 MVMUs each."""
+    base = default_config().with_tile(num_cores=2)
+    return PumaConfig(num_nodes=num_nodes,
+                      node=base.node.__class__(num_tiles=2,
+                                               tile=base.tile))
+
+
+class TestConfig:
+    def test_total_tiles(self):
+        assert tiny_system(3).total_tiles == 6
+        assert default_config().total_tiles == 138
+
+    def test_node_of_tile(self):
+        config = tiny_system(3)
+        assert config.node_of_tile(0) == 0
+        assert config.node_of_tile(1) == 0
+        assert config.node_of_tile(2) == 1
+        assert config.node_of_tile(5) == 2
+        with pytest.raises(IndexError):
+            config.node_of_tile(6)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            PumaConfig(num_nodes=0)
+
+
+class TestPartitionAcrossNodes:
+    def test_model_spills_onto_second_node(self):
+        # 512x384 + 384x128 = 15 MVMU tiles > one tiny node's 8.
+        config = tiny_system(2)
+        model = build_mlp_model([512, 384, 128], seed=1)
+        graph = tile_model(model, config)
+        placement = partition(graph, config)
+        nodes_used = {config.node_of_tile(p.tile)
+                      for p in placement.placements.values()}
+        assert nodes_used == {0, 1}
+
+    def test_single_node_capacity_error_mentions_system(self):
+        config = tiny_system(1)
+        model = build_mlp_model([512, 384, 128], seed=1)
+        graph = tile_model(model, config)
+        with pytest.raises(ValueError, match="1-node system"):
+            partition(graph, config)
+
+
+class TestMultiNodeExecution:
+    def test_results_match_reference_across_nodes(self):
+        dims = [512, 384, 128]
+        config = tiny_system(2)
+        model = build_mlp_model(dims, seed=2)
+        compiled = compile_model(model, config)
+        x = np.random.default_rng(3).normal(0, 0.2, size=dims[0])
+        sim = Simulator(config, compiled.program, seed=0)
+        out = FMT.dequantize(sim.run({"x": FMT.quantize(x)})["out"])
+        np.testing.assert_allclose(out, mlp_reference(dims, x, seed=2),
+                                   atol=0.08)
+        assert sim.stats.offchip_words > 0, \
+            "the program must actually cross the chip-to-chip link"
+        assert sim.stats.energy.network > 0
+
+    def test_single_vs_dual_node_results_identical(self):
+        dims = [256, 200, 64]
+        x = FMT.quantize(np.random.default_rng(5).normal(0, 0.3,
+                                                         size=dims[0]))
+        outs = {}
+        for nodes in (1, 2):
+            # Wide enough to fill >1 tile; with 2 nodes the partitioner
+            # still packs node 0 first, so results must be identical when
+            # the model fits either way ... unless it spills, which is the
+            # point of the 4-tile capacity here.
+            config = tiny_system(nodes) if nodes == 2 else \
+                PumaConfig(num_nodes=1,
+                           node=tiny_system(2).node.__class__(
+                               num_tiles=4, tile=tiny_system(2).tile))
+            model = build_mlp_model(dims, seed=6)
+            compiled = compile_model(model, config)
+            sim = Simulator(config, compiled.program, seed=0)
+            outs[nodes] = sim.run({"x": x})["out"]
+        np.testing.assert_array_equal(outs[1], outs[2])
+
+    def test_offchip_latency_slower_than_onchip(self):
+        config = tiny_system(2)
+        geometry_events = []
+
+        noc = NetworkOnChip(config, {}, lambda d, cb: geometry_events.append(d))
+        packet = Packet(np.zeros(128, dtype=np.int64), source_tile=0)
+        onchip = noc.latency_cycles(0, 1, packet)
+        offchip = noc.latency_cycles(0, 2, packet)
+        assert offchip > 2 * onchip
+        assert noc.is_offchip(0, 2)
+        assert not noc.is_offchip(0, 1)
+
+
+class TestMeshLocality:
+    def test_local_indices_wrap_per_node(self):
+        config = tiny_system(2)
+        noc = NetworkOnChip(config, {}, lambda d, cb: None)
+        # Tiles 0 and 2 are both local index 0 on their nodes.
+        assert noc._local(0) == noc._local(2) == 0
+
+    def test_geometry_unchanged_for_default(self):
+        geo = MeshGeometry(138, 4)
+        assert geo.num_routers == 35

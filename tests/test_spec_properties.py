@@ -1,0 +1,126 @@
+"""Property-based tests on the workload-spec layer algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.spec import (
+    ConvLayer,
+    DenseLayer,
+    LstmLayer,
+    PoolLayer,
+    WorkloadSpec,
+    sequential_conv_stack,
+)
+
+dims = st.integers(min_value=1, max_value=4096)
+small_dims = st.integers(min_value=1, max_value=64)
+
+
+class TestDenseLayer:
+    @given(dims, dims)
+    def test_params_and_macs(self, m, n):
+        layer = DenseLayer(m, n)
+        assert layer.params == m * n + n
+        assert layer.macs == m * n
+        assert layer.in_size == m
+        assert layer.out_size == n
+
+
+class TestLstmLayer:
+    @given(small_dims, dims)
+    def test_unprojected_state_is_hidden(self, inp, hidden):
+        layer = LstmLayer(inp, hidden)
+        assert layer.state_size == hidden
+        assert layer.gate_params == (inp + hidden) * 4 * hidden
+        assert layer.proj_params == 0
+
+    @given(small_dims, dims, small_dims)
+    def test_projection_adds_params(self, inp, hidden, proj):
+        plain = LstmLayer(inp, hidden)
+        projected = LstmLayer(inp, hidden, proj)
+        assert projected.state_size == proj
+        assert projected.proj_params == hidden * proj
+        # Gate matrices shrink when proj < hidden (state feeds back).
+        if proj < hidden:
+            assert projected.gate_params < plain.gate_params
+
+    @given(small_dims, dims)
+    def test_macs_cover_gates(self, inp, hidden):
+        layer = LstmLayer(inp, hidden)
+        assert layer.macs == layer.gate_params
+
+
+class TestConvLayer:
+    @given(st.integers(1, 8), st.integers(1, 64), st.integers(1, 7),
+           st.integers(8, 64), st.integers(1, 3))
+    def test_geometry_invariants(self, in_ch, out_ch, kernel, size, stride):
+        if kernel > size:
+            return
+        layer = ConvLayer(in_ch, out_ch, kernel, size, size, stride=stride)
+        assert layer.out_h == (size - kernel) // stride + 1
+        assert 1 <= layer.out_h <= size
+        assert layer.window == in_ch * kernel * kernel
+        assert layer.macs == layer.positions * layer.window * out_ch
+        assert layer.params == layer.window * out_ch + out_ch
+
+    def test_padding_preserves_size(self):
+        layer = ConvLayer(3, 8, 3, 32, 32, padding=1)
+        assert (layer.out_h, layer.out_w) == (32, 32)
+
+
+class TestPoolLayer:
+    @given(st.integers(1, 16), st.integers(4, 64))
+    def test_halving(self, channels, size):
+        if size % 2:
+            size += 1
+        layer = PoolLayer(channels, size, size)
+        assert layer.out_h == size // 2
+        assert layer.params == 0
+        assert layer.macs == 0
+
+
+class TestWorkloadSpec:
+    @given(st.lists(st.tuples(small_dims, small_dims), min_size=1,
+                    max_size=5))
+    @settings(max_examples=50)
+    def test_params_additive(self, shapes):
+        layers = tuple(DenseLayer(m, n) for m, n in shapes)
+        spec = WorkloadSpec("s", "MLP", layers)
+        assert spec.params == sum(layer.params for layer in layers)
+        assert spec.weight_bytes == 2 * spec.params
+
+    @given(st.integers(1, 100))
+    def test_recurrent_macs_scale_with_sequence(self, seq):
+        layer = LstmLayer(32, 64)
+        spec = WorkloadSpec("s", "DeepLSTM", (layer,), seq_len=seq)
+        assert spec.macs_per_inference() == layer.macs * seq
+
+    def test_feedforward_ignores_seq_len(self):
+        layer = DenseLayer(32, 32)
+        spec = WorkloadSpec("s", "MLP", (layer,), seq_len=50)
+        assert spec.macs_per_inference() == layer.macs
+
+    @given(st.integers(2, 60))
+    def test_weight_reuse_factor_for_sequences(self, seq):
+        spec = WorkloadSpec("s", "DeepLSTM", (LstmLayer(32, 64),),
+                            seq_len=seq)
+        # Bias params pull the factor slightly below seq.
+        factor = spec.weight_reuse_factor()
+        assert 0.9 * seq < factor <= seq
+
+
+class TestConvStack:
+    def test_vgg_style_plan(self):
+        layers, ch, h, w = sequential_conv_stack(
+            [8, "M", 16, "M"], 32, 32, 3)
+        assert len(layers) == 4
+        assert (ch, h, w) == (16, 8, 8)
+        assert isinstance(layers[0], ConvLayer)
+        assert isinstance(layers[1], PoolLayer)
+
+    def test_output_feeds_flatten(self):
+        layers, ch, h, w = sequential_conv_stack([4, "M"], 16, 16, 1)
+        assert layers[-1].out_size == ch * h * w == math.prod((4, 8, 8))

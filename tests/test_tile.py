@@ -1,0 +1,171 @@
+"""Unit and property tests for the tile components: attribute buffer,
+shared memory, and receive buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tile.attribute_buffer import PERSISTENT_COUNT, AttributeBuffer
+from repro.tile.receive_buffer import Packet, ReceiveBuffer
+from repro.tile.shared_memory import SharedMemory
+
+
+class TestAttributeBuffer:
+    def test_initially_invalid(self):
+        buf = AttributeBuffer(16)
+        assert not buf.can_read(0, 4)
+        assert buf.can_write(0, 16)
+
+    def test_write_then_read_protocol(self):
+        buf = AttributeBuffer(16)
+        buf.on_write(0, 4, count=2)
+        assert buf.can_read(0, 4)
+        assert not buf.can_write(0, 4)   # producer must wait
+        buf.on_read(0, 4)
+        assert buf.can_read(0, 4)        # one read left
+        buf.on_read(0, 4)
+        assert not buf.can_read(0, 4)    # consumed, invalid again
+        assert buf.can_write(0, 4)
+
+    def test_persistent_count_never_invalidates(self):
+        buf = AttributeBuffer(8)
+        buf.on_write(0, 2, count=PERSISTENT_COUNT)
+        for _ in range(500):
+            buf.on_read(0, 2)
+        assert buf.can_read(0, 2)
+
+    def test_double_write_raises(self):
+        buf = AttributeBuffer(8)
+        buf.on_write(0, 2, count=1)
+        with pytest.raises(RuntimeError):
+            buf.on_write(0, 2, count=1)
+
+    def test_read_invalid_raises(self):
+        buf = AttributeBuffer(8)
+        with pytest.raises(RuntimeError):
+            buf.on_read(0, 1)
+
+    def test_partial_overlap_blocks_read(self):
+        buf = AttributeBuffer(8)
+        buf.on_write(0, 2, count=1)
+        assert not buf.can_read(0, 4)  # words 2-3 still invalid
+
+    def test_bounds(self):
+        buf = AttributeBuffer(8)
+        with pytest.raises(IndexError):
+            buf.can_read(6, 4)
+        with pytest.raises(ValueError):
+            buf.on_write(0, 2, count=0)
+
+    @given(st.lists(st.tuples(st.integers(0, 12), st.integers(1, 4),
+                              st.integers(1, 5)), max_size=40))
+    @settings(max_examples=60)
+    def test_count_conservation(self, ops):
+        """Property: a word's remaining count always equals writes' count
+        minus reads; valid iff remaining > 0."""
+        buf = AttributeBuffer(16)
+        remaining = [0] * 16
+        for addr, width, count in ops:
+            if addr + width > 16:
+                continue
+            if buf.can_write(addr, width):
+                buf.on_write(addr, width, count)
+                for i in range(addr, addr + width):
+                    remaining[i] = count
+            elif buf.can_read(addr, width):
+                buf.on_read(addr, width)
+                for i in range(addr, addr + width):
+                    if remaining[i] != PERSISTENT_COUNT:
+                        remaining[i] -= 1
+            for i in range(16):
+                assert buf._valid[i] == (remaining[i] > 0)
+
+
+class TestSharedMemory:
+    def test_read_blocks_until_write(self):
+        mem = SharedMemory(64)
+        assert mem.try_read(0, 4) is None
+        assert mem.try_write(0, np.arange(4), count=1)
+        np.testing.assert_array_equal(mem.try_read(0, 4), np.arange(4))
+        assert mem.try_read(0, 4) is None  # consumed
+
+    def test_write_blocks_until_consumed(self):
+        mem = SharedMemory(64)
+        assert mem.try_write(0, np.arange(4), count=1)
+        assert not mem.try_write(0, np.arange(4), count=1)
+        mem.try_read(0, 4)
+        assert mem.try_write(0, np.arange(4), count=1)
+
+    def test_waiters_woken(self):
+        mem = SharedMemory(64)
+        woken = []
+        mem.wait_for_read(lambda: woken.append("reader"))
+        mem.try_write(0, np.arange(2), count=1)
+        assert woken == ["reader"]
+        mem.wait_for_write(lambda: woken.append("writer"))
+        mem.try_read(0, 2)
+        assert woken == ["reader", "writer"]
+
+    def test_preload_and_peek(self):
+        mem = SharedMemory(64)
+        mem.preload(10, np.array([7, 8, 9]))
+        np.testing.assert_array_equal(mem.peek(10, 3), [7, 8, 9])
+        # Persistent: many reads allowed.
+        for _ in range(200):
+            assert mem.try_read(10, 3) is not None
+
+    def test_bounds(self):
+        mem = SharedMemory(16)
+        with pytest.raises(IndexError):
+            mem.try_read(14, 4)
+
+
+class TestReceiveBuffer:
+    def test_fifo_order(self):
+        buf = ReceiveBuffer(num_fifos=2, depth=3)
+        for i in range(3):
+            assert buf.push(0, Packet(np.array([i]), source_tile=5))
+        for i in range(3):
+            packet = buf.try_pop(0)
+            assert packet.data[0] == i
+
+    def test_depth_backpressure(self):
+        buf = ReceiveBuffer(num_fifos=1, depth=2)
+        assert buf.push(0, Packet(np.array([1]), 0))
+        assert buf.push(0, Packet(np.array([2]), 0))
+        assert not buf.push(0, Packet(np.array([3]), 0))
+        buf.try_pop(0)
+        assert buf.push(0, Packet(np.array([3]), 0))
+
+    def test_independent_fifos(self):
+        buf = ReceiveBuffer(num_fifos=2, depth=1)
+        assert buf.push(0, Packet(np.array([1]), 0))
+        assert buf.push(1, Packet(np.array([2]), 1))
+        assert buf.try_pop(1).data[0] == 2
+
+    def test_pop_empty_returns_none(self):
+        buf = ReceiveBuffer()
+        assert buf.try_pop(0) is None
+
+    def test_waiters(self):
+        buf = ReceiveBuffer(num_fifos=1, depth=1)
+        events = []
+        buf.wait_for_packet(lambda: events.append("pop-ready"))
+        buf.push(0, Packet(np.array([1]), 0))
+        assert events == ["pop-ready"]
+        buf.wait_for_space(lambda: events.append("space"))
+        buf.try_pop(0)
+        assert events == ["pop-ready", "space"]
+
+    @given(st.lists(st.integers(0, 100), max_size=30))
+    @settings(max_examples=40)
+    def test_fifo_property(self, values):
+        """Property: per-FIFO delivery order equals push order."""
+        buf = ReceiveBuffer(num_fifos=1, depth=len(values) + 1)
+        for v in values:
+            buf.push(0, Packet(np.array([v]), 0))
+        popped = []
+        while (p := buf.try_pop(0)) is not None:
+            popped.append(int(p.data[0]))
+        assert popped == values

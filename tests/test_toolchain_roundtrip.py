@@ -1,0 +1,188 @@
+"""Toolchain round-trips and stress paths.
+
+* binary encoding: a compiled program survives encode -> decode -> simulate;
+* assembler: disassemble -> assemble -> simulate gives identical results;
+* register spilling: a compiled program that *spills* still computes the
+  right answer when executed (the spill/reload path runs for real);
+* NoC ordering: mixed-size packets on one flow never overtake (regression
+  test for serialization-latency reordering).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Simulator, compile_model, default_config
+from repro.compiler.frontend import (
+    ConstMatrix,
+    InVector,
+    Model,
+    OutVector,
+    sigmoid,
+)
+from repro.fixedpoint import FixedPointFormat
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.encoding import decode_program, encode_program
+from repro.isa.program import NodeProgram
+from repro.workloads.mlp import build_mlp_model, mlp_reference
+
+FMT = FixedPointFormat()
+CFG = default_config()
+
+
+def _clone_program_via(transform, program: NodeProgram) -> NodeProgram:
+    """Rebuild a program with every instruction stream run through
+    ``transform`` (a list -> list function)."""
+    clone = NodeProgram(name=program.name)
+    clone.weights = program.weights
+    clone.const_memory = program.const_memory
+    clone.input_layout = program.input_layout
+    clone.output_layout = program.output_layout
+    for tid, tile in program.tiles.items():
+        new_tile = clone.tile(tid)
+        new_tile.tile_instructions = transform(tile.tile_instructions)
+        for cid, core in tile.cores.items():
+            new_tile.core(cid).instructions = transform(core.instructions)
+    return clone
+
+
+def _run(program, inputs):
+    sim = Simulator(CFG, program, seed=0)
+    return sim.run(inputs)
+
+
+class TestBinaryRoundTrip:
+    def test_compiled_program_survives_encoding(self):
+        dims = [64, 150, 150, 14]
+        model = build_mlp_model(dims, seed=3)
+        compiled = compile_model(model, CFG)
+        x = np.random.default_rng(0).normal(0, 0.4, size=dims[0])
+        inputs = {"x": FMT.quantize(x)}
+
+        direct = _run(compiled.program, inputs)
+        rebuilt = _clone_program_via(
+            lambda instrs: decode_program(encode_program(instrs)),
+            compiled.program)
+        via_binary = _run(rebuilt, inputs)
+        np.testing.assert_array_equal(direct["out"], via_binary["out"])
+
+    def test_image_size_matches_instruction_count(self):
+        model = build_mlp_model([32, 32, 8], seed=1)
+        compiled = compile_model(model, CFG)
+        core = compiled.program.tile(0).cores[0]
+        assert len(core.to_binary()) == 7 * len(core.instructions)
+
+
+class TestAssemblerRoundTrip:
+    def test_compiled_program_survives_assembly(self):
+        model = build_mlp_model([48, 80, 10], seed=2)
+        compiled = compile_model(model, CFG)
+        x = np.random.default_rng(1).normal(0, 0.4, size=48)
+        inputs = {"x": FMT.quantize(x)}
+
+        direct = _run(compiled.program, inputs)
+        rebuilt = _clone_program_via(
+            lambda instrs: assemble(disassemble(instrs)), compiled.program)
+        via_text = _run(rebuilt, inputs)
+        np.testing.assert_array_equal(direct["out"], via_text["out"])
+
+    def test_listing_is_readable(self):
+        model = build_mlp_model([32, 40, 8], seed=2)
+        compiled = compile_model(model, CFG)
+        listing = disassemble(
+            compiled.program.tile(0).cores[0].instructions, numbered=True)
+        assert "mvm" in listing
+        assert "; " in listing  # codegen comments survive
+
+
+class TestSpillExecution:
+    def _pressure_model(self):
+        """Two held values across a long chain: forces spilling at a small
+        register file (see repro.energy.dse.register_spill_sweep)."""
+        rng = np.random.default_rng(0)
+        width = 42
+        model = Model.create("spill")
+        x = InVector.create(model, width, "x")
+        w0 = rng.normal(0, 0.15, (width, width))
+        w1 = rng.normal(0, 0.15, (width, width))
+        m0 = ConstMatrix.create(model, width, width, "w0", w0)
+        m1 = ConstMatrix.create(model, width, width, "w1", w1)
+        held_a = sigmoid(m0 @ x)
+        held_b = sigmoid(m1 @ x)
+        t = held_a
+        for _ in range(10):
+            t = sigmoid(t)
+        out = OutVector.create(model, width, "out")
+        out.assign(t * held_a + held_b)
+
+        def reference(xv):
+            def sig(v):
+                return 1 / (1 + np.exp(-v))
+
+            a = sig(xv @ w0)
+            b = sig(xv @ w1)
+            tv = a
+            for _ in range(10):
+                tv = sig(tv)
+            return tv * a + b
+
+        return model, reference
+
+    def test_spilled_program_is_correct(self):
+        model, reference = self._pressure_model()
+        small_rf = CFG.with_core(num_general_registers=128)
+        compiled = compile_model(model, small_rf)
+        assert compiled.codegen_stats.spill_stores > 0, \
+            "test requires the spill path to trigger"
+        assert compiled.codegen_stats.spill_loads > 0
+        xv = np.random.default_rng(5).normal(0, 0.5, size=42)
+        sim = Simulator(small_rf, compiled.program, seed=0)
+        out = FMT.dequantize(sim.run({"x": FMT.quantize(xv)})["out"])
+        np.testing.assert_allclose(out, reference(xv), atol=0.05)
+
+    def test_spilled_matches_unspilled(self):
+        model_a, _ = self._pressure_model()
+        model_b, _ = self._pressure_model()
+        small_rf = CFG.with_core(num_general_registers=128)
+        spilled = compile_model(model_a, small_rf)
+        roomy = compile_model(model_b, CFG)
+        assert spilled.codegen_stats.spill_stores > 0
+        assert roomy.codegen_stats.spill_stores == 0
+        xv = FMT.quantize(np.random.default_rng(6).normal(0, 0.5, size=42))
+        out_small = Simulator(small_rf, spilled.program, seed=0).run(
+            {"x": xv})["out"]
+        out_big = Simulator(CFG, roomy.program, seed=0).run({"x": xv})["out"]
+        np.testing.assert_array_equal(out_small, out_big)
+
+
+class TestNocOrdering:
+    def test_small_packet_cannot_overtake_large(self):
+        """Regression: a 1-word packet serializes faster than a 256-word
+        one; per-flow FIFO order must still follow injection order."""
+        from repro.isa import instruction as isa
+        from repro.tile.attribute_buffer import PERSISTENT_COUNT
+
+        program = NodeProgram()
+        t0 = program.tile(0)
+        G = CFG.core.general_base
+        t0.core(0).extend([
+            isa.set_(G, 1, vec_width=256),
+            isa.store(G, 0, count=1, vec_width=256),
+            isa.set_(G, 2),
+            isa.store(G, 300, count=1),
+            isa.hlt(),
+        ])
+        t0.append_tile(isa.send(0, fifo_id=0, target=1, vec_width=256))
+        t0.append_tile(isa.send(300, fifo_id=0, target=1, vec_width=1))
+        t0.append_tile(isa.hlt())
+        t1 = program.tile(1)
+        t1.append_tile(isa.receive(0, fifo_id=0, count=1, vec_width=256))
+        t1.append_tile(isa.receive(300, fifo_id=0, count=1, vec_width=1))
+        t1.append_tile(isa.hlt())
+        t1.core(0).extend([
+            isa.load(G, 300),
+            isa.store(G, 400, count=PERSISTENT_COUNT),
+            isa.hlt(),
+        ])
+        program.output_layout["tail"] = (1, 400, 1)
+        out = Simulator(CFG, program).run()
+        assert out["tail"][0] == 2  # widths matched => order preserved

@@ -1,0 +1,155 @@
+"""Tests for the workload builders: parameter counts (Table 5) and
+functional correctness of the compilable networks against numpy."""
+
+import numpy as np
+import pytest
+
+from repro import Simulator, compile_model, default_config
+from repro.fixedpoint import FixedPointFormat
+from repro.workloads import (
+    FIGURE4_WORKLOADS,
+    TABLE5_BENCHMARKS,
+    benchmark,
+    figure4_model,
+)
+from repro.workloads.boltzmann import build_rbm_model, rbm_reference
+from repro.workloads.characterize import characterize, table1_rows
+from repro.workloads.lstm import build_lstm_model, lstm_reference
+from repro.workloads.mlp import build_mlp_model, mlp_reference
+from repro.workloads.rnn import build_rnn_model, rnn_reference
+
+FMT = FixedPointFormat()
+RNG = np.random.default_rng(7)
+
+
+def simulate(model, inputs):
+    config = default_config()
+    compiled = compile_model(model, config)
+    sim = Simulator(config, compiled.program, seed=1)
+    outputs = sim.run({k: FMT.quantize(v) for k, v in inputs.items()})
+    return {k: FMT.dequantize(v) for k, v in outputs.items()}
+
+
+class TestTable5ParameterCounts:
+    """Table 5's '# Parameters' column, within 2% of the published value."""
+
+    EXPECTED = {
+        "MLPL4": 5e6,
+        "MLPL5": 21e6,
+        "NMTL3": 91e6,
+        "NMTL5": 125e6,
+        "BigLSTM": 856e6,
+        "LSTM-2048": 554e6,
+        "Vgg16": 136e6,
+        "Vgg19": 141e6,
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_parameter_count(self, name):
+        spec = benchmark(name)
+        assert spec.params == pytest.approx(self.EXPECTED[name], rel=0.03)
+
+    def test_layer_counts_match_table5(self):
+        assert benchmark("MLPL4").num_fc_layers == 4
+        assert benchmark("MLPL5").num_fc_layers == 5
+        assert benchmark("NMTL3").num_lstm_layers == 6   # 3 enc + 3 dec
+        assert benchmark("NMTL5").num_lstm_layers == 10  # 5 enc + 5 dec
+        assert benchmark("BigLSTM").num_lstm_layers == 2
+        assert benchmark("LSTM-2048").num_lstm_layers == 1
+        assert benchmark("Vgg16").num_conv_layers == 13
+        assert benchmark("Vgg19").num_conv_layers == 16
+        assert benchmark("Vgg16").num_fc_layers == 3
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            benchmark("AlexNet")
+
+
+class TestFunctionalCorrectness:
+    def test_mlp(self):
+        dims = [64, 150, 150, 14]
+        model = build_mlp_model(dims, seed=5)
+        x = RNG.normal(0, 0.5, size=64)
+        out = simulate(model, {"x": x})["out"]
+        np.testing.assert_allclose(
+            out, mlp_reference(dims, x, seed=5), atol=0.06)
+
+    def test_lstm(self):
+        model = build_lstm_model(26, 120, 61, seq_len=2, seed=5)
+        xs = [RNG.normal(0, 0.5, size=26) for _ in range(2)]
+        out = simulate(model, {f"x{t}": xs[t] for t in range(2)})["out"]
+        np.testing.assert_allclose(
+            out, lstm_reference(26, 120, 61, xs, seed=5), atol=0.05)
+
+    def test_rnn(self):
+        model = build_rnn_model(26, 93, 61, seq_len=3, seed=5)
+        xs = [RNG.normal(0, 0.5, size=26) for _ in range(3)]
+        out = simulate(model, {f"x{t}": xs[t] for t in range(3)})["out"]
+        np.testing.assert_allclose(
+            out, rnn_reference(26, 93, 61, xs, seed=5), atol=0.05)
+
+    def test_rbm_deterministic(self):
+        model = build_rbm_model(96, 80, gibbs_steps=1, stochastic=False,
+                                seed=5)
+        v = RNG.uniform(0, 1, size=96)
+        outputs = simulate(model, {"v": v})
+        h_ref, v_ref = rbm_reference(96, 80, v, gibbs_steps=1, seed=5)
+        np.testing.assert_allclose(outputs["h"], h_ref, atol=0.05)
+        np.testing.assert_allclose(outputs["v_recon"], v_ref, atol=0.05)
+
+    def test_rbm_stochastic_outputs_valid(self):
+        model = build_rbm_model(64, 48, gibbs_steps=1, stochastic=True,
+                                seed=5)
+        v = RNG.uniform(0, 1, size=64)
+        outputs = simulate(model, {"v": v})
+        assert np.all(outputs["h"] >= -0.01)
+        assert np.all(outputs["h"] <= 1.01)
+
+
+class TestFigure4Builders:
+    @pytest.mark.parametrize("name", [n for n in FIGURE4_WORKLOADS
+                                      if "CNN" not in n])
+    def test_models_compile(self, name):
+        model = figure4_model(name)
+        compiled = compile_model(model, default_config())
+        assert compiled.program.total_instructions() > 0
+        usage = compiled.program.usage_breakdown()
+        assert usage["mvm"] > 0
+
+    def test_specs_have_positive_params(self):
+        for name, spec_fn in FIGURE4_WORKLOADS.items():
+            assert spec_fn().params > 0, name
+
+
+class TestCharacterization:
+    """Table 1's qualitative rows, derived from the specs."""
+
+    def test_table1_shape(self):
+        rows = table1_rows()
+        assert len(rows) == 3
+        mlp, lstm, cnn = rows
+        # Shared properties.
+        for row in rows:
+            assert row["Dominance of MVM"] == "Yes"
+            assert row["High data parallelism"] == "Yes"
+            assert row["Nonlinear operations"] == "Yes"
+        # Distinguishing properties.
+        assert mlp["Linear operations"] == "No"
+        assert lstm["Linear operations"] == "Yes"
+        assert cnn["Trancendental operations"] == "No"
+        assert lstm["Trancendental operations"] == "Yes"
+        assert mlp["Weight data reuse"] == "No"
+        assert lstm["Weight data reuse"] == "Yes"
+        assert cnn["Weight data reuse"] == "Yes"
+        assert cnn["Input data reuse"] == "Yes"
+        assert mlp["Input data reuse"] == "No"
+        assert mlp["Bounded resource"] == "Memory"
+        assert lstm["Bounded resource"] == "Memory"
+        assert cnn["Bounded resource"] == "Compute"
+        assert cnn["Sequential access pattern"] == "No"
+        assert mlp["Sequential access pattern"] == "Yes"
+
+    def test_characterize_all_benchmarks(self):
+        for name in TABLE5_BENCHMARKS:
+            row = characterize(benchmark(name)).as_row()
+            assert row["Dominance of MVM"] == "Yes", name
