@@ -1,12 +1,25 @@
-"""Figure 11(c)+(d): batch energy savings and throughput vs Haswell.
+"""Figure 11(c)+(d): batching — analytic rows plus *real* batched runs.
 
 Paper claims: PUMA keeps superior energy efficiency at every batch size;
 the benefit shrinks slightly as batching exposes weight reuse that CMOS
 can amortize (Section 7.3).
+
+The analytic rows compare against Haswell at paper scale.  The real rows
+execute the Figure-4 MLP through :class:`repro.engine.InferenceEngine` on
+the detailed simulator — SIMD-over-batch — and check the engine's two
+serving guarantees: batched outputs are bitwise identical to sequential
+single-input runs, and batch-64 wall-clock throughput is at least 5x the
+sequential per-input path.
 """
 
+import time
+
+import numpy as np
+
+from repro.engine import InferenceEngine
 from repro.figures import fig11
 from repro.figures.common import format_table
+from repro.workloads.mlp import FIGURE4_MLP_DIMS, build_mlp_model
 
 
 def test_fig11_batch_energy(once):
@@ -18,7 +31,7 @@ def test_fig11_batch_energy(once):
         assert row["B128"] <= row["B16"]
     print()
     print(format_table(rows, title="Figure 11(c): batch energy savings "
-                                   "vs Haswell"))
+                                   "vs Haswell (analytic)"))
 
 
 def test_fig11_batch_throughput(once):
@@ -27,4 +40,44 @@ def test_fig11_batch_throughput(once):
         assert all(row[f"B{b}"] > 0 for b in (16, 32, 64, 128))
     print()
     print(format_table(rows, title="Figure 11(d): batch throughput vs "
-                                   "Haswell"))
+                                   "Haswell (analytic)"))
+
+
+def test_fig11_batch_measured(once):
+    """Real batched runs: per-inference cycles and energy amortize."""
+    rows = once(fig11.measured_batch_rows)
+    assert all(row["Bitwise==sequential"] for row in rows)
+    by_batch = {row["Batch"]: row for row in rows}
+    # Simulated per-inference latency and energy both improve with batch.
+    assert by_batch[64]["Cycles/inf"] < by_batch[1]["Cycles/inf"]
+    assert by_batch[64]["Energy/inf (uJ)"] < by_batch[1]["Energy/inf (uJ)"]
+    print()
+    print(format_table(rows, title="Figure 11 (measured): real batched "
+                                   "runs on the detailed simulator"))
+
+
+def test_fig11_batch64_speedup(once):
+    """InferenceEngine.run_batch(64) beats 64 sequential runs by >= 5x."""
+
+    def measure():
+        dims = list(FIGURE4_MLP_DIMS)
+        engine = InferenceEngine(build_mlp_model(dims, seed=0), seed=0)
+        rng = np.random.default_rng(0)
+        x = engine.quantize(rng.normal(0.0, 0.5, size=(64, dims[0])))
+        t0 = time.perf_counter()
+        batched = engine.run_batch({"x": x})
+        t_batched = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sequential = engine.run_sequential({"x": x})
+        t_sequential = time.perf_counter() - t0
+        exact = all(np.array_equal(batched[k], sequential[k])
+                    for k in batched)
+        return t_batched, t_sequential, exact
+
+    t_batched, t_sequential, exact = once(measure)
+    speedup = t_sequential / t_batched
+    print(f"\nbatch-64 MLP: batched {t_batched * 1e3:.1f} ms, "
+          f"sequential {t_sequential * 1e3:.1f} ms -> {speedup:.1f}x")
+    assert exact, "batched outputs must be bitwise equal to sequential"
+    assert speedup >= 5.0, (
+        f"batch-64 throughput only {speedup:.1f}x the sequential path")

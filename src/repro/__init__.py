@@ -65,6 +65,7 @@ from repro.compiler import (
     tanh,
 )
 from repro.compiler.frontend import const_vector
+from repro.engine import InferenceEngine
 from repro.fixedpoint import FixedPointFormat
 from repro.sim import SimulationDeadlock, SimulationStats, Simulator
 
@@ -101,5 +102,6 @@ __all__ = [
     "Simulator",
     "SimulationStats",
     "SimulationDeadlock",
+    "InferenceEngine",
     "__version__",
 ]

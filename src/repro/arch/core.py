@@ -66,21 +66,31 @@ class ExecOutcome:
 class Core:
     """One PUMA core: registers, MVMUs, functional units, and a PC.
 
+    With ``batch > 1`` the core executes its instruction stream once while
+    every data-carrying value (registers, memory words, MVM operands) holds
+    one lane per batch input — SIMD over batch.  Control flow must be
+    uniform across lanes, which holds for PUMA programs: branches only
+    consume loop counters and compile-time bounds, never model data.
+    Scalar/control reads therefore take lane 0.
+
     Args:
         core_id: index within the tile.
         config: core configuration.
         shared_memory: the owning tile's shared memory.
         crossbar_model: device model for the MVMU crossbars.
         rng: random generator (write noise, RANDOM op).
+        batch: SIMD batch lanes carried by the datapath.
     """
 
     def __init__(self, core_id: int, config: CoreConfig,
                  shared_memory: "SharedMemory",
                  crossbar_model: CrossbarModel | None = None,
-                 rng: np.random.Generator | None = None) -> None:
+                 rng: np.random.Generator | None = None,
+                 batch: int = 1) -> None:
         self.core_id = core_id
         self.config = config
         self.memory = shared_memory
+        self.batch = batch
         self._rng = rng if rng is not None else np.random.default_rng()
         model = crossbar_model if crossbar_model is not None else CrossbarModel(
             dim=config.mvmu_dim,
@@ -90,7 +100,7 @@ class Core:
         if model.dim != config.mvmu_dim:
             raise ValueError(
                 f"crossbar dim {model.dim} != core mvmu_dim {config.mvmu_dim}")
-        self.registers = RegisterFile(config)
+        self.registers = RegisterFile(config, batch=batch)
         self.mvmus = [MVMU(model, config.fixed_point, rng=self._rng)
                       for _ in range(config.num_mvmus)]
         self.vfu = VectorFunctionalUnit(
@@ -147,6 +157,10 @@ class Core:
         self.pc = self.pc + 1 if next_pc is None else next_pc
         return ExecOutcome(ExecStatus.DONE, instr, **fields)
 
+    def _read_scalar(self, reg: int) -> int:
+        """Lane-0 value of a scalar register (control is batch-uniform)."""
+        return int(np.asarray(self.registers.read(reg, 1)).flat[0])
+
     def _exec_mvm(self, instr: Instruction) -> ExecOutcome:
         active = [i for i in range(self.config.num_mvmus)
                   if instr.mask & (1 << i)]
@@ -189,9 +203,8 @@ class Core:
         return self._advance(instr, vec_width=w)
 
     def _exec_alu_int(self, instr: Instruction) -> ExecOutcome:
-        a = int(self.registers.read(instr.src1, 1)[0])
-        b = instr.imm if instr.imm_mode else int(
-            self.registers.read(instr.src2, 1)[0])
+        a = self._read_scalar(instr.src1)
+        b = instr.imm if instr.imm_mode else self._read_scalar(instr.src2)
         result = self.sfu.execute(instr.alu_op, a, b)
         self.registers.write(instr.dest, np.array([result]))
         return self._advance(instr)
@@ -210,7 +223,7 @@ class Core:
     def _effective_address(self, instr: Instruction) -> int:
         addr = instr.mem_addr
         if instr.reg_indirect:
-            addr += int(self.registers.read(instr.addr_reg, 1)[0])
+            addr += self._read_scalar(instr.addr_reg)
         return addr
 
     def _exec_load(self, instr: Instruction) -> ExecOutcome:
@@ -234,8 +247,8 @@ class Core:
         return self._advance(instr, next_pc=instr.pc)
 
     def _exec_brn(self, instr: Instruction) -> ExecOutcome:
-        a = int(self.registers.read(instr.src1, 1)[0])
-        b = int(self.registers.read(instr.src2, 1)[0])
+        a = self._read_scalar(instr.src1)
+        b = self._read_scalar(instr.src2)
         taken = self.sfu.branch_taken(instr.brn_op, a, b)
         return self._advance(instr, next_pc=instr.pc if taken else None)
 

@@ -127,6 +127,12 @@ class Crossbar:
         self._conductance = np.full(
             (model.dim, model.dim), model.g_min, dtype=np.float64)
         self._programmed = False
+        # The converter arrays are physical peripherals shared by every
+        # read of this crossbar: build them once here, not per column_sums
+        # call — that call sits on the innermost hot path (input steps x
+        # weight slices per MVM).
+        self.dac = model.build_dac()
+        self.adc = model.build_adc()
 
     @property
     def target_levels(self) -> np.ndarray:
@@ -169,7 +175,7 @@ class Crossbar:
         return (self._conductance - self.model.g_min) / self.model.level_spacing
 
     def column_sums(self, input_slices: np.ndarray) -> np.ndarray:
-        """Analog MVM for one input slice: returns digitized column sums.
+        """Analog MVM for one or more input slices: digitized column sums.
 
         Implements the full chain of Figure 2a: DAC -> crossbar currents ->
         integrator -> ADC.  The returned values are in *level units*, i.e.
@@ -178,26 +184,39 @@ class Crossbar:
         is exact.
 
         Args:
-            input_slices: ``(dim,)`` integers in ``[0, 2**bits_per_input)``.
+            input_slices: ``(dim,)`` or ``(batch, dim)`` integers in
+                ``[0, 2**bits_per_input)``.  A batch computes every lane in
+                one matrix product; lane *b* of the result is bit-identical
+                to a separate call on row *b* (the matmul is always issued
+                as a 2-D product so the per-row reduction order does not
+                depend on the batch size).
+
+        Returns:
+            Column sums with the same leading shape as the input:
+            ``(dim,)`` for a single slice, ``(batch, dim)`` for a batch.
         """
         if not self._programmed:
             raise RuntimeError("crossbar has not been programmed")
         x = np.asarray(input_slices, dtype=np.int64)
-        if x.shape != (self.model.dim,):
-            raise ValueError(f"expected shape ({self.model.dim},), got {x.shape}")
+        if x.ndim not in (1, 2) or x.shape[-1] != self.model.dim:
+            raise ValueError(
+                f"expected shape ({self.model.dim},) or "
+                f"(batch, {self.model.dim}), got {x.shape}")
+        batched = x.ndim == 2
+        lanes = x if batched else x[np.newaxis, :]
 
-        dac = self.model.build_dac()
-        voltages = dac.convert(x)
+        voltages = self.dac.convert(lanes)
         currents = voltages @ self._conductance  # I_j = sum_i V_i * g_ij
 
         # The integrator converts charge to a voltage proportional to the
         # column sum in level units; digital logic removes the g_min offset
         # using the digitally-computed input sum (a standard peripheral
         # arrangement, cf. ISAAC).
-        input_sum = float(x.sum()) * dac.lsb_voltage
-        level_sums = ((currents - input_sum * self.model.g_min)
-                      / (self.model.level_spacing * dac.lsb_voltage))
+        input_sums = (lanes.sum(axis=-1, keepdims=True).astype(np.float64)
+                      * self.dac.lsb_voltage)
+        level_sums = ((currents - input_sums * self.model.g_min)
+                      / (self.model.level_spacing * self.dac.lsb_voltage))
 
-        adc = self.model.build_adc()
-        codes = adc.convert(np.maximum(level_sums, 0.0))
-        return adc.reconstruct(codes)
+        codes = self.adc.convert(np.maximum(level_sums, 0.0))
+        estimates = self.adc.reconstruct(codes)
+        return estimates if batched else estimates[0]

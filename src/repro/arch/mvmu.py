@@ -111,7 +111,12 @@ class MVMU:
         return acc
 
     def dot_ideal(self, inputs: np.ndarray) -> np.ndarray:
-        """Exact signed integer product ``inputs @ matrix`` (reference path)."""
+        """Exact signed integer product ``inputs @ matrix`` (reference path).
+
+        Accepts ``(dim,)`` or ``(batch, dim)`` inputs; integer arithmetic is
+        exact, so batched lanes are trivially bit-identical to separate
+        calls.
+        """
         if self._matrix is None:
             raise RuntimeError("MVMU has not been programmed")
         x = np.asarray(inputs, dtype=np.int64)
@@ -121,19 +126,24 @@ class MVMU:
         """Full-precision dot products through the modelled analog path.
 
         Args:
-            inputs: ``(dim,)`` signed fixed-point integers.
+            inputs: ``(dim,)`` or ``(batch, dim)`` signed fixed-point
+                integers; a batch runs all lanes through each (input step,
+                weight slice) pair in single numpy operations.
             force_analog: skip the ideal-model shortcut and run the full
                 bit-sliced emulation (used by equivalence tests).
 
         Returns:
-            ``(dim,)`` float column results at full precision (callers
-            rescale to the 16-bit format; see :meth:`execute`).
+            Float column results at full precision with the same leading
+            shape as ``inputs`` (callers rescale to the 16-bit format; see
+            :meth:`execute`).
         """
         if self._matrix is None:
             raise RuntimeError("MVMU has not been programmed")
         x = np.asarray(inputs, dtype=np.int64)
-        if x.shape != (self.dim,):
-            raise ValueError(f"expected shape ({self.dim},), got {x.shape}")
+        if x.ndim not in (1, 2) or x.shape[-1] != self.dim:
+            raise ValueError(
+                f"expected shape ({self.dim},) or (batch, {self.dim}), "
+                f"got {x.shape}")
         if self.model.is_ideal and not force_analog:
             return self.dot_ideal(x).astype(np.float64)
 
@@ -144,7 +154,7 @@ class MVMU:
 
         # sum over input steps k and weight slices s of
         #   column_sums(x_k, W_s) << (k*b_in + s*b_cell)
-        acc = np.zeros(self.dim, dtype=np.float64)
+        acc = np.zeros(x.shape, dtype=np.float64)
         for k, x_step in enumerate(input_steps):
             shift_k = k * self.model.bits_per_input
             for s, xbar in enumerate(self._crossbars):
@@ -154,32 +164,36 @@ class MVMU:
 
         # Remove offset-binary cross terms:
         #   sum (ux-H)(uw-H) = sum ux*uw - H*sum(ux) - H*sum(uw) + n*H^2
-        input_sum = float(unsigned_x.sum())
+        input_sums = unsigned_x.sum(axis=-1, keepdims=True).astype(np.float64)
         weight_sums = self._column_offset_sums
         n = float(self.dim)
         h = float(offset)
-        return acc - h * weight_sums - h * input_sum + n * h * h
+        return acc - h * weight_sums - h * input_sums + n * h * h
 
     def execute(self, inputs: np.ndarray) -> np.ndarray:
         """A complete MVM instruction's datapath: dot, rescale, saturate.
 
         Both operands carry ``frac_bits`` fractional bits, so the product is
-        rescaled by ``>> frac_bits`` and saturated to the 16-bit range,
-        matching the VFU's multiply semantics.
+        rescaled by ``>> frac_bits`` — an arithmetic shift, i.e. floor —
+        and saturated to the 16-bit range, matching
+        :meth:`FixedPointFormat.multiply` exactly (including negative
+        products with odd low bits, which round toward -inf, not to
+        nearest).
         """
         full = self.dot(inputs)
-        scaled = np.floor(full / self.fmt.scale + 0.5)
+        scaled = np.floor(full / self.fmt.scale)
         return self.fmt.saturate(scaled.astype(np.int64))
 
     @staticmethod
-    def shuffle_inputs(xbar_in: np.ndarray, filter: int, stride: int) -> np.ndarray:
+    def shuffle_inputs(xbar_in: np.ndarray, filter_length: int,
+                       stride: int) -> np.ndarray:
         """Logical input shuffling (Section 3.2.3).
 
         Re-routes XbarIn registers to DACs with a *blocked rotation*: the
-        register vector is viewed as consecutive blocks of ``filter``
+        register vector is viewed as consecutive blocks of ``filter_length``
         registers, and within every complete block DAC row ``k`` reads
-        register ``(k + stride) % filter``.  Trailing registers that do not
-        fill a block map identity.
+        register ``(k + stride) % filter_length``.  Trailing registers that
+        do not fill a block map identity.
 
         This is exactly what sliding-window kernels need: each window row
         keeps a circular buffer of column slices in one block; advancing
@@ -188,17 +202,24 @@ class MVMU:
         5x5 filter at unit stride, Section 3.2.3).
 
         Args:
-            xbar_in: the XbarIn register contents, ``(dim,)``.
-            filter: block (window-row buffer) length; 0 disables shuffling.
+            xbar_in: the XbarIn register contents, ``(dim,)`` or
+                ``(batch, dim)`` (the rotation applies along the last axis).
+            filter_length: block (window-row buffer) length; 0 disables
+                shuffling.
             stride: rotation offset within each block.
         """
         x = np.asarray(xbar_in)
-        if filter <= 0:
+        length = x.shape[-1]
+        if filter_length <= 0:
             return x.copy()
-        if filter > x.shape[0]:
-            raise ValueError(f"filter {filter} exceeds vector length {x.shape[0]}")
+        if filter_length > length:
+            raise ValueError(
+                f"filter {filter_length} exceeds vector length {length}")
         routed = x.copy()
-        rotation = (np.arange(filter) + stride) % filter
-        for base in range(0, x.shape[0] - filter + 1, filter):
-            routed[base:base + filter] = x[base + rotation]
+        rotation = (np.arange(filter_length) + stride) % filter_length
+        blocks = length // filter_length
+        head = blocks * filter_length
+        blocked = x[..., :head].reshape(x.shape[:-1] + (blocks, filter_length))
+        routed[..., :head] = blocked[..., rotation].reshape(
+            x.shape[:-1] + (head,))
         return routed

@@ -29,15 +29,28 @@ class RegisterAccessError(RuntimeError):
 class RegisterFile:
     """The register state of one core.
 
+    With ``batch > 1`` every register holds one word *per batch lane*: the
+    state is a ``(batch, num_registers)`` array, reads return
+    ``(batch, width)`` matrices, and writes accept either a per-lane matrix
+    or a single vector broadcast to every lane.  PUMA programs are
+    control-uniform across inputs, so one instruction stream drives all
+    lanes SIMD-style.  With the default ``batch == 1`` the interface is
+    exactly the classic one-vector register file (1-D reads and writes).
+
     Args:
         config: core configuration (sizes and layout).
         enforce_classes: enforce the XbarIn/XbarOut access rules.
+        batch: number of SIMD batch lanes held per register.
     """
 
-    def __init__(self, config: CoreConfig, enforce_classes: bool = True) -> None:
+    def __init__(self, config: CoreConfig, enforce_classes: bool = True,
+                 batch: int = 1) -> None:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
         self.config = config
         self.enforce_classes = enforce_classes
-        self._data = np.zeros(config.num_registers, dtype=np.int64)
+        self.batch = batch
+        self._data = np.zeros((batch, config.num_registers), dtype=np.int64)
         self.rom = RomEmbeddedRam(config.rom_lut_entries, config.fixed_point)
         self.reads = {cls: 0 for cls in RegisterClass}
         self.writes = {cls: 0 for cls in RegisterClass}
@@ -80,13 +93,25 @@ class RegisterFile:
                     f"MVM read outside XbarIn registers at {start}")
         for cls in classes:
             self.reads[cls] += width
-        return self._data[start:start + width].copy()
+        data = self._data[:, start:start + width].copy()
+        return data[0] if self.batch == 1 else data
 
     def write(self, start: int, values: np.ndarray, from_mvm: bool = False) -> None:
-        """Write consecutive registers with a vector of fixed-point words."""
+        """Write consecutive registers with fixed-point words.
+
+        Accepts a ``(width,)`` vector — written to every batch lane — or a
+        ``(batch, width)`` matrix carrying distinct per-lane values.
+        """
         arr = np.atleast_1d(np.asarray(values, dtype=np.int64))
-        self._check_range(start, arr.size)
-        classes = self._classes_in_range(start, arr.size)
+        if arr.ndim == 2 and arr.shape[0] != self.batch:
+            raise ValueError(
+                f"batched write carries {arr.shape[0]} lanes, register file "
+                f"holds {self.batch}")
+        if arr.ndim > 2:
+            raise ValueError(f"register write must be 1-D or 2-D, got {arr.ndim}-D")
+        width = arr.shape[-1]
+        self._check_range(start, width)
+        classes = self._classes_in_range(start, width)
         if self.enforce_classes:
             if not from_mvm and RegisterClass.XBAR_OUT in classes:
                 raise RegisterAccessError(
@@ -98,8 +123,8 @@ class RegisterFile:
         if np.any(arr < fmt.int_min) or np.any(arr > fmt.int_max):
             raise ValueError("register write exceeds the fixed-point range")
         for cls in classes:
-            self.writes[cls] += arr.size
-        self._data[start:start + arr.size] = arr
+            self.writes[cls] += width
+        self._data[:, start:start + width] = arr
 
     def lut_evaluate(self, op: AluOp, values: np.ndarray) -> np.ndarray:
         """Evaluate a transcendental through the embedded ROM."""
@@ -116,5 +141,9 @@ class RegisterFile:
         self.write(base, values, from_mvm=True)
 
     def snapshot(self) -> np.ndarray:
-        """A copy of the whole register space (for tests/debugging)."""
-        return self._data.copy()
+        """A copy of the whole register space (for tests/debugging).
+
+        Shape ``(num_registers,)`` for batch 1, ``(batch, num_registers)``
+        otherwise.
+        """
+        return self._data[0].copy() if self.batch == 1 else self._data.copy()

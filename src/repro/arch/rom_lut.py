@@ -149,7 +149,11 @@ class RomEmbeddedRam:
         return self._tables[op]
 
     def lookup(self, op: AluOp, values: np.ndarray) -> np.ndarray:
-        """Evaluate a transcendental on a vector, counting ROM accesses."""
+        """Evaluate a transcendental on a vector, counting ROM accesses.
+
+        Accepts ``(w,)`` or ``(batch, w)`` operands; batched lanes share the
+        same probe sequence, so accesses count the per-lane width only.
+        """
         arr = np.asarray(values, dtype=np.int64)
-        self.rom_accesses += int(arr.size)
+        self.rom_accesses += int(arr.shape[-1]) if arr.ndim else 1
         return self.table(op).evaluate(arr)

@@ -57,16 +57,24 @@ class VectorFunctionalUnit:
 
         Args:
             op: the ALU sub-operation.
-            src1: first operand vector (fixed-point integers).
+            src1: first operand vector (fixed-point integers), ``(w,)`` or
+                ``(batch, w)`` — a batched operand computes every lane in
+                one numpy operation (SIMD over batch; the vector dimension
+                is always the last axis).
             src2: second operand vector, broadcastable to ``src1``; for
                 ALUimm the caller passes the broadcast immediate.
 
         Returns:
             Result vector, saturated to the fixed-point range.
+
+        Note: ``ops_executed``/``cycles_busy`` count the per-lane vector
+        width — one physical VFU still executes one instruction stream; the
+        batch lanes ride along in the same issue slots.
         """
         a = np.asarray(src1, dtype=np.int64)
-        self.ops_executed += int(a.size)
-        self.cycles_busy += self.cycles(int(a.size))
+        width = int(a.shape[-1]) if a.ndim else 1
+        self.ops_executed += width
+        self.cycles_busy += self.cycles(width)
 
         if op.num_sources == 2:
             if src2 is None:
@@ -111,7 +119,7 @@ class VectorFunctionalUnit:
             return self._rng.integers(0, fmt.scale, size=a.shape, dtype=np.int64)
         if op == AluOp.SUBSAMPLE:
             factor = max(1, int(b.flat[0]) if b is not None and b.size else 2)
-            return a[::factor]
+            return a[..., ::factor]
         if op.is_transcendental:
             return self._transcendental(op, a)
         raise ValueError(f"VFU cannot execute {op.name}")
@@ -122,10 +130,12 @@ class VectorFunctionalUnit:
                 f"{op.name} requires a ROM LUT evaluator but none is attached")
         if op == AluOp.LOG_SOFTMAX:
             # dest = x - log(sum(exp(x))): exp and log through the LUTs,
-            # accumulation at full precision in the VFU adder tree.
+            # accumulation at full precision in the VFU adder tree.  The
+            # reduction is over the vector (last) axis so batched operands
+            # normalize each lane independently.
             exps = self._lut(AluOp.EXP, a)
-            total = int(np.sum(exps))
-            total = min(total, self.fmt.int_max)
-            log_total = self._lut(AluOp.LOG, np.array([total], dtype=np.int64))
-            return self.fmt.saturate(a - int(log_total[0]))
+            totals = np.minimum(exps.sum(axis=-1, keepdims=True),
+                                self.fmt.int_max).astype(np.int64)
+            log_totals = self._lut(AluOp.LOG, totals)
+            return self.fmt.saturate(a - log_totals)
         return self._lut(op, a)

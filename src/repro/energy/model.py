@@ -80,11 +80,25 @@ class LatencyModel:
         self._mvm_cycles = mvm_latency_cycles(
             core.mvmu_dim, core.fixed_point.total_bits // core.bits_per_input)
 
-    def cycles(self, instr: Instruction, outcome: ExecOutcome) -> int:
-        """Cycles the issuing unit is busy executing ``instr``."""
+    def cycles(self, instr: Instruction, outcome: ExecOutcome,
+               batch: int = 1) -> int:
+        """Cycles the issuing unit is busy executing ``instr``.
+
+        With ``batch > 1`` data-carrying instructions process one lane per
+        batch input: vector units stream ``batch * vec_width`` words through
+        the same per-word pipelines, and an MVM issues ``batch``
+        back-to-back analog passes through the pipelined MVMU (one full
+        latency plus ``batch - 1`` initiation intervals).  Control
+        instructions execute once regardless of batch — that amortization
+        is PUMA's batching benefit (Section 7.3).
+        """
         op = instr.opcode
-        w = outcome.vec_width
+        w = outcome.vec_width * max(1, batch)
         if op == Opcode.MVM:
+            if batch > 1:
+                return max(1, round(
+                    self._mvm_cycles
+                    * (1.0 + (batch - 1) * MVM_PIPELINE_FACTOR)))
             return self._mvm_cycles
         if op in (Opcode.ALU, Opcode.ALUI):
             lanes = self.config.core.vfu_width
@@ -181,10 +195,16 @@ class EnergyModel:
                          + TABLE3["control_pipeline"].power_mw) * MW
         self._p_rbuf = TABLE3["tile_receive_buffer"].power_mw * MW
 
-    def energy(self, instr: Instruction, outcome: ExecOutcome) -> EnergyBreakdown:
-        """Energy of one completed instruction."""
+    def energy(self, instr: Instruction, outcome: ExecOutcome,
+               batch: int = 1) -> EnergyBreakdown:
+        """Energy of one completed instruction.
+
+        Energy is component power times busy time, so batched instructions
+        charge the (longer) batched busy time computed by the latency model
+        while still paying for a single fetch/decode.
+        """
         op = instr.opcode
-        cycles = self.latency.cycles(instr, outcome)
+        cycles = self.latency.cycles(instr, outcome, batch)
         t = cycles * self.cycle_s
         out = EnergyBreakdown()
         out.fetch_decode += self._p_fetch * self.cycle_s  # one fetch/decode

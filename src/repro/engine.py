@@ -1,0 +1,194 @@
+"""Batched inference engine: compile once, run many inputs SIMD-over-batch.
+
+PUMA's evaluation (Section 7.3, Fig 11c/d) is framed around *batched*
+inference: the expensive work — compiling the model and programming the
+crossbars — happens once, and many inputs stream through the programmed
+hardware.  :class:`InferenceEngine` is the top-level serving interface for
+that pattern:
+
+* ``compile_model`` runs once per (model, config, options) triple; the
+  resulting :class:`~repro.compiler.compile.CompiledModel` is cached
+  process-wide, so constructing several engines (or re-constructing one)
+  for the same model is cheap;
+* :meth:`run_batch` executes a whole ``(batch, length)`` input matrix in a
+  single simulator pass — every instruction operates on all lanes at once
+  (PUMA programs are control-uniform across inputs), so the Python/event
+  overhead of the detailed simulator is paid once per *batch* instead of
+  once per *input*;
+* :meth:`run_sequential` is the reference fallback: one classic
+  single-input simulation per row.  Batched and sequential results are
+  bitwise identical for deterministic programs (anything without the
+  RANDOM op), for both ideal and noisy crossbar models — the property
+  tests in ``tests/test_batched_engine.py`` enforce this.
+
+Quickstart::
+
+    from repro.engine import InferenceEngine
+    from repro.workloads.mlp import build_mlp_model
+
+    engine = InferenceEngine(build_mlp_model([64, 150, 150, 14]), seed=0)
+    y = engine.run_batch({"x": engine.quantize(x_float)})["out"]
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.arch.config import PumaConfig
+from repro.arch.crossbar import CrossbarModel
+from repro.compiler.compile import CompiledModel, compile_model
+from repro.compiler.frontend import Model
+from repro.compiler.options import CompilerOptions
+from repro.sim.simulator import Simulator
+from repro.sim.stats import SimulationStats
+
+# model -> {config/options fingerprint -> CompiledModel}.  Weak keys: the
+# cache must not keep dead models (and their weight arrays) alive.
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[Model, dict[str, CompiledModel]]" \
+    = weakref.WeakKeyDictionary()
+
+
+def _cache_fingerprint(config: PumaConfig,
+                       options: CompilerOptions | None) -> str:
+    """A stable key for the compile-relevant arguments.
+
+    Configs and options are small dataclasses whose ``repr`` covers every
+    field, which makes a faithful value key without requiring hashability.
+    """
+    return f"{config!r}|{options!r}"
+
+
+def compile_cached(model: Model, config: PumaConfig,
+                   options: CompilerOptions | None = None) -> CompiledModel:
+    """Compile ``model`` for ``config``, memoized on (model, config, options)."""
+    per_model = _COMPILE_CACHE.setdefault(model, {})
+    key = _cache_fingerprint(config, options)
+    if key not in per_model:
+        per_model[key] = compile_model(model, config, options)
+    return per_model[key]
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached compilation (tests, memory pressure)."""
+    _COMPILE_CACHE.clear()
+
+
+class InferenceEngine:
+    """Serves batched inference for one compiled model.
+
+    Args:
+        model: the frontend model to serve.
+        config: accelerator configuration (Table 3 defaults when omitted).
+        options: compiler options; part of the compile-cache key.
+        crossbar_model: overrides the device model (noise studies).
+        seed: RNG seed for write noise and the RANDOM op.  The same seed is
+            used for every run, so repeated calls see identically programmed
+            crossbars — the property that makes batched and sequential
+            executions comparable bit for bit.
+
+    Attributes:
+        compiled: the (cached) compilation artifacts.
+        program: the executable :class:`~repro.isa.program.NodeProgram`.
+        fmt: the datapath fixed-point format.
+        last_stats: simulation statistics of the most recent run.
+    """
+
+    def __init__(self, model: Model, config: PumaConfig | None = None,
+                 options: CompilerOptions | None = None,
+                 crossbar_model: CrossbarModel | None = None,
+                 seed: int | None = 0) -> None:
+        self.model = model
+        self.config = config if config is not None else PumaConfig()
+        self.options = options
+        self.crossbar_model = crossbar_model
+        self.seed = seed
+        self.compiled = compile_cached(model, self.config, options)
+        self.program = self.compiled.program
+        self.fmt = self.config.core.fixed_point
+        self.last_stats: SimulationStats | None = None
+
+    # -- data formatting ---------------------------------------------------
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Real values -> fixed-point words (any shape)."""
+        return self.fmt.quantize(values)
+
+    def dequantize(self, words: np.ndarray) -> np.ndarray:
+        """Fixed-point words -> real values (any shape)."""
+        return self.fmt.dequantize(words)
+
+    def _infer_batch(self, inputs: dict[str, np.ndarray]) -> int:
+        """Batch size implied by the input shapes (rows of 2-D inputs)."""
+        batch: int | None = None
+        for name, values in inputs.items():
+            arr = np.asarray(values)
+            if arr.ndim == 2:
+                if batch is not None and arr.shape[0] != batch:
+                    raise ValueError(
+                        f"inconsistent batch sizes across inputs: "
+                        f"{batch} vs {arr.shape[0]} ({name!r})")
+                batch = arr.shape[0]
+            elif arr.ndim != 1:
+                raise ValueError(
+                    f"input {name!r} must be 1-D or (batch, length), "
+                    f"got shape {arr.shape}")
+        return batch if batch is not None else 1
+
+    def _simulator(self, batch: int) -> Simulator:
+        return Simulator(self.config, self.program,
+                         crossbar_model=self.crossbar_model,
+                         seed=self.seed, batch=batch)
+
+    # -- execution ---------------------------------------------------------
+
+    def run_batch(self, inputs: dict[str, np.ndarray]
+                  ) -> dict[str, np.ndarray]:
+        """Run a whole batch through one SIMD-over-batch simulation.
+
+        Args:
+            inputs: fixed-point words per input name; ``(batch, length)``
+                matrices carry one row per lane, 1-D vectors are broadcast
+                to every lane (shared conditioning inputs).
+
+        Returns:
+            Outputs by name, ``(batch, length)`` (or ``(length,)`` when the
+            batch size is 1).
+        """
+        batch = self._infer_batch(inputs)
+        sim = self._simulator(batch)
+        outputs = sim.run(dict(inputs))
+        self.last_stats = sim.stats
+        return outputs
+
+    def run(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Run a single input (1-D vectors) through the simulator."""
+        return self.run_batch(inputs)
+
+    def run_sequential(self, inputs: dict[str, np.ndarray]
+                       ) -> dict[str, np.ndarray]:
+        """Reference path: one single-input simulation per batch row.
+
+        Produces outputs shaped exactly like :meth:`run_batch` (stacked
+        rows); used by the equivalence tests and as a fallback when lanes
+        must not share a simulator (e.g. stochastic RANDOM-op workloads
+        where each input should draw fresh noise).
+
+        ``last_stats`` holds the stats of the final row's run.
+        """
+        batch = self._infer_batch(inputs)
+        if batch == 1:
+            return self.run_batch(inputs)
+        rows: list[dict[str, np.ndarray]] = []
+        for lane in range(batch):
+            lane_inputs = {
+                name: (np.asarray(values)[lane]
+                       if np.asarray(values).ndim == 2 else values)
+                for name, values in inputs.items()
+            }
+            sim = self._simulator(1)
+            rows.append(sim.run(lane_inputs))
+            self.last_stats = sim.stats
+        return {name: np.stack([row[name] for row in rows])
+                for name in rows[0]}

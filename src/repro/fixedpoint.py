@@ -102,6 +102,13 @@ class FixedPointFormat:
     def divide(self, a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray:
         """Fixed-point divide with round-toward-zero, saturated.
 
+        The quotient is computed in pure integer arithmetic: ``float64``
+        division only carries 53 bits of mantissa, which silently misrounds
+        once the shifted numerator exceeds ``2**53`` (wide intermediate
+        formats).  ``np.floor_divide`` rounds toward -inf, so negative
+        inexact quotients are corrected up by one to truncate toward zero,
+        matching hardware divider semantics.
+
         Division by zero saturates to the format extreme with the sign of
         the numerator (hardware-style sticky saturation rather than a trap);
         0/0 yields 0.
@@ -109,11 +116,14 @@ class FixedPointFormat:
         num = np.asarray(a, dtype=np.int64) << self.frac_bits
         den = np.asarray(b, dtype=np.int64)
         num, den = np.broadcast_arrays(num, den)
-        out = np.empty(num.shape, dtype=np.int64)
         zero = den == 0
         safe_den = np.where(zero, 1, den)
-        quotient = (num / safe_den).astype(np.int64)  # trunc toward zero
-        out[...] = quotient
+        quotient = np.floor_divide(num, safe_den)
+        inexact = num - quotient * safe_den != 0
+        # asarray re-wraps the 0-d/scalar case so the masked assignments
+        # below work; the addition already allocated a fresh array.
+        out = np.asarray(quotient + (inexact & ((num < 0) != (safe_den < 0))),
+                         dtype=np.int64)
         out[zero & (num > 0)] = self.int_max
         out[zero & (num < 0)] = self.int_min
         out[zero & (num == 0)] = 0

@@ -89,7 +89,7 @@ class NetworkOnChip:
 
     def flits_for(self, packet: Packet) -> int:
         """Flit count for a packet's payload."""
-        bits = packet.num_words * WORD_BITS
+        bits = packet.total_words * WORD_BITS
         return max(1, math.ceil(bits / self.config.node.noc_flit_size_bits))
 
     def _local(self, tile_id: int) -> int:
@@ -111,7 +111,7 @@ class NetworkOnChip:
             edge_hops = self.geometry.mesh_width  # to and from the edge
             head = (edge_hops * (ROUTER_PIPELINE_CYCLES + LINK_CYCLES)
                     + OFFCHIP_BASE_CYCLES)
-            bytes_ = packet.num_words * WORD_BITS / 8
+            bytes_ = packet.total_words * WORD_BITS / 8
             link = math.ceil(
                 bytes_ * self.config.clock_ghz
                 / self.config.node.offchip_link_bandwidth_gbps)
@@ -128,7 +128,7 @@ class NetworkOnChip:
         if dst_tile not in self._buffers:
             raise KeyError(f"destination tile {dst_tile} has no receive buffer")
         if self.is_offchip(src_tile, dst_tile):
-            self.offchip_words += packet.num_words
+            self.offchip_words += packet.total_words
             self.offchip_packets += 1
             hops = self.geometry.mesh_width
         else:

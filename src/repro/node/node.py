@@ -31,13 +31,16 @@ class Node:
         schedule: event-loop hook handed to the NoC.
         crossbar_model: device model (noise studies override the default).
         seed: RNG seed for write noise and the RANDOM op.
+        batch: SIMD batch lanes carried by every tile datapath.
     """
 
     def __init__(self, config: PumaConfig, tile_ids: Iterable[int],
                  schedule: ScheduleFunction,
                  crossbar_model: CrossbarModel | None = None,
-                 seed: int | None = None) -> None:
+                 seed: int | None = None,
+                 batch: int = 1) -> None:
         self.config = config
+        self.batch = batch
         rng = np.random.default_rng(seed)
         if crossbar_model is None:
             core = config.core
@@ -55,7 +58,7 @@ class Node:
                     f"system's {config.total_tiles} tiles")
             self.tiles[tile_id] = Tile(
                 tile_id, config.tile, send_fn=None,
-                crossbar_model=crossbar_model, rng=rng)
+                crossbar_model=crossbar_model, rng=rng, batch=batch)
         buffers = {tid: t.receive_buffer for tid, t in self.tiles.items()}
         self.noc = NetworkOnChip(config, buffers, schedule)
         for tile in self.tiles.values():
@@ -65,10 +68,11 @@ class Node:
     def for_program(cls, config: PumaConfig, program: NodeProgram,
                     schedule: ScheduleFunction,
                     crossbar_model: CrossbarModel | None = None,
-                    seed: int | None = None) -> "Node":
+                    seed: int | None = None,
+                    batch: int = 1) -> "Node":
         """Build a node sized for ``program`` and load its weights."""
         node = cls(config, program.tiles.keys(), schedule,
-                   crossbar_model=crossbar_model, seed=seed)
+                   crossbar_model=crossbar_model, seed=seed, batch=batch)
         node.load_weights(program)
         return node
 

@@ -73,6 +73,14 @@ class _Agent:
 class Simulator:
     """Runs compiled programs on the modelled hardware.
 
+    With ``batch > 1`` the node executes the program once while every
+    data value carries one lane per batch input (SIMD over batch — PUMA
+    programs are control-uniform across inputs).  Inputs become
+    ``(batch, length)`` matrices, outputs come back the same way, and the
+    timing model charges data instructions for the extra lanes while
+    control executes once — the amortization that drives the paper's batch
+    throughput results (Fig 11c/d).
+
     Args:
         config: accelerator configuration.
         program: compiled node program (instructions + weights + layouts).
@@ -80,22 +88,28 @@ class Simulator:
         seed: RNG seed for noise and the RANDOM op.
         trace: optional trace recorder.
         max_cycles: safety bound on simulated time.
+        batch: number of inputs processed SIMD-style in one run.
     """
 
     def __init__(self, config: PumaConfig, program: NodeProgram,
                  crossbar_model: CrossbarModel | None = None,
                  seed: int | None = None,
                  trace: TraceRecorder | None = None,
-                 max_cycles: int = 2_000_000_000) -> None:
+                 max_cycles: int = 2_000_000_000,
+                 batch: int = 1) -> None:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
         self.config = config
         self.program = program
+        self.batch = batch
         self.max_cycles = max_cycles
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self._events: list[tuple[int, int, Callable[[], None]]] = []
         self._event_seq = 0
         self.now = 0
         self.node = Node.for_program(config, program, self._schedule_delay,
-                                     crossbar_model=crossbar_model, seed=seed)
+                                     crossbar_model=crossbar_model, seed=seed,
+                                     batch=batch)
         self.energy_model = EnergyModel(config)
         self.stats = SimulationStats(cycle_ns=config.cycle_ns)
         self._agents = self._build_agents()
@@ -126,18 +140,30 @@ class Simulator:
     # -- data movement in/out of the accelerator --------------------------
 
     def write_input(self, name: str, values: np.ndarray) -> None:
-        """Preload one named model input (already fixed-point integers)."""
+        """Preload one named model input (already fixed-point integers).
+
+        Accepts ``(length,)`` — broadcast to every batch lane — or
+        ``(batch, length)`` with one row per lane.
+        """
         if name not in self.program.input_layout:
             raise KeyError(f"program has no input named {name!r}")
         tile_id, addr, length = self.program.input_layout[name]
         arr = np.atleast_1d(np.asarray(values, dtype=np.int64))
-        if arr.size != length:
+        if arr.ndim == 1:
+            ok = arr.size == length
+        else:
+            ok = arr.shape == (self.batch, length)
+        if not ok:
             raise ValueError(
-                f"input {name!r} expects {length} words, got {arr.size}")
+                f"input {name!r} expects {length} words per lane — shape "
+                f"({length},) or ({self.batch}, {length}) — got {arr.shape}")
         self.node.tile(tile_id).memory.preload(addr, arr, PERSISTENT_COUNT)
 
     def read_output(self, name: str) -> np.ndarray:
-        """Read one named model output after the run."""
+        """Read one named model output after the run.
+
+        Returns ``(length,)`` for batch 1, ``(batch, length)`` otherwise.
+        """
         if name not in self.program.output_layout:
             raise KeyError(f"program has no output named {name!r}")
         tile_id, addr, length = self.program.output_layout[name]
@@ -218,12 +244,14 @@ class Simulator:
         status = outcome.status
 
         if status == ExecStatus.DONE:
-            latency = self.energy_model.latency.cycles(instr, outcome)
+            latency = self.energy_model.latency.cycles(instr, outcome,
+                                                       self.batch)
             self.stats.count(instr.opcode,
-                             words=outcome.vec_width
+                             words=outcome.vec_width * self.batch
                              if instr.is_vector else 0)
             self.stats.record_busy(agent.name, latency)
-            self.stats.energy.merge(self.energy_model.energy(instr, outcome))
+            self.stats.energy.merge(
+                self.energy_model.energy(instr, outcome, self.batch))
             self.trace.record(self.now, agent.name, instr, latency)
             self._schedule_delay(latency, self._stepper(agent))
             return

@@ -21,13 +21,25 @@ WakeCallback = Callable[[], None]
 
 @dataclass
 class Packet:
-    """One ``send`` payload traversing the network."""
+    """One ``send`` payload traversing the network.
+
+    ``data`` is ``(width,)`` for a scalar run or ``(batch, width)`` when the
+    node executes SIMD-over-batch; ``num_words`` is the architectural packet
+    width (one lane), ``total_words`` the physical payload across lanes.
+    """
 
     data: np.ndarray
     source_tile: int
 
     @property
     def num_words(self) -> int:
+        """Per-lane payload width (what ``receive`` checks against)."""
+        arr = np.atleast_1d(self.data)
+        return int(arr.shape[-1])
+
+    @property
+    def total_words(self) -> int:
+        """Total words across all batch lanes (what the NoC serializes)."""
         return int(np.atleast_1d(self.data).size)
 
 

@@ -21,17 +21,29 @@ WakeCallback = Callable[[], None]
 class SharedMemory:
     """Word-addressed shared memory with valid/count synchronization.
 
+    With ``batch > 1`` each word holds one value per batch lane — the data
+    array is ``(batch, words)`` — while the valid/count attributes stay
+    per-word: all lanes are produced and consumed together by the single
+    (batch-uniform) instruction stream, so one attribute entry governs a
+    word across every lane.  With ``batch == 1`` the interface is exactly
+    the classic scalar memory (1-D reads and writes).
+
     Args:
         words: capacity in 16-bit words.
         attribute_entries: attribute-buffer entries (>= words for full
             coverage; the Table 3 tile pairs 32K words with 32K entries).
+        batch: SIMD batch lanes held per word.
     """
 
-    def __init__(self, words: int, attribute_entries: int | None = None) -> None:
+    def __init__(self, words: int, attribute_entries: int | None = None,
+                 batch: int = 1) -> None:
         if words <= 0:
             raise ValueError("shared memory needs at least one word")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
         self.words = words
-        self._data = np.zeros(words, dtype=np.int64)
+        self.batch = batch
+        self._data = np.zeros((batch, words), dtype=np.int64)
         self.attributes = AttributeBuffer(
             attribute_entries if attribute_entries is not None else words)
         self._read_waiters: list[WakeCallback] = []
@@ -46,6 +58,19 @@ class SharedMemory:
                 f"[0, {self.words})"
             )
 
+    def _coerce(self, values: np.ndarray) -> np.ndarray:
+        """Normalize written values to a lanes-compatible 2-D array."""
+        arr = np.atleast_1d(np.asarray(values, dtype=np.int64))
+        if arr.ndim == 1:
+            return arr[np.newaxis, :]  # broadcast one vector to every lane
+        if arr.ndim == 2:
+            if arr.shape[0] != self.batch:
+                raise ValueError(
+                    f"batched write carries {arr.shape[0]} lanes, memory "
+                    f"holds {self.batch}")
+            return arr
+        raise ValueError(f"memory write must be 1-D or 2-D, got {arr.ndim}-D")
+
     def try_read(self, addr: int, width: int = 1) -> np.ndarray | None:
         """Read if every word is valid; ``None`` when the reader must wait."""
         self._check(addr, width)
@@ -53,19 +78,20 @@ class SharedMemory:
             return None
         self.attributes.on_read(addr, width)
         self.reads += width
-        data = self._data[addr:addr + width].copy()
+        data = self._data[:, addr:addr + width].copy()
         self._wake_writers()
-        return data
+        return data[0] if self.batch == 1 else data
 
     def try_write(self, addr: int, values: np.ndarray, count: int = 1) -> bool:
         """Write if every word is invalid; ``False`` when the writer must wait."""
-        arr = np.atleast_1d(np.asarray(values, dtype=np.int64))
-        self._check(addr, arr.size)
-        if not self.attributes.can_write(addr, arr.size):
+        arr = self._coerce(values)
+        width = arr.shape[1]
+        self._check(addr, width)
+        if not self.attributes.can_write(addr, width):
             return False
-        self._data[addr:addr + arr.size] = arr
-        self.attributes.on_write(addr, arr.size, count)
-        self.writes += arr.size
+        self._data[:, addr:addr + width] = arr
+        self.attributes.on_write(addr, width, count)
+        self.writes += width
         self._wake_readers()
         return True
 
@@ -91,14 +117,20 @@ class SharedMemory:
 
     def preload(self, addr: int, values: np.ndarray,
                 count: int = PERSISTENT_COUNT) -> None:
-        """Install data before execution starts (model inputs, constants)."""
-        arr = np.atleast_1d(np.asarray(values, dtype=np.int64))
-        self._check(addr, arr.size)
-        self.attributes.force_invalidate(addr, arr.size)
-        self._data[addr:addr + arr.size] = arr
-        self.attributes.on_write(addr, arr.size, count)
+        """Install data before execution starts (model inputs, constants).
+
+        A 1-D vector is broadcast to every batch lane (constants, biases);
+        a ``(batch, width)`` matrix carries per-lane inputs.
+        """
+        arr = self._coerce(values)
+        width = arr.shape[1]
+        self._check(addr, width)
+        self.attributes.force_invalidate(addr, width)
+        self._data[:, addr:addr + width] = arr
+        self.attributes.on_write(addr, width, count)
 
     def peek(self, addr: int, width: int = 1) -> np.ndarray:
         """Read raw data without touching attributes (result extraction)."""
         self._check(addr, width)
-        return self._data[addr:addr + width].copy()
+        data = self._data[:, addr:addr + width].copy()
+        return data[0] if self.batch == 1 else data

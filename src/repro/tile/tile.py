@@ -38,22 +38,28 @@ class Tile:
             which single-tile tests use.
         crossbar_model: device model shared by the cores' MVMUs.
         rng: random generator for the cores.
+        batch: SIMD batch lanes carried by the tile's datapath (memory,
+            cores, and packets); the tile control stream itself stays
+            scalar — control flow is batch-uniform.
     """
 
     def __init__(self, tile_id: int, config: TileConfig,
                  send_fn: SendFunction | None = None,
                  crossbar_model: CrossbarModel | None = None,
-                 rng: np.random.Generator | None = None) -> None:
+                 rng: np.random.Generator | None = None,
+                 batch: int = 1) -> None:
         self.tile_id = tile_id
         self.config = config
+        self.batch = batch
         self.memory = SharedMemory(config.shared_memory_words,
-                                   config.attribute_entries)
+                                   config.attribute_entries,
+                                   batch=batch)
         self.receive_buffer = ReceiveBuffer(config.receive_fifos,
                                             config.receive_fifo_depth)
         self._send_fn = send_fn
         self.cores = [
             Core(i, config.core, self.memory,
-                 crossbar_model=crossbar_model, rng=rng)
+                 crossbar_model=crossbar_model, rng=rng, batch=batch)
             for i in range(config.num_cores)
         ]
         # Tile control unit state: PC plus a small scalar register file for

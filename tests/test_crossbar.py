@@ -130,6 +130,64 @@ class TestMvmu:
         result = FMT.dequantize(mvmu.execute(FMT.quantize(x)))
         np.testing.assert_allclose(result, x @ w, atol=0.02)
 
+    def test_execute_rescale_matches_fixed_point_multiply(self):
+        """Regression: the MVM rescale floors like ``prod >> frac_bits``.
+
+        A negative product with odd low bits distinguishes floor from
+        round-half-up: (-1 raw) * (1 raw) = -1, and -1 >> 12 == -1, whereas
+        the old ``floor(x + 0.5)`` rescale returned 0.
+        """
+        dim = 4
+        mvmu = MVMU(small_model(dim=dim), FMT)
+        w = np.zeros((dim, dim), dtype=np.int64)
+        w[0, 0] = -1          # one raw LSB below zero
+        w[1, 1] = -4097       # odd low bits, larger magnitude
+        w[2, 2] = 4095        # positive odd-LSB case floors toward zero
+        mvmu.program(w)
+        x = np.array([1, 3, 3, 0], dtype=np.int64)
+        result = mvmu.execute(x)
+        expected = np.array([FMT.multiply(x[j], w[j, j]) for j in range(dim)])
+        np.testing.assert_array_equal(result, expected)
+        # Explicit anchors for the shift semantics.
+        assert result[0] == -1 * 1 >> 12 == -1
+        assert result[1] == (-4097 * 3) >> 12 == -4
+        assert result[2] == (4095 * 3) >> 12 == 2
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_batched_dot_bitwise_matches_per_lane(self, seed):
+        """(batch, dim) inputs produce exactly the per-lane results, for
+        both the ideal shortcut and the forced analog emulation."""
+        rng = np.random.default_rng(seed)
+        dim = 8
+        model = small_model(dim=dim, noise=0.15,
+                            adc_bits=exact_adc_bits(dim, 2, 1))
+        mvmu = MVMU(model, FMT, rng=rng)
+        mvmu.program(rng.integers(-2000, 2000, size=(dim, dim)))
+        lanes = rng.integers(-2000, 2000, size=(5, dim))
+        for force in (False, True):
+            batched = mvmu.dot(lanes, force_analog=force)
+            assert batched.shape == (5, dim)
+            for b in range(5):
+                np.testing.assert_array_equal(
+                    batched[b], mvmu.dot(lanes[b], force_analog=force))
+        batched_exec = mvmu.execute(lanes)
+        for b in range(5):
+            np.testing.assert_array_equal(batched_exec[b],
+                                          mvmu.execute(lanes[b]))
+
+    def test_crossbar_batched_column_sums(self):
+        rng = np.random.default_rng(8)
+        model = small_model()
+        xbar = Crossbar(model, rng=rng)
+        xbar.program(rng.integers(0, 4, size=(8, 8)))
+        lanes = rng.integers(0, 2, size=(6, 8))
+        batched = xbar.column_sums(lanes)
+        assert batched.shape == (6, 8)
+        for b in range(6):
+            np.testing.assert_array_equal(batched[b],
+                                          xbar.column_sums(lanes[b]))
+
     def test_noise_changes_results(self):
         rng = np.random.default_rng(11)
         dim = 16
@@ -144,8 +202,18 @@ class TestMvmu:
 
     def test_shuffle_inputs_rotation(self):
         x = np.arange(8)
-        shuffled = MVMU.shuffle_inputs(x, filter=5, stride=2)
+        shuffled = MVMU.shuffle_inputs(x, filter_length=5, stride=2)
         np.testing.assert_array_equal(shuffled, [2, 3, 4, 0, 1, 5, 6, 7])
+
+    def test_shuffle_inputs_batched_matches_per_lane(self):
+        rng = np.random.default_rng(5)
+        lanes = rng.integers(0, 100, size=(6, 16))
+        for filter_length, stride in [(5, 2), (4, 1), (16, 7), (3, 0)]:
+            batched = MVMU.shuffle_inputs(lanes, filter_length, stride)
+            for lane in range(lanes.shape[0]):
+                np.testing.assert_array_equal(
+                    batched[lane],
+                    MVMU.shuffle_inputs(lanes[lane], filter_length, stride))
 
     def test_shuffle_disabled(self):
         x = np.arange(8)

@@ -59,6 +59,43 @@ class TestFormat:
         assert fmt.divide(-100, 0) == fmt.int_min
         assert fmt.divide(0, 0) == 0
 
+    @given(words, words)
+    def test_divide_truncates_toward_zero(self, a, b):
+        fmt = FixedPointFormat()
+        if b == 0:
+            return
+        num = a << fmt.frac_bits
+        exact = (abs(num) // abs(b)) * (-1 if (num < 0) != (b < 0) else 1)
+        expected = int(np.clip(exact, fmt.int_min, fmt.int_max))
+        assert int(fmt.divide(a, b)) == expected
+
+    def test_divide_wide_format_beyond_float53(self):
+        """Regression: the quotient is exact even when the shifted numerator
+        exceeds 2**53 and float64 division would misround.
+
+        With a 40.20 format, ``a << 20`` reaches ~2**59; the nearest-even
+        rounding of that numerator to float64 perturbs the quotient across
+        an integer boundary for adversarial divisors.
+        """
+        fmt = FixedPointFormat(total_bits=40, frac_bits=20)
+        a = (1 << 39) - 1              # most positive word
+        num = a << 20                  # 2**59 - 2**20: not float64-exact
+        for b in [3, 7, (1 << 20) + 1, -3, -((1 << 19) - 1)]:
+            expected = abs(num) // abs(b) * (-1 if b < 0 else 1)
+            expected = max(fmt.int_min, min(fmt.int_max, expected))
+            assert int(fmt.divide(a, b)) == expected
+        # Cases where float64 division provably misrounds: the quotient
+        # lands within one ulp of an integer boundary, so the float path
+        # truncates to the wrong side.
+        for bad_a, bad_b in [(521742123660, 538), (464046495972, 118),
+                             (178254597490, 163)]:
+            bad_num = bad_a << 20
+            exact_quotient = bad_num // bad_b
+            float_quotient = int(np.float64(bad_num) / np.float64(bad_b))
+            assert float_quotient != exact_quotient  # float64 path is wrong
+            assert int(fmt.divide(bad_a, bad_b)) == max(
+                fmt.int_min, min(fmt.int_max, exact_quotient))
+
     @given(words)
     def test_wrap_is_identity_in_range(self, a):
         fmt = FixedPointFormat()
