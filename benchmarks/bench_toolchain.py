@@ -6,7 +6,8 @@ timing how fast models compile and how fast PUMAsim retires instructions.
 
 import numpy as np
 
-from repro import Simulator, compile_model, default_config
+from repro import compile_model, default_config
+from repro.engine import InferenceEngine
 from repro.fixedpoint import FixedPointFormat
 from repro.workloads.mlp import build_mlp_model
 
@@ -24,16 +25,11 @@ def test_compile_throughput(benchmark):
 
 
 def test_simulation_throughput(benchmark):
-    compiled = compile_model(build_mlp_model(DIMS, seed=1), CFG)
+    engine = InferenceEngine(build_mlp_model(DIMS, seed=1), CFG, seed=0)
     x = FMT.quantize(np.random.default_rng(0).normal(0, 0.3, size=DIMS[0]))
 
-    def run_once():
-        sim = Simulator(CFG, compiled.program, seed=0)
-        sim.run({"x": x})
-        return sim
-
-    sim = benchmark(run_once)
-    assert sim.stats.total_instructions > 0
+    result = benchmark(engine.run, {"x": x})
+    assert result.stats.total_instructions > 0
 
 
 def test_mvmu_throughput(benchmark):

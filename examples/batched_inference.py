@@ -33,17 +33,16 @@ def main() -> None:
     t0 = time.perf_counter()
     batched = engine.run_batch(inputs)
     t_batched = time.perf_counter() - t0
-    stats = engine.last_stats
     print(f"batched:    {BATCH} inferences in one pass, "
-          f"{t_batched * 1e3:.1f} ms wall, {stats.cycles} simulated cycles "
-          f"({stats.cycles / BATCH:.0f}/inference)")
+          f"{t_batched * 1e3:.1f} ms wall, {batched.cycles} simulated "
+          f"cycles ({batched.cycles_per_inference:.0f}/inference)")
 
     t0 = time.perf_counter()
     sequential = engine.run_sequential(inputs)
     t_sequential = time.perf_counter() - t0
     print(f"sequential: {BATCH} single-input passes, "
           f"{t_sequential * 1e3:.1f} ms wall "
-          f"({engine.last_stats.cycles} cycles each)")
+          f"({sequential.stats.cycles} cycles each)")
 
     assert all(np.array_equal(batched[k], sequential[k]) for k in batched)
     print(f"outputs bitwise identical; "

@@ -11,20 +11,18 @@ Run:  python examples/cnn_lenet.py
 
 import numpy as np
 
-from repro import FixedPointFormat, Simulator, default_config
+from repro import InferenceEngine, default_config
 from repro.compiler.cnn import cnn_reference, compile_cnn
 from repro.isa.opcodes import Opcode
 from repro.workloads.cnn import build_lenet5_spec
-
-FMT = FixedPointFormat()
 
 
 def run(spec, image, input_shuffle):
     config = default_config()
     compiled = compile_cnn(spec, config, input_shuffle=input_shuffle)
-    sim = Simulator(config, compiled.program, seed=0)
-    outputs = sim.run({"image": FMT.quantize(image.reshape(-1))})
-    return FMT.dequantize(outputs["out"]), sim
+    engine = InferenceEngine.from_compiled(compiled, config, seed=0)
+    result = engine.predict({"image": image.reshape(-1)})
+    return result.outputs["out"], result
 
 
 def main() -> None:
@@ -32,8 +30,8 @@ def main() -> None:
     rng = np.random.default_rng(4)
     image = rng.uniform(-0.5, 0.5, size=(32, 32, 1))
 
-    logits_shuffled, sim_s = run(spec, image, input_shuffle=True)
-    logits_plain, sim_p = run(spec, image, input_shuffle=False)
+    logits_shuffled, res_s = run(spec, image, input_shuffle=True)
+    logits_plain, res_p = run(spec, image, input_shuffle=False)
     reference = cnn_reference(spec, image)
 
     print("Lenet5 (conv 5x5x6 / pool / conv 5x5x16 / pool / 400-120-84-10)")
@@ -45,17 +43,17 @@ def main() -> None:
     assert np.allclose(logits_shuffled, logits_plain, atol=1e-9), \
         "shuffled and plain codegen must agree bit-for-bit"
 
-    words_s = sim_s.stats.words_by_opcode[Opcode.LOAD]
-    words_p = sim_p.stats.words_by_opcode[Opcode.LOAD]
+    words_s = res_s.stats.words_by_opcode[Opcode.LOAD]
+    words_p = res_p.stats.words_by_opcode[Opcode.LOAD]
     print(f"\nwith input shuffling:    {words_s:8d} words loaded, "
-          f"{sim_s.stats.cycles} cycles")
+          f"{res_s.cycles} cycles")
     print(f"without input shuffling: {words_p:8d} words loaded, "
-          f"{sim_p.stats.cycles} cycles")
+          f"{res_p.cycles} cycles")
     print(f"shuffling moves {words_s / words_p:.2f}x the data "
           "(reused window columns stay in XbarIn; the MVM's filter/stride "
           "operands rotate them logically)")
 
-    brn = sim_s.stats.dynamic_instructions[Opcode.BRN]
+    brn = res_s.stats.dynamic_instructions[Opcode.BRN]
     print(f"\ndynamic branches executed: {brn} "
           "(row and column loops; Figure 4's CNN control flow)")
 

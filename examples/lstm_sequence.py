@@ -11,19 +11,17 @@ Run:  python examples/lstm_sequence.py
 
 import numpy as np
 
-from repro import FixedPointFormat, Simulator, compile_model, default_config
+from repro import InferenceEngine, default_config
 from repro.isa.opcodes import Opcode
 from repro.workloads.lstm import build_lstm_model, lstm_reference
-
-FMT = FixedPointFormat()
 
 INPUT, HIDDEN, OUTPUT, STEPS = 64, 128, 32, 3
 
 
 def main() -> None:
     model = build_lstm_model(INPUT, HIDDEN, OUTPUT, seq_len=STEPS, seed=7)
-    config = default_config()
-    compiled = compile_model(model, config)
+    engine = InferenceEngine(model, default_config(), seed=0)
+    compiled = engine.compiled
     usage = compiled.program.usage_breakdown()
     print(f"compiled LSTM({INPUT}-{HIDDEN}-{OUTPUT}) x {STEPS} steps:")
     print(f"  {compiled.num_mvmus_used} MVMUs, {compiled.num_cores_used} "
@@ -32,26 +30,25 @@ def main() -> None:
 
     rng = np.random.default_rng(3)
     xs = [rng.normal(0, 0.4, size=INPUT) for _ in range(STEPS)]
-    sim = Simulator(config, compiled.program, seed=0)
-    outputs = sim.run({f"x{t}": FMT.quantize(xs[t]) for t in range(STEPS)})
-    result = FMT.dequantize(outputs["out"])
+    run = engine.predict({f"x{t}": xs[t] for t in range(STEPS)})
+    result = run.outputs["out"]
 
     expected = lstm_reference(INPUT, HIDDEN, OUTPUT, xs, seed=7)
     error = np.abs(result - expected).max()
-    print(f"\nsimulated {sim.stats.cycles} cycles "
-          f"({sim.stats.time_ns / 1000:.1f} us), "
-          f"{sim.stats.total_energy_j * 1e6:.2f} uJ")
+    print(f"\nsimulated {run.cycles} cycles "
+          f"({run.latency_ns / 1000:.1f} us), "
+          f"{run.energy_j * 1e6:.2f} uJ")
     print(f"max |PUMA - numpy| = {error:.4f}")
     assert error < 0.05
 
-    mvms = sim.stats.dynamic_instructions.get(Opcode.MVM, 0)
+    mvms = run.stats.dynamic_instructions.get(Opcode.MVM, 0)
     print(f"\ndynamic MVM instructions: {mvms} "
           f"({STEPS} steps x gate+projection tiles, coalesced)")
     print("energy by component:")
-    for category, joules in sorted(sim.stats.energy.as_dict().items(),
+    for category, joules in sorted(run.stats.energy.as_dict().items(),
                                    key=lambda kv: -kv[1]):
         if joules > 0:
-            share = joules / sim.stats.total_energy_j * 100
+            share = joules / run.energy_j * 100
             print(f"  {category:<14s} {joules * 1e6:8.3f} uJ  ({share:4.1f}%)")
     print("\nMVM (crossbar) energy dominates — the in-memory computing "
           "advantage the paper builds on.")

@@ -12,53 +12,18 @@ Run:  python examples/mlp_digits.py
 
 import numpy as np
 
-from repro import (
-    ConstMatrix,
-    FixedPointFormat,
-    InVector,
-    Model,
-    OutVector,
-    Simulator,
-    compile_model,
-    const_vector,
-    default_config,
-    relu,
-)
 from repro.accuracy import (
     corrupt_weights,
     make_dataset,
     rescale_for_fixed_point,
+    simulated_accuracy,
     train_mlp,
 )
 
-FMT = FixedPointFormat()
-
-
-def build_puma_model(weights, name="digits"):
-    """Wrap trained (W, b) pairs as a compilable PUMA model."""
-    model = Model.create(name)
-    in_features = weights[0][0].shape[0]
-    h = InVector.create(model, in_features, "x")
-    for i, (w, b) in enumerate(weights):
-        mat = ConstMatrix.create(model, *w.shape, f"w{i}", w)
-        h = mat @ h + const_vector(model, b, f"b{i}")
-        if i < len(weights) - 1:
-            h = relu(h)
-    out = OutVector.create(model, weights[-1][0].shape[1], "logits")
-    out.assign(h)
-    return model
-
 
 def puma_accuracy(weights, data, samples=60):
-    config = default_config()
-    compiled = compile_model(build_puma_model(weights), config)
-    correct = 0
-    for i in range(samples):
-        sim = Simulator(config, compiled.program, seed=0)
-        outputs = sim.run({"x": FMT.quantize(data.x_test[i])})
-        prediction = int(np.argmax(FMT.dequantize(outputs["logits"])))
-        correct += prediction == int(data.y_test[i])
-    return correct / samples
+    """Score on the detailed simulator: all samples, one batched pass."""
+    return simulated_accuracy(weights, data.x_test, data.y_test, samples)
 
 
 def main() -> None:

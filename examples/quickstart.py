@@ -2,8 +2,9 @@
 
 Builds ``z = tanh(A @ x + B @ y)`` with the high-level programming
 interface, compiles it with the full backend (tiling, partitioning, MVM
-coalescing, scheduling, register allocation), runs it on the detailed
-PUMAsim simulator, and checks the result against numpy.
+coalescing, scheduling, register allocation) through the
+:class:`~repro.engine.InferenceEngine`, runs it float-first on the
+detailed PUMAsim simulator, and checks the result against numpy.
 
 Run:  python examples/quickstart.py
 """
@@ -12,18 +13,15 @@ import numpy as np
 
 from repro import (
     ConstMatrix,
-    FixedPointFormat,
+    InferenceEngine,
     InVector,
     Model,
     OutVector,
-    Simulator,
-    compile_model,
     default_config,
     tanh,
 )
 
 M, N = 256, 128
-FMT = FixedPointFormat()
 
 
 def main() -> None:
@@ -40,28 +38,26 @@ def main() -> None:
     mat_b = ConstMatrix.create(model, M, N, "B", b)
     z.assign(tanh(mat_a @ x + mat_b @ y))
 
-    # 2. Compile to PUMA ISA.
-    config = default_config()
-    compiled = compile_model(model, config)
+    # 2. Compile to PUMA ISA (cached process-wide by the engine).
+    engine = InferenceEngine(model, default_config(), seed=0)
+    compiled = engine.compiled
     print(f"compiled onto {compiled.num_mvmus_used} MVMUs across "
           f"{compiled.num_cores_used} cores / {compiled.num_tiles_used} "
           f"tile(s); {compiled.program.total_instructions()} instructions")
     print(f"coalesced MVM instructions: {compiled.coalesced_mvm_instructions}"
           f" (for {compiled.num_mvmus_used} weight tiles)")
 
-    # 3. Simulate.
-    sim = Simulator(config, compiled.program, seed=0)
+    # 3. Simulate — floats in, floats out; quantization is the engine's job.
     xv = rng.normal(0, 0.5, size=M)
     yv = rng.normal(0, 0.5, size=M)
-    outputs = sim.run({"x": FMT.quantize(xv), "y": FMT.quantize(yv)})
-    result = FMT.dequantize(outputs["z"])
+    result = engine.predict({"x": xv, "y": yv})
 
     # 4. Compare against numpy.
     expected = np.tanh(xv @ a + yv @ b)
-    error = np.abs(result - expected).max()
-    print(f"\nsimulated {sim.stats.cycles} cycles "
-          f"({sim.stats.time_ns / 1000:.2f} us), "
-          f"{sim.stats.total_energy_j * 1e9:.1f} nJ")
+    error = np.abs(result.outputs["z"] - expected).max()
+    print(f"\nsimulated {result.cycles} cycles "
+          f"({result.latency_ns / 1000:.2f} us), "
+          f"{result.energy_j * 1e9:.1f} nJ")
     print(f"max |PUMA - numpy| = {error:.4f} (16-bit fixed point)")
     assert error < 0.05
     print("OK")

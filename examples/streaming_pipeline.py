@@ -11,7 +11,7 @@ Run:  python examples/streaming_pipeline.py
 
 import numpy as np
 
-from repro import FixedPointFormat, Simulator, compile_model, default_config
+from repro import InferenceEngine, default_config
 from repro.compiler.frontend import (
     ConstMatrix,
     InVector,
@@ -20,7 +20,6 @@ from repro.compiler.frontend import (
     relu,
 )
 
-FMT = FixedPointFormat()
 DIMS = (128, 128, 128, 64)
 
 
@@ -41,27 +40,24 @@ def batched_model(batch: int, seed: int = 0) -> Model:
 
 
 def run(batch: int):
-    config = default_config()
-    compiled = compile_model(batched_model(batch), config)
+    engine = InferenceEngine(batched_model(batch), default_config(), seed=0)
     rng = np.random.default_rng(1)
-    inputs = {f"x{b}": FMT.quantize(rng.normal(0, 0.3, size=DIMS[0]))
+    inputs = {f"x{b}": rng.normal(0, 0.3, size=DIMS[0])
               for b in range(batch)}
-    sim = Simulator(config, compiled.program, seed=0)
-    sim.run(inputs)
-    return compiled, sim
+    return engine.compiled, engine.predict(inputs)
 
 
 def main() -> None:
     print(f"MLP {'-'.join(map(str, DIMS))}, weights stationary in "
           "crossbars; batches stream through the layer pipeline\n")
-    single, sim1 = run(1)
+    single, res1 = run(1)
     print(f"{'batch':>6} {'cycles':>9} {'cycles/item':>12} "
           f"{'throughput gain':>16} {'crossbars':>10}")
     for batch in (1, 2, 4, 8):
-        compiled, sim = run(batch)
-        gain = (sim1.stats.cycles * batch) / sim.stats.cycles
-        print(f"{batch:>6} {sim.stats.cycles:>9} "
-              f"{sim.stats.cycles / batch:>12.0f} {gain:>15.2f}x "
+        compiled, res = run(batch)
+        gain = (res1.cycles * batch) / res.cycles
+        print(f"{batch:>6} {res.cycles:>9} "
+              f"{res.cycles / batch:>12.0f} {gain:>15.2f}x "
               f"{len(compiled.program.weights):>10}")
     print("\nThe crossbar count stays constant — the same weights serve "
           "every item — while per-item cycles fall to the bottleneck "

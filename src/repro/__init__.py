@@ -7,6 +7,9 @@ This package provides the full system described in the paper:
 * the compiler from a high-level model API to per-core/tile instruction
   streams (:mod:`repro.compiler`);
 * PUMAsim, the functional + timing + energy simulator (:mod:`repro.sim`);
+* the serving layer: the batched :class:`~repro.engine.InferenceEngine`
+  and the async dynamic-batching front-end :class:`~repro.serve.PumaServer`
+  (:mod:`repro.engine`, :mod:`repro.serve`);
 * power/area models and design-space exploration (:mod:`repro.energy`);
 * DNN workload builders matching the paper's benchmarks
   (:mod:`repro.workloads`);
@@ -21,7 +24,7 @@ Quickstart (the paper's Figure 7 example)::
 
     import numpy as np
     from repro import (Model, InVector, OutVector, ConstMatrix, tanh,
-                       compile_model, Simulator, default_config)
+                       quick_run)
 
     m = Model.create("example")
     x = InVector.create(m, 128, "x")
@@ -31,9 +34,13 @@ Quickstart (the paper's Figure 7 example)::
     B = ConstMatrix.create(m, 128, 64, "B", np.random.randn(128, 64) * 0.1)
     z.assign(tanh(A @ x + B @ y))
 
-    compiled = compile_model(m)
-    sim = Simulator(default_config(), compiled.program)
-    outputs = sim.run({"x": ..., "y": ...})
+    result = quick_run(m, {"x": x_float, "y": y_float})   # floats in
+    print(result.outputs["z"], result.stats.summary())    # floats out
+
+``quick_run`` compiles through the process-wide cache and runs one
+float-first inference (or a whole ``(batch, length)`` matrix per input) —
+see :class:`~repro.engine.InferenceEngine` for the persistent serving
+object and :class:`~repro.serve.PumaServer` for the async front-end.
 """
 
 from repro.arch.config import (
@@ -67,9 +74,34 @@ from repro.compiler import (
 from repro.compiler.frontend import const_vector
 from repro.engine import InferenceEngine
 from repro.fixedpoint import FixedPointFormat
+from repro.serve import InferenceRequest, PumaServer, RunResult
 from repro.sim import SimulationDeadlock, SimulationStats, Simulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def quick_run(model, inputs, config=None, *, options=None,
+              crossbar_model=None, seed=0):
+    """Compile (cached) and run float inputs end to end.
+
+    Args:
+        model: a frontend :class:`Model`.
+        inputs: real-valued arrays per input name — ``(length,)`` for one
+            inference, ``(batch, length)`` for a batched pass.
+        config: accelerator configuration (Table 3 defaults when omitted).
+        options: compiler options (part of the compile-cache key).
+        crossbar_model: overrides the device model (noise studies).
+        seed: RNG seed for crossbar noise and the RANDOM op.
+
+    Returns:
+        The run's :class:`~repro.serve.RunResult` (float outputs in
+        ``.outputs``, fixed-point words via the mapping interface, stats
+        in ``.stats``).
+    """
+    engine = InferenceEngine(model, config, options,
+                             crossbar_model=crossbar_model, seed=seed)
+    return engine.predict(inputs)
+
 
 __all__ = [
     "CoreConfig",
@@ -103,5 +135,9 @@ __all__ = [
     "SimulationStats",
     "SimulationDeadlock",
     "InferenceEngine",
+    "InferenceRequest",
+    "RunResult",
+    "PumaServer",
+    "quick_run",
     "__version__",
 ]

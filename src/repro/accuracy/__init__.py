@@ -4,7 +4,12 @@ from repro.accuracy.dataset import make_dataset
 from repro.accuracy.train import TrainedMlp, train_mlp
 from repro.accuracy.noise import corrupt_weights, weight_noise_sigma
 from repro.accuracy.deploy import rescale_for_fixed_point
-from repro.accuracy.eval import accuracy_sweep, noisy_accuracy
+from repro.accuracy.eval import (
+    accuracy_sweep,
+    classifier_model,
+    noisy_accuracy,
+    simulated_accuracy,
+)
 
 __all__ = [
     "make_dataset",
@@ -15,4 +20,6 @@ __all__ = [
     "rescale_for_fixed_point",
     "noisy_accuracy",
     "accuracy_sweep",
+    "classifier_model",
+    "simulated_accuracy",
 ]

@@ -1,4 +1,15 @@
-"""Accuracy sweeps over memristor precision and write noise (Figure 13)."""
+"""Accuracy sweeps over memristor precision and write noise (Figure 13).
+
+Two evaluation paths share this module:
+
+* the fast analytic sweep (:func:`noisy_accuracy` / :func:`accuracy_sweep`)
+  deploys weights through the noise model and scores them in float numpy —
+  the Figure 13 grid at full trial counts;
+* :func:`simulated_accuracy` runs the deployed classifier on the *detailed
+  simulator* through the :class:`~repro.engine.InferenceEngine`, pushing
+  all test samples through the programmed crossbars as one
+  SIMD-over-batch pass (16-bit fixed point end to end).
+"""
 
 from __future__ import annotations
 
@@ -44,3 +55,52 @@ def accuracy_sweep(precisions=PRECISION_SWEEP, sigmas=SIGMA_SWEEP,
                 for bits in precisions}
         for sigma in sigmas
     }
+
+
+def classifier_model(weights: list, name: str = "classifier"):
+    """Wrap trained ``(W, b)`` pairs as a compilable PUMA model.
+
+    Hidden layers use ReLU; the final layer emits raw ``logits`` — the
+    deployment shape of :mod:`repro.accuracy.train`'s MLPs.
+    """
+    from repro import ConstMatrix, InVector, Model, OutVector, const_vector, relu
+
+    model = Model.create(name)
+    in_features = weights[0][0].shape[0]
+    h = InVector.create(model, in_features, "x")
+    for i, (w, b) in enumerate(weights):
+        mat = ConstMatrix.create(model, *w.shape, f"w{i}", np.asarray(w))
+        h = mat @ h + const_vector(model, np.asarray(b), f"b{i}")
+        if i < len(weights) - 1:
+            h = relu(h)
+    out = OutVector.create(model, weights[-1][0].shape[1], "logits")
+    out.assign(h)
+    return model
+
+
+def simulated_accuracy(weights: list, x: np.ndarray, y: np.ndarray,
+                       samples: int | None = None, *,
+                       crossbar_model=None, seed: int = 0) -> float:
+    """Classification accuracy on the detailed simulator.
+
+    Deploys ``weights`` onto the modelled crossbars and pushes the first
+    ``samples`` rows of ``x`` through one SIMD-over-batch engine pass
+    (bitwise identical to per-sample runs — the engine's guarantee), so
+    whole-test-set scoring costs roughly one simulation.
+
+    Args:
+        weights: ``(W, b)`` pairs (hidden layers ReLU), already rescaled
+            for the fixed-point range (:func:`rescale_for_fixed_point`).
+        x, y: test inputs ``(N, features)`` and integer labels ``(N,)``.
+        samples: rows of ``x`` to score (default: all).
+        crossbar_model: optional noisy device model.
+        seed: simulator seed (crossbar programming noise, RANDOM op).
+    """
+    from repro.engine import InferenceEngine
+
+    n = len(x) if samples is None else min(samples, len(x))
+    engine = InferenceEngine(classifier_model(weights),
+                             crossbar_model=crossbar_model, seed=seed)
+    result = engine.predict({"x": np.asarray(x[:n], dtype=np.float64)})
+    predictions = np.argmax(result.outputs["logits"], axis=-1)
+    return float(np.mean(predictions == np.asarray(y[:n])))

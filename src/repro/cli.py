@@ -4,8 +4,14 @@ Commands:
 
 * ``report [EXHIBIT ...]`` — regenerate paper tables/figures (default all);
 * ``run GRAPH.json --input name=val,val,...`` — import a JSON graph
-  (see :mod:`repro.compiler.importer`), compile, simulate, print outputs
-  and run statistics;
+  (see :mod:`repro.compiler.importer`), compile through the
+  :class:`~repro.engine.InferenceEngine`, simulate, and print the
+  :class:`~repro.serve.RunResult` summary (float outputs + cycle/energy
+  stats).  ``--batch-file FILE.json`` runs a whole request list as one
+  SIMD-over-batch pass;
+* ``serve GRAPH.json`` — demo of the async serving front-end: N
+  concurrent clients stream through :class:`~repro.serve.PumaServer`
+  and the batching counters are printed;
 * ``disasm GRAPH.json`` — compile a graph and print the per-core/tile
   assembly listings;
 * ``metrics`` — the Table 6 node metrics for the default configuration.
@@ -14,6 +20,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -49,49 +56,145 @@ def _parse_inputs(pairs: list[str]) -> dict[str, np.ndarray]:
     return inputs
 
 
-def _compile_graph(path: str):
-    from repro import compile_model, default_config
+def _build_engine(path: str, seed: int = 0):
+    from repro import default_config
     from repro.compiler.importer import import_graph_file
+    from repro.engine import InferenceEngine
 
-    config = default_config()
-    model = import_graph_file(path)
-    return config, compile_model(model, config)
+    return InferenceEngine(import_graph_file(path), default_config(),
+                           seed=seed)
+
+
+def _fill_missing_inputs(engine, provided: dict[str, np.ndarray],
+                         seed: int) -> dict[str, np.ndarray] | None:
+    """Complete a float request, randomizing absent inputs (with a note).
+
+    Returns None (after printing to stderr) if a provided name does not
+    exist in the compiled program — a typo'd name must fail loudly, not
+    silently fall back to random values.
+    """
+    layout = engine.program.input_layout
+    unknown = sorted(set(provided) - set(layout))
+    if unknown:
+        print(f"unknown input name(s): {', '.join(unknown)}; program "
+              f"inputs are: {', '.join(sorted(layout))}", file=sys.stderr)
+        return None
+    rng = np.random.default_rng(seed)
+    inputs = {}
+    for name, (_tile, _addr, length) in layout.items():
+        if name in provided:
+            inputs[name] = provided[name]
+        else:
+            inputs[name] = rng.normal(0, 0.3, size=length)
+            print(f"(input {name!r} not provided; using random values)")
+    return inputs
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro import Simulator
-    from repro.fixedpoint import FixedPointFormat
-
-    fmt = FixedPointFormat()
-    config, compiled = _compile_graph(args.graph)
+    if args.batch_file and args.input:
+        print("--input and --batch-file are mutually exclusive: the batch "
+              "file carries every request's inputs", file=sys.stderr)
+        return 2
+    engine = _build_engine(args.graph, seed=args.seed)
+    if args.batch_file:
+        return _run_batch_file(engine, args.batch_file)
     provided = _parse_inputs(args.input or [])
-    rng = np.random.default_rng(args.seed)
-    inputs = {}
-    for name, (_tile, _addr, length) in \
-            compiled.program.input_layout.items():
-        if name in provided:
-            if provided[name].size != length:
-                raise SystemExit(
-                    f"input {name!r} expects {length} values, got "
-                    f"{provided[name].size}")
-            inputs[name] = fmt.quantize(provided[name])
-        else:
-            inputs[name] = fmt.quantize(rng.normal(0, 0.3, size=length))
-            print(f"(input {name!r} not provided; using random values)")
-    sim = Simulator(config, compiled.program, seed=args.seed)
-    outputs = sim.run(inputs)
-    for name, values in outputs.items():
-        print(f"{name} = {np.array2string(fmt.dequantize(values), precision=4)}")
+    inputs = _fill_missing_inputs(engine, provided, args.seed)
+    if inputs is None:
+        return 2
+    try:
+        result = engine.predict(inputs)
+    except ValueError as error:
+        print(f"invalid input: {error}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    return 0
+
+
+def _run_batch_file(engine, path: str) -> int:
+    """One SIMD-over-batch pass over a JSON list of requests.
+
+    The file holds ``[{"x": [..], ...}, ...]`` — one object per request,
+    float values, every request naming every model input.
+    """
+    with open(path) as handle:
+        requests = json.load(handle)
+    if not isinstance(requests, list) or not requests or \
+            not all(isinstance(req, dict) for req in requests):
+        print(f"{path}: expected a non-empty JSON list of "
+              "{input name: [values]} objects", file=sys.stderr)
+        return 2
+    try:
+        stacked = {
+            name: np.stack([np.asarray(req[name], dtype=np.float64)
+                            for req in requests])
+            for name in requests[0]
+        }
+    except KeyError as missing:
+        print(f"{path}: every request must name input {missing}",
+              file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as error:
+        print(f"{path}: malformed request values (every request must give "
+              f"the same-length numeric lists): {error}", file=sys.stderr)
+        return 2
+    try:
+        result = engine.predict(stacked)
+    except ValueError as error:
+        print(f"invalid batch: {error}", file=sys.stderr)
+        return 2
+    for index in range(len(requests)):
+        lane = result.lane(index)
+        for name, values in lane.outputs.items():
+            print(f"[{index}] {name} = "
+                  f"{np.array2string(values, precision=4)}")
     print()
-    print(sim.stats.summary())
+    print(f"batch {result.batch}: {result.cycles} cycles total, "
+          f"{result.cycles_per_inference:.0f} cycles/inference, "
+          f"{result.energy_per_inference_j * 1e9:.3f} nJ/inference")
+    print(result.stats.summary())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Headless serving demo: concurrent clients, dynamic batching."""
+    import asyncio
+
+    from repro.engine import compile_cache_info
+    from repro.serve import PumaServer
+
+    engine = _build_engine(args.graph, seed=args.seed)
+    layout = engine.program.input_layout
+    rng = np.random.default_rng(args.seed)
+    requests = [
+        {name: rng.normal(0, 0.3, size=length)
+         for name, (_t, _a, length) in layout.items()}
+        for _ in range(args.requests)
+    ]
+
+    async def serve_all():
+        async with PumaServer(engine, max_batch_size=args.max_batch,
+                              batch_window_s=args.window) as server:
+            results = await asyncio.gather(
+                *(server.submit(request) for request in requests))
+        return results, server.counters
+
+    results, counters = asyncio.run(serve_all())
+    for index, result in enumerate(results):
+        for name in result:
+            print(f"[{index}] {name} = "
+                  f"{np.array2string(result.outputs[name], precision=4)}")
+    print()
+    print(counters.summary())
+    print(f"compile cache: {compile_cache_info()}")
     return 0
 
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
     from repro.isa.assembler import disassemble
 
-    _config, compiled = _compile_graph(args.graph)
-    for tile_id, tile in sorted(compiled.program.tiles.items()):
+    engine = _build_engine(args.graph)
+    for tile_id, tile in sorted(engine.compiled.program.tiles.items()):
         if tile.tile_instructions:
             print(f"; ---- tile {tile_id} control stream")
             print(disassemble(tile.tile_instructions, numbered=True))
@@ -130,8 +233,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("graph", help="path to the graph description (JSON)")
     run.add_argument("--input", action="append", metavar="NAME=V1,V2,...",
                      help="input values (repeatable)")
+    run.add_argument("--batch-file", metavar="REQUESTS.json",
+                     help="JSON list of {input: [values]} requests, run "
+                          "as one SIMD-over-batch pass")
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(fn=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve", help="async serving demo (queue + dynamic batching)")
+    serve.add_argument("graph", help="path to the graph description (JSON)")
+    serve.add_argument("--requests", type=int, default=16,
+                       help="number of concurrent clients (default 16)")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="dynamic batching limit (default 8)")
+    serve.add_argument("--window", type=float, default=0.05,
+                       help="batching window in seconds (default 0.05)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(fn=_cmd_serve)
 
     disasm = sub.add_parser("disasm",
                             help="compile a JSON graph and print assembly")

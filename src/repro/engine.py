@@ -8,18 +8,22 @@ that pattern:
 
 * ``compile_model`` runs once per (model, config, options) triple; the
   resulting :class:`~repro.compiler.compile.CompiledModel` is cached
-  process-wide, so constructing several engines (or re-constructing one)
-  for the same model is cheap;
-* :meth:`run_batch` executes a whole ``(batch, length)`` input matrix in a
-  single simulator pass — every instruction operates on all lanes at once
-  (PUMA programs are control-uniform across inputs), so the Python/event
-  overhead of the detailed simulator is paid once per *batch* instead of
-  once per *input*;
-* :meth:`run_sequential` is the reference fallback: one classic
-  single-input simulation per row.  Batched and sequential results are
-  bitwise identical for deterministic programs (anything without the
-  RANDOM op), for both ideal and noisy crossbar models — the property
-  tests in ``tests/test_batched_engine.py`` enforce this.
+  process-wide (:func:`compile_cache_info` reports hits/misses), so
+  constructing several engines for the same model is cheap;
+* :meth:`predict` is the float-first entry point: it validates named float
+  inputs against the compiled program's ``input_layout``, quantizes them,
+  executes the whole ``(batch, length)`` matrix in a single
+  SIMD-over-batch simulator pass, and returns a typed
+  :class:`~repro.serve.types.RunResult` carrying float and fixed-point
+  output views plus the run's :class:`~repro.sim.stats.SimulationStats`;
+* :meth:`run_batch` is the same pass for callers already holding
+  fixed-point words; :meth:`run_sequential` is the reference fallback (one
+  single-input simulation per row) — batched and sequential results are
+  bitwise identical for deterministic programs, for both ideal and noisy
+  crossbar models (``tests/test_batched_engine.py`` enforces this).
+
+For an async front-end with queueing and dynamic micro-batching on top of
+this engine, see :class:`repro.serve.PumaServer`.
 
 Quickstart::
 
@@ -27,12 +31,17 @@ Quickstart::
     from repro.workloads.mlp import build_mlp_model
 
     engine = InferenceEngine(build_mlp_model([64, 150, 150, 14]), seed=0)
-    y = engine.run_batch({"x": engine.quantize(x_float)})["out"]
+    result = engine.predict({"x": x_float})     # (batch, 64) floats in
+    y = result.outputs["out"]                   # (batch, 14) floats out
+    print(result.cycles_per_inference, result.stats.summary())
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 import weakref
+from typing import Mapping, NamedTuple
 
 import numpy as np
 
@@ -41,45 +50,88 @@ from repro.arch.crossbar import CrossbarModel
 from repro.compiler.compile import CompiledModel, compile_model
 from repro.compiler.frontend import Model
 from repro.compiler.options import CompilerOptions
+from repro.serve.types import RunResult
 from repro.sim.simulator import Simulator
 from repro.sim.stats import SimulationStats
 
 # model -> {config/options fingerprint -> CompiledModel}.  Weak keys: the
 # cache must not keep dead models (and their weight arrays) alive.
-_COMPILE_CACHE: "weakref.WeakKeyDictionary[Model, dict[str, CompiledModel]]" \
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[Model, dict[tuple, CompiledModel]]" \
     = weakref.WeakKeyDictionary()
+_cache_hits = 0
+_cache_misses = 0
+
+
+def _fingerprint_value(value):
+    """A hashable, value-based key component.
+
+    Dataclasses decompose field by field (recursively), so the key covers
+    exactly what the instance *holds* — unlike ``repr``, which would miss
+    ``repr=False`` fields and collide for distinct types with equal
+    string forms.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__qualname__, tuple(
+            (f.name, _fingerprint_value(getattr(value, f.name)))
+            for f in dataclasses.fields(value)))
+    if isinstance(value, (list, tuple)):
+        return (type(value).__name__,
+                tuple(_fingerprint_value(v) for v in value))
+    if isinstance(value, dict):
+        return ("dict", tuple(sorted(
+            (k, _fingerprint_value(v)) for k, v in value.items())))
+    return value
 
 
 def _cache_fingerprint(config: PumaConfig,
-                       options: CompilerOptions | None) -> str:
-    """A stable key for the compile-relevant arguments.
+                       options: CompilerOptions | None) -> tuple:
+    """A stable value key for the compile-relevant arguments."""
+    return (_fingerprint_value(config), _fingerprint_value(options))
 
-    Configs and options are small dataclasses whose ``repr`` covers every
-    field, which makes a faithful value key without requiring hashability.
-    """
-    return f"{config!r}|{options!r}"
+
+class CompileCacheInfo(NamedTuple):
+    """Process-wide compile-cache statistics (cf. ``functools.lru_cache``)."""
+
+    hits: int
+    misses: int
+    entries: int
 
 
 def compile_cached(model: Model, config: PumaConfig,
                    options: CompilerOptions | None = None) -> CompiledModel:
     """Compile ``model`` for ``config``, memoized on (model, config, options)."""
+    global _cache_hits, _cache_misses
     per_model = _COMPILE_CACHE.setdefault(model, {})
     key = _cache_fingerprint(config, options)
-    if key not in per_model:
+    if key in per_model:
+        _cache_hits += 1
+    else:
+        _cache_misses += 1
         per_model[key] = compile_model(model, config, options)
     return per_model[key]
 
 
+def compile_cache_info() -> CompileCacheInfo:
+    """Hits/misses/live-entry counts of the process-wide compile cache."""
+    entries = sum(len(compiled) for compiled in _COMPILE_CACHE.values())
+    return CompileCacheInfo(hits=_cache_hits, misses=_cache_misses,
+                            entries=entries)
+
+
 def clear_compile_cache() -> None:
-    """Drop every cached compilation (tests, memory pressure)."""
+    """Drop every cached compilation and reset the hit/miss counters."""
+    global _cache_hits, _cache_misses
     _COMPILE_CACHE.clear()
+    _cache_hits = 0
+    _cache_misses = 0
 
 
 class InferenceEngine:
     """Serves batched inference for one compiled model.
 
     Args:
-        model: the frontend model to serve.
+        model: the frontend model to serve (``None`` only via
+            :meth:`from_compiled`).
         config: accelerator configuration (Table 3 defaults when omitted).
         options: compiler options; part of the compile-cache key.
         crossbar_model: overrides the device model (noise studies).
@@ -92,22 +144,63 @@ class InferenceEngine:
         compiled: the (cached) compilation artifacts.
         program: the executable :class:`~repro.isa.program.NodeProgram`.
         fmt: the datapath fixed-point format.
-        last_stats: simulation statistics of the most recent run.
     """
 
-    def __init__(self, model: Model, config: PumaConfig | None = None,
+    def __init__(self, model: Model | None, config: PumaConfig | None = None,
                  options: CompilerOptions | None = None,
                  crossbar_model: CrossbarModel | None = None,
-                 seed: int | None = 0) -> None:
+                 seed: int | None = 0, *,
+                 compiled: CompiledModel | None = None) -> None:
+        if (model is None) == (compiled is None):
+            raise ValueError(
+                "provide exactly one of 'model' (compiled through the "
+                "cache) or 'compiled' (a pre-built CompiledModel)")
         self.model = model
         self.config = config if config is not None else PumaConfig()
         self.options = options
         self.crossbar_model = crossbar_model
         self.seed = seed
-        self.compiled = compile_cached(model, self.config, options)
+        if compiled is not None:
+            self.compiled = compiled
+        else:
+            self.compiled = compile_cached(model, self.config, options)
         self.program = self.compiled.program
         self.fmt = self.config.core.fixed_point
-        self.last_stats: SimulationStats | None = None
+        self._last_stats: SimulationStats | None = None
+
+    @classmethod
+    def from_compiled(cls, compiled: CompiledModel,
+                      config: PumaConfig | None = None, *,
+                      crossbar_model: CrossbarModel | None = None,
+                      seed: int | None = 0) -> "InferenceEngine":
+        """Serve an already-compiled model (CNN lowering, importer output).
+
+        Bypasses the compile cache — the caller owns the compilation.
+        """
+        return cls(None, config, crossbar_model=crossbar_model, seed=seed,
+                   compiled=compiled)
+
+    # -- deprecated mutable state ------------------------------------------
+
+    @property
+    def last_stats(self) -> SimulationStats | None:
+        """Deprecated: stats of the most recent run.
+
+        Mutable per-engine state is a hazard once a server interleaves
+        runs; read ``.stats`` on the :class:`RunResult` a run returns.
+        """
+        warnings.warn(
+            "InferenceEngine.last_stats is deprecated; use the RunResult "
+            "returned by predict()/run_batch()/run_sequential() "
+            "(its .stats attribute)", DeprecationWarning, stacklevel=2)
+        return self._last_stats
+
+    @last_stats.setter
+    def last_stats(self, value: SimulationStats | None) -> None:
+        warnings.warn(
+            "InferenceEngine.last_stats is deprecated; stats travel on "
+            "RunResult now", DeprecationWarning, stacklevel=2)
+        self._last_stats = value
 
     # -- data formatting ---------------------------------------------------
 
@@ -119,8 +212,31 @@ class InferenceEngine:
         """Fixed-point words -> real values (any shape)."""
         return self.fmt.dequantize(words)
 
-    def _infer_batch(self, inputs: dict[str, np.ndarray]) -> int:
-        """Batch size implied by the input shapes (rows of 2-D inputs)."""
+    # -- input validation --------------------------------------------------
+
+    def _check_names(self, inputs: Mapping[str, np.ndarray]) -> None:
+        """Every program input present, nothing extra."""
+        layout = self.program.input_layout
+        unknown = sorted(set(inputs) - set(layout))
+        if unknown:
+            raise ValueError(
+                f"unknown input name(s) {unknown}; program inputs are "
+                f"{sorted(layout)}")
+        missing = sorted(set(layout) - set(inputs))
+        if missing:
+            raise ValueError(
+                f"missing input(s) {missing}; program inputs are "
+                f"{sorted(layout)}")
+
+    def _infer_batch(self, inputs: Mapping[str, np.ndarray]) -> int:
+        """Batch size implied by the input shapes (rows of 2-D inputs).
+
+        Validates each value against the compiled ``input_layout``: 1-D
+        vectors (broadcast to every lane) and ``(batch, length)`` matrices
+        are accepted, per-lane lengths must match the layout, and all 2-D
+        inputs must agree on the batch size.
+        """
+        layout = self.program.input_layout
         batch: int | None = None
         for name, values in inputs.items():
             arr = np.asarray(values)
@@ -134,7 +250,29 @@ class InferenceEngine:
                 raise ValueError(
                     f"input {name!r} must be 1-D or (batch, length), "
                     f"got shape {arr.shape}")
+            if name in layout:
+                length = layout[name][2]
+                if arr.shape[-1] != length:
+                    raise ValueError(
+                        f"input {name!r} expects {length} values per "
+                        f"inference, got {arr.shape[-1]} "
+                        f"(shape {arr.shape})")
         return batch if batch is not None else 1
+
+    def validate_request(self, inputs: Mapping[str, np.ndarray]) -> None:
+        """Validate one single-inference request (1-D vectors only).
+
+        The fail-fast check :class:`repro.serve.PumaServer` runs at
+        ``submit`` time, before a request can poison a coalesced batch.
+        """
+        self._check_names(inputs)
+        for name, values in inputs.items():
+            arr = np.asarray(values)
+            if arr.ndim != 1:
+                raise ValueError(
+                    f"request input {name!r} must be a 1-D vector "
+                    f"(one inference), got shape {arr.shape}")
+        self._infer_batch(inputs)
 
     def _simulator(self, batch: int) -> Simulator:
         return Simulator(self.config, self.program,
@@ -143,9 +281,34 @@ class InferenceEngine:
 
     # -- execution ---------------------------------------------------------
 
-    def run_batch(self, inputs: dict[str, np.ndarray]
-                  ) -> dict[str, np.ndarray]:
-        """Run a whole batch through one SIMD-over-batch simulation.
+    def predict(self, inputs: Mapping[str, np.ndarray]) -> RunResult:
+        """Float-first inference: real values in, :class:`RunResult` out.
+
+        Args:
+            inputs: real-valued arrays per input name — ``(length,)``
+                vectors are broadcast to every lane, ``(batch, length)``
+                matrices carry one inference per row.  Quantization to the
+                datapath fixed-point format happens here.
+
+        Returns:
+            The run's :class:`RunResult`; read dequantized floats from
+            ``result.outputs`` and raw words via the mapping interface.
+
+        Raises:
+            ValueError: unknown/missing input names, per-lane lengths that
+                disagree with the compiled ``input_layout``, or
+                inconsistent batch sizes — checked up front, before any
+                simulation starts.
+        """
+        arrays = {name: np.asarray(values, dtype=np.float64)
+                  for name, values in inputs.items()}
+        # Validation (names, lengths, batch consistency) happens in
+        # run_batch; quantization preserves every checked property.
+        return self.run_batch({name: self.quantize(arr)
+                               for name, arr in arrays.items()})
+
+    def run_batch(self, inputs: Mapping[str, np.ndarray]) -> RunResult:
+        """Run a whole batch of fixed-point words in one SIMD pass.
 
         Args:
             inputs: fixed-point words per input name; ``(batch, length)``
@@ -153,21 +316,24 @@ class InferenceEngine:
                 to every lane (shared conditioning inputs).
 
         Returns:
-            Outputs by name, ``(batch, length)`` (or ``(length,)`` when the
-            batch size is 1).
+            The :class:`RunResult` — a mapping over the fixed-point output
+            words (``(batch, length)``, or ``(length,)`` when the batch
+            size is 1) that also carries float views and the pass's stats.
         """
+        self._check_names(inputs)
         batch = self._infer_batch(inputs)
         sim = self._simulator(batch)
-        outputs = sim.run(dict(inputs))
-        self.last_stats = sim.stats
-        return outputs
+        words = sim.run(dict(inputs))
+        self._last_stats = sim.stats
+        return RunResult(words=words, fmt=self.fmt, stats=sim.stats,
+                         batch=batch)
 
-    def run(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
-        """Run a single input (1-D vectors) through the simulator."""
+    def run(self, inputs: Mapping[str, np.ndarray]) -> RunResult:
+        """Run a single input (1-D fixed-point vectors) through the
+        simulator."""
         return self.run_batch(inputs)
 
-    def run_sequential(self, inputs: dict[str, np.ndarray]
-                       ) -> dict[str, np.ndarray]:
+    def run_sequential(self, inputs: Mapping[str, np.ndarray]) -> RunResult:
         """Reference path: one single-input simulation per batch row.
 
         Produces outputs shaped exactly like :meth:`run_batch` (stacked
@@ -175,12 +341,19 @@ class InferenceEngine:
         must not share a simulator (e.g. stochastic RANDOM-op workloads
         where each input should draw fresh noise).
 
-        ``last_stats`` holds the stats of the final row's run.
+        The result's ``stats`` are the final row's run (matching the
+        legacy ``last_stats`` contract); ``lane_stats`` carries every
+        row's stats.
         """
+        self._check_names(inputs)
         batch = self._infer_batch(inputs)
         if batch == 1:
-            return self.run_batch(inputs)
+            result = self.run_batch(inputs)
+            return RunResult(words=result.words, fmt=result.fmt,
+                             stats=result.stats, batch=1,
+                             lane_stats=(result.stats,))
         rows: list[dict[str, np.ndarray]] = []
+        lane_stats: list[SimulationStats] = []
         for lane in range(batch):
             lane_inputs = {
                 name: (np.asarray(values)[lane]
@@ -189,6 +362,9 @@ class InferenceEngine:
             }
             sim = self._simulator(1)
             rows.append(sim.run(lane_inputs))
-            self.last_stats = sim.stats
-        return {name: np.stack([row[name] for row in rows])
-                for name in rows[0]}
+            lane_stats.append(sim.stats)
+            self._last_stats = sim.stats
+        words = {name: np.stack([row[name] for row in rows])
+                 for name in rows[0]}
+        return RunResult(words=words, fmt=self.fmt, stats=lane_stats[-1],
+                         batch=batch, lane_stats=tuple(lane_stats))

@@ -122,10 +122,9 @@ def measured_batch_rows(batch_sizes: tuple[int, ...] = MEASURED_BATCH_SIZES,
     for batch in batch_sizes:
         x = engine.quantize(rng.normal(0.0, 0.5, size=(batch, dims[0])))
         batched = engine.run_batch({"x": x})
-        stats = engine.last_stats
-        assert stats is not None
-        cycles_per_inf = stats.cycles / batch
-        energy_per_inf = stats.total_energy_j / batch
+        stats = batched.stats
+        cycles_per_inf = batched.cycles_per_inference
+        energy_per_inf = batched.energy_per_inference_j
         if base_cycles_per_inf is None:
             base_cycles_per_inf = cycles_per_inf
             base_energy_per_inf = energy_per_inf

@@ -30,16 +30,13 @@ from functools import lru_cache
 import numpy as np
 
 from repro.arch.config import PumaConfig
-from repro.compiler import CompilerOptions, compile_model
+from repro.compiler import CompilerOptions
 from repro.compiler.cnn import compile_cnn
+from repro.engine import InferenceEngine
 from repro.figures.common import format_table
-from repro.fixedpoint import FixedPointFormat
 from repro.perf import estimate_puma
-from repro.sim import Simulator
 from repro.workloads.cnn import build_lenet5_spec
 from repro.workloads.registry import FIGURE4_WORKLOADS, benchmark, figure4_model
-
-FMT = FixedPointFormat()
 
 # The paper's no-pipelining shared-memory sizing factors (Section 7.5).
 SIZING_FACTORS = {
@@ -53,14 +50,15 @@ _SIM_WORKLOADS = [n for n in FIGURE4_WORKLOADS if "CNN" not in n]
 
 
 def _simulate(model, config, options, seed=0):
-    compiled = compile_model(model, config, options)
-    sim = Simulator(config, compiled.program, seed=seed)
+    """Compile + run one random inference; returns (compiled, RunResult)."""
+    engine = InferenceEngine(model, config, options, seed=seed)
     rng = np.random.default_rng(seed)
-    inputs = {}
-    for name, (_tile, _addr, length) in compiled.program.input_layout.items():
-        inputs[name] = FMT.quantize(rng.normal(0, 0.3, size=length))
-    sim.run(inputs)
-    return compiled, sim
+    inputs = {
+        name: rng.normal(0, 0.3, size=length)
+        for name, (_tile, _addr, length)
+        in engine.program.input_layout.items()
+    }
+    return engine.compiled, engine.predict(inputs)
 
 
 def input_shuffling_ratios(config: PumaConfig | None = None
@@ -79,11 +77,11 @@ def input_shuffling_ratios(config: PumaConfig | None = None
     load_words = {}
     for shuffle in (True, False):
         compiled = compile_cnn(spec, config, input_shuffle=shuffle)
-        sim = Simulator(config, compiled.program, seed=0)
+        engine = InferenceEngine.from_compiled(compiled, config, seed=0)
         image = np.random.default_rng(3).uniform(-0.5, 0.5, size=32 * 32)
-        sim.run({"image": FMT.quantize(image)})
-        energies[shuffle] = sim.stats.total_energy_j
-        load_words[shuffle] = sim.stats.words_by_opcode[Opcode.LOAD]
+        result = engine.predict({"image": image})
+        energies[shuffle] = result.stats.total_energy_j
+        load_words[shuffle] = result.stats.words_by_opcode[Opcode.LOAD]
     return {
         "energy_ratio": energies[True] / energies[False],
         "load_words_ratio": load_words[True] / load_words[False],

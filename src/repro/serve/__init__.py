@@ -1,0 +1,18 @@
+"""The serving API: typed requests/results and the async front-end.
+
+* :class:`RunResult` / :class:`InferenceRequest` — the typed values
+  crossing the serving boundary (:mod:`repro.serve.types`);
+* :class:`PumaServer` — asyncio request queue + dynamic micro-batching
+  over an :class:`~repro.engine.InferenceEngine`
+  (:mod:`repro.serve.server`).
+"""
+
+from repro.serve.types import InferenceRequest, RunResult
+from repro.serve.server import PumaServer, ServerCounters
+
+__all__ = [
+    "InferenceRequest",
+    "RunResult",
+    "PumaServer",
+    "ServerCounters",
+]

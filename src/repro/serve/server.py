@@ -1,0 +1,249 @@
+"""PumaServer: an async serving front-end with dynamic micro-batching.
+
+The programmed crossbars are a fixed endpoint (Section 3.2.5: weights are
+written once at configuration time); serving is software's job.
+:class:`PumaServer` is that layer: concurrent clients submit single
+inferences, the server coalesces whatever is waiting — up to
+``max_batch_size`` requests, gathered for at most ``batch_window_s``
+seconds — into one SIMD-over-batch pass on the
+:class:`~repro.engine.InferenceEngine`, and each client gets back its own
+:class:`~repro.serve.types.RunResult`.  Because batched execution is
+bitwise identical to sequential single-input runs (the engine's core
+guarantee), coalescing is invisible to clients except in throughput.
+
+Usage::
+
+    engine = InferenceEngine(model, seed=0)
+    async with PumaServer(engine, max_batch_size=16) as server:
+        results = await asyncio.gather(
+            *(server.submit({"x": x}) for x in requests))
+    print(server.counters.summary())
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.serve.types import InferenceRequest, RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.engine import InferenceEngine
+
+
+@dataclass
+class ServerCounters:
+    """Aggregate serving statistics, updated per coalesced batch.
+
+    Attributes:
+        max_batch_size: the server's batching limit (denominator of
+            :attr:`mean_occupancy`).
+        requests_served: requests answered successfully.
+        requests_failed: requests answered with an exception.
+        batches_formed: simulator passes executed.
+        lanes_simulated: total batch lanes across all passes (equals
+            ``requests_served`` + failed lanes).
+    """
+
+    max_batch_size: int = 1
+    requests_served: int = 0
+    requests_failed: int = 0
+    batches_formed: int = 0
+    lanes_simulated: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of requests coalesced per simulator pass."""
+        if self.batches_formed == 0:
+            return 0.0
+        return self.lanes_simulated / self.batches_formed
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Mean batch fill fraction relative to ``max_batch_size``."""
+        return self.mean_batch_size / self.max_batch_size
+
+    def summary(self) -> str:
+        return (f"requests served: {self.requests_served}, "
+                f"batches formed: {self.batches_formed}, "
+                f"mean batch size: {self.mean_batch_size:.2f} "
+                f"({self.mean_occupancy * 100:.0f}% of "
+                f"max {self.max_batch_size})")
+
+
+@dataclass
+class _Pending:
+    """A queued request plus the future its client is awaiting."""
+
+    request: InferenceRequest
+    future: "asyncio.Future[RunResult]" = field(repr=False)
+
+
+_STOP = object()
+
+
+class PumaServer:
+    """Queueing + dynamic-batching front-end over one inference engine.
+
+    Args:
+        engine: the :class:`~repro.engine.InferenceEngine` to serve.  The
+            engine's compiled program and seed are fixed for the server's
+            lifetime (program the crossbars once, stream requests through).
+        max_batch_size: most requests coalesced into one simulator pass.
+        batch_window_s: how long to hold an under-full batch open waiting
+            for more arrivals before dispatching it.
+
+    Requests are float-first: clients submit 1-D float vectors per model
+    input and receive dequantized floats (plus the fixed-point words) in
+    their :class:`RunResult`.  Validation happens at ``submit`` time, so a
+    malformed request fails fast in the caller instead of poisoning a
+    batch.
+    """
+
+    def __init__(self, engine: "InferenceEngine", *,
+                 max_batch_size: int = 16,
+                 batch_window_s: float = 0.002) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, "
+                             f"got {max_batch_size}")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        self.engine = engine
+        self.max_batch_size = max_batch_size
+        self.batch_window_s = batch_window_s
+        self.counters = ServerCounters(max_batch_size=max_batch_size)
+        self._queue: asyncio.Queue | None = None
+        self._batcher_task: asyncio.Task | None = None
+        self._closed = False
+        self._next_request_id = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "PumaServer":
+        """Spawn the batching loop; idempotent."""
+        if self._batcher_task is None:
+            self._queue = asyncio.Queue()
+            self._closed = False
+            self._batcher_task = asyncio.create_task(self._batch_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Graceful shutdown: serve everything already queued, then exit."""
+        if self._batcher_task is None:
+            return
+        self._closed = True
+        self._queue.put_nowait(_STOP)
+        await self._batcher_task
+        self._batcher_task = None
+        self._queue = None
+
+    async def __aenter__(self) -> "PumaServer":
+        return await self.start()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    # -- client API --------------------------------------------------------
+
+    async def submit(self, inputs: dict[str, np.ndarray]) -> RunResult:
+        """Submit one inference (float 1-D vectors by input name).
+
+        Returns this request's :class:`RunResult` once the batch it was
+        coalesced into completes.  Raises :class:`ValueError` immediately
+        for unknown/missing input names or wrong vector lengths, and
+        :class:`RuntimeError` if the server is not running.
+        """
+        if self._batcher_task is None or self._closed:
+            raise RuntimeError("server is not running (use 'async with "
+                               "PumaServer(engine):' or await start())")
+        request = InferenceRequest(
+            inputs={name: np.asarray(values, dtype=np.float64)
+                    for name, values in inputs.items()},
+            request_id=self._next_request_id)
+        self._next_request_id += 1
+        self.engine.validate_request(request.inputs)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait(_Pending(request, future))
+        return await future
+
+    # -- batching loop -----------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is _STOP:
+                if self._queue.empty():
+                    return
+                # Requests raced in behind the sentinel: serve them, then
+                # re-check.
+                self._queue.put_nowait(_STOP)
+                continue
+            batch = [first]
+            stopping = self._drain_into(batch)
+            if not stopping and len(batch) < self.max_batch_size:
+                stopping = await self._wait_for_arrivals(loop, batch)
+            await self._serve_batch(batch)
+            if stopping:
+                self._queue.put_nowait(_STOP)
+
+    def _drain_into(self, batch: list) -> bool:
+        """Move already-queued requests into ``batch`` (no waiting).
+
+        Returns True if the stop sentinel was seen.
+        """
+        while len(batch) < self.max_batch_size:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return False
+            if item is _STOP:
+                return True
+            batch.append(item)
+        return False
+
+    async def _wait_for_arrivals(self, loop, batch: list) -> bool:
+        """Hold the batch open for up to ``batch_window_s`` more seconds."""
+        deadline = loop.time() + self.batch_window_s
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return False
+            try:
+                item = await asyncio.wait_for(self._queue.get(), remaining)
+            except asyncio.TimeoutError:
+                return False
+            if item is _STOP:
+                return True
+            batch.append(item)
+            if self._drain_into(batch):
+                return True
+        return False
+
+    async def _serve_batch(self, batch: list) -> None:
+        """One coalesced SIMD-over-batch pass; resolve every future."""
+        loop = asyncio.get_running_loop()
+        stacked = {
+            name: np.stack([p.request.inputs[name] for p in batch])
+            for name in batch[0].request.inputs
+        }
+        self.counters.batches_formed += 1
+        self.counters.lanes_simulated += len(batch)
+        try:
+            # The simulator pass is pure CPU; run it off-loop so new
+            # requests keep queueing (and coalescing) while it executes.
+            result = await loop.run_in_executor(
+                None, self.engine.predict, stacked)
+        except Exception as exc:  # noqa: BLE001 - fail every rider
+            self.counters.requests_failed += len(batch)
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        for index, pending in enumerate(batch):
+            self.counters.requests_served += 1
+            if not pending.future.done():
+                pending.future.set_result(result.lane(index))

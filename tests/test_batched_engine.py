@@ -150,10 +150,9 @@ def test_batched_stats_amortize_control():
     engine = InferenceEngine(build_mlp_model([64, 40, 14], seed=0), CFG,
                              seed=0)
     inputs = random_inputs(engine, batch=16, seed=0)
-    engine.run_batch(inputs)
-    batched_cycles = engine.last_stats.cycles
-    engine.run_batch({k: v[0] for k, v in inputs.items()})
-    single_cycles = engine.last_stats.cycles
+    batched_cycles = engine.run_batch(inputs).stats.cycles
+    single_cycles = engine.run_batch(
+        {k: v[0] for k, v in inputs.items()}).stats.cycles
     assert batched_cycles < 16 * single_cycles
 
 

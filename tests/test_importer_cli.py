@@ -117,10 +117,73 @@ class TestCli:
         out = capsys.readouterr().out
         assert "out =" in out
         assert "cycles:" in out
+        assert "energy:" in out
+        assert "cycles/inference" in out
 
     def test_run_random_inputs(self, graph_file, capsys):
         assert main(["run", graph_file]) == 0
         assert "not provided" in capsys.readouterr().out
+
+    def test_run_unknown_input_name_fails(self, graph_file, capsys):
+        """A typo'd --input name must exit non-zero, not silently
+        randomize the real input."""
+        code = main(["run", graph_file,
+                     "--input", "xx=" + ",".join(["0.1"] * 32)])
+        assert code != 0
+        err = capsys.readouterr().err
+        assert "unknown input name" in err
+        assert "xx" in err
+
+    def test_run_wrong_length_fails(self, graph_file, capsys):
+        code = main(["run", graph_file, "--input", "x=0.1,0.2"])
+        assert code != 0
+        assert "expects 32 values" in capsys.readouterr().err
+
+    def test_run_batch_file(self, graph_file, tmp_path, capsys):
+        requests = [{"x": [0.1] * 32}, {"x": [-0.2] * 32},
+                    {"x": [0.05] * 32}]
+        batch_path = tmp_path / "requests.json"
+        batch_path.write_text(json.dumps(requests))
+        assert main(["run", graph_file,
+                     "--batch-file", str(batch_path)]) == 0
+        out = capsys.readouterr().out
+        for i in range(3):
+            assert f"[{i}] out =" in out
+        assert "batch 3:" in out
+        assert "cycles/inference" in out
+
+    def test_run_batch_file_malformed(self, graph_file, tmp_path, capsys):
+        batch_path = tmp_path / "requests.json"
+        batch_path.write_text(json.dumps({"x": [0.1] * 32}))
+        assert main(["run", graph_file,
+                     "--batch-file", str(batch_path)]) != 0
+        assert "JSON list" in capsys.readouterr().err
+
+    def test_run_batch_file_ragged_rows(self, graph_file, tmp_path, capsys):
+        batch_path = tmp_path / "requests.json"
+        batch_path.write_text(json.dumps([{"x": [0.1] * 32},
+                                          {"x": [0.1] * 31}]))
+        assert main(["run", graph_file,
+                     "--batch-file", str(batch_path)]) != 0
+        assert "malformed request values" in capsys.readouterr().err
+
+    def test_run_batch_file_conflicts_with_input(self, graph_file,
+                                                 tmp_path, capsys):
+        batch_path = tmp_path / "requests.json"
+        batch_path.write_text(json.dumps([{"x": [0.1] * 32}]))
+        assert main(["run", graph_file, "--input", "x=0.5",
+                     "--batch-file", str(batch_path)]) != 0
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_serve_demo(self, graph_file, capsys):
+        code = main(["serve", graph_file, "--requests", "5",
+                     "--max-batch", "4", "--window", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requests served: 5" in out
+        assert "batches formed:" in out
+        assert "[4] out =" in out
+        assert "compile cache:" in out
 
     def test_disasm(self, graph_file, capsys):
         assert main(["disasm", graph_file]) == 0

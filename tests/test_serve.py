@@ -1,0 +1,378 @@
+"""The serving API: typed results, float-first predict, async batching.
+
+Covers the serving-layer contracts:
+
+* :class:`RunResult` is both a typed result (float views, stats,
+  latency/energy summaries) and a mapping over the raw fixed-point words
+  (the legacy contract);
+* ``InferenceEngine.predict`` validates float inputs against the compiled
+  ``input_layout`` up front — unknown/missing names, wrong lengths, and
+  inconsistent batch sizes raise a clear ``ValueError`` instead of
+  failing deep inside the simulator;
+* :class:`PumaServer` coalesces N concurrent single requests into fewer
+  than N simulator passes, and every per-request output is bitwise
+  identical to the sequential single-input reference;
+* the compile cache is keyed by dataclass *fields* (with hit/miss
+  counters), and the mutable ``last_stats`` attribute is deprecated.
+
+Note: ``tests/`` may construct :class:`Simulator` directly (the simulator
+has its own unit tests); the grep-enforced API boundary below covers the
+library, examples, and benchmarks.
+"""
+
+import asyncio
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import (
+    InferenceEngine,
+    PumaServer,
+    RunResult,
+    default_config,
+    quick_run,
+)
+from repro.engine import (
+    clear_compile_cache,
+    compile_cache_info,
+    compile_cached,
+)
+from repro.serve import ServerCounters
+from repro.workloads.mlp import build_mlp_model, mlp_reference
+
+CFG = default_config()
+DIMS = [32, 24, 10]
+
+
+@pytest.fixture()
+def engine():
+    return InferenceEngine(build_mlp_model(DIMS, seed=0), CFG, seed=3)
+
+
+def float_inputs(batch, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, 0.5, size=(batch, DIMS[0]))
+
+
+# ---------------------------------------------------------------------------
+# RunResult
+
+
+class TestRunResult:
+    def test_mapping_over_fixed_point_words(self, engine):
+        result = engine.run_batch({"x": engine.quantize(float_inputs(3))})
+        assert isinstance(result, RunResult)
+        assert set(result) == {"out"}
+        assert len(result) == 1
+        assert result["out"].dtype == np.int64
+        assert result["out"].shape == (3, DIMS[-1])
+        assert "out" in result
+
+    def test_float_views_roundtrip(self, engine):
+        xs = float_inputs(4)
+        result = engine.predict({"x": xs})
+        np.testing.assert_array_equal(
+            result.outputs["out"], engine.dequantize(result["out"]))
+        np.testing.assert_array_equal(result.output("out"),
+                                      result.outputs["out"])
+        # single-output models may omit the name
+        np.testing.assert_array_equal(result.output(),
+                                      result.outputs["out"])
+
+    def test_latency_energy_summaries(self, engine):
+        result = engine.predict({"x": float_inputs(5)})
+        assert result.batch == 5
+        assert result.cycles == result.stats.cycles > 0
+        assert result.energy_j == result.stats.total_energy_j > 0
+        assert result.cycles_per_inference == result.cycles / 5
+        assert result.energy_per_inference_j == result.energy_j / 5
+        assert result.latency_ns == pytest.approx(
+            result.cycles * CFG.cycle_ns)
+
+    def test_summary_text(self, engine):
+        text = engine.predict({"x": float_inputs(1)[0]}).summary()
+        assert "out =" in text
+        assert "cycles:" in text
+        assert "energy:" in text
+
+    def test_lane_slicing(self, engine):
+        result = engine.predict({"x": float_inputs(4)})
+        for i in range(4):
+            lane = result.lane(i)
+            np.testing.assert_array_equal(lane["out"], result["out"][i])
+            assert lane["out"].ndim == 1
+            assert lane.batch == 4  # the pass the lane rode in
+            assert lane.stats is result.stats
+
+    def test_predict_matches_reference(self, engine):
+        xs = float_inputs(6)
+        result = engine.predict({"x": xs})
+        expected = mlp_reference(DIMS, xs, seed=0)
+        assert np.abs(result.outputs["out"] - expected).max() < 0.1
+
+    def test_predict_equals_manual_quantize_run(self, engine):
+        xs = float_inputs(3)
+        via_predict = engine.predict({"x": xs})
+        via_words = engine.run_batch({"x": engine.quantize(xs)})
+        np.testing.assert_array_equal(via_predict["out"], via_words["out"])
+
+    def test_quick_run_helper(self):
+        xs = float_inputs(2)
+        result = quick_run(build_mlp_model(DIMS, seed=0), {"x": xs}, CFG,
+                           seed=3)
+        assert isinstance(result, RunResult)
+        assert result.outputs["out"].shape == (2, DIMS[-1])
+
+
+# ---------------------------------------------------------------------------
+# Input validation (the _infer_batch / predict edge cases)
+
+
+class TestInputValidation:
+    def test_unknown_input_name(self, engine):
+        with pytest.raises(ValueError, match=r"unknown input name.*'y'"):
+            engine.predict({"x": float_inputs(1)[0],
+                            "y": float_inputs(1)[0]})
+
+    def test_missing_input_name(self, engine):
+        with pytest.raises(ValueError, match=r"missing input.*'x'"):
+            engine.predict({})
+
+    def test_wrong_length_raises_before_simulation(self, engine):
+        with pytest.raises(ValueError, match=r"'x' expects 32 values"):
+            engine.predict({"x": np.zeros(31)})
+
+    def test_wrong_length_2d(self, engine):
+        with pytest.raises(ValueError, match=r"'x' expects 32 values"):
+            engine.run_batch({"x": np.zeros((4, 7), dtype=np.int64)})
+
+    def test_three_dimensional_input_rejected(self, engine):
+        with pytest.raises(ValueError, match="1-D or \\(batch, length\\)"):
+            engine.predict({"x": np.zeros((2, 3, DIMS[0]))})
+
+    def test_inconsistent_batch_sizes(self):
+        model = build_mlp_model(DIMS, seed=0)
+        engine = InferenceEngine(model, CFG)
+        with pytest.raises(ValueError, match="inconsistent batch"):
+            engine._infer_batch({"a": np.zeros((2, 8)),
+                                 "b": np.zeros((3, 8))})
+
+    def test_broadcast_1d_mixed_with_matrix(self):
+        """1-D inputs broadcast across the batch set by 2-D inputs."""
+        from repro import ConstMatrix, InVector, Model, OutVector, tanh
+
+        rng = np.random.default_rng(3)
+        model = Model.create("two_in")
+        x = InVector.create(model, 16, "x")
+        y = InVector.create(model, 16, "y")
+        z = OutVector.create(model, 8, "z")
+        a = ConstMatrix.create(model, 16, 8, "A",
+                               rng.normal(0, 0.1, (16, 8)))
+        b = ConstMatrix.create(model, 16, 8, "B",
+                               rng.normal(0, 0.1, (16, 8)))
+        z.assign(tanh(a @ x + b @ y))
+        engine = InferenceEngine(model, CFG, seed=1)
+
+        xs = rng.normal(0, 0.5, size=(3, 16))
+        y_shared = rng.normal(0, 0.5, size=16)
+        assert engine._infer_batch({"x": xs, "y": y_shared}) == 3
+        batched = engine.predict({"x": xs, "y": y_shared})
+        assert batched["z"].shape == (3, 8)
+        for lane in range(3):
+            single = engine.predict({"x": xs[lane], "y": y_shared})
+            np.testing.assert_array_equal(batched["z"][lane], single["z"])
+
+    def test_validate_request_rejects_matrices(self, engine):
+        with pytest.raises(ValueError, match="1-D vector"):
+            engine.validate_request({"x": float_inputs(2)})
+        engine.validate_request({"x": float_inputs(1)[0]})  # ok
+
+
+# ---------------------------------------------------------------------------
+# last_stats deprecation
+
+
+class TestLastStatsDeprecation:
+    def test_read_warns_but_works(self, engine):
+        result = engine.predict({"x": float_inputs(2)})
+        with pytest.warns(DeprecationWarning, match="last_stats"):
+            stats = engine.last_stats
+        assert stats is result.stats
+
+    def test_write_warns(self, engine):
+        with pytest.warns(DeprecationWarning, match="last_stats"):
+            engine.last_stats = None
+
+
+# ---------------------------------------------------------------------------
+# Compile cache: field-based fingerprint + info counters
+
+
+class TestCompileCache:
+    def test_hits_misses_entries(self):
+        clear_compile_cache()
+        model = build_mlp_model([16, 8], seed=0)
+        compile_cached(model, CFG)
+        assert compile_cache_info() == (0, 1, 1)
+        compile_cached(model, CFG)
+        assert compile_cache_info() == (1, 1, 1)
+        compile_cached(model, CFG.with_core(vfu_width=4))
+        assert compile_cache_info() == (1, 2, 2)
+        clear_compile_cache()
+        assert compile_cache_info() == (0, 0, 0)
+
+    def test_fingerprint_discriminates_nested_fields(self):
+        clear_compile_cache()
+        model = build_mlp_model([16, 8], seed=0)
+        a = compile_cached(model, CFG)
+        b = compile_cached(model, CFG.with_tile(num_cores=4))
+        assert a is not b
+        # equal-valued configs built independently share one entry
+        c = compile_cached(model, default_config())
+        assert c is a
+        assert compile_cache_info().hits == 1
+
+    def test_options_part_of_key(self):
+        from repro.compiler.options import CompilerOptions
+
+        clear_compile_cache()
+        model = build_mlp_model([16, 8], seed=0)
+        a = compile_cached(model, CFG, CompilerOptions())
+        b = compile_cached(model, CFG, CompilerOptions(coalesce_mvms=False))
+        assert a is not b
+        assert compile_cached(model, CFG, CompilerOptions()) is a
+
+
+# ---------------------------------------------------------------------------
+# PumaServer: queueing + dynamic batching
+
+
+def serve(coro):
+    return asyncio.run(coro)
+
+
+class TestPumaServer:
+    def test_concurrent_requests_coalesce_and_match_sequential(self, engine):
+        """The acceptance property: N concurrent clients, < N passes,
+        bitwise-identical per-request outputs."""
+        n = 6
+        xs = float_inputs(n, seed=11)
+
+        async def scenario():
+            async with PumaServer(engine, max_batch_size=8,
+                                  batch_window_s=0.25) as server:
+                results = await asyncio.gather(
+                    *(server.submit({"x": xs[i]}) for i in range(n)))
+            return results, server.counters
+
+        results, counters = serve(scenario())
+        assert counters.requests_served == n
+        assert counters.batches_formed < n
+        reference = engine.run_sequential({"x": engine.quantize(xs)})
+        for i, result in enumerate(results):
+            np.testing.assert_array_equal(result["out"],
+                                          reference["out"][i])
+            assert result["out"].ndim == 1
+
+    def test_max_batch_size_bounds_passes(self, engine):
+        n, cap = 7, 3
+        xs = float_inputs(n, seed=2)
+
+        async def scenario():
+            async with PumaServer(engine, max_batch_size=cap,
+                                  batch_window_s=0.1) as server:
+                await asyncio.gather(
+                    *(server.submit({"x": xs[i]}) for i in range(n)))
+            return server.counters
+
+        counters = serve(scenario())
+        assert counters.requests_served == n
+        assert counters.batches_formed >= -(-n // cap)  # ceil(n / cap)
+        assert counters.lanes_simulated == n
+        assert 0 < counters.mean_batch_size <= cap
+        assert 0 < counters.mean_occupancy <= 1
+
+    def test_single_request(self, engine):
+        async def scenario():
+            async with PumaServer(engine) as server:
+                return await server.submit({"x": float_inputs(1)[0]})
+
+        result = serve(scenario())
+        assert result["out"].shape == (DIMS[-1],)
+        assert result.batch == 1
+
+    def test_invalid_request_fails_fast(self, engine):
+        async def scenario():
+            async with PumaServer(engine) as server:
+                with pytest.raises(ValueError, match="unknown input"):
+                    await server.submit({"typo": float_inputs(1)[0]})
+                with pytest.raises(ValueError, match="1-D vector"):
+                    await server.submit({"x": float_inputs(2)})
+                # a good request still goes through afterwards
+                return await server.submit({"x": float_inputs(1)[0]})
+
+        assert serve(scenario())["out"].shape == (DIMS[-1],)
+
+    def test_submit_requires_running_server(self, engine):
+        server = PumaServer(engine)
+
+        async def scenario():
+            with pytest.raises(RuntimeError, match="not running"):
+                await server.submit({"x": float_inputs(1)[0]})
+
+        serve(scenario())
+
+    def test_stop_serves_queued_requests(self, engine):
+        """Graceful shutdown: stop() drains the queue before exiting."""
+
+        async def scenario():
+            server = await PumaServer(engine, max_batch_size=4,
+                                      batch_window_s=5.0).start()
+            tasks = [asyncio.create_task(
+                server.submit({"x": float_inputs(1, seed=i)[0]}))
+                for i in range(3)]
+            await asyncio.sleep(0)  # let the submissions enqueue
+            await server.stop()
+            return await asyncio.gather(*tasks)
+
+        results = serve(scenario())
+        assert len(results) == 3
+        assert all(r["out"].shape == (DIMS[-1],) for r in results)
+
+    def test_counters_summary_text(self):
+        counters = ServerCounters(max_batch_size=8, requests_served=6,
+                                  batches_formed=2, lanes_simulated=6)
+        text = counters.summary()
+        assert "requests served: 6" in text
+        assert "batches formed: 2" in text
+        assert "3.00" in text  # mean batch size
+
+
+# ---------------------------------------------------------------------------
+# API boundary: the facade is the only way in
+
+
+def test_no_direct_simulator_construction_outside_facade():
+    """Grep-enforced: ``Simulator(...)`` may only be constructed inside
+    ``repro/sim/`` and ``repro/engine.py``.  Library code, examples, and
+    benchmarks must go through the engine/serving facade.  (``tests/``
+    exercises the simulator directly by design.)
+    """
+    root = Path(__file__).resolve().parent.parent
+    pattern = re.compile(r"\bSimulator\(")
+    offenders = []
+    for top in ("src/repro", "examples", "benchmarks"):
+        for path in sorted((root / top).rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith("src/repro/sim/") or \
+                    rel == "src/repro/engine.py":
+                continue
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), start=1):
+                if pattern.search(line):
+                    offenders.append(f"{rel}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "direct Simulator(...) construction outside repro/sim and "
+        "repro/engine:\n" + "\n".join(offenders))
