@@ -1,0 +1,122 @@
+"""Sharded serving: one batch fanned out across engine replicas.
+
+PUMA scales throughput past one node by spatial replication (Section 7.3,
+Fig 11c/d): every replica holds a copy of the programmed weights and
+serves a slice of the traffic.  :class:`repro.serve.ShardedEngine` is
+that layer; this benchmark checks its three claims on a batch-64 MLP:
+
+* **bitwise** — the merged sharded result equals the single-engine
+  ``run_batch`` bit for bit, for 1/2/4 shards and both lane policies;
+* **modelled speedup** — merged cycles (max over the concurrent shards)
+  beat the unsharded pass ≥ 1.5x at 4 shards.  This is simulated time:
+  deterministic, machine-independent;
+* **wall-clock speedup** — with forked worker processes the host-side
+  pass is ≥ 1.5x faster at 4 shards.  Real parallelism needs real cores,
+  so this assertion requires ≥ 4 usable CPUs (it prints measurements and
+  skips the threshold otherwise).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import InferenceEngine
+from repro.serve import ShardedEngine
+from repro.workloads.mlp import build_mlp_model
+
+# Wide enough that per-lane work (the part sharding divides) dominates
+# the batch-independent instruction interpretation overhead.
+DIMS = [256, 512, 512, 64]
+BATCH = 64
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _engine_and_batch():
+    engine = InferenceEngine(build_mlp_model(DIMS, seed=0), seed=0)
+    rng = np.random.default_rng(0)
+    x = engine.quantize(rng.normal(0.0, 0.5, size=(BATCH, DIMS[0])))
+    return engine, x
+
+
+def test_sharded_bitwise(once):
+    """Merged shard results equal the unsharded pass bit for bit."""
+
+    def measure():
+        engine, x = _engine_and_batch()
+        single = engine.run_batch({"x": x})
+        mismatches = []
+        for shards in (1, 2, 4):
+            for policy in ("contiguous", "interleaved"):
+                with ShardedEngine(engine, num_shards=shards,
+                                   shard_policy=policy,
+                                   executor="thread") as sharded:
+                    result = sharded.run_batch({"x": x})
+                if not all(np.array_equal(single[name], result[name])
+                           for name in single):
+                    mismatches.append((shards, policy))
+        return mismatches
+
+    mismatches = once(measure)
+    assert not mismatches, f"sharded != single for {mismatches}"
+
+
+def test_sharded_modelled_speedup(once):
+    """Merged cycles (max over shards) amortize >= 1.5x at 4 shards."""
+
+    def measure():
+        engine, x = _engine_and_batch()
+        single = engine.run_batch({"x": x})
+        cycles = {1: single.cycles}
+        for shards in (2, 4):
+            with ShardedEngine(engine, num_shards=shards,
+                               executor="thread") as sharded:
+                cycles[shards] = sharded.run_batch({"x": x}).cycles
+        return cycles
+
+    cycles = once(measure)
+    print(f"\nmodelled cycles: {cycles} "
+          f"(x4 speedup {cycles[1] / cycles[4]:.2f})")
+    assert cycles[1] / cycles[2] >= 1.5
+    assert cycles[1] / cycles[4] >= 1.5
+
+
+def test_sharded_wallclock_speedup(once):
+    """Process-pool fan-out beats the single engine >= 1.5x at 4 shards."""
+
+    def measure():
+        engine, x = _engine_and_batch()
+        engine.warm()
+        engine.run_batch({"x": x})  # warm pass (programmed-state cache)
+        t_single = min(_timed(engine.run_batch, x) for _ in range(3))
+        with ShardedEngine(engine, num_shards=4,
+                           executor="process") as sharded:
+            sharded.run_batch({"x": x})  # fork + first dispatch
+            t_sharded = min(_timed(sharded.run_batch, x) for _ in range(3))
+        return t_single, t_sharded
+
+    t_single, t_sharded = once(measure)
+    speedup = t_single / t_sharded
+    cpus = _usable_cpus()
+    print(f"\nbatch-{BATCH} MLP {DIMS}: single {t_single * 1e3:.1f} ms, "
+          f"4-shard {t_sharded * 1e3:.1f} ms -> {speedup:.2f}x "
+          f"({cpus} usable CPUs)")
+    if cpus < 4:
+        pytest.skip(f"wall-clock threshold needs >= 4 usable CPUs to "
+                    f"parallelize 4 shards, have {cpus} "
+                    f"(measured {speedup:.2f}x)")
+    assert speedup >= 1.5, (
+        f"4-shard wall-clock speedup only {speedup:.2f}x")
+
+
+def _timed(run, x) -> float:
+    t0 = time.perf_counter()
+    run({"x": x})
+    return time.perf_counter() - t0

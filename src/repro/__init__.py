@@ -74,7 +74,13 @@ from repro.compiler import (
 from repro.compiler.frontend import const_vector
 from repro.engine import InferenceEngine
 from repro.fixedpoint import FixedPointFormat
-from repro.serve import InferenceRequest, PumaServer, RunResult
+from repro.serve import (
+    InferenceRequest,
+    PumaServer,
+    RunResult,
+    ShardedEngine,
+    ShardExecutionError,
+)
 from repro.sim import SimulationDeadlock, SimulationStats, Simulator
 
 __version__ = "1.1.0"
@@ -138,6 +144,8 @@ __all__ = [
     "InferenceRequest",
     "RunResult",
     "PumaServer",
+    "ShardedEngine",
+    "ShardExecutionError",
     "quick_run",
     "__version__",
 ]

@@ -170,6 +170,30 @@ class Crossbar:
         self._conductance = np.clip(target_g, self.model.g_min, self.model.g_max)
         self._programmed = True
 
+    def export_state(self) -> tuple[np.ndarray, np.ndarray]:
+        """The programmed device state ``(levels, conductance)``.
+
+        The returned arrays are the live ones, *not* copies: a crossbar is
+        written once at configuration time and only read afterwards, so a
+        replica restored from this state shares the device arrays with the
+        original (copy-on-write across forked worker processes).
+        """
+        if not self._programmed:
+            raise RuntimeError("crossbar has not been programmed")
+        return self._levels, self._conductance
+
+    def restore_state(self, levels: np.ndarray,
+                      conductance: np.ndarray) -> None:
+        """Install device state exported from an identically-programmed
+        crossbar, without consuming any write-noise RNG draws."""
+        if levels.shape != (self.model.dim, self.model.dim):
+            raise ValueError(
+                f"expected shape {(self.model.dim, self.model.dim)}, "
+                f"got {levels.shape}")
+        self._levels = levels
+        self._conductance = conductance
+        self._programmed = True
+
     def effective_levels(self) -> np.ndarray:
         """Continuous level values implied by the programmed conductances."""
         return (self._conductance - self.model.g_min) / self.model.level_spacing

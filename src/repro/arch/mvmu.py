@@ -102,6 +102,44 @@ class MVMU:
         self._column_offset_sums = effective.sum(axis=0)
         self._matrix = arr.copy()
 
+    def export_programmed_state(
+            self) -> tuple[np.ndarray, np.ndarray,
+                           tuple[tuple[np.ndarray, np.ndarray], ...]]:
+        """Everything :meth:`program` computed, for replica fan-out.
+
+        Returns ``(matrix, column_offset_sums, crossbar_states)`` sharing
+        the live arrays (read-only after configuration time, so sharing is
+        safe and keeps forked replicas copy-on-write).
+        """
+        if self._matrix is None:
+            raise RuntimeError("MVMU has not been programmed")
+        return (self._matrix, self._column_offset_sums,
+                tuple(xbar.export_state() for xbar in self._crossbars))
+
+    def restore_programmed_state(
+            self, state: tuple[np.ndarray, np.ndarray,
+                               tuple[tuple[np.ndarray, np.ndarray], ...]]
+    ) -> None:
+        """Install state exported from an identically-configured MVMU.
+
+        Skips the bit-slicing and (noisy) device writes of :meth:`program`
+        without consuming RNG draws; callers who need bitwise parity with a
+        freshly-programmed unit must restore the RNG state alongside (see
+        :meth:`repro.node.node.Node.export_programmed_state`).
+        """
+        matrix, column_offset_sums, xbar_states = state
+        if len(xbar_states) != self.num_slices:
+            raise ValueError(
+                f"state holds {len(xbar_states)} crossbar slices, "
+                f"unit expects {self.num_slices}")
+        self._crossbars = []
+        for levels, conductance in xbar_states:
+            xbar = Crossbar(self.model, rng=self._rng)
+            xbar.restore_state(levels, conductance)
+            self._crossbars.append(xbar)
+        self._column_offset_sums = column_offset_sums
+        self._matrix = matrix
+
     def _effective_unsigned_matrix(self) -> np.ndarray:
         """Unsigned weights implied by the programmed conductances."""
         acc = np.zeros((self.dim, self.dim), dtype=np.float64)

@@ -8,10 +8,12 @@ Commands:
   :class:`~repro.engine.InferenceEngine`, simulate, and print the
   :class:`~repro.serve.RunResult` summary (float outputs + cycle/energy
   stats).  ``--batch-file FILE.json`` runs a whole request list as one
-  SIMD-over-batch pass;
+  SIMD-over-batch pass; ``--shards K`` fans it out across K engine
+  replicas (bitwise-identical outputs, merged stats);
 * ``serve GRAPH.json`` — demo of the async serving front-end: N
   concurrent clients stream through :class:`~repro.serve.PumaServer`
-  and the batching counters are printed;
+  and the batching counters are printed; ``--shards K`` splits each
+  coalesced micro-batch across K replicas;
 * ``disasm GRAPH.json`` — compile a graph and print the per-core/tile
   assembly listings;
 * ``metrics`` — the Table 6 node metrics for the default configuration.
@@ -95,9 +97,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("--input and --batch-file are mutually exclusive: the batch "
               "file carries every request's inputs", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
     engine = _build_engine(args.graph, seed=args.seed)
     if args.batch_file:
-        return _run_batch_file(engine, args.batch_file)
+        return _run_batch_file(engine, args.batch_file, args.shards)
+    if args.shards > 1:
+        print("--shards applies to --batch-file runs (a single inference "
+              "has one lane to shard)", file=sys.stderr)
+        return 2
     provided = _parse_inputs(args.input or [])
     inputs = _fill_missing_inputs(engine, provided, args.seed)
     if inputs is None:
@@ -111,11 +120,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_batch_file(engine, path: str) -> int:
+def _run_batch_file(engine, path: str, shards: int = 1) -> int:
     """One SIMD-over-batch pass over a JSON list of requests.
 
     The file holds ``[{"x": [..], ...}, ...]`` — one object per request,
-    float values, every request naming every model input.
+    float values, every request naming every model input.  With
+    ``shards > 1`` the batch is fanned out across engine replicas
+    (bitwise identical outputs; merged stats count cycles as the max over
+    the concurrent shards).
     """
     with open(path) as handle:
         requests = json.load(handle)
@@ -139,7 +151,13 @@ def _run_batch_file(engine, path: str) -> int:
               f"the same-length numeric lists): {error}", file=sys.stderr)
         return 2
     try:
-        result = engine.predict(stacked)
+        if shards > 1:
+            from repro.serve import ShardedEngine
+
+            with ShardedEngine(engine, num_shards=shards) as sharded:
+                result = sharded.predict(stacked)
+        else:
+            result = engine.predict(stacked)
     except ValueError as error:
         print(f"invalid batch: {error}", file=sys.stderr)
         return 2
@@ -149,6 +167,9 @@ def _run_batch_file(engine, path: str) -> int:
             print(f"[{index}] {name} = "
                   f"{np.array2string(values, precision=4)}")
     print()
+    if result.shard_stats is not None:
+        print(f"sharded x{len(result.shard_stats)}: cycles below are the "
+              f"max over the concurrent shards, energy the sum")
     print(f"batch {result.batch}: {result.cycles} cycles total, "
           f"{result.cycles_per_inference:.0f} cycles/inference, "
           f"{result.energy_per_inference_j * 1e9:.3f} nJ/inference")
@@ -163,6 +184,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.engine import compile_cache_info
     from repro.serve import PumaServer
 
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
     engine = _build_engine(args.graph, seed=args.seed)
     layout = engine.program.input_layout
     rng = np.random.default_rng(args.seed)
@@ -174,7 +198,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def serve_all():
         async with PumaServer(engine, max_batch_size=args.max_batch,
-                              batch_window_s=args.window) as server:
+                              batch_window_s=args.window,
+                              num_shards=args.shards) as server:
             results = await asyncio.gather(
                 *(server.submit(request) for request in requests))
         return results, server.counters
@@ -236,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--batch-file", metavar="REQUESTS.json",
                      help="JSON list of {input: [values]} requests, run "
                           "as one SIMD-over-batch pass")
+    run.add_argument("--shards", type=int, default=1,
+                     help="fan a --batch-file run out across N engine "
+                          "replicas (default 1: single engine)")
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(fn=_cmd_run)
 
@@ -248,6 +276,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dynamic batching limit (default 8)")
     serve.add_argument("--window", type=float, default=0.05,
                        help="batching window in seconds (default 0.05)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="fan each coalesced micro-batch out across N "
+                            "engine replicas (default 1)")
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(fn=_cmd_serve)
 

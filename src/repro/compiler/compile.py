@@ -34,6 +34,13 @@ class CompiledModel:
     codegen_stats: CodegenStats
     memory_usage: dict[int, int] = field(default_factory=dict)
     recycled_words: int = 0
+    # Configuration-time crossbar state per (config, crossbar model, seed)
+    # fingerprint, harvested by the engine on first simulator construction
+    # so replicas (and repeated runs) skip the programming pass.  Lives on
+    # the compilation because its lifetime is exactly the compilation's:
+    # engines sharing a cached CompiledModel share programmed state.
+    programmed_states: dict = field(
+        default_factory=dict, repr=False, compare=False)
 
     @property
     def num_mvmus_used(self) -> int:

@@ -54,6 +54,10 @@ from repro.serve.types import RunResult
 from repro.sim.simulator import Simulator
 from repro.sim.stats import SimulationStats
 
+# Most programmed-crossbar snapshots kept per compiled model (each holds
+# every MVMU's levels + conductances — multi-MB for mid-size models).
+_PROGRAMMED_STATE_CAP = 8
+
 # model -> {config/options fingerprint -> CompiledModel}.  Weak keys: the
 # cache must not keep dead models (and their weight arrays) alive.
 _COMPILE_CACHE: "weakref.WeakKeyDictionary[Model, dict[tuple, CompiledModel]]" \
@@ -275,9 +279,51 @@ class InferenceEngine:
         self._infer_batch(inputs)
 
     def _simulator(self, batch: int) -> Simulator:
-        return Simulator(self.config, self.program,
-                         crossbar_model=self.crossbar_model,
-                         seed=self.seed, batch=batch)
+        """A fresh simulator, reusing cached crossbar programming.
+
+        The first construction for a given (config, crossbar model, seed)
+        programs the crossbars and harvests the configuration-time state
+        (conductances + post-programming RNG position) onto the compiled
+        model; every later construction — any batch size, any replica
+        engine sharing the compilation — installs that state instead of
+        re-programming, bitwise identically (Section 3.2.5: weights are
+        written once at configuration time).  ``seed=None`` requests fresh
+        entropy per run, which must not be frozen, so it bypasses the
+        cache.
+        """
+        state = key = None
+        if self.seed is not None:
+            key = (_fingerprint_value(self.config),
+                   _fingerprint_value(self.crossbar_model), self.seed)
+            state = self.compiled.programmed_states.get(key)
+        sim = Simulator(self.config, self.program,
+                        crossbar_model=self.crossbar_model,
+                        seed=self.seed, batch=batch,
+                        programmed_state=state)
+        if key is not None and state is None:
+            states = self.compiled.programmed_states
+            states[key] = sim.node.export_programmed_state(self.program)
+            # A seed/noise sweep over one kept-alive model would
+            # otherwise pin one multi-MB crossbar snapshot per
+            # (config, crossbar model, seed) forever; evicting the
+            # oldest entries costs only a re-programming pass.
+            while len(states) > _PROGRAMMED_STATE_CAP:
+                states.pop(next(iter(states)))
+        return sim
+
+    def warm(self) -> "InferenceEngine":
+        """Program the crossbars once, ahead of the first run.
+
+        Compilation already happened in ``__init__``; this performs (and
+        caches) the configuration-time crossbar programming so the first
+        real request doesn't pay it — and so worker processes forked after
+        ``warm()`` inherit the programmed arrays copy-on-write.  No-op
+        when the state is already cached, or with ``seed=None`` (fresh
+        entropy per run cannot be pre-programmed).
+        """
+        if self.seed is not None:
+            self._simulator(1)
+        return self
 
     # -- execution ---------------------------------------------------------
 

@@ -12,7 +12,10 @@ with *real* batched executions: the compilable Figure-4 MLP runs through
 :class:`repro.engine.InferenceEngine` at every batch size, SIMD-over-batch
 on the detailed simulator, and the table reports measured per-inference
 cycle/energy amortization alongside a bitwise check against sequential
-single-input runs.
+single-input runs.  :func:`sharded_batch_rows` extends the story past one
+engine: the same batch fanned out across replicas
+(:class:`repro.serve.ShardedEngine`), with merged cycles (max over the
+concurrent shards) and the bitwise check against the unsharded pass.
 """
 
 from __future__ import annotations
@@ -145,6 +148,55 @@ def measured_batch_rows(batch_sizes: tuple[int, ...] = MEASURED_BATCH_SIZES,
     return rows
 
 
+def sharded_batch_rows(batch: int = 64,
+                       shard_counts: tuple[int, ...] = (1, 2, 4),
+                       dims: list[int] | None = None,
+                       seed: int = 0) -> list[dict]:
+    """Fig 11 (sharded): one batch fanned out across engine replicas.
+
+    The PUMA throughput story scales past one node by replication: each
+    replica holds a copy of the programmed weights and serves a slice of
+    the batch (:class:`repro.serve.ShardedEngine`).  One row per shard
+    count: the merged cycle count (max over the concurrent shards), the
+    modelled speedup over the unsharded pass, and the bitwise check
+    against the single-engine run — the sharding layer's core guarantee.
+    """
+    from repro.engine import InferenceEngine
+    from repro.serve import ShardedEngine
+    from repro.workloads.mlp import FIGURE4_MLP_DIMS, build_mlp_model
+
+    dims = dims if dims is not None else list(FIGURE4_MLP_DIMS)
+    engine = InferenceEngine(build_mlp_model(dims, seed=seed), seed=seed)
+    rng = np.random.default_rng(seed)
+    x = engine.quantize(rng.normal(0.0, 0.5, size=(batch, dims[0])))
+    single = engine.run_batch({"x": x})
+    rows = []
+    for shards in shard_counts:
+        if shards == 1:
+            # One shard is the unsharded pass by construction — reuse it
+            # rather than re-simulating the whole batch.
+            result = single
+        else:
+            # Thread workers keep the figure pipeline deterministic and
+            # process-free; the wall-clock scaling study lives in
+            # benchmarks/bench_sharded_serving.py.
+            with ShardedEngine(engine, num_shards=shards,
+                               executor="thread") as sharded:
+                result = sharded.run_batch({"x": x})
+        exact = all(np.array_equal(single[name], result[name])
+                    for name in single)
+        rows.append({
+            "Shards": shards,
+            "Cycles (max/shard)": result.cycles,
+            "Cycles/inf": round(result.cycles_per_inference, 1),
+            "Modelled speedup": round(single.cycles / result.cycles, 2),
+            "Energy/inf (uJ)": round(
+                result.energy_per_inference_j * 1e6, 3),
+            "Bitwise==unsharded": exact,
+        })
+    return rows
+
+
 def puma_absolute_rows() -> list[dict]:
     """The PUMA-side absolute numbers behind the figure."""
     rows = []
@@ -175,6 +227,10 @@ def render() -> str:
         format_table(measured_batch_rows(),
                      title="Figure 11 (measured): real batched runs of the "
                            "Figure-4 MLP on the detailed simulator"),
+        format_table(sharded_batch_rows(),
+                     title="Figure 11 (sharded): batch 64 fanned out "
+                           "across engine replicas (cycles = max over "
+                           "concurrent shards)"),
         format_table(puma_absolute_rows(),
                      title="PUMA absolute estimates (batch 1)"),
     ]

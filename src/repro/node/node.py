@@ -11,6 +11,8 @@ the chip-to-chip interconnect.
 
 from __future__ import annotations
 
+import copy
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 import numpy as np
@@ -20,6 +22,29 @@ from repro.arch.crossbar import CrossbarModel
 from repro.isa.program import NodeProgram
 from repro.node.noc import NetworkOnChip, ScheduleFunction
 from repro.tile.tile import Tile
+
+
+@dataclass(frozen=True)
+class NodeProgrammedState:
+    """The configuration-time state of a programmed node.
+
+    Harvested right after :meth:`Node.load_weights` and installed into
+    later nodes built for the *same* (program, config, crossbar model,
+    seed) so they skip crossbar programming while staying bitwise
+    identical to a freshly-programmed node:
+
+    Attributes:
+        mvmus: per-``(tile, core, mvmu)`` programmed-state tuples from
+            :meth:`repro.arch.mvmu.MVMU.export_programmed_state` (live
+            arrays, shared — crossbars are read-only after configuration).
+        rng_state: the node RNG's bit-generator state *after* the
+            (write-noise-consuming) programming pass, so runtime draws
+            (the RANDOM op) continue from exactly where a fresh
+            programming pass would have left them.
+    """
+
+    mvmus: dict[tuple[int, int, int], tuple]
+    rng_state: dict
 
 
 class Node:
@@ -42,6 +67,7 @@ class Node:
         self.config = config
         self.batch = batch
         rng = np.random.default_rng(seed)
+        self.rng = rng
         if crossbar_model is None:
             core = config.core
             crossbar_model = CrossbarModel(
@@ -69,21 +95,65 @@ class Node:
                     schedule: ScheduleFunction,
                     crossbar_model: CrossbarModel | None = None,
                     seed: int | None = None,
-                    batch: int = 1) -> "Node":
-        """Build a node sized for ``program`` and load its weights."""
+                    batch: int = 1,
+                    programmed_state: NodeProgrammedState | None = None
+                    ) -> "Node":
+        """Build a node sized for ``program`` and load its weights.
+
+        ``programmed_state`` (harvested from an identically-configured
+        node via :meth:`export_programmed_state`) installs the crossbar
+        conductances directly instead of re-running the programming pass.
+        """
         node = cls(config, program.tiles.keys(), schedule,
                    crossbar_model=crossbar_model, seed=seed, batch=batch)
-        node.load_weights(program)
+        node.load_weights(program, programmed_state=programmed_state)
         return node
 
-    def load_weights(self, program: NodeProgram) -> None:
-        """Program every crossbar listed in the compiled weight map."""
+    def load_weights(self, program: NodeProgram,
+                     programmed_state: NodeProgrammedState | None = None
+                     ) -> None:
+        """Program every crossbar listed in the compiled weight map.
+
+        With ``programmed_state`` the (possibly noisy, RNG-consuming)
+        device writes are skipped: each MVMU adopts the already-programmed
+        arrays and the node RNG is advanced to the exact post-programming
+        state, so subsequent runtime draws match a fresh programming pass
+        bit for bit.
+        """
+        if programmed_state is not None:
+            for (tile_id, core_id, mvmu_id), state in \
+                    programmed_state.mvmus.items():
+                tile = self.tiles.get(tile_id)
+                if tile is None:
+                    raise KeyError(
+                        f"programmed state references missing tile {tile_id}")
+                tile.cores[core_id].mvmus[mvmu_id] \
+                    .restore_programmed_state(state)
+            self.rng.bit_generator.state = copy.deepcopy(
+                programmed_state.rng_state)
+            return
         for (tile_id, core_id, mvmu_id), matrix in program.weights.items():
             tile = self.tiles.get(tile_id)
             if tile is None:
                 raise KeyError(f"program references missing tile {tile_id}")
             tile.cores[core_id].program_mvmu(
                 mvmu_id, np.asarray(matrix, dtype=np.int64))
+
+    def export_programmed_state(self, program: NodeProgram
+                                ) -> NodeProgrammedState:
+        """Harvest the configuration-time state for replica construction.
+
+        Must be called before the node runs (the RNG snapshot is the
+        *post-programming* position; runtime RANDOM draws would move it).
+        """
+        mvmus = {
+            key: self.tiles[key[0]].cores[key[1]].mvmus[key[2]]
+            .export_programmed_state()
+            for key in program.weights
+        }
+        return NodeProgrammedState(
+            mvmus=mvmus,
+            rng_state=copy.deepcopy(self.rng.bit_generator.state))
 
     def tile(self, tile_id: int) -> Tile:
         return self.tiles[tile_id]

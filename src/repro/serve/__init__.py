@@ -4,10 +4,17 @@
   crossing the serving boundary (:mod:`repro.serve.types`);
 * :class:`PumaServer` — asyncio request queue + dynamic micro-batching
   over an :class:`~repro.engine.InferenceEngine`
-  (:mod:`repro.serve.server`).
+  (:mod:`repro.serve.server`);
+* :class:`ShardedEngine` — data-parallel batch fan-out across engine
+  replicas, merged bitwise-identically (:mod:`repro.serve.sharding`).
 """
 
 from repro.serve.types import InferenceRequest, RunResult
+from repro.serve.sharding import (
+    SHARD_POLICIES,
+    ShardedEngine,
+    ShardExecutionError,
+)
 from repro.serve.server import PumaServer, ServerCounters
 
 __all__ = [
@@ -15,4 +22,7 @@ __all__ = [
     "RunResult",
     "PumaServer",
     "ServerCounters",
+    "SHARD_POLICIES",
+    "ShardedEngine",
+    "ShardExecutionError",
 ]

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.serve.sharding import ShardedEngine
 from repro.serve.types import InferenceRequest, RunResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -95,6 +96,14 @@ class PumaServer:
         max_batch_size: most requests coalesced into one simulator pass.
         batch_window_s: how long to hold an under-full batch open waiting
             for more arrivals before dispatching it.
+        num_shards: engine replicas each coalesced micro-batch is fanned
+            out across (:class:`~repro.serve.sharding.ShardedEngine`);
+            1 (the default) serves every batch on the single engine.
+            Per-request results are bitwise identical either way.
+        shard_policy: lane assignment for the fan-out (``"contiguous"``
+            or ``"interleaved"``); only meaningful with ``num_shards > 1``.
+        shard_executor: worker pool kind for the fan-out (``"auto"``,
+            ``"thread"``, or ``"process"``).
 
     Requests are float-first: clients submit 1-D float vectors per model
     input and receive dequantized floats (plus the fixed-point words) in
@@ -105,26 +114,42 @@ class PumaServer:
 
     def __init__(self, engine: "InferenceEngine", *,
                  max_batch_size: int = 16,
-                 batch_window_s: float = 0.002) -> None:
+                 batch_window_s: float = 0.002,
+                 num_shards: int = 1,
+                 shard_policy: str = "contiguous",
+                 shard_executor: str = "auto") -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, "
                              f"got {max_batch_size}")
         if batch_window_s < 0:
             raise ValueError("batch_window_s must be >= 0")
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.engine = engine
         self.max_batch_size = max_batch_size
         self.batch_window_s = batch_window_s
+        self.num_shards = num_shards
+        self.shard_policy = shard_policy
+        self.shard_executor = shard_executor
         self.counters = ServerCounters(max_batch_size=max_batch_size)
         self._queue: asyncio.Queue | None = None
         self._batcher_task: asyncio.Task | None = None
+        self._sharded: ShardedEngine | None = None
         self._closed = False
         self._next_request_id = 0
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> "PumaServer":
-        """Spawn the batching loop; idempotent."""
+        """Spawn the batching loop (and the shard pool); idempotent."""
         if self._batcher_task is None:
+            if self.num_shards > 1 and self._sharded is None:
+                # Eager: fork/spawn shard workers now, from the caller's
+                # thread, not lazily inside the serving executor thread.
+                self._sharded = ShardedEngine(
+                    self.engine, num_shards=self.num_shards,
+                    shard_policy=self.shard_policy,
+                    executor=self.shard_executor).start()
             self._queue = asyncio.Queue()
             self._closed = False
             self._batcher_task = asyncio.create_task(self._batch_loop())
@@ -139,6 +164,9 @@ class PumaServer:
         await self._batcher_task
         self._batcher_task = None
         self._queue = None
+        if self._sharded is not None:
+            self._sharded.close()
+            self._sharded = None
 
     async def __aenter__(self) -> "PumaServer":
         return await self.start()
@@ -232,11 +260,12 @@ class PumaServer:
         }
         self.counters.batches_formed += 1
         self.counters.lanes_simulated += len(batch)
+        runner = (self._sharded.predict if self._sharded is not None
+                  else self.engine.predict)
         try:
             # The simulator pass is pure CPU; run it off-loop so new
             # requests keep queueing (and coalescing) while it executes.
-            result = await loop.run_in_executor(
-                None, self.engine.predict, stacked)
+            result = await loop.run_in_executor(None, runner, stacked)
         except Exception as exc:  # noqa: BLE001 - fail every rider
             self.counters.requests_failed += len(batch)
             for pending in batch:

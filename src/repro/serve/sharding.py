@@ -1,0 +1,445 @@
+"""Sharded serving: fan one batch out across engine replicas.
+
+PUMA's throughput story (Fig 11c/d) is spatial replication: many nodes
+each hold a copy of the programmed weights and serve a slice of the
+traffic.  :class:`ShardedEngine` is that data-parallel layer in software:
+a ``(batch, length)`` request is split into ``num_shards`` lane subsets,
+each shard runs as its own SIMD-over-batch pass on an
+:class:`~repro.engine.InferenceEngine` replica — concurrently, on a
+thread pool or a pool of forked worker processes — and the per-shard
+:class:`~repro.serve.types.RunResult`\\ s are merged back into one result
+whose output words are **bitwise identical** to a single-engine
+``run_batch`` over the same inputs (lane *i* of the merged result is lane
+*i* of the unsharded pass, bit for bit — the engine's batched==sequential
+guarantee makes every lane independent of its batch-mates).
+
+Merged statistics model replicas running concurrently:
+
+* ``cycles`` — the **max** over shards (the batch finishes when the
+  slowest replica does), so ``cycles_per_inference`` reflects the
+  sharded throughput win;
+* ``energy`` and the instruction/stall/NoC counters — **summed** over
+  shards (every replica really spent them);
+* per-shard stats are preserved on ``RunResult.shard_stats`` and lane
+  slicing (``result.lane(i)``) works exactly as for an unsharded run.
+
+Replication is cheap: replicas share the process-wide compile cache and
+the compiled model's programmed-crossbar state, so a replica engine costs
+neither a compilation nor a programming pass.  Worker processes are
+forked *after* the primary engine is warmed, inheriting both caches
+copy-on-write.
+
+Known limit (inherited from the batch engine, see ROADMAP "Batch
+execution semantics"): workloads using the stochastic RANDOM op draw
+per-lane noise, so their sharded outputs are reproducible but not
+lane-comparable to a differently-sharded run.
+
+Usage::
+
+    engine = InferenceEngine(model, seed=0)
+    with ShardedEngine(engine, num_shards=4) as sharded:
+        result = sharded.predict({"x": x})      # (64, n) floats
+    assert result.shard_stats is not None
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.serve.types import RunResult
+from repro.sim.stats import SimulationStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.engine import InferenceEngine
+
+SHARD_POLICIES = ("contiguous", "interleaved")
+
+# Handoff registry for fork-based worker pools: the parent registers its
+# engine under a unique token, workers fork and capture it into
+# _WORKER_ENGINE via the initializer (initargs carry only the token —
+# models and engines are never pickled), and the entry stays registered
+# for the pool's whole lifetime so replacement workers respawned by
+# multiprocessing.Pool after a crash fork with the engine still in
+# place.  close() deregisters.  Distinct tokens keep concurrently-built
+# pools from racing on a shared slot.
+_FORK_ENGINES: "dict[int, InferenceEngine]" = {}
+_fork_tokens = itertools.count()
+_WORKER_ENGINE: "InferenceEngine | None" = None
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard's worker raised; carries the failing shard's index."""
+
+    def __init__(self, shard_index: int, num_shards: int,
+                 cause: BaseException) -> None:
+        super().__init__(
+            f"shard {shard_index}/{num_shards} failed: "
+            f"{type(cause).__name__}: {cause}")
+        self.shard_index = shard_index
+
+
+def shard_lanes(batch: int, num_shards: int,
+                policy: str = "contiguous") -> list[np.ndarray]:
+    """Assign batch lanes to shards; returns one index array per shard.
+
+    The shard count is clamped to the batch size (no empty shards — a
+    4-way engine serving a 2-lane micro-batch forms 2 shards), so every
+    returned array is non-empty and together they partition
+    ``range(batch)``.
+
+    Policies:
+
+    * ``"contiguous"`` — consecutive lane runs (``np.array_split``
+      semantics: sizes differ by at most one);
+    * ``"interleaved"`` — lane *i* goes to shard ``i % k`` (round-robin).
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if policy not in SHARD_POLICIES:
+        raise ValueError(
+            f"unknown shard policy {policy!r}; choose from {SHARD_POLICIES}")
+    k = min(num_shards, batch)
+    lanes = np.arange(batch)
+    if policy == "contiguous":
+        return list(np.array_split(lanes, k))
+    return [lanes[i::k] for i in range(k)]
+
+
+def split_batch(inputs: Mapping[str, np.ndarray],
+                lane_sets: Sequence[np.ndarray]
+                ) -> list[dict[str, np.ndarray]]:
+    """Slice a batched input dict into per-shard input dicts.
+
+    ``(batch, length)`` inputs are split by lane; 1-D inputs (broadcast
+    conditioning vectors) are passed to every shard unchanged.
+    """
+    shards = []
+    for lanes in lane_sets:
+        shard: dict[str, np.ndarray] = {}
+        for name, values in inputs.items():
+            arr = np.asarray(values)
+            shard[name] = arr[lanes] if arr.ndim == 2 else arr
+        shards.append(shard)
+    return shards
+
+
+def merge_stats(shard_stats: Sequence[SimulationStats]) -> SimulationStats:
+    """Merge per-shard stats as concurrently-running replicas.
+
+    Cycles take the max (the batch completes with the slowest shard);
+    energy, instruction counts, stall/busy counters, and NoC traffic sum
+    (each replica really executed its pass).  ``cycle_ns`` must agree
+    across shards — replicas are identically configured by construction.
+    """
+    if not shard_stats:
+        raise ValueError("merge_stats needs at least one shard")
+    merged = SimulationStats(cycle_ns=shard_stats[0].cycle_ns)
+    merged.cycles = max(s.cycles for s in shard_stats)
+    for stats in shard_stats:
+        if stats.cycle_ns != merged.cycle_ns:
+            raise ValueError("shards ran at different cycle periods")
+        merged.energy.merge(stats.energy)
+        for opcode, count in stats.dynamic_instructions.items():
+            merged.dynamic_instructions[opcode] = (
+                merged.dynamic_instructions.get(opcode, 0) + count)
+        for opcode, words in stats.words_by_opcode.items():
+            merged.words_by_opcode[opcode] = (
+                merged.words_by_opcode.get(opcode, 0) + words)
+        for agent, count in stats.stall_events.items():
+            merged.stall_events[agent] = (
+                merged.stall_events.get(agent, 0) + count)
+        for agent, cycles in stats.busy_cycles.items():
+            merged.busy_cycles[agent] = (
+                merged.busy_cycles.get(agent, 0) + cycles)
+        merged.noc_flit_hops += stats.noc_flit_hops
+        merged.noc_packets += stats.noc_packets
+        merged.offchip_words += stats.offchip_words
+    return merged
+
+
+def merge_results(shard_results: Sequence[RunResult],
+                  lane_sets: Sequence[np.ndarray],
+                  batch: int) -> RunResult:
+    """Stitch per-shard results back into one batch-ordered result.
+
+    Lane ``lane_sets[s][j]`` of the merged words is row *j* of shard *s*
+    — bitwise, no re-quantization.  Stats are merged per
+    :func:`merge_stats`; the shards' own stats ride along on
+    ``shard_stats``.
+    """
+    if len(shard_results) != len(lane_sets):
+        raise ValueError(
+            f"{len(shard_results)} results for {len(lane_sets)} shards")
+    first = shard_results[0]
+    words: dict[str, np.ndarray] = {}
+    for name in first.words:
+        rows = np.atleast_2d(np.asarray(first.words[name]))
+        out = np.empty((batch, rows.shape[-1]), dtype=rows.dtype)
+        for lanes, result in zip(lane_sets, shard_results):
+            out[lanes] = np.atleast_2d(np.asarray(result.words[name]))
+        words[name] = out
+    return RunResult(
+        words=words, fmt=first.fmt,
+        stats=merge_stats([r.stats for r in shard_results]),
+        batch=batch,
+        shard_stats=tuple(r.stats for r in shard_results))
+
+
+def _init_fork_worker(token: int) -> None:
+    """Runs in each forked worker: adopt the parent's engine object."""
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = _FORK_ENGINES[token]
+
+
+def _run_shard_in_worker(inputs: dict[str, np.ndarray]
+                         ) -> tuple[dict[str, np.ndarray],
+                                    SimulationStats, int]:
+    """One shard's pass inside a worker process (plain tuples over IPC)."""
+    result = _WORKER_ENGINE.run_batch(inputs)
+    return result.words, result.stats, result.batch
+
+
+class ShardedEngine:
+    """Data-parallel fan-out of batched inference over engine replicas.
+
+    Args:
+        engine: the primary :class:`~repro.engine.InferenceEngine`.  Its
+            model, config, crossbar model, and seed define every replica.
+        num_shards: replica count a batch is split across.  Batches
+            smaller than this form fewer shards; ``num_shards=1`` (or a
+            1-lane batch) bypasses the pool entirely and behaves exactly
+            like the plain engine.
+        shard_policy: lane assignment, ``"contiguous"`` (default) or
+            ``"interleaved"`` — see :func:`shard_lanes`.  Either way the
+            merged result is in original lane order.
+        executor: ``"process"`` (forked worker processes — real
+            parallelism, the default where ``fork`` exists),
+            ``"thread"`` (in-process pool; GIL-bound but dependency-free
+            and exception-transparent), or ``"auto"``.
+
+    The worker pool is created lazily on the first sharded call — after
+    warming the primary engine so forked replicas inherit the compiled
+    program and programmed-crossbar state copy-on-write — and is shut
+    down by :meth:`close` (or leaving the ``with`` block).
+    """
+
+    def __init__(self, engine: "InferenceEngine", *,
+                 num_shards: int = 2,
+                 shard_policy: str = "contiguous",
+                 executor: str = "auto") -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if shard_policy not in SHARD_POLICIES:
+            raise ValueError(
+                f"unknown shard policy {shard_policy!r}; "
+                f"choose from {SHARD_POLICIES}")
+        if executor not in ("auto", "thread", "process"):
+            raise ValueError(
+                f"executor must be 'auto', 'thread', or 'process', "
+                f"got {executor!r}")
+        if executor == "auto":
+            executor = ("process" if "fork" in
+                        multiprocessing.get_all_start_methods() else "thread")
+        elif executor == "process" and \
+                "fork" not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                "executor='process' requires the fork start method "
+                "(unavailable on this platform); use 'thread'")
+        if engine.seed is None:
+            # seed=None asks every programming pass for fresh entropy, so
+            # replicas would program *different* noisy crossbars and the
+            # merged result could not equal the single-engine pass.
+            raise ValueError(
+                "ShardedEngine requires a seeded engine (seed is None): "
+                "replicas must program identical crossbars for the merged "
+                "result to be bitwise identical to the unsharded run")
+        self.engine = engine
+        self.num_shards = num_shards
+        self.shard_policy = shard_policy
+        self.executor = executor
+        self._pool = None
+        self._fork_token: int | None = None
+        self._replicas: "list[InferenceEngine]" = []
+
+    # -- engine facade -----------------------------------------------------
+
+    @property
+    def fmt(self):
+        return self.engine.fmt
+
+    @property
+    def program(self):
+        return self.engine.program
+
+    @property
+    def compiled(self):
+        return self.engine.compiled
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        return self.engine.quantize(values)
+
+    def dequantize(self, words: np.ndarray) -> np.ndarray:
+        return self.engine.dequantize(words)
+
+    def validate_request(self, inputs: Mapping[str, np.ndarray]) -> None:
+        self.engine.validate_request(inputs)
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _make_replica(self) -> "InferenceEngine":
+        """A replica engine: same compilation (cache hit), same seed."""
+        from repro.engine import InferenceEngine
+
+        primary = self.engine
+        if primary.model is not None:
+            return InferenceEngine(
+                primary.model, primary.config, primary.options,
+                crossbar_model=primary.crossbar_model, seed=primary.seed)
+        return InferenceEngine.from_compiled(
+            primary.compiled, primary.config,
+            crossbar_model=primary.crossbar_model, seed=primary.seed)
+
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            return
+        # Warm before forking/replicating: children and replicas then
+        # share the programmed-crossbar state instead of re-deriving it.
+        self.engine.warm()
+        if self.executor == "process":
+            context = multiprocessing.get_context("fork")
+            token = next(_fork_tokens)
+            _FORK_ENGINES[token] = self.engine
+            try:
+                # multiprocessing.Pool forks all workers eagerly; the
+                # registry entry outlives them (until close()) so crashed
+                # workers can be respawned with the engine still there.
+                self._pool = context.Pool(processes=self.num_shards,
+                                          initializer=_init_fork_worker,
+                                          initargs=(token,))
+            except BaseException:
+                _FORK_ENGINES.pop(token, None)
+                raise
+            self._fork_token = token
+        else:
+            self._replicas = [self._make_replica()
+                              for _ in range(self.num_shards)]
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_shards,
+                thread_name_prefix="puma-shard")
+
+    def start(self) -> "ShardedEngine":
+        """Warm the primary engine and spawn the worker pool eagerly.
+
+        Optional — the first sharded call does this lazily — but servers
+        should call it at startup so worker processes fork from the main
+        thread, before any event loop or executor threads exist.
+        """
+        self._ensure_pool()
+        return self
+
+    def close(self) -> None:
+        """Shut the worker pool down; idempotent, safe after failures."""
+        pool, self._pool = self._pool, None
+        token, self._fork_token = self._fork_token, None
+        self._replicas = []
+        try:
+            if isinstance(pool, ThreadPoolExecutor):
+                pool.shutdown(wait=True)
+            elif pool is not None:
+                pool.close()
+                pool.join()
+        finally:
+            # Deregister only after join: a worker respawned during the
+            # shutdown window must still find the engine.
+            if token is not None:
+                _FORK_ENGINES.pop(token, None)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution ---------------------------------------------------------
+
+    def predict(self, inputs: Mapping[str, np.ndarray]) -> RunResult:
+        """Float-first sharded inference (mirrors ``InferenceEngine``)."""
+        arrays = {name: np.asarray(values, dtype=np.float64)
+                  for name, values in inputs.items()}
+        return self.run_batch({name: self.engine.quantize(arr)
+                               for name, arr in arrays.items()})
+
+    def run_batch(self, inputs: Mapping[str, np.ndarray]) -> RunResult:
+        """Shard, run concurrently, merge — bitwise == unsharded.
+
+        Output words equal ``self.engine.run_batch(inputs)`` bit for bit;
+        ``stats`` follows the sharded-merge rules (cycles = max over
+        shards, energy/counters summed) and ``shard_stats`` carries each
+        shard's own pass.
+        """
+        self.engine._check_names(inputs)
+        batch = self.engine._infer_batch(inputs)
+        lane_sets = shard_lanes(batch, self.num_shards, self.shard_policy)
+        if len(lane_sets) == 1:
+            return self.engine.run_batch(inputs)
+        shard_inputs = split_batch(inputs, lane_sets)
+        self._ensure_pool()
+        if self.executor == "process":
+            shard_results = self._run_shards_process(shard_inputs)
+        else:
+            shard_results = self._run_shards_thread(shard_inputs)
+        return merge_results(shard_results, lane_sets, batch)
+
+    def _collect(self, outcomes: "list[tuple[RunResult | None, BaseException | None]]"
+                 ) -> list[RunResult]:
+        """Raise the first shard failure (all shards already settled)."""
+        for index, (_result, error) in enumerate(outcomes):
+            if error is not None:
+                raise ShardExecutionError(index, len(outcomes),
+                                          error) from error
+        return [result for result, _error in outcomes]
+
+    def _run_shards_process(self, shard_inputs: list[dict[str, np.ndarray]]
+                            ) -> list[RunResult]:
+        handles = [self._pool.apply_async(_run_shard_in_worker, (shard,))
+                   for shard in shard_inputs]
+        outcomes: list = []
+        for handle in handles:
+            # Settle every shard before raising so no work is left
+            # dangling in the pool when an error propagates.
+            try:
+                words, stats, shard_batch = handle.get()
+                outcomes.append((RunResult(words=words, fmt=self.engine.fmt,
+                                           stats=stats, batch=shard_batch),
+                                 None))
+            except Exception as exc:  # noqa: BLE001 - reported per shard
+                outcomes.append((None, exc))
+        return self._collect(outcomes)
+
+    def _run_shards_thread(self, shard_inputs: list[dict[str, np.ndarray]]
+                           ) -> list[RunResult]:
+        futures = [
+            self._pool.submit(self._replicas[i % len(self._replicas)]
+                              .run_batch, shard)
+            for i, shard in enumerate(shard_inputs)
+        ]
+        outcomes: list = []
+        for future in futures:
+            try:
+                outcomes.append((future.result(), None))
+            except Exception as exc:  # noqa: BLE001 - reported per shard
+                outcomes.append((None, exc))
+        return self._collect(outcomes)

@@ -57,6 +57,11 @@ class RunResult(Mapping):
         lane_stats: per-lane stats when the run used the sequential
             reference path (one single-input simulation per row);
             ``None`` for SIMD-over-batch passes.
+        shard_stats: per-shard stats when the run was fanned out across
+            engine replicas (:class:`repro.serve.sharding.ShardedEngine`),
+            in shard order; ``stats`` is then the *merged* view (cycles =
+            max over the concurrent shards, energy and instruction/stall
+            counters summed).  ``None`` for unsharded passes.
 
     Mapping protocol: iterating/indexing a ``RunResult`` reads ``words``,
     preserving the legacy raw-dict contract bit for bit.
@@ -67,6 +72,8 @@ class RunResult(Mapping):
     stats: SimulationStats
     batch: int = 1
     lane_stats: tuple[SimulationStats, ...] | None = field(
+        default=None, repr=False)
+    shard_stats: tuple[SimulationStats, ...] | None = field(
         default=None, repr=False)
 
     # -- mapping over the fixed-point words (legacy contract) -------------

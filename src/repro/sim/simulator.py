@@ -32,7 +32,7 @@ from repro.energy.model import EnergyModel
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
 from repro.isa.program import NodeProgram
-from repro.node.node import Node
+from repro.node.node import Node, NodeProgrammedState
 from repro.sim.stats import SimulationStats
 from repro.sim.trace import TraceRecorder
 from repro.tile.attribute_buffer import PERSISTENT_COUNT
@@ -89,6 +89,10 @@ class Simulator:
         trace: optional trace recorder.
         max_cycles: safety bound on simulated time.
         batch: number of inputs processed SIMD-style in one run.
+        programmed_state: configuration-time state harvested from an
+            identically-configured simulator's node
+            (:meth:`~repro.node.node.Node.export_programmed_state`);
+            skips the crossbar programming pass bitwise-identically.
     """
 
     def __init__(self, config: PumaConfig, program: NodeProgram,
@@ -96,7 +100,9 @@ class Simulator:
                  seed: int | None = None,
                  trace: TraceRecorder | None = None,
                  max_cycles: int = 2_000_000_000,
-                 batch: int = 1) -> None:
+                 batch: int = 1,
+                 programmed_state: "NodeProgrammedState | None" = None
+                 ) -> None:
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
         self.config = config
@@ -109,7 +115,8 @@ class Simulator:
         self.now = 0
         self.node = Node.for_program(config, program, self._schedule_delay,
                                      crossbar_model=crossbar_model, seed=seed,
-                                     batch=batch)
+                                     batch=batch,
+                                     programmed_state=programmed_state)
         self.energy_model = EnergyModel(config)
         self.stats = SimulationStats(cycle_ns=config.cycle_ns)
         self._agents = self._build_agents()

@@ -1,0 +1,94 @@
+; model: small_cnn
+; ---- tile 0 core 0
+    0: load r512, @208 w4                              ; conv0 bias
+    1: set r520, #0
+    2: set r521, #6
+    3: set r522, #0
+    4: set r523, #64
+    5: load r0, @[r522+0] w3
+    6: load r3, @[r522+8] w3
+    7: load r6, @[r522+16] w3
+    8: mvm mask=0b1 filter=3 stride=0
+    9: alu add r516, r256, r512 w4
+   10: alu relu r516, r516 w4
+   11: store r516, @[r523+0] count=127 w4
+   12: load r0, @[r522+3]
+   13: load r3, @[r522+11]
+   14: load r6, @[r522+19]
+   15: mvm mask=0b1 filter=3 stride=1
+   16: alu add r516, r256, r512 w4
+   17: alu relu r516, r516 w4
+   18: store r516, @[r523+4] count=127 w4
+   19: load r1, @[r522+4]
+   20: load r4, @[r522+12]
+   21: load r7, @[r522+20]
+   22: mvm mask=0b1 filter=3 stride=2
+   23: alu add r516, r256, r512 w4
+   24: alu relu r516, r516 w4
+   25: store r516, @[r523+8] count=127 w4
+   26: alu-int add r524, r522, #3
+   27: alu-int add r525, r523, #12
+   28: set r526, #1
+   29: set r527, #2
+   30: load r2, @[r524+2]
+   31: load r5, @[r524+10]
+   32: load r8, @[r524+18]
+   33: mvm mask=0b1 filter=3 stride=0
+   34: alu add r516, r256, r512 w4
+   35: alu relu r516, r516 w4
+   36: store r516, @[r525+0] count=127 w4
+   37: load r0, @[r524+3]
+   38: load r3, @[r524+11]
+   39: load r6, @[r524+19]
+   40: mvm mask=0b1 filter=3 stride=1
+   41: alu add r516, r256, r512 w4
+   42: alu relu r516, r516 w4
+   43: store r516, @[r525+4] count=127 w4
+   44: load r1, @[r524+4]
+   45: load r4, @[r524+12]
+   46: load r7, @[r524+20]
+   47: mvm mask=0b1 filter=3 stride=2
+   48: alu add r516, r256, r512 w4
+   49: alu relu r516, r516 w4
+   50: store r516, @[r525+8] count=127 w4
+   51: alu-int add r524, r524, #3
+   52: alu-int add r525, r525, #12
+   53: alu-int add r526, r526, #1
+   54: brn lt r526, r527, 30                           ; conv0 column-block loop
+   55: alu-int add r520, r520, #1
+   56: alu-int add r522, r522, #8
+   57: alu-int add r523, r523, #24
+   58: brn lt r520, r521, 5                            ; conv0 row loop
+   59: set r576, #0
+   60: set r577, #3
+   61: set r578, #64
+   62: set r579, #212
+   63: load r528, @[r578+0] w24
+   64: load r552, @[r578+24] w24
+   65: alu max r528, r528, r552 w24
+   66: alu max r552, r528, r532 w4
+   67: alu max r556, r536, r540 w4
+   68: alu max r560, r544, r548 w4
+   69: store r552, @[r579+0] count=127 w12
+   70: alu-int add r576, r576, #1
+   71: alu-int add r578, r578, #48
+   72: alu-int add r579, r579, #12
+   73: brn lt r576, r577, 63                           ; pool row loop
+   74: hlt
+; ---- tile 0 core 1
+    0: load r0, @212 w36                               ; dense2 tile 0
+    1: mvm mask=0b1
+    2: copy r512, r256 w10
+    3: load r522, @248 w10
+    4: alu add r512, r512, r522 w10
+    5: alu relu r512, r512 w10
+    6: store r512, @258 count=127 w10
+    7: hlt
+; ---- tile 0 core 2
+    0: load r0, @258 w10                               ; dense3 tile 0
+    1: mvm mask=0b1
+    2: copy r512, r256 w4
+    3: load r516, @268 w4
+    4: alu add r512, r512, r516 w4
+    5: store r512, @272 count=127 w4
+    6: hlt

@@ -1,0 +1,46 @@
+; model: lstm
+; ---- tile 0 core 0
+    0: load r0, @0 w8                                  ; stage task 3
+    1: load r8, @44 w6                                 ; stage task 1
+    2: mvm mask=0b1                                    ; mvm tasks [5]
+    3: copy r512, r256 w24                             ; init acc reduce 6
+    4: load r536, @20 w24                              ; load task 0
+    5: alu add r560, r512, r536 w24
+    6: copy r512, r572 w6                              ; gather task 7
+    7: alu sigmoid r518, r512 w6
+    8: copy r512, r566 w6                              ; gather task 7
+    9: alu sigmoid r524, r512 w6
+   10: load r512, @50 w6                               ; load task 2
+   11: alu mul r530, r524, r512 w6
+   12: copy r512, r560 w6                              ; gather task 7
+   13: alu sigmoid r524, r512 w6
+   14: copy r512, r578 w6                              ; gather task 7
+   15: alu tanh r536, r512 w6
+   16: alu mul r512, r524, r536 w6
+   17: alu add r524, r530, r512 w6
+   18: alu tanh r512, r524 w6
+   19: alu mul r530, r518, r512 w6
+   20: load r0, @8 w8                                  ; stage task 21
+   21: copy r8, r530 w6                                ; stage task 20
+   22: mvm mask=0b1                                    ; mvm tasks [23]
+   23: copy r530, r256 w24                             ; init acc reduce 24
+   24: load r554, @20 w24                              ; load task 0
+   25: alu add r578, r530, r554 w24
+   26: copy r512, r590 w6                              ; gather task 25
+   27: alu sigmoid r518, r512 w6
+   28: copy r512, r584 w6                              ; gather task 25
+   29: alu sigmoid r530, r512 w6
+   30: alu mul r512, r530, r524 w6
+   31: copy r524, r578 w6                              ; gather task 25
+   32: alu sigmoid r530, r524 w6
+   33: copy r524, r596 w6                              ; gather task 25
+   34: alu tanh r536, r524 w6
+   35: alu mul r524, r530, r536 w6
+   36: alu add r530, r512, r524 w6
+   37: alu tanh r512, r530 w6
+   38: alu mul r524, r518, r512 w6
+   39: copy r128, r524 w6                              ; stage task 38
+   40: mvm mask=0b10                                   ; mvm tasks [39]
+   41: copy r512, r384 w4                              ; init acc reduce 40
+   42: store r512, @16 count=127 w4                    ; output out[0:]
+   43: hlt

@@ -1,0 +1,24 @@
+; model: mlp
+; ---- tile 0 core 0
+    0: load r0, @0 w32                                 ; stage task 0
+    1: mvm mask=0b1                                    ; mvm tasks [1]
+    2: copy r512, r256 w24                             ; init acc reduce 2
+    3: load r536, @42 w24                              ; load task 3
+    4: alu add r560, r512, r536 w24
+    5: alu sigmoid r512, r560 w24
+    6: copy r128, r512 w24                             ; stage task 5
+    7: mvm mask=0b10                                   ; mvm tasks [6]
+    8: copy r512, r384 w16                             ; init acc reduce 7
+    9: load r528, @66 w16                              ; load task 8
+   10: alu add r544, r512, r528 w16
+   11: alu sigmoid r512, r544 w16
+   12: store r512, @82 count=1 w16                     ; publish task 10
+   13: hlt
+; ---- tile 0 core 1
+    0: load r0, @82 w16                                ; stage task 10
+    1: mvm mask=0b1                                    ; mvm tasks [11]
+    2: copy r512, r256 w10                             ; init acc reduce 12
+    3: load r522, @98 w10                              ; load task 13
+    4: alu add r532, r512, r522 w10
+    5: store r532, @32 count=127 w10                   ; output out[0:]
+    6: hlt

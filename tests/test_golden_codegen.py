@@ -1,0 +1,110 @@
+"""Golden-file snapshots of compiler codegen.
+
+End-to-end numerics can stay bit-identical while the compiler silently
+regresses — an extra spill per loop, a lost coalescing opportunity, a
+reordered stream that changes timing but not values.  These tests pin
+the *disassembled instruction streams* of one representative workload
+per family (MLP, LSTM, CNN) against golden files in ``tests/golden/``.
+
+A legitimate codegen change updates the snapshots with::
+
+    pytest tests/test_golden_codegen.py --update-golden
+
+and the resulting diff is reviewed like any other code change.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import compile_model, default_config
+from repro.compiler.cnn import compile_cnn
+from repro.isa.assembler import disassemble
+from repro.workloads.cnn import small_cnn_spec
+from repro.workloads.lstm import build_lstm_model
+from repro.workloads.mlp import build_mlp_model
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+CFG = default_config()
+
+
+def _render(program) -> str:
+    """Deterministic disassembly of every tile/core stream (cli disasm
+    layout)."""
+    parts = [f"; model: {program.name}"]
+    for tile_id, tile in sorted(program.tiles.items()):
+        if tile.tile_instructions:
+            parts.append(f"; ---- tile {tile_id} control stream")
+            parts.append(disassemble(tile.tile_instructions, numbered=True))
+        for core_id, core in sorted(tile.cores.items()):
+            parts.append(f"; ---- tile {tile_id} core {core_id}")
+            parts.append(disassemble(core.instructions, numbered=True))
+    return "\n".join(parts) + "\n"
+
+
+def _compile_mlp():
+    return compile_model(build_mlp_model([32, 24, 16, 10], seed=0),
+                         CFG).program
+
+
+def _compile_lstm():
+    return compile_model(
+        build_lstm_model(8, 6, 4, seq_len=2, seed=0), CFG).program
+
+
+def _compile_cnn():
+    return compile_cnn(small_cnn_spec(seed=0), CFG).program
+
+
+WORKLOADS = {
+    "mlp": _compile_mlp,
+    "lstm": _compile_lstm,
+    "cnn": _compile_cnn,
+}
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_codegen_matches_golden(name, request):
+    """The disassembled stream equals the reviewed snapshot, line for
+    line."""
+    rendered = _render(WORKLOADS[name]())
+    golden_path = GOLDEN_DIR / f"{name}.asm"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(rendered)
+        pytest.skip(f"regenerated {golden_path}")
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path}; generate it with "
+        f"pytest tests/test_golden_codegen.py --update-golden")
+    golden = golden_path.read_text()
+    if rendered != golden:
+        rendered_lines = rendered.splitlines()
+        golden_lines = golden.splitlines()
+        first_diff = next(
+            (i for i, (a, b) in enumerate(zip(golden_lines, rendered_lines))
+             if a != b),
+            min(len(golden_lines), len(rendered_lines)))
+        context = "\n".join(
+            f"  golden  : {golden_lines[i] if i < len(golden_lines) else '<eof>'}\n"
+            f"  current : {rendered_lines[i] if i < len(rendered_lines) else '<eof>'}"
+            for i in range(first_diff, min(first_diff + 3,
+                                           max(len(golden_lines),
+                                               len(rendered_lines)))))
+        pytest.fail(
+            f"codegen drift for {name!r}: disassembly diverges from "
+            f"tests/golden/{name}.asm at line {first_diff + 1} "
+            f"({len(golden_lines)} golden vs {len(rendered_lines)} current "
+            f"lines).\n{context}\n"
+            f"If the change is intentional, refresh with --update-golden "
+            f"and review the diff.")
+
+
+def test_golden_snapshots_are_nontrivial():
+    """Guard the guard: snapshots exist and hold real instruction
+    streams."""
+    for name in WORKLOADS:
+        path = GOLDEN_DIR / f"{name}.asm"
+        assert path.exists(), f"missing {path}"
+        text = path.read_text()
+        assert text.count("\n") > 20, f"{path} is suspiciously small"
+        assert "hlt" in text, f"{path} has no halt instruction"

@@ -1,0 +1,102 @@
+"""Property-based round-trip tests for the serving data path.
+
+~200 seeded-random cases across random MLP shapes, batch sizes, and
+input draws, checking the two serving-layer identities end to end:
+
+* **quantize → simulate → dequantize**: ``predict()`` on float inputs
+  produces exactly the raw fixed-point words of ``run_batch()`` on the
+  pre-quantized inputs (the float-first path adds no arithmetic of its
+  own), and its ``.outputs`` are exactly ``dequantize`` of those words;
+* **lane slicing**: ``RunResult.lane(i)`` of a batched pass equals the
+  sequential single-input reference lane for lane, bit for bit — the
+  invariant that lets the server hand coalesced-batch lanes back to
+  individual clients.
+
+Everything is seeded: failures reproduce deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import InferenceEngine
+from repro.workloads.mlp import build_mlp_model
+
+SEED = 20260728
+NUM_SHAPES = 10
+DRAWS_PER_BATCH = 4
+BATCH_CHOICES = (1, 2, 3, 4, 6)
+
+
+def random_shapes(rng: np.random.Generator) -> list[list[int]]:
+    shapes = []
+    for _ in range(NUM_SHAPES):
+        depth = int(rng.integers(2, 5))  # 2-4 layers
+        shapes.append([int(rng.integers(6, 33)) for _ in range(depth + 1)])
+    return shapes
+
+
+@pytest.fixture(scope="module")
+def cases():
+    """(engine, batch, float input) triples — 200 in total."""
+    rng = np.random.default_rng(SEED)
+    out = []
+    for dims in random_shapes(rng):
+        engine = InferenceEngine(build_mlp_model(dims, seed=0), seed=0)
+        for batch in BATCH_CHOICES:
+            for _ in range(DRAWS_PER_BATCH):
+                x = rng.normal(0.0, 0.5, size=(batch, dims[0]))
+                out.append((engine, batch, x))
+    assert len(out) == NUM_SHAPES * len(BATCH_CHOICES) * DRAWS_PER_BATCH
+    return out
+
+
+def test_predict_agrees_with_run_batch_raw_words(cases):
+    """Float-first predict() == run_batch() on pre-quantized words, for
+    every shape/batch/draw (200 cases)."""
+    for engine, _batch, x in cases:
+        from_floats = engine.predict({"x": x})
+        from_words = engine.run_batch({"x": engine.quantize(x)})
+        assert set(from_floats) == set(from_words)
+        for name in from_words:
+            assert np.array_equal(from_floats[name], from_words[name]), \
+                f"dims={x.shape} name={name}"
+            # ... and the float views are exactly dequantize(words).
+            assert np.array_equal(
+                from_floats.outputs[name],
+                engine.dequantize(from_words[name]))
+
+
+def test_run_result_shapes(cases):
+    """Words come back (batch, length) — or (length,) for batch 1 — and
+    batch metadata matches the inputs."""
+    for engine, batch, x in cases[::10]:
+        result = engine.predict({"x": x})
+        assert result.batch == batch
+        for name, (_t, _a, length) in \
+                engine.program.output_layout.items():
+            expected = (length,) if batch == 1 else (batch, length)
+            assert result[name].shape == expected
+
+
+def test_lane_slicing_matches_sequential_reference():
+    """lane(i) of a batched pass == the single-input reference, lane by
+    lane, across random shapes."""
+    rng = np.random.default_rng(SEED + 1)
+    for dims in random_shapes(rng):
+        engine = InferenceEngine(build_mlp_model(dims, seed=0), seed=0)
+        batch = int(rng.integers(2, 6))
+        x = rng.normal(0.0, 0.5, size=(batch, dims[0]))
+        words = {"x": engine.quantize(x)}
+        batched = engine.run_batch(words)
+        sequential = engine.run_sequential(words)
+        assert sequential.lane_stats is not None
+        assert len(sequential.lane_stats) == batch
+        for lane in range(batch):
+            lane_view = batched.lane(lane)
+            single = engine.run_batch({"x": words["x"][lane]})
+            for name in batched:
+                assert np.array_equal(lane_view[name],
+                                      sequential[name][lane]), \
+                    f"dims={dims} lane={lane} vs sequential"
+                assert np.array_equal(lane_view[name], single[name]), \
+                    f"dims={dims} lane={lane} vs single run"

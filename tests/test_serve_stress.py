@@ -1,0 +1,133 @@
+"""Concurrency stress tests for the async serving front-end.
+
+64+ concurrent clients with randomized arrival times hammer one
+:class:`PumaServer`; every response must be bitwise identical to its
+sequential single-input reference (no request may be lost, duplicated,
+swapped between lanes, or served from the wrong batch), and the server
+counters must balance exactly: requests served + failed == lanes
+simulated, summed over the batches actually formed.
+
+The same battery runs against a sharded server (``num_shards > 1``) —
+the fan-out layer must be invisible to clients except in throughput.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import InferenceEngine, PumaServer
+from repro.workloads.mlp import build_mlp_model
+
+DIMS = [24, 16, 10]
+NUM_CLIENTS = 72
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return InferenceEngine(build_mlp_model(DIMS, seed=0), seed=0)
+
+
+@pytest.fixture(scope="module")
+def workload(engine):
+    """Per-client float vectors plus their bitwise reference words."""
+    rng = np.random.default_rng(5)
+    xs = [rng.normal(0.0, 0.4, size=DIMS[0]) for _ in range(NUM_CLIENTS)]
+    references = [engine.predict({"x": x}) for x in xs]
+    return xs, references
+
+
+async def _client(server, x, delay, rng_jitter):
+    await asyncio.sleep(delay)
+    return await server.submit({"x": x})
+
+
+def _run_stress(engine, *, num_shards=1, shard_executor="thread",
+                max_batch_size=8, seed=11):
+    """Drive NUM_CLIENTS mixed-arrival clients; return (results,
+    server)."""
+    rng = np.random.default_rng(seed)
+    # Three arrival regimes: a thundering herd at t=0, a trickle, and a
+    # late burst — exercising full, partial, and timed-out batches.
+    delays = np.concatenate([
+        np.zeros(NUM_CLIENTS // 3),
+        rng.uniform(0.0, 0.02, size=NUM_CLIENTS // 3),
+        np.full(NUM_CLIENTS - 2 * (NUM_CLIENTS // 3), 0.025),
+    ])
+
+    async def run(xs):
+        server = PumaServer(engine, max_batch_size=max_batch_size,
+                            batch_window_s=0.004, num_shards=num_shards,
+                            shard_executor=shard_executor)
+        async with server:
+            results = await asyncio.gather(
+                *(_client(server, x, delay, rng)
+                  for x, delay in zip(xs, delays)))
+        return results, server
+
+    return run
+
+
+@pytest.mark.parametrize("num_shards", [1, 2],
+                         ids=["unsharded", "sharded-x2"])
+def test_stress_bitwise_and_counter_consistency(engine, workload,
+                                                num_shards):
+    xs, references = workload
+    results, server = asyncio.run(
+        _run_stress(engine, num_shards=num_shards)(xs))
+
+    # Every client got exactly its own answer, bit for bit.
+    assert len(results) == NUM_CLIENTS
+    for result, reference in zip(results, references):
+        assert set(result) == set(reference)
+        for name in reference:
+            assert np.array_equal(result[name], reference[name])
+
+    # Counters balance: nothing lost, nothing double-served.
+    counters = server.counters
+    assert counters.requests_served == NUM_CLIENTS
+    assert counters.requests_failed == 0
+    assert counters.lanes_simulated == NUM_CLIENTS
+    assert 1 <= counters.batches_formed <= NUM_CLIENTS
+    assert counters.batches_formed >= -(-NUM_CLIENTS //
+                                        counters.max_batch_size)
+    assert counters.mean_batch_size == pytest.approx(
+        NUM_CLIENTS / counters.batches_formed)
+    assert 0.0 < counters.mean_occupancy <= 1.0
+
+
+def test_stress_interleaved_sharded_server(engine, workload):
+    """Interleaved lane policy is equally invisible to clients."""
+    xs, references = workload
+    rng = np.random.default_rng(23)
+
+    async def run():
+        server = PumaServer(engine, max_batch_size=16, batch_window_s=0.003,
+                            num_shards=3, shard_policy="interleaved",
+                            shard_executor="thread")
+        async with server:
+            tasks = []
+            for x in xs:
+                tasks.append(asyncio.create_task(
+                    _client(server, x, float(rng.uniform(0, 0.015)), rng)))
+            return await asyncio.gather(*tasks), server
+
+    results, server = asyncio.run(run())
+    for result, reference in zip(results, references):
+        for name in reference:
+            assert np.array_equal(result[name], reference[name])
+    assert server.counters.requests_served == NUM_CLIENTS
+    assert server.counters.requests_failed == 0
+
+
+def test_stress_rejects_after_stop(engine):
+    async def run():
+        server = PumaServer(engine, max_batch_size=4)
+        async with server:
+            await server.submit(
+                {"x": np.zeros(DIMS[0], dtype=np.float64)})
+        with pytest.raises(RuntimeError, match="not running"):
+            await server.submit(
+                {"x": np.zeros(DIMS[0], dtype=np.float64)})
+
+    asyncio.run(run())

@@ -1,0 +1,377 @@
+"""The sharding layer: batch fan-out across engine replicas.
+
+Covers the `repro.serve.sharding` contracts:
+
+* ``ShardedEngine.run_batch`` is **bitwise identical** to the unsharded
+  ``InferenceEngine.run_batch`` for 1/2/4 shards, both lane policies,
+  both executors, on ideal and noisy crossbar models;
+* merged stats follow the concurrent-replica rules — cycles are the max
+  over shards, energy and instruction/stall counters the sum — with the
+  per-shard stats preserved on ``shard_stats``;
+* error paths: shard counts beyond the batch clamp (no empty shards), a
+  worker failure propagates with the shard index and leaves the pool
+  shut-downable and reusable, ``num_shards=1`` never builds a pool;
+* the programmed-crossbar state cache that makes replicas cheap is
+  itself bitwise: cached constructions equal fresh ones, including the
+  post-programming RNG position (write noise and the RANDOM op).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    InferenceEngine,
+    InVector,
+    Model,
+    OutVector,
+    ShardedEngine,
+    ShardExecutionError,
+    default_config,
+)
+from repro.arch.crossbar import CrossbarModel
+from repro.serve.sharding import (
+    SHARD_POLICIES,
+    merge_stats,
+    shard_lanes,
+    split_batch,
+)
+from repro.workloads.mlp import build_mlp_model
+
+DIMS = [32, 24, 10]
+NOISY = CrossbarModel(write_noise_sigma=0.05, adc_bits=8)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_mlp_model(DIMS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def engine(model):
+    return InferenceEngine(model, seed=0)
+
+
+def batch_inputs(engine, batch, seed=1):
+    rng = np.random.default_rng(seed)
+    return {"x": engine.quantize(rng.normal(0.0, 0.5,
+                                            size=(batch, DIMS[0])))}
+
+
+# -- lane assignment ------------------------------------------------------
+
+
+class TestShardLanes:
+    def test_partition(self):
+        for batch in (1, 5, 8, 13):
+            for shards in (1, 2, 4, 7):
+                for policy in SHARD_POLICIES:
+                    lanes = shard_lanes(batch, shards, policy)
+                    assert all(len(part) > 0 for part in lanes)
+                    assert len(lanes) == min(shards, batch)
+                    merged = np.sort(np.concatenate(lanes))
+                    assert np.array_equal(merged, np.arange(batch))
+
+    def test_contiguous_is_ordered_runs(self):
+        lanes = shard_lanes(10, 3, "contiguous")
+        assert [part.tolist() for part in lanes] == [
+            [0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_interleaved_round_robin(self):
+        lanes = shard_lanes(7, 3, "interleaved")
+        assert [part.tolist() for part in lanes] == [
+            [0, 3, 6], [1, 4], [2, 5]]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="batch"):
+            shard_lanes(0, 2)
+        with pytest.raises(ValueError, match="num_shards"):
+            shard_lanes(4, 0)
+        with pytest.raises(ValueError, match="policy"):
+            shard_lanes(4, 2, "zigzag")
+
+    def test_split_batch_broadcasts_1d(self):
+        lanes = shard_lanes(4, 2)
+        shards = split_batch(
+            {"a": np.arange(8).reshape(4, 2), "b": np.arange(3)}, lanes)
+        assert [s["a"].shape for s in shards] == [(2, 2), (2, 2)]
+        for shard in shards:
+            assert np.array_equal(shard["b"], np.arange(3))
+
+
+# -- bitwise identity (the acceptance criterion) --------------------------
+
+
+class TestBitwiseIdentity:
+    @pytest.mark.parametrize("crossbar", [None, NOISY],
+                             ids=["ideal", "noisy"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_matches_single_engine(self, model, crossbar, num_shards):
+        engine = InferenceEngine(model, crossbar_model=crossbar, seed=0)
+        inputs = batch_inputs(engine, 13)
+        single = engine.run_batch(inputs)
+        with ShardedEngine(engine, num_shards=num_shards,
+                           executor="thread") as sharded:
+            result = sharded.run_batch(inputs)
+        assert set(result) == set(single)
+        for name in single:
+            assert np.array_equal(single[name], result[name])
+
+    @pytest.mark.parametrize("policy", SHARD_POLICIES)
+    def test_policies_agree(self, engine, policy):
+        inputs = batch_inputs(engine, 9)
+        single = engine.run_batch(inputs)
+        with ShardedEngine(engine, num_shards=3, shard_policy=policy,
+                           executor="thread") as sharded:
+            result = sharded.run_batch(inputs)
+        for name in single:
+            assert np.array_equal(single[name], result[name])
+
+    def test_predict_path(self, engine):
+        rng = np.random.default_rng(7)
+        x = rng.normal(0.0, 0.5, size=(6, DIMS[0]))
+        single = engine.predict({"x": x})
+        with ShardedEngine(engine, num_shards=2,
+                           executor="thread") as sharded:
+            result = sharded.predict({"x": x})
+        for name in single:
+            assert np.array_equal(single[name], result[name])
+            assert np.array_equal(single.outputs[name],
+                                  result.outputs[name])
+
+    def test_lane_slicing_on_merged_result(self, engine):
+        inputs = batch_inputs(engine, 8)
+        single = engine.run_batch(inputs)
+        with ShardedEngine(engine, num_shards=4,
+                           executor="thread") as sharded:
+            result = sharded.run_batch(inputs)
+        for lane in range(8):
+            for name in single:
+                assert np.array_equal(result.lane(lane)[name],
+                                      single.lane(lane)[name])
+
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="fork start method unavailable")
+    def test_process_executor(self, engine):
+        inputs = batch_inputs(engine, 8)
+        single = engine.run_batch(inputs)
+        with ShardedEngine(engine, num_shards=2,
+                           executor="process") as sharded:
+            result = sharded.run_batch(inputs)
+            again = sharded.run_batch(inputs)
+        for name in single:
+            assert np.array_equal(single[name], result[name])
+            assert np.array_equal(single[name], again[name])
+        assert result.shard_stats is not None
+        assert len(result.shard_stats) == 2
+
+
+# -- merged statistics ----------------------------------------------------
+
+
+class TestMergedStats:
+    def test_merge_rules(self, engine):
+        inputs = batch_inputs(engine, 12)
+        with ShardedEngine(engine, num_shards=3,
+                           executor="thread") as sharded:
+            result = sharded.run_batch(inputs)
+        shards = result.shard_stats
+        assert len(shards) == 3
+        assert result.stats.cycles == max(s.cycles for s in shards)
+        assert result.stats.total_energy_j == pytest.approx(
+            sum(s.total_energy_j for s in shards), rel=0, abs=0)
+        assert result.stats.total_instructions == \
+            sum(s.total_instructions for s in shards)
+        assert result.stats.noc_packets == \
+            sum(s.noc_packets for s in shards)
+        for opcode, count in result.stats.dynamic_instructions.items():
+            assert count == sum(
+                s.dynamic_instructions.get(opcode, 0) for s in shards)
+
+    def test_sharded_cycles_amortize(self, engine):
+        """The modelled throughput win: max-over-shards < single pass."""
+        inputs = batch_inputs(engine, 16)
+        single = engine.run_batch(inputs)
+        with ShardedEngine(engine, num_shards=4,
+                           executor="thread") as sharded:
+            result = sharded.run_batch(inputs)
+        assert result.cycles < single.cycles
+        assert single.cycles / result.cycles >= 1.5
+
+    def test_merge_stats_rejects_mixed_clocks(self):
+        from repro.sim.stats import SimulationStats
+
+        with pytest.raises(ValueError, match="cycle"):
+            merge_stats([SimulationStats(cycle_ns=1.0),
+                         SimulationStats(cycle_ns=2.0)])
+        with pytest.raises(ValueError, match="at least one"):
+            merge_stats([])
+
+
+# -- error paths ----------------------------------------------------------
+
+
+class TestErrorPaths:
+    def test_shards_beyond_batch_clamp(self, engine):
+        inputs = batch_inputs(engine, 3)
+        single = engine.run_batch(inputs)
+        with ShardedEngine(engine, num_shards=8,
+                           executor="thread") as sharded:
+            result = sharded.run_batch(inputs)
+        assert len(result.shard_stats) == 3  # one lane per shard, no empties
+        for name in single:
+            assert np.array_equal(single[name], result[name])
+
+    def test_single_shard_degenerates_to_plain_engine(self, engine):
+        inputs = batch_inputs(engine, 6)
+        sharded = ShardedEngine(engine, num_shards=1)
+        result = sharded.run_batch(inputs)
+        assert sharded._pool is None  # no pool was ever built
+        assert result.shard_stats is None
+        single = engine.run_batch(inputs)
+        for name in single:
+            assert np.array_equal(single[name], result[name])
+        sharded.close()
+
+    def test_single_lane_batch_bypasses_pool(self, engine):
+        inputs = batch_inputs(engine, 1)
+        with ShardedEngine(engine, num_shards=4,
+                           executor="thread") as sharded:
+            result = sharded.run_batch(inputs)
+            assert sharded._pool is None
+        assert result.shard_stats is None
+
+    def test_worker_failure_names_shard_and_pool_survives(self, engine):
+        inputs = batch_inputs(engine, 8)
+        sharded = ShardedEngine(engine, num_shards=2, executor="thread")
+        try:
+            sharded.start()
+            original = sharded._replicas[1].run_batch
+
+            def boom(_inputs):
+                raise RuntimeError("crossbar caught fire")
+
+            sharded._replicas[1].run_batch = boom
+            with pytest.raises(ShardExecutionError,
+                               match=r"shard 1/2 .*crossbar caught fire"):
+                sharded.run_batch(inputs)
+            # The failure settled every shard; the pool stays usable.
+            sharded._replicas[1].run_batch = original
+            result = sharded.run_batch(inputs)
+            single = engine.run_batch(inputs)
+            for name in single:
+                assert np.array_equal(single[name], result[name])
+        finally:
+            sharded.close()
+        assert sharded._pool is None  # clean shutdown
+        sharded.close()  # idempotent
+
+    def test_shard_exception_carries_index(self):
+        error = ShardExecutionError(3, 4, ValueError("bad lane"))
+        assert error.shard_index == 3
+        assert "shard 3/4" in str(error)
+        assert "bad lane" in str(error)
+
+    def test_invalid_construction(self, engine):
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardedEngine(engine, num_shards=0)
+        with pytest.raises(ValueError, match="policy"):
+            ShardedEngine(engine, num_shards=2, shard_policy="zigzag")
+        with pytest.raises(ValueError, match="executor"):
+            ShardedEngine(engine, num_shards=2, executor="rocket")
+
+    def test_rejects_unseeded_engine(self, model):
+        """seed=None replicas would program different noisy crossbars —
+        the bitwise-identity contract cannot hold, so refuse up front."""
+        unseeded = InferenceEngine(model, crossbar_model=NOISY, seed=None)
+        with pytest.raises(ValueError, match="seed"):
+            ShardedEngine(unseeded, num_shards=2)
+
+    def test_input_validation_happens_before_the_pool(self, engine):
+        with ShardedEngine(engine, num_shards=2,
+                           executor="thread") as sharded:
+            with pytest.raises(ValueError, match="unknown input"):
+                sharded.run_batch({"nope": np.zeros((4, DIMS[0]),
+                                                    dtype=np.int64)})
+            assert sharded._pool is None
+
+
+# -- the programmed-state cache behind cheap replicas ---------------------
+
+
+class TestProgrammedStateCache:
+    def test_cached_runs_bitwise_equal_fresh(self, model):
+        engine = InferenceEngine(model, seed=0)
+        inputs = batch_inputs(engine, 4)
+        first = engine.run_batch(inputs)   # programs + harvests
+        cached = engine.run_batch(inputs)  # restores
+        assert engine.compiled.programmed_states  # harvest happened
+        for name in first:
+            assert np.array_equal(first[name], cached[name])
+        assert first.stats.cycles == cached.stats.cycles
+        assert first.stats.total_energy_j == cached.stats.total_energy_j
+
+    @pytest.mark.parametrize("crossbar", [None, NOISY],
+                             ids=["ideal", "noisy"])
+    def test_replica_engine_shares_state(self, model, crossbar):
+        primary = InferenceEngine(model, crossbar_model=crossbar, seed=0)
+        inputs = batch_inputs(primary, 4)
+        reference = primary.run_batch(inputs)
+        replica = InferenceEngine(model, crossbar_model=crossbar, seed=0)
+        assert replica.compiled is primary.compiled  # compile-cache hit
+        result = replica.run_batch(inputs)
+        for name in reference:
+            assert np.array_equal(reference[name], result[name])
+
+    def test_rng_position_restored_for_random_op(self):
+        """RANDOM draws after a cached (skipped) programming pass match a
+        fresh noisy programming pass bit for bit."""
+        m = Model.create("rng-probe")
+        x = InVector.create(m, 8, "x")
+        out = OutVector.create(m, 8, "out")
+        from repro.compiler.frontend import random_like
+
+        out.assign(random_like(x))
+        engine = InferenceEngine(m, default_config(),
+                                 crossbar_model=NOISY, seed=123)
+        inputs = {"x": engine.quantize(np.linspace(-0.5, 0.5, 8))}
+        first = engine.run_batch(inputs)   # programs (consumes noise draws)
+        cached = engine.run_batch(inputs)  # restores rng position
+        assert np.array_equal(first["out"], cached["out"])
+
+    def test_seed_none_bypasses_cache(self, model):
+        engine = InferenceEngine(model, crossbar_model=NOISY, seed=None)
+        inputs = batch_inputs(engine, 2)
+        before = len(engine.compiled.programmed_states)
+        engine.run_batch(inputs)
+        engine.run_batch(inputs)
+        # Fresh-entropy engines must not freeze (or cache) their noise.
+        assert len(engine.compiled.programmed_states) == before
+
+    def test_warm_programs_once(self, model):
+        engine = InferenceEngine(model, seed=0)
+        engine.warm()
+        states = dict(engine.compiled.programmed_states)
+        assert states
+        engine.warm()
+        assert engine.compiled.programmed_states == states
+
+    def test_warm_with_seed_none_is_a_noop(self, model):
+        engine = InferenceEngine(model, crossbar_model=NOISY, seed=None)
+        before = len(engine.compiled.programmed_states)
+        engine.warm()
+        assert len(engine.compiled.programmed_states) == before
+
+    def test_cache_is_bounded_under_seed_sweeps(self):
+        """A Fig-13-style sweep must not pin one snapshot per seed
+        forever."""
+        from repro.engine import _PROGRAMMED_STATE_CAP
+
+        model = build_mlp_model([12, 8], seed=0)
+        compiled = None
+        for seed in range(_PROGRAMMED_STATE_CAP + 4):
+            engine = InferenceEngine(model, crossbar_model=NOISY,
+                                     seed=seed)
+            engine.warm()
+            compiled = engine.compiled
+        assert 0 < len(compiled.programmed_states) <= _PROGRAMMED_STATE_CAP
