@@ -54,6 +54,10 @@ class ExecOutcome:
         vec_width: effective vector width processed.
         mvm_count: MVMUs activated (coalesced MVM activates several).
         rom_access: whether the op went through the ROM-Embedded RAM.
+        eff_addr: resolved effective memory address of a completed
+            ``load``/``store``/``send``/``receive`` (register-indirect
+            addressing folded in), recorded for trace replay
+            (:mod:`repro.sim.tape`); 0 for non-memory instructions.
     """
 
     status: ExecStatus
@@ -61,6 +65,7 @@ class ExecOutcome:
     vec_width: int = 1
     mvm_count: int = 0
     rom_access: bool = False
+    eff_addr: int = 0
 
 
 class Core:
@@ -110,6 +115,10 @@ class Core:
         self.pc = 0
         self.halted = False
         self.instructions_executed = 0
+        # ALUI/SET immediates expand to the same vector on every execution;
+        # cache the expansions (read-only) instead of re-allocating np.full
+        # in the loop bodies the compiler emits.
+        self._imm_vectors: dict[tuple[int, int], np.ndarray] = {}
 
     def program_mvmu(self, mvmu_index: int, matrix: np.ndarray) -> None:
         """Configuration-time crossbar write (Section 3.2.5)."""
@@ -128,29 +137,27 @@ class Core:
         """
         if self.halted:
             return ExecOutcome(ExecStatus.HALTED)
-        op = instr.opcode
-        handler = {
-            Opcode.MVM: self._exec_mvm,
-            Opcode.ALU: self._exec_alu,
-            Opcode.ALUI: self._exec_alui,
-            Opcode.ALU_INT: self._exec_alu_int,
-            Opcode.SET: self._exec_set,
-            Opcode.COPY: self._exec_copy,
-            Opcode.LOAD: self._exec_load,
-            Opcode.STORE: self._exec_store,
-            Opcode.JMP: self._exec_jmp,
-            Opcode.BRN: self._exec_brn,
-            Opcode.HLT: self._exec_hlt,
-        }.get(op)
+        handler = self._HANDLERS.get(instr.opcode)
         if handler is None:
             raise ValueError(
-                f"{op.name} cannot execute on a core (tile-level instruction)")
-        outcome = handler(instr)
+                f"{instr.opcode.name} cannot execute on a core "
+                f"(tile-level instruction)")
+        outcome = handler(self, instr)
         if outcome.status == ExecStatus.DONE:
             self.instructions_executed += 1
         return outcome
 
     # -- instruction handlers -------------------------------------------
+
+    def _imm_vector(self, imm: int, width: int) -> np.ndarray:
+        """A cached, read-only ``(width,)`` immediate expansion."""
+        key = (imm, width)
+        vec = self._imm_vectors.get(key)
+        if vec is None:
+            vec = np.full(width, imm, dtype=np.int64)
+            vec.setflags(write=False)
+            self._imm_vectors[key] = vec
+        return vec
 
     def _advance(self, instr: Instruction, next_pc: int | None = None,
                  **fields) -> ExecOutcome:
@@ -159,7 +166,7 @@ class Core:
 
     def _read_scalar(self, reg: int) -> int:
         """Lane-0 value of a scalar register (control is batch-uniform)."""
-        return int(np.asarray(self.registers.read(reg, 1)).flat[0])
+        return self.registers.read_scalar(reg)
 
     def _exec_mvm(self, instr: Instruction) -> ExecOutcome:
         active = [i for i in range(self.config.num_mvmus)
@@ -197,8 +204,8 @@ class Core:
     def _exec_alui(self, instr: Instruction) -> ExecOutcome:
         w = instr.vec_width
         src1 = self.registers.read(instr.src1, w)
-        imm_vec = np.full(w, instr.imm, dtype=np.int64)
-        result = self.vfu.execute(instr.alu_op, src1, imm_vec)
+        result = self.vfu.execute(instr.alu_op, src1,
+                                  self._imm_vector(instr.imm, w))
         self.registers.write(instr.dest, result)
         return self._advance(instr, vec_width=w)
 
@@ -211,7 +218,7 @@ class Core:
 
     def _exec_set(self, instr: Instruction) -> ExecOutcome:
         w = instr.vec_width
-        self.registers.write(instr.dest, np.full(w, instr.imm, dtype=np.int64))
+        self.registers.write(instr.dest, self._imm_vector(instr.imm, w))
         return self._advance(instr, vec_width=w)
 
     def _exec_copy(self, instr: Instruction) -> ExecOutcome:
@@ -233,7 +240,8 @@ class Core:
             return ExecOutcome(ExecStatus.BLOCKED_READ, instr,
                                vec_width=instr.vec_width)
         self.registers.write(instr.dest, data)
-        return self._advance(instr, vec_width=instr.vec_width)
+        return self._advance(instr, vec_width=instr.vec_width,
+                             eff_addr=addr)
 
     def _exec_store(self, instr: Instruction) -> ExecOutcome:
         addr = self._effective_address(instr)
@@ -241,7 +249,8 @@ class Core:
         if not self.memory.try_write(addr, data, count=instr.count):
             return ExecOutcome(ExecStatus.BLOCKED_WRITE, instr,
                                vec_width=instr.vec_width)
-        return self._advance(instr, vec_width=instr.vec_width)
+        return self._advance(instr, vec_width=instr.vec_width,
+                             eff_addr=addr)
 
     def _exec_jmp(self, instr: Instruction) -> ExecOutcome:
         return self._advance(instr, next_pc=instr.pc)
@@ -255,3 +264,19 @@ class Core:
     def _exec_hlt(self, instr: Instruction) -> ExecOutcome:
         self.halted = True
         return ExecOutcome(ExecStatus.HALTED, instr)
+
+    # Class-level dispatch: built once, not per execute() call (the per-call
+    # dict literal was measurable on the interpreter hot path).
+    _HANDLERS = {
+        Opcode.MVM: _exec_mvm,
+        Opcode.ALU: _exec_alu,
+        Opcode.ALUI: _exec_alui,
+        Opcode.ALU_INT: _exec_alu_int,
+        Opcode.SET: _exec_set,
+        Opcode.COPY: _exec_copy,
+        Opcode.LOAD: _exec_load,
+        Opcode.STORE: _exec_store,
+        Opcode.JMP: _exec_jmp,
+        Opcode.BRN: _exec_brn,
+        Opcode.HLT: _exec_hlt,
+    }

@@ -126,6 +126,23 @@ class RegisterFile:
             self.writes[cls] += width
         self._data[:, start:start + width] = arr
 
+    def read_scalar(self, reg: int) -> int:
+        """Lane-0 value of one register, without the vector-read copy.
+
+        Semantically a ``read(reg, 1)`` restricted to lane 0 (what control
+        consumes — branches and indirect addressing are batch-uniform), but
+        allocation-free: the hot branch/indirect path was paying an array
+        copy plus ``np.asarray(...).flat[0]`` per access.  Class rules and
+        access counters behave exactly like :meth:`read`.
+        """
+        self._check_range(reg, 1)
+        cls = self.config.register_class(reg)
+        if self.enforce_classes and cls == RegisterClass.XBAR_IN:
+            raise RegisterAccessError(
+                f"non-MVM read of XbarIn registers at {reg}")
+        self.reads[cls] += 1
+        return int(self._data[0, reg])
+
     def lut_evaluate(self, op: AluOp, values: np.ndarray) -> np.ndarray:
         """Evaluate a transcendental through the embedded ROM."""
         return self.rom.lookup(op, values)

@@ -62,13 +62,28 @@ class RomLutTable:
     y_values: np.ndarray
     fmt: FixedPointFormat
 
-    def evaluate(self, values: np.ndarray) -> np.ndarray:
-        """Interpolate fixed-point inputs through the table.
+    # Word widths up to this many bits get a dense word->value table
+    # (2**16 entries = 512 KB of int64), replacing the per-call
+    # searchsorted+interpolate with one gather on the hot path.
+    _DENSE_MAX_BITS = 16
 
-        Inputs outside the table domain clamp to the end segments, which
-        models hardware saturation.
+    def _dense_table(self) -> np.ndarray | None:
+        """A full word->result table, built lazily via :meth:`_interpolate`.
+
+        Exact by construction — every entry is the interpolation code's own
+        answer for that input word — so the gather path is bitwise
+        identical to the arithmetic path it replaces.
         """
-        x = np.asarray(values, dtype=np.int64)
+        dense = getattr(self, "_dense", None)
+        if dense is None and self.fmt.total_bits <= self._DENSE_MAX_BITS:
+            domain = np.arange(self.fmt.int_min, self.fmt.int_max + 1,
+                               dtype=np.int64)
+            dense = self._interpolate(domain)
+            dense.setflags(write=False)
+            object.__setattr__(self, "_dense", dense)  # frozen dataclass
+        return dense
+
+    def _interpolate(self, x: np.ndarray) -> np.ndarray:
         x_clamped = np.clip(x, self.x_values[0], self.x_values[-1])
         # Segment index for each input (right-closed last segment).
         idx = np.searchsorted(self.x_values, x_clamped, side="right") - 1
@@ -82,6 +97,19 @@ class RomLutTable:
         interp = y0 + ((x_clamped - x0) * (y1 - y0)) // span
         return self.fmt.saturate(interp)
 
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        """Interpolate fixed-point inputs through the table.
+
+        Inputs outside the table domain clamp to the end segments, which
+        models hardware saturation.
+        """
+        x = np.asarray(values, dtype=np.int64)
+        dense = self._dense_table()
+        if dense is not None:
+            clamped = np.clip(x, self.fmt.int_min, self.fmt.int_max)
+            return dense[clamped - self.fmt.int_min]
+        return self._interpolate(x)
+
     def max_interpolation_error(self, probe_points: int = 4096) -> float:
         """Worst observed |LUT - reference| over a uniform probe (real units)."""
         ref = reference_function(self.op)
@@ -94,9 +122,16 @@ class RomLutTable:
         return float(np.max(np.abs(approx - exact)))
 
 
+# Tables are pure functions of (op, entries, fmt) and read-only after
+# construction, so they are shared process-wide.  Building one costs
+# ``entries`` python-float evaluations — noticeable when every simulator
+# run instantiates fresh register files (one RomEmbeddedRam per core).
+_TABLE_CACHE: dict[tuple[AluOp, int, FixedPointFormat], RomLutTable] = {}
+
+
 def build_lut(op: AluOp, entries: int = 256,
               fmt: FixedPointFormat | None = None) -> RomLutTable:
-    """Build the ROM table for one transcendental function.
+    """Build (or fetch the cached) ROM table for one transcendental.
 
     The domain spans the representable range of ``fmt`` except for LOG,
     whose domain starts at the smallest positive representable value.
@@ -104,6 +139,9 @@ def build_lut(op: AluOp, entries: int = 256,
     fmt = fmt if fmt is not None else FixedPointFormat()
     if entries < 2:
         raise ValueError("a LUT needs at least two entries")
+    cached = _TABLE_CACHE.get((op, entries, fmt))
+    if cached is not None:
+        return cached
 
     if op == AluOp.LOG:
         lo = fmt.resolution
@@ -117,13 +155,17 @@ def build_lut(op: AluOp, entries: int = 256,
     else:
         ref = reference_function(op)
     ys = [min(max(ref(float(x)), fmt.min_value), fmt.max_value) for x in xs]
-    return RomLutTable(
+    table = RomLutTable(
         op=op,
         entries=entries,
         x_values=fmt.quantize(xs),
         y_values=fmt.quantize(np.array(ys)),
         fmt=fmt,
     )
+    table.x_values.setflags(write=False)
+    table.y_values.setflags(write=False)
+    _TABLE_CACHE[(op, entries, fmt)] = table
+    return table
 
 
 class RomEmbeddedRam:

@@ -58,13 +58,13 @@ def _parse_inputs(pairs: list[str]) -> dict[str, np.ndarray]:
     return inputs
 
 
-def _build_engine(path: str, seed: int = 0):
+def _build_engine(path: str, seed: int = 0, execution_mode: str = "auto"):
     from repro import default_config
     from repro.compiler.importer import import_graph_file
     from repro.engine import InferenceEngine
 
     return InferenceEngine(import_graph_file(path), default_config(),
-                           seed=seed)
+                           seed=seed, execution_mode=execution_mode)
 
 
 def _fill_missing_inputs(engine, provided: dict[str, np.ndarray],
@@ -100,7 +100,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
         return 2
-    engine = _build_engine(args.graph, seed=args.seed)
+    engine = _build_engine(args.graph, seed=args.seed,
+                           execution_mode=args.execution_mode)
     if args.batch_file:
         return _run_batch_file(engine, args.batch_file, args.shards)
     if args.shards > 1:
@@ -181,13 +182,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Headless serving demo: concurrent clients, dynamic batching."""
     import asyncio
 
-    from repro.engine import compile_cache_info
+    from repro.engine import compile_cache_info, tape_cache_info
     from repro.serve import PumaServer
 
     if args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
         return 2
-    engine = _build_engine(args.graph, seed=args.seed)
+    engine = _build_engine(args.graph, seed=args.seed,
+                           execution_mode=args.execution_mode)
     layout = engine.program.input_layout
     rng = np.random.default_rng(args.seed)
     requests = [
@@ -212,6 +214,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print()
     print(counters.summary())
     print(f"compile cache: {compile_cache_info()}")
+    print(f"tape cache: {tape_cache_info()}")
     return 0
 
 
@@ -265,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fan a --batch-file run out across N engine "
                           "replicas (default 1: single engine)")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--execution-mode", default="auto",
+                     choices=("auto", "replay", "interpret"),
+                     help="trace-replay fast path on repeated runs (auto, "
+                          "the default), strict replay, or always the "
+                          "event-driven interpreter")
     run.set_defaults(fn=_cmd_run)
 
     serve = sub.add_parser(
@@ -280,6 +288,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan each coalesced micro-batch out across N "
                             "engine replicas (default 1)")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--execution-mode", default="auto",
+                       choices=("auto", "replay", "interpret"),
+                       help="trace-replay fast path on repeated batches "
+                            "(auto, the default), strict replay, or always "
+                            "the event-driven interpreter")
     serve.set_defaults(fn=_cmd_serve)
 
     disasm = sub.add_parser("disasm",

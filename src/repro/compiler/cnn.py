@@ -132,6 +132,15 @@ class CnnCompiled:
     loads_emitted: int = 0
     load_words_emitted: int = 0
     mvm_instructions: int = 0
+    # Engine-managed caches, mirroring CompiledModel: serving a CNN
+    # compilation through InferenceEngine.from_compiled() reuses crossbar
+    # programming and execution tapes exactly like the generic backend's
+    # artifacts (from_compiled previously crashed on the programmed-state
+    # path because these slots were missing).
+    programmed_states: dict = field(
+        default_factory=dict, repr=False, compare=False)
+    execution_tapes: dict = field(
+        default_factory=dict, repr=False, compare=False)
 
 
 class _CoreEmitter:

@@ -41,6 +41,14 @@ class CompiledModel:
     # engines sharing a cached CompiledModel share programmed state.
     programmed_states: dict = field(
         default_factory=dict, repr=False, compare=False)
+    # Execution tapes (resolved dynamic schedules, see repro.sim.tape) per
+    # (config, crossbar model, seed, batch) fingerprint, recorded by the
+    # engine on the first simulation at each key and replayed on every
+    # later run.  Shared like programmed_states: engines (and sharded
+    # replicas) serving the same cached compilation record once, replay
+    # everywhere.
+    execution_tapes: dict = field(
+        default_factory=dict, repr=False, compare=False)
 
     @property
     def num_mvmus_used(self) -> int:

@@ -20,7 +20,17 @@ that pattern:
   fixed-point words; :meth:`run_sequential` is the reference fallback (one
   single-input simulation per row) — batched and sequential results are
   bitwise identical for deterministic programs, for both ideal and noisy
-  crossbar models (``tests/test_batched_engine.py`` enforces this).
+  crossbar models (``tests/test_batched_engine.py`` enforces this);
+* steady-state runs take the **trace-replay fast path** by default: the
+  first simulation at a given (config, crossbar model, seed, batch)
+  records the resolved dynamic schedule as an execution tape
+  (:mod:`repro.sim.tape`) cached on the :class:`CompiledModel`; every
+  later run replays the tape as a flat sequence of pre-bound numpy
+  operations — bitwise-identical outputs, field-identical stats, no event
+  queue.  Programs using the stochastic ``RANDOM`` op (and unseeded
+  engines) transparently fall back to the interpreter;
+  :func:`tape_cache_info` reports recordings/replays/fallbacks and
+  ``execution_mode="interpret"`` disables the fast path outright.
 
 For an async front-end with queueing and dynamic micro-batching on top of
 this engine, see :class:`repro.serve.PumaServer`.
@@ -39,6 +49,7 @@ Quickstart::
 from __future__ import annotations
 
 import dataclasses
+import threading
 import warnings
 import weakref
 from typing import Mapping, NamedTuple
@@ -50,13 +61,29 @@ from repro.arch.crossbar import CrossbarModel
 from repro.compiler.compile import CompiledModel, compile_model
 from repro.compiler.frontend import Model
 from repro.compiler.options import CompilerOptions
+from repro.node.node import Node
 from repro.serve.types import RunResult
 from repro.sim.simulator import Simulator
 from repro.sim.stats import SimulationStats
+from repro.sim.tape import (
+    TapeRecorder,
+    TapeReplayer,
+    TapeValidationError,
+    find_unsupported_op,
+)
 
 # Most programmed-crossbar snapshots kept per compiled model (each holds
 # every MVMU's levels + conductances — multi-MB for mid-size models).
 _PROGRAMMED_STATE_CAP = 8
+# Execution tapes kept per compiled model (one per distinct
+# (config, crossbar model, seed, batch); a tape holds the step list plus
+# one stats snapshot — small next to a programmed-state entry).
+_EXECUTION_TAPE_CAP = 8
+# Bound replayers (node + pre-bound closures) kept per engine; the node's
+# (batch, words) arrays dominate, so keep only the recent batch sizes.
+_REPLAYER_CAP = 4
+
+EXECUTION_MODES = ("auto", "replay", "interpret")
 
 # model -> {config/options fingerprint -> CompiledModel}.  Weak keys: the
 # cache must not keep dead models (and their weight arrays) alive.
@@ -130,6 +157,73 @@ def clear_compile_cache() -> None:
     _cache_misses = 0
 
 
+# -- execution-tape cache introspection ------------------------------------
+#
+# Tapes live on CompiledModel.execution_tapes (their lifetime is the
+# compilation's, like programmed_states); the process-wide counters and the
+# weak registry below exist so operators can observe the fast path —
+# cf. compile_cache_info().
+
+# Keyed by id(): CompiledModel is an eq-by-value dataclass (unhashable);
+# the WeakValueDictionary drops entries as compilations die, so a recycled
+# id simply overwrites a vacated slot.
+_TAPE_MODELS: "weakref.WeakValueDictionary[int, CompiledModel]" = \
+    weakref.WeakValueDictionary()
+_tape_lock = threading.Lock()
+_tape_recordings = 0
+_tape_replays = 0
+_tape_fallbacks = 0
+
+
+class TapeCacheInfo(NamedTuple):
+    """Process-wide execution-tape statistics.
+
+    Attributes:
+        entries: live tapes across all live compilations.
+        recordings: interpreter passes that recorded a tape (cache misses).
+        replays: runs served from a tape (cache hits).
+        fallbacks: runs that wanted the fast path but used the interpreter
+            (stochastic RANDOM-op program, unseeded engine, or a tape that
+            failed validation at replay time).
+    """
+
+    entries: int
+    recordings: int
+    replays: int
+    fallbacks: int
+
+
+def tape_cache_info() -> TapeCacheInfo:
+    """Entries/recordings/replays/fallbacks of the execution-tape cache."""
+    with _tape_lock:
+        entries = sum(len(compiled.execution_tapes)
+                      for compiled in _TAPE_MODELS.values())
+        return TapeCacheInfo(entries=entries, recordings=_tape_recordings,
+                             replays=_tape_replays, fallbacks=_tape_fallbacks)
+
+
+def clear_tape_caches() -> None:
+    """Drop every recorded tape on live compilations and reset counters."""
+    global _tape_recordings, _tape_replays, _tape_fallbacks
+    with _tape_lock:
+        for compiled in _TAPE_MODELS.values():
+            compiled.execution_tapes.clear()
+        _tape_recordings = 0
+        _tape_replays = 0
+        _tape_fallbacks = 0
+
+
+def _count_tape_event(kind: str) -> None:
+    global _tape_recordings, _tape_replays, _tape_fallbacks
+    with _tape_lock:
+        if kind == "recording":
+            _tape_recordings += 1
+        elif kind == "replay":
+            _tape_replays += 1
+        else:
+            _tape_fallbacks += 1
+
+
 class InferenceEngine:
     """Serves batched inference for one compiled model.
 
@@ -143,6 +237,17 @@ class InferenceEngine:
             used for every run, so repeated calls see identically programmed
             crossbars — the property that makes batched and sequential
             executions comparable bit for bit.
+        execution_mode: ``"auto"`` (default) records an execution tape on
+            the first run per batch size and replays it afterwards, falling
+            back to the event-driven interpreter when the program cannot be
+            taped (stochastic RANDOM op, unseeded engine);
+            ``"replay"`` is the strict variant that raises ``ValueError``
+            for engines that can *never* replay instead of silently
+            falling back (recording passes — the first run at a batch
+            size, or the one after a tape is invalidated — are part of
+            the mode, exactly as in ``"auto"``); ``"interpret"`` always
+            runs the event-driven interpreter.  All three produce
+            bitwise-identical outputs and field-identical stats.
 
     Attributes:
         compiled: the (cached) compilation artifacts.
@@ -154,16 +259,22 @@ class InferenceEngine:
                  options: CompilerOptions | None = None,
                  crossbar_model: CrossbarModel | None = None,
                  seed: int | None = 0, *,
-                 compiled: CompiledModel | None = None) -> None:
+                 compiled: CompiledModel | None = None,
+                 execution_mode: str = "auto") -> None:
         if (model is None) == (compiled is None):
             raise ValueError(
                 "provide exactly one of 'model' (compiled through the "
                 "cache) or 'compiled' (a pre-built CompiledModel)")
+        if execution_mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"execution_mode must be one of {EXECUTION_MODES}, "
+                f"got {execution_mode!r}")
         self.model = model
         self.config = config if config is not None else PumaConfig()
         self.options = options
         self.crossbar_model = crossbar_model
         self.seed = seed
+        self.execution_mode = execution_mode
         if compiled is not None:
             self.compiled = compiled
         else:
@@ -171,18 +282,30 @@ class InferenceEngine:
         self.program = self.compiled.program
         self.fmt = self.config.core.fixed_point
         self._last_stats: SimulationStats | None = None
+        # Trace-replay state: bound replayers by batch size, guarded by a
+        # lock (a replayer mutates its node's arrays while running).
+        self._replayers: dict[int, TapeReplayer] = {}
+        self._replay_lock = threading.Lock()
+        self._tape_blocker: str | None | bool = False  # False = not scanned
+        # config/crossbar_model/seed are fixed for the engine's lifetime;
+        # fingerprinting them walks every dataclass field recursively, so
+        # do it once, not per run.
+        self._fingerprint = (_fingerprint_value(self.config),
+                             _fingerprint_value(self.crossbar_model),
+                             self.seed)
 
     @classmethod
     def from_compiled(cls, compiled: CompiledModel,
                       config: PumaConfig | None = None, *,
                       crossbar_model: CrossbarModel | None = None,
-                      seed: int | None = 0) -> "InferenceEngine":
+                      seed: int | None = 0,
+                      execution_mode: str = "auto") -> "InferenceEngine":
         """Serve an already-compiled model (CNN lowering, importer output).
 
         Bypasses the compile cache — the caller owns the compilation.
         """
         return cls(None, config, crossbar_model=crossbar_model, seed=seed,
-                   compiled=compiled)
+                   compiled=compiled, execution_mode=execution_mode)
 
     # -- deprecated mutable state ------------------------------------------
 
@@ -278,7 +401,30 @@ class InferenceEngine:
                     f"(one inference), got shape {arr.shape}")
         self._infer_batch(inputs)
 
-    def _simulator(self, batch: int) -> Simulator:
+    def _state_key(self) -> tuple | None:
+        """Programmed-state cache key; ``None`` when seed=None (fresh
+        entropy per run must not be frozen)."""
+        if self.seed is None:
+            return None
+        return self._fingerprint
+
+    def _harvest_programmed_state(self, key: tuple, node: Node) -> None:
+        state = node.export_programmed_state(self.program)
+        states = self.compiled.programmed_states
+        # The insert-then-evict below mutates a dict shared by every
+        # replica engine serving this compilation; serialize it (thread
+        # replicas would otherwise race next(iter())/pop on eviction).
+        with _tape_lock:
+            states[key] = state
+            # A seed/noise sweep over one kept-alive model would
+            # otherwise pin one multi-MB crossbar snapshot per
+            # (config, crossbar model, seed) forever; evicting the
+            # oldest entries costs only a re-programming pass.
+            while len(states) > _PROGRAMMED_STATE_CAP:
+                states.pop(next(iter(states)), None)
+
+    def _simulator(self, batch: int,
+                   tape_recorder: TapeRecorder | None = None) -> Simulator:
         """A fresh simulator, reusing cached crossbar programming.
 
         The first construction for a given (config, crossbar model, seed)
@@ -291,28 +437,19 @@ class InferenceEngine:
         entropy per run, which must not be frozen, so it bypasses the
         cache.
         """
-        state = key = None
-        if self.seed is not None:
-            key = (_fingerprint_value(self.config),
-                   _fingerprint_value(self.crossbar_model), self.seed)
-            state = self.compiled.programmed_states.get(key)
+        key = self._state_key()
+        state = self.compiled.programmed_states.get(key) if key else None
         sim = Simulator(self.config, self.program,
                         crossbar_model=self.crossbar_model,
                         seed=self.seed, batch=batch,
-                        programmed_state=state)
+                        programmed_state=state,
+                        tape_recorder=tape_recorder)
         if key is not None and state is None:
-            states = self.compiled.programmed_states
-            states[key] = sim.node.export_programmed_state(self.program)
-            # A seed/noise sweep over one kept-alive model would
-            # otherwise pin one multi-MB crossbar snapshot per
-            # (config, crossbar model, seed) forever; evicting the
-            # oldest entries costs only a re-programming pass.
-            while len(states) > _PROGRAMMED_STATE_CAP:
-                states.pop(next(iter(states)))
+            self._harvest_programmed_state(key, sim.node)
         return sim
 
-    def warm(self) -> "InferenceEngine":
-        """Program the crossbars once, ahead of the first run.
+    def warm(self, batch: int | None = None) -> "InferenceEngine":
+        """Program the crossbars (and optionally record a tape) up front.
 
         Compilation already happened in ``__init__``; this performs (and
         caches) the configuration-time crossbar programming so the first
@@ -320,10 +457,127 @@ class InferenceEngine:
         ``warm()`` inherit the programmed arrays copy-on-write.  No-op
         when the state is already cached, or with ``seed=None`` (fresh
         entropy per run cannot be pre-programmed).
+
+        With ``batch`` the warm-up additionally records the execution tape
+        for that batch size (one interpreter pass over zero-filled inputs —
+        the schedule is input-independent), so the first real request at
+        that batch replays instead of recording.  Ignored when the engine
+        cannot replay (``execution_mode="interpret"``, RANDOM-op program,
+        or seed=None).
         """
         if self.seed is not None:
             self._simulator(1)
+            if (batch is not None and self._replay_blocker() is None
+                    and self._tape_key(batch)
+                    not in self.compiled.execution_tapes):
+                zeros = {
+                    name: np.zeros((batch, length) if batch > 1
+                                   else (length,), dtype=np.int64)
+                    for name, (_tile, _addr, length)
+                    in self.program.input_layout.items()
+                }
+                self.run_batch(zeros)
         return self
+
+    # -- trace replay ------------------------------------------------------
+
+    def _replay_blocker(self) -> str | None:
+        """Why this engine cannot trace-replay, or ``None`` if it can."""
+        if self.execution_mode == "interpret":
+            return "execution_mode='interpret'"
+        if self.seed is None:
+            return ("seed=None requests fresh entropy per run, which a "
+                    "recorded schedule would freeze")
+        if self._tape_blocker is False:  # not scanned yet
+            self._tape_blocker = find_unsupported_op(self.program)
+        return self._tape_blocker
+
+    def _tape_key(self, batch: int) -> tuple:
+        """Tape cache key: the schedule is resolved per (configuration,
+        device model, seed, batch) — latencies are batch-dependent, so the
+        event interleaving and stats are too."""
+        return self._fingerprint + (batch,)
+
+    def _replayer(self, batch: int) -> TapeReplayer | None:
+        """The bound replayer for ``batch``, or ``None`` with no tape yet.
+
+        Raises :class:`TapeValidationError` when a cached tape cannot be
+        bound to a fresh node (callers treat that as "re-record").
+        """
+        tape = self.compiled.execution_tapes.get(self._tape_key(batch))
+        replayer = self._replayers.get(batch)
+        if replayer is not None:
+            if replayer.tape is tape:
+                return replayer
+            # The cached tape was cleared or replaced (invalidation,
+            # clear_tape_caches): drop the stale binding and rebind below.
+            self._replayers.pop(batch, None)
+        if tape is None:
+            return None
+        key = self._state_key()
+        state = self.compiled.programmed_states.get(key) if key else None
+        node = Node.for_program(
+            self.config, self.program, lambda _delay, _callback: None,
+            crossbar_model=self.crossbar_model, seed=self.seed,
+            batch=batch, programmed_state=state)
+        if key is not None and state is None:
+            self._harvest_programmed_state(key, node)
+        replayer = TapeReplayer(tape, node, self.program)
+        self._replayers[batch] = replayer
+        while len(self._replayers) > _REPLAYER_CAP:
+            self._replayers.pop(next(iter(self._replayers)))
+        return replayer
+
+    def _invalidate_tape(self, batch: int) -> None:
+        self._replayers.pop(batch, None)
+        self.compiled.execution_tapes.pop(self._tape_key(batch), None)
+
+    def _execute(self, inputs: dict[str, np.ndarray], batch: int
+                 ) -> tuple[dict[str, np.ndarray], SimulationStats, str]:
+        """One pass: replay when possible, interpret (recording) otherwise.
+
+        Returns ``(words, stats, execution)`` with ``execution`` naming the
+        path taken (``"replay"`` / ``"interpreter"``).
+        """
+        blocker = self._replay_blocker()
+        if blocker is not None:
+            if self.execution_mode == "replay":
+                raise ValueError(
+                    f"execution_mode='replay' but the program cannot be "
+                    f"trace-replayed: {blocker}")
+            if self.execution_mode != "interpret":
+                _count_tape_event("fallback")
+            sim = self._simulator(batch)
+            return sim.run(inputs), sim.stats, "interpreter"
+
+        with self._replay_lock:
+            try:
+                replayer = self._replayer(batch)
+                if replayer is not None:
+                    words = replayer.run(inputs)
+                    _count_tape_event("replay")
+                    return words, replayer.tape.stats_copy(), "replay"
+            except TapeValidationError:
+                # A stale/incompatible tape is an internal cache problem,
+                # never a user-facing failure: drop it and re-record below.
+                self._invalidate_tape(batch)
+                _count_tape_event("fallback")
+
+        recorder = TapeRecorder(batch)
+        sim = self._simulator(batch, tape_recorder=recorder)
+        words = sim.run(inputs)
+        tape = recorder.finish(sim.stats)
+        tapes = self.compiled.execution_tapes
+        # Shared with every replica engine on this compilation: serialize
+        # the insert-then-evict (concurrent recorders would otherwise race
+        # next(iter())/pop once the cap is reached).
+        with _tape_lock:
+            tapes[self._tape_key(batch)] = tape
+            while len(tapes) > _EXECUTION_TAPE_CAP:
+                tapes.pop(next(iter(tapes)), None)
+            _TAPE_MODELS[id(self.compiled)] = self.compiled
+        _count_tape_event("recording")
+        return words, sim.stats, "interpreter"
 
     # -- execution ---------------------------------------------------------
 
@@ -368,11 +622,10 @@ class InferenceEngine:
         """
         self._check_names(inputs)
         batch = self._infer_batch(inputs)
-        sim = self._simulator(batch)
-        words = sim.run(dict(inputs))
-        self._last_stats = sim.stats
-        return RunResult(words=words, fmt=self.fmt, stats=sim.stats,
-                         batch=batch)
+        words, stats, execution = self._execute(dict(inputs), batch)
+        self._last_stats = stats
+        return RunResult(words=words, fmt=self.fmt, stats=stats,
+                         batch=batch, execution=execution)
 
     def run(self, inputs: Mapping[str, np.ndarray]) -> RunResult:
         """Run a single input (1-D fixed-point vectors) through the

@@ -23,11 +23,13 @@ Merged statistics model replicas running concurrently:
 * per-shard stats are preserved on ``RunResult.shard_stats`` and lane
   slicing (``result.lane(i)``) works exactly as for an unsharded run.
 
-Replication is cheap: replicas share the process-wide compile cache and
-the compiled model's programmed-crossbar state, so a replica engine costs
-neither a compilation nor a programming pass.  Worker processes are
-forked *after* the primary engine is warmed, inheriting both caches
-copy-on-write.
+Replication is cheap: replicas share the process-wide compile cache, the
+compiled model's programmed-crossbar state, *and* its execution tapes
+(:mod:`repro.sim.tape`) — a replica engine costs neither a compilation
+nor a programming pass, and a shard batch size any replica has recorded
+replays everywhere (each replica binds its own replayer node; the tape
+itself is shared).  Worker processes are forked *after* the primary
+engine is warmed, inheriting the caches copy-on-write.
 
 Known limit (inherited from the batch engine, see ROADMAP "Batch
 execution semantics"): workloads using the stochastic RANDOM op draw
@@ -185,11 +187,13 @@ def merge_results(shard_results: Sequence[RunResult],
         for lanes, result in zip(lane_sets, shard_results):
             out[lanes] = np.atleast_2d(np.asarray(result.words[name]))
         words[name] = out
+    executions = {r.execution for r in shard_results}
     return RunResult(
         words=words, fmt=first.fmt,
         stats=merge_stats([r.stats for r in shard_results]),
         batch=batch,
-        shard_stats=tuple(r.stats for r in shard_results))
+        shard_stats=tuple(r.stats for r in shard_results),
+        execution=executions.pop() if len(executions) == 1 else None)
 
 
 def _init_fork_worker(token: int) -> None:
@@ -200,10 +204,10 @@ def _init_fork_worker(token: int) -> None:
 
 def _run_shard_in_worker(inputs: dict[str, np.ndarray]
                          ) -> tuple[dict[str, np.ndarray],
-                                    SimulationStats, int]:
+                                    SimulationStats, int, str | None]:
     """One shard's pass inside a worker process (plain tuples over IPC)."""
     result = _WORKER_ENGINE.run_batch(inputs)
-    return result.words, result.stats, result.batch
+    return result.words, result.stats, result.batch, result.execution
 
 
 class ShardedEngine:
@@ -301,10 +305,12 @@ class ShardedEngine:
         if primary.model is not None:
             return InferenceEngine(
                 primary.model, primary.config, primary.options,
-                crossbar_model=primary.crossbar_model, seed=primary.seed)
+                crossbar_model=primary.crossbar_model, seed=primary.seed,
+                execution_mode=primary.execution_mode)
         return InferenceEngine.from_compiled(
             primary.compiled, primary.config,
-            crossbar_model=primary.crossbar_model, seed=primary.seed)
+            crossbar_model=primary.crossbar_model, seed=primary.seed,
+            execution_mode=primary.execution_mode)
 
     def _ensure_pool(self) -> None:
         if self._pool is not None:
@@ -421,9 +427,10 @@ class ShardedEngine:
             # Settle every shard before raising so no work is left
             # dangling in the pool when an error propagates.
             try:
-                words, stats, shard_batch = handle.get()
+                words, stats, shard_batch, execution = handle.get()
                 outcomes.append((RunResult(words=words, fmt=self.engine.fmt,
-                                           stats=stats, batch=shard_batch),
+                                           stats=stats, batch=shard_batch,
+                                           execution=execution),
                                  None))
             except Exception as exc:  # noqa: BLE001 - reported per shard
                 outcomes.append((None, exc))

@@ -62,6 +62,11 @@ class RunResult(Mapping):
             in shard order; ``stats`` is then the *merged* view (cycles =
             max over the concurrent shards, energy and instruction/stall
             counters summed).  ``None`` for unsharded passes.
+        execution: which execution path produced the result —
+            ``"replay"`` (trace-replay fast path, :mod:`repro.sim.tape`)
+            or ``"interpreter"`` (event-driven simulation); ``None`` when
+            unknown (e.g. merged across shards that took different paths).
+            Purely observational: both paths are bitwise identical.
 
     Mapping protocol: iterating/indexing a ``RunResult`` reads ``words``,
     preserving the legacy raw-dict contract bit for bit.
@@ -75,6 +80,7 @@ class RunResult(Mapping):
         default=None, repr=False)
     shard_stats: tuple[SimulationStats, ...] | None = field(
         default=None, repr=False)
+    execution: str | None = field(default=None, repr=False)
 
     # -- mapping over the fixed-point words (legacy contract) -------------
 
@@ -150,7 +156,7 @@ class RunResult(Mapping):
         words = {name: (w if w.ndim == 1 else w[index])
                  for name, w in self.words.items()}
         return RunResult(words=words, fmt=self.fmt, stats=self.stats,
-                         batch=self.batch)
+                         batch=self.batch, execution=self.execution)
 
     # -- presentation ------------------------------------------------------
 

@@ -1,7 +1,23 @@
-"""PUMAsim: event-driven functional + timing + energy simulation."""
+"""PUMAsim: event-driven functional + timing + energy simulation.
+
+Two execution paths share the functional semantics:
+
+* :class:`Simulator` — the event-driven interpreter (agents, blocking
+  protocol, NoC events);
+* :mod:`repro.sim.tape` — the trace-replay fast path: record the resolved
+  schedule of one interpreter run, replay it as a flat tape of pre-bound
+  numpy operations (see :class:`TapeRecorder` / :class:`TapeReplayer`).
+"""
 
 from repro.sim.simulator import SimulationDeadlock, Simulator
 from repro.sim.stats import SimulationStats
+from repro.sim.tape import (
+    ExecutionTape,
+    TapeRecorder,
+    TapeReplayer,
+    TapeValidationError,
+    find_unsupported_op,
+)
 from repro.sim.trace import TraceEntry, TraceRecorder
 
 __all__ = [
@@ -10,4 +26,9 @@ __all__ = [
     "SimulationStats",
     "TraceEntry",
     "TraceRecorder",
+    "ExecutionTape",
+    "TapeRecorder",
+    "TapeReplayer",
+    "TapeValidationError",
+    "find_unsupported_op",
 ]

@@ -34,6 +34,7 @@ from repro.isa.opcodes import Opcode
 from repro.isa.program import NodeProgram
 from repro.node.node import Node, NodeProgrammedState
 from repro.sim.stats import SimulationStats
+from repro.sim.tape import TapeRecorder
 from repro.sim.trace import TraceRecorder
 from repro.tile.attribute_buffer import PERSISTENT_COUNT
 from repro.tile.tile import Tile
@@ -93,6 +94,10 @@ class Simulator:
             identically-configured simulator's node
             (:meth:`~repro.node.node.Node.export_programmed_state`);
             skips the crossbar programming pass bitwise-identically.
+        tape_recorder: optional :class:`~repro.sim.tape.TapeRecorder` that
+            captures the resolved dynamic schedule (completed instructions
+            in completion order, with effective addresses) for later trace
+            replay; recording costs one list append per instruction.
     """
 
     def __init__(self, config: PumaConfig, program: NodeProgram,
@@ -101,7 +106,8 @@ class Simulator:
                  trace: TraceRecorder | None = None,
                  max_cycles: int = 2_000_000_000,
                  batch: int = 1,
-                 programmed_state: "NodeProgrammedState | None" = None
+                 programmed_state: "NodeProgrammedState | None" = None,
+                 tape_recorder: TapeRecorder | None = None
                  ) -> None:
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
@@ -110,6 +116,7 @@ class Simulator:
         self.batch = batch
         self.max_cycles = max_cycles
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.tape_recorder = tape_recorder
         self._events: list[tuple[int, int, Callable[[], None]]] = []
         self._event_seq = 0
         self.now = 0
@@ -260,6 +267,11 @@ class Simulator:
             self.stats.energy.merge(
                 self.energy_model.energy(instr, outcome, self.batch))
             self.trace.record(self.now, agent.name, instr, latency)
+            if self.tape_recorder is not None:
+                self.tape_recorder.record(
+                    agent.tile.tile_id,
+                    agent.core.core_id if agent.core is not None else None,
+                    instr, outcome.eff_addr)
             self._schedule_delay(latency, self._stepper(agent))
             return
 
@@ -267,6 +279,11 @@ class Simulator:
             agent.done = True
             self.stats.count(Opcode.HLT)
             self.trace.record(self.now, agent.name, instr, 1)
+            if self.tape_recorder is not None:
+                self.tape_recorder.record(
+                    agent.tile.tile_id,
+                    agent.core.core_id if agent.core is not None else None,
+                    instr, 0)
             self._finish_time = max(self._finish_time, self.now + 1)
             return
 

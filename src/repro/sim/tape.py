@@ -1,0 +1,467 @@
+"""Trace-replay execution: record the event-driven schedule, replay a tape.
+
+PUMA programs are *control-uniform*: branches consume loop counters and
+compile-time bounds, never model data (Section 5.3.3 — the property the
+compiler's global linearization relies on, and the property PR 1's
+SIMD-over-batch execution already exploits).  A consequence worth money on
+the serving hot path: for a fixed (program, config, batch) the fully
+*resolved* dynamic schedule — which instruction completes when, with which
+effective addresses, branch outcomes, and blocking retries — is identical
+for every input.  Re-deriving it per `run_batch` call through the event
+queue, per-instruction dispatch, and the valid/count blocking protocol is
+pure overhead after the first run.
+
+This module implements the fast path:
+
+* :class:`TapeRecorder` rides along one ordinary event-driven simulation
+  and records every *completed* data-carrying instruction in global
+  completion order, with its resolved effective memory address.  Control
+  instructions (``jmp``/``brn``/``hlt`` and the tile control unit's scalar
+  loop bookkeeping) have no lane-visible data effect and are omitted — the
+  recorded order already reflects every branch resolution.
+* :class:`ExecutionTape` is the resulting artifact: the step list plus the
+  run's full :class:`~repro.sim.stats.SimulationStats`.  Timing, energy,
+  stalls, and NoC traffic are input-independent (latencies depend on
+  opcode/width/batch, traffic on the compiled communication pattern), so a
+  replayed run's stats are a fresh copy of the recorded ones —
+  field-identical to what the interpreter would recompute.
+* :class:`TapeReplayer` binds the tape once to a node's live arrays and
+  replays it as a flat list of pre-bound closures over numpy slices — no
+  event heap, no dispatch dict, no attribute-buffer protocol, no per-op
+  stats churn.  Functional equivalence is exact: every step performs the
+  same array arithmetic as the interpreter's handler, in the same global
+  order, so outputs are bitwise identical.
+
+Why replaying in recorded completion order is sound: the valid/count
+protocol guarantees that, in the recorded run, every read observed a value
+written earlier in that same order (by a preload, store, receive, or
+register write).  Replaying the identical order on identical inputs
+therefore reproduces every intermediate value; the synchronization
+machinery only ever *gated* the order, it never transformed data.  NoC
+packet payloads are carried through per-``(destination, fifo)`` FIFO queues
+— the network preserves per-flow ordering, so the k-th receive on a flow
+consumes the k-th send, exactly as in the recorded run.
+
+What cannot be taped: programs using the stochastic ``RANDOM`` op.  Their
+*schedule* is still input-independent, but the op consumes RNG draws whose
+shapes depend on how the engine interleaves runs, and its whole point is
+fresh entropy; the engine transparently falls back to the interpreter for
+them (see :func:`find_unsupported_op` and ``repro.engine``).
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, NamedTuple
+
+import numpy as np
+
+from repro.arch.mvmu import MVMU
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import AluOp, Opcode
+from repro.isa.program import NodeProgram
+from repro.sim.stats import SimulationStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.node.node import Node
+
+
+class TapeValidationError(RuntimeError):
+    """A tape failed validation against the program/node it should replay.
+
+    The engine treats this as "re-record or fall back to the interpreter",
+    never as a user-facing failure.
+    """
+
+
+class TapeStep(NamedTuple):
+    """One completed data-carrying instruction of the recorded schedule.
+
+    Attributes:
+        tile_id: owning tile.
+        core_id: core within the tile, or ``None`` for the tile control
+            unit's stream (``send``/``receive``).
+        instruction: the static instruction that completed.
+        eff_addr: resolved effective memory address for ``load``/``store``
+            (register-indirect addressing folded in at record time);
+            ``instruction.mem_addr`` for tile sends/receives; 0 otherwise.
+    """
+
+    tile_id: int
+    core_id: int | None
+    instruction: Instruction
+    eff_addr: int
+
+
+# Opcodes with no lane-visible data effect: their entire contribution to an
+# execution is the *order* of everything else, which the tape already fixes.
+_CONTROL_OPCODES = frozenset({Opcode.JMP, Opcode.BRN, Opcode.HLT})
+# Tile-control scalar bookkeeping only ever feeds tile-stream branches —
+# tile sends/receives address memory with immediates — so it is control too.
+_TILE_CONTROL_OPCODES = _CONTROL_OPCODES | {Opcode.SET, Opcode.ALU_INT}
+
+
+@dataclass
+class ExecutionTape:
+    """The resolved dynamic schedule of one (program, config, batch) run.
+
+    Attributes:
+        steps: data-carrying instructions in global completion order.
+        stats: the recording run's statistics.  Input-independent, so a
+            replay hands out a fresh copy per run (see :meth:`stats_copy`).
+        batch: SIMD batch width the schedule was resolved for.  Latencies
+            (hence the event interleaving, stall counts, and the final
+            cycle count) are batch-dependent, so a tape replays only at
+            its own batch size.
+        instruction_count: dynamic instructions of the recording run,
+            including the control instructions the step list omits (used
+            for cheap cross-checks and introspection).
+    """
+
+    steps: tuple[TapeStep, ...]
+    stats: SimulationStats
+    batch: int
+    instruction_count: int = 0
+    # Bookkeeping for introspection (tape_cache_info), not semantics.
+    replay_count: int = field(default=0, compare=False)
+
+    def stats_copy(self) -> SimulationStats:
+        """A private, mutation-safe copy of the recorded statistics."""
+        return copy.deepcopy(self.stats)
+
+
+class TapeRecorder:
+    """Records completed instructions during one event-driven simulation.
+
+    Attach to :class:`~repro.sim.simulator.Simulator` via the
+    ``tape_recorder`` argument; the simulator calls :meth:`record` once per
+    *completed* (non-blocked) instruction, in completion order.  After the
+    run, :meth:`finish` packages the tape with the run's stats.
+    """
+
+    def __init__(self, batch: int) -> None:
+        self.batch = batch
+        self._steps: list[TapeStep] = []
+        self._instruction_count = 0
+
+    def record(self, tile_id: int, core_id: int | None,
+               instruction: Instruction, eff_addr: int) -> None:
+        """One completed instruction (called by the simulator's step loop)."""
+        self._instruction_count += 1
+        op = instruction.opcode
+        if core_id is None:
+            if op in _TILE_CONTROL_OPCODES:
+                return
+        elif op in _CONTROL_OPCODES:
+            return
+        self._steps.append(TapeStep(tile_id, core_id, instruction, eff_addr))
+
+    def finish(self, stats: SimulationStats) -> ExecutionTape:
+        """Package the recording; ``stats`` is the finished run's result."""
+        return ExecutionTape(steps=tuple(self._steps),
+                             stats=copy.deepcopy(stats),
+                             batch=self.batch,
+                             instruction_count=self._instruction_count)
+
+
+def find_unsupported_op(program: NodeProgram) -> str | None:
+    """Why ``program`` cannot be trace-replayed, or ``None`` if it can.
+
+    The single functional blocker is the stochastic ``RANDOM`` ALU op: it
+    draws fresh entropy per executed instance, which a recorded schedule
+    must not freeze and replay (BM/RBM workloads rely on per-run noise).
+    """
+    for tile in program.tiles.values():
+        for core in tile.cores.values():
+            for instr in core.instructions:
+                if instr.alu_op == AluOp.RANDOM:
+                    return "program uses the stochastic RANDOM op"
+    return None
+
+
+def _bind_mvm(core, instr: Instruction) -> Callable[[], None]:
+    config = core.config
+    active = [i for i in range(config.num_mvmus) if instr.mask & (1 << i)]
+    if not active:
+        raise TapeValidationError("recorded MVM selects no MVMU")
+    dim = config.mvmu_dim
+    reg = core.registers._data
+    units = [(core.mvmus[i], config.xbar_in_base(i), config.xbar_out_base(i))
+             for i in active]
+    filter_, stride = instr.filter, instr.stride
+
+    def step() -> None:
+        for mvmu, in_base, out_base in units:
+            x = reg[:, in_base:in_base + dim]
+            if filter_:
+                x = MVMU.shuffle_inputs(x, filter_, stride)
+            reg[:, out_base:out_base + dim] = mvmu.execute(x)
+
+    return step
+
+
+def _bind_alu(core, instr: Instruction) -> Callable[[], None]:
+    apply_op = core.vfu._apply
+    reg = core.registers._data
+    op = instr.alu_op
+    w = instr.vec_width
+    dest, src1, src2 = instr.dest, instr.src1, instr.src2
+    if op == AluOp.SUBSAMPLE:
+        # _apply may return a strided *view* of its operand; materialize the
+        # operand so the destination write cannot alias the source.
+        def step() -> None:
+            a = reg[:, src1:src1 + w].copy()
+            result = apply_op(op, a, reg[:, src2:src2 + 1])
+            reg[:, dest:dest + result.shape[-1]] = result
+    elif op.num_sources == 2:
+        def step() -> None:
+            result = apply_op(op, reg[:, src1:src1 + w],
+                              reg[:, src2:src2 + w])
+            reg[:, dest:dest + w] = result
+    else:
+        def step() -> None:
+            result = apply_op(op, reg[:, src1:src1 + w], None)
+            reg[:, dest:dest + w] = result
+    return step
+
+
+def _bind_alui(core, instr: Instruction) -> Callable[[], None]:
+    apply_op = core.vfu._apply
+    reg = core.registers._data
+    op, w, dest, src1 = instr.alu_op, instr.vec_width, instr.dest, instr.src1
+    imm_vec = core._imm_vector(instr.imm, w)  # cached, read-only
+
+    def step() -> None:
+        reg[:, dest:dest + w] = apply_op(op, reg[:, src1:src1 + w], imm_vec)
+
+    return step
+
+
+def _bind_alu_int(core, instr: Instruction) -> Callable[[], None]:
+    sfu_execute = core.sfu.execute
+    reg = core.registers._data
+    op, dest, src1 = instr.alu_op, instr.dest, instr.src1
+
+    if instr.imm_mode:
+        imm = instr.imm
+
+        def step() -> None:
+            reg[:, dest] = sfu_execute(op, int(reg[0, src1]), imm)
+    else:
+        src2 = instr.src2
+
+        def step() -> None:
+            reg[:, dest] = sfu_execute(op, int(reg[0, src1]),
+                                       int(reg[0, src2]))
+    return step
+
+
+def _bind_set(core, instr: Instruction) -> Callable[[], None]:
+    reg = core.registers._data
+    dest, w = instr.dest, instr.vec_width
+    imm_vec = core._imm_vector(instr.imm, w)  # cached, read-only
+
+    def step() -> None:
+        reg[:, dest:dest + w] = imm_vec
+
+    return step
+
+
+def _bind_copy(core, instr: Instruction) -> Callable[[], None]:
+    reg = core.registers._data
+    dest, src1, w = instr.dest, instr.src1, instr.vec_width
+    if src1 < dest + w and dest < src1 + w:  # overlapping ranges
+        def step() -> None:
+            reg[:, dest:dest + w] = reg[:, src1:src1 + w].copy()
+    else:
+        def step() -> None:
+            reg[:, dest:dest + w] = reg[:, src1:src1 + w]
+    return step
+
+
+def _bind_load(core, mem: np.ndarray, instr: Instruction,
+               eff_addr: int) -> Callable[[], None]:
+    reg = core.registers._data
+    dest, w = instr.dest, instr.vec_width
+
+    def step() -> None:
+        reg[:, dest:dest + w] = mem[:, eff_addr:eff_addr + w]
+
+    return step
+
+
+def _bind_store(core, mem: np.ndarray, instr: Instruction,
+                eff_addr: int) -> Callable[[], None]:
+    reg = core.registers._data
+    src1, w = instr.src1, instr.vec_width
+
+    def step() -> None:
+        mem[:, eff_addr:eff_addr + w] = reg[:, src1:src1 + w]
+
+    return step
+
+
+def _bind_send(mem: np.ndarray, instr: Instruction, eff_addr: int,
+               flow: deque) -> Callable[[], None]:
+    w = instr.vec_width
+
+    def step() -> None:
+        # Copy: the attribute protocol lets the source words be recycled
+        # before the matching receive lands, so snapshot at send time (the
+        # interpreter's try_read copies too).
+        flow.append(mem[:, eff_addr:eff_addr + w].copy())
+
+    return step
+
+
+def _bind_receive(mem: np.ndarray, instr: Instruction, eff_addr: int,
+                  flow: deque) -> Callable[[], None]:
+    w = instr.vec_width
+
+    def step() -> None:
+        mem[:, eff_addr:eff_addr + w] = flow.popleft()
+
+    return step
+
+
+class TapeReplayer:
+    """Replays an :class:`ExecutionTape` against one node's live arrays.
+
+    Binds every step to pre-resolved array references once, then executes
+    runs as a flat closure loop.  The node is reusable across runs: the
+    control-uniform schedule guarantees every value read during a run was
+    written earlier in that same run (inputs/constants are re-preloaded per
+    run), so stale data from a previous run is unreachable.
+
+    Args:
+        tape: the recorded schedule (its ``batch`` must match the node's).
+        node: an instantiated, weight-programmed node.
+        program: the compiled program (input/output layouts, constants).
+    """
+
+    def __init__(self, tape: ExecutionTape, node: "Node",
+                 program: NodeProgram) -> None:
+        if node.batch != tape.batch:
+            raise TapeValidationError(
+                f"tape was recorded at batch {tape.batch}, "
+                f"node carries batch {node.batch}")
+        self.tape = tape
+        self.node = node
+        self.program = program
+        self.batch = tape.batch
+        self._flows: dict[tuple[int, int], deque] = {}
+        # Register files of every core the tape touches, zeroed at the
+        # start of each run: unlike shared memory, whose valid/count
+        # protocol guarantees def-before-use, register reads are ungated —
+        # a schedule reading a register before its first write saw a
+        # fresh node's zeros in the interpreter, and must again on every
+        # replay (not a previous run's leftovers).
+        self._register_files: list[np.ndarray] = []
+        try:
+            self._ops = self._bind()
+        except (KeyError, IndexError, AttributeError) as error:
+            raise TapeValidationError(
+                f"tape does not match the node/program: {error}") from error
+
+    def _bind(self) -> list[Callable[[], None]]:
+        ops: list[Callable[[], None]] = []
+        for tile_id, core_id, instr, eff_addr in self.tape.steps:
+            tile = self.node.tiles[tile_id]
+            mem = tile.memory._data
+            op = instr.opcode
+            if core_id is None:
+                if op == Opcode.SEND:
+                    flow = self._flows.setdefault(
+                        (instr.target, instr.fifo_id), deque())
+                    ops.append(_bind_send(mem, instr, eff_addr, flow))
+                elif op == Opcode.RECEIVE:
+                    flow = self._flows.setdefault(
+                        (tile_id, instr.fifo_id), deque())
+                    ops.append(_bind_receive(mem, instr, eff_addr, flow))
+                else:
+                    raise TapeValidationError(
+                        f"unexpected tile-stream opcode {op.name} on tape")
+                continue
+            core = tile.cores[core_id]
+            regs = core.registers._data
+            if not any(regs is seen for seen in self._register_files):
+                self._register_files.append(regs)
+            if op == Opcode.MVM:
+                ops.append(_bind_mvm(core, instr))
+            elif op == Opcode.ALU:
+                ops.append(_bind_alu(core, instr))
+            elif op == Opcode.ALUI:
+                ops.append(_bind_alui(core, instr))
+            elif op == Opcode.ALU_INT:
+                ops.append(_bind_alu_int(core, instr))
+            elif op == Opcode.SET:
+                ops.append(_bind_set(core, instr))
+            elif op == Opcode.COPY:
+                ops.append(_bind_copy(core, instr))
+            elif op == Opcode.LOAD:
+                ops.append(_bind_load(core, mem, instr, eff_addr))
+            elif op == Opcode.STORE:
+                ops.append(_bind_store(core, mem, instr, eff_addr))
+            else:
+                raise TapeValidationError(
+                    f"unexpected core-stream opcode {op.name} on tape")
+        return ops
+
+    # -- data movement (mirrors Simulator.write_input / read_output) -------
+
+    def _preload(self, addr_data: np.ndarray, addr: int,
+                 values: np.ndarray) -> None:
+        arr = np.atleast_1d(np.asarray(values, dtype=np.int64))
+        if arr.ndim == 1:
+            addr_data[:, addr:addr + arr.shape[-1]] = arr[np.newaxis, :]
+        else:
+            addr_data[:, addr:addr + arr.shape[-1]] = arr
+
+    def write_input(self, name: str, values: np.ndarray) -> None:
+        """Preload one named model input (already fixed-point integers)."""
+        if name not in self.program.input_layout:
+            raise KeyError(f"program has no input named {name!r}")
+        tile_id, addr, length = self.program.input_layout[name]
+        arr = np.atleast_1d(np.asarray(values, dtype=np.int64))
+        ok = (arr.size == length if arr.ndim == 1
+              else arr.shape == (self.batch, length))
+        if not ok:
+            raise ValueError(
+                f"input {name!r} expects {length} words per lane — shape "
+                f"({length},) or ({self.batch}, {length}) — got {arr.shape}")
+        self._preload(self.node.tiles[tile_id].memory._data, addr, arr)
+
+    def read_output(self, name: str) -> np.ndarray:
+        """Read one named model output after a replay run."""
+        tile_id, addr, length = self.program.output_layout[name]
+        data = self.node.tiles[tile_id].memory._data[:, addr:addr + length]
+        return data[0].copy() if self.batch == 1 else data.copy()
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, inputs: dict[str, np.ndarray] | None = None
+            ) -> dict[str, np.ndarray]:
+        """Replay the tape; returns the model outputs by name.
+
+        Bitwise identical to
+        :meth:`repro.sim.simulator.Simulator.run` on the same node
+        configuration, inputs, and batch.
+        """
+        for flow in self._flows.values():
+            flow.clear()
+        for registers in self._register_files:
+            registers.fill(0)
+        for tile_id, entries in self.program.const_memory.items():
+            mem = self.node.tiles[tile_id].memory._data
+            for addr, values in entries:
+                self._preload(mem, addr,
+                              np.asarray(values, dtype=np.int64))
+        for name, values in (inputs or {}).items():
+            self.write_input(name, values)
+        for step in self._ops:
+            step()
+        self.tape.replay_count += 1
+        return {name: self.read_output(name)
+                for name in self.program.output_layout}

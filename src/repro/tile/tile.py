@@ -144,7 +144,8 @@ class Tile:
         packet = Packet(data=data, source_tile=self.tile_id)
         self._send_fn(self.tile_id, instr.target, instr.fifo_id, packet)
         self.words_sent += instr.vec_width
-        return self._advance(instr, vec_width=instr.vec_width)
+        return self._advance(instr, vec_width=instr.vec_width,
+                             eff_addr=instr.mem_addr)
 
     def _exec_receive(self, instr: Instruction) -> ExecOutcome:
         fifo = instr.fifo_id
@@ -168,4 +169,5 @@ class Tile:
                                    count=instr.count)
         assert ok, "writability was checked before the pop"
         self.words_received += instr.vec_width
-        return self._advance(instr, vec_width=instr.vec_width)
+        return self._advance(instr, vec_width=instr.vec_width,
+                             eff_addr=instr.mem_addr)
