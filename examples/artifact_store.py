@@ -1,0 +1,91 @@
+"""Artifact store: pay compilation/programming/recording once per fleet.
+
+PUMA's premise is that inference cost is paid at configuration time and
+amortized across requests (Section 3.2.5).  The in-process caches
+amortize within one process; :mod:`repro.store` amortizes across
+*processes*: one engine serializes its compilation, programmed crossbar
+state, and recorded execution tapes into an on-disk artifact, and any
+later process loads it back and serves **bitwise identically** — no
+compile, no programming pass, no tape recording.
+
+This example plays both roles in one script:
+
+1. the "warm" process: build an engine, pre-record tapes for the batch
+   sizes a server coalesces, and ``save_artifacts``;
+2. the "cold replica": ``InferenceEngine.from_artifacts`` in a real
+   subprocess, which verifies its outputs match the builder bit for bit
+   and reports its time-to-first-result.
+
+Run:  python examples/artifact_store.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import InferenceEngine
+from repro.store import store_info
+from repro.workloads.mlp import FIGURE4_MLP_DIMS, build_mlp_model
+
+BATCH = 16
+
+_REPLICA = """\
+import time
+_t0 = time.perf_counter()
+import sys
+import numpy as np
+from repro.engine import InferenceEngine
+
+engine = InferenceEngine.from_artifacts(sys.argv[1])
+with np.load(sys.argv[2]) as data:
+    inputs = {name: data[name] for name in data.files}
+result = engine.run_batch(inputs)
+print(f"  replica: first result in {time.perf_counter() - _t0:.2f} s "
+      f"(execution={result.execution})")
+np.savez(sys.argv[3], **{name: result[name] for name in result})
+"""
+
+
+def main() -> None:
+    dims = list(FIGURE4_MLP_DIMS)
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "artifact"
+
+        t0 = time.perf_counter()
+        engine = InferenceEngine(build_mlp_model(dims, seed=0), seed=0)
+        engine.warm(batch=BATCH)           # program + record the tape
+        engine.save_artifacts(artifact)
+        print(f"built + saved {dims} MLP artifact in "
+              f"{time.perf_counter() - t0:.2f} s "
+              f"({sum(f.stat().st_size for f in artifact.iterdir()) / 2**20:.1f} MiB)")
+
+        rng = np.random.default_rng(0)
+        inputs = {"x": engine.quantize(
+            rng.normal(0.0, 0.4, size=(BATCH, dims[0])))}
+        reference = engine.run_batch(inputs)
+
+        inputs_file = Path(tmp) / "inputs.npz"
+        outputs_file = Path(tmp) / "outputs.npz"
+        np.savez(inputs_file, **inputs)
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        print("spawning a cold replica process...")
+        subprocess.run(
+            [sys.executable, "-c", _REPLICA, str(artifact),
+             str(inputs_file), str(outputs_file)], check=True, env=env)
+
+        with np.load(outputs_file) as replica:
+            for name in reference:
+                assert np.array_equal(replica[name], reference[name]), name
+        print("  replica outputs are bitwise identical to the builder's")
+        print(f"store counters: {store_info()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -82,8 +82,9 @@ from repro.serve import (
     ShardExecutionError,
 )
 from repro.sim import SimulationDeadlock, SimulationStats, Simulator
+from repro.store import ArtifactError, store_info
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def quick_run(model, inputs, config=None, *, options=None,
@@ -146,6 +147,8 @@ __all__ = [
     "PumaServer",
     "ShardedEngine",
     "ShardExecutionError",
+    "ArtifactError",
+    "store_info",
     "quick_run",
     "__version__",
 ]

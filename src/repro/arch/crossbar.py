@@ -185,11 +185,38 @@ class Crossbar:
     def restore_state(self, levels: np.ndarray,
                       conductance: np.ndarray) -> None:
         """Install device state exported from an identically-programmed
-        crossbar, without consuming any write-noise RNG draws."""
-        if levels.shape != (self.model.dim, self.model.dim):
+        crossbar, without consuming any write-noise RNG draws.
+
+        Validates both arrays (shape, integer levels in range, float
+        conductances within the model's window) so state deserialized
+        from disk cannot silently corrupt the analog path::
+
+            levels, conductance = source_crossbar.export_state()
+            replica.restore_state(levels, conductance)   # bitwise replica
+        """
+        expected = (self.model.dim, self.model.dim)
+        if levels.shape != expected:
             raise ValueError(
-                f"expected shape {(self.model.dim, self.model.dim)}, "
-                f"got {levels.shape}")
+                f"expected shape {expected}, got {levels.shape}")
+        if conductance.shape != expected:
+            raise ValueError(
+                f"conductance expected shape {expected}, "
+                f"got {conductance.shape}")
+        if not np.issubdtype(levels.dtype, np.integer):
+            raise ValueError(
+                f"levels must be integers, got dtype {levels.dtype}")
+        if np.any(levels < 0) or np.any(levels >= self.model.levels):
+            raise ValueError(
+                f"restored levels out of range [0, {self.model.levels})")
+        if not np.issubdtype(conductance.dtype, np.floating):
+            raise ValueError(
+                f"conductance must be float, got dtype {conductance.dtype}")
+        # program() clips to [g_min, g_max]; anything outside cannot have
+        # come from an identically-configured crossbar.
+        if (np.any(conductance < self.model.g_min - 1e-18)
+                or np.any(conductance > self.model.g_max + 1e-18)):
+            raise ValueError(
+                "restored conductances fall outside the device window")
         self._levels = levels
         self._conductance = conductance
         self._programmed = True

@@ -134,6 +134,17 @@ class MVMU:
             raise ValueError(
                 f"state holds {len(xbar_states)} crossbar slices, "
                 f"unit expects {self.num_slices}")
+        if matrix.shape != (self.dim, self.dim):
+            raise ValueError(
+                f"state matrix expected {(self.dim, self.dim)}, "
+                f"got {matrix.shape}")
+        if not np.issubdtype(matrix.dtype, np.integer):
+            raise ValueError(
+                f"state matrix must be integer, got dtype {matrix.dtype}")
+        if column_offset_sums.shape != (self.dim,):
+            raise ValueError(
+                f"state column sums expected ({self.dim},), "
+                f"got {column_offset_sums.shape}")
         self._crossbars = []
         for levels, conductance in xbar_states:
             xbar = Crossbar(self.model, rng=self._rng)

@@ -14,6 +14,10 @@ Commands:
   concurrent clients stream through :class:`~repro.serve.PumaServer`
   and the batching counters are printed; ``--shards K`` splits each
   coalesced micro-batch across K replicas;
+* ``warm GRAPH.json --artifact-dir DIR`` — pre-build the persistent
+  artifact (compilation + programmed crossbars + execution tapes, see
+  :mod:`repro.store`) so later ``run``/``serve`` invocations — separate
+  processes — warm-start with ``--artifact-dir DIR``;
 * ``disasm GRAPH.json`` — compile a graph and print the per-core/tile
   assembly listings;
 * ``metrics`` — the Table 6 node metrics for the default configuration.
@@ -58,13 +62,15 @@ def _parse_inputs(pairs: list[str]) -> dict[str, np.ndarray]:
     return inputs
 
 
-def _build_engine(path: str, seed: int = 0, execution_mode: str = "auto"):
+def _build_engine(path: str, seed: int = 0, execution_mode: str = "auto",
+                  artifact_dir: str | None = None):
     from repro import default_config
     from repro.compiler.importer import import_graph_file
     from repro.engine import InferenceEngine
 
     return InferenceEngine(import_graph_file(path), default_config(),
-                           seed=seed, execution_mode=execution_mode)
+                           seed=seed, execution_mode=execution_mode,
+                           artifact_dir=artifact_dir)
 
 
 def _fill_missing_inputs(engine, provided: dict[str, np.ndarray],
@@ -101,7 +107,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("--shards must be >= 1", file=sys.stderr)
         return 2
     engine = _build_engine(args.graph, seed=args.seed,
-                           execution_mode=args.execution_mode)
+                           execution_mode=args.execution_mode,
+                           artifact_dir=args.artifact_dir)
     if args.batch_file:
         return _run_batch_file(engine, args.batch_file, args.shards)
     if args.shards > 1:
@@ -189,7 +196,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("--shards must be >= 1", file=sys.stderr)
         return 2
     engine = _build_engine(args.graph, seed=args.seed,
-                           execution_mode=args.execution_mode)
+                           execution_mode=args.execution_mode,
+                           artifact_dir=args.artifact_dir)
     layout = engine.program.input_layout
     rng = np.random.default_rng(args.seed)
     requests = [
@@ -201,7 +209,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def serve_all():
         async with PumaServer(engine, max_batch_size=args.max_batch,
                               batch_window_s=args.window,
-                              num_shards=args.shards) as server:
+                              num_shards=args.shards,
+                              artifact_dir=args.artifact_dir) as server:
             results = await asyncio.gather(
                 *(server.submit(request) for request in requests))
         return results, server.counters
@@ -215,6 +224,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(counters.summary())
     print(f"compile cache: {compile_cache_info()}")
     print(f"tape cache: {tape_cache_info()}")
+    if args.artifact_dir:
+        from repro.store import store_info
+
+        print(f"artifact store: {store_info()}")
+    return 0
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    """Pre-build the persistent artifact for a graph (cross-process warm).
+
+    Compiles, programs the crossbars, records an execution tape per
+    requested batch size, and writes the artifact keyed by
+    (model, config, crossbar model, seed) under ``--artifact-dir``.  A
+    later ``run``/``serve`` in a brand-new process pointed at the same
+    directory starts from that state instead of rebuilding it.
+    """
+    from repro.store import store_info
+
+    batches = sorted(set(args.batch or [1]))
+    if any(b < 1 for b in batches):
+        print("--batch sizes must be >= 1", file=sys.stderr)
+        return 2
+    engine = _build_engine(args.graph, seed=args.seed,
+                           artifact_dir=args.artifact_dir)
+    engine.warm()
+    for batch in batches:
+        engine.warm(batch=batch)
+    path = engine.save_artifacts()
+    print(f"artifact: {path}")
+    print(f"programmed states: {len(engine.compiled.programmed_states)}, "
+          f"execution tapes: {len(engine.compiled.execution_tapes)} "
+          f"(batches {', '.join(str(b) for b in batches)})")
+    print(f"artifact store: {store_info()}")
     return 0
 
 
@@ -273,7 +315,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="trace-replay fast path on repeated runs (auto, "
                           "the default), strict replay, or always the "
                           "event-driven interpreter")
+    run.add_argument("--artifact-dir", metavar="DIR",
+                     help="persistent artifact store: warm-start from a "
+                          "'repro warm' artifact when one matches")
     run.set_defaults(fn=_cmd_run)
+
+    warm = sub.add_parser(
+        "warm", help="pre-build the persistent artifact for a graph")
+    warm.add_argument("graph", help="path to the graph description (JSON)")
+    warm.add_argument("--artifact-dir", metavar="DIR", required=True,
+                      help="directory the artifact is written under "
+                           "(keyed by model/config/crossbar/seed)")
+    warm.add_argument("--batch", type=int, action="append", metavar="N",
+                      help="record an execution tape for this batch size "
+                           "(repeatable; default: 1)")
+    warm.add_argument("--seed", type=int, default=0)
+    warm.set_defaults(fn=_cmd_warm)
 
     serve = sub.add_parser(
         "serve", help="async serving demo (queue + dynamic batching)")
@@ -293,6 +350,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace-replay fast path on repeated batches "
                             "(auto, the default), strict replay, or always "
                             "the event-driven interpreter")
+    serve.add_argument("--artifact-dir", metavar="DIR",
+                       help="persistent artifact store: warm-start from "
+                            "(and refresh) a 'repro warm' artifact")
     serve.set_defaults(fn=_cmd_serve)
 
     disasm = sub.add_parser("disasm",

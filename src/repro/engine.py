@@ -30,7 +30,14 @@ that pattern:
   queue.  Programs using the stochastic ``RANDOM`` op (and unseeded
   engines) transparently fall back to the interpreter;
   :func:`tape_cache_info` reports recordings/replays/fallbacks and
-  ``execution_mode="interpret"`` disables the fast path outright.
+  ``execution_mode="interpret"`` disables the fast path outright;
+* all of the above persists **across processes** through the artifact
+  store (:mod:`repro.store`): ``artifact_dir=`` makes the engine
+  warm-start from a matching on-disk artifact (compilation + programmed
+  crossbars + tapes) at construction time, :meth:`save_artifacts` /
+  :meth:`InferenceEngine.from_artifacts` are the explicit save/load
+  pair, and :meth:`ensure_artifacts` is the idempotent
+  load-or-build-and-save primitive the serving layers use.
 
 For an async front-end with queueing and dynamic micro-batching on top of
 this engine, see :class:`repro.serve.PumaServer`.
@@ -48,10 +55,10 @@ Quickstart::
 
 from __future__ import annotations
 
-import dataclasses
 import threading
 import warnings
 import weakref
+from pathlib import Path
 from typing import Mapping, NamedTuple
 
 import numpy as np
@@ -70,6 +77,17 @@ from repro.sim.tape import (
     TapeReplayer,
     TapeValidationError,
     find_unsupported_op,
+)
+from repro.store import (
+    MANIFEST_NAME,
+    ArtifactError,
+    artifact_key,
+    fingerprint_digest,
+    fingerprint_value,
+    load_artifact,
+    model_digest,
+    program_digest,
+    save_artifact,
 )
 
 # Most programmed-crossbar snapshots kept per compiled model (each holds
@@ -93,25 +111,10 @@ _cache_hits = 0
 _cache_misses = 0
 
 
-def _fingerprint_value(value):
-    """A hashable, value-based key component.
-
-    Dataclasses decompose field by field (recursively), so the key covers
-    exactly what the instance *holds* — unlike ``repr``, which would miss
-    ``repr=False`` fields and collide for distinct types with equal
-    string forms.
-    """
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return (type(value).__qualname__, tuple(
-            (f.name, _fingerprint_value(getattr(value, f.name)))
-            for f in dataclasses.fields(value)))
-    if isinstance(value, (list, tuple)):
-        return (type(value).__name__,
-                tuple(_fingerprint_value(v) for v in value))
-    if isinstance(value, dict):
-        return ("dict", tuple(sorted(
-            (k, _fingerprint_value(v)) for k, v in value.items())))
-    return value
+# Canonical implementation lives in repro.store (the artifact store keys
+# disk artifacts off the same value fingerprints the compile cache uses);
+# the old private name stays importable for existing callers.
+_fingerprint_value = fingerprint_value
 
 
 def _cache_fingerprint(config: PumaConfig,
@@ -121,7 +124,13 @@ def _cache_fingerprint(config: PumaConfig,
 
 
 class CompileCacheInfo(NamedTuple):
-    """Process-wide compile-cache statistics (cf. ``functools.lru_cache``)."""
+    """Process-wide compile-cache statistics (cf. ``functools.lru_cache``).
+
+    ``misses`` counts every lookup not served from memory — whether the
+    compilation was then rebuilt by the compiler or loaded from the
+    artifact store (:func:`repro.store.store_info` separates the two) —
+    so hits + misses always reconciles with lookups.
+    """
 
     hits: int
     misses: int
@@ -129,8 +138,14 @@ class CompileCacheInfo(NamedTuple):
 
 
 def compile_cached(model: Model, config: PumaConfig,
-                   options: CompilerOptions | None = None) -> CompiledModel:
-    """Compile ``model`` for ``config``, memoized on (model, config, options)."""
+                   options: CompilerOptions | None = None, *,
+                   loader=None) -> CompiledModel:
+    """Compile ``model`` for ``config``, memoized on (model, config, options).
+
+    ``loader`` is an optional miss-path hook: called before the compiler
+    on a cache miss, its non-``None`` result (e.g. an artifact-store
+    load) is cached in place of a fresh compilation.
+    """
     global _cache_hits, _cache_misses
     per_model = _COMPILE_CACHE.setdefault(model, {})
     key = _cache_fingerprint(config, options)
@@ -138,7 +153,10 @@ def compile_cached(model: Model, config: PumaConfig,
         _cache_hits += 1
     else:
         _cache_misses += 1
-        per_model[key] = compile_model(model, config, options)
+        compiled = loader() if loader is not None else None
+        if compiled is None:
+            compiled = compile_model(model, config, options)
+        per_model[key] = compiled
     return per_model[key]
 
 
@@ -248,6 +266,13 @@ class InferenceEngine:
             the mode, exactly as in ``"auto"``); ``"interpret"`` always
             runs the event-driven interpreter.  All three produce
             bitwise-identical outputs and field-identical stats.
+        artifact_dir: persistent artifact store directory
+            (:mod:`repro.store`).  At construction the engine loads a
+            matching artifact if one exists — skipping compilation,
+            crossbar programming, and tape recording — and otherwise
+            compiles normally; any invalid artifact is ignored (rebuild,
+            never a wrong answer).  :meth:`save_artifacts` writes the
+            keyed artifact back.
 
     Attributes:
         compiled: the (cached) compilation artifacts.
@@ -260,7 +285,8 @@ class InferenceEngine:
                  crossbar_model: CrossbarModel | None = None,
                  seed: int | None = 0, *,
                  compiled: CompiledModel | None = None,
-                 execution_mode: str = "auto") -> None:
+                 execution_mode: str = "auto",
+                 artifact_dir: str | Path | None = None) -> None:
         if (model is None) == (compiled is None):
             raise ValueError(
                 "provide exactly one of 'model' (compiled through the "
@@ -275,10 +301,25 @@ class InferenceEngine:
         self.crossbar_model = crossbar_model
         self.seed = seed
         self.execution_mode = execution_mode
+        self.artifact_dir = Path(artifact_dir) if artifact_dir else None
+        # config/crossbar_model/seed are fixed for the engine's lifetime;
+        # fingerprinting them walks every dataclass field recursively, so
+        # do it once, not per run.  (Computed before compilation: the
+        # artifact store keys off it.)
+        self._fingerprint = (_fingerprint_value(self.config),
+                             _fingerprint_value(self.crossbar_model),
+                             self.seed)
+        # The artifact path this engine already loaded or saved, so
+        # repeated ensure_artifacts() calls (server + shard pool wiring)
+        # don't re-hash and re-deserialize a multi-MB artifact per layer
+        # — plus which tape batch sizes that artifact holds *on disk*
+        # (an in-memory tape recorded after adoption still needs a save).
+        self._adopted_artifact: Path | None = None
+        self._persisted_tape_batches: set[int] = set()
         if compiled is not None:
             self.compiled = compiled
         else:
-            self.compiled = compile_cached(model, self.config, options)
+            self.compiled = self._resolve_compiled()
         self.program = self.compiled.program
         self.fmt = self.config.core.fixed_point
         self._last_stats: SimulationStats | None = None
@@ -287,25 +328,255 @@ class InferenceEngine:
         self._replayers: dict[int, TapeReplayer] = {}
         self._replay_lock = threading.Lock()
         self._tape_blocker: str | None | bool = False  # False = not scanned
-        # config/crossbar_model/seed are fixed for the engine's lifetime;
-        # fingerprinting them walks every dataclass field recursively, so
-        # do it once, not per run.
-        self._fingerprint = (_fingerprint_value(self.config),
-                             _fingerprint_value(self.crossbar_model),
-                             self.seed)
 
     @classmethod
     def from_compiled(cls, compiled: CompiledModel,
                       config: PumaConfig | None = None, *,
                       crossbar_model: CrossbarModel | None = None,
                       seed: int | None = 0,
-                      execution_mode: str = "auto") -> "InferenceEngine":
+                      execution_mode: str = "auto",
+                      artifact_dir: str | Path | None = None
+                      ) -> "InferenceEngine":
         """Serve an already-compiled model (CNN lowering, importer output).
 
         Bypasses the compile cache — the caller owns the compilation.
+        ``artifact_dir`` enables :meth:`save_artifacts` /
+        :meth:`ensure_artifacts`, keyed by a digest of the compiled
+        program (there is no frontend model to digest).
+
+        Example::
+
+            compiled = compile_cnn(small_cnn_spec(), config)
+            engine = InferenceEngine.from_compiled(compiled, config, seed=0)
         """
         return cls(None, config, crossbar_model=crossbar_model, seed=seed,
-                   compiled=compiled, execution_mode=execution_mode)
+                   compiled=compiled, execution_mode=execution_mode,
+                   artifact_dir=artifact_dir)
+
+    # -- persistent artifact store -----------------------------------------
+
+    def _key_digests(self) -> tuple[str, str, int | None]:
+        """The engine key as stable digests (what artifact manifests pin)."""
+        config_fp, crossbar_fp, seed = self._fingerprint
+        return (fingerprint_digest(config_fp),
+                fingerprint_digest(crossbar_fp), seed)
+
+    def _artifact_path(self, artifact_dir: Path | None = None) -> Path:
+        """Where this engine's artifact lives under the store directory."""
+        base = artifact_dir if artifact_dir is not None else self.artifact_dir
+        if base is None:
+            raise ValueError(
+                "no artifact directory configured (pass artifact_dir= to "
+                "the engine or to this call)")
+        if self.model is not None:
+            content = model_digest(self.model)
+            content = fingerprint_digest(
+                (content, fingerprint_value(self.options)))
+            name = self.model.name
+        else:
+            content = program_digest(self.compiled.program)
+            name = self.compiled.program.name
+        config_digest, crossbar_digest, seed = self._key_digests()
+        key = fingerprint_digest((config_digest, crossbar_digest, seed))
+        return Path(base) / artifact_key(name, content, key)
+
+    def _resolve_compiled(self) -> CompiledModel:
+        """Compile cache -> artifact store -> compiler, in that order.
+
+        A store hit fills the in-process cache too (through the
+        ``loader`` hook), so replica engines built for the same model
+        share the compilation.  When the compile cache hits but this
+        engine's (config, crossbar model, seed) has no programmed state
+        yet — e.g. the model was compiled in-process under a different
+        seed — the store is still consulted for the state and tapes.
+        """
+        loader = self._try_load_store if self.artifact_dir is not None \
+            else None
+        compiled = compile_cached(self.model, self.config, self.options,
+                                  loader=loader)
+        if (self.artifact_dir is not None
+                and self._adopted_artifact is None
+                and self.seed is not None
+                and self._fingerprint not in compiled.programmed_states):
+            loaded = self._load_store()
+            if loaded is not None:
+                self._adopt_loaded(compiled, loaded)
+        return compiled
+
+    def _load_store(self):
+        """This engine's validated artifact, or ``None`` to rebuild.
+
+        Any validation failure (version/fingerprint mismatch, corrupt or
+        truncated payloads) is treated as a cache miss — the store must
+        never produce a wrong answer, only a slower start.
+        """
+        path = self._artifact_path()
+        if not (path / MANIFEST_NAME).is_file():
+            return None
+        try:
+            loaded = load_artifact(path,
+                                   expected_key_digests=self._key_digests())
+        except ArtifactError:
+            return None
+        self._adopted_artifact = path.resolve()
+        self._persisted_tape_batches = set(loaded.tapes)
+        return loaded
+
+    def _try_load_store(self) -> CompiledModel | None:
+        """Compile-cache loader hook: the artifact's compilation, with
+        this engine's caches installed, or ``None`` to compile."""
+        loaded = self._load_store()
+        if loaded is None:
+            return None
+        return self._adopt_loaded(loaded.compiled, loaded)
+
+    def _adopt_loaded(self, compiled: CompiledModel, loaded) -> CompiledModel:
+        """Install a loaded artifact's caches under this engine's keys."""
+        state_key = self._fingerprint if self.seed is not None else None
+        with _tape_lock:
+            if state_key is not None:
+                compiled.programmed_states[state_key] = \
+                    loaded.programmed_state
+            for batch, tape in loaded.tapes.items():
+                compiled.execution_tapes[self._fingerprint + (batch,)] = tape
+            _TAPE_MODELS[id(compiled)] = compiled
+        return compiled
+
+    @classmethod
+    def from_artifacts(cls, path: str | Path, *,
+                       execution_mode: str = "auto",
+                       artifact_dir: str | Path | None = None
+                       ) -> "InferenceEngine":
+        """Build an engine from one on-disk artifact — the warm start.
+
+        Loads the compilation, the programmed crossbar state, and every
+        recorded execution tape from ``path``; the returned engine serves
+        requests **bitwise identically** to a cold-built engine with the
+        same model/config/crossbar/seed (``tests/test_store.py``), without
+        re-paying compilation, programming, or tape recording.
+
+        Example::
+
+            InferenceEngine(model, seed=0).warm(batch=16) \\
+                .save_artifacts("artifacts/mlp")
+            # ... later, in a different process:
+            engine = InferenceEngine.from_artifacts("artifacts/mlp")
+            result = engine.predict({"x": x})      # replays immediately
+
+        Raises:
+            ArtifactError: the artifact is missing, corrupt, truncated,
+                or from an unsupported format version.
+        """
+        loaded = load_artifact(path)
+        engine = cls(None, loaded.config, loaded.options,
+                     crossbar_model=loaded.crossbar_model, seed=loaded.seed,
+                     compiled=loaded.compiled, execution_mode=execution_mode,
+                     artifact_dir=artifact_dir)
+        engine._adopt_loaded(engine.compiled, loaded)
+        engine._adopted_artifact = Path(path).resolve()
+        engine._persisted_tape_batches = set(loaded.tapes)
+        return engine
+
+    def save_artifacts(self, path: str | Path | None = None) -> Path:
+        """Persist this engine's warm state as an on-disk artifact.
+
+        Warms first (a no-op when already warm), then writes the
+        compilation, the programmed crossbar state for this engine's
+        (config, crossbar model, seed), and every execution tape recorded
+        at that key — so a later :meth:`from_artifacts` (or an
+        ``artifact_dir`` engine in a brand-new process) starts exactly
+        where this engine stands.  Record tapes you want persisted before
+        saving (``warm(batch=N)`` per serving batch size).
+
+        Args:
+            path: explicit artifact directory; defaults to the keyed slot
+                under the engine's ``artifact_dir``.
+
+        Returns:
+            The artifact directory written.
+
+        Raises:
+            ArtifactError: the engine is unseeded (``seed=None`` state
+                must not be frozen to disk).
+            ValueError: no path given and no ``artifact_dir`` configured.
+        """
+        if self.seed is None:
+            raise ArtifactError(
+                "cannot save artifacts for an unseeded engine: seed=None "
+                "requests fresh entropy per run, which a persisted state "
+                "would freeze")
+        self.warm()
+        state = self.compiled.programmed_states.get(self._state_key())
+        tapes = {key[-1]: tape
+                 for key, tape in self.compiled.execution_tapes.items()
+                 if key[:-1] == self._fingerprint}
+        target = Path(path) if path is not None else self._artifact_path()
+        saved = save_artifact(
+            target, compiled=self.compiled, tapes=tapes,
+            programmed_state=state, config=self.config,
+            options=self.options, crossbar_model=self.crossbar_model,
+            seed=self.seed)
+        self._adopted_artifact = saved.resolve()
+        self._persisted_tape_batches = set(tapes)
+        return saved
+
+    def ensure_artifacts(self, artifact_dir: str | Path | None = None, *,
+                         batch: int | None = None) -> Path | None:
+        """Make the on-disk artifact exist and this engine warm — both ways.
+
+        The idempotent primitive behind ``cli warm`` and the serving
+        layers: if a valid artifact for this engine's key already exists,
+        adopt its caches (programmed state + tapes); otherwise warm the
+        engine (recording a tape for ``batch`` when given) and save one.
+        Either way, the next process pointed at the same directory
+        warm-starts.
+
+        Args:
+            artifact_dir: store directory; defaults to (and, on first
+                use, becomes) the engine's ``artifact_dir``.
+            batch: additionally guarantee a recorded tape for this batch
+                size before saving.
+
+        Returns:
+            The artifact path, or ``None`` when no directory is
+            configured anywhere (a no-op, so callers can wire it
+            unconditionally).
+        """
+        base = Path(artifact_dir) if artifact_dir is not None \
+            else self.artifact_dir
+        if base is None or self.seed is None:
+            # No store configured, or nothing persistable: seed=None
+            # state must stay fresh per run (save_artifacts would raise).
+            return None
+        if self.artifact_dir is None:
+            self.artifact_dir = base
+        path = self._artifact_path(base)
+        adopted = path.resolve() == self._adopted_artifact
+        if adopted and (
+                batch is None or self._replay_blocker() is not None
+                or batch in self._persisted_tape_batches):
+            # Already loaded from (or saved to) this exact artifact, and
+            # the requested batch's tape is on disk (not merely recorded
+            # in memory) — don't re-hash and re-deserialize it per
+            # serving layer.
+            return path
+        if not adopted and (path / MANIFEST_NAME).is_file():
+            try:
+                loaded = load_artifact(
+                    path, expected_key_digests=self._key_digests())
+            except ArtifactError:
+                loaded = None
+            if loaded is not None:
+                self._adopt_loaded(self.compiled, loaded)
+                self._adopted_artifact = path.resolve()
+                self._persisted_tape_batches = set(loaded.tapes)
+                if batch is None or batch in loaded.tapes \
+                        or self._replay_blocker() is not None:
+                    return path
+        self.warm()
+        if batch is not None:
+            self.warm(batch=batch)
+        return self.save_artifacts(path)
 
     # -- deprecated mutable state ------------------------------------------
 
@@ -466,7 +737,12 @@ class InferenceEngine:
         or seed=None).
         """
         if self.seed is not None:
-            self._simulator(1)
+            if self._state_key() not in self.compiled.programmed_states:
+                # Side effect of building any simulator: the programming
+                # pass runs and its state is harvested.  Skip the build
+                # when the state is already cached (warm() is called once
+                # per batch rung by serving bring-up).
+                self._simulator(1)
             if (batch is not None and self._replay_blocker() is None
                     and self._tape_key(batch)
                     not in self.compiled.execution_tapes):

@@ -12,6 +12,7 @@ the chip-to-chip interconnect.
 from __future__ import annotations
 
 import copy
+import re
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -45,6 +46,73 @@ class NodeProgrammedState:
 
     mvmus: dict[tuple[int, int, int], tuple]
     rng_state: dict
+
+    def to_flat_arrays(self) -> dict[str, np.ndarray]:
+        """Flatten into named numpy arrays for on-disk persistence.
+
+        Each MVMU at ``(tile, core, mvmu)`` contributes its programmed
+        matrix (``m{t}_{c}_{u}_matrix``), column offset sums
+        (``..._colsums``), and the bit slices' device levels and
+        conductances stacked along a leading slice axis (``..._lv`` /
+        ``..._cd``, shape ``(num_slices, dim, dim)`` — one array per
+        unit, not per slice: large models have thousands of slices and
+        per-member archive overhead would dominate load time) — the
+        layout :meth:`from_flat_arrays` reverses.  The RNG state is
+        JSON-safe and travels separately (in the artifact manifest).
+        """
+        arrays: dict[str, np.ndarray] = {}
+        for (tile_id, core_id, mvmu_id), state in sorted(self.mvmus.items()):
+            matrix, column_offset_sums, xbar_states = state
+            prefix = f"m{tile_id}_{core_id}_{mvmu_id}"
+            arrays[f"{prefix}_matrix"] = matrix
+            arrays[f"{prefix}_colsums"] = column_offset_sums
+            arrays[f"{prefix}_lv"] = np.stack(
+                [levels for levels, _cond in xbar_states])
+            arrays[f"{prefix}_cd"] = np.stack(
+                [cond for _levels, cond in xbar_states])
+        return arrays
+
+    @classmethod
+    def from_flat_arrays(cls, arrays: dict[str, np.ndarray],
+                         rng_state: dict) -> "NodeProgrammedState":
+        """Rebuild from :meth:`to_flat_arrays` output.
+
+        Validates structural completeness — every unit must carry a
+        matrix, column sums, and level/conductance stacks of matching
+        shape — and raises ``ValueError`` otherwise (the artifact store
+        surfaces that as a load rejection).  The per-slice arrays are
+        views into the stacks, so no data is copied.
+        """
+        if not isinstance(rng_state, dict) or "bit_generator" not in rng_state:
+            raise ValueError("programmed-state RNG snapshot is malformed")
+        pattern = re.compile(r"^m(\d+)_(\d+)_(\d+)_(matrix|colsums|lv|cd)$")
+        units: dict[tuple[int, int, int], dict[str, np.ndarray]] = {}
+        for name, array in arrays.items():
+            match = pattern.match(name)
+            if match is None:
+                raise ValueError(f"unrecognized state array {name!r}")
+            key = tuple(int(g) for g in match.groups()[:3])
+            units.setdefault(key, {})[match.group(4)] = array
+        if not units:
+            raise ValueError("programmed state holds no MVMU entries")
+        mvmus: dict[tuple[int, int, int], tuple] = {}
+        for key, parts in units.items():
+            missing = {"matrix", "colsums", "lv", "cd"} - set(parts)
+            if missing:
+                raise ValueError(
+                    f"MVMU {key} state is missing {sorted(missing)}")
+            levels, conductance = parts["lv"], parts["cd"]
+            if levels.ndim != 3 or levels.shape != conductance.shape:
+                raise ValueError(
+                    f"MVMU {key} level/conductance stacks disagree: "
+                    f"{levels.shape} vs {conductance.shape}")
+            mvmus[key] = (parts["matrix"], parts["colsums"],
+                          tuple((levels[k], conductance[k])
+                                for k in range(levels.shape[0])))
+        # JSON round-trips the RNG snapshot's ints losslessly but may
+        # arrive with list-typed values; numpy's bit-generator setter
+        # validates the rest.
+        return cls(mvmus=mvmus, rng_state=copy.deepcopy(rng_state))
 
 
 class Node:

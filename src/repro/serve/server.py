@@ -104,6 +104,11 @@ class PumaServer:
             or ``"interleaved"``); only meaningful with ``num_shards > 1``.
         shard_executor: worker pool kind for the fan-out (``"auto"``,
             ``"thread"``, or ``"process"``).
+        artifact_dir: persistent artifact store directory
+            (:mod:`repro.store`).  On :meth:`start` the engine
+            warm-starts from (or populates) the store — a freshly-spawned
+            serving process skips compilation, crossbar programming, and
+            tape recording when a prior process left an artifact.
 
     Requests are float-first: clients submit 1-D float vectors per model
     input and receive dequantized floats (plus the fixed-point words) in
@@ -117,7 +122,8 @@ class PumaServer:
                  batch_window_s: float = 0.002,
                  num_shards: int = 1,
                  shard_policy: str = "contiguous",
-                 shard_executor: str = "auto") -> None:
+                 shard_executor: str = "auto",
+                 artifact_dir=None) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, "
                              f"got {max_batch_size}")
@@ -131,6 +137,7 @@ class PumaServer:
         self.num_shards = num_shards
         self.shard_policy = shard_policy
         self.shard_executor = shard_executor
+        self.artifact_dir = artifact_dir
         self.counters = ServerCounters(max_batch_size=max_batch_size)
         self._queue: asyncio.Queue | None = None
         self._batcher_task: asyncio.Task | None = None
@@ -143,13 +150,21 @@ class PumaServer:
     async def start(self) -> "PumaServer":
         """Spawn the batching loop (and the shard pool); idempotent."""
         if self._batcher_task is None:
+            if self.artifact_dir is not None or \
+                    self.engine.artifact_dir is not None:
+                # Cross-process warm start: adopt (or write) the on-disk
+                # artifact before serving, with a tape pre-recorded for
+                # full coalesced batches.
+                self.engine.ensure_artifacts(self.artifact_dir,
+                                             batch=self.max_batch_size)
             if self.num_shards > 1 and self._sharded is None:
                 # Eager: fork/spawn shard workers now, from the caller's
                 # thread, not lazily inside the serving executor thread.
                 self._sharded = ShardedEngine(
                     self.engine, num_shards=self.num_shards,
                     shard_policy=self.shard_policy,
-                    executor=self.shard_executor).start()
+                    executor=self.shard_executor,
+                    artifact_dir=self.artifact_dir).start()
             self._queue = asyncio.Queue()
             self._closed = False
             self._batcher_task = asyncio.create_task(self._batch_loop())

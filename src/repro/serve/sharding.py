@@ -99,6 +99,13 @@ def shard_lanes(batch: int, num_shards: int,
     * ``"contiguous"`` — consecutive lane runs (``np.array_split``
       semantics: sizes differ by at most one);
     * ``"interleaved"`` — lane *i* goes to shard ``i % k`` (round-robin).
+
+    >>> [lanes.tolist() for lanes in shard_lanes(5, 2)]
+    [[0, 1, 2], [3, 4]]
+    >>> [lanes.tolist() for lanes in shard_lanes(5, 2, "interleaved")]
+    [[0, 2, 4], [1, 3]]
+    >>> [lanes.tolist() for lanes in shard_lanes(2, 4)]  # clamped: no empties
+    [[0], [1]]
     """
     if batch < 1:
         raise ValueError(f"batch must be >= 1, got {batch}")
@@ -227,6 +234,11 @@ class ShardedEngine:
             parallelism, the default where ``fork`` exists),
             ``"thread"`` (in-process pool; GIL-bound but dependency-free
             and exception-transparent), or ``"auto"``.
+        artifact_dir: persistent artifact store directory
+            (:mod:`repro.store`).  Before the pool is built the primary
+            engine warm-starts from (or populates) the store, so a
+            sharded server in a brand-new process skips compilation,
+            crossbar programming, and tape recording.
 
     The worker pool is created lazily on the first sharded call — after
     warming the primary engine so forked replicas inherit the compiled
@@ -237,7 +249,8 @@ class ShardedEngine:
     def __init__(self, engine: "InferenceEngine", *,
                  num_shards: int = 2,
                  shard_policy: str = "contiguous",
-                 executor: str = "auto") -> None:
+                 executor: str = "auto",
+                 artifact_dir=None) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         if shard_policy not in SHARD_POLICIES:
@@ -268,6 +281,7 @@ class ShardedEngine:
         self.num_shards = num_shards
         self.shard_policy = shard_policy
         self.executor = executor
+        self.artifact_dir = artifact_dir
         self._pool = None
         self._fork_token: int | None = None
         self._replicas: "list[InferenceEngine]" = []
@@ -306,17 +320,26 @@ class ShardedEngine:
             return InferenceEngine(
                 primary.model, primary.config, primary.options,
                 crossbar_model=primary.crossbar_model, seed=primary.seed,
-                execution_mode=primary.execution_mode)
+                execution_mode=primary.execution_mode,
+                artifact_dir=primary.artifact_dir)
         return InferenceEngine.from_compiled(
             primary.compiled, primary.config,
             crossbar_model=primary.crossbar_model, seed=primary.seed,
-            execution_mode=primary.execution_mode)
+            execution_mode=primary.execution_mode,
+            artifact_dir=primary.artifact_dir)
 
     def _ensure_pool(self) -> None:
         if self._pool is not None:
             return
         # Warm before forking/replicating: children and replicas then
         # share the programmed-crossbar state instead of re-deriving it.
+        # With an artifact store configured, warm *through* it — load the
+        # on-disk state if a prior process left one, and persist ours
+        # otherwise, so replicas in brand-new processes (not just forked
+        # children) warm-start too.
+        if self.artifact_dir is not None or self.engine.artifact_dir \
+                is not None:
+            self.engine.ensure_artifacts(self.artifact_dir)
         self.engine.warm()
         if self.executor == "process":
             context = multiprocessing.get_context("fork")

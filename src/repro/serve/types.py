@@ -35,6 +35,11 @@ class InferenceRequest:
         inputs: 1-D float vector per input name (one inference).
         request_id: optional caller-assigned correlation id; the server
             assigns a monotonically increasing id when the caller does not.
+
+    Example::
+
+        request = InferenceRequest({"x": np.linspace(-1, 1, 64)})
+        engine.validate_request(request.inputs)   # fail fast on typos
     """
 
     inputs: dict[str, np.ndarray]
@@ -70,6 +75,15 @@ class RunResult(Mapping):
 
     Mapping protocol: iterating/indexing a ``RunResult`` reads ``words``,
     preserving the legacy raw-dict contract bit for bit.
+
+    Example::
+
+        result = engine.predict({"x": x_float})   # (batch, 64) floats
+        result.outputs["out"]                     # floats, (batch, 14)
+        result["out"]                             # raw fixed-point words
+        result.cycles_per_inference               # batch-amortized latency
+        result.lane(3).output()                   # request 3's own view
+        result.execution                          # "replay"/"interpreter"
     """
 
     words: dict[str, np.ndarray]

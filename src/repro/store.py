@@ -1,0 +1,670 @@
+"""Persistent artifact store: compiled models + programmed state on disk.
+
+PUMA's economics are *pay once, serve many*: compilation, crossbar
+programming, and (since the trace-replay engine) schedule recording all
+happen once, and every later request amortizes them (Section 3.2.5 —
+weights are written at configuration time; Section 7.3 — inference cost
+is measured per-request against that fixed endpoint).  The in-process
+caches already realize this within one process; this module extends the
+same once-vs-many split **across processes**: a
+:class:`~repro.engine.InferenceEngine` can serialize everything its
+caches hold into one on-disk artifact, and a brand-new process — a CLI
+invocation, a CI job, a cold serving replica on another machine — loads
+it back and starts serving without re-paying compilation, programming,
+or tape recording.
+
+An artifact is a directory holding three files:
+
+* ``manifest.json`` — format version, the key fingerprint digests
+  (config / crossbar model / seed), the post-programming RNG state, and
+  a SHA-256 integrity hash + byte size for every payload file.  The
+  manifest is the trust anchor: every load re-verifies it before any
+  payload is deserialized.
+* ``payload.pkl.gz`` — the structural payload: the stripped
+  :class:`~repro.compiler.compile.CompiledModel` (or
+  :class:`~repro.compiler.cnn.CnnCompiled`), the recorded
+  :class:`~repro.sim.tape.ExecutionTape`\\ s by batch size, and the
+  config / options / crossbar model / seed the engine was built with —
+  one gzipped pickle, so tapes keep sharing instruction objects with the
+  program.
+* ``programmed_state.npz`` — the numeric payload: every MVMU's
+  programmed matrix, column offset sums, and per-slice device levels +
+  conductances as flat numpy arrays (the multi-MB part of an artifact).
+  Stored losslessly but compactly: levels as ``uint8``, matrices as
+  ``int16`` where the values fit, and *noiseless* conductances dropped
+  entirely (they are a pure function of the levels and re-derived
+  bit-identically at load time; noisy conductances carry RNG draws and
+  are stored in full).
+
+**Validation policy: never a wrong answer.**  Loads verify the format
+version, the integrity hashes, the fingerprint digests (recomputed from
+the deserialized objects, so a tampered payload cannot masquerade), and
+the internal consistency of the programmed state and tapes.  Any
+mismatch — truncation, corruption, a different config/seed, a future
+format — raises :class:`ArtifactError`; the engine treats that as a cache
+miss and rebuilds from scratch, exactly as if the artifact did not exist.
+
+Artifacts are **trusted local caches**, not an interchange format: the
+structural payload uses :mod:`pickle`, so load artifacts only from
+directories you (or your deployment) wrote.  The integrity hashes detect
+accidents, not adversaries.
+
+Key derivation is value-based and process-independent::
+
+    >>> fingerprint_digest(("PumaConfig", (("clock_ghz", 1.0),)))
+    '93b709c7a5aeeab8cd15530190a37f824ebf4d3ef0fc681c58e4b5420628a17f'
+    >>> artifact_key("mlp-l4", "ab12", "cd34")
+    'mlp-l4-652dd787fad1ed90'
+    >>> artifact_key("a model / with spaces", "ab12", "cd34")
+    'a-model-with-spaces-652dd787fad1ed90'
+
+See ``docs/serving.md`` for where the store sits in the cache hierarchy
+and ``docs/guarantees.md`` for the bitwise guarantee it extends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import hashlib
+import json
+import os
+import pickle
+import re
+import shutil
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, NamedTuple
+
+import numpy as np
+
+from repro.arch.crossbar import CrossbarModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.frontend import Model
+    from repro.isa.program import NodeProgram
+    from repro.node.node import NodeProgrammedState
+    from repro.sim.tape import ExecutionTape
+
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+PAYLOAD_NAME = "payload.pkl.gz"
+STATE_NAME = "programmed_state.npz"
+
+# Artifact kinds the loader accepts (the engine can serve either).
+_KNOWN_KINDS = ("CompiledModel", "CnnCompiled")
+
+
+class ArtifactError(RuntimeError):
+    """An artifact failed validation (corrupt, truncated, or mismatched).
+
+    Raised for *every* load-side failure mode — unreadable manifest,
+    format-version or fingerprint mismatch, integrity-hash failure,
+    truncated payload, malformed programmed state or tapes.  Callers that
+    can rebuild (the engine's ``artifact_dir`` path) treat it as a cache
+    miss; callers that cannot (:meth:`InferenceEngine.from_artifacts`
+    with an explicit path) surface it.
+
+    Example::
+
+        try:
+            engine = InferenceEngine.from_artifacts("artifacts/mlp-x")
+        except ArtifactError as err:
+            engine = InferenceEngine(model, seed=0)   # cold rebuild
+    """
+
+
+class ArtifactStoreInfo(NamedTuple):
+    """Process-wide artifact-store counters (cf. ``compile_cache_info``).
+
+    Attributes:
+        saves: artifacts written by this process.
+        loads: artifacts loaded and fully validated.
+        rejections: load attempts refused with :class:`ArtifactError`
+            (each one either surfaced or triggered a cold rebuild).
+    """
+
+    saves: int
+    loads: int
+    rejections: int
+
+
+_counter_lock = threading.Lock()
+_saves = 0
+_loads = 0
+_rejections = 0
+
+
+def store_info() -> ArtifactStoreInfo:
+    """Saves/loads/rejections performed by this process.
+
+    Example::
+
+        >>> isinstance(store_info().saves, int)
+        True
+    """
+    with _counter_lock:
+        return ArtifactStoreInfo(saves=_saves, loads=_loads,
+                                 rejections=_rejections)
+
+
+def clear_store_counters() -> None:
+    """Reset the process-wide save/load/rejection counters to zero."""
+    global _saves, _loads, _rejections
+    with _counter_lock:
+        _saves = _loads = _rejections = 0
+
+
+def _count(kind: str) -> None:
+    global _saves, _loads, _rejections
+    with _counter_lock:
+        if kind == "save":
+            _saves += 1
+        elif kind == "load":
+            _loads += 1
+        else:
+            _rejections += 1
+
+
+# -- fingerprints and keys ---------------------------------------------------
+
+
+def fingerprint_value(value: Any) -> Any:
+    """A hashable, value-based key component (the compile-cache key basis).
+
+    Dataclasses decompose field by field (recursively), so the key covers
+    exactly what the instance *holds* — unlike ``repr``, which would miss
+    ``repr=False`` fields and collide for distinct types with equal
+    string forms.
+
+    >>> fingerprint_value([1, (2, 3)])
+    ('list', (1, ('tuple', (2, 3))))
+    >>> fingerprint_value({"b": 2, "a": 1})
+    ('dict', (('a', 1), ('b', 2)))
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__qualname__, tuple(
+            (f.name, fingerprint_value(getattr(value, f.name)))
+            for f in dataclasses.fields(value)))
+    if isinstance(value, (list, tuple)):
+        return (type(value).__name__,
+                tuple(fingerprint_value(v) for v in value))
+    if isinstance(value, dict):
+        return ("dict", tuple(sorted(
+            (k, fingerprint_value(v)) for k, v in value.items())))
+    return value
+
+
+def fingerprint_digest(fingerprint: Any) -> str:
+    """A stable hex digest of a :func:`fingerprint_value` result.
+
+    Fingerprints are nested tuples of primitives, whose ``repr`` is
+    deterministic across processes and Python sessions — the property the
+    cross-process store keys rely on.
+
+    >>> fingerprint_digest(None) == fingerprint_digest(None)
+    True
+    >>> len(fingerprint_digest(("x", 1)))
+    64
+    """
+    return hashlib.sha256(repr(fingerprint).encode("utf-8")).hexdigest()
+
+
+def model_digest(model: "Model") -> str:
+    """A content digest of a frontend model: DAG structure plus weights.
+
+    Two model objects built identically (same builder, same seed) in two
+    different processes digest identically — this is what lets a process
+    that never compiled anything find the artifact its predecessor wrote.
+    """
+    h = hashlib.sha256()
+    h.update(model.name.encode("utf-8"))
+    for node in model.nodes:
+        h.update(repr((node.node_id, node.kind.value, node.length,
+                       tuple(node.inputs),
+                       node.alu_op.name if node.alu_op is not None else "",
+                       node.name, node.matrix_name, node.immediate,
+                       node.slice_start)).encode("utf-8"))
+        if node.values is not None:
+            arr = np.ascontiguousarray(node.values)
+            h.update(repr((arr.shape, str(arr.dtype))).encode("utf-8"))
+            h.update(arr.tobytes())
+    for name in sorted(model.matrices):
+        arr = np.ascontiguousarray(model.matrices[name])
+        h.update(repr((name, arr.shape, str(arr.dtype))).encode("utf-8"))
+        h.update(arr.tobytes())
+    h.update(repr(sorted(model.input_names.items())).encode("utf-8"))
+    h.update(repr(sorted(model.output_names.items())).encode("utf-8"))
+    return h.hexdigest()
+
+
+def program_digest(program: "NodeProgram") -> str:
+    """A content digest of a compiled program (instructions + weights).
+
+    Used to key artifacts for engines built from a pre-existing
+    compilation (:meth:`InferenceEngine.from_compiled` — CNN lowering,
+    importer output), where no frontend model exists to digest.
+    """
+    h = hashlib.sha256()
+    h.update(program.name.encode("utf-8"))
+    for tile_id in sorted(program.tiles):
+        tile = program.tiles[tile_id]
+        h.update(repr((tile_id,
+                       tuple(repr(i) for i in tile.tile_instructions)))
+                 .encode("utf-8"))
+        for core_id in sorted(tile.cores):
+            core = tile.cores[core_id]
+            h.update(repr((core_id,
+                           tuple(repr(i) for i in core.instructions)))
+                     .encode("utf-8"))
+    for key in sorted(program.weights):
+        arr = np.ascontiguousarray(program.weights[key])
+        h.update(repr((key, arr.shape, str(arr.dtype))).encode("utf-8"))
+        h.update(arr.tobytes())
+    for tile_id in sorted(program.const_memory):
+        for addr, values in program.const_memory[tile_id]:
+            h.update(repr((tile_id, addr, tuple(np.asarray(values).tolist())))
+                     .encode("utf-8"))
+    h.update(repr(sorted(program.input_layout.items())).encode("utf-8"))
+    h.update(repr(sorted(program.output_layout.items())).encode("utf-8"))
+    return h.hexdigest()
+
+
+def artifact_key(model_name: str, content_digest: str,
+                 key_digest: str) -> str:
+    """The store directory name for one (model, configuration) pair.
+
+    Combines a human-readable slug of the model name with a 16-hex-char
+    digest of (content digest, engine key digest), so distinct
+    configurations of one model land in sibling directories.
+
+    >>> artifact_key("mlp", "aa", "bb")
+    'mlp-1103408048cca0b5'
+    >>> artifact_key("", "aa", "bb")
+    'model-1103408048cca0b5'
+    """
+    combined = hashlib.sha256(
+        repr((content_digest, key_digest)).encode("utf-8")).hexdigest()[:16]
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", model_name).strip("-") or "model"
+    return f"{slug}-{combined}"
+
+
+def _sha256_file(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _effective_crossbar_model(config: Any,
+                              crossbar_model: Any) -> CrossbarModel:
+    """The device model a node would actually build (mirrors ``Node``).
+
+    ``crossbar_model=None`` means "derive from the core configuration";
+    the store needs the resolved model to decide whether conductances are
+    exactly reconstructible.
+    """
+    if crossbar_model is not None:
+        return crossbar_model
+    core = config.core
+    return CrossbarModel(dim=core.mvmu_dim,
+                         bits_per_cell=core.bits_per_cell,
+                         bits_per_input=core.bits_per_input)
+
+
+def _pack_state_arrays(arrays: dict[str, np.ndarray],
+                       derive_conductances: bool) -> dict[str, np.ndarray]:
+    """Shrink the flat state arrays for disk without losing a bit.
+
+    * device levels are small unsigned ints — stored as ``uint8`` when
+      they fit (they do for every cell format up to 8 bits/cell);
+    * programmed matrices are 16-bit fixed point — stored as ``int16``
+      when the values fit;
+    * conductances of a *noiseless* model are a pure function of the
+      levels (``clip(g_min + levels * spacing, g_min, g_max)``, exactly
+      the arithmetic ``Crossbar.program`` performs), so they are dropped
+      and re-derived bit-identically at load time.  Noisy conductances
+      carry irreproducible RNG draws and are stored in full.
+
+    Loading normalizes every integer array back to ``int64``, so the
+    compaction is invisible to the restored state.
+    """
+    packed: dict[str, np.ndarray] = {}
+    for name, arr in arrays.items():
+        part = name.rsplit("_", 1)[-1]
+        if part == "cd" and derive_conductances:
+            continue
+        if part == "lv" and arr.size \
+                and 0 <= arr.min() and arr.max() < 256:
+            arr = arr.astype(np.uint8)
+        elif part == "matrix" and arr.size \
+                and -(1 << 15) <= arr.min() and arr.max() < (1 << 15):
+            arr = arr.astype(np.int16)
+        packed[name] = arr
+    return packed
+
+
+def _unpack_state_arrays(arrays: dict[str, np.ndarray],
+                         conductances: str,
+                         model: CrossbarModel) -> dict[str, np.ndarray]:
+    """Reverse :func:`_pack_state_arrays`; raises ``ValueError`` on a
+    manifest/model contradiction (claiming derived conductances for a
+    noisy model would silently drop the noise — rejected instead)."""
+    if conductances not in ("stored", "derived"):
+        raise ValueError(
+            f"unknown conductance storage mode {conductances!r}")
+    if conductances == "derived" and model.write_noise_sigma != 0.0:
+        raise ValueError(
+            "artifact claims derived conductances but the crossbar model "
+            "is noisy (write noise cannot be re-derived)")
+    unpacked: dict[str, np.ndarray] = {}
+    for name, arr in arrays.items():
+        part = name.rsplit("_", 1)[-1]
+        if part == "matrix" or part == "lv":
+            arr = arr.astype(np.int64)
+        unpacked[name] = arr
+    if conductances == "derived":
+        for name in list(unpacked):
+            if not name.endswith("_lv"):
+                continue
+            # Exactly Crossbar.program without noise — target then clip —
+            # vectorized over the whole slice stack in one pass.
+            target = model.g_min + unpacked[name] * model.level_spacing
+            conductance = np.clip(target, model.g_min, model.g_max)
+            unpacked[name[:-2] + "cd"] = conductance
+    return unpacked
+
+
+# -- save --------------------------------------------------------------------
+
+
+@dataclass
+class LoadedArtifact:
+    """Everything :func:`load_artifact` deserialized and validated.
+
+    Attributes:
+        kind: ``"CompiledModel"`` or ``"CnnCompiled"``.
+        compiled: the compilation, with **empty** engine caches — the
+            engine installs ``programmed_state`` and ``tapes`` under its
+            own fingerprint keys.
+        tapes: execution tapes by batch size.
+        programmed_state: the post-programming crossbar state
+            (:class:`~repro.node.node.NodeProgrammedState`).
+        config / options / crossbar_model / seed: the engine parameters
+            the artifact was built with.
+        manifest: the parsed, verified manifest.
+        path: the artifact directory.
+    """
+
+    kind: str
+    compiled: Any
+    tapes: "dict[int, ExecutionTape]"
+    programmed_state: "NodeProgrammedState"
+    config: Any
+    options: Any
+    crossbar_model: Any
+    seed: int
+    manifest: dict
+    path: Path
+
+
+def save_artifact(path: str | Path, *, compiled: Any,
+                  tapes: "dict[int, ExecutionTape]",
+                  programmed_state: "NodeProgrammedState",
+                  config: Any, options: Any, crossbar_model: Any,
+                  seed: int) -> Path:
+    """Serialize one engine's warm state into an artifact directory.
+
+    Writes atomically: files land in a temporary sibling directory that
+    is renamed over ``path`` only once complete, so a crashed save never
+    leaves a half-written artifact for a later process to trip over.
+
+    Args:
+        path: target artifact directory (created, parents included).
+        compiled: the ``CompiledModel`` / ``CnnCompiled`` to persist; its
+            engine caches are stripped from the pickle (the selected
+            state travels in dedicated payloads instead).
+        tapes: execution tapes by batch size (may be empty).
+        programmed_state: the harvested post-programming crossbar state;
+            required — an artifact exists to skip the programming pass.
+        config / options / crossbar_model / seed: the engine parameters,
+            persisted so :func:`load_artifact` can rebuild the engine.
+
+    Returns:
+        The artifact directory path.
+
+    Raises:
+        ArtifactError: ``programmed_state`` is missing or ``seed`` is
+            ``None`` (fresh-entropy engines must not be frozen to disk —
+            the same rule as the in-process programmed-state cache).
+    """
+    if seed is None:
+        raise ArtifactError(
+            "cannot persist artifacts for seed=None: fresh entropy per "
+            "run must not be frozen to disk (same rule as the in-process "
+            "programmed-state cache)")
+    if programmed_state is None:
+        raise ArtifactError(
+            "cannot persist an artifact without programmed crossbar state "
+            "(warm the engine first)")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    kind = type(compiled).__name__
+    if kind not in _KNOWN_KINDS:
+        raise ArtifactError(
+            f"unknown compilation kind {kind!r}; expected one of "
+            f"{_KNOWN_KINDS}")
+    stripped = dataclasses.replace(compiled, programmed_states={},
+                                   execution_tapes={})
+    payload = {
+        "kind": kind,
+        "compiled": stripped,
+        "tapes": {int(batch): tape for batch, tape in tapes.items()},
+        "config": config,
+        "options": options,
+        "crossbar_model": crossbar_model,
+        "seed": seed,
+    }
+    device_model = _effective_crossbar_model(config, crossbar_model)
+    derive = device_model.write_noise_sigma == 0.0
+    arrays = _pack_state_arrays(programmed_state.to_flat_arrays(), derive)
+
+    tmp = Path(tempfile.mkdtemp(prefix=".artifact-", dir=target.parent))
+    try:
+        # gzip level 1: the pickle is dominated by int64 weight arrays
+        # holding 16-bit values, which even the cheapest level crushes —
+        # load time is bounded by hashing + inflation, so small wins.
+        with open(tmp / PAYLOAD_NAME, "wb") as handle:
+            handle.write(gzip.compress(
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+                compresslevel=1))
+        with open(tmp / STATE_NAME, "wb") as handle:
+            np.savez(handle, **arrays)
+        files = {}
+        for name in (PAYLOAD_NAME, STATE_NAME):
+            file_path = tmp / name
+            files[name] = {"sha256": _sha256_file(file_path),
+                           "bytes": file_path.stat().st_size}
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "kind": kind,
+            "model_name": compiled.program.name,
+            "seed": seed,
+            "config_digest": fingerprint_digest(fingerprint_value(config)),
+            "crossbar_digest": fingerprint_digest(
+                fingerprint_value(crossbar_model)),
+            "options_digest": fingerprint_digest(fingerprint_value(options)),
+            "tape_batches": sorted(int(b) for b in tapes),
+            "conductances": "derived" if derive else "stored",
+            "rng_state": programmed_state.rng_state,
+            "files": files,
+        }
+        with open(tmp / MANIFEST_NAME, "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+        if target.exists():
+            # Tolerate a concurrent saver tearing the old artifact down
+            # at the same time (two cold replicas populating one store).
+            shutil.rmtree(target, ignore_errors=True)
+        try:
+            os.replace(tmp, target)
+        except OSError:
+            # A concurrent saver won the rename race.  Same target key
+            # means an equivalent artifact by construction, so keep
+            # theirs — but only if a complete one is actually there.
+            shutil.rmtree(tmp, ignore_errors=True)
+            if not (target / MANIFEST_NAME).is_file():
+                raise
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    _count("save")
+    return target
+
+
+# -- load --------------------------------------------------------------------
+
+
+def _fail(message: str) -> "ArtifactError":
+    _count("rejection")
+    return ArtifactError(message)
+
+
+def load_artifact(path: str | Path,
+                  expected_key_digests: tuple[str, str, int] | None = None
+                  ) -> LoadedArtifact:
+    """Load and strictly validate one artifact directory.
+
+    Validation happens in trust order: manifest first (version, schema),
+    then integrity hashes over the raw payload bytes, then the pickled
+    payload, then cross-checks (recomputed fingerprint digests must match
+    the manifest — a payload that deserializes to a *different* config
+    than advertised is rejected), then the programmed state and tapes.
+
+    Args:
+        path: the artifact directory.
+        expected_key_digests: optional
+            ``(config_digest, crossbar_digest, seed)`` the caller
+            requires; a mismatch raises (the engine passes its own key so
+            a stale artifact can never serve a differently-configured
+            engine).
+
+    Returns:
+        The validated :class:`LoadedArtifact`.
+
+    Raises:
+        ArtifactError: any validation failure (see the failure-mode tests
+            in ``tests/test_store.py``).
+    """
+    from repro.node.node import NodeProgrammedState
+    from repro.sim.tape import ExecutionTape
+
+    root = Path(path)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise _fail(f"{root}: no artifact manifest ({MANIFEST_NAME})")
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise _fail(f"{manifest_path}: unreadable manifest: {error}")
+    if not isinstance(manifest, dict):
+        raise _fail(f"{manifest_path}: manifest must be a JSON object")
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise _fail(
+            f"{root}: artifact format version {version!r} not supported "
+            f"(this build reads version {FORMAT_VERSION})")
+    kind = manifest.get("kind")
+    if kind not in _KNOWN_KINDS:
+        raise _fail(f"{root}: unknown artifact kind {kind!r}")
+
+    files = manifest.get("files")
+    if not isinstance(files, dict) or set(files) != {PAYLOAD_NAME, STATE_NAME}:
+        raise _fail(f"{root}: manifest file table is missing or incomplete")
+    for name, entry in files.items():
+        if not isinstance(entry, dict):
+            raise _fail(f"{root}: manifest entry for {name} is malformed")
+        file_path = root / name
+        if not file_path.is_file():
+            raise _fail(f"{root}: payload {name} is missing")
+        size = file_path.stat().st_size
+        if size != entry.get("bytes"):
+            raise _fail(
+                f"{root}: payload {name} is truncated or padded "
+                f"({size} bytes on disk, manifest says {entry.get('bytes')})")
+        digest = _sha256_file(file_path)
+        if digest != entry.get("sha256"):
+            raise _fail(f"{root}: payload {name} fails its integrity hash")
+
+    try:
+        with open(root / PAYLOAD_NAME, "rb") as handle:
+            payload = pickle.loads(gzip.decompress(handle.read()))
+    except Exception as error:  # unpickling can raise nearly anything
+        raise _fail(f"{root}: cannot deserialize {PAYLOAD_NAME}: {error}")
+    if not isinstance(payload, dict) or payload.get("kind") != kind:
+        raise _fail(f"{root}: payload kind disagrees with the manifest")
+    compiled = payload.get("compiled")
+    if type(compiled).__name__ != kind:
+        raise _fail(f"{root}: payload holds {type(compiled).__name__}, "
+                    f"manifest says {kind}")
+
+    seed = payload.get("seed")
+    if seed != manifest.get("seed"):
+        raise _fail(f"{root}: payload seed {seed!r} disagrees with "
+                    f"manifest seed {manifest.get('seed')!r}")
+    config_digest = fingerprint_digest(
+        fingerprint_value(payload.get("config")))
+    crossbar_digest = fingerprint_digest(
+        fingerprint_value(payload.get("crossbar_model")))
+    if config_digest != manifest.get("config_digest"):
+        raise _fail(f"{root}: deserialized config does not match the "
+                    f"manifest's config digest")
+    if crossbar_digest != manifest.get("crossbar_digest"):
+        raise _fail(f"{root}: deserialized crossbar model does not match "
+                    f"the manifest's crossbar digest")
+    if expected_key_digests is not None:
+        want_config, want_crossbar, want_seed = expected_key_digests
+        if (config_digest, crossbar_digest, seed) != \
+                (want_config, want_crossbar, want_seed):
+            raise _fail(
+                f"{root}: artifact was built for a different engine key "
+                f"(config/crossbar/seed mismatch)")
+
+    tapes = payload.get("tapes")
+    if not isinstance(tapes, dict) or not all(
+            isinstance(batch, int) for batch in tapes):
+        raise _fail(f"{root}: payload tape table is malformed")
+    for batch, tape in tapes.items():
+        if not isinstance(tape, ExecutionTape) or tape.batch != batch:
+            raise _fail(f"{root}: tape for batch {batch!r} is malformed")
+    manifest_batches = manifest.get("tape_batches", [])
+    if not isinstance(manifest_batches, list) \
+            or sorted(tapes) != manifest_batches:
+        raise _fail(f"{root}: recorded tape batches disagree with the "
+                    f"manifest")
+
+    rng_state = manifest.get("rng_state")
+    try:
+        with open(root / STATE_NAME, "rb") as handle:
+            with np.load(handle) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+        arrays = _unpack_state_arrays(
+            arrays, manifest.get("conductances", "stored"),
+            _effective_crossbar_model(payload.get("config"),
+                                      payload.get("crossbar_model")))
+        state = NodeProgrammedState.from_flat_arrays(arrays, rng_state)
+    except ArtifactError:
+        raise
+    except Exception as error:  # zip/npz corruption raises several types
+        raise _fail(f"{root}: cannot restore programmed state: {error}")
+
+    _count("load")
+    return LoadedArtifact(
+        kind=kind, compiled=compiled, tapes=dict(tapes),
+        programmed_state=state, config=payload.get("config"),
+        options=payload.get("options"),
+        crossbar_model=payload.get("crossbar_model"), seed=seed,
+        manifest=manifest, path=root)

@@ -1,0 +1,107 @@
+"""Documentation health: internal links resolve, doctests run, and the
+pages keep naming real tests.
+
+Three failure modes this guards against:
+
+* a docs page linking to a file or heading that was renamed away
+  (``[text](path#anchor)`` targets are resolved against the repo and
+  against GitHub-style heading slugs);
+* example code in public docstrings rotting (the facade modules'
+  ``>>>`` examples run under :mod:`doctest` — CI also runs
+  ``pytest --doctest-modules`` over them, but running here keeps the
+  check inside the tier-1 suite);
+* guarantees/serving pages citing enforcement tests that no longer
+  exist (every ``tests/...py`` / ``benchmarks/...py`` path mentioned in
+  a docs page must be a real file).
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_REPO_PATH = re.compile(r"\b((?:tests|benchmarks)/[\w/]+\.py)\b")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> set[str]:
+    return {
+        github_slug(line.lstrip("#"))
+        for line in markdown.splitlines()
+        if line.startswith("#")
+    }
+
+
+def test_docs_pages_exist():
+    assert (ROOT / "docs" / "architecture.md").is_file()
+    assert (ROOT / "docs" / "serving.md").is_file()
+    assert (ROOT / "docs" / "guarantees.md").is_file()
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_internal_links_resolve(doc):
+    text = doc.read_text()
+    broken = []
+    for target in _LINK.findall(_CODE_FENCE.sub("", text)):
+        if "://" in target or target.startswith("mailto:"):
+            continue                      # external; not checked offline
+        path_part, _, anchor = target.partition("#")
+        resolved = (doc.parent / path_part).resolve() if path_part else doc
+        if path_part and not resolved.exists():
+            broken.append(f"{doc.name}: missing target {target!r}")
+            continue
+        if anchor:
+            if not (resolved.is_file() and resolved.suffix == ".md"):
+                continue
+            if anchor not in heading_slugs(resolved.read_text()):
+                broken.append(f"{doc.name}: dead anchor {target!r}")
+    assert not broken, "\n".join(broken)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_cited_tests_exist(doc):
+    """Every tests/... or benchmarks/... path a page cites must exist."""
+    missing = [
+        cited for cited in set(_REPO_PATH.findall(doc.read_text()))
+        if not (ROOT / cited).is_file()
+    ]
+    assert not missing, f"{doc.name} cites missing files: {missing}"
+
+
+# -- doctests on the facade modules -----------------------------------------
+
+FACADE_MODULES = ["repro.store", "repro.serve.sharding"]
+
+
+@pytest.mark.parametrize("module_name", FACADE_MODULES)
+def test_facade_doctests(module_name):
+    module = __import__(module_name, fromlist=["_"])
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module_name} lost its doctests"
+    assert results.failed == 0
+
+
+def test_readme_quickstart_runs():
+    """The README's engine quickstart is living code, not prose."""
+    import numpy as np
+
+    from repro import InferenceEngine
+    from repro.workloads.mlp import build_mlp_model
+
+    engine = InferenceEngine(build_mlp_model([64, 150, 150, 14]), seed=0)
+    x = np.zeros((2, 64))
+    result = engine.predict({"x": x})
+    assert result.outputs["out"].shape == (2, 14)
+    assert result.cycles_per_inference > 0

@@ -185,6 +185,45 @@ class TestCli:
         assert "[4] out =" in out
         assert "compile cache:" in out
 
+    def test_warm_then_run_artifact_dir(self, graph_file, tmp_path, capsys):
+        """The documented warm flow: warm once, every later run warm-starts."""
+        store = str(tmp_path / "store")
+        vector = "x=" + ",".join(["0.1"] * 32)
+        assert main(["run", graph_file, "--input", vector]) == 0
+        reference = capsys.readouterr().out
+
+        assert main(["warm", graph_file, "--artifact-dir", store,
+                     "--batch", "1", "--batch", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "artifact:" in out
+        assert "execution tapes: 2" in out
+
+        # A later invocation (new importer Model object, so the process
+        # compile cache cannot hit) loads the artifact — and prints the
+        # exact same floats as the cold run.
+        assert main(["run", graph_file, "--input", vector,
+                     "--artifact-dir", store]) == 0
+        warm_out = capsys.readouterr().out
+        assert warm_out.splitlines()[0] == reference.splitlines()[0]
+
+    def test_warm_rejects_bad_batch(self, graph_file, capsys):
+        assert main(["warm", graph_file, "--artifact-dir", "/tmp/x",
+                     "--batch", "0"]) == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_serve_artifact_dir(self, graph_file, tmp_path, capsys):
+        from pathlib import Path
+
+        store = tmp_path / "store"
+        code = main(["serve", graph_file, "--requests", "3",
+                     "--max-batch", "2", "--window", "0.01",
+                     "--artifact-dir", str(store)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "artifact store:" in out
+        # The server's start-up persisted the engine's warm state.
+        assert list(Path(store).glob("*/manifest.json"))
+
     def test_disasm(self, graph_file, capsys):
         assert main(["disasm", graph_file]) == 0
         out = capsys.readouterr().out
