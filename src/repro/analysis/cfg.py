@@ -1,0 +1,121 @@
+"""Per-stream control-flow graphs over PUMA instruction lists.
+
+Core and tile streams are flat instruction lists with ``jmp``/``brn``
+targets expressed as absolute instruction indices (``Instruction.pc``).
+Most streams the backend emits are straight-line (a single block ending in
+``hlt``); the CNN lowering emits real loops.  The CFG is the substrate for
+the dataflow analyses in :mod:`repro.analysis.dataflow` and for the
+unreachable / fall-off-end checkers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+# Sentinel successor meaning "execution leaves the stream past its end
+# without a hlt" — the fall-off-end condition.
+EXIT = -1
+
+
+@dataclass
+class BasicBlock:
+    """A maximal single-entry straight-line run of instructions.
+
+    Attributes:
+        index: position of this block in :attr:`ControlFlowGraph.blocks`.
+        start: pc of the first instruction (inclusive).
+        end: pc past the last instruction (exclusive).
+        successors: indices of successor blocks; may contain :data:`EXIT`.
+    """
+
+    index: int
+    start: int
+    end: int
+    successors: list[int] = field(default_factory=list)
+
+
+@dataclass
+class ControlFlowGraph:
+    """CFG of one instruction stream (a core or the tile control unit)."""
+
+    instructions: list[Instruction]
+    blocks: list[BasicBlock] = field(default_factory=list)
+    block_of: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, instructions: list[Instruction]) -> "ControlFlowGraph":
+        cfg = cls(instructions=list(instructions))
+        n = len(cfg.instructions)
+        if n == 0:
+            return cfg
+        leaders = {0}
+        for pc, instr in enumerate(cfg.instructions):
+            if instr.opcode in (Opcode.JMP, Opcode.BRN):
+                if instr.pc < n:
+                    leaders.add(instr.pc)
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+            elif instr.opcode == Opcode.HLT and pc + 1 < n:
+                leaders.add(pc + 1)
+        starts = sorted(leaders)
+        for index, start in enumerate(starts):
+            end = starts[index + 1] if index + 1 < len(starts) else n
+            cfg.blocks.append(BasicBlock(index=index, start=start, end=end))
+            for pc in range(start, end):
+                cfg.block_of[pc] = index
+        for block in cfg.blocks:
+            last = cfg.instructions[block.end - 1]
+            if last.opcode == Opcode.HLT:
+                continue
+            if last.opcode == Opcode.JMP:
+                block.successors.append(cfg._target_block(last.pc))
+                continue
+            if last.opcode == Opcode.BRN:
+                block.successors.append(cfg._target_block(last.pc))
+            # Fall through (including the not-taken branch edge).
+            if block.end < n:
+                block.successors.append(cfg.block_of[block.end])
+            else:
+                block.successors.append(EXIT)
+        return cfg
+
+    def _target_block(self, pc: int) -> int:
+        if pc >= len(self.instructions):
+            return EXIT
+        return self.block_of[pc]
+
+    @property
+    def is_straight_line(self) -> bool:
+        """True when the stream has no branches (single linear block)."""
+        return not any(i.opcode in (Opcode.JMP, Opcode.BRN)
+                       for i in self.instructions)
+
+    def reachable_blocks(self) -> set[int]:
+        """Block indices reachable from the stream entry."""
+        if not self.blocks:
+            return set()
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            for succ in self.blocks[frontier.pop()].successors:
+                if succ != EXIT and succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return seen
+
+    def falls_off_end(self) -> list[int]:
+        """Pcs of reachable block ends where execution leaves the stream
+        without a ``hlt`` (the simulator tolerates it; the compiler never
+        emits it)."""
+        reachable = self.reachable_blocks()
+        return [self.blocks[b].end - 1 for b in sorted(reachable)
+                if EXIT in self.blocks[b].successors]
+
+    def unreachable_pcs(self) -> list[int]:
+        """First pc of every unreachable block (dead code)."""
+        reachable = self.reachable_blocks()
+        return [block.start for block in self.blocks
+                if block.index not in reachable]

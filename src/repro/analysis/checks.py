@@ -1,0 +1,328 @@
+"""The checker suite: every static check, each emitting typed diagnostics.
+
+Checks consume a :class:`~repro.analysis.depgraph.StaticDependenceGraph`
+(streams + communication graph) and return
+:class:`~repro.analysis.diagnostics.Diagnostic` lists.  The catalog below
+is the contract rendered in ``docs/analysis.md``; check ids are stable —
+tests and lint baselines key on them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.commgraph import PERSISTENT_COUNT
+from repro.analysis.dataflow import loop_use_before_def, scan_straight_line
+from repro.analysis.depgraph import StaticDependenceGraph, StreamInfo
+from repro.analysis.diagnostics import Diagnostic, Location, Severity
+from repro.isa.opcodes import AluOp, Opcode
+
+# check id -> (severity, one-line description); the docs page renders this.
+CHECK_CATALOG: dict[str, tuple[Severity, str]] = {
+    "reg-use-before-def": (
+        Severity.ERROR,
+        "a core instruction reads a register no instruction has written"),
+    "reg-dead-store": (
+        Severity.WARNING,
+        "a register value is written but never read before the stream ends"),
+    "reg-clobber-before-consume": (
+        Severity.ERROR,
+        "a register value is completely overwritten before any read"),
+    "noc-send-unbalanced": (
+        Severity.ERROR,
+        "a (tile, fifo) flow sends more words than its receives consume"),
+    "noc-receive-unbalanced": (
+        Severity.ERROR,
+        "a (tile, fifo) flow receives more words than are ever sent"),
+    "noc-width-mismatch": (
+        Severity.ERROR,
+        "the k-th send and k-th receive of a flow disagree on width"),
+    "noc-comm-cycle": (
+        Severity.INFO,
+        "tiles form a communication cycle (potential deadlock shape)"),
+    "mem-load-undefined": (
+        Severity.ERROR,
+        "a load/send reads shared-memory words nothing writes or preloads"),
+    "mem-count-imbalance": (
+        Severity.ERROR,
+        "shared-memory words carry fewer consume counts than static "
+        "reads — a reader will block forever"),
+    "mem-count-overprovision": (
+        Severity.WARNING,
+        "shared-memory words carry more consume counts than static "
+        "reads — they are never invalidated (attribute-entry leak)"),
+    "lut-domain": (
+        Severity.ERROR,
+        "a constant outside the ROM-LUT domain feeds a transcendental"),
+    "cfg-unreachable": (
+        Severity.WARNING,
+        "instructions can never execute (dead code)"),
+    "cfg-fall-off-end": (
+        Severity.WARNING,
+        "execution can leave a stream without reaching hlt"),
+}
+
+
+def _loc(info: StreamInfo, pc: int | None = None) -> Location:
+    return Location(tile=info.tile, core=info.core, pc=pc)
+
+
+def _reg_range(words: list[int]) -> str:
+    lo, hi = min(words), max(words)
+    return f"r{lo}" if lo == hi else f"r{lo}..r{hi}"
+
+
+def _group_by_pc(findings: list[tuple[int, int]]) -> dict[int, list[int]]:
+    grouped: dict[int, list[int]] = {}
+    for pc, word in findings:
+        grouped.setdefault(pc, []).append(word)
+    return grouped
+
+
+def check_register_dataflow(
+        graph: StaticDependenceGraph) -> list[Diagnostic]:
+    """use-before-def, dead stores, clobber-before-consume (core streams).
+
+    Tile control streams are exempt: the tile scalar file is
+    zero-initialized and indexed mod 64, so every read is well-defined.
+    """
+    out: list[Diagnostic] = []
+    for info in graph.streams.values():
+        if info.core is None:
+            continue
+        if not info.is_straight_line:
+            findings = loop_use_before_def(
+                info.cfg, info.effects, info.num_registers,
+                predefined=info.predefined)
+            for pc, words in sorted(_group_by_pc(findings).items()):
+                out.append(Diagnostic(
+                    "reg-use-before-def", Severity.ERROR, _loc(info, pc),
+                    f"reads {_reg_range(words)} which no path defines"))
+            continue
+        facts = scan_straight_line(
+            info.instructions, info.effects, info.num_registers,
+            predefined=info.predefined)
+        for pc, words in sorted(_group_by_pc(facts.use_before_def).items()):
+            out.append(Diagnostic(
+                "reg-use-before-def", Severity.ERROR, _loc(info, pc),
+                f"reads {_reg_range(words)} before any write defines it"))
+        for pc, definition in facts.clobbers:
+            span = _reg_range([definition.start,
+                               definition.start + definition.width - 1])
+            out.append(Diagnostic(
+                "reg-clobber-before-consume", Severity.ERROR,
+                _loc(info, pc),
+                f"overwrites the value of {span} defined at "
+                f"pc={definition.pc} before anything read it"))
+        for definition in facts.dead_stores:
+            span = _reg_range([definition.start,
+                               definition.start + definition.width - 1])
+            out.append(Diagnostic(
+                "reg-dead-store", Severity.WARNING,
+                _loc(info, definition.pc),
+                f"value written to {span} is never read"))
+    return out
+
+
+def check_noc_balance(graph: StaticDependenceGraph) -> list[Diagnostic]:
+    """Send/receive pairing, word balance, and width agreement per flow.
+
+    Flows touching a *dynamic* tile (loops or register-indirect
+    addressing) are skipped — their traffic repeats at runtime and only
+    the tape cross-check can account for it exactly.
+    """
+    out: list[Diagnostic] = []
+    comm = graph.comm
+    for (dst, fifo), flow in sorted(comm.flows.items()):
+        if (flow.src_tiles | {dst}) & comm.dynamic_tiles:
+            continue
+        sent, received = flow.send_words, flow.receive_words
+        if sent > received:
+            site = flow.sends[-1]
+            out.append(Diagnostic(
+                "noc-send-unbalanced", Severity.ERROR,
+                Location(tile=site.src_tile, pc=site.pc),
+                f"flow to t{dst} fifo {fifo} sends {sent} words but "
+                f"receives only consume {received}"))
+        elif received > sent:
+            site = flow.receives[-1]
+            out.append(Diagnostic(
+                "noc-receive-unbalanced", Severity.ERROR,
+                Location(tile=dst, pc=site.pc),
+                f"fifo {fifo} receives {received} words but senders "
+                f"only provide {sent}"))
+        if len(flow.src_tiles) == 1:
+            for k, (s, r) in enumerate(zip(flow.sends, flow.receives)):
+                if s.width != r.width:
+                    out.append(Diagnostic(
+                        "noc-width-mismatch", Severity.ERROR,
+                        Location(tile=dst, pc=r.pc),
+                        f"receive #{k} on fifo {fifo} expects "
+                        f"{r.width} words, matching send "
+                        f"(t{s.src_tile}:pc={s.pc}) carries {s.width}"))
+                    break
+    return out
+
+
+def check_noc_cycles(graph: StaticDependenceGraph) -> list[Diagnostic]:
+    """Cycles in the tile communication graph (potential deadlocks)."""
+    out: list[Diagnostic] = []
+    for cycle in graph.comm.cycles():
+        members = ", ".join(f"t{t}" for t in cycle)
+        out.append(Diagnostic(
+            "noc-comm-cycle", Severity.INFO, Location(tile=cycle[0]),
+            f"communication cycle among {{{members}}}; safe only if the "
+            f"schedule staggers the blocking sends"))
+    return out
+
+
+def check_shared_memory(graph: StaticDependenceGraph) -> list[Diagnostic]:
+    """Definedness and count conservation of shared-memory words.
+
+    Exact only for non-dynamic tiles.  Words written with the persistent
+    count (127 — also where codegen clamps large consumer counts) are
+    exempt from count conservation: they are never invalidated.
+    """
+    out: list[Diagnostic] = []
+    comm = graph.comm
+    for tile_id in sorted(comm.mem_reads):
+        if tile_id in comm.dynamic_tiles:
+            continue
+        preloaded = comm.preloaded.get(tile_id, set())
+        counts: dict[int, int] = {}
+        persistent: set[int] = set(preloaded)
+        last_writer: dict[int, object] = {}
+        for write in comm.mem_writes[tile_id]:
+            for word in range(write.addr, write.addr + write.width):
+                if write.count == PERSISTENT_COUNT:
+                    persistent.add(word)
+                else:
+                    counts[word] = counts.get(word, 0) + write.count
+                last_writer[word] = write
+        written = set(last_writer) | preloaded
+        reads: dict[int, int] = {}
+        for read in comm.mem_reads[tile_id]:
+            missing = [w for w in range(read.addr, read.addr + read.width)
+                       if w not in written]
+            if missing:
+                out.append(Diagnostic(
+                    "mem-load-undefined", Severity.ERROR,
+                    Location(tile=read.tile, core=read.core, pc=read.pc),
+                    f"reads shared-memory {_word_range(missing)} which "
+                    f"nothing stores, receives, or preloads"))
+            for word in range(read.addr, read.addr + read.width):
+                reads[word] = reads.get(word, 0) + 1
+        flagged: set[int] = set()
+        for word in sorted(counts):
+            if word in persistent or word in flagged:
+                continue
+            n_reads = reads.get(word, 0)
+            if counts[word] == n_reads:
+                continue
+            writer = last_writer[word]
+            span = [w for w in range(writer.addr,
+                                     writer.addr + writer.width)
+                    if counts.get(w) == counts[word]
+                    and reads.get(w, 0) == n_reads
+                    and w not in persistent]
+            flagged.update(span)
+            location = Location(tile=writer.tile, core=writer.core,
+                                pc=writer.pc)
+            detail = (f"{_word_range(span)} carries total consume count "
+                      f"{counts[word]} but has {n_reads} static read"
+                      f"{'s' if n_reads != 1 else ''}")
+            if counts[word] < n_reads:
+                out.append(Diagnostic(
+                    "mem-count-imbalance", Severity.ERROR, location,
+                    f"{detail}; a reader will block forever"))
+            else:
+                out.append(Diagnostic(
+                    "mem-count-overprovision", Severity.WARNING, location,
+                    f"{detail}; the words are never invalidated"))
+    return out
+
+
+def _word_range(words: list[int]) -> str:
+    lo, hi = min(words), max(words)
+    if lo == hi:
+        return f"word {lo}"
+    return f"words [{lo}, {hi + 1})"
+
+
+def check_lut_domain(graph: StaticDependenceGraph) -> list[Diagnostic]:
+    """Constants outside a ROM-LUT's domain feeding a transcendental.
+
+    Light constant propagation over straight-line core streams: ``set``
+    defines constants, ``copy`` forwards them, every other write kills
+    them.  ``log`` (and nothing else in the LUT family) has a restricted
+    domain — a non-positive fixed-point constant can never index it.
+    """
+    out: list[Diagnostic] = []
+    for info in graph.streams.values():
+        if info.core is None or not info.is_straight_line:
+            continue
+        const: dict[int, int] = {}
+        for pc, instr in enumerate(info.instructions):
+            if instr.opcode == Opcode.ALU and instr.alu_op == AluOp.LOG:
+                checked = range(instr.src1, instr.src1 + instr.vec_width)
+                bad = next((w for w in checked
+                            if const.get(w) is not None
+                            and const[w] <= 0), None)
+                if bad is not None:
+                    out.append(Diagnostic(
+                        "lut-domain", Severity.ERROR, _loc(info, pc),
+                        f"log of non-positive constant {const[bad]} in "
+                        f"r{bad} (outside the LUT domain)"))
+            if instr.opcode == Opcode.SET:
+                for w in range(instr.dest,
+                               instr.dest + instr.vec_width):
+                    const[w] = instr.imm
+            elif instr.opcode == Opcode.COPY:
+                for k in range(instr.vec_width):
+                    value = const.get(instr.src1 + k)
+                    if value is None:
+                        const.pop(instr.dest + k, None)
+                    else:
+                        const[instr.dest + k] = value
+            else:
+                for start, width in info.effects[pc].all_writes():
+                    for w in range(start, start + width):
+                        const.pop(w, None)
+    return out
+
+
+def check_cfg(graph: StaticDependenceGraph) -> list[Diagnostic]:
+    """Unreachable code and streams execution can fall off the end of."""
+    out: list[Diagnostic] = []
+    for info in graph.streams.values():
+        if not info.instructions:
+            continue
+        cfg = info.cfg
+        for pc in cfg.unreachable_pcs():
+            out.append(Diagnostic(
+                "cfg-unreachable", Severity.WARNING, _loc(info, pc),
+                "instruction is unreachable"))
+        for pc in cfg.falls_off_end():
+            out.append(Diagnostic(
+                "cfg-fall-off-end", Severity.WARNING, _loc(info, pc),
+                "execution can run past the end of the stream "
+                "without a hlt"))
+    return out
+
+
+ALL_CHECKS: list[Callable[[StaticDependenceGraph], list[Diagnostic]]] = [
+    check_register_dataflow,
+    check_noc_balance,
+    check_noc_cycles,
+    check_shared_memory,
+    check_lut_domain,
+    check_cfg,
+]
+
+
+def run_all(graph: StaticDependenceGraph) -> list[Diagnostic]:
+    """Run every checker; diagnostics in checker, then program, order."""
+    out: list[Diagnostic] = []
+    for check in ALL_CHECKS:
+        out.extend(check(graph))
+    return out

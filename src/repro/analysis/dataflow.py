@@ -1,0 +1,284 @@
+"""Register-level dataflow over compiled instruction streams.
+
+The model is word-precise: every instruction is summarized as interval
+reads/writes over the flat per-core register space (or the tile control
+unit's 64 scalar registers), split into *definite* and *may* effects:
+
+* ``RANDOM`` reads nothing — the VFU only uses the operand's shape, and
+  the backend deliberately emits ``alu random, d, d`` over an unwritten
+  destination.
+* ``MVM`` may-read the full XbarIn vector of each active MVMU: staging
+  often writes fewer words than ``mvmu_dim`` and the zero-padded weight
+  rows make the tail harmless, so those reads consume definitions but
+  never count as use-before-def.
+* ``SUBSAMPLE`` writes a runtime-dependent prefix of the destination, so
+  its write is a may-write: it defines words for use-before-def purposes
+  but is not tracked as a clobberable definition.
+
+For straight-line streams (everything the backend emits except CNN
+loops) :func:`scan_straight_line` runs an exact forward scan producing
+use-before-def, dead-store, and clobber-before-consume facts.  For loopy
+streams :func:`may_defined_in` runs a union ("maybe defined") forward
+fixpoint over the CFG; a definite read of a word no path defines is a
+certain bug, which keeps the loop analysis free of false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.arch.config import CoreConfig
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import AluOp, Opcode
+
+TILE_SCALAR_REGISTERS = 64
+
+Interval = tuple[int, int]  # (start register, width in words)
+
+
+@dataclass(frozen=True)
+class Effects:
+    """Register intervals one instruction reads and writes."""
+
+    reads: tuple[Interval, ...] = ()
+    may_reads: tuple[Interval, ...] = ()
+    writes: tuple[Interval, ...] = ()
+    may_writes: tuple[Interval, ...] = ()
+
+    def all_reads(self) -> tuple[Interval, ...]:
+        return self.reads + self.may_reads
+
+    def all_writes(self) -> tuple[Interval, ...]:
+        return self.writes + self.may_writes
+
+
+def _mvmu_indices(mask: int, num_mvmus: int) -> list[int]:
+    return [m for m in range(num_mvmus) if mask & (1 << m)]
+
+
+def core_effects(instr: Instruction, config: CoreConfig) -> Effects:
+    """Effects of one core-stream instruction on the core register file."""
+    op = instr.opcode
+    w = instr.vec_width
+    if op == Opcode.MVM:
+        dim = config.mvmu_dim
+        mvmus = _mvmu_indices(instr.mask, config.num_mvmus)
+        return Effects(
+            may_reads=tuple((config.xbar_in_base(m), dim) for m in mvmus),
+            writes=tuple((config.xbar_out_base(m), dim) for m in mvmus),
+        )
+    if op == Opcode.ALU:
+        aop = instr.alu_op
+        if aop == AluOp.RANDOM:
+            return Effects(writes=((instr.dest, w),))
+        if aop == AluOp.SUBSAMPLE:
+            return Effects(reads=((instr.src1, w), (instr.src2, 1)),
+                           may_writes=((instr.dest, w),))
+        if aop.num_sources == 1:
+            return Effects(reads=((instr.src1, w),),
+                           writes=((instr.dest, w),))
+        return Effects(reads=((instr.src1, w), (instr.src2, w)),
+                       writes=((instr.dest, w),))
+    if op == Opcode.ALUI:
+        return Effects(reads=((instr.src1, w),), writes=((instr.dest, w),))
+    if op == Opcode.ALU_INT:
+        reads = [(instr.src1, 1)]
+        if not instr.imm_mode:
+            reads.append((instr.src2, 1))
+        return Effects(reads=tuple(reads), writes=((instr.dest, 1),))
+    if op == Opcode.SET:
+        return Effects(writes=((instr.dest, w),))
+    if op == Opcode.COPY:
+        return Effects(reads=((instr.src1, w),), writes=((instr.dest, w),))
+    if op == Opcode.LOAD:
+        reads = ((instr.addr_reg, 1),) if instr.reg_indirect else ()
+        return Effects(reads=reads, writes=((instr.dest, w),))
+    if op == Opcode.STORE:
+        reads = [(instr.src1, w)]
+        if instr.reg_indirect:
+            reads.append((instr.addr_reg, 1))
+        return Effects(reads=tuple(reads))
+    if op == Opcode.BRN:
+        return Effects(reads=((instr.src1, 1), (instr.src2, 1)))
+    # JMP / HLT (SEND/RECEIVE never appear in core streams).
+    return Effects()
+
+
+def tile_effects(instr: Instruction) -> Effects:
+    """Effects of one tile-stream instruction on the 64 scalar registers.
+
+    The control unit indexes its register file mod 64; indices are
+    normalized here so interval bookkeeping stays in range.
+    """
+    op = instr.opcode
+
+    def reg(i: int) -> Interval:
+        return (i % TILE_SCALAR_REGISTERS, 1)
+
+    if op == Opcode.SET:
+        return Effects(writes=(reg(instr.dest),))
+    if op == Opcode.ALU_INT:
+        reads = [reg(instr.src1)]
+        if not instr.imm_mode:
+            reads.append(reg(instr.src2))
+        return Effects(reads=tuple(reads), writes=(reg(instr.dest),))
+    if op == Opcode.BRN:
+        return Effects(reads=(reg(instr.src1), reg(instr.src2)))
+    # SEND / RECEIVE / JMP / HLT touch shared memory or control flow only.
+    return Effects()
+
+
+@dataclass
+class Definition:
+    """One definite register write and what became of its words."""
+
+    pc: int
+    start: int
+    width: int
+    reads: int = 0
+    live_words: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.live_words:
+            self.live_words = set(range(self.start, self.start + self.width))
+
+
+@dataclass
+class StraightLineFacts:
+    """Findings of the exact forward scan over a straight-line stream."""
+
+    # (pc, register) — definite read of a never-written word.
+    use_before_def: list[tuple[int, int]] = field(default_factory=list)
+    # Definitions never read and still (at least partly) live at stream end.
+    dead_stores: list[Definition] = field(default_factory=list)
+    # (overwriting pc, clobbered definition) — all words overwritten with
+    # zero reads in between.
+    clobbers: list[tuple[int, Definition]] = field(default_factory=list)
+    # Every definite definition, in program order (def-use chain substrate).
+    definitions: list[Definition] = field(default_factory=list)
+
+
+def scan_straight_line(instructions: list[Instruction],
+                       effects: list[Effects],
+                       num_registers: int,
+                       predefined: bool = False) -> StraightLineFacts:
+    """Exact word-level scan of a branch-free stream.
+
+    ``predefined`` marks every register as defined at entry (the tile
+    control unit zero-initializes its scalar file, so reading an
+    unwritten tile scalar is well-defined and never reported).
+    """
+    facts = StraightLineFacts()
+    defined = [predefined] * num_registers
+    maybe = [False] * num_registers
+    def_of: list[Definition | None] = [None] * num_registers
+
+    def clip(interval: Interval) -> range:
+        start, width = interval
+        return range(min(start, num_registers),
+                     min(start + width, num_registers))
+
+    for pc, (instr, eff) in enumerate(zip(instructions, effects)):
+        for interval in eff.reads:
+            for word in clip(interval):
+                if not defined[word] and not maybe[word]:
+                    facts.use_before_def.append((pc, word))
+                if def_of[word] is not None:
+                    def_of[word].reads += 1
+        for interval in eff.may_reads:
+            for word in clip(interval):
+                if def_of[word] is not None:
+                    def_of[word].reads += 1
+        for interval in eff.writes:
+            start = interval[0]
+            width = len(clip(interval))
+            if width <= 0:
+                continue
+            definition = Definition(pc=pc, start=start, width=width)
+            facts.definitions.append(definition)
+            for word in clip(interval):
+                old = def_of[word]
+                if old is not None:
+                    old.live_words.discard(word)
+                    if not old.live_words and old.reads == 0:
+                        facts.clobbers.append((pc, old))
+                defined[word] = True
+                def_of[word] = definition
+        for interval in eff.may_writes:
+            for word in clip(interval):
+                maybe[word] = True
+                # A may-write leaves the old definition conservatively
+                # live: its value might survive.
+    for definition in facts.definitions:
+        if definition.reads == 0 and definition.live_words:
+            facts.dead_stores.append(definition)
+    return facts
+
+
+def may_defined_in(cfg: ControlFlowGraph, effects: list[Effects],
+                   num_registers: int,
+                   predefined: bool = False) -> list[set[int]]:
+    """Per-block "maybe defined at entry" word sets (union fixpoint).
+
+    Used for loopy streams: a definite read of a word absent from the set
+    (and not written earlier in the block) is defined on *no* path — a
+    certain use-before-def, reportable without loop false positives.
+    """
+    everything = set(range(num_registers))
+    gen: list[set[int]] = []
+    for block in cfg.blocks:
+        words: set[int] = set()
+        for pc in range(block.start, block.end):
+            for interval in effects[pc].all_writes():
+                start, width = interval
+                words.update(range(min(start, num_registers),
+                                   min(start + width, num_registers)))
+        gen.append(words)
+    preds: list[list[int]] = [[] for _ in cfg.blocks]
+    for block in cfg.blocks:
+        for succ in block.successors:
+            if succ >= 0:
+                preds[succ].append(block.index)
+    entry = everything if predefined else set()
+    live_in = [set(entry) for _ in cfg.blocks]
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            new_in = set(entry) if block.index == 0 else set()
+            for pred in preds[block.index]:
+                new_in |= live_in[pred] | gen[pred]
+            if block.index == 0:
+                for pred in preds[0]:
+                    new_in |= live_in[pred] | gen[pred]
+            if new_in != live_in[block.index]:
+                live_in[block.index] = new_in
+                changed = True
+    return live_in
+
+
+def loop_use_before_def(cfg: ControlFlowGraph, effects: list[Effects],
+                        num_registers: int,
+                        predefined: bool = False) -> list[tuple[int, int]]:
+    """Use-before-def facts for a stream with branches (conservative)."""
+    live_in = may_defined_in(cfg, effects, num_registers, predefined)
+    findings: list[tuple[int, int]] = []
+    reachable = cfg.reachable_blocks()
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue
+        defined = set(live_in[block.index])
+        for pc in range(block.start, block.end):
+            eff = effects[pc]
+            for interval in eff.reads:
+                start, width = interval
+                for word in range(min(start, num_registers),
+                                  min(start + width, num_registers)):
+                    if word not in defined:
+                        findings.append((pc, word))
+            for interval in eff.all_writes():
+                start, width = interval
+                defined.update(range(min(start, num_registers),
+                                     min(start + width, num_registers)))
+    return findings

@@ -1,0 +1,69 @@
+"""Entry points: analyze a compiled program, or verify-and-raise.
+
+``analyze_program`` builds the dependence graph, runs every checker, and
+packages an :class:`~repro.analysis.diagnostics.AnalysisReport` tied to a
+digest of the program's encoded instruction streams.  ``verify_program``
+is the compiler gate (``CompilerOptions.verify``): same analysis, but
+error-severity findings raise :class:`VerificationError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.analysis.checks import run_all
+from repro.analysis.depgraph import StaticDependenceGraph
+from repro.analysis.diagnostics import AnalysisReport
+from repro.arch.config import PumaConfig
+from repro.isa.encoding import encode_program
+from repro.isa.program import NodeProgram
+
+
+class VerificationError(RuntimeError):
+    """A compiled program failed static verification with errors.
+
+    Carries the full :class:`AnalysisReport` so callers can inspect or
+    render every finding, not just the first.
+    """
+
+    def __init__(self, report: AnalysisReport) -> None:
+        self.report = report
+        errors = report.errors
+        shown = "\n".join(str(d) for d in errors[:5])
+        more = len(errors) - 5
+        if more > 0:
+            shown += f"\n... and {more} more"
+        super().__init__(
+            f"program {report.program_name!r} failed static verification "
+            f"({report.summary()}):\n{shown}")
+
+
+def program_digest(program: NodeProgram) -> str:
+    """sha256 over every encoded instruction stream, in tile/core order."""
+    digest = hashlib.sha256()
+    for tile_id, tile in sorted(program.tiles.items()):
+        digest.update(f"tile:{tile_id}".encode())
+        digest.update(encode_program(tile.tile_instructions))
+        for core_id, core in sorted(tile.cores.items()):
+            digest.update(f"core:{core_id}".encode())
+            digest.update(encode_program(core.instructions))
+    return digest.hexdigest()
+
+
+def analyze_program(program: NodeProgram,
+                    config: PumaConfig) -> AnalysisReport:
+    """Run the full checker suite; never raises on findings."""
+    graph = StaticDependenceGraph.from_program(program, config)
+    return AnalysisReport(
+        diagnostics=run_all(graph),
+        program_name=program.name,
+        program_sha256=program_digest(program))
+
+
+def verify_program(program: NodeProgram,
+                   config: PumaConfig) -> AnalysisReport:
+    """Analyze and gate: raise :class:`VerificationError` on any error."""
+    report = analyze_program(program, config)
+    if report.has_errors:
+        raise VerificationError(report)
+    return report

@@ -23,7 +23,6 @@ from dataclasses import dataclass
 
 from repro.baselines.platform import PlatformSpec
 from repro.workloads.spec import (
-    BYTES_PER_WORD,
     ConvLayer,
     DenseLayer,
     LstmLayer,

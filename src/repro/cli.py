@@ -18,9 +18,20 @@ Commands:
   artifact (compilation + programmed crossbars + execution tapes, see
   :mod:`repro.store`) so later ``run``/``serve`` invocations — separate
   processes — warm-start with ``--artifact-dir DIR``;
+* ``lint GRAPH.json`` — compile a graph and run the static verifier
+  (:mod:`repro.analysis`); prints every diagnostic and exits non-zero
+  when errors are found;
 * ``disasm GRAPH.json`` — compile a graph and print the per-core/tile
   assembly listings;
 * ``metrics`` — the Table 6 node metrics for the default configuration.
+
+Exit codes follow one convention across every subcommand:
+
+* ``0`` — clean;
+* ``1`` — diagnostics or validation failure (lint errors, unknown or
+  malformed inputs, unreadable graph/batch files);
+* ``2`` — usage error (bad flag combinations, out-of-range options,
+  unknown exhibit names; also argparse's own code for bad syntax).
 """
 
 from __future__ import annotations
@@ -31,44 +42,70 @@ import sys
 
 import numpy as np
 
+EXIT_OK = 0
+EXIT_FAILURE = 1   # diagnostics or validation failure
+EXIT_USAGE = 2     # usage error
+
+
+class CliError(Exception):
+    """A user-facing CLI failure: message to stderr, exit with ``code``."""
+
+    def __init__(self, message: str, code: int = EXIT_FAILURE) -> None:
+        super().__init__(message)
+        self.code = code
+
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.figures.runner import EXHIBITS, run_all
 
     if not args.exhibits:
         run_all(stream=sys.stdout)
-        return 0
+        return EXIT_OK
     by_name = {name.lower().replace(" ", ""): module
                for name, module in EXHIBITS}
     for requested in args.exhibits:
         key = requested.lower().replace(" ", "").replace("_", "")
         module = by_name.get(key)
         if module is None:
-            print(f"unknown exhibit {requested!r}; choose from: "
-                  f"{', '.join(sorted(by_name))}", file=sys.stderr)
-            return 2
+            raise CliError(
+                f"unknown exhibit {requested!r}; choose from: "
+                f"{', '.join(sorted(by_name))}", EXIT_USAGE)
         print(module.render())
         print()
-    return 0
+    return EXIT_OK
 
 
 def _parse_inputs(pairs: list[str]) -> dict[str, np.ndarray]:
     inputs = {}
     for pair in pairs:
         if "=" not in pair:
-            raise SystemExit(f"--input expects name=v1,v2,... got {pair!r}")
+            raise CliError(
+                f"--input expects name=v1,v2,... got {pair!r}", EXIT_USAGE)
         name, values = pair.split("=", 1)
-        inputs[name] = np.array([float(v) for v in values.split(",")])
+        try:
+            inputs[name] = np.array([float(v) for v in values.split(",")])
+        except ValueError:
+            raise CliError(
+                f"--input {name}: values must be numbers, got {values!r}",
+                EXIT_USAGE) from None
     return inputs
+
+
+def _import_graph(path: str):
+    from repro.compiler.importer import GraphImportError, import_graph_file
+
+    try:
+        return import_graph_file(path)
+    except (GraphImportError, OSError) as error:
+        raise CliError(f"{path}: {error}") from error
 
 
 def _build_engine(path: str, seed: int = 0, execution_mode: str = "auto",
                   artifact_dir: str | None = None):
     from repro import default_config
-    from repro.compiler.importer import import_graph_file
     from repro.engine import InferenceEngine
 
-    return InferenceEngine(import_graph_file(path), default_config(),
+    return InferenceEngine(_import_graph(path), default_config(),
                            seed=seed, execution_mode=execution_mode,
                            artifact_dir=artifact_dir)
 
@@ -100,32 +137,30 @@ def _fill_missing_inputs(engine, provided: dict[str, np.ndarray],
 
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.batch_file and args.input:
-        print("--input and --batch-file are mutually exclusive: the batch "
-              "file carries every request's inputs", file=sys.stderr)
-        return 2
+        raise CliError(
+            "--input and --batch-file are mutually exclusive: the batch "
+            "file carries every request's inputs", EXIT_USAGE)
     if args.shards < 1:
-        print("--shards must be >= 1", file=sys.stderr)
-        return 2
+        raise CliError("--shards must be >= 1", EXIT_USAGE)
     engine = _build_engine(args.graph, seed=args.seed,
                            execution_mode=args.execution_mode,
                            artifact_dir=args.artifact_dir)
     if args.batch_file:
         return _run_batch_file(engine, args.batch_file, args.shards)
     if args.shards > 1:
-        print("--shards applies to --batch-file runs (a single inference "
-              "has one lane to shard)", file=sys.stderr)
-        return 2
+        raise CliError(
+            "--shards applies to --batch-file runs (a single inference "
+            "has one lane to shard)", EXIT_USAGE)
     provided = _parse_inputs(args.input or [])
     inputs = _fill_missing_inputs(engine, provided, args.seed)
     if inputs is None:
-        return 2
+        return EXIT_FAILURE
     try:
         result = engine.predict(inputs)
     except ValueError as error:
-        print(f"invalid input: {error}", file=sys.stderr)
-        return 2
+        raise CliError(f"invalid input: {error}") from error
     print(result.summary())
-    return 0
+    return EXIT_OK
 
 
 def _run_batch_file(engine, path: str, shards: int = 1) -> int:
@@ -137,13 +172,15 @@ def _run_batch_file(engine, path: str, shards: int = 1) -> int:
     (bitwise identical outputs; merged stats count cycles as the max over
     the concurrent shards).
     """
-    with open(path) as handle:
-        requests = json.load(handle)
+    try:
+        with open(path) as handle:
+            requests = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise CliError(f"{path}: {error}") from error
     if not isinstance(requests, list) or not requests or \
             not all(isinstance(req, dict) for req in requests):
-        print(f"{path}: expected a non-empty JSON list of "
-              "{input name: [values]} objects", file=sys.stderr)
-        return 2
+        raise CliError(f"{path}: expected a non-empty JSON list of "
+                       "{input name: [values]} objects")
     try:
         stacked = {
             name: np.stack([np.asarray(req[name], dtype=np.float64)
@@ -151,13 +188,12 @@ def _run_batch_file(engine, path: str, shards: int = 1) -> int:
             for name in requests[0]
         }
     except KeyError as missing:
-        print(f"{path}: every request must name input {missing}",
-              file=sys.stderr)
-        return 2
+        raise CliError(
+            f"{path}: every request must name input {missing}") from None
     except (ValueError, TypeError) as error:
-        print(f"{path}: malformed request values (every request must give "
-              f"the same-length numeric lists): {error}", file=sys.stderr)
-        return 2
+        raise CliError(
+            f"{path}: malformed request values (every request must give "
+            f"the same-length numeric lists): {error}") from error
     try:
         if shards > 1:
             from repro.serve import ShardedEngine
@@ -167,8 +203,7 @@ def _run_batch_file(engine, path: str, shards: int = 1) -> int:
         else:
             result = engine.predict(stacked)
     except ValueError as error:
-        print(f"invalid batch: {error}", file=sys.stderr)
-        return 2
+        raise CliError(f"invalid batch: {error}") from error
     for index in range(len(requests)):
         lane = result.lane(index)
         for name, values in lane.outputs.items():
@@ -182,7 +217,7 @@ def _run_batch_file(engine, path: str, shards: int = 1) -> int:
           f"{result.cycles_per_inference:.0f} cycles/inference, "
           f"{result.energy_per_inference_j * 1e9:.3f} nJ/inference")
     print(result.stats.summary())
-    return 0
+    return EXIT_OK
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -193,8 +228,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import PumaServer
 
     if args.shards < 1:
-        print("--shards must be >= 1", file=sys.stderr)
-        return 2
+        raise CliError("--shards must be >= 1", EXIT_USAGE)
     engine = _build_engine(args.graph, seed=args.seed,
                            execution_mode=args.execution_mode,
                            artifact_dir=args.artifact_dir)
@@ -228,7 +262,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.store import store_info
 
         print(f"artifact store: {store_info()}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_warm(args: argparse.Namespace) -> int:
@@ -244,8 +278,7 @@ def _cmd_warm(args: argparse.Namespace) -> int:
 
     batches = sorted(set(args.batch or [1]))
     if any(b < 1 for b in batches):
-        print("--batch sizes must be >= 1", file=sys.stderr)
-        return 2
+        raise CliError("--batch sizes must be >= 1", EXIT_USAGE)
     engine = _build_engine(args.graph, seed=args.seed,
                            artifact_dir=args.artifact_dir)
     engine.warm()
@@ -257,7 +290,44 @@ def _cmd_warm(args: argparse.Namespace) -> int:
           f"execution tapes: {len(engine.compiled.execution_tapes)} "
           f"(batches {', '.join(str(b) for b in batches)})")
     print(f"artifact store: {store_info()}")
-    return 0
+    return EXIT_OK
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Compile a graph and run the static verifier over the program.
+
+    Prints every diagnostic (check id, severity, tile/core/pc location,
+    message) and the summary line.  Exit code 0 when no error-severity
+    diagnostics were found, 1 otherwise; ``--strict`` also fails on
+    warnings.
+    """
+    from repro import compile_model, default_config
+    from repro.analysis import analyze_program
+
+    config = default_config()
+    compiled = compile_model(_import_graph(args.graph), config)
+    report = analyze_program(compiled.program, config)
+    print(f"{args.graph}: {report.program_name} "
+          f"({compiled.program.total_instructions()} instructions)")
+    if report.diagnostics:
+        print(report.render())
+    else:
+        print(report.summary())
+    clean_bill = report.clean_bill_digest()
+    if clean_bill is not None:
+        print(f"clean bill: {clean_bill[:16]} "
+              f"(analyzer v{_analyzer_version()})")
+    if report.has_errors:
+        return EXIT_FAILURE
+    if args.strict and report.warnings:
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
+def _analyzer_version() -> int:
+    from repro.analysis import ANALYZER_VERSION
+
+    return ANALYZER_VERSION
 
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
@@ -271,7 +341,7 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
         for core_id, core in sorted(tile.cores.items()):
             print(f"; ---- tile {tile_id} core {core_id}")
             print(disassemble(core.instructions, numbered=True))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_metrics(_args: argparse.Namespace) -> int:
@@ -284,7 +354,7 @@ def _cmd_metrics(_args: argparse.Namespace) -> int:
     print(f"area efficiency : {metrics.tops_per_mm2:.3f} TOPS/s/mm2")
     print(f"power efficiency: {metrics.tops_per_w:.3f} TOPS/s/W")
     print(f"weight capacity : {metrics.weight_capacity_bytes / 2**20:.0f} MB")
-    return 0
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -355,6 +425,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(and refresh) a 'repro warm' artifact")
     serve.set_defaults(fn=_cmd_serve)
 
+    lint = sub.add_parser(
+        "lint", help="compile a JSON graph and run the static verifier")
+    lint.add_argument("graph", help="path to the graph description (JSON)")
+    lint.add_argument("--strict", action="store_true",
+                      help="also exit non-zero on warnings")
+    lint.set_defaults(fn=_cmd_lint)
+
     disasm = sub.add_parser("disasm",
                             help="compile a JSON graph and print assembly")
     disasm.add_argument("graph")
@@ -367,7 +444,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CliError as error:
+        print(error, file=sys.stderr)
+        return error.code
 
 
 if __name__ == "__main__":

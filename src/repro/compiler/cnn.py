@@ -291,7 +291,6 @@ class CnnCompiler:
             raise CnnCompileError("padded convolutions are not lowered")
         c = layer.in_channels
         k = layer.kernel
-        chunk_len = k * c
         row_words = layer.in_w * c
         out_row_words = layer.out_w * layer.out_channels
         plan = self._conv_chunk_plan(layer)
@@ -598,6 +597,18 @@ class CnnCompiler:
 
 
 def compile_cnn(spec: CnnSpec, config: PumaConfig | None = None,
-                input_shuffle: bool = True) -> CnnCompiled:
-    """Compile a CNN spec into a runnable single-tile program."""
-    return CnnCompiler(spec, config, input_shuffle).compile()
+                input_shuffle: bool = True,
+                verify: bool = False) -> CnnCompiled:
+    """Compile a CNN spec into a runnable single-tile program.
+
+    With ``verify`` the static verifier runs over the generated program
+    and raises :class:`repro.analysis.VerificationError` on any
+    error-severity diagnostic, mirroring ``CompilerOptions.verify``.
+    """
+    compiled = CnnCompiler(spec, config, input_shuffle).compile()
+    if verify:
+        from repro.analysis import verify_program
+
+        verify_program(compiled.program,
+                       config if config is not None else PumaConfig())
+    return compiled

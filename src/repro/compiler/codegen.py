@@ -35,7 +35,7 @@ import numpy as np
 from repro.arch.config import PumaConfig
 from repro.compiler.memory import MemoryPlan
 from repro.compiler.options import CompilerOptions
-from repro.compiler.partition import PartitionResult, Placement
+from repro.compiler.partition import PartitionResult
 from repro.compiler.regalloc import RegisterAllocator, RegisterExhaustion
 from repro.compiler.tiling import Piece, Task, TaskKind, TiledGraph
 from repro.isa import instruction as isa

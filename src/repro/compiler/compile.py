@@ -124,6 +124,10 @@ def compile_model(model: Model, config: PumaConfig | None = None,
     generator = CodeGenerator(graph, placement, order, groups, config,
                               model.name, options)
     program = generator.run()
+    if options.verify:
+        from repro.analysis import verify_program
+
+        verify_program(program, config)
     return CompiledModel(
         program=program,
         graph=graph,

@@ -28,6 +28,12 @@ class CompilerOptions:
             (Section 5.2's "reusing memory locations when there is
             pipelining"; see :mod:`repro.compiler.memory`).
         seed: RNG seed for the random-partition baseline.
+        verify: run the static verifier (:mod:`repro.analysis`) over the
+            generated program and raise
+            :class:`repro.analysis.VerificationError` on any
+            error-severity diagnostic.  Off by default: the checkers are
+            a compile-time cost, and every program is also guarded
+            dynamically by the engine's tape cross-check.
     """
 
     partition: str = "affinity"
@@ -36,6 +42,7 @@ class CompilerOptions:
     input_shuffle: bool = True
     memory_reuse: bool = True
     seed: int = 0
+    verify: bool = False
 
     def __post_init__(self) -> None:
         if self.partition not in ("affinity", "random"):

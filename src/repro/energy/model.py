@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.arch.config import PumaConfig, TileConfig
+from repro.arch.config import PumaConfig
 from repro.arch.core import ExecOutcome
 from repro.energy.components import MW, TABLE3, adc_bits_for, mvmu_power_mw
 from repro.isa.instruction import Instruction

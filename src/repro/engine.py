@@ -328,6 +328,9 @@ class InferenceEngine:
         self._replayers: dict[int, TapeReplayer] = {}
         self._replay_lock = threading.Lock()
         self._tape_blocker: str | None | bool = False  # False = not scanned
+        # Static dependence graph for the tape cross-check, built lazily on
+        # the first recording (analysis cost is per-engine, not per-run).
+        self._depgraph = None
 
     @classmethod
     def from_compiled(cls, compiled: CompiledModel,
@@ -768,6 +771,20 @@ class InferenceEngine:
             self._tape_blocker = find_unsupported_op(self.program)
         return self._tape_blocker
 
+    def _dependence_graph(self):
+        """The program's static dependence graph (built once, cached).
+
+        Consumed by the tape cross-check in :meth:`_execute`; the same
+        object is the substrate the static verifier and the future tape
+        optimizer use (see ``docs/analysis.md``).
+        """
+        if self._depgraph is None:
+            from repro.analysis.depgraph import StaticDependenceGraph
+
+            self._depgraph = StaticDependenceGraph.from_program(
+                self.program, self.config)
+        return self._depgraph
+
     def _tape_key(self, batch: int) -> tuple:
         """Tape cache key: the schedule is resolved per (configuration,
         device model, seed, batch) — latencies are batch-dependent, so the
@@ -843,6 +860,15 @@ class InferenceEngine:
         sim = self._simulator(batch, tape_recorder=recorder)
         words = sim.run(inputs)
         tape = recorder.finish(sim.stats)
+        problems = self._dependence_graph().validate_tape(tape)
+        if problems:
+            # The recorded schedule is not a legal realization of the
+            # program's static dependence graph — never replay it.  The
+            # run's own results are still correct (the interpreter
+            # computed them); only the tape is discarded, and the miss is
+            # counted like every other fast-path fallback.
+            _count_tape_event("fallback")
+            return words, sim.stats, "interpreter"
         tapes = self.compiled.execution_tapes
         # Shared with every replica engine on this compilation: serialize
         # the insert-then-evict (concurrent recorders would otherwise race

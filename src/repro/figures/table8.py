@@ -24,7 +24,6 @@ matrices) while the sizing ablation uses the analytic model at full scale.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from functools import lru_cache
 
 import numpy as np

@@ -142,17 +142,20 @@ class FixedPointFormat:
 DEFAULT_FORMAT = FixedPointFormat()
 
 
-def to_fixed(values: np.ndarray | float, fmt: FixedPointFormat = DEFAULT_FORMAT) -> np.ndarray:
+def to_fixed(values: np.ndarray | float,
+             fmt: FixedPointFormat = DEFAULT_FORMAT) -> np.ndarray:
     """Quantize real values using ``fmt`` (module-level convenience)."""
     return fmt.quantize(values)
 
 
-def to_float(ints: np.ndarray | int, fmt: FixedPointFormat = DEFAULT_FORMAT) -> np.ndarray:
+def to_float(ints: np.ndarray | int,
+             fmt: FixedPointFormat = DEFAULT_FORMAT) -> np.ndarray:
     """Dequantize integers using ``fmt`` (module-level convenience)."""
     return fmt.dequantize(ints)
 
 
-def bit_slices(words: np.ndarray, bits_per_slice: int, total_bits: int = TOTAL_BITS) -> list[np.ndarray]:
+def bit_slices(words: np.ndarray, bits_per_slice: int,
+               total_bits: int = TOTAL_BITS) -> list[np.ndarray]:
     """Split unsigned words into little-endian slices of ``bits_per_slice``.
 
     This is the digital half of the paper's bit-slicing scheme (Fig 2b): a
@@ -180,7 +183,8 @@ def bit_slices(words: np.ndarray, bits_per_slice: int, total_bits: int = TOTAL_B
     return [(arr >> (i * bits_per_slice)) & mask for i in range(n_slices)]
 
 
-def combine_slices(slices: list[np.ndarray], bits_per_slice: int, total_bits: int = TOTAL_BITS) -> np.ndarray:
+def combine_slices(slices: list[np.ndarray], bits_per_slice: int,
+                   total_bits: int = TOTAL_BITS) -> np.ndarray:
     """Inverse of :func:`bit_slices`: shift-and-add the slices back together."""
     if len(slices) * bits_per_slice != total_bits:
         raise ValueError(

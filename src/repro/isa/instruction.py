@@ -128,7 +128,8 @@ def mvm(mask: int, filter: int = 0, stride: int = 0) -> Instruction:
     return Instruction(Opcode.MVM, mask=mask, filter=filter, stride=stride)
 
 
-def alu(op: AluOp, dest: int, src1: int, src2: int = 0, vec_width: int = 1) -> Instruction:
+def alu(op: AluOp, dest: int, src1: int, src2: int = 0,
+        vec_width: int = 1) -> Instruction:
     """Vector ALU operation ``dest[0:w] = op(src1[0:w], src2[0:w])``."""
     if op.is_compare:
         raise ValueError(f"{op.name} is a scalar compare; use alu_int()")
@@ -237,7 +238,8 @@ def send(mem_addr: int, fifo_id: int, target: int, vec_width: int = 1) -> Instru
                        target=target, vec_width=vec_width)
 
 
-def receive(mem_addr: int, fifo_id: int, count: int = 1, vec_width: int = 1) -> Instruction:
+def receive(mem_addr: int, fifo_id: int, count: int = 1,
+            vec_width: int = 1) -> Instruction:
     """Receive ``vec_width`` words from FIFO ``fifo_id`` into shared memory.
 
     ``count`` initializes the attribute-buffer consumer count for the

@@ -14,7 +14,7 @@ from __future__ import annotations
 import copy
 import re
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Iterable
 
 import numpy as np
 

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from repro.arch.config import PumaConfig
 from repro.energy.model import mvm_initiation_interval_cycles
 from repro.perf.layer_model import layer_cost, stage_energy_j
-from repro.workloads.spec import ConvLayer, DenseLayer, LstmLayer, WorkloadSpec
+from repro.workloads.spec import WorkloadSpec
 
 # Fraction of the ideal recurrent wavefront actually achieved; calibrated
 # against the detailed simulator on small LSTMs (synchronization through

@@ -472,6 +472,13 @@ def save_artifact(path: str | Path, *, compiled: Any,
     derive = device_model.write_noise_sigma == 0.0
     arrays = _pack_state_arrays(programmed_state.to_flat_arrays(), derive)
 
+    # Static-verifier clean bill: records that *these* program bits passed
+    # *this* analyzer version without errors (``clean_bill`` is null when
+    # they did not — saving still succeeds; the manifest just says so).
+    from repro.analysis import ANALYZER_VERSION, analyze_program
+
+    lint_report = analyze_program(compiled.program, config)
+
     tmp = Path(tempfile.mkdtemp(prefix=".artifact-", dir=target.parent))
     try:
         # gzip level 1: the pickle is dominated by int64 weight arrays
@@ -500,6 +507,11 @@ def save_artifact(path: str | Path, *, compiled: Any,
             "tape_batches": sorted(int(b) for b in tapes),
             "conductances": "derived" if derive else "stored",
             "rng_state": programmed_state.rng_state,
+            "lint": {
+                "analyzer_version": ANALYZER_VERSION,
+                "clean_bill": lint_report.clean_bill_digest(),
+                "summary": lint_report.summary(),
+            },
             "files": files,
         }
         with open(tmp / MANIFEST_NAME, "w") as handle:

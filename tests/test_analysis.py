@@ -1,0 +1,455 @@
+"""Unit tests for the static program verifier (repro.analysis).
+
+Covers the substrate layers — CFG construction, word-level dataflow,
+the communication graph, dependence edges — plus the wired-in consumers:
+``verify_program`` / ``CompilerOptions.verify``, the engine's tape
+cross-check, and the artifact store's clean-bill manifest entry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ANALYZER_VERSION,
+    AnalysisReport,
+    Severity,
+    StaticDependenceGraph,
+    VerificationError,
+    analyze_program,
+    program_digest,
+    verify_program,
+)
+from repro.analysis.cfg import EXIT, ControlFlowGraph
+from repro.analysis.commgraph import CommGraph
+from repro.analysis.dataflow import (
+    core_effects,
+    loop_use_before_def,
+    scan_straight_line,
+)
+from repro.analysis.depgraph import DepEdge, EdgeKind, StreamInfo
+from repro.analysis.diagnostics import Diagnostic, Location
+from repro.arch.config import CoreConfig, PumaConfig
+from repro.compiler.compile import compile_model
+from repro.compiler.options import CompilerOptions
+from repro.isa.instruction import (
+    alu,
+    brn,
+    copy,
+    hlt,
+    jmp,
+    load,
+    mvm,
+    receive,
+    send,
+    set_,
+    store,
+)
+from repro.isa.opcodes import AluOp, BrnOp
+from repro.isa.program import NodeProgram
+from repro.workloads.mlp import build_mlp_model
+
+CORE = CoreConfig()
+G = CORE.general_base  # first general-purpose register
+
+
+# -- control-flow graphs -----------------------------------------------------
+
+
+class TestControlFlowGraph:
+    def test_straight_line_single_block(self):
+        cfg = ControlFlowGraph.build([set_(G, 1), copy(G + 1, G), hlt()])
+        assert cfg.is_straight_line
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].successors == []
+        assert cfg.falls_off_end() == []
+        assert cfg.unreachable_pcs() == []
+
+    def test_empty_stream(self):
+        cfg = ControlFlowGraph.build([])
+        assert cfg.blocks == []
+        assert cfg.reachable_blocks() == set()
+        assert cfg.falls_off_end() == []
+
+    def test_fall_off_end_without_hlt(self):
+        cfg = ControlFlowGraph.build([set_(G, 1)])
+        assert cfg.falls_off_end() == [0]
+
+    def test_unreachable_after_jmp(self):
+        stream = [jmp(2), set_(G, 1), hlt()]
+        cfg = ControlFlowGraph.build(stream)
+        assert not cfg.is_straight_line
+        assert cfg.unreachable_pcs() == [1]
+        assert cfg.falls_off_end() == []
+
+    def test_loop_reaches_every_block(self):
+        stream = [set_(G, 1),
+                  brn(BrnOp.EQ, G, G, 0),  # back edge
+                  hlt()]
+        cfg = ControlFlowGraph.build(stream)
+        assert not cfg.is_straight_line
+        # Two blocks: [set_, brn] and [hlt]; the back edge re-enters 0.
+        assert len(cfg.blocks) == 2
+        assert cfg.blocks[0].successors == [0, 1]
+        assert cfg.reachable_blocks() == {0, 1}
+        assert cfg.unreachable_pcs() == []
+
+    def test_branch_past_end_is_exit(self):
+        cfg = ControlFlowGraph.build([jmp(5)])
+        assert EXIT in cfg.blocks[0].successors
+        assert cfg.falls_off_end() == [0]
+
+
+# -- word-level effects and the straight-line scan ---------------------------
+
+
+def _effects(instructions):
+    return [core_effects(i, CORE) for i in instructions]
+
+
+class TestEffects:
+    def test_random_reads_nothing(self):
+        eff = core_effects(alu(AluOp.RANDOM, G, G, vec_width=4), CORE)
+        assert eff.reads == () and eff.may_reads == ()
+        assert eff.writes == ((G, 4),)
+
+    def test_mvm_may_reads_full_xbar_in(self):
+        eff = core_effects(mvm(mask=0b01), CORE)
+        assert eff.may_reads == ((CORE.xbar_in_base(0), CORE.mvmu_dim),)
+        assert eff.writes == ((CORE.xbar_out_base(0), CORE.mvmu_dim),)
+
+    def test_subsample_write_is_a_may_write(self):
+        eff = core_effects(
+            alu(AluOp.SUBSAMPLE, G, G + 8, G + 16, vec_width=4), CORE)
+        assert eff.may_writes == ((G, 4),)
+        assert eff.writes == ()
+
+    def test_store_reads_its_source(self):
+        eff = core_effects(store(G, mem_addr=10, vec_width=3), CORE)
+        assert eff.reads == ((G, 3),)
+        assert eff.writes == ()
+
+
+class TestStraightLineScan:
+    def test_use_before_def(self):
+        stream = [copy(G + 1, G), hlt()]
+        facts = scan_straight_line(stream, _effects(stream),
+                                   CORE.num_registers)
+        assert facts.use_before_def == [(0, G)]
+
+    def test_predefined_suppresses_use_before_def(self):
+        stream = [copy(G + 1, G), hlt()]
+        facts = scan_straight_line(stream, _effects(stream),
+                                   CORE.num_registers, predefined=True)
+        assert facts.use_before_def == []
+
+    def test_dead_store(self):
+        stream = [set_(G, 7), hlt()]
+        facts = scan_straight_line(stream, _effects(stream),
+                                   CORE.num_registers)
+        assert [d.pc for d in facts.dead_stores] == [0]
+
+    def test_clobber_before_consume(self):
+        stream = [set_(G, 1), set_(G, 2), store(G, mem_addr=0), hlt()]
+        facts = scan_straight_line(stream, _effects(stream),
+                                   CORE.num_registers)
+        assert [(pc, d.pc) for pc, d in facts.clobbers] == [(1, 0)]
+        # The surviving definition is consumed, not dead.
+        assert facts.dead_stores == []
+
+    def test_consumed_store_is_not_dead(self):
+        stream = [set_(G, 1), store(G, mem_addr=0), hlt()]
+        facts = scan_straight_line(stream, _effects(stream),
+                                   CORE.num_registers)
+        assert facts.dead_stores == []
+        assert facts.use_before_def == []
+
+
+class TestLoopDataflow:
+    def test_certain_use_before_def_in_loop(self):
+        stream = [set_(G, 1),
+                  brn(BrnOp.EQ, G, G, 0),
+                  copy(G + 2, G + 9),  # r(G+9) defined on no path
+                  hlt()]
+        findings = loop_use_before_def(
+            ControlFlowGraph.build(stream), _effects(stream),
+            CORE.num_registers)
+        assert findings == [(2, G + 9)]
+
+    def test_loop_defined_word_not_reported(self):
+        stream = [set_(G, 1),
+                  copy(G + 1, G),
+                  brn(BrnOp.EQ, G, G, 1),
+                  hlt()]
+        findings = loop_use_before_def(
+            ControlFlowGraph.build(stream), _effects(stream),
+            CORE.num_registers)
+        assert findings == []
+
+
+# -- dependence edges --------------------------------------------------------
+
+
+class TestRegisterEdges:
+    def _stream_info(self, instructions):
+        info = StreamInfo(tile=0, core=0, instructions=instructions,
+                          num_registers=CORE.num_registers,
+                          predefined=False)
+        info._core_config = CORE
+        return info
+
+    def test_raw_war_waw(self):
+        info = self._stream_info(
+            [set_(G, 1), copy(G + 1, G), set_(G, 2), hlt()])
+        edges = info.register_edges()
+        assert DepEdge(EdgeKind.RAW, 0, 1) in edges
+        assert DepEdge(EdgeKind.WAR, 1, 2) in edges
+        assert DepEdge(EdgeKind.WAW, 0, 2) in edges
+
+    def test_loopy_stream_has_no_edges(self):
+        info = self._stream_info(
+            [set_(G, 1), brn(BrnOp.EQ, G, G, 0), hlt()])
+        assert info.register_edges() == []
+
+
+# -- the communication graph -------------------------------------------------
+
+
+def _two_tile_program(receive_width=4, with_receive=True):
+    """t0 loads the input, stores, and sends to t1; t1 receives, loads,
+    and stores the output persistently.  Clean by construction."""
+    program = NodeProgram(name="synthetic")
+    program.input_layout = {"x": (0, 0, 4)}
+    program.output_layout = {"out": (1, 60, 4)}
+    t0 = program.tile(0)
+    t0.core(0).extend([
+        load(G, mem_addr=0, vec_width=4),
+        store(G, mem_addr=100, count=1, vec_width=4),
+        hlt(),
+    ])
+    t0.append_tile(send(mem_addr=100, fifo_id=0, target=1, vec_width=4))
+    t0.append_tile(hlt())
+    t1 = program.tile(1)
+    if with_receive:
+        t1.append_tile(receive(mem_addr=50, fifo_id=0, count=1,
+                               vec_width=receive_width))
+    t1.append_tile(hlt())
+    t1.core(0).extend([
+        load(G, mem_addr=50, vec_width=4),
+        store(G, mem_addr=60, count=127, vec_width=4),
+        hlt(),
+    ])
+    return program
+
+
+class TestCommGraph:
+    def test_flows_and_edges(self):
+        graph = CommGraph.build(_two_tile_program(), PumaConfig().tile)
+        assert set(graph.flows) == {(1, 0)}
+        flow = graph.flows[(1, 0)]
+        assert flow.send_words == 4 and flow.receive_words == 4
+        assert flow.src_tiles == {0}
+        assert graph.edges == {(0, 1)}
+        assert graph.dynamic_tiles == set()
+        assert graph.cycles() == []
+
+    def test_preloaded_words(self):
+        graph = CommGraph.build(_two_tile_program(), PumaConfig().tile)
+        assert graph.preloaded[0] == set(range(0, 4))
+        assert graph.preloaded[1] == set(range(60, 64))
+
+    def test_cycle_detection(self):
+        graph = CommGraph()
+        graph.edges = {(0, 1), (1, 2), (2, 0), (3, 4)}
+        assert graph.cycles() == [[0, 1, 2]]
+
+    def test_self_loop_is_a_cycle(self):
+        graph = CommGraph()
+        graph.edges = {(5, 5)}
+        assert graph.cycles() == [[5]]
+
+
+# -- checkers over synthetic programs ----------------------------------------
+
+
+class TestCheckersOnSyntheticPrograms:
+    def test_clean_program_has_clean_bill(self):
+        report = analyze_program(_two_tile_program(), PumaConfig())
+        assert not report.has_errors
+        assert report.clean_bill_digest() is not None
+
+    def test_missing_receive(self):
+        report = analyze_program(
+            _two_tile_program(with_receive=False), PumaConfig())
+        checks = {d.check for d in report.errors}
+        assert "noc-send-unbalanced" in checks
+        # t1's load now reads words nothing writes.
+        assert "mem-load-undefined" in checks
+        assert report.clean_bill_digest() is None
+
+    def test_width_mismatch(self):
+        report = analyze_program(
+            _two_tile_program(receive_width=2), PumaConfig())
+        checks = {d.check for d in report.errors}
+        assert "noc-width-mismatch" in checks
+
+    def test_verify_program_raises_with_report(self):
+        with pytest.raises(VerificationError) as exc:
+            verify_program(_two_tile_program(with_receive=False),
+                           PumaConfig())
+        assert exc.value.report.has_errors
+        assert "noc-send-unbalanced" in str(exc.value)
+
+    def test_program_digest_tracks_bits(self):
+        a = program_digest(_two_tile_program())
+        b = program_digest(_two_tile_program())
+        c = program_digest(_two_tile_program(receive_width=2))
+        assert a == b
+        assert a != c
+
+
+# -- report plumbing ---------------------------------------------------------
+
+
+class TestReport:
+    def test_summary_and_render(self):
+        report = AnalysisReport(diagnostics=[
+            Diagnostic("reg-use-before-def", Severity.ERROR,
+                       Location(0, 1, 5), "reads r9"),
+            Diagnostic("reg-dead-store", Severity.WARNING,
+                       Location(0, 1, 7), "never read"),
+        ])
+        assert report.summary() == "1 error, 1 warning, 0 notes"
+        rendered = report.render()
+        assert "error[reg-use-before-def] t0:c1:pc=5: reads r9" in rendered
+
+    def test_location_str(self):
+        assert str(Location(0, None, 3)) == "t0:ctrl:pc=3"
+        assert str(Location(2, 1, 4)) == "t2:c1:pc=4"
+        assert str(Location()) == "node"
+
+    def test_clean_bill_folds_warnings(self):
+        clean = AnalysisReport(program_sha256="abc")
+        warned = AnalysisReport(program_sha256="abc", diagnostics=[
+            Diagnostic("reg-dead-store", Severity.WARNING,
+                       Location(0, 0, 0), "never read")])
+        assert clean.clean_bill_digest() != warned.clean_bill_digest()
+
+
+# -- compiler and engine wire-in ---------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def mlp_model():
+    return build_mlp_model([16, 8], name="lint_mlp")
+
+
+class TestCompilerGate:
+    def test_verify_option_passes_clean_codegen(self, mlp_model):
+        compiled = compile_model(mlp_model, PumaConfig(),
+                                 CompilerOptions(verify=True))
+        assert compiled.program.total_instructions() > 0
+
+    def test_verify_option_raises_on_bad_program(self, mlp_model,
+                                                 monkeypatch):
+        import repro.analysis as analysis
+
+        def broken(program, config):
+            raise VerificationError(AnalysisReport(diagnostics=[
+                Diagnostic("reg-use-before-def", Severity.ERROR,
+                           Location(0, 0, 0), "injected")],
+                program_name=program.name))
+
+        monkeypatch.setattr(analysis, "verify_program", broken)
+        with pytest.raises(VerificationError):
+            compile_model(mlp_model, PumaConfig(),
+                          CompilerOptions(verify=True))
+        # Off by default: the same model compiles without the gate.
+        compile_model(mlp_model, PumaConfig(), CompilerOptions())
+
+
+class TestEngineCrossCheck:
+    def test_recorded_tape_validates(self, mlp_model):
+        from repro.engine import InferenceEngine
+
+        engine = InferenceEngine(mlp_model, seed=0)
+        result = engine.predict({"x": np.zeros((1, 16))})
+        assert result.outputs["out"].shape[-1] == 8
+        tapes = engine.compiled.execution_tapes
+        assert tapes, "no tape recorded"
+        graph = engine._dependence_graph()
+        for tape in tapes.values():
+            assert graph.validate_tape(tape) == []
+
+    def test_corrupted_tape_is_rejected(self, mlp_model):
+        from dataclasses import replace
+
+        from repro.engine import InferenceEngine
+
+        engine = InferenceEngine(mlp_model, seed=0)
+        engine.predict({"x": np.zeros((1, 16))})
+        (tape,) = engine.compiled.execution_tapes.values()
+        graph = engine._dependence_graph()
+
+        dropped = replace(tape, steps=tape.steps[:-1])
+        assert graph.validate_tape(dropped)
+
+        swapped_steps = list(tape.steps)
+        # Swap the first two steps of one stream: order must be violated.
+        key = (swapped_steps[0].tile_id, swapped_steps[0].core_id)
+        second = next(
+            i for i, s in enumerate(swapped_steps[1:], start=1)
+            if (s.tile_id, s.core_id) == key
+            and s.instruction != swapped_steps[0].instruction)
+        swapped_steps[0], swapped_steps[second] = (
+            swapped_steps[second], swapped_steps[0])
+        swapped = replace(tape, steps=tuple(swapped_steps))
+        assert graph.validate_tape(swapped)
+
+    def test_invalid_schedule_forces_interpreter_fallback(self, mlp_model):
+        from repro.engine import (
+            InferenceEngine,
+            clear_tape_caches,
+            tape_cache_info,
+        )
+
+        engine = InferenceEngine(mlp_model, seed=0)
+        # Earlier tests may have recorded a tape on this shared
+        # compilation; drop it so this run reaches the recording path.
+        clear_tape_caches()
+        graph = engine._dependence_graph()
+        graph.validate_tape = lambda tape: ["forced mismatch"]
+
+        before = tape_cache_info().fallbacks
+        result = engine.predict({"x": np.zeros((1, 16))})
+        assert result.execution == "interpreter"
+        assert not engine.compiled.execution_tapes
+        assert tape_cache_info().fallbacks == before + 1
+
+        # Results still come from the interpreter run — identical to a
+        # fresh engine that never tried the fast path.
+        reference = InferenceEngine(mlp_model, seed=0,
+                                    execution_mode="interpret")
+        expected = reference.predict({"x": np.zeros((1, 16))})
+        np.testing.assert_array_equal(result.outputs["out"],
+                                      expected.outputs["out"])
+
+
+class TestStoreCleanBill:
+    def test_manifest_records_clean_bill(self, mlp_model, tmp_path):
+        import json
+
+        from repro.engine import InferenceEngine
+        from repro.store import MANIFEST_NAME
+
+        engine = InferenceEngine(mlp_model, seed=0,
+                                 artifact_dir=str(tmp_path))
+        engine.warm()
+        path = engine.save_artifacts()
+        with open(path / MANIFEST_NAME) as handle:
+            manifest = json.load(handle)
+        lint = manifest["lint"]
+        assert lint["analyzer_version"] == ANALYZER_VERSION
+        assert lint["summary"].endswith("notes")
+        report = analyze_program(engine.compiled.program, engine.config)
+        assert lint["clean_bill"] == report.clean_bill_digest()
+        assert lint["clean_bill"] is not None

@@ -1,0 +1,128 @@
+"""The CLI's shared exit-code convention, and the ``lint`` subcommand.
+
+Every subcommand exits 0 on success, 1 on diagnostics or validation
+failures (lint errors, unreadable files, malformed request data), and 2
+on usage errors (bad flag combinations, out-of-range options) — the same
+code argparse uses for syntax errors.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_FAILURE, EXIT_OK, EXIT_USAGE, main
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    from test_importer_cli import small_graph
+
+    desc, _ = small_graph()
+    path = tmp_path / "model.json"
+    path.write_text(json.dumps(desc))
+    return str(path)
+
+
+class TestUsageErrors:
+    def test_unknown_exhibit(self, capsys):
+        assert main(["report", "definitely-not-an-exhibit"]) == EXIT_USAGE
+        assert "unknown exhibit" in capsys.readouterr().err
+
+    def test_malformed_input_flag(self, graph_file, capsys):
+        assert main(["run", graph_file, "--input", "x0.5"]) == EXIT_USAGE
+        assert "name=v1,v2" in capsys.readouterr().err
+
+    def test_non_numeric_input_values(self, graph_file, capsys):
+        assert main(["run", graph_file,
+                     "--input", "x=a,b"]) == EXIT_USAGE
+        assert "must be numbers" in capsys.readouterr().err
+
+    def test_shards_out_of_range(self, graph_file, capsys):
+        assert main(["run", graph_file, "--shards", "0"]) == EXIT_USAGE
+        assert main(["serve", graph_file, "--shards", "0"]) == EXIT_USAGE
+
+    def test_shards_without_batch_file(self, graph_file, capsys):
+        assert main(["run", graph_file, "--shards", "2"]) == EXIT_USAGE
+        assert "--batch-file" in capsys.readouterr().err
+
+    def test_warm_bad_batch(self, graph_file, tmp_path, capsys):
+        assert main(["warm", graph_file, "--artifact-dir",
+                     str(tmp_path / "a"), "--batch", "0"]) == EXIT_USAGE
+
+    def test_argparse_unknown_command_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["frobnicate"])
+        assert exc.value.code == EXIT_USAGE
+
+
+class TestValidationFailures:
+    def test_missing_graph_file(self, capsys):
+        for command in (["run"], ["lint"], ["disasm"]):
+            assert main([*command, "/no/such/graph.json"]) == EXIT_FAILURE
+            assert "graph.json" in capsys.readouterr().err
+
+    def test_unknown_input_name(self, graph_file, capsys):
+        assert main(["run", graph_file,
+                     "--input", "bogus=1.0"]) == EXIT_FAILURE
+        assert "unknown input name" in capsys.readouterr().err
+
+    def test_malformed_batch_file(self, graph_file, tmp_path, capsys):
+        batch = tmp_path / "requests.json"
+        batch.write_text("{not json")
+        assert main(["run", graph_file,
+                     "--batch-file", str(batch)]) == EXIT_FAILURE
+
+
+class TestLintCommand:
+    def test_clean_graph_exits_zero(self, graph_file, capsys):
+        assert main(["lint", graph_file]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+        assert "clean bill:" in out
+
+    def test_strict_mode_on_clean_graph(self, graph_file):
+        assert main(["lint", graph_file, "--strict"]) == EXIT_OK
+
+    def test_errors_exit_one(self, graph_file, capsys, monkeypatch):
+        import repro.analysis as analysis
+        from repro.analysis import AnalysisReport, Severity
+        from repro.analysis.diagnostics import Diagnostic, Location
+
+        def planted(program, config):
+            return AnalysisReport(
+                diagnostics=[Diagnostic(
+                    "reg-use-before-def", Severity.ERROR,
+                    Location(0, 0, 3), "reads r9 before any write")],
+                program_name=program.name, program_sha256="feed")
+
+        monkeypatch.setattr(analysis, "analyze_program", planted)
+        assert main(["lint", graph_file]) == EXIT_FAILURE
+        out = capsys.readouterr().out
+        assert "error[reg-use-before-def] t0:c0:pc=3" in out
+        assert "clean bill" not in out
+
+    def test_strict_fails_on_warnings(self, graph_file, capsys,
+                                      monkeypatch):
+        import repro.analysis as analysis
+        from repro.analysis import AnalysisReport, Severity
+        from repro.analysis.diagnostics import Diagnostic, Location
+
+        def planted(program, config):
+            return AnalysisReport(
+                diagnostics=[Diagnostic(
+                    "reg-dead-store", Severity.WARNING,
+                    Location(0, 0, 3), "value is never read")],
+                program_name=program.name, program_sha256="feed")
+
+        monkeypatch.setattr(analysis, "analyze_program", planted)
+        assert main(["lint", graph_file]) == EXIT_OK
+        assert main(["lint", graph_file, "--strict"]) == EXIT_FAILURE
+
+
+class TestSuccessPaths:
+    def test_run_and_disasm_exit_zero(self, graph_file, capsys):
+        assert main(["run", graph_file,
+                     "--input", "x=" + ",".join(["0.1"] * 32)]) == EXIT_OK
+        assert main(["disasm", graph_file]) == EXIT_OK
+        assert main(["metrics"]) == EXIT_OK
+        capsys.readouterr()

@@ -1,0 +1,182 @@
+"""Edge-case coverage for the register allocator and MVM coalescing.
+
+The allocator's free-list arithmetic (best-fit choice, coalescing on
+release, double-free detection) and the coalescer's degenerate inputs
+(empty graph, single-core placements) plus the spill boundary: a core
+register file too small for the working set must spill, and the spill
+code must still pass the static verifier.
+"""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.arch.config import CoreConfig, PumaConfig
+from repro.compiler.coalesce import coalesce, grouped_schedule
+from repro.compiler.compile import compile_model
+from repro.compiler.options import CompilerOptions
+from repro.compiler.partition import partition
+from repro.compiler.regalloc import RegisterAllocator
+from repro.compiler.tiling import TaskKind, TiledGraph, tile_model
+from repro.workloads.mlp import build_mlp_model
+
+SMALL = CoreConfig(mvmu_dim=2, num_mvmus=1, num_general_registers=16)
+BASE = SMALL.general_base
+
+
+@pytest.fixture()
+def allocator():
+    return RegisterAllocator(SMALL)
+
+
+class TestRegisterAllocator:
+    def test_sequential_allocation_fills_capacity(self, allocator):
+        assert allocator.allocate(4) == BASE
+        assert allocator.allocate(4) == BASE + 4
+        assert allocator.allocate(8) == BASE + 8
+        assert allocator.words_in_use == 16
+        assert allocator.allocate(1) is None
+
+    def test_best_fit_prefers_the_tightest_hole(self, allocator):
+        a = allocator.allocate(4)
+        allocator.allocate(1)  # spacer: keep the holes from coalescing
+        b = allocator.allocate(2)
+        allocator.allocate(1)  # spacer
+        allocator.allocate(8)  # fill the tail so only our holes remain
+        allocator.release(a, 4)
+        allocator.release(b, 2)
+        # Holes: [a,4) and [b,2).  A 2-wide value must land in the
+        # 2-hole, leaving the 4-hole intact for a 4-wide successor.
+        assert allocator.allocate(2) == b
+        assert allocator.allocate(4) == a
+
+    def test_release_coalesces_neighbours(self, allocator):
+        a = allocator.allocate(4)
+        b = allocator.allocate(4)
+        c = allocator.allocate(8)
+        allocator.release(a, 4)
+        allocator.release(c, 8)
+        allocator.release(b, 4)  # middle release merges all three
+        assert allocator.allocate(16) == BASE
+
+    def test_zero_width_allocation_rejected(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.allocate(0)
+        with pytest.raises(ValueError):
+            allocator.release(BASE, 0)
+
+    def test_release_outside_general_space_rejected(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.release(0, 1)  # xbar register, not general
+        with pytest.raises(ValueError):
+            allocator.release(BASE + 15, 2)  # runs past the file
+
+    def test_double_free_detected(self, allocator):
+        start = allocator.allocate(4)
+        allocator.release(start, 4)
+        with pytest.raises(AssertionError, match="double free"):
+            allocator.release(start, 4)
+
+    def test_stats_track_pressure(self, allocator):
+        allocator.allocate(8)
+        start = allocator.allocate(4)
+        allocator.release(start, 4)
+        assert allocator.stats.allocations == 2
+        assert allocator.stats.peak_words == 12
+        assert allocator.words_in_use == 8
+        assert allocator.stats.spilled_access_fraction == 0.0
+
+
+class TestCoalesceEdgeCases:
+    def test_empty_graph(self):
+        graph = TiledGraph()
+        placement = partition(graph, PumaConfig(), CompilerOptions())
+        groups = coalesce(graph, placement, CompilerOptions())
+        assert groups == []
+        assert grouped_schedule(graph, groups, CompilerOptions()) == []
+
+    def test_single_core_tile_covers_every_task(self):
+        model = build_mlp_model([8, 4], name="tiny")
+        config = PumaConfig()
+        graph = tile_model(model, config)
+        placement = partition(graph, config, CompilerOptions())
+        groups = coalesce(graph, placement, CompilerOptions())
+        members = sorted(tid for group in groups for tid in group)
+        assert members == list(range(len(graph.tasks)))
+
+    def test_disabled_coalescing_yields_singletons(self):
+        model = build_mlp_model([256, 8], name="two_mvmus")
+        config = PumaConfig()
+        options = CompilerOptions(coalesce_mvms=False)
+        graph = tile_model(model, config)
+        placement = partition(graph, config, options)
+        groups = coalesce(graph, placement, options)
+        assert all(len(group) == 1 for group in groups)
+
+    def test_same_matvec_tiles_fuse(self):
+        # A 256-wide input spans two 128-row MVM tiles of one matvec;
+        # they are independent by construction and must fuse.
+        model = build_mlp_model([256, 8], name="two_mvmus")
+        config = PumaConfig()
+        graph = tile_model(model, config)
+        placement = partition(graph, config, CompilerOptions())
+        groups = coalesce(graph, placement, CompilerOptions())
+        fused = [g for g in groups if len(g) > 1]
+        assert fused, "no MVM pair was coalesced"
+        for group in fused:
+            kinds = {graph.task(t).kind for t in group}
+            assert kinds == {TaskKind.MVM_TILE}
+            mvmus = {placement.of(t).mvmu for t in group}
+            assert len(mvmus) == len(group)
+
+
+def _pressure_model():
+    """Two held values across a long sigmoid chain: forces spilling under
+    a small register file (same shape as tests/test_toolchain_roundtrip)."""
+    import numpy as np
+
+    from repro.compiler.frontend import (
+        ConstMatrix,
+        InVector,
+        Model,
+        OutVector,
+        sigmoid,
+    )
+
+    rng = np.random.default_rng(0)
+    width = 42
+    model = Model.create("spill_verify")
+    x = InVector.create(model, width, "x")
+    m0 = ConstMatrix.create(model, width, width, "w0",
+                            rng.normal(0, 0.15, (width, width)))
+    m1 = ConstMatrix.create(model, width, width, "w1",
+                            rng.normal(0, 0.15, (width, width)))
+    held_a = sigmoid(m0 @ x)
+    held_b = sigmoid(m1 @ x)
+    t = held_a
+    for _ in range(10):
+        t = sigmoid(t)
+    out = OutVector.create(model, width, "out")
+    out.assign(t * held_a + held_b)
+    return model
+
+
+class TestSpillBoundary:
+    def test_spilled_code_still_verifies(self):
+        # A 128-register file cannot hold the pressure model's working
+        # set: codegen must spill to tile memory — and the spill/reload
+        # code it emits has to satisfy the same static checks as
+        # unspilled code (verify=True raises otherwise).
+        config = PumaConfig().with_core(num_general_registers=128)
+        compiled = compile_model(_pressure_model(), config,
+                                 CompilerOptions(verify=True))
+        assert compiled.codegen_stats.spill_stores > 0
+        assert compiled.codegen_stats.spill_loads > 0
+        assert compiled.spilled_access_fraction() > 0.0
+        report = analyze_program(compiled.program, config)
+        assert not report.has_errors, report.render()
+
+    def test_unspilled_baseline(self):
+        config = PumaConfig()
+        compiled = compile_model(_pressure_model(), config)
+        assert compiled.codegen_stats.spill_stores == 0
+        assert compiled.spilled_access_fraction() == 0.0

@@ -1,0 +1,34 @@
+"""The repository's own source passes ``ruff check``.
+
+Ruff is not part of the runtime environment, so this suite is skipped
+wherever the binary is absent (it runs in CI's lint job, which installs
+it).  A second, always-on test enforces the invariants ruff's E501 would
+catch, so line-length regressions fail fast even without ruff installed.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None,
+                    reason="ruff not installed in this environment")
+def test_ruff_clean():
+    proc = subprocess.run(
+        ["ruff", "check", "src/repro", "tests", "benchmarks"],
+        cwd=REPO, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_source_lines_fit_88_columns():
+    over = []
+    for path in sorted((REPO / "src" / "repro").rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if len(line) > 88:
+                over.append(f"{path.relative_to(REPO)}:{lineno} "
+                            f"({len(line)} chars)")
+    assert not over, "lines over 88 columns:\n" + "\n".join(over)
