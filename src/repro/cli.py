@@ -18,6 +18,11 @@ Commands:
   artifact (compilation + programmed crossbars + execution tapes, see
   :mod:`repro.store`) so later ``run``/``serve`` invocations — separate
   processes — warm-start with ``--artifact-dir DIR``;
+* ``fleet DEPLOYMENT.json`` — spin up a multi-process serving fleet
+  (:mod:`repro.fleet`): N workers behind one HTTP front door, replay a
+  deterministic bursty trace against it, spot-check the replies bitwise
+  against a local engine, and print the load report + per-worker cache
+  metrics;
 * ``lint GRAPH.json`` — compile a graph and run the static verifier
   (:mod:`repro.analysis`); prints every diagnostic and exits non-zero
   when errors are found;
@@ -293,6 +298,110 @@ def _cmd_warm(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Serving-fleet demo: N workers, one front door, a bursty trace.
+
+    Loads a deployment (a JSON list of fleet model specs), spawns the
+    fleet, replays a deterministic bursty trace through the HTTP front
+    door, and prints the load report plus per-worker metrics.  One
+    request per model is spot-checked **bitwise** against a local
+    single-engine build — the fleet-level guarantee of
+    ``docs/guarantees.md``, demonstrated from the command line.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.fleet import (
+        FleetModelError,
+        FleetModelSpec,
+        PumaFleet,
+        build_engine,
+        bursty_trace,
+        default_inputs_builder,
+        run_trace,
+    )
+
+    if args.workers < 1:
+        raise CliError("--workers must be >= 1", EXIT_USAGE)
+    if args.requests < 1:
+        raise CliError("--requests must be >= 1", EXIT_USAGE)
+    if args.rate <= 0:
+        raise CliError("--rate must be positive", EXIT_USAGE)
+    try:
+        with open(args.deployment, encoding="utf-8") as handle:
+            described = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise CliError(f"{args.deployment}: {error}") from error
+    if not isinstance(described, list) or not described:
+        raise CliError(f"{args.deployment}: expected a non-empty JSON "
+                       "list of fleet model specs")
+    try:
+        specs = [FleetModelSpec.from_dict(entry) for entry in described]
+    except FleetModelError as error:
+        raise CliError(f"{args.deployment}: {error}") from error
+
+    # Local single-engine references: input layouts for the trace, and
+    # the bitwise ground truth for the spot check.
+    engines = {spec.name: build_engine(spec) for spec in specs}
+    layouts = {
+        name: {input_name: length for input_name, (_t, _a, length)
+               in engine.program.input_layout.items()}
+        for name, engine in engines.items()}
+    trace = bursty_trace([spec.name for spec in specs], args.requests,
+                         base_rate_rps=args.rate, seed=args.seed)
+    inputs_for = default_inputs_builder(layouts)
+
+    async def drive(work_dir: str):
+        async with PumaFleet(specs, num_workers=args.workers,
+                             work_dir=work_dir,
+                             max_batch_size=args.max_batch) as fleet:
+            print(f"fleet up: {args.workers} worker(s) behind "
+                  f"{fleet.url}")
+            report = await run_trace(fleet.host, fleet.http.port, trace,
+                                     inputs_for,
+                                     time_scale=args.time_scale)
+            checks = {}
+            for spec in specs:
+                arrival = next(a for a in trace if a.model == spec.name)
+                reply = await fleet.predict(spec.name,
+                                            inputs_for(arrival))
+                reference = engines[spec.name].predict(
+                    {name: np.asarray(values) for name, values
+                     in inputs_for(arrival).items()})
+                checks[spec.name] = reply["words"] == {
+                    name: reference[name].tolist() for name in reference}
+            metrics = await fleet.metrics()
+            return report, checks, metrics
+
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-") as scratch:
+        report, checks, metrics = asyncio.run(
+            drive(args.work_dir or scratch))
+
+    print(report.summary())
+    for model, entry in sorted(report.to_dict()["per_model"].items()):
+        print(f"  {model}: {entry['requests']} requests, "
+              f"p50 {entry['p50_ms']:.1f} ms, p99 {entry['p99_ms']:.1f} ms")
+    for worker_id, entry in sorted(metrics["workers"].items()):
+        detail = entry.get("metrics")
+        if not detail:
+            continue
+        hosted = ", ".join(
+            f"{m['name']} ({m['source']})"
+            for m in detail["models"].values())
+        store = detail["network_store"]
+        print(f"  {worker_id}: {hosted}; store pulls "
+              f"{store['pulls']}, pushes {store['pushes']}")
+    for model, matched in sorted(checks.items()):
+        status = "bitwise == local engine" if matched else "MISMATCH"
+        print(f"  {model}: {status}")
+    if not all(checks.values()):
+        raise CliError("fleet replies diverged from the local engine")
+    if report.failed:
+        raise CliError(f"{report.failed} request(s) failed: "
+                       f"{report.errors[:3]}")
+    return EXIT_OK
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Compile a graph and run the static verifier over the program.
 
@@ -424,6 +533,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent artifact store: warm-start from "
                             "(and refresh) a 'repro warm' artifact")
     serve.set_defaults(fn=_cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet", help="multi-worker serving fleet demo (trace replay)")
+    fleet.add_argument("deployment",
+                       help="JSON list of fleet model specs, e.g. "
+                            '[{"name": "mlp", "kind": "mlp", '
+                            '"params": {"dims": [32, 24, 10]}}]')
+    fleet.add_argument("--workers", type=int, default=2,
+                       help="worker processes to spawn (default 2)")
+    fleet.add_argument("--requests", type=int, default=32,
+                       help="trace length in requests (default 32)")
+    fleet.add_argument("--rate", type=float, default=50.0,
+                       help="base arrival rate in req/s (default 50)")
+    fleet.add_argument("--time-scale", type=float, default=1.0,
+                       help="multiply trace offsets (0 = fire all at "
+                            "once; default 1.0 = real time)")
+    fleet.add_argument("--max-batch", type=int, default=8,
+                       help="per-worker dynamic batching limit (default 8)")
+    fleet.add_argument("--work-dir", metavar="DIR",
+                       help="fleet scratch + artifact blob store "
+                            "(default: a temporary directory)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.set_defaults(fn=_cmd_fleet)
 
     lint = sub.add_parser(
         "lint", help="compile a JSON graph and run the static verifier")

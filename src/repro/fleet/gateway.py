@@ -1,0 +1,600 @@
+"""The fleet gateway: one HTTP front door over N worker processes.
+
+:class:`PumaFleet` is the subsystem's spine.  It owns:
+
+* the **front door** — ``POST /v1/predict``, ``GET /v1/models``,
+  ``GET /healthz``, ``GET /metrics`` on one port (plus the artifact
+  plane ``GET/PUT /v1/artifacts/{key}`` backing the networked store);
+* **placement** — consistent hashing of each model's route key onto the
+  worker ring (:mod:`repro.fleet.ring`), so a model's replicas are a
+  stable subset of workers sharing warm artifacts;
+* **per-model queues** — every model gets its own queue + dispatcher
+  pool, so a burst of heavy CNN traffic queues behind *itself*, never
+  in front of MLP requests (head-of-line isolation);
+* **dispatch with retry** — a request goes to one replica of its
+  model; on a transport failure or 5xx the gateway backs off and
+  retries on a *different* replica.  Safe by construction: engines are
+  deterministic (seeded weights + seeded crossbar programming), so any
+  replica's answer is bitwise the same — the fleet-level invariant
+  ``docs/guarantees.md`` pins and ``tests/test_fleet.py`` enforces;
+* **health & lifecycle** — periodic ``/healthz`` probes; consecutive
+  failures (or a dead process) evict the worker and respawn a fresh one
+  that warm-starts its models off the networked store;
+* **autoscaling** — per-model replica counts follow observed queue
+  depth through the pure policy
+  :func:`repro.fleet.manager.autoscale_decision`; new replicas load
+  lazily on first dispatch (pulling the artifact blob, not recompiling).
+
+Graceful shutdown mirrors ``PumaServer.stop``: the front door starts
+refusing new work (503), queued requests drain to completion, workers
+are asked to drain their own micro-batches, and only then do processes
+exit — zero dropped requests, which the CI smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.fleet.http import (
+    ConnectionPool,
+    FleetConnectionError,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    error_response,
+    json_response,
+)
+from repro.fleet.manager import (
+    WorkerHandle,
+    WorkerManager,
+    autoscale_decision,
+    probe_health,
+)
+from repro.fleet.models import FleetModelSpec, route_key
+from repro.fleet.netstore import SHA_HEADER, BlobStore, NetworkArtifactError
+from repro.fleet.ring import HashRing
+
+PREDICT_TIMEOUT_S = 120.0
+LOAD_TIMEOUT_S = 300.0
+_ARTIFACT_PREFIX = "/v1/artifacts/"
+
+
+class FleetError(RuntimeError):
+    """A fleet request failed permanently (after retries, or rejected)."""
+
+
+@dataclass
+class _ModelState:
+    """Gateway-side state for one deployed model."""
+
+    spec: FleetModelSpec
+    key: str
+    replicas: int
+    queue: asyncio.Queue = field(default_factory=asyncio.Queue)
+    dispatchers: list = field(default_factory=list)
+    rr: int = 0                     # round-robin cursor over placement
+    inflight: int = 0
+    served: int = 0
+    failed: int = 0
+    retries: int = 0
+
+
+@dataclass
+class _Pending:
+    """One queued predict: wire-level inputs + the caller's future."""
+
+    inputs: dict[str, Any]
+    future: asyncio.Future
+    enqueued_at: float
+
+
+class PumaFleet:
+    """N ``PumaServer`` worker processes behind one HTTP front door.
+
+    Example::
+
+        specs = [FleetModelSpec("mlp", "mlp", {"dims": [32, 24, 10]})]
+        async with PumaFleet(specs, num_workers=2,
+                             work_dir="fleet-scratch") as fleet:
+            reply = await fleet.predict("mlp", {"x": x_vector})
+            reply["words"]["out"]        # fixed-point words, bitwise ==
+                                         # a local engine.run_batch
+
+    Args:
+        models: the deployment set (unique names).
+        num_workers: worker processes to spawn (restored on eviction).
+        work_dir: scratch root (artifact blobs, worker scratch).
+        replicas_per_model: initial replicas per model (default:
+            ``min(2, num_workers)``); the autoscaler moves it between
+            ``min_replicas`` and ``max_replicas`` when enabled.
+        max_batch_size / batch_window_s: per-model worker batching.
+        dispatch_concurrency: concurrent dispatches per model — kept
+            above ``max_batch_size``'s reach so worker-side
+            micro-batching still coalesces.
+        max_attempts: dispatch attempts per request (distinct replicas
+            preferred; transport failures and 5xx retry, 400 never).
+        health_interval_s / health_failures: probe cadence and the
+            consecutive-failure threshold for eviction + respawn.
+        autoscale / autoscale_interval_s / min_replicas / max_replicas /
+            high_watermark / low_watermark: queue-depth autoscaling
+            policy (see :func:`autoscale_decision`).
+        preload: load every model onto its placement when the fleet
+            starts (first request fast + deterministic placement).
+    """
+
+    def __init__(self, models: list[FleetModelSpec], *,
+                 num_workers: int = 2,
+                 work_dir: str | Path,
+                 replicas_per_model: int | None = None,
+                 max_batch_size: int = 16,
+                 batch_window_s: float = 0.002,
+                 dispatch_concurrency: int = 16,
+                 max_attempts: int = 3,
+                 health_interval_s: float = 0.5,
+                 health_failures: int = 2,
+                 autoscale: bool = False,
+                 autoscale_interval_s: float = 0.5,
+                 min_replicas: int = 1,
+                 max_replicas: int | None = None,
+                 high_watermark: float = 8.0,
+                 low_watermark: float = 1.0,
+                 respawn: bool = True,
+                 preload: bool = True,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        names = [spec.name for spec in models]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate model names in {sorted(names)}")
+        if not models:
+            raise ValueError("a fleet needs at least one model")
+        self.num_workers = num_workers
+        self.work_dir = Path(work_dir)
+        self.replicas_per_model = (min(2, num_workers)
+                                   if replicas_per_model is None
+                                   else min(replicas_per_model, num_workers))
+        self.max_batch_size = max_batch_size
+        self.batch_window_s = batch_window_s
+        self.dispatch_concurrency = dispatch_concurrency
+        self.max_attempts = max_attempts
+        self.health_interval_s = health_interval_s
+        self.health_failures = health_failures
+        self.autoscale = autoscale
+        self.autoscale_interval_s = autoscale_interval_s
+        self.min_replicas = min_replicas
+        self.max_replicas = (num_workers if max_replicas is None
+                             else min(max_replicas, num_workers))
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.respawn = respawn
+        self.preload = preload
+        self.host = host
+        self._requested_port = port
+
+        self.models: dict[str, _ModelState] = {}
+        for spec in models:
+            key = route_key(spec)
+            self.models[spec.name] = _ModelState(
+                spec=spec, key=key, replicas=self.replicas_per_model)
+
+        self.ring = HashRing()
+        self.http = HttpServer(self._handle, host=host, port=port)
+        self.pool = ConnectionPool()
+        self.blobs: BlobStore | None = None
+        self.manager: WorkerManager | None = None
+        self._load_locks: dict[tuple[str, str], asyncio.Lock] = {}
+        self._background: list[asyncio.Task] = []
+        self._running = False
+        self._closing = False
+        self.evictions = 0
+        self.respawns = 0
+        self.autoscale_events = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> "PumaFleet":
+        if self._running:
+            return self
+        self.work_dir.mkdir(parents=True, exist_ok=True)
+        self.blobs = BlobStore(self.work_dir / "store")
+        await self.http.start()
+        self.manager = WorkerManager(
+            str(self.work_dir / "workers"),
+            store_address=(self.host, self.http.port),
+            max_batch_size=self.max_batch_size,
+            batch_window_s=self.batch_window_s, host=self.host)
+        await self.manager.spawn_many(self.num_workers)
+        for worker_id in self.manager.workers:
+            self.ring.add(worker_id)
+        for state in self.models.values():
+            state.dispatchers = [
+                asyncio.create_task(self._dispatch_loop(state))
+                for _ in range(self.dispatch_concurrency)]
+        self._running = True
+        if self.preload:
+            for state in self.models.values():
+                for handle in self._placement(state):
+                    await self._ensure_loaded(state, handle)
+        self._background = [
+            asyncio.create_task(self._health_loop()),
+        ]
+        if self.autoscale:
+            self._background.append(
+                asyncio.create_task(self._autoscale_loop()))
+        return self
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Drain, then dismantle — queued work finishes unless told not to."""
+        if not self._running:
+            return
+        self._closing = True
+        if drain:
+            deadline = time.monotonic() + PREDICT_TIMEOUT_S
+            while any(state.queue.qsize() or state.inflight
+                      for state in self.models.values()):
+                if time.monotonic() > deadline:     # pragma: no cover
+                    break
+                await asyncio.sleep(0.01)
+        for state in self.models.values():
+            while not state.queue.empty():
+                pending = state.queue.get_nowait()
+                if not pending.future.done():
+                    pending.future.set_exception(FleetError(
+                        "fleet stopped before this request was served"))
+        await _cancel_and_wait(
+            self._background
+            + [t for s in self.models.values() for t in s.dispatchers])
+        if self.manager is not None:
+            await self.manager.close(drain=drain)
+        await self.pool.close()
+        await self.http.close()
+        self._running = False
+
+    async def __aenter__(self) -> "PumaFleet":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    @property
+    def url(self) -> str:
+        return self.http.url
+
+    # -- placement ----------------------------------------------------------
+
+    def _placement(self, state: _ModelState) -> list[WorkerHandle]:
+        """The model's current replica set, healthiest-first subset."""
+        chosen = self.ring.replicas(state.key, state.replicas)
+        return [self.manager.workers[w] for w in chosen
+                if w in self.manager.workers
+                and self.manager.workers[w].healthy]
+
+    async def _ensure_loaded(self, state: _ModelState,
+                             handle: WorkerHandle) -> None:
+        """Idempotently host the model on one worker (serialized)."""
+        if state.key in handle.hosted:
+            return
+        lock = self._load_locks.setdefault(
+            (handle.worker_id, state.key), asyncio.Lock())
+        async with lock:
+            if state.key in handle.hosted:
+                return
+            body = json.dumps({"spec": state.spec.to_dict(),
+                               "route_key": state.key}).encode()
+            response = await self.pool.request(
+                handle.host, handle.port, "POST", "/v1/models", body=body,
+                headers={"Content-Type": "application/json"},
+                timeout=LOAD_TIMEOUT_S)
+            if response.status != 200:
+                raise FleetError(
+                    f"{handle.worker_id} refused to load "
+                    f"{state.spec.name}: {response.status} "
+                    f"{response.body[:200]!r}")
+            handle.hosted.add(state.key)
+
+    # -- dispatch -----------------------------------------------------------
+
+    async def predict(self, model: str, inputs: dict[str, Any],
+                      timeout: float = PREDICT_TIMEOUT_S) -> dict:
+        """Run one inference through the fleet; the worker's JSON reply.
+
+        ``inputs`` maps input names to 1-D float vectors (lists or
+        arrays).  The reply carries ``outputs`` (floats), ``words``
+        (fixed-point ints, the bitwise ground truth), ``worker``, and
+        ``execution``.  Raises :class:`FleetError` on permanent failure
+        and :class:`KeyError` for an unknown model name.
+        """
+        if not self._running or self._closing:
+            raise FleetError("fleet is not accepting requests "
+                             "(stopped or draining)")
+        state = self.models[model]
+        wire_inputs = {name: np.asarray(values, dtype=np.float64).tolist()
+                       for name, values in inputs.items()}
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        state.queue.put_nowait(_Pending(
+            inputs=wire_inputs, future=future,
+            enqueued_at=time.monotonic()))
+        return await asyncio.wait_for(future, timeout)
+
+    async def _dispatch_loop(self, state: _ModelState) -> None:
+        while True:
+            pending = await state.queue.get()
+            state.inflight += 1
+            try:
+                result = await self._dispatch_one(state, pending)
+                if not pending.future.done():
+                    pending.future.set_result(result)
+                state.served += 1
+            except asyncio.CancelledError:
+                if not pending.future.done():
+                    pending.future.set_exception(FleetError(
+                        "fleet dispatcher cancelled mid-request"))
+                raise
+            except Exception as error:  # noqa: BLE001 - fail that request
+                state.failed += 1
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        error if isinstance(error, FleetError)
+                        else FleetError(f"{type(error).__name__}: {error}"))
+            finally:
+                state.inflight -= 1
+
+    async def _dispatch_one(self, state: _ModelState,
+                            pending: _Pending) -> dict:
+        """Route one request; retry transient failures on other replicas."""
+        body = json.dumps({"route_key": state.key,
+                           "inputs": pending.inputs}).encode()
+        tried: set[str] = set()
+        last_error: str = "no healthy replica available"
+        for attempt in range(self.max_attempts):
+            handle = self._pick_replica(state, tried)
+            if handle is None:
+                # Everything tried or unhealthy: wait for health/respawn
+                # to restore a replica, then widen the search again.
+                await asyncio.sleep(0.05 * (attempt + 1))
+                tried.clear()
+                handle = self._pick_replica(state, tried)
+                if handle is None:
+                    continue
+            tried.add(handle.worker_id)
+            try:
+                await self._ensure_loaded(state, handle)
+                response = await self.pool.request(
+                    handle.host, handle.port, "POST", "/v1/predict",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                    timeout=PREDICT_TIMEOUT_S)
+            except (FleetConnectionError, FleetError) as error:
+                # Transport failure or failed load: this replica may be
+                # dying — flag it for the health loop and go elsewhere.
+                handle.consecutive_failures += 1
+                await self.pool.forget(handle.host, handle.port)
+                last_error = str(error)
+                state.retries += 1
+                await asyncio.sleep(0.02 * 2 ** attempt)
+                continue
+            if response.status == 200:
+                return response.json()
+            if response.status == 400:
+                # The request itself is bad; no replica will differ.
+                raise FleetError(
+                    f"{state.spec.name}: rejected by {handle.worker_id}: "
+                    f"{_error_text(response)}")
+            if response.status == 409:
+                # Placement raced an eviction; reload on next attempt.
+                handle.hosted.discard(state.key)
+            last_error = f"{response.status} {_error_text(response)}"
+            state.retries += 1
+            await asyncio.sleep(0.02 * 2 ** attempt)
+        raise FleetError(
+            f"{state.spec.name}: no replica answered after "
+            f"{self.max_attempts} attempts (last error: {last_error})")
+
+    def _pick_replica(self, state: _ModelState,
+                      tried: set[str]) -> WorkerHandle | None:
+        placement = self._placement(state)
+        untried = [h for h in placement if h.worker_id not in tried]
+        if not untried:
+            return None
+        state.rr += 1
+        return untried[state.rr % len(untried)]
+
+    # -- background loops ---------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while not self._closing:
+            await asyncio.sleep(self.health_interval_s)
+            for worker_id, handle in list(self.manager.workers.items()):
+                if handle.alive and await probe_health(handle):
+                    handle.consecutive_failures = 0
+                    handle.healthy = True
+                    continue
+                handle.consecutive_failures += 1
+                if (handle.consecutive_failures >= self.health_failures
+                        or not handle.alive):
+                    handle.healthy = False
+                    await self._evict_and_respawn(worker_id, handle)
+
+    async def _evict_and_respawn(self, worker_id: str,
+                                 handle: WorkerHandle) -> None:
+        self.evictions += 1
+        self.ring.remove(worker_id)
+        self.manager.evict(worker_id)
+        await self.pool.forget(handle.host, handle.port)
+        if self.respawn and not self._closing \
+                and len(self.manager.workers) < self.num_workers:
+            try:
+                replacement = await self.manager.spawn()
+            except Exception:       # noqa: BLE001 - retried next tick
+                return
+            self.ring.add(replacement.worker_id)
+            self.respawns += 1
+
+    async def _autoscale_loop(self) -> None:
+        while not self._closing:
+            await asyncio.sleep(self.autoscale_interval_s)
+            for state in self.models.values():
+                delta = autoscale_decision(
+                    state.queue.qsize(), state.replicas,
+                    min_replicas=self.min_replicas,
+                    max_replicas=self.max_replicas,
+                    high_watermark=self.high_watermark,
+                    low_watermark=self.low_watermark)
+                if delta:
+                    state.replicas += delta
+                    self.autoscale_events += 1
+
+    # -- HTTP front door ----------------------------------------------------
+
+    async def _handle(self, request: HttpRequest) -> HttpResponse:
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return json_response({
+                "ok": self._running and not self._closing,
+                "workers": len(self.manager.workers) if self.manager else 0,
+                "models": sorted(self.models)})
+        if route == ("GET", "/v1/models"):
+            return json_response({"models": [
+                {"name": state.spec.name, "kind": state.spec.kind,
+                 "route_key": state.key, "replicas": state.replicas,
+                 "placement": [h.worker_id
+                               for h in self._placement(state)]}
+                for state in self.models.values()]})
+        if route == ("POST", "/v1/predict"):
+            return await self._handle_predict(request)
+        if route == ("GET", "/metrics"):
+            return json_response(await self.metrics())
+        if request.path.startswith(_ARTIFACT_PREFIX):
+            return await self._handle_artifact(request)
+        return error_response(404, f"no route {request.method} "
+                                   f"{request.path} on this gateway")
+
+    async def _handle_predict(self, request: HttpRequest) -> HttpResponse:
+        if self._closing or not self._running:
+            return error_response(503, "fleet is draining; "
+                                       "not accepting new requests")
+        payload = request.json()
+        model = payload.get("model")
+        inputs = payload.get("inputs")
+        if model not in self.models:
+            return error_response(
+                404, f"unknown model {model!r}; deployed: "
+                     f"{sorted(self.models)}")
+        if not isinstance(inputs, dict):
+            return error_response(400, "predict body needs an 'inputs' "
+                                       "object of float vectors")
+        try:
+            reply = await self.predict(model, inputs)
+        except FleetError as error:
+            return error_response(503, str(error))
+        except (TypeError, ValueError) as error:
+            return error_response(400, str(error))
+        return json_response(reply)
+
+    async def _handle_artifact(self, request: HttpRequest) -> HttpResponse:
+        key = request.path[len(_ARTIFACT_PREFIX):]
+        if request.method == "GET":
+            try:
+                found = self.blobs.get(key)
+            except NetworkArtifactError as error:
+                return error_response(400, str(error))
+            if found is None:
+                return error_response(404, f"no artifact blob for "
+                                           f"route key {key[:16]}…")
+            data, digest = found
+            return HttpResponse(
+                status=200,
+                headers={"Content-Type": "application/x-tar",
+                         SHA_HEADER: digest},
+                body=data)
+        if request.method == "PUT":
+            declared = request.headers.get(SHA_HEADER.lower())
+            if not declared:
+                return error_response(400, f"PUT requires the "
+                                           f"{SHA_HEADER} header")
+            try:
+                self.blobs.put(key, request.body, declared)
+            except NetworkArtifactError as error:
+                return error_response(400, str(error))
+            return json_response({"ok": True, "sha256": declared},
+                                 status=201)
+        return error_response(405, f"artifact plane supports GET/PUT, "
+                                   f"not {request.method}")
+
+    # -- observability ------------------------------------------------------
+
+    async def metrics(self) -> dict:
+        """Fleet counters + live per-worker ``/metrics`` snapshots."""
+        workers: dict[str, Any] = {}
+        for worker_id, handle in list(self.manager.workers.items()):
+            entry: dict[str, Any] = {
+                "port": handle.port, "healthy": handle.healthy,
+                "alive": handle.alive,
+                "hosted": sorted(handle.hosted)}
+            try:
+                response = await self.pool.request(
+                    handle.host, handle.port, "GET", "/metrics",
+                    timeout=5.0)
+                if response.status == 200:
+                    entry["metrics"] = response.json()
+            except FleetConnectionError:
+                entry["metrics"] = None
+            workers[worker_id] = entry
+        return {
+            "fleet": {
+                "workers": len(self.manager.workers),
+                "evictions": self.evictions,
+                "respawns": self.respawns,
+                "autoscale_events": self.autoscale_events,
+                "store_blobs": self.blobs.keys() if self.blobs else [],
+                "models": {
+                    state.spec.name: {
+                        "route_key": state.key,
+                        "replicas": state.replicas,
+                        "queue_depth": state.queue.qsize(),
+                        "inflight": state.inflight,
+                        "served": state.served,
+                        "failed": state.failed,
+                        "retries": state.retries,
+                    } for state in self.models.values()},
+            },
+            "workers": workers,
+        }
+
+
+async def _cancel_and_wait(tasks: list[asyncio.Task],
+                           poll_s: float = 0.2) -> None:
+    """Cancel tasks and wait until every one has actually finished.
+
+    A plain ``cancel() + gather()`` can hang forever on Python < 3.12:
+    ``asyncio.wait_for`` has a race where a cancellation arriving just
+    as the inner future completes is swallowed — the task keeps running
+    (state "cancelling") and the one-shot CancelledError is spent.  The
+    dispatch and health loops sit on ``wait_for``-based HTTP calls, so
+    they can lose a cancel this way and park on their next ``await``
+    for good.  Re-issuing ``cancel()`` re-delivers the exception, so
+    cancelling in a loop until ``asyncio.wait`` reports every task done
+    is guaranteed to converge.
+    """
+    pending = {task for task in tasks if not task.done()}
+    while pending:
+        for task in pending:
+            task.cancel()
+        _, pending = await asyncio.wait(pending, timeout=poll_s)
+
+
+def _error_text(response: HttpResponse) -> str:
+    try:
+        parsed = response.json()
+        if isinstance(parsed, dict) and "error" in parsed:
+            return str(parsed["error"])
+    except Exception:  # noqa: BLE001 - body may be anything
+        pass
+    return response.body[:200].decode("utf-8", "replace")

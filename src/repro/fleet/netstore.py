@@ -1,0 +1,213 @@
+"""Networked artifact store: warm starts as GET/PUT of verified blobs.
+
+:mod:`repro.store` made *pay once, serve many* work across processes on
+one machine; this module extends it across the network, the PR 5
+follow-up the roadmap names.  The unit of exchange is a **blob**: one
+artifact directory (``manifest.json`` + ``payload.pkl.gz`` +
+``programmed_state.npz``) packed into a single deterministic tar,
+addressed by the model's route key and accompanied everywhere by its
+SHA-256.
+
+Protocol (over the fleet's HTTP plane, served by the gateway):
+
+* ``GET /v1/artifacts/{route_key}`` — 200 with the tar bytes and an
+  ``X-Artifact-SHA256`` header (the digest recorded *at PUT time*, not
+  recomputed from disk — so on-disk corruption is detectable end to
+  end), or 404 when no blob exists for the key.
+* ``PUT /v1/artifacts/{route_key}`` — body is the tar,
+  ``X-Artifact-SHA256`` its digest.  The receiver re-hashes the body
+  and answers 400 on mismatch; on success the blob + digest sidecar
+  land atomically under the gateway's store directory.
+
+**Trust policy — verify, then verify again.**  A worker that pulls a
+blob (1) re-hashes the bytes against the transported digest, (2)
+refuses tar members with unsafe names, and (3) hands the unpacked
+directory to :func:`repro.store.load_artifact`, which re-verifies the
+manifest's own integrity hashes and fingerprint digests.  Any failure
+raises :class:`NetworkArtifactError` and the worker falls back to a
+cold compile — exactly the local store's *never a wrong answer, only a
+slower start* policy, now with a network in the middle.  (Like the
+local store, blobs are trusted caches within one deployment, not an
+interchange format: the payload is pickle.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import tarfile
+import tempfile
+from pathlib import Path
+
+from repro.store import MANIFEST_NAME
+
+# Only these files may travel in an artifact blob (tar is a container
+# format with room for mischief; allow exactly the artifact's contents).
+_MEMBER_NAMES = (MANIFEST_NAME, "payload.pkl.gz", "programmed_state.npz")
+BLOB_SUFFIX = ".tar"
+DIGEST_SUFFIX = ".sha256"
+SHA_HEADER = "X-Artifact-SHA256"
+
+
+class NetworkArtifactError(RuntimeError):
+    """A networked artifact failed verification or unpacking.
+
+    The network-transport analogue of :class:`repro.store.ArtifactError`:
+    raised for digest mismatches, malformed tars, unsafe member names,
+    or missing artifact files.  Receivers treat it as a cache miss.
+    """
+
+
+def blob_digest(data: bytes) -> str:
+    """The SHA-256 hex digest that accompanies a blob everywhere."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def pack_artifact_dir(path: str | Path) -> bytes:
+    """Pack one artifact directory into a deterministic tar blob.
+
+    Deterministic means byte-stable for identical file contents: fixed
+    member order, zeroed timestamps/ownership, no compression (the
+    payload inside is already gzipped).  Two workers that built the same
+    artifact produce the same blob — so concurrent PUTs for one route
+    key are idempotent.
+    """
+    root = Path(path)
+    if not (root / MANIFEST_NAME).is_file():
+        raise NetworkArtifactError(
+            f"{root}: not an artifact directory (no {MANIFEST_NAME})")
+    buffer = io.BytesIO()
+    with tarfile.open(fileobj=buffer, mode="w") as tar:
+        for name in _MEMBER_NAMES:
+            member_path = root / name
+            if not member_path.is_file():
+                raise NetworkArtifactError(
+                    f"{root}: artifact file {name} is missing")
+            info = tarfile.TarInfo(name=name)
+            info.size = member_path.stat().st_size
+            info.mtime = 0
+            info.uid = info.gid = 0
+            info.uname = info.gname = ""
+            info.mode = 0o644
+            with open(member_path, "rb") as handle:
+                tar.addfile(info, handle)
+    return buffer.getvalue()
+
+
+def unpack_artifact_blob(data: bytes, dest: str | Path,
+                         expected_sha256: str | None = None) -> Path:
+    """Verify and unpack a blob into ``dest`` (the artifact directory).
+
+    Args:
+        data: the tar bytes as received.
+        dest: target directory; written atomically (a temporary sibling
+            renamed into place), so a crashed unpack never leaves a
+            half-artifact for :func:`~repro.store.load_artifact` to
+            trip over.
+        expected_sha256: the transported digest; verified against the
+            actual bytes before anything is unpacked.
+
+    Raises:
+        NetworkArtifactError: digest mismatch, malformed tar, unexpected
+            or unsafe member names, or missing artifact files.
+    """
+    if expected_sha256 is not None:
+        actual = blob_digest(data)
+        if actual != expected_sha256:
+            raise NetworkArtifactError(
+                f"artifact blob fails its integrity hash (got {actual[:16]}…, "
+                f"expected {expected_sha256[:16]}…)")
+    target = Path(dest)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = Path(tempfile.mkdtemp(prefix=".netstore-", dir=target.parent))
+    try:
+        try:
+            with tarfile.open(fileobj=io.BytesIO(data), mode="r") as tar:
+                members = tar.getmembers()
+                names = [m.name for m in members]
+                if sorted(names) != sorted(_MEMBER_NAMES):
+                    raise NetworkArtifactError(
+                        f"artifact blob holds unexpected members {names!r} "
+                        f"(expected exactly {list(_MEMBER_NAMES)})")
+                for member in members:
+                    if not member.isfile():
+                        raise NetworkArtifactError(
+                            f"artifact member {member.name!r} is not a "
+                            f"regular file")
+                    with tar.extractfile(member) as source, \
+                            open(tmp / member.name, "wb") as sink:
+                        sink.write(source.read())
+        except tarfile.TarError as error:
+            raise NetworkArtifactError(
+                f"malformed artifact blob: {error}") from error
+        if target.exists():
+            import shutil
+
+            shutil.rmtree(target, ignore_errors=True)
+        os.replace(tmp, target)
+    except BaseException:
+        import shutil
+
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return target
+
+
+class BlobStore:
+    """The gateway's on-disk blob shelf: route key -> (tar, digest).
+
+    Each blob is two files under ``root``: ``{key}.tar`` (the bytes) and
+    ``{key}.sha256`` (the digest recorded when the blob was accepted).
+    The sidecar is the source of truth for :meth:`get`'s digest — serving
+    the digest of whatever is on disk would mask disk corruption, which
+    the fleet's failure-path tests deliberately exercise.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise NetworkArtifactError(
+                f"invalid artifact key {key!r} (route keys are lowercase "
+                f"hex digests)")
+        return (self.root / f"{key}{BLOB_SUFFIX}",
+                self.root / f"{key}{DIGEST_SUFFIX}")
+
+    def has(self, key: str) -> bool:
+        blob_path, digest_path = self._paths(key)
+        return blob_path.is_file() and digest_path.is_file()
+
+    def put(self, key: str, data: bytes, expected_sha256: str) -> str:
+        """Accept a blob after re-hashing it; returns the digest."""
+        actual = blob_digest(data)
+        if actual != expected_sha256:
+            raise NetworkArtifactError(
+                f"refusing artifact {key[:16]}…: body hash {actual[:16]}… "
+                f"does not match declared {expected_sha256[:16]}…")
+        blob_path, digest_path = self._paths(key)
+        tmp = blob_path.with_name(blob_path.name + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, blob_path)
+        tmp = digest_path.with_name(digest_path.name + ".tmp")
+        tmp.write_text(actual)
+        os.replace(tmp, digest_path)
+        return actual
+
+    def get(self, key: str) -> tuple[bytes, str] | None:
+        """The blob bytes + their *recorded* digest, or ``None``.
+
+        Deliberately does **not** re-verify here: the recorded digest
+        travels with the bytes so the *receiver* catches corruption —
+        whether it happened on this disk or on the wire.
+        """
+        blob_path, digest_path = self._paths(key)
+        if not blob_path.is_file() or not digest_path.is_file():
+            return None
+        return blob_path.read_bytes(), digest_path.read_text().strip()
+
+    def keys(self) -> list[str]:
+        return sorted(p.name[:-len(BLOB_SUFFIX)]
+                      for p in self.root.glob(f"*{BLOB_SUFFIX}"))

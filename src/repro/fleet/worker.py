@@ -1,0 +1,359 @@
+"""The fleet worker: one process, one HTTP plane, N hosted models.
+
+A worker is a separate OS process (spawned by
+:class:`repro.fleet.manager.WorkerManager`) running one asyncio loop
+that serves a small HTTP API on an OS-assigned port:
+
+* ``GET /healthz`` — liveness + which route keys are hosted;
+* ``GET /metrics`` — per-model :meth:`PumaServer.stats` (batching
+  counters plus the tape/compile/artifact cache counters) and the
+  worker's network-store pull/push/rejection counters;
+* ``POST /v1/models`` — host a model: **warm path** first (GET the
+  artifact blob for the route key from the gateway's networked store,
+  verify, unpack, :meth:`InferenceEngine.from_artifacts`), falling back
+  to a **cold build** (compile + program + record, then PUT the packed
+  artifact back so the *next* cold worker warm-starts);
+* ``POST /v1/predict`` — submit one inference to the hosted model's
+  :class:`~repro.serve.PumaServer` (micro-batching happens here, per
+  worker, exactly as in single-process serving);
+* ``POST /v1/shutdown`` — graceful drain: every hosted server finishes
+  its queue, then the process exits.
+
+Every hosted model is a full ``PumaServer`` over a deterministic
+:func:`~repro.fleet.models.build_engine` engine, so a worker's answers
+are bitwise-identical to any other replica's — the property that makes
+the gateway's retry-on-another-replica safe.
+
+Engine construction (compile, crossbar programming, tape recording) runs
+in a thread so ``/healthz`` stays responsive while a model loads.
+Workers are started with the ``spawn`` method, **not** ``fork``: a
+forked worker would inherit the parent's in-process compile/state/tape
+caches copy-on-write, silently turning every "cold" start warm and
+masking exactly the networked-store behavior the fleet exists to
+provide (and that its tests verify).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+
+from repro.fleet.http import (
+    FleetConnectionError,
+    HttpConnection,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    error_response,
+    json_response,
+)
+from repro.fleet.models import FleetModelError, FleetModelSpec, build_engine
+from repro.fleet.netstore import (
+    SHA_HEADER,
+    NetworkArtifactError,
+    blob_digest,
+    pack_artifact_dir,
+    unpack_artifact_blob,
+)
+from repro.store import ArtifactError
+
+# Artifact blobs are multi-MB; give transfers more room than a health
+# ping but still bounded (a wedged gateway must not wedge model loads).
+STORE_TIMEOUT_S = 60.0
+
+
+class _HostedModel:
+    """One model this worker serves: spec + engine + its PumaServer."""
+
+    def __init__(self, spec: FleetModelSpec, server,
+                 warm_start: bool, source: str) -> None:
+        self.spec = spec
+        self.server = server
+        self.warm_start = warm_start      # True: loaded from the network
+        self.source = source              # "network" | "cold"
+
+
+class FleetWorker:
+    """The in-process half of a worker (testable without multiprocessing).
+
+    Args:
+        worker_id: the gateway-assigned id (``w0``, ``w1``, …).
+        store_address: ``(host, port)`` of the gateway's artifact plane,
+            or ``None`` to always cold-build (standalone/testing).
+        work_dir: scratch directory for unpacked/saved artifacts.
+        max_batch_size / batch_window_s: per-model ``PumaServer`` tuning.
+    """
+
+    def __init__(self, worker_id: str,
+                 store_address: tuple[str, int] | None,
+                 work_dir: str, *, max_batch_size: int = 16,
+                 batch_window_s: float = 0.002,
+                 host: str = "127.0.0.1") -> None:
+        self.worker_id = worker_id
+        self.store_address = store_address
+        self.work_dir = work_dir
+        self.max_batch_size = max_batch_size
+        self.batch_window_s = batch_window_s
+        self.hosted: dict[str, _HostedModel] = {}
+        self.shutdown = asyncio.Event()
+        self.drain_on_shutdown = True
+        self.http = HttpServer(self.handle, host=host)
+        self._load_locks: dict[str, asyncio.Lock] = {}
+        self.store_pulls = 0
+        self.store_pushes = 0
+        self.store_rejections = 0
+
+    # -- request routing ----------------------------------------------------
+
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return json_response({"ok": True, "worker": self.worker_id,
+                                  "pid": os.getpid(),
+                                  "models": sorted(self.hosted)})
+        if route == ("GET", "/metrics"):
+            return json_response(self.metrics())
+        if route == ("POST", "/v1/models"):
+            return await self.handle_load(request)
+        if route == ("POST", "/v1/predict"):
+            return await self.handle_predict(request)
+        if route == ("POST", "/v1/shutdown"):
+            return self.handle_shutdown(request)
+        return error_response(404, f"no route {request.method} "
+                                   f"{request.path} on this worker")
+
+    def metrics(self) -> dict:
+        return {
+            "worker": self.worker_id,
+            "pid": os.getpid(),
+            "network_store": {"pulls": self.store_pulls,
+                              "pushes": self.store_pushes,
+                              "rejections": self.store_rejections},
+            "models": {
+                key: {"name": hosted.spec.name,
+                      "warm_start": hosted.warm_start,
+                      "source": hosted.source,
+                      "server": hosted.server.stats()}
+                for key, hosted in self.hosted.items()},
+        }
+
+    # -- model loading (network warm start, cold fallback) ------------------
+
+    async def _pull_blob(self, key: str) -> tuple[bytes, str] | None:
+        """Fetch the blob for ``key`` from the gateway store, or ``None``."""
+        if self.store_address is None:
+            return None
+        connection = HttpConnection(*self.store_address)
+        try:
+            response = await connection.request(
+                "GET", f"/v1/artifacts/{key}", timeout=STORE_TIMEOUT_S)
+        except FleetConnectionError:
+            return None
+        finally:
+            await connection.close()
+        if response.status != 200:
+            return None
+        self.store_pulls += 1
+        return response.body, response.headers.get(SHA_HEADER.lower(), "")
+
+    async def _push_blob(self, key: str, data: bytes) -> None:
+        if self.store_address is None:
+            return
+        connection = HttpConnection(*self.store_address)
+        try:
+            response = await connection.request(
+                "PUT", f"/v1/artifacts/{key}", body=data,
+                headers={SHA_HEADER: blob_digest(data)},
+                timeout=STORE_TIMEOUT_S)
+            if response.status in (200, 201):
+                self.store_pushes += 1
+        except FleetConnectionError:
+            pass          # best-effort: the artifact still exists locally
+        finally:
+            await connection.close()
+
+    async def load_model(self, key: str, spec: FleetModelSpec) -> dict:
+        """Host ``spec`` under route key ``key`` (idempotent).
+
+        Warm path: pull the blob, verify its transport hash, unpack, and
+        re-validate through :func:`repro.store.load_artifact` inside
+        ``from_artifacts``.  *Any* failure along that chain — missing
+        blob, hash mismatch, corrupt tar, manifest rejection — counts a
+        rejection (when a blob existed) and falls back to the cold
+        build, which then publishes a fresh blob for later workers.
+        """
+        lock = self._load_locks.setdefault(key, asyncio.Lock())
+        async with lock:
+            if key in self.hosted:
+                hosted = self.hosted[key]
+                return {"ok": True, "already_loaded": True,
+                        "warm_start": hosted.warm_start,
+                        "source": hosted.source}
+            engine = None
+            source = "cold"
+            pulled = await self._pull_blob(key)
+            if pulled is not None:
+                data, sha = pulled
+                unpack_dir = os.path.join(self.work_dir, f"pulled-{key[:16]}")
+                try:
+                    unpack_artifact_blob(data, unpack_dir,
+                                         expected_sha256=sha or None)
+                    engine = await asyncio.to_thread(
+                        _engine_from_artifact, unpack_dir)
+                    source = "network"
+                except (NetworkArtifactError, ArtifactError):
+                    self.store_rejections += 1
+                    engine = None
+            if engine is None:
+                engine, artifact_path = await asyncio.to_thread(
+                    _engine_cold_build, spec,
+                    os.path.join(self.work_dir, "artifacts"),
+                    self.max_batch_size)
+                if artifact_path is not None:
+                    await self._push_blob(
+                        key, await asyncio.to_thread(
+                            pack_artifact_dir, artifact_path))
+            from repro.serve import PumaServer
+
+            server = PumaServer(engine,
+                                max_batch_size=self.max_batch_size,
+                                batch_window_s=self.batch_window_s)
+            await server.start()
+            self.hosted[key] = _HostedModel(
+                spec, server, warm_start=(source == "network"),
+                source=source)
+            return {"ok": True, "already_loaded": False,
+                    "warm_start": source == "network", "source": source}
+
+    async def handle_load(self, request: HttpRequest) -> HttpResponse:
+        payload = request.json()
+        try:
+            spec = FleetModelSpec.from_dict(payload.get("spec"))
+            key = payload.get("route_key")
+            if not isinstance(key, str) or not key:
+                raise FleetModelError("missing route_key")
+        except FleetModelError as error:
+            return error_response(400, str(error))
+        return json_response(await self.load_model(key, spec))
+
+    # -- inference ----------------------------------------------------------
+
+    async def handle_predict(self, request: HttpRequest) -> HttpResponse:
+        payload = request.json()
+        key = payload.get("route_key")
+        hosted = self.hosted.get(key) if isinstance(key, str) else None
+        if hosted is None:
+            # The gateway loads before dispatching; reaching here means a
+            # placement raced an eviction.  409 is retryable fleet-side.
+            return error_response(
+                409, f"model {key!r} is not hosted on {self.worker_id}")
+        inputs = payload.get("inputs")
+        if not isinstance(inputs, dict):
+            return error_response(400, "predict body needs an 'inputs' "
+                                       "object of float vectors")
+        try:
+            arrays = {name: np.asarray(values, dtype=np.float64)
+                      for name, values in inputs.items()}
+        except (TypeError, ValueError) as error:
+            return error_response(400, f"bad input vectors: {error}")
+        try:
+            result = await hosted.server.submit(arrays)
+        except ValueError as error:
+            return error_response(400, str(error))
+        except RuntimeError as error:
+            return error_response(503, str(error))     # draining/stopped
+        return json_response({
+            "model": hosted.spec.name,
+            "worker": self.worker_id,
+            "execution": result.execution,
+            "outputs": {name: np.asarray(values).tolist()
+                        for name, values in result.outputs.items()},
+            "words": {name: np.asarray(words).tolist()
+                      for name, words in result.words.items()},
+        })
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def handle_shutdown(self, request: HttpRequest) -> HttpResponse:
+        drain = True
+        if request.body:
+            try:
+                drain = bool(request.json().get("drain", True))
+            except Exception:
+                drain = True
+        self.drain_on_shutdown = drain
+        self.shutdown.set()
+        return json_response({"ok": True, "draining": drain})
+
+    async def start(self) -> "FleetWorker":
+        os.makedirs(self.work_dir, exist_ok=True)
+        await self.http.start()
+        return self
+
+    async def run_until_shutdown(self) -> None:
+        await self.shutdown.wait()
+        for hosted in self.hosted.values():
+            await hosted.server.stop(drain=self.drain_on_shutdown)
+        await self.http.close()
+
+    async def close(self) -> None:
+        """Immediate teardown (tests); prefer the shutdown endpoint."""
+        for hosted in self.hosted.values():
+            await hosted.server.stop(drain=False)
+        self.hosted.clear()
+        await self.http.close()
+
+
+def _engine_from_artifact(path: str):
+    """Thread-side warm start (blocking: hash, inflate, re-program)."""
+    from repro.engine import InferenceEngine
+
+    return InferenceEngine.from_artifacts(path)
+
+
+def _engine_cold_build(spec: FleetModelSpec, artifact_base: str,
+                       batch: int):
+    """Thread-side cold build: compile + program + record + save."""
+    engine = build_engine(spec, artifact_dir=artifact_base)
+    try:
+        artifact_path = engine.ensure_artifacts(batch=batch)
+    except ArtifactError:
+        artifact_path = None        # seed=None etc.: serve without a blob
+    return engine, artifact_path
+
+
+async def _worker_main(bootstrap: dict, conn) -> None:
+    worker = FleetWorker(
+        worker_id=bootstrap["worker_id"],
+        store_address=tuple(bootstrap["store_address"])
+        if bootstrap.get("store_address") else None,
+        work_dir=bootstrap["work_dir"],
+        max_batch_size=bootstrap.get("max_batch_size", 16),
+        batch_window_s=bootstrap.get("batch_window_s", 0.002),
+        host=bootstrap.get("host", "127.0.0.1"))
+    await worker.start()
+    conn.send({"ok": True, "port": worker.http.port, "pid": os.getpid()})
+    conn.close()
+    await worker.run_until_shutdown()
+
+
+def run_worker(bootstrap: dict, conn) -> None:
+    """Process entry point (must stay module-level picklable for spawn)."""
+    try:
+        asyncio.run(_worker_main(bootstrap, conn))
+    except KeyboardInterrupt:
+        pass
+
+
+def worker_bootstrap(worker_id: str, work_dir: str, *,
+                     store_address: tuple[str, int] | None = None,
+                     max_batch_size: int = 16,
+                     batch_window_s: float = 0.002,
+                     host: str = "127.0.0.1") -> dict:
+    """The picklable config dict :func:`run_worker` consumes."""
+    return {"worker_id": worker_id, "work_dir": work_dir,
+            "store_address": list(store_address) if store_address else None,
+            "max_batch_size": max_batch_size,
+            "batch_window_s": batch_window_s, "host": host}

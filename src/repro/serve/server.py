@@ -170,18 +170,40 @@ class PumaServer:
             self._batcher_task = asyncio.create_task(self._batch_loop())
         return self
 
-    async def stop(self) -> None:
-        """Graceful shutdown: serve everything already queued, then exit."""
+    async def stop(self, *, drain: bool = True) -> None:
+        """Shut down without abandoning anyone.
+
+        With ``drain=True`` (the default) every request already queued is
+        still served before the batching loop exits — shutdown is
+        invisible to clients that made it into the queue.  With
+        ``drain=False`` the in-flight micro-batch (the one already
+        executing on the engine) completes, but requests still waiting in
+        the queue fail immediately with a clear :class:`RuntimeError`
+        instead of being served — the fast path for tearing down a
+        misbehaving replica.
+
+        Either way the method guarantees **no pending future is ever
+        abandoned**: even if the batching loop died mid-batch (its
+        exception is re-raised here), every queued request has been
+        failed with the loop's error rather than left hanging.
+        """
         if self._batcher_task is None:
             return
         self._closed = True
+        if not drain:
+            self._fail_queued(RuntimeError(
+                "PumaServer stopped before this request was served "
+                "(stop(drain=False) fails queued requests; the in-flight "
+                "micro-batch still completes)"))
         self._queue.put_nowait(_STOP)
-        await self._batcher_task
-        self._batcher_task = None
-        self._queue = None
-        if self._sharded is not None:
-            self._sharded.close()
-            self._sharded = None
+        try:
+            await self._batcher_task
+        finally:
+            self._batcher_task = None
+            self._queue = None
+            if self._sharded is not None:
+                self._sharded.close()
+                self._sharded = None
 
     async def __aenter__(self) -> "PumaServer":
         return await self.start()
@@ -216,22 +238,62 @@ class PumaServer:
 
     async def _batch_loop(self) -> None:
         loop = asyncio.get_running_loop()
+        batch: list[_Pending] = []
+        try:
+            while True:
+                first = await self._queue.get()
+                if first is _STOP:
+                    if self._queue.empty():
+                        return
+                    # Requests raced in behind the sentinel: serve them,
+                    # then re-check.
+                    self._queue.put_nowait(_STOP)
+                    continue
+                batch = [first]
+                stopping = self._drain_into(batch)
+                if not stopping and len(batch) < self.max_batch_size:
+                    stopping = await self._wait_for_arrivals(loop, batch)
+                await self._serve_batch(batch)
+                batch = []
+                if stopping:
+                    self._queue.put_nowait(_STOP)
+        except BaseException as error:
+            # The loop itself crashed (not a per-batch engine error —
+            # _serve_batch contains those).  A dead loop must not leave
+            # clients awaiting futures that will never resolve: fail the
+            # claimed batch and everything still queued, then surface the
+            # error to stop().
+            failure = RuntimeError(
+                f"PumaServer batching loop crashed: "
+                f"{type(error).__name__}: {error}")
+            failure.__cause__ = error
+            for pending in batch:
+                self.counters.requests_failed += 1
+                if not pending.future.done():
+                    pending.future.set_exception(failure)
+            self._fail_queued(failure)
+            if isinstance(error, asyncio.CancelledError):
+                raise
+            raise failure from error
+
+    def _fail_queued(self, error: BaseException) -> None:
+        """Resolve every still-queued request with ``error`` (no hangs)."""
+        if self._queue is None:
+            return
+        requeue_stop = False
         while True:
-            first = await self._queue.get()
-            if first is _STOP:
-                if self._queue.empty():
-                    return
-                # Requests raced in behind the sentinel: serve them, then
-                # re-check.
-                self._queue.put_nowait(_STOP)
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is _STOP:
+                requeue_stop = True
                 continue
-            batch = [first]
-            stopping = self._drain_into(batch)
-            if not stopping and len(batch) < self.max_batch_size:
-                stopping = await self._wait_for_arrivals(loop, batch)
-            await self._serve_batch(batch)
-            if stopping:
-                self._queue.put_nowait(_STOP)
+            self.counters.requests_failed += 1
+            if not item.future.done():
+                item.future.set_exception(error)
+        if requeue_stop:
+            self._queue.put_nowait(_STOP)
 
     def _drain_into(self, batch: list) -> bool:
         """Move already-queued requests into ``batch`` (no waiting).
@@ -267,17 +329,22 @@ class PumaServer:
         return False
 
     async def _serve_batch(self, batch: list) -> None:
-        """One coalesced SIMD-over-batch pass; resolve every future."""
+        """One coalesced SIMD-over-batch pass; resolve every future.
+
+        Every failure mode inside the pass — stacking, the engine run,
+        lane slicing — resolves the riders' futures with the exception;
+        nothing escapes to kill the batching loop.
+        """
         loop = asyncio.get_running_loop()
-        stacked = {
-            name: np.stack([p.request.inputs[name] for p in batch])
-            for name in batch[0].request.inputs
-        }
         self.counters.batches_formed += 1
         self.counters.lanes_simulated += len(batch)
         runner = (self._sharded.predict if self._sharded is not None
                   else self.engine.predict)
         try:
+            stacked = {
+                name: np.stack([p.request.inputs[name] for p in batch])
+                for name in batch[0].request.inputs
+            }
             # The simulator pass is pure CPU; run it off-loop so new
             # requests keep queueing (and coalescing) while it executes.
             result = await loop.run_in_executor(None, runner, stacked)
@@ -291,3 +358,35 @@ class PumaServer:
             self.counters.requests_served += 1
             if not pending.future.done():
                 pending.future.set_result(result.lane(index))
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """One observable snapshot of this server's health.
+
+        Combines the per-server batching counters with the process-wide
+        cache counters every serving layer shares — the execution-tape
+        cache (recordings/replays/**fallbacks**), the compile cache
+        (hits/misses), and the artifact store (saves/loads/rejections) —
+        so an operator (or the fleet ``/metrics`` endpoint,
+        :mod:`repro.fleet`) can see cache health per worker without
+        poking process internals.
+        """
+        from repro.engine import compile_cache_info, tape_cache_info
+        from repro.store import store_info
+
+        return {
+            "requests_served": self.counters.requests_served,
+            "requests_failed": self.counters.requests_failed,
+            "batches_formed": self.counters.batches_formed,
+            "lanes_simulated": self.counters.lanes_simulated,
+            "mean_batch_size": self.counters.mean_batch_size,
+            "mean_occupancy": self.counters.mean_occupancy,
+            "max_batch_size": self.max_batch_size,
+            "queue_depth": (self._queue.qsize()
+                            if self._queue is not None else 0),
+            "running": self._batcher_task is not None and not self._closed,
+            "tape_cache": tape_cache_info()._asdict(),
+            "compile_cache": compile_cache_info()._asdict(),
+            "artifact_store": store_info()._asdict(),
+        }

@@ -126,3 +126,47 @@ class TestSuccessPaths:
         assert main(["disasm", graph_file]) == EXIT_OK
         assert main(["metrics"]) == EXIT_OK
         capsys.readouterr()
+
+
+@pytest.fixture()
+def deployment_file(tmp_path):
+    path = tmp_path / "deploy.json"
+    path.write_text(json.dumps([
+        {"name": "mlp", "kind": "mlp", "params": {"dims": [16, 8, 4]}},
+    ]))
+    return str(path)
+
+
+class TestFleetCommand:
+    def test_usage_errors(self, deployment_file, capsys):
+        assert main(["fleet", deployment_file,
+                     "--workers", "0"]) == EXIT_USAGE
+        assert main(["fleet", deployment_file,
+                     "--requests", "0"]) == EXIT_USAGE
+        assert main(["fleet", deployment_file,
+                     "--rate", "0"]) == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_missing_deployment_file(self, tmp_path, capsys):
+        assert main(["fleet", str(tmp_path / "nope.json")]) == EXIT_FAILURE
+        assert "nope.json" in capsys.readouterr().err
+
+    def test_malformed_deployment(self, tmp_path, capsys):
+        not_a_list = tmp_path / "bad.json"
+        not_a_list.write_text('{"name": "mlp"}')
+        assert main(["fleet", str(not_a_list)]) == EXIT_FAILURE
+        assert "non-empty JSON list" in capsys.readouterr().err
+
+        bad_kind = tmp_path / "kind.json"
+        bad_kind.write_text(json.dumps(
+            [{"name": "m", "kind": "transformer", "params": {}}]))
+        assert main(["fleet", str(bad_kind)]) == EXIT_FAILURE
+        assert "transformer" in capsys.readouterr().err
+
+    def test_fleet_trace_exits_zero(self, deployment_file, capsys):
+        """Happy path: real worker process, trace served, bitwise check."""
+        assert main(["fleet", deployment_file, "--workers", "1",
+                     "--requests", "4", "--time-scale", "0"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "4/4 ok" in out
+        assert "bitwise == local engine" in out

@@ -1,0 +1,325 @@
+"""Fleet end-to-end: real worker processes behind a real gateway.
+
+These tests spawn actual OS processes (multiprocessing ``spawn``) and
+talk to them over real sockets, asserting the fleet-level invariant of
+``docs/guarantees.md``:
+
+    a fleet response == a single-engine ``run_batch`` on the same
+    request, **bitwise on the output words** — for MLP/LSTM/CNN, ideal
+    and noisy crossbars, no matter which replica answers, including
+    after a worker is killed mid-trace and the request is retried.
+
+Plus the operational guarantees: a cold worker warm-starts from the
+networked artifact store without recompiling, graceful shutdown drains
+with zero dropped requests, and queue-depth autoscaling widens a hot
+model's replica set.
+"""
+
+import asyncio
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetModelSpec, PumaFleet, build_engine
+from repro.fleet.http import ConnectionPool
+
+NOISY = {"write_noise_sigma": 0.05}
+
+# The full workload cross: every paper model class, ideal and noisy.
+SPECS = [
+    FleetModelSpec("mlp-ideal", "mlp", {"dims": [32, 24, 10]}, seed=3),
+    FleetModelSpec("mlp-noisy", "mlp", {"dims": [32, 24, 10]}, seed=3,
+                   crossbar=NOISY),
+    FleetModelSpec("lstm-ideal", "lstm",
+                   {"input_size": 8, "hidden_size": 12, "output_size": 6},
+                   seed=5),
+    FleetModelSpec("lstm-noisy", "lstm",
+                   {"input_size": 8, "hidden_size": 12, "output_size": 6},
+                   seed=5, crossbar=NOISY),
+    FleetModelSpec("cnn-ideal", "cnn_small", {}, seed=7),
+    FleetModelSpec("cnn-noisy", "cnn_small", {}, seed=7, crossbar=NOISY),
+]
+
+
+def run(coro, timeout=600.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+def request_inputs(spec: FleetModelSpec, request_seed: int):
+    """Deterministic float inputs for one request against ``spec``."""
+    rng = np.random.default_rng(request_seed)
+    if spec.kind == "mlp":
+        return {"x": rng.uniform(-1, 1, spec.params["dims"][0])}
+    if spec.kind in ("lstm", "rnn"):
+        size = spec.params["input_size"]
+        steps = spec.params.get("seq_len", 2)
+        return {f"x{i}": rng.uniform(-1, 1, size) for i in range(steps)}
+    return {"image": rng.uniform(-1, 1, 64)}           # cnn_small
+
+
+@pytest.fixture(scope="module")
+def references():
+    """Local single-engine reference words per (model, request seed)."""
+    engines = {spec.name: build_engine(spec) for spec in SPECS}
+
+    def reference(spec: FleetModelSpec, request_seed: int):
+        result = engines[spec.name].predict(
+            request_inputs(spec, request_seed))
+        return {name: words.tolist() for name, words in result.items()}
+
+    return reference
+
+
+class TestFleetBitwise:
+    def test_all_models_bitwise_and_network_warm_start(self, tmp_path,
+                                                       references):
+        """The tentpole assertion: 6 models, 2 workers, bitwise replies.
+
+        Every model is placed on both workers (replicas=2), so each
+        model cold-builds on one worker and **must** warm-start over the
+        network on the other — which the worker metrics then prove
+        (loads from the network, zero compile-cache misses).
+        """
+        async def main():
+            async with PumaFleet(SPECS, num_workers=2,
+                                 replicas_per_model=2,
+                                 work_dir=str(tmp_path),
+                                 max_batch_size=4,
+                                 health_interval_s=1.0) as fleet:
+                for spec in SPECS:
+                    replies = await asyncio.gather(*(
+                        fleet.predict(spec.name,
+                                      request_inputs(spec, seed))
+                        for seed in (11, 12, 13)))
+                    for seed, reply in zip((11, 12, 13), replies):
+                        assert reply["words"] == references(spec, seed), \
+                            f"{spec.name} words differ from the " \
+                            f"single-engine reference (seed {seed})"
+
+                metrics = await fleet.metrics()
+                sources: dict[str, list[str]] = {}
+                for worker in metrics["workers"].values():
+                    worker_metrics = worker.get("metrics")
+                    assert worker_metrics is not None
+                    for key, hosted in worker_metrics["models"].items():
+                        sources.setdefault(key, []).append(
+                            hosted["source"])
+                        assert hosted["warm_start"] == \
+                            (hosted["source"] == "network")
+                # 6 models x 2 replicas on 2 workers: each model built
+                # cold exactly once; its second copy came over the wire.
+                assert len(sources) == len(SPECS)
+                for key, seen in sources.items():
+                    assert sorted(seen) == ["cold", "network"], \
+                        f"model {key[:12]} replicas loaded via {seen}"
+                blobs = metrics["fleet"]["store_blobs"]
+                assert len(blobs) == len(SPECS)
+
+        run(main())
+
+    def test_restarted_fleet_warm_starts_without_recompiling(
+            self, tmp_path, references):
+        """A brand-new fleet on the same store never recompiles.
+
+        The blob store lives on disk under ``work_dir``, so a second
+        fleet started over the same directory spawns **fresh** worker
+        processes (``spawn``, empty caches) that must warm-start every
+        model over the network.  The worker's process-global compile
+        cache proves it: zero misses means the compiler never ran.
+        """
+        specs = [SPECS[1], SPECS[2]]        # mlp-noisy + lstm-ideal
+
+        async def main():
+            async with PumaFleet(specs, num_workers=1,
+                                 work_dir=str(tmp_path),
+                                 max_batch_size=4) as fleet:
+                for spec in specs:
+                    reply = await fleet.predict(
+                        spec.name, request_inputs(spec, 31))
+                    assert reply["words"] == references(spec, 31)
+
+            async with PumaFleet(specs, num_workers=1,
+                                 work_dir=str(tmp_path),
+                                 max_batch_size=4) as fleet:
+                for spec in specs:
+                    reply = await fleet.predict(
+                        spec.name, request_inputs(spec, 31))
+                    assert reply["words"] == references(spec, 31)
+                metrics = await fleet.metrics()
+                (worker,) = metrics["workers"].values()
+                hosted = worker["metrics"]["models"]
+                assert len(hosted) == len(specs)
+                for entry in hosted.values():
+                    assert entry["source"] == "network"
+                    assert entry["warm_start"]
+                    # Process-global counter: the whole worker process
+                    # never compiled anything.
+                    assert entry["server"]["compile_cache"]["misses"] == 0
+                    assert entry["server"]["artifact_store"]["loads"] >= 1
+
+        run(main())
+
+    def test_front_door_http_predict(self, tmp_path, references):
+        """The HTTP path end to end: client -> gateway -> worker."""
+        spec = SPECS[0]
+
+        async def main():
+            async with PumaFleet([spec], num_workers=1,
+                                 work_dir=str(tmp_path),
+                                 max_batch_size=4) as fleet:
+                pool = ConnectionPool()
+                try:
+                    inputs = {name: values.tolist() for name, values
+                              in request_inputs(spec, 21).items()}
+                    response = await pool.request(
+                        fleet.host, fleet.http.port, "POST",
+                        "/v1/predict",
+                        body=json.dumps({"model": spec.name,
+                                         "inputs": inputs}).encode(),
+                        timeout=120.0)
+                    assert response.status == 200
+                    assert response.json()["words"] == \
+                        references(spec, 21)
+
+                    response = await pool.request(
+                        fleet.host, fleet.http.port, "GET", "/v1/models")
+                    listed = response.json()["models"]
+                    assert [m["name"] for m in listed] == [spec.name]
+                    assert listed[0]["placement"]
+
+                    response = await pool.request(
+                        fleet.host, fleet.http.port, "POST",
+                        "/v1/predict",
+                        body=json.dumps({"model": "nope",
+                                         "inputs": {}}).encode())
+                    assert response.status == 404
+                finally:
+                    await pool.close()
+
+        run(main())
+
+
+class TestFleetFailurePaths:
+    def test_worker_killed_mid_trace_retries_bitwise(self, tmp_path,
+                                                     references):
+        """Kill a replica while a trace is in flight.
+
+        Every request must still complete, every reply must still be
+        bitwise-identical to the single-engine reference (the retried
+        requests ran on a *different* replica — determinism is what
+        makes that safe), and the health loop must evict + respawn.
+        """
+        spec = SPECS[0]
+
+        async def main():
+            async with PumaFleet([spec], num_workers=2,
+                                 replicas_per_model=2,
+                                 work_dir=str(tmp_path),
+                                 max_batch_size=4,
+                                 health_interval_s=0.2,
+                                 health_failures=1,
+                                 max_attempts=4) as fleet:
+                seeds = list(range(100, 130))
+
+                async def one(seed):
+                    return seed, await fleet.predict(
+                        spec.name, request_inputs(spec, seed))
+
+                tasks = [asyncio.create_task(one(seed))
+                         for seed in seeds]
+                # Let a few complete, then kill one live replica.
+                await asyncio.sleep(0.3)
+                victim_id = next(iter(fleet.manager.workers))
+                fleet.manager.workers[victim_id].process.terminate()
+
+                replies = await asyncio.gather(*tasks)
+                assert len(replies) == len(seeds)
+                for seed, reply in replies:
+                    assert reply["words"] == references(spec, seed), \
+                        f"retried request (seed {seed}) diverged"
+
+                deadline = time.monotonic() + 60
+                while fleet.evictions < 1 and time.monotonic() < deadline:
+                    await asyncio.sleep(0.1)
+                assert fleet.evictions >= 1
+                deadline = time.monotonic() + 60
+                while fleet.respawns < 1 and time.monotonic() < deadline:
+                    await asyncio.sleep(0.1)
+                assert fleet.respawns >= 1
+                assert len(fleet.manager.workers) == 2
+                # And the fleet still answers, bitwise, after recovery.
+                reply = await fleet.predict(spec.name,
+                                            request_inputs(spec, 999))
+                assert reply["words"] == references(spec, 999)
+
+        run(main())
+
+    def test_graceful_stop_drains_zero_dropped(self, tmp_path,
+                                               references):
+        """stop(drain=True) serves everything already accepted."""
+        spec = SPECS[0]
+
+        async def main():
+            fleet = PumaFleet([spec], num_workers=2,
+                              replicas_per_model=2,
+                              work_dir=str(tmp_path),
+                              max_batch_size=4)
+            await fleet.start()
+            seeds = list(range(300, 324))
+            tasks = [asyncio.create_task(
+                fleet.predict(spec.name, request_inputs(spec, seed)))
+                for seed in seeds]
+            await asyncio.sleep(0)      # everything enqueued, none done
+            await fleet.stop(drain=True)
+            replies = await asyncio.gather(*tasks)
+            for seed, reply in zip(seeds, replies):
+                assert reply["words"] == references(spec, seed)
+            served = sum(s.served for s in fleet.models.values())
+            failed = sum(s.failed for s in fleet.models.values())
+            assert served == len(seeds)
+            assert failed == 0
+            # New work after the drain is refused, not dropped silently.
+            from repro.fleet import FleetError
+
+            with pytest.raises(FleetError, match="not accepting"):
+                await fleet.predict(spec.name, request_inputs(spec, 1))
+
+        run(main())
+
+
+class TestFleetAutoscale:
+    def test_queue_pressure_widens_replicas(self, tmp_path):
+        # The heavy model: noisy CNN predicts are slow enough that a
+        # flood keeps the queue deep across several autoscale ticks
+        # (a tiny MLP would drain before the first tick fired).
+        spec = SPECS[5]
+
+        async def main():
+            async with PumaFleet([spec], num_workers=2,
+                                 replicas_per_model=1,
+                                 work_dir=str(tmp_path),
+                                 max_batch_size=2,
+                                 dispatch_concurrency=2,
+                                 autoscale=True,
+                                 autoscale_interval_s=0.05,
+                                 high_watermark=2.0,
+                                 low_watermark=0.1) as fleet:
+                state = fleet.models[spec.name]
+                assert state.replicas == 1
+                tasks = [asyncio.create_task(
+                    fleet.predict(spec.name, request_inputs(spec, seed)))
+                    for seed in range(400, 416)]
+                # Sample while the flood is in flight: the autoscaler
+                # may legitimately scale back down once the queue empties.
+                peak_replicas = 1
+                pending = set(tasks)
+                while pending:
+                    _, pending = await asyncio.wait(pending, timeout=0.02)
+                    peak_replicas = max(peak_replicas, state.replicas)
+                await asyncio.gather(*tasks)
+                assert fleet.autoscale_events >= 1
+                assert peak_replicas >= 2
+
+        run(main())

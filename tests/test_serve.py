@@ -376,3 +376,130 @@ def test_no_direct_simulator_construction_outside_facade():
     assert not offenders, (
         "direct Simulator(...) construction outside repro/sim and "
         "repro/engine:\n" + "\n".join(offenders))
+
+
+# ---------------------------------------------------------------------------
+# Graceful shutdown: no request is ever abandoned
+
+
+class TestGracefulShutdown:
+    """stop() must never leave a client awaiting a future forever.
+
+    Three contracts (the PR-7 shutdown fix):
+
+    * ``stop(drain=True)`` serves everything queued (existing behavior);
+    * ``stop(drain=False)`` completes the in-flight micro-batch but fails
+      still-queued requests with a clear error, immediately;
+    * a crashed batching loop fails the claimed batch and everything
+      queued with the loop's error instead of hanging them.
+    """
+
+    def test_stop_without_drain_fails_queued_with_clear_error(self, engine):
+        n = 12
+
+        async def scenario():
+            server = await PumaServer(engine, max_batch_size=2,
+                                      batch_window_s=0.0).start()
+            xs = float_inputs(n, seed=7)
+            tasks = [asyncio.create_task(server.submit({"x": xs[i]}))
+                     for i in range(n)]
+            # Let the loop claim (at most) the first micro-batch, then
+            # abort while the rest are still queued.
+            await asyncio.sleep(0)
+            await server.stop(drain=False)
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            return outcomes, server.counters
+
+        outcomes, counters = serve(scenario())
+        served = [o for o in outcomes if isinstance(o, RunResult)]
+        failed = [o for o in outcomes if isinstance(o, Exception)]
+        assert len(served) + len(failed) == n     # nobody hangs
+        assert failed, "an immediate abort must fail the queued requests"
+        for error in failed:
+            assert isinstance(error, RuntimeError)
+            assert "stopped before this request was served" in str(error)
+        # Counters balance: every request is accounted for exactly once.
+        assert counters.requests_served == len(served)
+        assert counters.requests_failed == len(failed)
+
+    def test_stop_with_drain_serves_concurrent_stragglers(self, engine):
+        """Clients racing stop(drain=True) either get served or get the
+        not-running error at submit time — never a hang."""
+        n = 10
+
+        async def scenario():
+            server = await PumaServer(engine, max_batch_size=4,
+                                      batch_window_s=0.005).start()
+            xs = float_inputs(n, seed=3)
+
+            async def client(i):
+                await asyncio.sleep(0.0005 * i)
+                return await server.submit({"x": xs[i]})
+
+            tasks = [asyncio.create_task(client(i)) for i in range(n)]
+            await asyncio.sleep(0.001)
+            await server.stop()
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        outcomes = serve(scenario())
+        assert len(outcomes) == n
+        for outcome in outcomes:
+            assert isinstance(outcome, (RunResult, RuntimeError))
+            if isinstance(outcome, RuntimeError):
+                assert "not running" in str(outcome)
+
+    def test_crashed_batch_loop_fails_queued_not_hangs(self, engine):
+        class Boom(Exception):
+            pass
+
+        async def scenario():
+            server = await PumaServer(engine, max_batch_size=2,
+                                      batch_window_s=0.0).start()
+
+            async def explode(batch):
+                raise Boom("induced loop crash")
+
+            server._serve_batch = explode
+            xs = float_inputs(6, seed=1)
+            tasks = [asyncio.create_task(server.submit({"x": xs[i]}))
+                     for i in range(6)]
+            await asyncio.sleep(0)
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            with pytest.raises(RuntimeError, match="batching loop crashed"):
+                await server.stop()
+            return outcomes
+
+        outcomes = serve(scenario())
+        assert len(outcomes) == 6
+        for outcome in outcomes:
+            assert isinstance(outcome, RuntimeError)
+            assert "batching loop crashed" in str(outcome)
+
+
+# ---------------------------------------------------------------------------
+# Cache-health observability
+
+
+class TestServerStats:
+    def test_stats_expose_cache_counters(self, engine):
+        async def scenario():
+            async with PumaServer(engine, max_batch_size=4,
+                                  batch_window_s=0.01) as server:
+                xs = float_inputs(4, seed=9)
+                await asyncio.gather(
+                    *(server.submit({"x": xs[i]}) for i in range(4)))
+                return server.stats()
+
+        stats = serve(scenario())
+        assert stats["requests_served"] == 4
+        assert stats["batches_formed"] >= 1
+        # The process-wide cache counters ride along, so per-worker cache
+        # health is observable from the serving layer (fleet /metrics).
+        for section, fields in (
+                ("tape_cache", ("entries", "recordings", "replays",
+                                "fallbacks")),
+                ("compile_cache", ("hits", "misses", "entries")),
+                ("artifact_store", ("saves", "loads", "rejections"))):
+            assert set(fields) <= set(stats[section]), section
+            assert all(isinstance(stats[section][f], int) for f in fields)
+        assert stats["queue_depth"] == 0
