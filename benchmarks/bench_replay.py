@@ -1,20 +1,25 @@
-"""Trace-replay fast path: interpreter vs tape wall-clock on the hot path.
+"""Trace-replay fast path: interpreter vs plain replay vs optimized replay.
 
 The serving steady state is many ``run_batch`` calls against one compiled,
 programmed model.  PR 4's trace-replay engine records the resolved dynamic
 schedule once and replays it as a flat tape of pre-bound numpy operations
-(:mod:`repro.sim.tape`); this benchmark pins its three claims on the
+(:mod:`repro.sim.tape`); PR 8's optimizer compiles that tape into a
+shorter plan — dead stores eliminated, store→load forwarding, adjacent
+ops fused, independent MVMs batched into block BLAS calls
+(:mod:`repro.sim.tapeopt`).  This benchmark pins the claims on the
 mid-size MLP the sharding benchmark already uses:
 
-* **bitwise** — replayed output words equal the event-driven interpreter's
-  bit for bit, and the stats are field-identical (modelled cycles
-  *unchanged*: the tape replays the schedule, it does not re-model it);
+* **bitwise** — both replay paths produce output words equal to the
+  event-driven interpreter's bit for bit, and the stats are
+  field-identical (modelled cycles *unchanged*: the tape replays the
+  schedule, it does not re-model it);
 * **wall-clock speedup** — repeated batch-64 ``run_batch`` calls are
-  >= 2x faster replayed than interpreted (the CI floor; the PR-4 target
-  of >= 3x is what the measurement should show on an unloaded machine,
-  and the recorded JSON keeps the trajectory honest);
-* **machine-readable trail** — results land in ``BENCH_PR4.json`` next to
-  the repo's other perf artifacts so later PRs can compare.
+  >= 2x faster optimized than interpreted (the CI floor), and the
+  optimized plan is never slower than the plain tape it came from;
+* **machine-readable trail** — results land in ``BENCH_PR8.json`` next to
+  the repo's other perf artifacts so later PRs can compare (the trio of
+  wall times plus the optimizer's own report: stores eliminated, loads
+  forwarded, fused blocks, batched MVM groups).
 
 Run:  pytest benchmarks/bench_replay.py -q
 """
@@ -35,21 +40,25 @@ from repro.workloads.mlp import build_mlp_model
 DIMS = [256, 512, 512, 64]
 BATCH = 64
 REPEATS = 5
-# CI floor.  Deliberately below the >= 3x PR-4 target so a loaded shared
-# runner does not flake; the JSON records the real measurement.
+# CI floor for optimized-vs-interpreter.  Deliberately below what an
+# unloaded machine shows so a loaded shared runner does not flake; the
+# JSON records the real measurement.
 MIN_SPEEDUP = 2.0
+# The optimizer must never lose to the plain tape it was compiled from.
+MIN_SPEEDUP_VS_REPLAY = 1.0
 
-BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
 
 
 def _engines_and_batch():
     model = build_mlp_model(DIMS, seed=0)
-    replaying = InferenceEngine(model, seed=0)
+    optimizing = InferenceEngine(model, seed=0)  # auto -> optimized replay
+    replaying = InferenceEngine(model, seed=0, execution_mode="replay")
     interpreting = InferenceEngine(model, seed=0,
                                    execution_mode="interpret")
     rng = np.random.default_rng(0)
-    x = replaying.quantize(rng.normal(0.0, 0.5, size=(BATCH, DIMS[0])))
-    return replaying, interpreting, x
+    x = optimizing.quantize(rng.normal(0.0, 0.5, size=(BATCH, DIMS[0])))
+    return optimizing, replaying, interpreting, x
 
 
 def _best_of(run, x, repeats=REPEATS):
@@ -61,63 +70,103 @@ def _best_of(run, x, repeats=REPEATS):
     return best
 
 
+def _optimizer_report(engine):
+    """The optimization report of the engine's (single, shared) tape."""
+    tapes = list(engine.compiled.execution_tapes.values())
+    assert len(tapes) == 1, "one batch-generic tape expected"
+    plan = tapes[0].optimized
+    assert plan is not None and not isinstance(plan, str), \
+        f"tape not optimized: {plan!r}"
+    return plan.report.as_dict()
+
+
 def test_replay_speedup(once):
-    """Replay >= 2x over the interpreter at batch 64, bitwise identical."""
+    """Optimized replay >= 2x over the interpreter at batch 64, bitwise
+    identical, and never slower than the plain tape."""
 
     def measure():
-        replaying, interpreting, x = _engines_and_batch()
-        replaying.warm(batch=BATCH)  # records the tape up front
+        optimizing, replaying, interpreting, x = _engines_and_batch()
+        optimizing.warm(batch=BATCH)   # records + optimizes the tape
+        replaying.warm(batch=BATCH)
         interpreting.warm()
         reference = interpreting.run_batch({"x": x})
         replayed = replaying.run_batch({"x": x})
+        optimized = optimizing.run_batch({"x": x})
+        assert optimized.execution == "optimized"
         assert replayed.execution == "replay"
         assert reference.execution == "interpreter"
-        mismatch = not all(np.array_equal(replayed[name], reference[name])
-                           for name in reference)
+        mismatch = not all(
+            np.array_equal(optimized[name], reference[name])
+            and np.array_equal(replayed[name], reference[name])
+            for name in reference)
         t_interpreter = _best_of(interpreting.run_batch, x)
         t_replay = _best_of(replaying.run_batch, x)
+        t_optimized = _best_of(optimizing.run_batch, x)
         return {
             "mismatch": mismatch,
             "cycles_interpreter": reference.cycles,
             "cycles_replay": replayed.cycles,
-            "stats_equal": replayed.stats == reference.stats,
+            "cycles_optimized": optimized.cycles,
+            "stats_equal": (optimized.stats == reference.stats
+                            and replayed.stats == reference.stats),
             "t_interpreter_s": t_interpreter,
             "t_replay_s": t_replay,
+            "t_optimized_s": t_optimized,
+            "optimizer_report": _optimizer_report(optimizing),
             # Captured while the engines (and their compilation, which
             # the weak tape registry tracks) are still alive.
             "tape_cache": tape_cache_info()._asdict(),
         }
 
     m = once(measure)
-    speedup = m["t_interpreter_s"] / m["t_replay_s"]
+    speedup = m["t_interpreter_s"] / m["t_optimized_s"]
+    speedup_replay = m["t_interpreter_s"] / m["t_replay_s"]
+    vs_replay = m["t_replay_s"] / m["t_optimized_s"]
     print(f"\nbatch-{BATCH} MLP {DIMS}: interpreter "
-          f"{m['t_interpreter_s'] * 1e3:.1f} ms, replay "
-          f"{m['t_replay_s'] * 1e3:.1f} ms -> {speedup:.2f}x "
-          f"(modelled cycles {m['cycles_interpreter']} both paths)")
+          f"{m['t_interpreter_s'] * 1e3:.1f} ms, plain replay "
+          f"{m['t_replay_s'] * 1e3:.1f} ms, optimized "
+          f"{m['t_optimized_s'] * 1e3:.1f} ms -> {speedup:.2f}x over "
+          f"interpreter, {vs_replay:.2f}x over plain replay "
+          f"(modelled cycles {m['cycles_interpreter']} all paths)")
 
     assert not m["mismatch"], "replayed outputs differ from the interpreter"
     assert m["stats_equal"], "replayed stats differ from the interpreter"
     assert m["cycles_replay"] == m["cycles_interpreter"], \
         "replay must not change modelled cycles"
-    _write_record(m, speedup)
+    assert m["cycles_optimized"] == m["cycles_interpreter"], \
+        "the optimizer must not change modelled cycles"
+    assert m["tape_cache"]["optimizer_fallbacks"] == 0, \
+        "the optimizer fell back during the benchmark"
+    _write_record(m, speedup, speedup_replay, vs_replay)
     assert speedup >= MIN_SPEEDUP, (
-        f"replay speedup only {speedup:.2f}x (floor {MIN_SPEEDUP}x)")
+        f"optimized-replay speedup only {speedup:.2f}x "
+        f"(floor {MIN_SPEEDUP}x)")
+    assert vs_replay >= MIN_SPEEDUP_VS_REPLAY, (
+        f"optimized plan slower than the plain tape: {vs_replay:.2f}x")
 
 
-def _write_record(measurement: dict, speedup: float) -> None:
+def _write_record(measurement: dict, speedup: float,
+                  speedup_replay: float, vs_replay: float) -> None:
     record = {
         "benchmark": "bench_replay",
-        "pr": 4,
+        "pr": 8,
         "workload": {"model": "mlp", "dims": DIMS, "batch": BATCH},
         "interpreter_wall_s": measurement["t_interpreter_s"],
         "replay_wall_s": measurement["t_replay_s"],
-        "speedup": round(speedup, 3),
+        "optimized_wall_s": measurement["t_optimized_s"],
+        "speedup_optimized_vs_interpreter": round(speedup, 3),
+        "speedup_replay_vs_interpreter": round(speedup_replay, 3),
+        "speedup_optimized_vs_replay": round(vs_replay, 3),
         "min_speedup_asserted": MIN_SPEEDUP,
+        "min_speedup_vs_replay_asserted": MIN_SPEEDUP_VS_REPLAY,
         "modelled_cycles": measurement["cycles_interpreter"],
-        "modelled_cycles_unchanged": (measurement["cycles_replay"]
-                                      == measurement["cycles_interpreter"]),
+        "modelled_cycles_unchanged": (
+            measurement["cycles_replay"]
+            == measurement["cycles_optimized"]
+            == measurement["cycles_interpreter"]),
         "bitwise_identical": not measurement["mismatch"],
         "stats_field_identical": measurement["stats_equal"],
+        "optimizer_report": measurement["optimizer_report"],
         "tape_cache": measurement["tape_cache"],
         "host": {
             "cpus": os.cpu_count(),

@@ -84,7 +84,7 @@ np.savez(sys.argv[5], elapsed=np.array(elapsed),
 _WARM_CHILD = _CHILD_PROLOGUE + """\
 engine = InferenceEngine.from_artifacts(sys.argv[1])
 for batch in (int(b) for b in sys.argv[2].split(",")):
-    engine.warm(batch=batch)        # no-ops: the tapes came off disk
+    engine.warm(batch=batch)        # no-ops: the tape came off disk
 with np.load(sys.argv[3]) as data:
     inputs = {name: data[name] for name in data.files}
 result = engine.run_batch(inputs)
@@ -159,10 +159,11 @@ def test_store_cold_process_speedup(once):
         "warm-started outputs differ from the cold process"
     assert m["cycles_warm"] == m["cycles_cold"], \
         "modelled cycles must not depend on how the engine was built"
-    # Both sides serve the measured batch from a tape (the cold child
-    # recorded it during bring-up; the warm child loaded it).
-    assert m["execution_cold"] == "replay"
-    assert m["execution_warm"] == "replay"
+    # Both sides serve the measured batch from the optimized tape (the
+    # cold child recorded it during bring-up; the warm child loaded it,
+    # optimizer plan included).
+    assert m["execution_cold"] == "optimized"
+    assert m["execution_warm"] == "optimized"
     assert speedup >= MIN_SPEEDUP, (
         f"cold-process warm-start speedup {speedup:.2f}x below the "
         f"{MIN_SPEEDUP}x CI floor")

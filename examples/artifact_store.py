@@ -4,14 +4,15 @@ PUMA's premise is that inference cost is paid at configuration time and
 amortized across requests (Section 3.2.5).  The in-process caches
 amortize within one process; :mod:`repro.store` amortizes across
 *processes*: one engine serializes its compilation, programmed crossbar
-state, and recorded execution tapes into an on-disk artifact, and any
+state, and batch-generic execution tape (optimizer plan included)
+into an on-disk artifact, and any
 later process loads it back and serves **bitwise identically** — no
 compile, no programming pass, no tape recording.
 
 This example plays both roles in one script:
 
-1. the "warm" process: build an engine, pre-record tapes for the batch
-   sizes a server coalesces, and ``save_artifacts``;
+1. the "warm" process: build an engine, pre-record the tape (and the
+   serving batch size's timing stats), and ``save_artifacts``;
 2. the "cold replica": ``InferenceEngine.from_artifacts`` in a real
    subprocess, which verifies its outputs match the builder bit for bit
    and reports its time-to-first-result.

@@ -273,11 +273,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_warm(args: argparse.Namespace) -> int:
     """Pre-build the persistent artifact for a graph (cross-process warm).
 
-    Compiles, programs the crossbars, records an execution tape per
-    requested batch size, and writes the artifact keyed by
-    (model, config, crossbar model, seed) under ``--artifact-dir``.  A
-    later ``run``/``serve`` in a brand-new process pointed at the same
-    directory starts from that state instead of rebuilding it.
+    Compiles, programs the crossbars, records the batch-generic
+    execution tape with timing stats derived for every requested batch
+    size, and writes the artifact keyed by (model, config, crossbar
+    model, seed) under ``--artifact-dir``.  A later ``run``/``serve`` in
+    a brand-new process pointed at the same directory starts from that
+    state instead of rebuilding it.
     """
     from repro.store import store_info
 
@@ -293,7 +294,8 @@ def _cmd_warm(args: argparse.Namespace) -> int:
     print(f"artifact: {path}")
     print(f"programmed states: {len(engine.compiled.programmed_states)}, "
           f"execution tapes: {len(engine.compiled.execution_tapes)} "
-          f"(batches {', '.join(str(b) for b in batches)})")
+          f"(batch-generic; stats for batches "
+          f"{', '.join(str(b) for b in batches)})")
     print(f"artifact store: {store_info()}")
     return EXIT_OK
 

@@ -22,14 +22,21 @@ that pattern:
   bitwise identical for deterministic programs, for both ideal and noisy
   crossbar models (``tests/test_batched_engine.py`` enforces this);
 * steady-state runs take the **trace-replay fast path** by default: the
-  first simulation at a given (config, crossbar model, seed, batch)
-  records the resolved dynamic schedule as an execution tape
+  first simulation at a given (config, crossbar model, seed) records the
+  resolved dynamic schedule as a *batch-generic* execution tape
   (:mod:`repro.sim.tape`) cached on the :class:`CompiledModel`; every
-  later run replays the tape as a flat sequence of pre-bound numpy
-  operations — bitwise-identical outputs, field-identical stats, no event
-  queue.  Programs using the stochastic ``RANDOM`` op (and unseeded
-  engines) transparently fall back to the interpreter;
-  :func:`tape_cache_info` reports recordings/replays/fallbacks and
+  later run — at any batch size — replays the tape as a flat sequence of
+  pre-bound numpy operations, with batch-dependent timing derived on
+  demand by a shadow timing simulation.  By default the tape is further
+  compiled by the **tape optimizer** (:mod:`repro.sim.tapeopt`): dead
+  stores eliminated, store→load pairs forwarded to register moves,
+  adjacent same-shape ops fused into wide kernels, independent MVMs
+  batched into one stacked matmul — still bitwise-identical (a first-run
+  equivalence probe per batch enforces this, falling back to plain
+  replay on any mismatch).  Programs using the stochastic ``RANDOM`` op
+  (and unseeded engines) transparently fall back to the interpreter;
+  :func:`tape_cache_info` reports recordings/replays/optimized runs/
+  fallbacks, ``execution_mode="replay"`` disables the optimizer, and
   ``execution_mode="interpret"`` disables the fast path outright;
 * all of the above persists **across processes** through the artifact
   store (:mod:`repro.store`): ``artifact_dir=`` makes the engine
@@ -73,10 +80,17 @@ from repro.serve.types import RunResult
 from repro.sim.simulator import Simulator
 from repro.sim.stats import SimulationStats
 from repro.sim.tape import (
+    ExecutionTape,
     TapeRecorder,
     TapeReplayer,
     TapeValidationError,
     find_unsupported_op,
+)
+from repro.sim.tapeopt import (
+    OptimizedReplayer,
+    OptimizedTape,
+    TapeOptimizationError,
+    optimize_tape,
 )
 from repro.store import (
     MANIFEST_NAME,
@@ -94,14 +108,15 @@ from repro.store import (
 # every MVMU's levels + conductances — multi-MB for mid-size models).
 _PROGRAMMED_STATE_CAP = 8
 # Execution tapes kept per compiled model (one per distinct
-# (config, crossbar model, seed, batch); a tape holds the step list plus
-# one stats snapshot — small next to a programmed-state entry).
+# (config, crossbar model, seed); tapes are batch-generic, so one entry
+# serves every batch size — a tape holds the step list plus per-batch
+# stats snapshots, small next to a programmed-state entry).
 _EXECUTION_TAPE_CAP = 8
 # Bound replayers (node + pre-bound closures) kept per engine; the node's
 # (batch, words) arrays dominate, so keep only the recent batch sizes.
 _REPLAYER_CAP = 4
 
-EXECUTION_MODES = ("auto", "replay", "interpret")
+EXECUTION_MODES = ("auto", "replay", "optimized", "interpret")
 
 # model -> {config/options fingerprint -> CompiledModel}.  Weak keys: the
 # cache must not keep dead models (and their weight arrays) alive.
@@ -191,53 +206,99 @@ _tape_lock = threading.Lock()
 _tape_recordings = 0
 _tape_replays = 0
 _tape_fallbacks = 0
+_tape_optimized = 0
+_tape_optimizer_fallbacks = 0
+_tape_derived_stats = 0
 
 
 class TapeCacheInfo(NamedTuple):
     """Process-wide execution-tape statistics.
 
     Attributes:
-        entries: live tapes across all live compilations.
+        entries: live tapes across all live compilations.  Tape dicts
+            shared by replica engines (``ShardedEngine``, fleet workers on
+            one ``CompiledModel``) are counted once, not per replica.
         recordings: interpreter passes that recorded a tape (cache misses).
-        replays: runs served from a tape (cache hits).
+        replays: runs served from a tape — plain *and* optimized (every
+            optimized run is also a replay; ``optimized`` counts the
+            subset).
         fallbacks: runs that wanted the fast path but used the interpreter
             (stochastic RANDOM-op program, unseeded engine, or a tape that
             failed validation at replay time).
+        optimized: replays served by a fused/optimized execution plan.
+        optimizer_fallbacks: times the optimizer declined a tape, its plan
+            failed the structural self-check, or a first-replay
+            equivalence probe mismatched — the run fell back to the plain
+            replay path (still tape-served, never wrong).
+        derived_stats: batch sizes whose stats were derived by a shadow
+            timing simulation instead of a full recording pass.
     """
 
     entries: int
     recordings: int
     replays: int
     fallbacks: int
+    optimized: int
+    optimizer_fallbacks: int
+    derived_stats: int
 
 
 def tape_cache_info() -> TapeCacheInfo:
-    """Entries/recordings/replays/fallbacks of the execution-tape cache."""
+    """Entries/recordings/replays/fallback counters of the tape cache."""
     with _tape_lock:
-        entries = sum(len(compiled.execution_tapes)
-                      for compiled in _TAPE_MODELS.values())
-        return TapeCacheInfo(entries=entries, recordings=_tape_recordings,
-                             replays=_tape_replays, fallbacks=_tape_fallbacks)
+        # Replicas may share one execution_tapes dict across distinct
+        # CompiledModel wrappers; dedup by dict identity so shared tapes
+        # are not double-counted, and count only real tapes (a cleared or
+        # externally-mutated dict must not inflate the report).
+        seen: set[int] = set()
+        entries = 0
+        for compiled in _TAPE_MODELS.values():
+            tapes = compiled.execution_tapes
+            if id(tapes) in seen:
+                continue
+            seen.add(id(tapes))
+            entries += sum(1 for tape in tapes.values()
+                           if isinstance(tape, ExecutionTape))
+        return TapeCacheInfo(
+            entries=entries, recordings=_tape_recordings,
+            replays=_tape_replays, fallbacks=_tape_fallbacks,
+            optimized=_tape_optimized,
+            optimizer_fallbacks=_tape_optimizer_fallbacks,
+            derived_stats=_tape_derived_stats)
 
 
 def clear_tape_caches() -> None:
     """Drop every recorded tape on live compilations and reset counters."""
     global _tape_recordings, _tape_replays, _tape_fallbacks
+    global _tape_optimized, _tape_optimizer_fallbacks, _tape_derived_stats
     with _tape_lock:
         for compiled in _TAPE_MODELS.values():
             compiled.execution_tapes.clear()
         _tape_recordings = 0
         _tape_replays = 0
         _tape_fallbacks = 0
+        _tape_optimized = 0
+        _tape_optimizer_fallbacks = 0
+        _tape_derived_stats = 0
 
 
 def _count_tape_event(kind: str) -> None:
     global _tape_recordings, _tape_replays, _tape_fallbacks
+    global _tape_optimized, _tape_optimizer_fallbacks, _tape_derived_stats
     with _tape_lock:
         if kind == "recording":
             _tape_recordings += 1
         elif kind == "replay":
             _tape_replays += 1
+        elif kind == "optimized":
+            # An optimized run is a replay served by the fused plan: the
+            # replays counter stays the "tape-served runs" total.
+            _tape_replays += 1
+            _tape_optimized += 1
+        elif kind == "optimizer_fallback":
+            _tape_optimizer_fallbacks += 1
+        elif kind == "derived":
+            _tape_derived_stats += 1
         else:
             _tape_fallbacks += 1
 
@@ -255,17 +316,22 @@ class InferenceEngine:
             used for every run, so repeated calls see identically programmed
             crossbars — the property that makes batched and sequential
             executions comparable bit for bit.
-        execution_mode: ``"auto"`` (default) records an execution tape on
-            the first run per batch size and replays it afterwards, falling
-            back to the event-driven interpreter when the program cannot be
-            taped (stochastic RANDOM op, unseeded engine);
-            ``"replay"`` is the strict variant that raises ``ValueError``
-            for engines that can *never* replay instead of silently
-            falling back (recording passes — the first run at a batch
-            size, or the one after a tape is invalidated — are part of
-            the mode, exactly as in ``"auto"``); ``"interpret"`` always
-            runs the event-driven interpreter.  All three produce
-            bitwise-identical outputs and field-identical stats.
+        execution_mode: ``"auto"`` (default) records a batch-generic
+            execution tape on the first run, optimizes it
+            (:mod:`repro.sim.tapeopt`), and replays it afterwards at any
+            batch size, falling back to the event-driven interpreter when
+            the program cannot be taped (stochastic RANDOM op, unseeded
+            engine) and to plain replay when the tape cannot be optimized
+            or fails its equivalence probe; ``"optimized"`` is the strict
+            variant of ``"auto"`` that raises ``ValueError`` for engines
+            that can *never* replay; ``"replay"`` is strict like
+            ``"optimized"`` but never invokes the optimizer — every
+            replay runs the plain step-for-step tape (recording passes —
+            the first run, or the one after a tape is invalidated — are
+            part of both strict modes, exactly as in ``"auto"``);
+            ``"interpret"`` always runs the event-driven interpreter.
+            All four produce bitwise-identical outputs and
+            field-identical stats.
         artifact_dir: persistent artifact store directory
             (:mod:`repro.store`).  At construction the engine loads a
             matching artifact if one exists — skipping compilation,
@@ -312,10 +378,12 @@ class InferenceEngine:
         # The artifact path this engine already loaded or saved, so
         # repeated ensure_artifacts() calls (server + shard pool wiring)
         # don't re-hash and re-deserialize a multi-MB artifact per layer
-        # — plus which tape batch sizes that artifact holds *on disk*
-        # (an in-memory tape recorded after adoption still needs a save).
+        # — plus which batch sizes the on-disk tape carries stats for
+        # (stats derived after adoption still need a save), and whether
+        # an in-memory tape invalidation made the on-disk copy stale.
         self._adopted_artifact: Path | None = None
-        self._persisted_tape_batches: set[int] = set()
+        self._persisted_stats_batches: set[int] = set()
+        self._artifact_stale = False
         if compiled is not None:
             self.compiled = compiled
         else:
@@ -392,8 +460,15 @@ class InferenceEngine:
         engine's (config, crossbar model, seed) has no programmed state
         yet — e.g. the model was compiled in-process under a different
         seed — the store is still consulted for the state and tapes.
+
+        ``seed=None`` bypasses the store entirely, in both directions:
+        fresh-entropy state must not be frozen to disk
+        (:meth:`save_artifacts` raises) and, symmetrically, must never be
+        *served* from disk — an unseeded engine compiles fresh and runs
+        the interpreter, end of story.
         """
-        loader = self._try_load_store if self.artifact_dir is not None \
+        loader = self._try_load_store \
+            if self.artifact_dir is not None and self.seed is not None \
             else None
         compiled = compile_cached(self.model, self.config, self.options,
                                   loader=loader)
@@ -422,8 +497,13 @@ class InferenceEngine:
         except ArtifactError:
             return None
         self._adopted_artifact = path.resolve()
-        self._persisted_tape_batches = set(loaded.tapes)
+        self._persisted_stats_batches = self._tape_stats_batches(loaded.tape)
+        self._artifact_stale = False
         return loaded
+
+    @staticmethod
+    def _tape_stats_batches(tape: ExecutionTape | None) -> set[int]:
+        return set(tape.stats_by_batch) if tape is not None else set()
 
     def _try_load_store(self) -> CompiledModel | None:
         """Compile-cache loader hook: the artifact's compilation, with
@@ -434,14 +514,20 @@ class InferenceEngine:
         return self._adopt_loaded(loaded.compiled, loaded)
 
     def _adopt_loaded(self, compiled: CompiledModel, loaded) -> CompiledModel:
-        """Install a loaded artifact's caches under this engine's keys."""
-        state_key = self._fingerprint if self.seed is not None else None
+        """Install a loaded artifact's caches under this engine's keys.
+
+        An unseeded engine adopts nothing: persisted programmed state and
+        tapes would freeze exactly the entropy ``seed=None`` asks to stay
+        fresh (the load path already fails loudly on such artifacts; this
+        guard keeps in-process adoption honest too).
+        """
+        if self.seed is None:
+            return compiled
         with _tape_lock:
-            if state_key is not None:
-                compiled.programmed_states[state_key] = \
-                    loaded.programmed_state
-            for batch, tape in loaded.tapes.items():
-                compiled.execution_tapes[self._fingerprint + (batch,)] = tape
+            compiled.programmed_states[self._fingerprint] = \
+                loaded.programmed_state
+            if loaded.tape is not None:
+                compiled.execution_tapes[self._fingerprint] = loaded.tape
             _TAPE_MODELS[id(compiled)] = compiled
         return compiled
 
@@ -477,7 +563,7 @@ class InferenceEngine:
                      artifact_dir=artifact_dir)
         engine._adopt_loaded(engine.compiled, loaded)
         engine._adopted_artifact = Path(path).resolve()
-        engine._persisted_tape_batches = set(loaded.tapes)
+        engine._persisted_stats_batches = cls._tape_stats_batches(loaded.tape)
         return engine
 
     def save_artifacts(self, path: str | Path | None = None) -> Path:
@@ -485,11 +571,12 @@ class InferenceEngine:
 
         Warms first (a no-op when already warm), then writes the
         compilation, the programmed crossbar state for this engine's
-        (config, crossbar model, seed), and every execution tape recorded
-        at that key — so a later :meth:`from_artifacts` (or an
-        ``artifact_dir`` engine in a brand-new process) starts exactly
-        where this engine stands.  Record tapes you want persisted before
-        saving (``warm(batch=N)`` per serving batch size).
+        (config, crossbar model, seed), and the batch-generic execution
+        tape recorded at that key (with every batch size's derived stats)
+        — so a later :meth:`from_artifacts` (or an ``artifact_dir``
+        engine in a brand-new process) starts exactly where this engine
+        stands.  Record the tape and derive the stats you want persisted
+        before saving (``warm(batch=N)`` per serving batch size).
 
         Args:
             path: explicit artifact directory; defaults to the keyed slot
@@ -510,17 +597,16 @@ class InferenceEngine:
                 "would freeze")
         self.warm()
         state = self.compiled.programmed_states.get(self._state_key())
-        tapes = {key[-1]: tape
-                 for key, tape in self.compiled.execution_tapes.items()
-                 if key[:-1] == self._fingerprint}
+        tape = self.compiled.execution_tapes.get(self._fingerprint)
         target = Path(path) if path is not None else self._artifact_path()
         saved = save_artifact(
-            target, compiled=self.compiled, tapes=tapes,
+            target, compiled=self.compiled, tape=tape,
             programmed_state=state, config=self.config,
             options=self.options, crossbar_model=self.crossbar_model,
             seed=self.seed)
         self._adopted_artifact = saved.resolve()
-        self._persisted_tape_batches = set(tapes)
+        self._persisted_stats_batches = self._tape_stats_batches(tape)
+        self._artifact_stale = False
         return saved
 
     def ensure_artifacts(self, artifact_dir: str | Path | None = None, *,
@@ -554,14 +640,15 @@ class InferenceEngine:
         if self.artifact_dir is None:
             self.artifact_dir = base
         path = self._artifact_path(base)
-        adopted = path.resolve() == self._adopted_artifact
+        adopted = (path.resolve() == self._adopted_artifact
+                   and not self._artifact_stale)
         if adopted and (
                 batch is None or self._replay_blocker() is not None
-                or batch in self._persisted_tape_batches):
-            # Already loaded from (or saved to) this exact artifact, and
-            # the requested batch's tape is on disk (not merely recorded
-            # in memory) — don't re-hash and re-deserialize it per
-            # serving layer.
+                or batch in self._persisted_stats_batches):
+            # Already loaded from (or saved to) this exact artifact, the
+            # in-memory tape was not invalidated since, and the requested
+            # batch's stats are on disk (not merely derived in memory) —
+            # don't re-hash and re-deserialize it per serving layer.
             return path
         if not adopted and (path / MANIFEST_NAME).is_file():
             try:
@@ -572,8 +659,10 @@ class InferenceEngine:
             if loaded is not None:
                 self._adopt_loaded(self.compiled, loaded)
                 self._adopted_artifact = path.resolve()
-                self._persisted_tape_batches = set(loaded.tapes)
-                if batch is None or batch in loaded.tapes \
+                self._persisted_stats_batches = \
+                    self._tape_stats_batches(loaded.tape)
+                self._artifact_stale = False
+                if batch is None or batch in self._persisted_stats_batches \
                         or self._replay_blocker() is not None:
                     return path
         self.warm()
@@ -732,12 +821,14 @@ class InferenceEngine:
         when the state is already cached, or with ``seed=None`` (fresh
         entropy per run cannot be pre-programmed).
 
-        With ``batch`` the warm-up additionally records the execution tape
-        for that batch size (one interpreter pass over zero-filled inputs —
-        the schedule is input-independent), so the first real request at
-        that batch replays instead of recording.  Ignored when the engine
-        cannot replay (``execution_mode="interpret"``, RANDOM-op program,
-        or seed=None).
+        With ``batch`` the warm-up additionally guarantees tape coverage
+        for that batch size: the first call records the batch-generic
+        tape (one interpreter pass over zero-filled inputs — the schedule
+        is input-independent); later calls only derive that batch's
+        timing stats via a shadow simulation, which is how one tape comes
+        to serve the whole batch ladder.  Ignored when the engine cannot
+        replay (``execution_mode="interpret"``, RANDOM-op program, or
+        seed=None).
         """
         if self.seed is not None:
             if self._state_key() not in self.compiled.programmed_states:
@@ -746,16 +837,18 @@ class InferenceEngine:
                 # when the state is already cached (warm() is called once
                 # per batch rung by serving bring-up).
                 self._simulator(1)
-            if (batch is not None and self._replay_blocker() is None
-                    and self._tape_key(batch)
-                    not in self.compiled.execution_tapes):
-                zeros = {
-                    name: np.zeros((batch, length) if batch > 1
-                                   else (length,), dtype=np.int64)
-                    for name, (_tile, _addr, length)
-                    in self.program.input_layout.items()
-                }
-                self.run_batch(zeros)
+            if batch is not None and self._replay_blocker() is None:
+                tape = self.compiled.execution_tapes.get(self._fingerprint)
+                if tape is None:
+                    zeros = {
+                        name: np.zeros((batch, length) if batch > 1
+                                       else (length,), dtype=np.int64)
+                        for name, (_tile, _addr, length)
+                        in self.program.input_layout.items()
+                    }
+                    self.run_batch(zeros)
+                elif tape.stats_for(batch) is None:
+                    self._stats_for_batch(tape, batch)
         return self
 
     # -- trace replay ------------------------------------------------------
@@ -785,28 +878,34 @@ class InferenceEngine:
                 self.program, self.config)
         return self._depgraph
 
-    def _tape_key(self, batch: int) -> tuple:
-        """Tape cache key: the schedule is resolved per (configuration,
-        device model, seed, batch) — latencies are batch-dependent, so the
-        event interleaving and stats are too."""
-        return self._fingerprint + (batch,)
+    def _optimizer_enabled(self) -> bool:
+        """Whether this engine should fuse tapes into optimized plans."""
+        return self.execution_mode in ("auto", "optimized")
 
-    def _replayer(self, batch: int) -> TapeReplayer | None:
-        """The bound replayer for ``batch``, or ``None`` with no tape yet.
+    def _optimized_plan(self, tape: ExecutionTape) -> OptimizedTape | None:
+        """The tape's fused plan, building (and caching) it on first use.
 
-        Raises :class:`TapeValidationError` when a cached tape cannot be
-        bound to a fresh node (callers treat that as "re-record").
+        Returns ``None`` when the tape previously failed optimization or
+        runtime verification (the sentinel strings on ``tape.optimized``)
+        — plain replay keeps serving it, and the miss was already counted
+        when the sentinel was set.
         """
-        tape = self.compiled.execution_tapes.get(self._tape_key(batch))
-        replayer = self._replayers.get(batch)
-        if replayer is not None:
-            if replayer.tape is tape:
-                return replayer
-            # The cached tape was cleared or replaced (invalidation,
-            # clear_tape_caches): drop the stale binding and rebind below.
-            self._replayers.pop(batch, None)
-        if tape is None:
+        opt = tape.optimized
+        if isinstance(opt, OptimizedTape):
+            return opt
+        if opt is not None:  # "unoptimizable" / "failed-verification"
             return None
+        try:
+            plan = optimize_tape(tape, self._dependence_graph())
+        except TapeOptimizationError:
+            tape.optimized = "unoptimizable"
+            _count_tape_event("optimizer_fallback")
+            return None
+        tape.optimized = plan
+        return plan
+
+    def _fresh_node(self, batch: int) -> Node:
+        """An event-loop-free node for replay, reusing cached programming."""
         key = self._state_key()
         state = self.compiled.programmed_states.get(key) if key else None
         node = Node.for_program(
@@ -815,29 +914,133 @@ class InferenceEngine:
             batch=batch, programmed_state=state)
         if key is not None and state is None:
             self._harvest_programmed_state(key, node)
-        replayer = TapeReplayer(tape, node, self.program)
+        return node
+
+    def _replayer(self, batch: int) -> TapeReplayer | None:
+        """The bound replayer for ``batch``, or ``None`` with no tape yet.
+
+        Binds the tape's optimized plan (building it on first use) when
+        the optimizer is enabled, a plain :class:`TapeReplayer` otherwise.
+        Raises :class:`TapeValidationError` when a cached tape cannot be
+        bound to a fresh node (callers treat that as "re-record").
+        """
+        tape = self.compiled.execution_tapes.get(self._fingerprint)
+        if tape is None:
+            self._replayers.pop(batch, None)
+            return None
+        plan = (self._optimized_plan(tape)
+                if self._optimizer_enabled() else None)
+        replayer = self._replayers.get(batch)
+        if replayer is not None:
+            if (replayer.tape is tape
+                    and (replayer.optimized is plan
+                         if isinstance(replayer, OptimizedReplayer)
+                         else plan is None)):
+                return replayer
+            # The cached tape or its plan was cleared or replaced
+            # (invalidation, clear_tape_caches, a failed equivalence
+            # probe): drop the stale binding and rebind below.
+            self._replayers.pop(batch, None)
+        node = self._fresh_node(batch)
+        if plan is not None:
+            replayer = OptimizedReplayer(tape, plan, node, self.program)
+        else:
+            replayer = TapeReplayer(tape, node, self.program)
         self._replayers[batch] = replayer
         while len(self._replayers) > _REPLAYER_CAP:
             self._replayers.pop(next(iter(self._replayers)))
         return replayer
 
-    def _invalidate_tape(self, batch: int) -> None:
-        self._replayers.pop(batch, None)
-        self.compiled.execution_tapes.pop(self._tape_key(batch), None)
+    def _invalidate_tape(self) -> None:
+        """Drop the tape, its bound replayers, and the persistence
+        bookkeeping that claimed it was saved.
+
+        Clearing ``_persisted_stats_batches`` and raising
+        ``_artifact_stale`` makes the next :meth:`ensure_artifacts` /
+        :meth:`save_artifacts` rewrite the on-disk artifact instead of
+        trusting a manifest that still advertises the evicted tape.
+        """
+        self._replayers.clear()
+        self.compiled.execution_tapes.pop(self._fingerprint, None)
+        self._persisted_stats_batches.clear()
+        self._artifact_stale = True
+
+    def _stats_for_batch(self, tape: ExecutionTape, batch: int
+                         ) -> SimulationStats:
+        """Stats for ``batch``, deriving (and caching) them when missing.
+
+        The tape is batch-generic but timing is not: latencies, word
+        counts, energy, and NoC traffic all scale with the lane count.
+        Derivation runs one *shadow timing* simulation — a ``batch=1``
+        functional pass with every cost charged at ``batch`` lanes
+        (``Simulator(stats_batch=...)``) — which yields stats
+        field-identical to a real batch-``batch`` interpreter run at
+        batch-1 cost, because event ordering depends on the batch only
+        through those charged latencies.
+        """
+        if tape.stats_for(batch) is None:
+            zeros = {
+                name: np.zeros(length, dtype=np.int64)
+                for name, (_tile, _addr, length)
+                in self.program.input_layout.items()
+            }
+            key = self._state_key()
+            state = self.compiled.programmed_states.get(key) if key else None
+            sim = Simulator(self.config, self.program,
+                            crossbar_model=self.crossbar_model,
+                            seed=self.seed, batch=1,
+                            programmed_state=state,
+                            stats_batch=batch)
+            if key is not None and state is None:
+                self._harvest_programmed_state(key, sim.node)
+            sim.run(zeros)
+            tape.add_stats(batch, sim.stats)
+            _count_tape_event("derived")
+        return tape.stats_copy(batch)
+
+    def _verify_optimized(self, replayer: "OptimizedReplayer",
+                          inputs: dict[str, np.ndarray], batch: int,
+                          words: dict[str, np.ndarray]
+                          ) -> tuple[dict[str, np.ndarray], bool]:
+        """First-run equivalence probe for an optimized plan at ``batch``.
+
+        Replays the same inputs through a transient plain
+        :class:`TapeReplayer` on a fresh node and compares bitwise.  On a
+        match the (plan, batch) pair is marked verified and never probed
+        again; on a mismatch the plan is poisoned
+        (``tape.optimized = "failed-verification"``), the fallback is
+        counted, and the plain replayer's words are served — the caller
+        never returns unverified optimized output.
+        """
+        reference = TapeReplayer(replayer.tape, self._fresh_node(batch),
+                                 self.program)
+        ref_words = reference.run(inputs)
+        # The probe is bookkeeping, not a served run.
+        replayer.tape.replay_count -= 1
+        same = (set(ref_words) == set(words)
+                and all(np.array_equal(words[name], ref_words[name])
+                        for name in ref_words))
+        if same:
+            replayer.optimized.verified_batches.add(batch)
+            return words, True
+        replayer.tape.optimized = "failed-verification"
+        self._replayers.clear()
+        _count_tape_event("optimizer_fallback")
+        return ref_words, False
 
     def _execute(self, inputs: dict[str, np.ndarray], batch: int
                  ) -> tuple[dict[str, np.ndarray], SimulationStats, str]:
-        """One pass: replay when possible, interpret (recording) otherwise.
+        """One pass: replay (optimized when possible) or interpret+record.
 
         Returns ``(words, stats, execution)`` with ``execution`` naming the
-        path taken (``"replay"`` / ``"interpreter"``).
+        path taken (``"optimized"`` / ``"replay"`` / ``"interpreter"``).
         """
         blocker = self._replay_blocker()
         if blocker is not None:
-            if self.execution_mode == "replay":
+            if self.execution_mode in ("replay", "optimized"):
                 raise ValueError(
-                    f"execution_mode='replay' but the program cannot be "
-                    f"trace-replayed: {blocker}")
+                    f"execution_mode={self.execution_mode!r} but the "
+                    f"program cannot be trace-replayed: {blocker}")
             if self.execution_mode != "interpret":
                 _count_tape_event("fallback")
             sim = self._simulator(batch)
@@ -848,12 +1051,23 @@ class InferenceEngine:
                 replayer = self._replayer(batch)
                 if replayer is not None:
                     words = replayer.run(inputs)
-                    _count_tape_event("replay")
-                    return words, replayer.tape.stats_copy(), "replay"
+                    execution = "replay"
+                    if isinstance(replayer, OptimizedReplayer):
+                        if batch in replayer.optimized.verified_batches:
+                            execution = "optimized"
+                        else:
+                            words, verified = self._verify_optimized(
+                                replayer, inputs, batch, words)
+                            execution = ("optimized" if verified
+                                         else "replay")
+                    stats = self._stats_for_batch(replayer.tape, batch)
+                    _count_tape_event(execution if execution == "optimized"
+                                      else "replay")
+                    return words, stats, execution
             except TapeValidationError:
                 # A stale/incompatible tape is an internal cache problem,
                 # never a user-facing failure: drop it and re-record below.
-                self._invalidate_tape(batch)
+                self._invalidate_tape()
                 _count_tape_event("fallback")
 
         recorder = TapeRecorder(batch)
@@ -874,7 +1088,7 @@ class InferenceEngine:
         # the insert-then-evict (concurrent recorders would otherwise race
         # next(iter())/pop once the cap is reached).
         with _tape_lock:
-            tapes[self._tape_key(batch)] = tape
+            tapes[self._fingerprint] = tape
             while len(tapes) > _EXECUTION_TAPE_CAP:
                 tapes.pop(next(iter(tapes)), None)
             _TAPE_MODELS[id(self.compiled)] = self.compiled

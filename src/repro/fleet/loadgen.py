@@ -102,7 +102,14 @@ class LoadReport:
             else 0.0
 
     def percentile(self, q: float, model: str | None = None) -> float:
-        """Latency percentile in seconds (pooled, or one model's)."""
+        """Latency percentile in seconds (pooled, or one model's).
+
+        Linearly interpolated between order statistics (numpy's default
+        ``linear`` method), so p99 of 100 samples sits between the two
+        largest values instead of snapping to either.  Returns ``nan``
+        when no request completed — use :meth:`to_dict` for a
+        JSON-safe rendering (``nan`` is not valid JSON).
+        """
         if model is None:
             values = [v for per_model in self.latencies_s.values()
                       for v in per_model]
@@ -112,13 +119,26 @@ class LoadReport:
             return float("nan")
         return float(np.percentile(np.asarray(values), q))
 
+    def _percentile_ms(self, q: float, model: str | None = None
+                       ) -> float | None:
+        """Millisecond percentile for JSON: ``None`` instead of a
+        non-finite value (an all-failed trace used to serialize
+        ``NaN``, which ``json.dumps`` emits but no strict parser —
+        including the CI dashboard — accepts)."""
+        seconds = self.percentile(q, model)
+        return seconds * 1e3 if np.isfinite(seconds) else None
+
     def to_dict(self) -> dict:
-        """The JSON shape ``BENCH_PR7.json`` records."""
+        """The JSON shape the ``BENCH_PR*.json`` records embed.
+
+        Strictly JSON-serializable for every report, including one with
+        zero completed requests (percentiles become ``null``).
+        """
         per_model = {
             model: {
                 "requests": len(values),
-                "p50_ms": self.percentile(50, model) * 1e3,
-                "p99_ms": self.percentile(99, model) * 1e3,
+                "p50_ms": self._percentile_ms(50, model),
+                "p99_ms": self._percentile_ms(99, model),
             } for model, values in sorted(self.latencies_s.items())}
         return {
             "num_requests": self.num_requests,
@@ -126,8 +146,8 @@ class LoadReport:
             "failed": self.failed,
             "elapsed_s": self.elapsed_s,
             "throughput_rps": self.throughput_rps,
-            "p50_ms": self.percentile(50) * 1e3,
-            "p99_ms": self.percentile(99) * 1e3,
+            "p50_ms": self._percentile_ms(50),
+            "p99_ms": self._percentile_ms(99),
             "per_model": per_model,
         }
 

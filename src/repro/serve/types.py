@@ -68,10 +68,11 @@ class RunResult(Mapping):
             max over the concurrent shards, energy and instruction/stall
             counters summed).  ``None`` for unsharded passes.
         execution: which execution path produced the result —
-            ``"replay"`` (trace-replay fast path, :mod:`repro.sim.tape`)
-            or ``"interpreter"`` (event-driven simulation); ``None`` when
+            ``"optimized"`` (fused-plan replay, :mod:`repro.sim.tapeopt`),
+            ``"replay"`` (plain trace replay, :mod:`repro.sim.tape`) or
+            ``"interpreter"`` (event-driven simulation); ``None`` when
             unknown (e.g. merged across shards that took different paths).
-            Purely observational: both paths are bitwise identical.
+            Purely observational: all paths are bitwise identical.
 
     Mapping protocol: iterating/indexing a ``RunResult`` reads ``words``,
     preserving the legacy raw-dict contract bit for bit.

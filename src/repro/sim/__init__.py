@@ -1,12 +1,16 @@
 """PUMAsim: event-driven functional + timing + energy simulation.
 
-Two execution paths share the functional semantics:
+Three execution paths share the functional semantics:
 
 * :class:`Simulator` — the event-driven interpreter (agents, blocking
   protocol, NoC events);
 * :mod:`repro.sim.tape` — the trace-replay fast path: record the resolved
   schedule of one interpreter run, replay it as a flat tape of pre-bound
-  numpy operations (see :class:`TapeRecorder` / :class:`TapeReplayer`).
+  numpy operations (see :class:`TapeRecorder` / :class:`TapeReplayer`);
+* :mod:`repro.sim.tapeopt` — the tape optimizer: compile a recorded tape
+  into a shorter plan (dead stores eliminated, store→load forwarding,
+  adjacent ops fused, independent MVMs batched) replayed by
+  :class:`OptimizedReplayer`, bitwise identical to the tape it came from.
 """
 
 from repro.sim.simulator import SimulationDeadlock, Simulator
@@ -17,6 +21,13 @@ from repro.sim.tape import (
     TapeReplayer,
     TapeValidationError,
     find_unsupported_op,
+)
+from repro.sim.tapeopt import (
+    OptimizationReport,
+    OptimizedReplayer,
+    OptimizedTape,
+    TapeOptimizationError,
+    optimize_tape,
 )
 from repro.sim.trace import TraceEntry, TraceRecorder
 
@@ -31,4 +42,9 @@ __all__ = [
     "TapeReplayer",
     "TapeValidationError",
     "find_unsupported_op",
+    "OptimizationReport",
+    "OptimizedReplayer",
+    "OptimizedTape",
+    "TapeOptimizationError",
+    "optimize_tape",
 ]

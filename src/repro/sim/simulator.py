@@ -98,6 +98,15 @@ class Simulator:
             captures the resolved dynamic schedule (completed instructions
             in completion order, with effective addresses) for later trace
             replay; recording costs one list append per instruction.
+        stats_batch: **shadow timing**: charge every latency, word count,
+            energy term, and NoC transfer as if the run carried this many
+            batch lanes while the functional datapath carries ``batch``.
+            Event ordering depends on the batch only through those
+            latencies, so a ``batch=1, stats_batch=B`` run produces stats
+            field-identical to a real ``batch=B`` run — at batch-1 cost.
+            This is how the engine derives per-batch stats for a
+            batch-generic execution tape (see :mod:`repro.sim.tape`).
+            Defaults to ``batch``.
     """
 
     def __init__(self, config: PumaConfig, program: NodeProgram,
@@ -107,13 +116,17 @@ class Simulator:
                  max_cycles: int = 2_000_000_000,
                  batch: int = 1,
                  programmed_state: "NodeProgrammedState | None" = None,
-                 tape_recorder: TapeRecorder | None = None
+                 tape_recorder: TapeRecorder | None = None,
+                 stats_batch: int | None = None
                  ) -> None:
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
+        if stats_batch is not None and stats_batch < 1:
+            raise ValueError(f"stats_batch must be >= 1, got {stats_batch}")
         self.config = config
         self.program = program
         self.batch = batch
+        self.stats_batch = batch if stats_batch is None else stats_batch
         self.max_cycles = max_cycles
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.tape_recorder = tape_recorder
@@ -124,6 +137,9 @@ class Simulator:
                                      crossbar_model=crossbar_model, seed=seed,
                                      batch=batch,
                                      programmed_state=programmed_state)
+        if self.stats_batch != batch:
+            for tile in self.node.tiles.values():
+                tile.stats_lanes = self.stats_batch
         self.energy_model = EnergyModel(config)
         self.stats = SimulationStats(cycle_ns=config.cycle_ns)
         self._agents = self._build_agents()
@@ -259,13 +275,13 @@ class Simulator:
 
         if status == ExecStatus.DONE:
             latency = self.energy_model.latency.cycles(instr, outcome,
-                                                       self.batch)
+                                                       self.stats_batch)
             self.stats.count(instr.opcode,
-                             words=outcome.vec_width * self.batch
+                             words=outcome.vec_width * self.stats_batch
                              if instr.is_vector else 0)
             self.stats.record_busy(agent.name, latency)
             self.stats.energy.merge(
-                self.energy_model.energy(instr, outcome, self.batch))
+                self.energy_model.energy(instr, outcome, self.stats_batch))
             self.trace.record(self.now, agent.name, instr, latency)
             if self.tape_recorder is not None:
                 self.tape_recorder.record(

@@ -19,12 +19,15 @@ This module implements the fast path:
   instructions (``jmp``/``brn``/``hlt`` and the tile control unit's scalar
   loop bookkeeping) have no lane-visible data effect and are omitted — the
   recorded order already reflects every branch resolution.
-* :class:`ExecutionTape` is the resulting artifact: the step list plus the
-  run's full :class:`~repro.sim.stats.SimulationStats`.  Timing, energy,
-  stalls, and NoC traffic are input-independent (latencies depend on
-  opcode/width/batch, traffic on the compiled communication pattern), so a
-  replayed run's stats are a fresh copy of the recorded ones —
-  field-identical to what the interpreter would recompute.
+* :class:`ExecutionTape` is the resulting artifact: the step list plus
+  per-batch :class:`~repro.sim.stats.SimulationStats`.  The step list is
+  **batch-generic** — closures slice ``array[:, ...]`` and scalar control
+  reads lane 0, so one tape replays at any batch size.  Timing, energy,
+  stalls, and NoC traffic are input-independent but *batch*-dependent
+  (latencies stretch with lanes), so stats are cached per batch size: the
+  recording run seeds one entry, and the engine derives the others with a
+  shadow timing simulation (``Simulator(stats_batch=...)``) —
+  field-identical to what a real run at that batch would produce.
 * :class:`TapeReplayer` binds the tape once to a node's live arrays and
   replays it as a flat list of pre-bound closures over numpy slices — no
   event heap, no dispatch dict, no attribute-buffer protocol, no per-op
@@ -105,31 +108,71 @@ _TILE_CONTROL_OPCODES = _CONTROL_OPCODES | {Opcode.SET, Opcode.ALU_INT}
 
 @dataclass
 class ExecutionTape:
-    """The resolved dynamic schedule of one (program, config, batch) run.
+    """The resolved dynamic schedule of one (program, config, seed) key.
+
+    The tape is **batch-generic**: every step's closure slices its arrays
+    as ``array[:, start:start+width]``, scalar reads take lane 0, and the
+    valid/count protocol plus per-flow FIFO ordering are batch-independent
+    — so one recorded step list replays correctly at *any* batch size.
+    What does depend on the batch is timing (latencies stretch with lanes,
+    which changes the event interleaving, stall counts, cycle totals, and
+    energy): those live in ``stats_by_batch``, seeded by the recording run
+    and extended on demand via a shadow timing simulation
+    (``Simulator(stats_batch=...)``, see :mod:`repro.sim.simulator`).
 
     Attributes:
         steps: data-carrying instructions in global completion order.
-        stats: the recording run's statistics.  Input-independent, so a
-            replay hands out a fresh copy per run (see :meth:`stats_copy`).
-        batch: SIMD batch width the schedule was resolved for.  Latencies
-            (hence the event interleaving, stall counts, and the final
-            cycle count) are batch-dependent, so a tape replays only at
-            its own batch size.
+        stats_by_batch: per-batch-size statistics.  Input-independent, so
+            a replay hands out a fresh copy per run (:meth:`stats_copy`).
+        recorded_batch: SIMD batch width of the recording run (the order
+            of ``steps`` — any legal completion order replays exactly, so
+            this is provenance, not a replay constraint).
         instruction_count: dynamic instructions of the recording run,
             including the control instructions the step list omits (used
             for cheap cross-checks and introspection).
+        optimized: cache slot for the tape's optimized execution plan
+            (:class:`repro.sim.tapeopt.OptimizedTape`), shared by every
+            engine replica holding this tape; ``"unoptimizable"`` marks a
+            tape the optimizer declined so it is not retried per replica.
     """
 
     steps: tuple[TapeStep, ...]
-    stats: SimulationStats
-    batch: int
+    stats_by_batch: dict[int, SimulationStats]
+    recorded_batch: int
     instruction_count: int = 0
     # Bookkeeping for introspection (tape_cache_info), not semantics.
     replay_count: int = field(default=0, compare=False)
+    # OptimizedTape | "unoptimizable" | None; compare=False keeps tape
+    # equality about the schedule, not the derived plan.
+    optimized: object | None = field(default=None, compare=False, repr=False)
 
-    def stats_copy(self) -> SimulationStats:
-        """A private, mutation-safe copy of the recorded statistics."""
-        return copy.deepcopy(self.stats)
+    @property
+    def batch(self) -> int:
+        """Alias for :attr:`recorded_batch` (pre-batch-generic name)."""
+        return self.recorded_batch
+
+    def batches(self) -> list[int]:
+        """Batch sizes with derived (or recorded) stats, sorted."""
+        return sorted(self.stats_by_batch)
+
+    def stats_for(self, batch: int) -> SimulationStats | None:
+        """The cached stats for ``batch``, or ``None`` if not derived yet."""
+        return self.stats_by_batch.get(batch)
+
+    def add_stats(self, batch: int, stats: SimulationStats) -> None:
+        """Cache one batch size's derived statistics (a private copy)."""
+        self.stats_by_batch[int(batch)] = copy.deepcopy(stats)
+
+    def stats_copy(self, batch: int | None = None) -> SimulationStats:
+        """A private, mutation-safe copy of the stats for ``batch``
+        (default: the recording batch)."""
+        if batch is None:
+            batch = self.recorded_batch
+        stats = self.stats_by_batch.get(batch)
+        if stats is None:
+            raise KeyError(f"no stats derived for batch {batch} "
+                           f"(have {self.batches()})")
+        return copy.deepcopy(stats)
 
 
 class TapeRecorder:
@@ -160,10 +203,11 @@ class TapeRecorder:
 
     def finish(self, stats: SimulationStats) -> ExecutionTape:
         """Package the recording; ``stats`` is the finished run's result."""
-        return ExecutionTape(steps=tuple(self._steps),
-                             stats=copy.deepcopy(stats),
-                             batch=self.batch,
-                             instruction_count=self._instruction_count)
+        return ExecutionTape(
+            steps=tuple(self._steps),
+            stats_by_batch={self.batch: copy.deepcopy(stats)},
+            recorded_batch=self.batch,
+            instruction_count=self._instruction_count)
 
 
 def find_unsupported_op(program: NodeProgram) -> str | None:
@@ -335,22 +379,22 @@ class TapeReplayer:
     written earlier in that same run (inputs/constants are re-preloaded per
     run), so stale data from a previous run is unreachable.
 
+    The tape is batch-generic (see :class:`ExecutionTape`): every closure
+    slices ``array[:, ...]``, so the node's batch — not the recording
+    batch — determines the lane count of a replay.
+
     Args:
-        tape: the recorded schedule (its ``batch`` must match the node's).
-        node: an instantiated, weight-programmed node.
+        tape: the recorded schedule.
+        node: an instantiated, weight-programmed node (any batch size).
         program: the compiled program (input/output layouts, constants).
     """
 
     def __init__(self, tape: ExecutionTape, node: "Node",
                  program: NodeProgram) -> None:
-        if node.batch != tape.batch:
-            raise TapeValidationError(
-                f"tape was recorded at batch {tape.batch}, "
-                f"node carries batch {node.batch}")
         self.tape = tape
         self.node = node
         self.program = program
-        self.batch = tape.batch
+        self.batch = node.batch
         self._flows: dict[tuple[int, int], deque] = {}
         # Register files of every core the tape touches, zeroed at the
         # start of each run: unlike shared memory, whose valid/count
@@ -366,48 +410,56 @@ class TapeReplayer:
                 f"tape does not match the node/program: {error}") from error
 
     def _bind(self) -> list[Callable[[], None]]:
-        ops: list[Callable[[], None]] = []
-        for tile_id, core_id, instr, eff_addr in self.tape.steps:
-            tile = self.node.tiles[tile_id]
-            mem = tile.memory._data
-            op = instr.opcode
-            if core_id is None:
-                if op == Opcode.SEND:
-                    flow = self._flows.setdefault(
-                        (instr.target, instr.fifo_id), deque())
-                    ops.append(_bind_send(mem, instr, eff_addr, flow))
-                elif op == Opcode.RECEIVE:
-                    flow = self._flows.setdefault(
-                        (tile_id, instr.fifo_id), deque())
-                    ops.append(_bind_receive(mem, instr, eff_addr, flow))
-                else:
-                    raise TapeValidationError(
-                        f"unexpected tile-stream opcode {op.name} on tape")
-                continue
-            core = tile.cores[core_id]
-            regs = core.registers._data
-            if not any(regs is seen for seen in self._register_files):
-                self._register_files.append(regs)
-            if op == Opcode.MVM:
-                ops.append(_bind_mvm(core, instr))
-            elif op == Opcode.ALU:
-                ops.append(_bind_alu(core, instr))
-            elif op == Opcode.ALUI:
-                ops.append(_bind_alui(core, instr))
-            elif op == Opcode.ALU_INT:
-                ops.append(_bind_alu_int(core, instr))
-            elif op == Opcode.SET:
-                ops.append(_bind_set(core, instr))
-            elif op == Opcode.COPY:
-                ops.append(_bind_copy(core, instr))
-            elif op == Opcode.LOAD:
-                ops.append(_bind_load(core, mem, instr, eff_addr))
-            elif op == Opcode.STORE:
-                ops.append(_bind_store(core, mem, instr, eff_addr))
-            else:
-                raise TapeValidationError(
-                    f"unexpected core-stream opcode {op.name} on tape")
-        return ops
+        return [self._bind_one(step) for step in self.tape.steps]
+
+    def _track_registers(self, core) -> None:
+        """Note a core's register file for the per-run re-zeroing pass."""
+        regs = core.registers._data
+        if not any(regs is seen for seen in self._register_files):
+            self._register_files.append(regs)
+
+    def _reset_registers(self) -> None:
+        """Zero every tracked register file (subclasses may narrow this)."""
+        for registers in self._register_files:
+            registers.fill(0)
+
+    def _bind_one(self, step: TapeStep) -> Callable[[], None]:
+        """Bind one tape step to the node's live arrays (a closure)."""
+        tile_id, core_id, instr, eff_addr = step
+        tile = self.node.tiles[tile_id]
+        mem = tile.memory._data
+        op = instr.opcode
+        if core_id is None:
+            if op == Opcode.SEND:
+                flow = self._flows.setdefault(
+                    (instr.target, instr.fifo_id), deque())
+                return _bind_send(mem, instr, eff_addr, flow)
+            if op == Opcode.RECEIVE:
+                flow = self._flows.setdefault(
+                    (tile_id, instr.fifo_id), deque())
+                return _bind_receive(mem, instr, eff_addr, flow)
+            raise TapeValidationError(
+                f"unexpected tile-stream opcode {op.name} on tape")
+        core = tile.cores[core_id]
+        self._track_registers(core)
+        if op == Opcode.MVM:
+            return _bind_mvm(core, instr)
+        if op == Opcode.ALU:
+            return _bind_alu(core, instr)
+        if op == Opcode.ALUI:
+            return _bind_alui(core, instr)
+        if op == Opcode.ALU_INT:
+            return _bind_alu_int(core, instr)
+        if op == Opcode.SET:
+            return _bind_set(core, instr)
+        if op == Opcode.COPY:
+            return _bind_copy(core, instr)
+        if op == Opcode.LOAD:
+            return _bind_load(core, mem, instr, eff_addr)
+        if op == Opcode.STORE:
+            return _bind_store(core, mem, instr, eff_addr)
+        raise TapeValidationError(
+            f"unexpected core-stream opcode {op.name} on tape")
 
     # -- data movement (mirrors Simulator.write_input / read_output) -------
 
@@ -451,8 +503,7 @@ class TapeReplayer:
         """
         for flow in self._flows.values():
             flow.clear()
-        for registers in self._register_files:
-            registers.fill(0)
+        self._reset_registers()
         for tile_id, entries in self.program.const_memory.items():
             mem = self.node.tiles[tile_id].memory._data
             for addr, values in entries:

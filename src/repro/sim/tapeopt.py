@@ -1,0 +1,925 @@
+"""Tape optimizer: turn a recorded schedule into a fused execution plan.
+
+A recorded :class:`~repro.sim.tape.ExecutionTape` is a straight-line
+program: control flow is already resolved, effective addresses are folded
+in, and the global completion order is fixed.  That makes it a textbook
+JIT target — the classical redundancy-removal passes apply with *dynamic*
+precision because every "instruction" is one concrete executed instance,
+not a static site that might run under many conditions.
+
+The pipeline (:func:`optimize_tape`) runs three passes:
+
+1. **Store-to-load forwarding + dead-store elimination.**  Shared memory
+   on the replay fast path is just a staging buffer between register
+   files (the valid/count protocol that gave it meaning in the
+   event-driven simulator is compiled away).  A load whose entire range
+   was written by one earlier store — with the store's source registers
+   provably unmodified in between — becomes a register-to-register
+   :class:`RegMove`; a store whose words are never observed (no
+   surviving load, no ``send``, not an output region, not persistent)
+   is dropped.
+2. **Fusion of adjacent same-shape ops.**  Runs of ``copy``/``set``/
+   ``alu``/``alui``/``load``/``store`` steps on one core with contiguous
+   register (and memory) ranges collapse into a single wide numpy
+   operation (:class:`FusedBlock`) — one closure call and one BLAS-level
+   slice assignment instead of N.
+3. **MVM batching.**  Independent MVM steps from *different* cores whose
+   operands are untouched between them are grouped
+   (:class:`MvmGroup`) and — when every unit takes the bit-exact ideal
+   float64 path — executed as one stacked ``(k, batch, dim) @ (k, dim,
+   dim)`` BLAS call instead of k separate products.
+
+Soundness is layered, mirroring the trust-but-verify pattern of the
+PR 6 analysis substrate: the *source* tape must pass
+:meth:`~repro.analysis.depgraph.StaticDependenceGraph.validate_tape`
+before optimization starts; every transformation checks its own legality
+against exact per-instance effects (:func:`repro.analysis.dataflow
+.core_effects`); a structural self-check proves the plan covers exactly
+the source steps; and the engine runs a first-replay equivalence probe
+per batch size (bitwise outputs vs. plain replay) before trusting the
+plan, falling back — counted — on any mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.analysis.dataflow import core_effects
+from repro.arch.mvmu import MVMU
+from repro.isa.opcodes import AluOp, Opcode
+from repro.sim.tape import (ExecutionTape, TapeReplayer, TapeStep,
+                            TapeValidationError, _bind_mvm)
+from repro.tile.attribute_buffer import PERSISTENT_COUNT
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.depgraph import StaticDependenceGraph
+
+# Sentinels for shared-memory writer attribution (pass 1): words whose
+# last writer is not a tape store cannot be forwarded or eliminated.
+_PRELOADED = -1   # constants / model inputs (re-preloaded every run)
+_RECEIVED = -2    # written by a tile-stream receive
+
+# How many plan slots past a group's anchor each fusion scan may look.
+# Bounds the O(window * steps) cost; fused runs in real compiled programs
+# are short (unrolled vector tiles), so a small window loses nothing.
+_FUSE_WINDOW = 64
+_MVM_WINDOW = 64
+
+
+class TapeOptimizationError(RuntimeError):
+    """The optimizer declined or failed; the engine replays the plain tape.
+
+    Never user-facing: the engine counts the fallback and serves the
+    unoptimized (still fast) replay path instead.
+    """
+
+
+@dataclass(frozen=True)
+class RegMove:
+    """A forwarded load: copy registers instead of round-tripping memory.
+
+    Replaces a ``load`` whose full range was written by a single earlier
+    ``store`` with an intra-tile register-file copy from the store's
+    source registers.  ``src_core`` and ``dst_core`` may differ — shared
+    memory is exactly how cores on one tile communicate.
+    """
+
+    tile_id: int
+    dst_core: int
+    dst_reg: int
+    src_core: int
+    src_reg: int
+    width: int
+
+
+@dataclass(frozen=True)
+class FusedBlock:
+    """A run of same-kind steps on one core fused into one wide op.
+
+    ``kind`` is one of ``copy``/``set``/``alu``/``alui``/``load``/
+    ``store``; members appear in plan order with contiguous destination
+    (and source / memory) ranges, so the fused closure is a single numpy
+    slice operation over the concatenated range.
+    """
+
+    kind: str
+    tile_id: int
+    core_id: int
+    steps: tuple[TapeStep, ...]
+
+
+@dataclass(frozen=True)
+class MvmGroup:
+    """Independent MVM steps hoisted to one slot for a stacked BLAS call.
+
+    Members touch pairwise-disjoint cores and nothing between the
+    group's anchor and each member's original slot touches that member's
+    core — so executing them together at the anchor is order-equivalent.
+    """
+
+    steps: tuple[TapeStep, ...]
+
+
+@dataclass(frozen=True)
+class OptimizationReport:
+    """What the pipeline did to one tape (for introspection and manifests)."""
+
+    source_steps: int
+    plan_ops: int
+    stores_eliminated: int
+    loads_forwarded: int
+    fused_blocks: int
+    fused_steps: int
+    mvm_groups: int
+    mvms_batched: int
+
+    @property
+    def changed(self) -> bool:
+        """Whether any pass transformed anything at all."""
+        return (self.stores_eliminated + self.loads_forwarded
+                + self.fused_blocks + self.mvm_groups) > 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "source_steps": self.source_steps,
+            "plan_ops": self.plan_ops,
+            "stores_eliminated": self.stores_eliminated,
+            "loads_forwarded": self.loads_forwarded,
+            "fused_blocks": self.fused_blocks,
+            "fused_steps": self.fused_steps,
+            "mvm_groups": self.mvm_groups,
+            "mvms_batched": self.mvms_batched,
+        }
+
+
+@dataclass
+class OptimizedTape:
+    """An optimized execution plan derived from (and cached on) a tape.
+
+    Lives in ``ExecutionTape.optimized`` so every engine replica holding
+    the tape — including fleet replicas sharing one ``CompiledModel`` —
+    reuses both the plan and its per-batch verification status.
+
+    Attributes:
+        plan: sequence of :class:`~repro.sim.tape.TapeStep` (passthrough),
+            :class:`RegMove`, :class:`FusedBlock`, and :class:`MvmGroup`.
+        report: what the passes did.
+        verified_batches: batch sizes whose first optimized replay was
+            probed bitwise against a plain replay and matched (the
+            engine's runtime equivalence gate; see
+            ``Engine._verify_optimized``).
+    """
+
+    plan: tuple[object, ...]
+    report: OptimizationReport
+    verified_batches: set = field(default_factory=set, compare=False)
+
+    def digest(self) -> str:
+        """Deterministic digest of the plan (persisted in manifests)."""
+        h = hashlib.sha256()
+        h.update(repr(self.report.as_dict()).encode())
+        for op in self.plan:
+            h.update(repr(op).encode())
+            h.update(b"\x00")
+        return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Per-op metadata shared by the passes
+# ---------------------------------------------------------------------------
+
+
+def _core_keys(op) -> tuple[tuple[int, int], ...]:
+    """Register files a plan op touches, as ``(tile_id, core_id)`` keys."""
+    if isinstance(op, TapeStep):
+        if op.core_id is None:
+            return ()
+        return ((op.tile_id, op.core_id),)
+    if isinstance(op, RegMove):
+        if op.src_core == op.dst_core:
+            return ((op.tile_id, op.dst_core),)
+        return ((op.tile_id, op.src_core), (op.tile_id, op.dst_core))
+    if isinstance(op, FusedBlock):
+        return ((op.tile_id, op.core_id),)
+    if isinstance(op, MvmGroup):
+        keys = []
+        for step in op.steps:
+            keys.extend(_core_keys(step))
+        return tuple(keys)
+    raise TypeError(f"unknown plan op {op!r}")
+
+
+def _reg_reads(op, core_cfg) -> list[tuple[tuple[int, int], int, int]]:
+    """Register intervals a plan op reads: ``((tile, core), start, width)``."""
+    out = []
+    if isinstance(op, TapeStep):
+        if op.core_id is not None:
+            eff = core_effects(op.instruction, core_cfg)
+            key = (op.tile_id, op.core_id)
+            out.extend((key, s, w) for s, w in eff.all_reads())
+    elif isinstance(op, RegMove):
+        out.append(((op.tile_id, op.src_core), op.src_reg, op.width))
+    elif isinstance(op, (FusedBlock, MvmGroup)):
+        for step in op.steps:
+            out.extend(_reg_reads(step, core_cfg))
+    return out
+
+
+def _reg_writes(op, core_cfg) -> list[tuple[tuple[int, int], int, int]]:
+    """Register intervals a plan op writes."""
+    out = []
+    if isinstance(op, TapeStep):
+        if op.core_id is not None:
+            eff = core_effects(op.instruction, core_cfg)
+            key = (op.tile_id, op.core_id)
+            out.extend((key, s, w) for s, w in eff.all_writes())
+    elif isinstance(op, RegMove):
+        out.append(((op.tile_id, op.dst_core), op.dst_reg, op.width))
+    elif isinstance(op, (FusedBlock, MvmGroup)):
+        for step in op.steps:
+            out.extend(_reg_writes(step, core_cfg))
+    return out
+
+
+def _mem_effects(op) -> list[tuple[int, str, int, int]]:
+    """Shared-memory ranges a plan op touches: ``(tile, 'r'|'w', addr, w)``.
+
+    ``send`` reads its range, ``receive`` writes it; core loads read and
+    stores write at their resolved effective address.  RegMoves (forwarded
+    loads) touch no memory — that is the point of forwarding them.
+    """
+    out = []
+    if isinstance(op, TapeStep):
+        instr = op.instruction
+        opcode = instr.opcode
+        if opcode in (Opcode.LOAD, Opcode.SEND):
+            out.append((op.tile_id, "r", op.eff_addr, instr.vec_width))
+        elif opcode in (Opcode.STORE, Opcode.RECEIVE):
+            out.append((op.tile_id, "w", op.eff_addr, instr.vec_width))
+    elif isinstance(op, (FusedBlock, MvmGroup)):
+        for step in op.steps:
+            out.extend(_mem_effects(step))
+    return out
+
+
+def _intersects(a_start: int, a_width: int, b_start: int, b_width: int) -> bool:
+    return a_start < b_start + b_width and b_start < a_start + a_width
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: store-to-load forwarding + dead-store elimination
+# ---------------------------------------------------------------------------
+
+
+def _forward_and_eliminate(steps, graph: "StaticDependenceGraph"):
+    """One forward walk attributing every memory word to its last writer.
+
+    For each shared-memory word we track the index of the tape store that
+    last wrote it (or a sentinel for preloads/receives).  For each core we
+    track a per-register version counter, bumped on every write, so a
+    store can snapshot the versions of its source registers and a load
+    can check they are untouched — the forwarding precondition.
+
+    Returns ``(plan, eliminated_ids, forwarded_ids, n_eliminated,
+    n_forwarded)`` where the id sets hold ``id(step)`` of replaced steps
+    (for the structural self-check).
+    """
+    config = graph.config
+    program = graph.program
+    core_cfg = config.tile.core
+    words = config.tile.shared_memory_words
+    num_regs = core_cfg.num_registers
+
+    writer = {t: np.full(words, _PRELOADED, dtype=np.int64)
+              for t in program.tiles}
+    versions: dict[tuple[int, int], np.ndarray] = {}
+
+    def _versions(key):
+        arr = versions.get(key)
+        if arr is None:
+            arr = np.zeros(num_regs, dtype=np.int64)
+            versions[key] = arr
+        return arr
+
+    # Output regions are observed by the host after every run — stores
+    # into them are live by definition.
+    output_words = {t: np.zeros(words, dtype=bool) for t in program.tiles}
+    for tile_id, addr, length in program.output_layout.values():
+        output_words[tile_id][addr:addr + length] = True
+
+    # Per store index: the step, its source-register snapshot, and
+    # whether anything observed it.
+    store_info: dict[int, dict] = {}
+    # index of source step -> RegMove replacing it (decided at the end,
+    # only for loads whose store actually gets eliminated).
+    forward_candidates: dict[int, RegMove] = {}
+
+    version_clock = 0
+    for idx, step in enumerate(steps):
+        instr = step.instruction
+        opcode = instr.opcode
+        w = instr.vec_width
+
+        if step.core_id is None:
+            if opcode == Opcode.RECEIVE:
+                writer[step.tile_id][step.eff_addr:step.eff_addr + w] = \
+                    _RECEIVED
+            elif opcode == Opcode.SEND:
+                # The words leave the tile: every contributing store is
+                # observed.
+                for sidx in np.unique(
+                        writer[step.tile_id][step.eff_addr:step.eff_addr + w]):
+                    if sidx >= 0:
+                        store_info[int(sidx)]["needed"] = True
+            continue
+
+        key = (step.tile_id, step.core_id)
+
+        if opcode == Opcode.STORE:
+            src1 = instr.src1
+            vers = _versions(key)
+            store_info[idx] = {
+                "step": step,
+                "key": key,
+                "src1": src1,
+                "width": w,
+                "snapshot": vers[src1:src1 + w].copy(),
+                # Persistent stores stay valid across the valid/count
+                # protocol (weights-adjacent data); output words are read
+                # by the host after the run.
+                "needed": (instr.count == PERSISTENT_COUNT
+                           or bool(output_words[step.tile_id]
+                                   [step.eff_addr:step.eff_addr + w].any())),
+            }
+            writer[step.tile_id][step.eff_addr:step.eff_addr + w] = idx
+            continue
+
+        if opcode == Opcode.LOAD:
+            owners = writer[step.tile_id][step.eff_addr:step.eff_addr + w]
+            unique = np.unique(owners)
+            forwarded = False
+            if unique.size == 1 and unique[0] >= 0:
+                info = store_info[int(unique[0])]
+                offset = step.eff_addr - info["step"].eff_addr
+                if 0 <= offset and offset + w <= info["width"]:
+                    src_vers = _versions(info["key"])
+                    src_start = info["src1"] + offset
+                    if np.array_equal(
+                            src_vers[src_start:src_start + w],
+                            info["snapshot"][offset:offset + w]):
+                        forward_candidates[idx] = RegMove(
+                            tile_id=step.tile_id,
+                            dst_core=step.core_id,
+                            dst_reg=instr.dest,
+                            src_core=info["key"][1],
+                            src_reg=src_start,
+                            width=w)
+                        forwarded = True
+            if not forwarded:
+                for sidx in np.unique(owners):
+                    if sidx >= 0:
+                        store_info[int(sidx)]["needed"] = True
+            # Fall through: the load's register write still bumps versions.
+
+        eff = core_effects(instr, core_cfg)
+        all_writes = eff.all_writes()
+        if all_writes:
+            vers = _versions(key)
+            version_clock += 1
+            for start, width in all_writes:
+                vers[start:start + width] = version_clock
+
+    eliminated = {idx for idx, info in store_info.items()
+                  if not info["needed"]}
+    plan: list[object] = []
+    eliminated_ids: set[int] = set()
+    forwarded_ids: set[int] = set()
+    for idx, step in enumerate(steps):
+        if idx in eliminated:
+            eliminated_ids.add(id(step))
+            continue
+        move = forward_candidates.get(idx)
+        if move is not None:
+            plan.append(move)
+            forwarded_ids.add(id(step))
+        else:
+            plan.append(step)
+    return (plan, eliminated_ids, forwarded_ids,
+            len(eliminated), len(forwarded_ids))
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: fusion of adjacent same-kind ops on one core
+# ---------------------------------------------------------------------------
+
+# ALU ops excluded from fusion: SUBSAMPLE changes shape, RANDOM draws
+# entropy (never on a tape anyway, but keep the gate local and explicit).
+_UNFUSABLE_ALU = frozenset({AluOp.SUBSAMPLE, AluOp.RANDOM})
+
+
+def _fusable_kind(op) -> str | None:
+    """The fusion class of a plan op, or ``None`` if it cannot fuse."""
+    if not isinstance(op, TapeStep) or op.core_id is None:
+        return None
+    opcode = op.instruction.opcode
+    if opcode == Opcode.COPY:
+        return "copy"
+    if opcode == Opcode.SET:
+        return "set"
+    if opcode == Opcode.ALU:
+        return None if op.instruction.alu_op in _UNFUSABLE_ALU else "alu"
+    if opcode == Opcode.ALUI:
+        return None if op.instruction.alu_op in _UNFUSABLE_ALU else "alui"
+    if opcode == Opcode.LOAD:
+        return "load"
+    if opcode == Opcode.STORE:
+        return "store"
+    return None
+
+
+def _extends(last: TapeStep, nxt: TapeStep, kind: str) -> bool:
+    """Whether ``nxt`` contiguously extends ``last`` for ``kind``."""
+    li, ni = last.instruction, nxt.instruction
+    lw = li.vec_width
+    if ni.dest != li.dest + lw and kind != "store":
+        return False
+    if kind == "copy":
+        return ni.src1 == li.src1 + lw
+    if kind == "set":
+        return True
+    if kind == "alu":
+        if ni.alu_op != li.alu_op or ni.src1 != li.src1 + lw:
+            return False
+        if li.alu_op.num_sources == 2 and ni.src2 != li.src2 + lw:
+            return False
+        return True
+    if kind == "alui":
+        return (ni.alu_op == li.alu_op and ni.imm == li.imm
+                and ni.src1 == li.src1 + lw)
+    if kind == "load":
+        return nxt.eff_addr == last.eff_addr + lw
+    if kind == "store":
+        return (ni.src1 == li.src1 + lw
+                and nxt.eff_addr == last.eff_addr + lw)
+    raise AssertionError(kind)
+
+
+def _fuse_adjacent(plan, core_cfg):
+    """Collapse contiguous same-kind runs on one core into FusedBlocks.
+
+    Members need not be strictly adjacent in the *global* plan — other
+    cores' steps interleave freely.  Joining a member hoists it to the
+    group anchor, which is legal iff (a) no op between anchor and member
+    touches the member's core (guaranteed: any same-core op either joins
+    or breaks the scan), (b) the member's register reads do not overlap
+    the group's register writes (read-all-then-write-all equivalence),
+    and (c) for memory kinds, no intervening op's memory access conflicts
+    with the member's range on the same tile.
+    """
+    out: list[object] = []
+    consumed = [False] * len(plan)
+    fused_blocks = 0
+    fused_steps = 0
+    n = len(plan)
+    for i, op in enumerate(plan):
+        if consumed[i]:
+            continue
+        kind = _fusable_kind(op)
+        if kind is None:
+            out.append(op)
+            continue
+        key = (op.tile_id, op.core_id)
+        group = [op]
+        written = [(s, w) for _k, s, w in _reg_writes(op, core_cfg)]
+        inter_reads: list[tuple[int, int, int]] = []
+        inter_writes: list[tuple[int, int, int]] = []
+        last = op
+        scanned = 0
+        j = i + 1
+        while j < n and scanned <= _FUSE_WINDOW:
+            nxt = plan[j]
+            if consumed[j]:
+                j += 1
+                continue
+            if key in _core_keys(nxt):
+                if (_fusable_kind(nxt) == kind
+                        and _extends(last, nxt, kind)
+                        and _joinable(nxt, kind, key, written,
+                                      inter_reads, inter_writes, core_cfg)):
+                    group.append(nxt)
+                    consumed[j] = True
+                    written.extend(
+                        (s, w) for _k, s, w in _reg_writes(nxt, core_cfg))
+                    last = nxt
+                    j += 1
+                    continue
+                break  # same-core op that can't join: order must hold
+            for tile, rw, addr, w in _mem_effects(nxt):
+                target = inter_reads if rw == "r" else inter_writes
+                target.append((tile, addr, w))
+            scanned += 1
+            j += 1
+        if len(group) > 1:
+            out.append(FusedBlock(kind=kind, tile_id=op.tile_id,
+                                  core_id=op.core_id, steps=tuple(group)))
+            fused_blocks += 1
+            fused_steps += len(group)
+        else:
+            out.append(op)
+    return out, fused_blocks, fused_steps
+
+
+def _joinable(nxt: TapeStep, kind: str, key, written,
+              inter_reads, inter_writes, core_cfg) -> bool:
+    """Hazard checks for hoisting ``nxt`` into a group at the anchor."""
+    # (b) member's reads vs. the group's earlier writes.
+    for rkey, start, width in _reg_reads(nxt, core_cfg):
+        if rkey != key:
+            continue
+        for wstart, wwidth in written:
+            if _intersects(start, width, wstart, wwidth):
+                return False
+    # (c) memory hazards against intervening non-member ops.
+    if kind == "load":
+        a, w = nxt.eff_addr, nxt.instruction.vec_width
+        for tile, addr, width in inter_writes:
+            if tile == nxt.tile_id and _intersects(a, w, addr, width):
+                return False
+    elif kind == "store":
+        a, w = nxt.eff_addr, nxt.instruction.vec_width
+        for tile, addr, width in inter_writes + inter_reads:
+            if tile == nxt.tile_id and _intersects(a, w, addr, width):
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: batching independent MVMs
+# ---------------------------------------------------------------------------
+
+
+def _is_mvm(op) -> bool:
+    return (isinstance(op, TapeStep) and op.core_id is not None
+            and op.instruction.opcode == Opcode.MVM)
+
+
+def _batch_mvms(plan):
+    """Group MVMs from disjoint cores whose operands are untouched.
+
+    A member hoists to the group anchor; legality is a dirty-core scan:
+    the member's core must not have been touched by the anchor, by any
+    earlier member, or by any skipped op between the anchor and the
+    member (MVMs only touch their own core's registers, and RegMoves
+    count for both of their cores).
+    """
+    out: list[object] = []
+    consumed = [False] * len(plan)
+    groups = 0
+    batched = 0
+    n = len(plan)
+    for i, op in enumerate(plan):
+        if consumed[i]:
+            continue
+        if not _is_mvm(op):
+            out.append(op)
+            continue
+        group = [op]
+        dirty = set(_core_keys(op))
+        scanned = 0
+        j = i + 1
+        while j < n and scanned <= _MVM_WINDOW:
+            nxt = plan[j]
+            if consumed[j]:
+                j += 1
+                continue
+            if _is_mvm(nxt) and not (set(_core_keys(nxt)) & dirty):
+                group.append(nxt)
+                consumed[j] = True
+                dirty.update(_core_keys(nxt))
+                j += 1
+                continue
+            dirty.update(_core_keys(nxt))
+            scanned += 1
+            j += 1
+        if len(group) > 1:
+            out.append(MvmGroup(steps=tuple(group)))
+            groups += 1
+            batched += len(group)
+        else:
+            out.append(op)
+    return out, groups, batched
+
+
+# ---------------------------------------------------------------------------
+# Pipeline driver
+# ---------------------------------------------------------------------------
+
+
+def _check_plan(steps, plan, eliminated_ids, forwarded_ids) -> None:
+    """Structural self-check: the plan covers exactly the source steps.
+
+    Every source step must appear exactly once — as a passthrough step,
+    inside a fused block or MVM group, or accounted for as an eliminated
+    store / forwarded load.  Counting is by object identity: TapeStep
+    instances are unique per recorded slot.
+    """
+    covered: Counter = Counter()
+    regmoves = 0
+    for op in plan:
+        if isinstance(op, TapeStep):
+            covered[id(op)] += 1
+        elif isinstance(op, (FusedBlock, MvmGroup)):
+            for step in op.steps:
+                covered[id(step)] += 1
+        elif isinstance(op, RegMove):
+            regmoves += 1
+        else:
+            raise TapeOptimizationError(f"unknown plan op {op!r}")
+    expected = Counter(id(step) for step in steps
+                       if id(step) not in eliminated_ids
+                       and id(step) not in forwarded_ids)
+    if covered != expected or regmoves != len(forwarded_ids):
+        raise TapeOptimizationError(
+            "optimized plan does not cover the source tape "
+            f"({sum(covered.values())} covered + {len(eliminated_ids)} "
+            f"eliminated + {regmoves} forwarded vs {len(steps)} steps)")
+
+
+def optimize_tape(tape: ExecutionTape,
+                  graph: "StaticDependenceGraph") -> OptimizedTape:
+    """Run the full pass pipeline over a recorded tape.
+
+    Args:
+        tape: the recorded schedule (batch-generic).
+        graph: the program's PR 6 dependence graph — supplies the config
+            for exact per-instance effects and the ``validate_tape``
+            front door.
+
+    Raises:
+        TapeOptimizationError: the source tape failed validation or the
+            structural self-check rejected the plan (the engine counts
+            this and replays the plain tape).
+    """
+    problems = graph.validate_tape(tape)
+    if problems:
+        raise TapeOptimizationError(
+            "source tape failed dependence validation: "
+            + "; ".join(problems[:3]))
+
+    core_cfg = graph.config.tile.core
+    (plan, eliminated_ids, forwarded_ids,
+     n_eliminated, n_forwarded) = _forward_and_eliminate(tape.steps, graph)
+    plan, fused_blocks, fused_steps = _fuse_adjacent(plan, core_cfg)
+    plan, mvm_groups, mvms_batched = _batch_mvms(plan)
+    _check_plan(tape.steps, plan, eliminated_ids, forwarded_ids)
+    report = OptimizationReport(
+        source_steps=len(tape.steps),
+        plan_ops=len(plan),
+        stores_eliminated=n_eliminated,
+        loads_forwarded=n_forwarded,
+        fused_blocks=fused_blocks,
+        fused_steps=fused_steps,
+        mvm_groups=mvm_groups,
+        mvms_batched=mvms_batched)
+    return OptimizedTape(plan=tuple(plan), report=report)
+
+
+# ---------------------------------------------------------------------------
+# Replayer over an optimized plan
+# ---------------------------------------------------------------------------
+
+
+class OptimizedReplayer(TapeReplayer):
+    """Replays an :class:`OptimizedTape` plan against a node's live arrays.
+
+    Functionally a :class:`~repro.sim.tape.TapeReplayer` whose closure
+    list comes from the optimized plan instead of the raw step list.
+    Register-file zeroing still tracks every core of the *source* tape —
+    an eliminated store's core must start each run zeroed even if the
+    plan no longer touches it.
+    """
+
+    def __init__(self, tape: ExecutionTape, optimized: OptimizedTape,
+                 node, program) -> None:
+        self.optimized = optimized
+        super().__init__(tape, node, program)
+
+    def _bind(self) -> list[Callable[[], None]]:
+        for step in self.tape.steps:
+            if step.core_id is not None:
+                self._track_registers(
+                    self.node.tiles[step.tile_id].cores[step.core_id])
+        self._zero_runs = self._read_before_write_runs()
+        ops = []
+        for op in self.optimized.plan:
+            if isinstance(op, TapeStep):
+                ops.append(self._bind_one(op))
+            elif isinstance(op, RegMove):
+                ops.append(self._bind_regmove(op))
+            elif isinstance(op, FusedBlock):
+                ops.append(self._bind_fused(op))
+            elif isinstance(op, MvmGroup):
+                ops.append(self._bind_group(op))
+            else:
+                raise TapeValidationError(f"unknown plan op {op!r}")
+        return ops
+
+    def _read_before_write_runs(self) -> list:
+        """Register runs that must be zeroed before each run.
+
+        The base replayer zeroes every tracked register file; the only
+        registers whose initial value is actually observable are those
+        some step may read before the first *definite* write.  One walk
+        over the source steps computes that set exactly (a ``may_write``
+        does not count as covering — the read could still see zeros).
+        The forwarding pass never widens it: a ``RegMove`` reads the
+        registers its store read, and the store's own read already
+        marked them.
+        """
+        core_cfg = self.node.tiles[
+            next(iter(self.node.tiles))].cores[0].config
+        needed: dict[tuple[int, int], np.ndarray] = {}
+        written: dict[tuple[int, int], np.ndarray] = {}
+        num_regs = core_cfg.num_registers
+        for step in self.tape.steps:
+            if step.core_id is None:
+                continue
+            key = (step.tile_id, step.core_id)
+            if key not in needed:
+                needed[key] = np.zeros(num_regs, dtype=bool)
+                written[key] = np.zeros(num_regs, dtype=bool)
+            eff = core_effects(step.instruction, core_cfg)
+            for start, width in eff.all_reads():
+                mask = needed[key][start:start + width]
+                np.logical_or(mask, ~written[key][start:start + width],
+                              out=mask)
+            for start, width in eff.writes:
+                written[key][start:start + width] = True
+        runs = []
+        for key, mask in needed.items():
+            regs = self.node.tiles[key[0]].cores[key[1]].registers._data
+            padded = np.concatenate(([False], mask, [False]))
+            edges = np.flatnonzero(padded[1:] != padded[:-1])
+            for start, stop in zip(edges[::2], edges[1::2]):
+                runs.append((regs, int(start), int(stop)))
+        return runs
+
+    def _reset_registers(self) -> None:
+        for regs, start, stop in self._zero_runs:
+            regs[:, start:stop].fill(0)
+
+    def _bind_regmove(self, mv: RegMove) -> Callable[[], None]:
+        tile = self.node.tiles[mv.tile_id]
+        dst = tile.cores[mv.dst_core].registers._data
+        src = tile.cores[mv.src_core].registers._data
+        d, s, w = mv.dst_reg, mv.src_reg, mv.width
+        if dst is src and s < d + w and d < s + w:  # overlapping same-file
+            def step() -> None:
+                dst[:, d:d + w] = src[:, s:s + w].copy()
+        else:
+            def step() -> None:
+                dst[:, d:d + w] = src[:, s:s + w]
+        return step
+
+    def _bind_fused(self, block: FusedBlock) -> Callable[[], None]:
+        tile = self.node.tiles[block.tile_id]
+        core = tile.cores[block.core_id]
+        reg = core.registers._data
+        steps = block.steps
+        first = steps[0].instruction
+        total = sum(s.instruction.vec_width for s in steps)
+        kind = block.kind
+        if kind == "copy":
+            d, s = first.dest, first.src1
+            if s < d + total and d < s + total:
+                def step() -> None:
+                    reg[:, d:d + total] = reg[:, s:s + total].copy()
+            else:
+                def step() -> None:
+                    reg[:, d:d + total] = reg[:, s:s + total]
+            return step
+        if kind == "set":
+            d = first.dest
+            imm_vec = np.concatenate([
+                np.full(s.instruction.vec_width, s.instruction.imm,
+                        dtype=np.int64) for s in steps])
+            imm_vec.setflags(write=False)
+
+            def step() -> None:
+                reg[:, d:d + total] = imm_vec
+            return step
+        if kind == "alui":
+            apply_op = core.vfu._apply
+            op, d, s1 = first.alu_op, first.dest, first.src1
+            imm_vec = core._imm_vector(first.imm, total)
+
+            def step() -> None:
+                reg[:, d:d + total] = apply_op(
+                    op, reg[:, s1:s1 + total], imm_vec)
+            return step
+        if kind == "alu":
+            apply_op = core.vfu._apply
+            op, d, s1 = first.alu_op, first.dest, first.src1
+            if op.num_sources == 2:
+                s2 = first.src2
+
+                def step() -> None:
+                    reg[:, d:d + total] = apply_op(
+                        op, reg[:, s1:s1 + total], reg[:, s2:s2 + total])
+            else:
+                def step() -> None:
+                    reg[:, d:d + total] = apply_op(
+                        op, reg[:, s1:s1 + total], None)
+            return step
+        mem = tile.memory._data
+        a = steps[0].eff_addr
+        if kind == "load":
+            d = first.dest
+
+            def step() -> None:
+                reg[:, d:d + total] = mem[:, a:a + total]
+            return step
+        if kind == "store":
+            s1 = first.src1
+
+            def step() -> None:
+                mem[:, a:a + total] = reg[:, s1:s1 + total]
+            return step
+        raise TapeValidationError(f"unknown fused kind {kind!r}")
+
+    def _bind_group(self, group: MvmGroup) -> Callable[[], None]:
+        """One closure for k independent MVMs.
+
+        When every active unit takes the bit-exact ideal float64 path
+        with one shared dimension and format, the k products run as one
+        stacked ``(k, batch, dim) @ (k, dim, dim)`` matmul — the rescale
+        and saturate are elementwise, so the stacked result is bitwise
+        identical to per-unit :meth:`~repro.arch.mvmu.MVMU.execute`
+        calls.  Otherwise the members simply execute sequentially at the
+        anchor slot (hoisting is legal either way; only the BLAS stacking
+        needs exactness).
+        """
+        per_step = []
+        jobs = []
+        stackable = True
+        dims = set()
+        for s in group.steps:
+            core = self.node.tiles[s.tile_id].cores[s.core_id]
+            cfg = core.config
+            instr = s.instruction
+            per_step.append(_bind_mvm(core, instr))
+            for m in range(cfg.num_mvmus):
+                if not instr.mask & (1 << m):
+                    continue
+                mvmu = core.mvmus[m]
+                if not (mvmu.model.is_ideal and mvmu._f64_product_is_exact()):
+                    stackable = False
+                dims.add(cfg.mvmu_dim)
+                jobs.append((core.registers._data, cfg.xbar_in_base(m),
+                             cfg.xbar_out_base(m), mvmu,
+                             instr.filter, instr.stride))
+        fmt = jobs[0][3].fmt
+        if any(job[3].fmt != fmt for job in jobs):
+            stackable = False
+        if not stackable or len(dims) != 1:
+            def step() -> None:
+                for fn in per_step:
+                    fn()
+            return step
+        dim = dims.pop()
+        matrices = np.stack(
+            [job[3].matrix.astype(np.float64) for job in jobs])
+        # scale is a power of two (1 << frac_bits), so multiplying by the
+        # reciprocal is exact; every intermediate is an exact integer in
+        # float64 (the _f64_product_is_exact precondition), so the whole
+        # rescale/saturate chain runs in f64 bitwise-identically to
+        # MVMU.execute's int64 path, with preallocated buffers.
+        inv_scale = 1.0 / float(fmt.scale)
+        lo, hi = float(fmt.int_min), float(fmt.int_max)
+        k = len(jobs)
+        batch = self.batch
+        xs = np.empty((k, batch, dim), dtype=np.float64)
+        ys = np.empty((k, batch, dim), dtype=np.float64)
+
+        def step() -> None:
+            for idx, (regs, in_base, _out, _m, filt, stride) in \
+                    enumerate(jobs):
+                x = regs[:, in_base:in_base + dim]
+                if filt:
+                    x = MVMU.shuffle_inputs(x, filt, stride)
+                xs[idx] = x
+            np.matmul(xs, matrices, out=ys)
+            np.multiply(ys, inv_scale, out=ys)
+            np.floor(ys, out=ys)
+            np.clip(ys, lo, hi, out=ys)
+            # Slice assignment casts f64 -> int64 per destination; the
+            # values are exact integers after the clip, so the cast equals
+            # astype(np.int64) without materializing the full array.
+            for idx, (regs, _in, out_base, _m, _f, _s) in enumerate(jobs):
+                regs[:, out_base:out_base + dim] = ys[idx]
+        return step

@@ -22,11 +22,12 @@ An artifact is a directory holding three files:
   payload is deserialized.
 * ``payload.pkl.gz`` — the structural payload: the stripped
   :class:`~repro.compiler.compile.CompiledModel` (or
-  :class:`~repro.compiler.cnn.CnnCompiled`), the recorded
-  :class:`~repro.sim.tape.ExecutionTape`\\ s by batch size, and the
-  config / options / crossbar model / seed the engine was built with —
-  one gzipped pickle, so tapes keep sharing instruction objects with the
-  program.
+  :class:`~repro.compiler.cnn.CnnCompiled`), the recorded batch-generic
+  :class:`~repro.sim.tape.ExecutionTape` (one tape serves every batch
+  size; its optimized plan rides along, re-verified at load against the
+  manifest's optimizer digest), and the config / options / crossbar
+  model / seed the engine was built with — one gzipped pickle, so the
+  tape keeps sharing instruction objects with the program.
 * ``programmed_state.npz`` — the numeric payload: every MVMU's
   programmed matrix, column offset sums, and per-slice device levels +
   conductances as flat numpy arrays (the multi-MB part of an artifact).
@@ -88,7 +89,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.node.node import NodeProgrammedState
     from repro.sim.tape import ExecutionTape
 
-FORMAT_VERSION = 1
+# Version 2: one batch-generic tape (``tape`` + per-batch stats metadata
+# and an ``optimizer`` digest in the manifest) replaced the version-1
+# per-batch tape table.  Version-1 artifacts are rejected like any other
+# unsupported format — a cache miss and rebuild, never a wrong answer.
+FORMAT_VERSION = 2
 MANIFEST_NAME = "manifest.json"
 PAYLOAD_NAME = "payload.pkl.gz"
 STATE_NAME = "programmed_state.npz"
@@ -388,9 +393,10 @@ class LoadedArtifact:
     Attributes:
         kind: ``"CompiledModel"`` or ``"CnnCompiled"``.
         compiled: the compilation, with **empty** engine caches — the
-            engine installs ``programmed_state`` and ``tapes`` under its
+            engine installs ``programmed_state`` and ``tape`` under its
             own fingerprint keys.
-        tapes: execution tapes by batch size.
+        tape: the batch-generic execution tape (``None`` when the engine
+            never recorded one).
         programmed_state: the post-programming crossbar state
             (:class:`~repro.node.node.NodeProgrammedState`).
         config / options / crossbar_model / seed: the engine parameters
@@ -401,7 +407,7 @@ class LoadedArtifact:
 
     kind: str
     compiled: Any
-    tapes: "dict[int, ExecutionTape]"
+    tape: "ExecutionTape | None"
     programmed_state: "NodeProgrammedState"
     config: Any
     options: Any
@@ -412,7 +418,7 @@ class LoadedArtifact:
 
 
 def save_artifact(path: str | Path, *, compiled: Any,
-                  tapes: "dict[int, ExecutionTape]",
+                  tape: "ExecutionTape | None",
                   programmed_state: "NodeProgrammedState",
                   config: Any, options: Any, crossbar_model: Any,
                   seed: int) -> Path:
@@ -427,7 +433,12 @@ def save_artifact(path: str | Path, *, compiled: Any,
         compiled: the ``CompiledModel`` / ``CnnCompiled`` to persist; its
             engine caches are stripped from the pickle (the selected
             state travels in dedicated payloads instead).
-        tapes: execution tapes by batch size (may be empty).
+        tape: the batch-generic execution tape, or ``None``.  Persisted
+            in canonical form: ``replay_count`` reset, optimization
+            sentinels (``"unoptimizable"`` / ``"failed-verification"``)
+            dropped so a fresh process re-decides for itself, and any
+            optimized plan saved with an **empty** verified set — the
+            loading process must re-run its own equivalence probes.
         programmed_state: the harvested post-programming crossbar state;
             required — an artifact exists to skip the programming pass.
         config / options / crossbar_model / seed: the engine parameters,
@@ -437,15 +448,23 @@ def save_artifact(path: str | Path, *, compiled: Any,
         The artifact directory path.
 
     Raises:
-        ArtifactError: ``programmed_state`` is missing or ``seed`` is
-            ``None`` (fresh-entropy engines must not be frozen to disk —
-            the same rule as the in-process programmed-state cache).
+        ArtifactError: ``programmed_state`` is missing, ``seed`` is not
+            a plain int (``None`` means fresh entropy per run, which must
+            not be frozen to disk — the same rule as the in-process
+            programmed-state cache), or ``tape`` is given for a program
+            that can never be replayed (stochastic RANDOM op).
     """
+    from repro.sim.tape import ExecutionTape, find_unsupported_op
+    from repro.sim.tapeopt import OptimizedTape
+
     if seed is None:
         raise ArtifactError(
             "cannot persist artifacts for seed=None: fresh entropy per "
             "run must not be frozen to disk (same rule as the in-process "
             "programmed-state cache)")
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ArtifactError(
+            f"artifact seed must be a plain int, got {seed!r}")
     if programmed_state is None:
         raise ArtifactError(
             "cannot persist an artifact without programmed crossbar state "
@@ -457,12 +476,30 @@ def save_artifact(path: str | Path, *, compiled: Any,
         raise ArtifactError(
             f"unknown compilation kind {kind!r}; expected one of "
             f"{_KNOWN_KINDS}")
+    opt = None
+    if tape is not None:
+        if not isinstance(tape, ExecutionTape):
+            raise ArtifactError(
+                f"tape must be an ExecutionTape or None, got "
+                f"{type(tape).__name__}")
+        blocker = find_unsupported_op(compiled.program)
+        if blocker is not None:
+            raise ArtifactError(
+                f"refusing to persist an execution tape for a program "
+                f"that can never be replayed ({blocker}); a frozen "
+                f"schedule for it would be a wrong answer waiting to be "
+                f"served")
+        if isinstance(tape.optimized, OptimizedTape):
+            # Fresh verified set: equivalence probes are per-process.
+            opt = OptimizedTape(plan=tape.optimized.plan,
+                                report=tape.optimized.report)
+        tape = dataclasses.replace(tape, optimized=opt, replay_count=0)
     stripped = dataclasses.replace(compiled, programmed_states={},
                                    execution_tapes={})
     payload = {
         "kind": kind,
         "compiled": stripped,
-        "tapes": {int(batch): tape for batch, tape in tapes.items()},
+        "tape": tape,
         "config": config,
         "options": options,
         "crossbar_model": crossbar_model,
@@ -504,7 +541,16 @@ def save_artifact(path: str | Path, *, compiled: Any,
             "crossbar_digest": fingerprint_digest(
                 fingerprint_value(crossbar_model)),
             "options_digest": fingerprint_digest(fingerprint_value(options)),
-            "tape_batches": sorted(int(b) for b in tapes),
+            "tape": None if tape is None else {
+                "recorded_batch": int(tape.recorded_batch),
+                "stats_batches": sorted(int(b) for b in tape.stats_by_batch),
+                "steps": len(tape.steps),
+                "instruction_count": int(tape.instruction_count),
+            },
+            "optimizer": None if opt is None else {
+                "digest": opt.digest(),
+                "report": opt.report.as_dict(),
+            },
             "conductances": "derived" if derive else "stored",
             "rng_state": programmed_state.rng_state,
             "lint": {
@@ -571,7 +617,8 @@ def load_artifact(path: str | Path,
             in ``tests/test_store.py``).
     """
     from repro.node.node import NodeProgrammedState
-    from repro.sim.tape import ExecutionTape
+    from repro.sim.tape import ExecutionTape, find_unsupported_op
+    from repro.sim.tapeopt import OptimizedTape
 
     root = Path(path)
     manifest_path = root / MANIFEST_NAME
@@ -645,18 +692,54 @@ def load_artifact(path: str | Path,
                 f"{root}: artifact was built for a different engine key "
                 f"(config/crossbar/seed mismatch)")
 
-    tapes = payload.get("tapes")
-    if not isinstance(tapes, dict) or not all(
-            isinstance(batch, int) for batch in tapes):
-        raise _fail(f"{root}: payload tape table is malformed")
-    for batch, tape in tapes.items():
-        if not isinstance(tape, ExecutionTape) or tape.batch != batch:
-            raise _fail(f"{root}: tape for batch {batch!r} is malformed")
-    manifest_batches = manifest.get("tape_batches", [])
-    if not isinstance(manifest_batches, list) \
-            or sorted(tapes) != manifest_batches:
-        raise _fail(f"{root}: recorded tape batches disagree with the "
-                    f"manifest")
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise _fail(f"{root}: artifact seed must be a plain int, got "
+                    f"{seed!r} — seedless engines bypass the store in "
+                    f"both directions")
+
+    tape = payload.get("tape")
+    tape_meta = manifest.get("tape")
+    opt_meta = manifest.get("optimizer")
+    if tape is not None:
+        if not isinstance(tape, ExecutionTape):
+            raise _fail(f"{root}: payload tape is malformed "
+                        f"({type(tape).__name__})")
+        if tape.recorded_batch not in tape.stats_by_batch:
+            raise _fail(f"{root}: tape is missing stats for its own "
+                        f"recorded batch {tape.recorded_batch}")
+        if find_unsupported_op(compiled.program) is not None:
+            raise _fail(
+                f"{root}: artifact carries an execution tape for a "
+                f"program that can never be replayed (stochastic op); a "
+                f"frozen schedule for it would serve wrong answers")
+        expected_meta = {
+            "recorded_batch": int(tape.recorded_batch),
+            "stats_batches": sorted(int(b) for b in tape.stats_by_batch),
+            "steps": len(tape.steps),
+            "instruction_count": int(tape.instruction_count),
+        }
+        if tape_meta != expected_meta:
+            raise _fail(f"{root}: tape metadata disagrees with the "
+                        f"manifest")
+        opt = tape.optimized
+        if opt is None:
+            if opt_meta is not None:
+                raise _fail(f"{root}: manifest advertises an optimizer "
+                            f"plan the payload does not carry")
+        else:
+            if not isinstance(opt, OptimizedTape):
+                raise _fail(f"{root}: payload optimizer plan is "
+                            f"malformed ({type(opt).__name__})")
+            if not isinstance(opt_meta, dict) \
+                    or opt.digest() != opt_meta.get("digest"):
+                raise _fail(f"{root}: optimizer plan does not match the "
+                            f"manifest's optimizer digest")
+            # Probes are per-process: never inherit another process's
+            # verification verdicts.
+            opt.verified_batches.clear()
+    elif tape_meta is not None or opt_meta is not None:
+        raise _fail(f"{root}: manifest advertises a tape the payload "
+                    f"does not carry")
 
     rng_state = manifest.get("rng_state")
     try:
@@ -675,7 +758,7 @@ def load_artifact(path: str | Path,
 
     _count("load")
     return LoadedArtifact(
-        kind=kind, compiled=compiled, tapes=dict(tapes),
+        kind=kind, compiled=compiled, tape=tape,
         programmed_state=state, config=payload.get("config"),
         options=payload.get("options"),
         crossbar_model=payload.get("crossbar_model"), seed=seed,

@@ -26,10 +26,18 @@ class Packet:
     ``data`` is ``(width,)`` for a scalar run or ``(batch, width)`` when the
     node executes SIMD-over-batch; ``num_words`` is the architectural packet
     width (one lane), ``total_words`` the physical payload across lanes.
+
+    ``lanes`` overrides the lane count the NoC accounts for: a shadow
+    timing simulation (the simulator's ``stats_batch=`` mode) carries batch-1
+    data while charging an arbitrary batch's traffic, so serialization
+    latency, flit-hop counts, and off-chip word totals come out exactly as
+    a real run at that batch would produce.  ``None`` means "count the
+    physical lanes of ``data``" (every ordinary run).
     """
 
     data: np.ndarray
     source_tile: int
+    lanes: int | None = None
 
     @property
     def num_words(self) -> int:
@@ -40,6 +48,8 @@ class Packet:
     @property
     def total_words(self) -> int:
         """Total words across all batch lanes (what the NoC serializes)."""
+        if self.lanes is not None:
+            return self.num_words * self.lanes
         return int(np.atleast_1d(self.data).size)
 
 

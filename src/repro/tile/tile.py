@@ -70,6 +70,11 @@ class Tile:
         self.tile_instructions_executed = 0
         self.words_sent = 0
         self.words_received = 0
+        # Lane count the NoC should account for outgoing packets.  Equal to
+        # ``batch`` for ordinary runs; a shadow timing simulation (the
+        # simulator's ``stats_batch=`` mode) overrides it so batch-1 data
+        # is charged as an arbitrary batch's traffic.
+        self.stats_lanes = batch
 
     def attach_network(self, send_fn: SendFunction) -> None:
         """Wire the tile's outgoing sends into the node's NoC."""
@@ -141,7 +146,8 @@ class Tile:
         if data is None:
             return ExecOutcome(ExecStatus.BLOCKED_READ, instr,
                                vec_width=instr.vec_width)
-        packet = Packet(data=data, source_tile=self.tile_id)
+        lanes = self.stats_lanes if self.stats_lanes != self.batch else None
+        packet = Packet(data=data, source_tile=self.tile_id, lanes=lanes)
         self._send_fn(self.tile_id, instr.target, instr.fifo_id, packet)
         self.words_sent += instr.vec_width
         return self._advance(instr, vec_width=instr.vec_width,

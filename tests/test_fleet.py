@@ -500,6 +500,34 @@ class TestLoadgen:
         assert "p99_ms" in payload
         assert np.isnan(report.percentile(50, "missing"))
 
+    def test_percentiles_interpolate(self):
+        """Linear interpolation between order statistics — p50 of 1..100 ms
+        is 50.5 ms, not a nearest-rank snap to either neighbor."""
+        latencies = [i * 1e-3 for i in range(1, 101)]
+        report = LoadReport(num_requests=100, completed=100, failed=0,
+                            elapsed_s=1.0, latencies_s={"m": latencies})
+        assert report.percentile(50) == pytest.approx(50.5e-3)
+        assert report.percentile(99) == pytest.approx(99.01e-3)
+        assert report.percentile(0) == pytest.approx(1e-3)
+        assert report.percentile(100) == pytest.approx(100e-3)
+        payload = report.to_dict()
+        assert payload["p50_ms"] == pytest.approx(50.5)
+        assert payload["p99_ms"] == pytest.approx(99.01)
+
+    def test_zero_completed_report_is_json_clean(self):
+        """No completed requests: percentiles are null, not NaN — the
+        payload must survive strict JSON round-trips."""
+        report = LoadReport(num_requests=5, completed=0, failed=5,
+                            elapsed_s=1.0, latencies_s={"m": []})
+        payload = report.to_dict()
+        assert payload["p50_ms"] is None
+        assert payload["p99_ms"] is None
+        assert payload["per_model"]["m"]["p99_ms"] is None
+        round_tripped = json.loads(
+            json.dumps(payload, allow_nan=False))  # strict JSON
+        assert round_tripped["p50_ms"] is None
+        assert report.throughput_rps == 0.0
+
     def test_default_inputs_builder_deterministic(self):
         builder = default_inputs_builder({"m": {"x": 8}})
         arrival = Arrival(at_s=0.0, model="m", request_seed=42)

@@ -196,7 +196,8 @@ class TestCli:
                      "--batch", "1", "--batch", "3"]) == 0
         out = capsys.readouterr().out
         assert "artifact:" in out
-        assert "execution tapes: 2" in out
+        assert "execution tapes: 1" in out
+        assert "stats for batches 1, 3" in out
 
         # A later invocation (new importer Model object, so the process
         # compile cache cannot hit) loads the artifact — and prints the

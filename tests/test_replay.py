@@ -2,14 +2,17 @@
 
 The engine's trace-replay guarantee mirrors the batched==sequential and
 sharded==unsharded guarantees of PR 1/PR 3: for any deterministic program,
-a replayed run produces **bitwise-identical output words** and
-**field-identical stats** to the event-driven interpreter at the same
+a replayed run — plain or through the tape optimizer's fused plan
+(:mod:`repro.sim.tapeopt`) — produces **bitwise-identical output words**
+and **field-identical stats** to the event-driven interpreter at the same
 (config, crossbar model, seed, batch).  These tests pin that equivalence
 across the golden workload families (MLP, LSTM with its sequence loops and
 tile sends, CNN with register-indirect addressing), ideal and noisy
 crossbars, batch sizes 1/4/64, sharded and unsharded — plus the fallback
 paths: stochastic RANDOM-op programs, unseeded engines, corrupted tapes,
-and per-(config/crossbar/seed/batch) cache keying.
+and per-(config/crossbar/seed) cache keying.  The tape itself is
+batch-generic: one recording serves every batch size, with per-batch
+timing stats derived by shadow simulation on demand.
 """
 
 import numpy as np
@@ -82,13 +85,13 @@ def test_replay_bitwise_equals_interpreter(workload, device, batch):
     assert first.execution == "interpreter"
     assert ref.execution == "interpreter"
     assert_same_result(first, ref)
-    replayed = engine.run_batch(inputs)    # replays it
-    assert replayed.execution == "replay"
+    replayed = engine.run_batch(inputs)    # replays the optimized plan
+    assert replayed.execution == "optimized"
     assert_same_result(replayed, ref)
-    # Fresh data through the same tape: still exact.
+    # Fresh data through the same plan: still exact.
     inputs2 = random_inputs(engine, batch=batch, seed=13)
     replayed2 = engine.run_batch(inputs2)
-    assert replayed2.execution == "replay"
+    assert replayed2.execution == "optimized"
     assert_same_result(replayed2, reference.run_batch(inputs2))
 
 
@@ -99,7 +102,7 @@ def test_replay_lane_equals_sequential_reference(device):
     inputs = random_inputs(engine, batch=6, seed=3)
     engine.run_batch(inputs)               # record
     replayed = engine.run_batch(inputs)
-    assert replayed.execution == "replay"
+    assert replayed.execution == "optimized"
     sequential = engine.run_sequential(inputs)  # per-lane interpreter runs
     for name in replayed:
         np.testing.assert_array_equal(replayed[name], sequential[name])
@@ -118,7 +121,7 @@ def test_replay_sharded_bitwise(executor):
     for result in (first, second):
         for name in ref:
             np.testing.assert_array_equal(result[name], ref[name])
-    assert second.execution == "replay"
+    assert second.execution == "optimized"
 
 
 def test_replay_batch_one_shapes():
@@ -128,7 +131,7 @@ def test_replay_batch_one_shapes():
               for name, values in random_inputs(engine, batch=2).items()}
     engine.run_batch(inputs)
     replayed = engine.run_batch(inputs)
-    assert replayed.execution == "replay"
+    assert replayed.execution == "optimized"
     for name in replayed:
         assert replayed[name].ndim == 1
 
@@ -136,34 +139,51 @@ def test_replay_batch_one_shapes():
 # -- cache keying and warm-up ----------------------------------------------
 
 
-def test_tape_cached_per_batch_size():
-    """Each batch size records its own schedule (latencies differ)."""
+def test_tape_is_batch_generic():
+    """One recording serves every batch size; timing stats for a batch the
+    tape never saw are derived by shadow simulation, not re-recording."""
     engine = make_engine("mlp", "ideal")
+    reference = make_engine("mlp", "ideal", execution_mode="interpret")
     assert engine.run_batch(random_inputs(engine, 4)).execution \
         == "interpreter"
-    assert engine.run_batch(random_inputs(engine, 4)).execution == "replay"
-    # A new batch size re-records, then replays.
-    assert engine.run_batch(random_inputs(engine, 8)).execution \
-        == "interpreter"
-    assert engine.run_batch(random_inputs(engine, 8)).execution == "replay"
-    # The original tape is still live.
-    assert engine.run_batch(random_inputs(engine, 4)).execution == "replay"
+    assert engine.run_batch(random_inputs(engine, 4)).execution \
+        == "optimized"
+    # A new batch size replays the same tape immediately — no second
+    # recording pass — with stats derived for that batch.
+    before = tape_cache_info()
+    inputs8 = random_inputs(engine, 8)
+    result8 = engine.run_batch(inputs8)
+    assert result8.execution == "optimized"
+    after = tape_cache_info()
+    assert after.recordings == before.recordings
+    assert after.derived_stats == before.derived_stats + 1
+    # Derived stats are field-identical to a real batch-8 interpreter run.
+    ref8 = reference.run_batch(inputs8)
+    assert result8.stats == ref8.stats
+    for name in ref8:
+        np.testing.assert_array_equal(result8[name], ref8[name])
+    # The single tape carries stats for both batches.
+    (tape,) = engine.compiled.execution_tapes.values()
+    assert set(tape.batches()) >= {4, 8}
+    # The original batch is still served.
+    assert engine.run_batch(random_inputs(engine, 4)).execution \
+        == "optimized"
 
 
 def test_tape_invalidated_by_config_and_seed_change():
-    """Tapes key on (config, crossbar model, seed, batch): a different
-    device model or seed must not replay another engine's tape."""
+    """Tapes key on (config, crossbar model, seed): a different device
+    model or seed must not replay another engine's tape."""
     compiled = compile_cnn(small_cnn_spec(seed=0), CFG)
     ideal = InferenceEngine.from_compiled(compiled, CFG, seed=7)
     inputs = random_inputs(ideal, batch=3, seed=1)
     ideal.run_batch(inputs)
-    assert ideal.run_batch(inputs).execution == "replay"
+    assert ideal.run_batch(inputs).execution == "optimized"
     # Same compilation, different crossbar model: records its own tape.
     noisy = InferenceEngine.from_compiled(compiled, CFG,
                                           crossbar_model=noisy_model(),
                                           seed=7)
     assert noisy.run_batch(inputs).execution == "interpreter"
-    assert noisy.run_batch(inputs).execution == "replay"
+    assert noisy.run_batch(inputs).execution == "optimized"
     # Same compilation, different seed: ditto.
     reseeded = InferenceEngine.from_compiled(compiled, CFG, seed=8)
     assert reseeded.run_batch(inputs).execution == "interpreter"
@@ -174,7 +194,7 @@ def test_warm_with_batch_prerecords_tape():
     engine = make_engine("mlp", "ideal")
     engine.warm(batch=4)
     result = engine.run_batch(random_inputs(engine, 4))
-    assert result.execution == "replay"
+    assert result.execution == "optimized"
 
 
 def test_engines_share_tapes_through_compile_cache():
@@ -186,7 +206,7 @@ def test_engines_share_tapes_through_compile_cache():
     inputs = random_inputs(first, batch=3)
     first.run_batch(inputs)                # records
     result = second.run_batch(inputs)      # replays the shared tape
-    assert result.execution == "replay"
+    assert result.execution == "optimized"
     np.testing.assert_array_equal(result["out"], first.run_batch(inputs)["out"])
 
 
@@ -252,14 +272,15 @@ def test_corrupted_tape_falls_back_and_rerecords():
     bogus_step = TapeStep(tile_id=999, core_id=0,
                           instruction=tape.steps[0].instruction, eff_addr=0)
     engine.compiled.execution_tapes[key] = ExecutionTape(
-        steps=(bogus_step,), stats=tape.stats, batch=tape.batch)
+        steps=(bogus_step,), stats_by_batch=tape.stats_by_batch,
+        recorded_batch=tape.recorded_batch)
     before = tape_cache_info()
     recovered = engine.run_batch(inputs)            # falls back + re-records
     assert recovered.execution == "interpreter"
     assert tape_cache_info().fallbacks == before.fallbacks + 1
     for name in recovered:
         np.testing.assert_array_equal(recovered[name], reference[name])
-    assert engine.run_batch(inputs).execution == "replay"
+    assert engine.run_batch(inputs).execution == "optimized"
 
 
 # -- introspection ----------------------------------------------------------
@@ -275,6 +296,10 @@ def test_tape_cache_info_counts():
     after = tape_cache_info()
     assert after.recordings == before.recordings + 1
     assert after.replays == before.replays + 2
+    # auto mode serves replays through the optimized plan, and every
+    # optimized run also counts as a replay.
+    assert after.optimized == before.optimized + 2
+    assert after.optimized <= after.replays
     assert after.entries >= 1
 
 
@@ -307,10 +332,10 @@ def test_clear_tape_caches_forces_rerecord():
     engine = make_engine("mlp", "ideal")
     inputs = random_inputs(engine, batch=2)
     engine.run_batch(inputs)
-    assert engine.run_batch(inputs).execution == "replay"
+    assert engine.run_batch(inputs).execution == "optimized"
     clear_tape_caches()
     assert engine.run_batch(inputs).execution == "interpreter"  # re-records
-    assert engine.run_batch(inputs).execution == "replay"
+    assert engine.run_batch(inputs).execution == "optimized"
 
 
 def test_tape_replayer_handwritten_kernel_aliasing_ops():

@@ -102,9 +102,10 @@ def test_loaded_engine_bitwise_equals_cold_built(tmp_path, workload,
 
     warm = InferenceEngine.from_artifacts(path)
     result = warm.run_batch(inputs)
-    # The tape recorded by the cold engine was persisted, so the loaded
-    # engine's very first run replays it.
-    assert result.execution == "replay"
+    # The tape recorded by the cold engine was persisted (with its
+    # optimized plan), so the loaded engine's very first run replays it —
+    # and the equivalence probe verifies the plan on the spot.
+    assert result.execution == "optimized"
     assert_same_result(result, reference)
     # Fresh data through the loaded tape: still exact.
     inputs2 = random_inputs(cold, batch=batch, seed=13)
@@ -172,7 +173,7 @@ def test_fresh_process_bitwise(tmp_path, workload, device):
                     str(inputs_file), str(outputs_file)],
                    check=True, env=env, timeout=300)
     with np.load(outputs_file) as child:
-        assert str(child["execution"]) == "replay"
+        assert str(child["execution"]) == "optimized"
         assert int(child["cycles"]) == reference.cycles
         for name in reference:
             np.testing.assert_array_equal(child[name], reference[name])
@@ -222,7 +223,7 @@ def test_artifact_dir_engine_skips_compilation(tmp_path):
     assert store_info().loads == loads_before + 1, \
         "construction should load from the store, not compile"
     result = warm.run_batch(inputs)
-    assert result.execution == "replay"
+    assert result.execution == "optimized"
     assert_same_result(result, reference)
     # A replica engine for the same model now hits the in-process cache.
     InferenceEngine(rebuilt_model, CFG, seed=7, artifact_dir=tmp_path)
@@ -243,13 +244,16 @@ def test_mismatched_key_rebuilds_not_wrong(tmp_path):
     assert_same_result(other.run_batch(inputs), cold.run_batch(inputs))
 
 
-def test_ensure_artifacts_extends_missing_batch_tape(tmp_path):
-    """ensure(batch=N) on an adopted artifact records + re-saves tape N."""
+def test_ensure_artifacts_extends_missing_batch_stats(tmp_path):
+    """ensure(batch=N) on an adopted artifact derives batch-N stats for
+    the (single, batch-generic) tape and re-saves the artifact."""
     engine = make_engine("mlp", "ideal", artifact_dir=tmp_path)
     engine.ensure_artifacts(batch=2)
     path = engine.ensure_artifacts(batch=8)    # extends the artifact
     loaded = load_artifact(path)
-    assert sorted(loaded.tapes) == [2, 8]
+    assert loaded.tape is not None
+    assert sorted(loaded.tape.stats_by_batch) == [2, 8]
+    assert loaded.manifest["tape"]["stats_batches"] == [2, 8]
 
 
 def test_adopted_artifact_not_reloaded_per_layer(tmp_path):
@@ -309,7 +313,7 @@ def test_cnn_artifact_carries_both_engine_caches(tmp_path):
         warm.compiled, warm.config, crossbar_model=warm.crossbar_model,
         seed=warm.seed)
     result = replica.run_batch(inputs)
-    assert result.execution == "replay"       # shared tape, no re-record
+    assert result.execution == "optimized"    # shared tape, no re-record
     assert_same_result(result, reference)
 
 
@@ -414,7 +418,7 @@ def test_malformed_manifest_triggers_cold_rebuild_not_crash(tmp_path):
                     artifact_dir=tmp_path).ensure_artifacts()
     manifest_path = next(Path(tmp_path).glob(f"*/{MANIFEST_NAME}"))
     manifest = json.loads(manifest_path.read_text())
-    manifest["tape_batches"] = "not-a-list"
+    manifest["tape"] = "not-a-dict"
     manifest_path.write_text(json.dumps(manifest))
     clear_compile_cache()
     engine = InferenceEngine(build_mlp_model([32, 24, 16, 10], seed=0),
@@ -445,24 +449,24 @@ def test_compile_cache_hit_still_adopts_store_state(tmp_path):
     engine = InferenceEngine(model, CFG, crossbar_model=noisy_model(),
                              seed=8, artifact_dir=tmp_path)
     result = engine.run_batch(inputs)
-    assert result.execution == "replay", \
-        "store tapes were not adopted on a compile-cache hit"
+    assert result.execution == "optimized", \
+        "the store tape was not adopted on a compile-cache hit"
     assert_same_result(result, reference)
 
 
 def test_ensure_persists_tape_recorded_after_adoption(tmp_path):
-    """A tape recorded in-process after adopting an artifact must still
-    be written to disk by ensure_artifacts(batch=...)."""
+    """Batch stats derived in-process after adopting an artifact must
+    still be written to disk by ensure_artifacts(batch=...)."""
     engine = make_engine("mlp", "ideal", artifact_dir=tmp_path)
     engine.ensure_artifacts(batch=1)
     clear_compile_cache()
     adopted = InferenceEngine(build_mlp_model([32, 24, 16, 10], seed=0),
                               CFG, crossbar_model=None, seed=7,
                               artifact_dir=tmp_path)
-    # Recorded in memory only — the artifact on disk still has {1}.
+    # Derived in memory only — the artifact on disk still has stats {1}.
     adopted.run_batch(random_inputs(adopted, batch=16, seed=16))
     path = adopted.ensure_artifacts(batch=16)
-    assert sorted(load_artifact(path).tapes) == [1, 16]
+    assert sorted(load_artifact(path).tape.stats_by_batch) == [1, 16]
 
 
 def test_corrupt_artifact_triggers_cold_rebuild(tmp_path):
