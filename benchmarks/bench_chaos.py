@@ -1,0 +1,293 @@
+"""Chaos soak: the fleet under a deterministic all-kinds fault plan.
+
+PR 7 proved the fleet serves a bursty trace bitwise-correctly when
+nothing goes wrong; this benchmark is the other half of the resilience
+story (``docs/fleet.md``, "Resilience").  One fleet, three phases:
+
+* **pre** — a clean bursty trace at full drain rate: the throughput
+  baseline, zero failures tolerated;
+* **fault** — :meth:`PumaFleet.arm_chaos` arms a plan touching all
+  seven fault kinds (drop, delay, error — clean 5xx *and* garbage
+  200 —, hang, crash, slow, corrupt_blob) against live traffic
+  carrying end-to-end deadlines.  The soak's invariants:
+
+  - every completed (200) response is **bitwise identical** to the
+    single-engine reference — faults may slow or fail requests, never
+    corrupt an answer;
+  - every failure is **typed**: a 429/503/504 with a machine-readable
+    reason.  Zero client-side timeouts, zero dropped front-door
+    connections — the fleet never goes silent;
+  - every armed fault kind actually **fired** (the injector ledgers
+    prove coverage, plus a respawn for the crash);
+
+* **post** — after the windows close and the crashed worker's
+  replacement warm-starts, the same clean trace again: zero failures,
+  and throughput at >= 80% of the pre-fault baseline (the CI floor,
+  gated on usable CPUs like ``bench_fleet.py``).
+
+Everything is seeded — the plan, the traces, the backoff jitter, the
+corrupted byte — so a failure here replays bit-for-bit.
+
+Run:  pytest benchmarks/bench_chaos.py -q
+"""
+
+import asyncio
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FleetError,
+    FleetModelSpec,
+    PumaFleet,
+    bursty_trace,
+    default_inputs_builder,
+    run_trace,
+)
+
+SPECS = [
+    FleetModelSpec("mlp", "mlp", {"dims": [128, 256, 64]}, seed=0),
+    FleetModelSpec("lstm", "lstm",
+                   {"input_size": 16, "hidden_size": 24, "output_size": 8},
+                   seed=0),
+]
+INPUT_LAYOUTS = {
+    "mlp": {"x": 128},
+    "lstm": {"x0": 16, "x1": 16},
+}
+NUM_WORKERS = 2
+CLEAN_REQUESTS = 80          # pre/post phases (time_scale=0: drain rate)
+FAULT_REQUESTS = 150         # fault phase (real time, spans the windows)
+FAULT_RATE_RPS = 60.0
+DEADLINE_MS = 2000.0
+MIN_RECOVERY_RATIO = 0.8
+TYPED_STATUSES = {429, 503, 504}
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def chaos_plan(seed: int = 11) -> FaultPlan:
+    """All seven kinds, spread over ~2s of the fault-phase trace.
+
+    Request-level faults target worker 0's predict path only (health
+    probes stay clean, so its ledger survives to prove coverage); the
+    crash kills worker 1, whose replacement must warm-start through a
+    corrupted first blob read.
+    """
+    predict = "/v1/predict"
+    return FaultPlan(seed=seed, events=(
+        FaultEvent("slow", at_s=0.0, duration_s=2.5, worker=0,
+                   path=predict, delay_s=0.02),
+        FaultEvent("drop", at_s=0.2, duration_s=0.6, worker=0,
+                   path=predict, count=2),
+        FaultEvent("delay", at_s=0.4, duration_s=0.8, worker=0,
+                   path=predict, delay_s=0.1, count=3),
+        FaultEvent("error", at_s=0.6, duration_s=0.8, worker=0,
+                   path=predict, count=2),
+        FaultEvent("error", at_s=0.8, duration_s=0.8, worker=0,
+                   path=predict, garbage=True, count=2),
+        FaultEvent("hang", at_s=1.2, duration_s=0.6, worker=0,
+                   path=predict),
+        FaultEvent("crash", at_s=0.5, worker=1),
+        FaultEvent("corrupt_blob", at_s=0.0, duration_s=60.0, count=1),
+    ))
+
+
+def _make_checker(engines, inputs_for, mismatches: list):
+    """A run_trace on_reply hook comparing every 200 bitwise."""
+    cache: dict = {}
+
+    def check(arrival, response):
+        reply = response.json()
+        key = (arrival.model, arrival.request_seed)
+        if key not in cache:
+            reference = engines[arrival.model].predict(
+                {name: np.asarray(values)
+                 for name, values in inputs_for(arrival).items()})
+            cache[key] = {name: reference[name].tolist()
+                          for name in reference}
+        if reply["words"] != cache[key]:
+            mismatches.append(
+                f"{arrival.model} seed={arrival.request_seed} "
+                f"answered by {reply.get('worker')}")
+
+    return check
+
+
+async def _wait_recovered(fleet: PumaFleet, inputs_for, trace,
+                          timeout_s: float = 120.0) -> dict:
+    """Poll (and gently warm) until the fleet is whole again.
+
+    Whole = full worker count, all healthy, every worker hosting every
+    model, no fault window still active.  The warming predicts are what
+    drive lazy loads onto the crash replacement (its cold build /
+    corrupted-blob fallback happens here, off the measured clock).
+    """
+    warm = {spec.name: inputs_for(next(a for a in trace
+                                       if a.model == spec.name))
+            for spec in SPECS}
+    deadline = time.monotonic() + timeout_s
+    while True:
+        metrics = await fleet.metrics()
+        workers = metrics["workers"]
+        ready = len(workers) == NUM_WORKERS and all(
+            entry["alive"] and entry["healthy"]
+            and entry.get("metrics")
+            and len(entry["metrics"]["models"]) == len(SPECS)
+            and not entry["metrics"]["chaos"]["active"]
+            for entry in workers.values())
+        if ready:
+            return metrics
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"fleet did not recover within {timeout_s:g}s: "
+                f"{json.dumps(metrics['fleet'], default=str)[:500]}")
+        for name, inputs in warm.items():
+            try:
+                await fleet.predict(name, inputs, timeout=30.0)
+            except (FleetError, KeyError):
+                pass            # still recovering; that's why we poll
+        await asyncio.sleep(0.2)
+
+
+async def _soak(work_dir: str) -> dict:
+    from repro.fleet import build_engine
+
+    engines = {spec.name: build_engine(spec) for spec in SPECS}
+    inputs_for = default_inputs_builder(INPUT_LAYOUTS)
+    mismatches: list[str] = []
+    check = _make_checker(engines, inputs_for, mismatches)
+    names = [spec.name for spec in SPECS]
+    pre_trace = bursty_trace(names, CLEAN_REQUESTS, seed=21)
+    fault_trace = bursty_trace(names, FAULT_REQUESTS,
+                               base_rate_rps=FAULT_RATE_RPS,
+                               burst_every_s=1.0, burst_len_s=0.3,
+                               burst_multiplier=3.0, seed=22)
+    post_trace = bursty_trace(names, CLEAN_REQUESTS, seed=23)
+    plan = chaos_plan()
+
+    async with PumaFleet(SPECS, num_workers=NUM_WORKERS,
+                         replicas_per_model=NUM_WORKERS,
+                         work_dir=work_dir, max_batch_size=8,
+                         max_queue_depth=256) as fleet:
+        pre = await run_trace(fleet.host, fleet.http.port, pre_trace,
+                              inputs_for, time_scale=0.0, on_reply=check)
+        armed = await fleet.arm_chaos(plan)
+        fault = await run_trace(fleet.host, fleet.http.port, fault_trace,
+                                inputs_for, time_scale=1.0,
+                                deadline_ms=DEADLINE_MS, on_reply=check)
+        await _wait_recovered(fleet, inputs_for, post_trace)
+        post = await run_trace(fleet.host, fleet.http.port, post_trace,
+                               inputs_for, time_scale=0.0, on_reply=check)
+        metrics = await fleet.metrics()
+
+    # Coverage: which fault kinds provably fired.  The crash is proven
+    # by the respawn (the dead worker's own ledger died with it).
+    fired = dict(metrics["fleet"]["chaos"]["fired"])
+    for entry in metrics["workers"].values():
+        if entry.get("metrics"):
+            for kind, count in entry["metrics"]["chaos"]["fired"].items():
+                fired[kind] = fired.get(kind, 0) + count
+    if metrics["fleet"]["respawns"] >= 1:
+        fired.setdefault("crash", 1)
+
+    return {
+        "plan": plan.to_dict(),
+        "armed": armed,
+        "phases": {"pre": pre.to_dict(), "fault": fault.to_dict(),
+                   "post": post.to_dict()},
+        "phase_errors": {"pre": pre.errors, "fault": fault.errors,
+                         "post": post.errors},
+        "fired": fired,
+        "bitwise_mismatches": mismatches,
+        "fleet": {key: metrics["fleet"][key]
+                  for key in ("evictions", "respawns", "breaker_opens",
+                              "store_evictions", "models")},
+    }
+
+
+def test_chaos_soak(once, tmp_path):
+    """All 7 fault kinds: bitwise answers, typed failures, recovery."""
+    result = once(lambda: asyncio.run(_soak(str(tmp_path / "chaos"))))
+    phases = result["phases"]
+    for name, report in phases.items():
+        print(f"\n{name}: {report['completed']}/{report['num_requests']} "
+              f"ok, {report['failed']} failed "
+              f"(statuses {report['statuses']}), "
+              f"{report['throughput_rps']:.1f} req/s")
+
+    # Completed responses stayed bitwise == the single-engine reference
+    # in every phase — faults never corrupt an answer.
+    assert result["bitwise_mismatches"] == [], result["bitwise_mismatches"]
+
+    # The clean phases lose nothing.
+    for name in ("pre", "post"):
+        assert phases[name]["failed"] == 0, (
+            f"{name} phase failed: {result['phase_errors'][name]}")
+
+    # Under fault: the fleet never goes silent (no hangs, no dropped
+    # front-door connections) and every failure is a typed status.
+    for name, report in phases.items():
+        assert report["timeouts"] == 0, (
+            f"{name}: client-side timeout (a hang): "
+            f"{result['phase_errors'][name]}")
+        assert report["transport_errors"] == 0, (
+            f"{name}: front-door connection died: "
+            f"{result['phase_errors'][name]}")
+    untyped = {int(status) for status in phases["fault"]["statuses"]} \
+        - TYPED_STATUSES
+    assert not untyped, (
+        f"untyped failure statuses under chaos: {sorted(untyped)}: "
+        f"{result['phase_errors']['fault']}")
+
+    # Every one of the seven fault kinds provably fired.
+    missing = set(FAULT_KINDS) - set(result["fired"])
+    assert not missing, (
+        f"fault kinds never fired: {sorted(missing)} "
+        f"(fired: {result['fired']})")
+    assert result["fleet"]["respawns"] >= 1, (
+        "the crashed worker was never replaced")
+
+    ratio = (phases["post"]["throughput_rps"]
+             / phases["pre"]["throughput_rps"])
+    cpus = _usable_cpus()
+    print(f"recovery: {ratio:.2f}x of pre-fault throughput "
+          f"({cpus} usable CPUs); fired: {result['fired']}")
+
+    BENCH_PATH.write_text(json.dumps({
+        "benchmark": "fleet_chaos_soak",
+        "models": [spec.name for spec in SPECS],
+        "workers": NUM_WORKERS,
+        "fault_kinds": list(FAULT_KINDS),
+        "deadline_ms": DEADLINE_MS,
+        **result,
+        "recovery_ratio": ratio,
+        "min_recovery_ratio_ci": MIN_RECOVERY_RATIO,
+        "usable_cpus": cpus,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }, indent=2) + "\n")
+    print(f"wrote {BENCH_PATH}")
+
+    if cpus < 2:
+        pytest.skip(f"recovery-throughput floor needs >= 2 usable CPUs "
+                    f"to run 2 workers, have {cpus} "
+                    f"(measured {ratio:.2f}x)")
+    assert ratio >= MIN_RECOVERY_RATIO, (
+        f"post-fault throughput recovered to only {ratio:.2f}x of the "
+        f"pre-fault baseline, CI floor is {MIN_RECOVERY_RATIO}x")

@@ -3,8 +3,9 @@
 The scale-out layer over :mod:`repro.serve` (ROADMAP open item 1):
 
 * :class:`PumaFleet` — the gateway: HTTP front door, consistent-hash
-  placement, per-model queues, dispatch with retry-on-another-replica,
-  health-driven eviction/respawn, queue-depth autoscaling
+  placement, per-model queues + admission control, dispatch with
+  deadline-aware retry-on-another-replica (circuit breakers + seeded
+  backoff), health-driven eviction/respawn, queue-depth autoscaling
   (:mod:`repro.fleet.gateway`);
 * :class:`FleetModelSpec` / :func:`route_key` / :func:`build_engine` —
   wire-serializable model identity shared by gateway, workers, and the
@@ -13,15 +14,25 @@ The scale-out layer over :mod:`repro.serve` (ROADMAP open item 1):
   micro-batching behind a small HTTP API
   (:mod:`repro.fleet.worker`);
 * networked artifact store — warm starts as integrity-verified GET/PUT
-  blobs (:mod:`repro.fleet.netstore`);
+  blobs with size-capped LRU eviction (:mod:`repro.fleet.netstore`);
 * :func:`bursty_trace` / :func:`run_trace` — deterministic load
-  generation and SLO measurement (:mod:`repro.fleet.loadgen`).
+  generation and SLO measurement (:mod:`repro.fleet.loadgen`);
+* :class:`FaultPlan` / :class:`FaultInjector` /
+  :class:`CircuitBreaker` / :func:`backoff_delay` — the deterministic
+  chaos harness and the resilience policies it validates
+  (:mod:`repro.fleet.resilience`).
 
-See ``docs/fleet.md`` for topology and guarantees.
+See ``docs/fleet.md`` for topology, guarantees, and the resilience
+layer's fault taxonomy.
 """
 
-from repro.fleet.gateway import FleetError, PumaFleet
-from repro.fleet.http import FleetConnectionError
+from repro.fleet.gateway import (
+    FleetAdmissionError,
+    FleetDeadlineError,
+    FleetError,
+    PumaFleet,
+)
+from repro.fleet.http import FleetConnectionError, FleetTimeoutError
 from repro.fleet.loadgen import (
     Arrival,
     LoadReport,
@@ -42,15 +53,33 @@ from repro.fleet.models import (
     route_key,
 )
 from repro.fleet.netstore import NetworkArtifactError
+from repro.fleet.resilience import (
+    FAULT_KINDS,
+    CircuitBreaker,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    backoff_delay,
+)
 from repro.fleet.ring import HashRing
 from repro.fleet.worker import FleetWorker
 
 __all__ = [
     "Arrival",
+    "CircuitBreaker",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FleetAdmissionError",
     "FleetConnectionError",
+    "FleetDeadlineError",
     "FleetError",
     "FleetModelError",
     "FleetModelSpec",
+    "FleetTimeoutError",
     "FleetWorker",
     "HashRing",
     "LoadReport",
@@ -60,6 +89,7 @@ __all__ = [
     "WorkerManager",
     "WorkerSpawnError",
     "autoscale_decision",
+    "backoff_delay",
     "build_engine",
     "bursty_trace",
     "default_inputs_builder",

@@ -34,6 +34,7 @@ exit — zero dropped requests, which the CI smoke job asserts.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import time
 from dataclasses import dataclass, field
@@ -48,6 +49,7 @@ from repro.fleet.http import (
     HttpRequest,
     HttpResponse,
     HttpServer,
+    ProtocolError,
     error_response,
     json_response,
 )
@@ -59,6 +61,13 @@ from repro.fleet.manager import (
 )
 from repro.fleet.models import FleetModelSpec, route_key
 from repro.fleet.netstore import SHA_HEADER, BlobStore, NetworkArtifactError
+from repro.fleet.resilience import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    backoff_delay,
+)
 from repro.fleet.ring import HashRing
 
 PREDICT_TIMEOUT_S = 120.0
@@ -68,6 +77,29 @@ _ARTIFACT_PREFIX = "/v1/artifacts/"
 
 class FleetError(RuntimeError):
     """A fleet request failed permanently (after retries, or rejected)."""
+
+
+class FleetAdmissionError(FleetError):
+    """The model's gateway queue is full; the request was refused.
+
+    Maps to HTTP 429 + ``Retry-After`` (:attr:`retry_after_s`): under a
+    burst the client learns *immediately* that it should back off,
+    instead of queueing toward a timeout.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class FleetDeadlineError(FleetError):
+    """The request's end-to-end deadline expired before an answer.
+
+    Maps to HTTP 504 with reason ``deadline_exceeded``.  Raised
+    wherever the budget actually ran out — the gateway queue, a
+    dispatch attempt, or the worker's batch queue (whose 504 propagates
+    up as this).
+    """
 
 
 @dataclass
@@ -84,6 +116,8 @@ class _ModelState:
     served: int = 0
     failed: int = 0
     retries: int = 0
+    sheds: int = 0                  # deadline-expired, failed with 504
+    rejections: int = 0             # admission-refused, failed with 429
 
 
 @dataclass
@@ -93,6 +127,10 @@ class _Pending:
     inputs: dict[str, Any]
     future: asyncio.Future
     enqueued_at: float
+    # Absolute monotonic deadline (None = no deadline) and a unique
+    # token decorrelating this request's backoff jitter from its peers'.
+    deadline_at: float | None = None
+    token: int = 0
 
 
 class PumaFleet:
@@ -127,6 +165,29 @@ class PumaFleet:
             policy (see :func:`autoscale_decision`).
         preload: load every model onto its placement when the fleet
             starts (first request fast + deterministic placement).
+        max_queue_depth: per-model admission bound — when this many
+            requests already wait in a model's gateway queue, new ones
+            fail fast with :class:`FleetAdmissionError` (HTTP 429 +
+            ``Retry-After``).  ``None`` = unbounded.
+        default_deadline_ms: end-to-end deadline applied to requests
+            that don't carry their own ``deadline_ms`` (``None`` = no
+            default; requests without a deadline never shed).
+        breaker_threshold / breaker_cooldown_s: per-replica circuit
+            breaker policy (consecutive failures to open; cooldown
+            before a half-open probe) — the fast path around a sick
+            replica while the slower health loop decides on eviction.
+        backoff_base_s / backoff_cap_s / backoff_seed: dispatch retry
+            backoff (capped exponential, deterministic jitter via
+            :func:`repro.fleet.resilience.backoff_delay`).
+        blob_store_max_bytes: size cap for the artifact plane's LRU
+            (``None`` = unbounded, the pre-resilience behavior).
+        fault_plan: a chaos schedule armed at startup — worker events
+            ride each worker's spawn bootstrap, gateway events
+            (``corrupt_blob``) arm on the gateway injector.  More can
+            be armed on a live fleet via :meth:`arm_chaos` or
+            ``POST /v1/chaos``.
+        drain_timeout_s: how long :meth:`stop`'s drain waits for queued
+            + in-flight work before giving up and failing the rest.
     """
 
     def __init__(self, models: list[FleetModelSpec], *,
@@ -147,6 +208,16 @@ class PumaFleet:
                  low_watermark: float = 1.0,
                  respawn: bool = True,
                  preload: bool = True,
+                 max_queue_depth: int | None = None,
+                 default_deadline_ms: float | None = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_s: float = 0.5,
+                 backoff_base_s: float = 0.02,
+                 backoff_cap_s: float = 0.5,
+                 backoff_seed: int = 0,
+                 blob_store_max_bytes: int | None = None,
+                 fault_plan: FaultPlan | None = None,
+                 drain_timeout_s: float = PREDICT_TIMEOUT_S,
                  host: str = "127.0.0.1", port: int = 0) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -175,6 +246,19 @@ class PumaFleet:
         self.low_watermark = low_watermark
         self.respawn = respawn
         self.preload = preload
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, "
+                             f"got {max_queue_depth}")
+        self.max_queue_depth = max_queue_depth
+        self.default_deadline_ms = default_deadline_ms
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.backoff_seed = backoff_seed
+        self.blob_store_max_bytes = blob_store_max_bytes
+        self.fault_plan = fault_plan
+        self.drain_timeout_s = drain_timeout_s
         self.host = host
         self._requested_port = port
 
@@ -189,8 +273,12 @@ class PumaFleet:
         self.pool = ConnectionPool()
         self.blobs: BlobStore | None = None
         self.manager: WorkerManager | None = None
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.chaos = FaultInjector(
+            seed=fault_plan.seed if fault_plan is not None else 0)
         self._load_locks: dict[tuple[str, str], asyncio.Lock] = {}
         self._background: list[asyncio.Task] = []
+        self._tokens = itertools.count()
         self._running = False
         self._closing = False
         self.evictions = 0
@@ -203,16 +291,22 @@ class PumaFleet:
         if self._running:
             return self
         self.work_dir.mkdir(parents=True, exist_ok=True)
-        self.blobs = BlobStore(self.work_dir / "store")
+        self.blobs = BlobStore(self.work_dir / "store",
+                               max_bytes=self.blob_store_max_bytes)
         await self.http.start()
         self.manager = WorkerManager(
             str(self.work_dir / "workers"),
             store_address=(self.host, self.http.port),
             max_batch_size=self.max_batch_size,
-            batch_window_s=self.batch_window_s, host=self.host)
+            batch_window_s=self.batch_window_s, host=self.host,
+            max_queue_depth=self.max_queue_depth,
+            fault_plan=self.fault_plan)
         await self.manager.spawn_many(self.num_workers)
         for worker_id in self.manager.workers:
             self.ring.add(worker_id)
+            self.breakers[worker_id] = self._new_breaker()
+        if self.fault_plan is not None:
+            self.chaos.arm(self.fault_plan.gateway_events())
         for state in self.models.values():
             state.dispatchers = [
                 asyncio.create_task(self._dispatch_loop(state))
@@ -230,17 +324,27 @@ class PumaFleet:
                 asyncio.create_task(self._autoscale_loop()))
         return self
 
-    async def stop(self, *, drain: bool = True) -> None:
-        """Drain, then dismantle — queued work finishes unless told not to."""
+    async def stop(self, *, drain: bool = True,
+                   drain_timeout_s: float | None = None) -> None:
+        """Drain, then dismantle — queued work finishes unless told not to.
+
+        The drain is time-bounded (``drain_timeout_s``, defaulting to
+        the constructor's): a worker hung mid-response must not hold
+        shutdown hostage.  Work still queued or in flight when the
+        bound lapses is failed loudly with :class:`FleetError` — never
+        abandoned.
+        """
         if not self._running:
             return
         self._closing = True
         if drain:
-            deadline = time.monotonic() + PREDICT_TIMEOUT_S
+            limit = (self.drain_timeout_s if drain_timeout_s is None
+                     else drain_timeout_s)
+            deadline = time.monotonic() + limit
             while any(state.queue.qsize() or state.inflight
                       for state in self.models.values()):
-                if time.monotonic() > deadline:     # pragma: no cover
-                    break
+                if time.monotonic() > deadline:
+                    break           # hung worker: drain bound lapsed
                 await asyncio.sleep(0.01)
         for state in self.models.values():
             while not state.queue.empty():
@@ -302,30 +406,85 @@ class PumaFleet:
     # -- dispatch -----------------------------------------------------------
 
     async def predict(self, model: str, inputs: dict[str, Any],
-                      timeout: float = PREDICT_TIMEOUT_S) -> dict:
+                      timeout: float = PREDICT_TIMEOUT_S,
+                      deadline_ms: float | None = None) -> dict:
         """Run one inference through the fleet; the worker's JSON reply.
 
         ``inputs`` maps input names to 1-D float vectors (lists or
         arrays).  The reply carries ``outputs`` (floats), ``words``
         (fixed-point ints, the bitwise ground truth), ``worker``, and
-        ``execution``.  Raises :class:`FleetError` on permanent failure
-        and :class:`KeyError` for an unknown model name.
+        ``execution``.  ``deadline_ms`` is the request's *end-to-end*
+        time budget: it bounds the gateway queue wait, every dispatch
+        attempt, and the worker's batch queue (the remaining budget
+        travels in the request body).  Raises :class:`FleetError` on
+        permanent failure — :class:`FleetAdmissionError` when the
+        model's queue is full, :class:`FleetDeadlineError` when the
+        budget expires — and :class:`KeyError` for an unknown model.
         """
         if not self._running or self._closing:
             raise FleetError("fleet is not accepting requests "
                              "(stopped or draining)")
         state = self.models[model]
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        deadline_at = None
+        wait_timeout = timeout
+        if deadline_ms is not None:
+            if deadline_ms <= 0:
+                state.sheds += 1
+                raise FleetDeadlineError(
+                    f"{model}: deadline_ms={deadline_ms:g} is already "
+                    f"expired")
+            deadline_at = time.monotonic() + deadline_ms / 1000.0
+            # The future resolves with a 504 at the deadline; the extra
+            # margin only covers dispatcher scheduling, not more work.
+            wait_timeout = min(timeout, deadline_ms / 1000.0 + 1.0)
+        if self.max_queue_depth is not None and \
+                state.queue.qsize() >= self.max_queue_depth:
+            state.rejections += 1
+            raise FleetAdmissionError(
+                f"{model}: gateway queue is full "
+                f"({self.max_queue_depth} requests waiting)",
+                retry_after_s=self._retry_after(state))
         wire_inputs = {name: np.asarray(values, dtype=np.float64).tolist()
                        for name, values in inputs.items()}
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         state.queue.put_nowait(_Pending(
             inputs=wire_inputs, future=future,
-            enqueued_at=time.monotonic()))
-        return await asyncio.wait_for(future, timeout)
+            enqueued_at=time.monotonic(), deadline_at=deadline_at,
+            token=next(self._tokens)))
+        try:
+            return await asyncio.wait_for(future, wait_timeout)
+        except asyncio.TimeoutError:
+            # wait_for cancelled the future, so the dispatcher (which
+            # guards every resolve with future.done()) won't also count
+            # this request — the shed tally stays single-entry.
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                state.sheds += 1
+                raise FleetDeadlineError(
+                    f"{model}: deadline of {deadline_ms:g}ms expired "
+                    f"before a reply arrived") from None
+            raise FleetError(
+                f"{model}: no reply within {wait_timeout:g}s") from None
+
+    def _retry_after(self, state: _ModelState) -> float:
+        """A Retry-After estimate: rough time to drain half the queue."""
+        per_request_s = 0.02
+        return round(max(0.1, state.queue.qsize() * per_request_s / 2), 2)
 
     async def _dispatch_loop(self, state: _ModelState) -> None:
         while True:
             pending = await state.queue.get()
+            if pending.future.done():
+                continue             # caller gave up (timeout/cancel)
+            if pending.deadline_at is not None \
+                    and time.monotonic() >= pending.deadline_at:
+                # Expired while queued: shed now, spend no dispatch.
+                state.sheds += 1
+                pending.future.set_exception(FleetDeadlineError(
+                    f"{state.spec.name}: deadline passed in the gateway "
+                    f"queue"))
+                continue
             state.inflight += 1
             try:
                 result = await self._dispatch_one(state, pending)
@@ -348,12 +507,29 @@ class PumaFleet:
 
     async def _dispatch_one(self, state: _ModelState,
                             pending: _Pending) -> dict:
-        """Route one request; retry transient failures on other replicas."""
-        body = json.dumps({"route_key": state.key,
-                           "inputs": pending.inputs}).encode()
+        """Route one request; retry transient failures on other replicas.
+
+        Retries are bounded (``max_attempts``) and paced by capped
+        exponential backoff with deterministic jitter
+        (:func:`backoff_delay` keyed on this request's token).  Each
+        attempt re-checks the request's remaining deadline budget,
+        which also rides to the worker as ``deadline_ms`` and caps the
+        HTTP timeout.  Per-replica circuit breakers record the outcome:
+        transport failures, garbage replies, and 5xx open them; an
+        honest answer (including a worker-side 504) closes them.
+        """
         tried: set[str] = set()
         last_error: str = "no healthy replica available"
         for attempt in range(self.max_attempts):
+            remaining_s = None
+            if pending.deadline_at is not None:
+                remaining_s = pending.deadline_at - time.monotonic()
+                if remaining_s <= 0:
+                    state.sheds += 1
+                    raise FleetDeadlineError(
+                        f"{state.spec.name}: deadline expired after "
+                        f"{attempt} dispatch attempt(s) "
+                        f"(last error: {last_error})")
             handle = self._pick_replica(state, tried)
             if handle is None:
                 # Everything tried or unhealthy: wait for health/respawn
@@ -364,38 +540,90 @@ class PumaFleet:
                 if handle is None:
                     continue
             tried.add(handle.worker_id)
+            breaker = self.breakers.get(handle.worker_id)
+            payload: dict[str, Any] = {"route_key": state.key,
+                                       "inputs": pending.inputs}
+            http_timeout = PREDICT_TIMEOUT_S
+            if remaining_s is not None:
+                # The worker sheds on its own clock; the grace margin
+                # lets its 504 beat our transport timeout.
+                payload["deadline_ms"] = remaining_s * 1000.0
+                http_timeout = min(PREDICT_TIMEOUT_S, remaining_s + 0.5)
+            body = json.dumps(payload).encode()
             try:
                 await self._ensure_loaded(state, handle)
                 response = await self.pool.request(
                     handle.host, handle.port, "POST", "/v1/predict",
                     body=body,
                     headers={"Content-Type": "application/json"},
-                    timeout=PREDICT_TIMEOUT_S)
+                    timeout=http_timeout)
             except (FleetConnectionError, FleetError) as error:
                 # Transport failure or failed load: this replica may be
-                # dying — flag it for the health loop and go elsewhere.
+                # dying — flag it for the health loop, open its breaker
+                # a notch, and go elsewhere.
                 handle.consecutive_failures += 1
+                if breaker is not None:
+                    breaker.record_failure()
                 await self.pool.forget(handle.host, handle.port)
                 last_error = str(error)
                 state.retries += 1
-                await asyncio.sleep(0.02 * 2 ** attempt)
+                await self._backoff(attempt, pending.token)
                 continue
             if response.status == 200:
-                return response.json()
+                try:
+                    reply = response.json()
+                except ProtocolError as error:
+                    # A 200 with a garbage body: the replica is lying.
+                    # Never surface it — retry elsewhere (any replica's
+                    # honest answer is bitwise the same).
+                    handle.consecutive_failures += 1
+                    if breaker is not None:
+                        breaker.record_failure()
+                    await self.pool.forget(handle.host, handle.port)
+                    last_error = (f"garbage 200 body from "
+                                  f"{handle.worker_id}: {error}")
+                    state.retries += 1
+                    await self._backoff(attempt, pending.token)
+                    continue
+                if breaker is not None:
+                    breaker.record_success()
+                return reply
             if response.status == 400:
                 # The request itself is bad; no replica will differ.
                 raise FleetError(
                     f"{state.spec.name}: rejected by {handle.worker_id}: "
                     f"{_error_text(response)}")
-            if response.status == 409:
-                # Placement raced an eviction; reload on next attempt.
-                handle.hosted.discard(state.key)
+            if response.status == 504:
+                # The worker shed it: the deadline verdict is final (a
+                # healthy answer — close the breaker, don't retry).
+                if breaker is not None:
+                    breaker.record_success()
+                state.sheds += 1
+                raise FleetDeadlineError(
+                    f"{state.spec.name}: {handle.worker_id} shed the "
+                    f"request: {_error_text(response)}")
+            if response.status in (409, 429):
+                # Placement race (reload next attempt) or a full worker
+                # queue — load, not sickness: no breaker penalty.
+                if response.status == 409:
+                    handle.hosted.discard(state.key)
+            elif breaker is not None:
+                breaker.record_failure()         # 5xx: count it
             last_error = f"{response.status} {_error_text(response)}"
             state.retries += 1
-            await asyncio.sleep(0.02 * 2 ** attempt)
+            await self._backoff(attempt, pending.token)
         raise FleetError(
             f"{state.spec.name}: no replica answered after "
             f"{self.max_attempts} attempts (last error: {last_error})")
+
+    async def _backoff(self, attempt: int, token: int) -> None:
+        await asyncio.sleep(backoff_delay(
+            attempt, base_s=self.backoff_base_s, cap_s=self.backoff_cap_s,
+            seed=self.backoff_seed, token=token))
+
+    def _new_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(failure_threshold=self.breaker_threshold,
+                              cooldown_s=self.breaker_cooldown_s)
 
     def _pick_replica(self, state: _ModelState,
                       tried: set[str]) -> WorkerHandle | None:
@@ -403,8 +631,17 @@ class PumaFleet:
         untried = [h for h in placement if h.worker_id not in tried]
         if not untried:
             return None
+        # Breaker-open replicas are skipped — the fast path around a
+        # sick worker while the health loop decides on eviction.  If
+        # *every* candidate's breaker is open, probe anyway: failing
+        # the request outright would turn a transient blip into an
+        # outage, and a half-open probe is how breakers re-close.
+        allowed = [h for h in untried
+                   if (breaker := self.breakers.get(h.worker_id)) is None
+                   or breaker.allow()]
+        candidates = allowed or untried
         state.rr += 1
-        return untried[state.rr % len(untried)]
+        return candidates[state.rr % len(candidates)]
 
     # -- background loops ---------------------------------------------------
 
@@ -427,6 +664,7 @@ class PumaFleet:
         self.evictions += 1
         self.ring.remove(worker_id)
         self.manager.evict(worker_id)
+        self.breakers.pop(worker_id, None)
         await self.pool.forget(handle.host, handle.port)
         if self.respawn and not self._closing \
                 and len(self.manager.workers) < self.num_workers:
@@ -435,6 +673,7 @@ class PumaFleet:
             except Exception:       # noqa: BLE001 - retried next tick
                 return
             self.ring.add(replacement.worker_id)
+            self.breakers[replacement.worker_id] = self._new_breaker()
             self.respawns += 1
 
     async def _autoscale_loop(self) -> None:
@@ -450,6 +689,39 @@ class PumaFleet:
                 if delta:
                     state.replicas += delta
                     self.autoscale_events += 1
+
+    # -- chaos control plane -------------------------------------------------
+
+    async def arm_chaos(self, plan: FaultPlan) -> dict[str, int]:
+        """Arm a fault plan across the live fleet.
+
+        Worker-side events go to each worker's ``POST /v1/chaos``
+        (filtered to its spawn index); gateway-side events
+        (``corrupt_blob``) arm on the gateway's own injector.  Returns
+        how many events each party armed.  A worker that cannot be
+        reached arms nothing — it is presumably already the fault.
+        """
+        self.chaos.seed = plan.seed
+        armed = {"gateway": self.chaos.arm(plan.gateway_events())}
+        for handle in list(self.manager.workers.values()):
+            events = plan.for_worker(handle.index)
+            if not events:
+                armed[handle.worker_id] = 0
+                continue
+            body = json.dumps({
+                "seed": plan.seed,
+                "events": [event.to_dict() for event in events]}).encode()
+            try:
+                response = await self.pool.request(
+                    handle.host, handle.port, "POST", "/v1/chaos",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                    timeout=5.0)
+                armed[handle.worker_id] = (len(events)
+                                           if response.status == 200 else 0)
+            except FleetConnectionError:
+                armed[handle.worker_id] = 0
+        return armed
 
     # -- HTTP front door ----------------------------------------------------
 
@@ -469,6 +741,14 @@ class PumaFleet:
                 for state in self.models.values()]})
         if route == ("POST", "/v1/predict"):
             return await self._handle_predict(request)
+        if route == ("POST", "/v1/chaos"):
+            try:
+                plan = FaultPlan.from_dict(request.json())
+            except FaultPlanError as error:
+                return error_response(400, str(error),
+                                      reason="bad_fault_plan")
+            return json_response({"ok": True,
+                                  "armed": await self.arm_chaos(plan)})
         if route == ("GET", "/metrics"):
             return json_response(await self.metrics())
         if request.path.startswith(_ARTIFACT_PREFIX):
@@ -479,21 +759,38 @@ class PumaFleet:
     async def _handle_predict(self, request: HttpRequest) -> HttpResponse:
         if self._closing or not self._running:
             return error_response(503, "fleet is draining; "
-                                       "not accepting new requests")
+                                       "not accepting new requests",
+                                  reason="draining")
         payload = request.json()
         model = payload.get("model")
         inputs = payload.get("inputs")
         if model not in self.models:
             return error_response(
                 404, f"unknown model {model!r}; deployed: "
-                     f"{sorted(self.models)}")
+                     f"{sorted(self.models)}", reason="unknown_model")
         if not isinstance(inputs, dict):
             return error_response(400, "predict body needs an 'inputs' "
                                        "object of float vectors")
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None:
+            try:
+                deadline_ms = float(deadline_ms)
+            except (TypeError, ValueError):
+                return error_response(
+                    400, f"bad deadline_ms {payload['deadline_ms']!r}")
         try:
-            reply = await self.predict(model, inputs)
+            reply = await self.predict(model, inputs,
+                                       deadline_ms=deadline_ms)
+        except FleetAdmissionError as error:
+            return error_response(
+                429, str(error), reason="queue_full",
+                headers={"Retry-After": f"{error.retry_after_s:g}"})
+        except FleetDeadlineError as error:
+            return error_response(504, str(error),
+                                  reason="deadline_exceeded")
         except FleetError as error:
-            return error_response(503, str(error))
+            return error_response(503, str(error),
+                                  reason="dispatch_failed")
         except (TypeError, ValueError) as error:
             return error_response(400, str(error))
         return json_response(reply)
@@ -509,6 +806,12 @@ class PumaFleet:
                 return error_response(404, f"no artifact blob for "
                                            f"route key {key[:16]}…")
             data, digest = found
+            if self.chaos.take("corrupt_blob") is not None:
+                # Seeded bit rot: flip one byte but keep the *declared*
+                # digest — exactly what disk/wire corruption looks like.
+                # The puller's verify-then-verify-again chain must
+                # reject it and fall back to a cold build.
+                data = self.chaos.corrupt(data)
             return HttpResponse(
                 status=200,
                 headers={"Content-Type": "application/x-tar",
@@ -554,6 +857,15 @@ class PumaFleet:
                 "respawns": self.respawns,
                 "autoscale_events": self.autoscale_events,
                 "store_blobs": self.blobs.keys() if self.blobs else [],
+                "store_evictions": (self.blobs.evictions
+                                    if self.blobs else 0),
+                "breaker_opens": sum(b.opens
+                                     for b in self.breakers.values()),
+                "breakers": {worker_id: {"state": breaker.state,
+                                         "opens": breaker.opens}
+                             for worker_id, breaker
+                             in sorted(self.breakers.items())},
+                "chaos": self.chaos.ledger(),
                 "models": {
                     state.spec.name: {
                         "route_key": state.key,
@@ -563,6 +875,8 @@ class PumaFleet:
                         "served": state.served,
                         "failed": state.failed,
                         "retries": state.retries,
+                        "sheds": state.sheds,
+                        "rejections": state.rejections,
                     } for state in self.models.values()},
             },
             "workers": workers,

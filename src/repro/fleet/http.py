@@ -42,8 +42,9 @@ MAX_BODY_BYTES = 512 * 1024 * 1024
 REASONS = {
     200: "OK", 201: "Created", 204: "No Content", 400: "Bad Request",
     404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
-    413: "Payload Too Large", 500: "Internal Server Error",
-    503: "Service Unavailable",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -57,6 +58,26 @@ class FleetConnectionError(ConnectionError):
     The router treats this as "that worker may be dead": the request is
     retried on another replica and the health monitor takes it from
     there.
+    """
+
+
+class FleetTimeoutError(FleetConnectionError):
+    """The peer stayed silent past the client's timeout.
+
+    A subclass of :class:`FleetConnectionError` (the connection is torn
+    down either way), distinguished so the load generator can tell a
+    *hang* (this) from a *drop* (the base class) — the chaos benchmark
+    asserts zero of the former.
+    """
+
+
+class DropConnection(Exception):
+    """A handler's way to kill the connection without responding.
+
+    Raised by the chaos middleware to simulate a connection drop: the
+    server closes the socket mid-request, and the client sees a
+    :class:`FleetConnectionError`.  Never raised outside fault
+    injection.
     """
 
 
@@ -103,8 +124,15 @@ def json_response(payload, status: int = 200,
     return HttpResponse(status=status, headers=merged, body=body)
 
 
-def error_response(status: int, message: str) -> HttpResponse:
-    return json_response({"error": message}, status=status)
+def error_response(status: int, message: str, reason: str | None = None,
+                   headers: dict[str, str] | None = None) -> HttpResponse:
+    """A JSON error body; ``reason`` is the machine-readable failure
+    code (``queue_full``, ``deadline_exceeded``, ...) clients switch on
+    so they never have to parse prose."""
+    payload: dict[str, str] = {"error": message}
+    if reason is not None:
+        payload["reason"] = reason
+    return json_response(payload, status=status, headers=headers)
 
 
 async def _read_head(reader: asyncio.StreamReader) -> list[str] | None:
@@ -284,6 +312,8 @@ class HttpServer:
                     response = await self._handler(request)
                 except asyncio.CancelledError:
                     raise
+                except DropConnection:
+                    return           # chaos: die without a response
                 except Exception as error:  # noqa: BLE001 - 500, keep going
                     response = error_response(
                         500, f"{type(error).__name__}: {error}")
@@ -356,7 +386,7 @@ class HttpConnection:
                 ConnectionError, OSError) as error:
             await self.close()
             if isinstance(error, asyncio.TimeoutError):
-                raise FleetConnectionError(
+                raise FleetTimeoutError(
                     f"request {method} {path} to {self.host}:{self.port} "
                     f"timed out after {timeout}s") from error
             raise FleetConnectionError(str(error)) from error

@@ -29,7 +29,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.fleet.http import ConnectionPool, FleetConnectionError
+from repro.fleet.http import (
+    ConnectionPool,
+    FleetConnectionError,
+    FleetTimeoutError,
+)
 
 
 @dataclass(frozen=True)
@@ -87,12 +91,30 @@ def bursty_trace(models: list[str], num_requests: int, *,
 
 @dataclass
 class LoadReport:
-    """What a replay measured: latencies, throughput, failures."""
+    """What a replay measured: latencies, throughput, failures.
+
+    ``failed`` is the total; it splits exactly into three typed
+    buckets, because "failed" hides the distinction the chaos soak
+    must assert on:
+
+    * ``timeouts`` — the client-side request timeout lapsed with *no*
+      reply: the hang detector.  A resilient fleet keeps this at zero
+      even under faults (it answers 5xx/429/504 instead of going
+      silent);
+    * ``rejections`` — the fleet answered with a non-200 status (shed,
+      admission-refused, 5xx): loud, typed failure.  ``statuses``
+      histograms them;
+    * ``transport_errors`` — the connection dropped/reset mid-exchange.
+    """
 
     num_requests: int
     completed: int
     failed: int
     elapsed_s: float
+    timeouts: int = 0
+    rejections: int = 0
+    transport_errors: int = 0
+    statuses: dict[int, int] = field(default_factory=dict)
     latencies_s: dict[str, list[float]] = field(default_factory=dict)
     errors: list[str] = field(default_factory=list)
 
@@ -144,6 +166,11 @@ class LoadReport:
             "num_requests": self.num_requests,
             "completed": self.completed,
             "failed": self.failed,
+            "timeouts": self.timeouts,
+            "rejections": self.rejections,
+            "transport_errors": self.transport_errors,
+            "statuses": {str(status): count for status, count
+                         in sorted(self.statuses.items())},
             "elapsed_s": self.elapsed_s,
             "throughput_rps": self.throughput_rps,
             "p50_ms": self._percentile_ms(50),
@@ -153,7 +180,10 @@ class LoadReport:
 
     def summary(self) -> str:
         return (f"{self.completed}/{self.num_requests} ok "
-                f"({self.failed} failed) in {self.elapsed_s:.2f}s — "
+                f"({self.failed} failed: {self.timeouts} timeout, "
+                f"{self.rejections} rejected, "
+                f"{self.transport_errors} transport) "
+                f"in {self.elapsed_s:.2f}s — "
                 f"{self.throughput_rps:.1f} req/s, "
                 f"p50 {self.percentile(50) * 1e3:.1f} ms, "
                 f"p99 {self.percentile(99) * 1e3:.1f} ms")
@@ -162,7 +192,9 @@ class LoadReport:
 async def run_trace(host: str, port: int, trace: list[Arrival],
                     inputs_for, *, time_scale: float = 1.0,
                     request_timeout_s: float = 120.0,
-                    max_errors_kept: int = 20) -> LoadReport:
+                    max_errors_kept: int = 20,
+                    deadline_ms: float | None = None,
+                    on_reply=None) -> LoadReport:
     """Open-loop replay of a trace against a fleet front door.
 
     Args:
@@ -172,7 +204,15 @@ async def run_trace(host: str, port: int, trace: list[Arrival],
             the request body builder (seed it from
             ``arrival.request_seed`` for determinism).
         time_scale: multiply every scheduled offset (2.0 = half speed).
-        request_timeout_s: per-request ceiling; lapses count as failures.
+        request_timeout_s: per-request ceiling; lapses count as
+            ``timeouts`` (the hang bucket).
+        deadline_ms: when given, every request carries this end-to-end
+            deadline; expired requests come back 504 (a *rejection*,
+            not a timeout — the fleet answered).
+        on_reply: optional ``on_reply(arrival, response)`` called for
+            every 200 reply before it is counted — the hook the chaos
+            benchmark uses to compare each completed response bitwise
+            against the single-engine reference.
 
     Every request is its own task firing at its scheduled offset —
     arrivals never wait for each other, so fleet saturation surfaces as
@@ -188,25 +228,42 @@ async def run_trace(host: str, port: int, trace: list[Arrival],
         delay = arrival.at_s * time_scale - (time.monotonic() - start)
         if delay > 0:
             await asyncio.sleep(delay)
-        body = json.dumps({"model": arrival.model,
-                           "inputs": inputs_for(arrival)}).encode()
+        payload: dict = {"model": arrival.model,
+                         "inputs": inputs_for(arrival)}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        body = json.dumps(payload).encode()
         sent = time.monotonic()
         try:
             response = await pool.request(
                 host, port, "POST", "/v1/predict", body=body,
                 headers={"Content-Type": "application/json"},
                 timeout=request_timeout_s)
+        except FleetTimeoutError as error:
+            # No reply at all within the client timeout: the one
+            # failure mode a resilient fleet must never produce.
+            report.failed += 1
+            report.timeouts += 1
+            if len(report.errors) < max_errors_kept:
+                report.errors.append(f"{arrival.model}: {error}")
+            return
         except FleetConnectionError as error:
             report.failed += 1
+            report.transport_errors += 1
             if len(report.errors) < max_errors_kept:
                 report.errors.append(f"{arrival.model}: {error}")
             return
         latency = time.monotonic() - sent
         if response.status == 200:
+            if on_reply is not None:
+                on_reply(arrival, response)
             report.completed += 1
             report.latencies_s.setdefault(arrival.model, []).append(latency)
         else:
             report.failed += 1
+            report.rejections += 1
+            report.statuses[response.status] = \
+                report.statuses.get(response.status, 0) + 1
             if len(report.errors) < max_errors_kept:
                 report.errors.append(
                     f"{arrival.model}: {response.status} "

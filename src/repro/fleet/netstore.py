@@ -162,11 +162,65 @@ class BlobStore:
     The sidecar is the source of truth for :meth:`get`'s digest — serving
     the digest of whatever is on disk would mask disk corruption, which
     the fleet's failure-path tests deliberately exercise.
+
+    ``max_bytes`` turns the shelf into a size-capped LRU (the PR 7
+    follow-up: without it the artifact plane only grows).  ``get``
+    refreshes recency; ``put`` evicts least-recently-used blobs —
+    digest sidecar together with its tar, so no key is ever left
+    half-present — until the new blob fits.  Eviction only loses a
+    *cache*: a worker whose warm pull 404s falls back to a cold build.
+    All access happens on the gateway's single event loop, so a GET
+    that is in flight when its key is evicted already holds the bytes —
+    eviction can never hand a reader half a blob.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path,
+                 max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.evictions = 0
+        # Recency order, oldest first.  Rebuilt from mtimes so a
+        # restarted gateway inherits a sensible order from disk.
+        self._recency: list[str] = [
+            p.name[:-len(BLOB_SUFFIX)] for p in sorted(
+                self.root.glob(f"*{BLOB_SUFFIX}"),
+                key=lambda p: (p.stat().st_mtime, p.name))]
+
+    def _touch(self, key: str) -> None:
+        try:
+            self._recency.remove(key)
+        except ValueError:
+            pass
+        self._recency.append(key)
+
+    def total_bytes(self) -> int:
+        """Bytes currently held (tars only; sidecars are ~64 B noise)."""
+        return sum(p.stat().st_size
+                   for p in self.root.glob(f"*{BLOB_SUFFIX}"))
+
+    def _evict_until_fits(self, incoming: int, keep: str) -> None:
+        if self.max_bytes is None:
+            return
+        used = self.total_bytes()
+        while used + incoming > self.max_bytes and self._recency:
+            victim = next((k for k in self._recency if k != keep), None)
+            if victim is None:
+                break                # only the incoming key remains
+            self._recency.remove(victim)
+            blob_path, digest_path = self._paths(victim)
+            try:
+                size = blob_path.stat().st_size
+            except OSError:
+                size = 0
+            # Blob first, then sidecar: a crash between the two leaves
+            # a sidecar-only key, which has() and get() treat as absent.
+            blob_path.unlink(missing_ok=True)
+            digest_path.unlink(missing_ok=True)
+            self.evictions += 1
+            used -= size
 
     def _paths(self, key: str) -> tuple[Path, Path]:
         if not key or any(c not in "0123456789abcdef" for c in key):
@@ -188,12 +242,14 @@ class BlobStore:
                 f"refusing artifact {key[:16]}…: body hash {actual[:16]}… "
                 f"does not match declared {expected_sha256[:16]}…")
         blob_path, digest_path = self._paths(key)
+        self._evict_until_fits(len(data), keep=key)
         tmp = blob_path.with_name(blob_path.name + ".tmp")
         tmp.write_bytes(data)
         os.replace(tmp, blob_path)
         tmp = digest_path.with_name(digest_path.name + ".tmp")
         tmp.write_text(actual)
         os.replace(tmp, digest_path)
+        self._touch(key)
         return actual
 
     def get(self, key: str) -> tuple[bytes, str] | None:
@@ -206,7 +262,10 @@ class BlobStore:
         blob_path, digest_path = self._paths(key)
         if not blob_path.is_file() or not digest_path.is_file():
             return None
-        return blob_path.read_bytes(), digest_path.read_text().strip()
+        data = blob_path.read_bytes()
+        digest = digest_path.read_text().strip()
+        self._touch(key)
+        return data, digest
 
     def keys(self) -> list[str]:
         return sorted(p.name[:-len(BLOB_SUFFIX)]

@@ -41,6 +41,7 @@ import os
 import numpy as np
 
 from repro.fleet.http import (
+    DropConnection,
     FleetConnectionError,
     HttpConnection,
     HttpRequest,
@@ -57,6 +58,8 @@ from repro.fleet.netstore import (
     pack_artifact_dir,
     unpack_artifact_blob,
 )
+from repro.fleet.resilience import FaultEvent, FaultInjector, FaultPlanError
+from repro.serve.server import AdmissionError, DeadlineExceeded
 from repro.store import ArtifactError
 
 # Artifact blobs are multi-MB; give transfers more room than a health
@@ -84,18 +87,29 @@ class FleetWorker:
             or ``None`` to always cold-build (standalone/testing).
         work_dir: scratch directory for unpacked/saved artifacts.
         max_batch_size / batch_window_s: per-model ``PumaServer`` tuning.
+        max_queue_depth: per-model admission bound handed to each hosted
+            :class:`~repro.serve.PumaServer` (``None`` = unbounded).
+        fault_events: chaos events to arm once serving starts (the
+            worker-side slice of a :class:`~repro.fleet.resilience
+            .FaultPlan`); more can be armed at runtime via
+            ``POST /v1/chaos``.
+        chaos_seed: seed for the worker's :class:`FaultInjector`.
     """
 
     def __init__(self, worker_id: str,
                  store_address: tuple[str, int] | None,
                  work_dir: str, *, max_batch_size: int = 16,
                  batch_window_s: float = 0.002,
-                 host: str = "127.0.0.1") -> None:
+                 host: str = "127.0.0.1",
+                 max_queue_depth: int | None = None,
+                 fault_events: tuple[FaultEvent, ...] = (),
+                 chaos_seed: int = 0) -> None:
         self.worker_id = worker_id
         self.store_address = store_address
         self.work_dir = work_dir
         self.max_batch_size = max_batch_size
         self.batch_window_s = batch_window_s
+        self.max_queue_depth = max_queue_depth
         self.hosted: dict[str, _HostedModel] = {}
         self.shutdown = asyncio.Event()
         self.drain_on_shutdown = True
@@ -104,10 +118,33 @@ class FleetWorker:
         self.store_pulls = 0
         self.store_pushes = 0
         self.store_rejections = 0
+        self.deadline_rejections = 0
+        self.injector = FaultInjector(seed=chaos_seed)
+        # Armed in start(): crash timers need the running event loop,
+        # and at_s offsets should count from "serving", not "built".
+        self._initial_fault_events = tuple(fault_events)
 
     # -- request routing ----------------------------------------------------
 
     async def handle(self, request: HttpRequest) -> HttpResponse:
+        # Chaos middleware: an armed fault plan intercepts traffic here,
+        # ahead of routing, exactly where a real failure would strike.
+        # decide() never faults the chaos/shutdown control endpoints.
+        decision = self.injector.decide(request.path)
+        if decision.sleep_s > 0:
+            await asyncio.sleep(decision.sleep_s)     # delay / slow / hang
+        if decision.drop:
+            raise DropConnection()
+        if decision.error:
+            if decision.garbage:
+                # Framing-valid HTTP, garbage payload: what a corrupted
+                # proxy or a half-dead process actually emits.
+                return HttpResponse(
+                    status=200,
+                    headers={"Content-Type": "application/json"},
+                    body=b"\x00chaos{{this is not json")
+            return error_response(500, "injected fault (chaos plan)",
+                                  reason="chaos_error")
         route = (request.method, request.path)
         if route == ("GET", "/healthz"):
             return json_response({"ok": True, "worker": self.worker_id,
@@ -119,15 +156,39 @@ class FleetWorker:
             return await self.handle_load(request)
         if route == ("POST", "/v1/predict"):
             return await self.handle_predict(request)
+        if route == ("POST", "/v1/chaos"):
+            return self.handle_chaos(request)
         if route == ("POST", "/v1/shutdown"):
             return self.handle_shutdown(request)
         return error_response(404, f"no route {request.method} "
                                    f"{request.path} on this worker")
 
+    def handle_chaos(self, request: HttpRequest) -> HttpResponse:
+        """Arm (or disarm) fault events on a live worker.
+
+        Body: ``{"events": [...], "seed": int}`` to arm, or
+        ``{"disarm": true}`` to clear everything armed so far.
+        """
+        payload = request.json()
+        if payload.get("disarm"):
+            self.injector.disarm()
+            return json_response({"ok": True, "chaos": self.injector.ledger()})
+        try:
+            events = tuple(FaultEvent.from_dict(item)
+                           for item in payload.get("events", []))
+        except FaultPlanError as error:
+            return error_response(400, str(error), reason="bad_fault_plan")
+        if "seed" in payload:
+            self.injector.seed = int(payload["seed"])
+        self.injector.arm(events)
+        return json_response({"ok": True, "chaos": self.injector.ledger()})
+
     def metrics(self) -> dict:
         return {
             "worker": self.worker_id,
             "pid": os.getpid(),
+            "chaos": self.injector.ledger(),
+            "deadline_rejections": self.deadline_rejections,
             "network_store": {"pulls": self.store_pulls,
                               "pushes": self.store_pushes,
                               "rejections": self.store_rejections},
@@ -219,7 +280,8 @@ class FleetWorker:
 
             server = PumaServer(engine,
                                 max_batch_size=self.max_batch_size,
-                                batch_window_s=self.batch_window_s)
+                                batch_window_s=self.batch_window_s,
+                                max_queue_depth=self.max_queue_depth)
             await server.start()
             self.hosted[key] = _HostedModel(
                 spec, server, warm_start=(source == "network"),
@@ -258,12 +320,36 @@ class FleetWorker:
                       for name, values in inputs.items()}
         except (TypeError, ValueError) as error:
             return error_response(400, f"bad input vectors: {error}")
+        deadline_s = None
+        if payload.get("deadline_ms") is not None:
+            try:
+                deadline_s = float(payload["deadline_ms"]) / 1000.0
+            except (TypeError, ValueError):
+                return error_response(
+                    400, f"bad deadline_ms {payload['deadline_ms']!r}")
+            if deadline_s <= 0:
+                # The budget was spent in flight (gateway queue + wire);
+                # don't even enqueue.
+                self.deadline_rejections += 1
+                return error_response(
+                    504, "deadline expired before the request reached "
+                         "the model server", reason="deadline_exceeded")
         try:
-            result = await hosted.server.submit(arrays)
+            result = await hosted.server.submit(arrays,
+                                                deadline_s=deadline_s)
         except ValueError as error:
             return error_response(400, str(error))
+        except DeadlineExceeded as error:
+            self.deadline_rejections += 1
+            return error_response(504, str(error),
+                                  reason="deadline_exceeded")
+        except AdmissionError as error:
+            return error_response(
+                429, str(error), reason="queue_full",
+                headers={"Retry-After": "1"})
         except RuntimeError as error:
-            return error_response(503, str(error))     # draining/stopped
+            return error_response(503, str(error),    # draining/stopped
+                                  reason="not_serving")
         return json_response({
             "model": hosted.spec.name,
             "worker": self.worker_id,
@@ -290,6 +376,8 @@ class FleetWorker:
     async def start(self) -> "FleetWorker":
         os.makedirs(self.work_dir, exist_ok=True)
         await self.http.start()
+        if self._initial_fault_events:
+            self.injector.arm(self._initial_fault_events)
         return self
 
     async def run_until_shutdown(self) -> None:
@@ -332,7 +420,12 @@ async def _worker_main(bootstrap: dict, conn) -> None:
         work_dir=bootstrap["work_dir"],
         max_batch_size=bootstrap.get("max_batch_size", 16),
         batch_window_s=bootstrap.get("batch_window_s", 0.002),
-        host=bootstrap.get("host", "127.0.0.1"))
+        host=bootstrap.get("host", "127.0.0.1"),
+        max_queue_depth=bootstrap.get("max_queue_depth"),
+        fault_events=tuple(
+            FaultEvent.from_dict(item)
+            for item in bootstrap.get("fault_events", [])),
+        chaos_seed=bootstrap.get("chaos_seed", 0))
     await worker.start()
     conn.send({"ok": True, "port": worker.http.port, "pid": os.getpid()})
     conn.close()
@@ -351,9 +444,15 @@ def worker_bootstrap(worker_id: str, work_dir: str, *,
                      store_address: tuple[str, int] | None = None,
                      max_batch_size: int = 16,
                      batch_window_s: float = 0.002,
-                     host: str = "127.0.0.1") -> dict:
+                     host: str = "127.0.0.1",
+                     max_queue_depth: int | None = None,
+                     fault_events: tuple[FaultEvent, ...] = (),
+                     chaos_seed: int = 0) -> dict:
     """The picklable config dict :func:`run_worker` consumes."""
     return {"worker_id": worker_id, "work_dir": work_dir,
             "store_address": list(store_address) if store_address else None,
             "max_batch_size": max_batch_size,
-            "batch_window_s": batch_window_s, "host": host}
+            "batch_window_s": batch_window_s, "host": host,
+            "max_queue_depth": max_queue_depth,
+            "fault_events": [event.to_dict() for event in fault_events],
+            "chaos_seed": chaos_seed}

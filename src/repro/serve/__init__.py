@@ -15,9 +15,16 @@ from repro.serve.sharding import (
     ShardedEngine,
     ShardExecutionError,
 )
-from repro.serve.server import PumaServer, ServerCounters
+from repro.serve.server import (
+    AdmissionError,
+    DeadlineExceeded,
+    PumaServer,
+    ServerCounters,
+)
 
 __all__ = [
+    "AdmissionError",
+    "DeadlineExceeded",
     "InferenceRequest",
     "RunResult",
     "PumaServer",

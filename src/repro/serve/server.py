@@ -35,6 +35,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.engine import InferenceEngine
 
 
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline passed before it reached an engine.
+
+    Raised to the submitter when a deadline-carrying request is shed at
+    batch-formation time (it never occupies a batch lane) or was
+    already expired on arrival.  The fleet maps this to HTTP 504 with
+    reason ``deadline_exceeded``.
+    """
+
+
+class AdmissionError(RuntimeError):
+    """The server's bounded queue is full; the request was not enqueued.
+
+    Fast rejection is the point: under a burst the client gets this
+    immediately (HTTP 429 + ``Retry-After`` at the fleet layer) instead
+    of queueing toward an inevitable timeout.
+    """
+
+
 @dataclass
 class ServerCounters:
     """Aggregate serving statistics, updated per coalesced batch.
@@ -44,6 +63,9 @@ class ServerCounters:
             :attr:`mean_occupancy`).
         requests_served: requests answered successfully.
         requests_failed: requests answered with an exception.
+        requests_shed: deadline-expired requests failed at batch
+            formation (they never occupy a lane).
+        requests_rejected: requests refused at admission (queue full).
         batches_formed: simulator passes executed.
         lanes_simulated: total batch lanes across all passes (equals
             ``requests_served`` + failed lanes).
@@ -52,6 +74,8 @@ class ServerCounters:
     max_batch_size: int = 1
     requests_served: int = 0
     requests_failed: int = 0
+    requests_shed: int = 0
+    requests_rejected: int = 0
     batches_formed: int = 0
     lanes_simulated: int = 0
 
@@ -81,6 +105,8 @@ class _Pending:
 
     request: InferenceRequest
     future: "asyncio.Future[RunResult]" = field(repr=False)
+    # Absolute loop.time() after which the request is shed, or None.
+    deadline_at: float | None = None
 
 
 _STOP = object()
@@ -109,6 +135,10 @@ class PumaServer:
             warm-starts from (or populates) the store — a freshly-spawned
             serving process skips compilation, crossbar programming, and
             tape recording when a prior process left an artifact.
+        max_queue_depth: admission bound; when this many requests are
+            already waiting, :meth:`submit` raises
+            :class:`AdmissionError` instead of enqueueing (``None`` =
+            unbounded, the pre-resilience behavior).
 
     Requests are float-first: clients submit 1-D float vectors per model
     input and receive dequantized floats (plus the fixed-point words) in
@@ -123,7 +153,8 @@ class PumaServer:
                  num_shards: int = 1,
                  shard_policy: str = "contiguous",
                  shard_executor: str = "auto",
-                 artifact_dir=None) -> None:
+                 artifact_dir=None,
+                 max_queue_depth: int | None = None) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, "
                              f"got {max_batch_size}")
@@ -131,6 +162,9 @@ class PumaServer:
             raise ValueError("batch_window_s must be >= 0")
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, "
+                             f"got {max_queue_depth}")
         self.engine = engine
         self.max_batch_size = max_batch_size
         self.batch_window_s = batch_window_s
@@ -138,6 +172,7 @@ class PumaServer:
         self.shard_policy = shard_policy
         self.shard_executor = shard_executor
         self.artifact_dir = artifact_dir
+        self.max_queue_depth = max_queue_depth
         self.counters = ServerCounters(max_batch_size=max_batch_size)
         self._queue: asyncio.Queue | None = None
         self._batcher_task: asyncio.Task | None = None
@@ -213,25 +248,44 @@ class PumaServer:
 
     # -- client API --------------------------------------------------------
 
-    async def submit(self, inputs: dict[str, np.ndarray]) -> RunResult:
+    async def submit(self, inputs: dict[str, np.ndarray], *,
+                     deadline_s: float | None = None) -> RunResult:
         """Submit one inference (float 1-D vectors by input name).
 
         Returns this request's :class:`RunResult` once the batch it was
         coalesced into completes.  Raises :class:`ValueError` immediately
-        for unknown/missing input names or wrong vector lengths, and
-        :class:`RuntimeError` if the server is not running.
+        for unknown/missing input names or wrong vector lengths,
+        :class:`RuntimeError` if the server is not running,
+        :class:`AdmissionError` if the bounded queue is full, and
+        :class:`DeadlineExceeded` if ``deadline_s`` (remaining time
+        budget in seconds) runs out before the request reaches a batch.
         """
         if self._batcher_task is None or self._closed:
             raise RuntimeError("server is not running (use 'async with "
                                "PumaServer(engine):' or await start())")
+        if self.max_queue_depth is not None and \
+                self._queue.qsize() >= self.max_queue_depth:
+            self.counters.requests_rejected += 1
+            raise AdmissionError(
+                f"queue full ({self.max_queue_depth} requests waiting); "
+                f"retry later")
+        loop = asyncio.get_running_loop()
+        deadline_at = None
+        if deadline_s is not None:
+            if deadline_s <= 0:
+                self.counters.requests_shed += 1
+                raise DeadlineExceeded(
+                    f"deadline expired {-deadline_s * 1000:.0f}ms before "
+                    f"the request was enqueued")
+            deadline_at = loop.time() + deadline_s
         request = InferenceRequest(
             inputs={name: np.asarray(values, dtype=np.float64)
                     for name, values in inputs.items()},
             request_id=self._next_request_id)
         self._next_request_id += 1
         self.engine.validate_request(request.inputs)
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait(_Pending(request, future))
+        future: asyncio.Future = loop.create_future()
+        self._queue.put_nowait(_Pending(request, future, deadline_at))
         return await future
 
     # -- batching loop -----------------------------------------------------
@@ -253,7 +307,9 @@ class PumaServer:
                 stopping = self._drain_into(batch)
                 if not stopping and len(batch) < self.max_batch_size:
                     stopping = await self._wait_for_arrivals(loop, batch)
-                await self._serve_batch(batch)
+                batch = self._shed_expired(batch, loop)
+                if batch:
+                    await self._serve_batch(batch)
                 batch = []
                 if stopping:
                     self._queue.put_nowait(_STOP)
@@ -275,6 +331,28 @@ class PumaServer:
             if isinstance(error, asyncio.CancelledError):
                 raise
             raise failure from error
+
+    def _shed_expired(self, batch: list, loop) -> list:
+        """Fail deadline-expired requests now; return the live remainder.
+
+        Shedding happens at batch-formation time, before a lane is
+        spent: a request whose deadline already passed gets a prompt
+        :class:`DeadlineExceeded` instead of riding (and slowing) a
+        batch whose answer nobody is waiting for anymore.
+        """
+        now = loop.time()
+        alive: list[_Pending] = []
+        for pending in batch:
+            if pending.deadline_at is not None and now >= pending.deadline_at:
+                self.counters.requests_shed += 1
+                if not pending.future.done():
+                    pending.future.set_exception(DeadlineExceeded(
+                        f"deadline passed while request "
+                        f"{pending.request.request_id} waited in the "
+                        f"batch queue"))
+            else:
+                alive.append(pending)
+        return alive
 
     def _fail_queued(self, error: BaseException) -> None:
         """Resolve every still-queued request with ``error`` (no hangs)."""
@@ -378,6 +456,8 @@ class PumaServer:
         return {
             "requests_served": self.counters.requests_served,
             "requests_failed": self.counters.requests_failed,
+            "requests_shed": self.counters.requests_shed,
+            "requests_rejected": self.counters.requests_rejected,
             "batches_formed": self.counters.batches_formed,
             "lanes_simulated": self.counters.lanes_simulated,
             "mean_batch_size": self.counters.mean_batch_size,

@@ -323,3 +323,241 @@ class TestFleetAutoscale:
                 assert peak_replicas >= 2
 
         run(main())
+
+
+class TestFleetResilience:
+    """The resilience control plane, end to end over real processes.
+
+    Every failure mode the fleet produces must be *typed*: a 4xx/5xx
+    status plus a machine-readable ``reason`` — never a hang, never a
+    silently dropped connection.  These tests drive each mode through
+    the real front door (the chaos soak in ``benchmarks/bench_chaos.py``
+    drives all of them at once under load).
+    """
+
+    TINY = FleetModelSpec("tiny", "mlp", {"dims": [16, 12, 8]}, seed=1)
+
+    def _reference(self, request_seed: int):
+        engine = build_engine(self.TINY)
+        result = engine.predict(request_inputs(self.TINY, request_seed))
+        return {name: words.tolist() for name, words in result.items()}
+
+    def test_deadline_504_typed_through_the_front_door(self, tmp_path):
+        spec = self.TINY
+
+        async def main():
+            async with PumaFleet([spec], num_workers=1,
+                                 work_dir=str(tmp_path),
+                                 max_batch_size=4) as fleet:
+                pool = ConnectionPool()
+                try:
+                    # An already-spent budget is shed before any work.
+                    response = await pool.request(
+                        fleet.host, fleet.http.port, "POST",
+                        "/v1/predict", body=json.dumps({
+                            "model": spec.name,
+                            "inputs": {name: list(values) for name, values
+                                       in request_inputs(spec, 1).items()},
+                            "deadline_ms": -1}).encode())
+                    assert response.status == 504
+                    assert response.json()["reason"] == "deadline_exceeded"
+                    # A bad deadline is a 400, not a crash.
+                    response = await pool.request(
+                        fleet.host, fleet.http.port, "POST",
+                        "/v1/predict", body=json.dumps({
+                            "model": spec.name,
+                            "inputs": {},
+                            "deadline_ms": "soon"}).encode())
+                    assert response.status == 400
+                finally:
+                    await pool.close()
+                shed = sum(s.sheds for s in fleet.models.values())
+                assert shed == 1
+
+        run(main())
+
+    def test_admission_429_with_retry_after_under_a_hang(self, tmp_path):
+        """A hung replica backs up the gateway queue; the bounded queue
+        turns the overflow into an immediate typed 429 + Retry-After,
+        and the queued work still completes bitwise once the hang ends."""
+        from repro.fleet import FaultEvent, FaultPlan
+
+        spec = self.TINY
+
+        async def main():
+            async with PumaFleet([spec], num_workers=1,
+                                 work_dir=str(tmp_path),
+                                 max_batch_size=4,
+                                 dispatch_concurrency=1,
+                                 max_queue_depth=1) as fleet:
+                armed = await fleet.arm_chaos(FaultPlan(events=(
+                    FaultEvent("hang", duration_s=1.5,
+                               path="/v1/predict"),)))
+                assert armed["w0"] == 1
+                inflight = asyncio.create_task(
+                    fleet.predict(spec.name, request_inputs(spec, 11)))
+                await asyncio.sleep(0.2)      # dispatched into the hang
+                queued = asyncio.create_task(
+                    fleet.predict(spec.name, request_inputs(spec, 12)))
+                await asyncio.sleep(0.2)      # fills the 1-deep queue
+                pool = ConnectionPool()
+                try:
+                    response = await pool.request(
+                        fleet.host, fleet.http.port, "POST",
+                        "/v1/predict", body=json.dumps({
+                            "model": spec.name,
+                            "inputs": {name: list(values) for name, values
+                                       in request_inputs(spec, 13).items()},
+                        }).encode())
+                    assert response.status == 429
+                    assert response.json()["reason"] == "queue_full"
+                    assert float(response.headers["retry-after"]) > 0
+                finally:
+                    await pool.close()
+                # The hang ends; everything accepted completes bitwise.
+                replies = await asyncio.gather(inflight, queued)
+                assert replies[0]["words"] == self._reference(11)
+                assert replies[1]["words"] == self._reference(12)
+                rejections = sum(s.rejections
+                                 for s in fleet.models.values())
+                assert rejections == 1
+
+        run(main())
+
+    def test_constructor_fault_plan_faults_are_retried_bitwise(
+            self, tmp_path):
+        """A fault plan armed at spawn (drops + 5xx + garbage on worker
+        0) never surfaces to clients: the gateway retries on the other
+        replica and every reply stays bitwise-correct."""
+        from repro.fleet import FaultEvent, FaultPlan
+
+        spec = self.TINY
+        plan = FaultPlan(seed=3, events=(
+            FaultEvent("drop", duration_s=30.0, worker=0,
+                       path="/v1/predict", count=2),
+            FaultEvent("error", duration_s=30.0, worker=0,
+                       path="/v1/predict", count=2),
+            FaultEvent("error", duration_s=30.0, worker=0,
+                       path="/v1/predict", garbage=True, count=2),
+        ))
+
+        async def main():
+            async with PumaFleet([spec], num_workers=2,
+                                 replicas_per_model=2,
+                                 work_dir=str(tmp_path),
+                                 max_batch_size=4,
+                                 max_attempts=4,
+                                 fault_plan=plan) as fleet:
+                seeds = list(range(500, 516))
+                replies = await asyncio.gather(
+                    *(fleet.predict(spec.name, request_inputs(spec, seed))
+                      for seed in seeds))
+                for seed, reply in zip(seeds, replies):
+                    assert reply["words"] == self._reference(seed), \
+                        f"faulted-and-retried request {seed} diverged"
+                metrics = await fleet.metrics()
+                fired: dict = {}
+                for entry in metrics["workers"].values():
+                    if entry.get("metrics"):
+                        for kind, count in \
+                                entry["metrics"]["chaos"]["fired"].items():
+                            fired[kind] = fired.get(kind, 0) + count
+                assert fired.get("drop", 0) >= 1 \
+                    or fired.get("error", 0) >= 1, (
+                        f"no fault ever fired: {fired}")
+                retried = sum(s.retries for s in fleet.models.values())
+                assert retried >= 1
+
+        run(main())
+
+    def test_stop_drain_bound_lapses_on_a_hung_worker(self, tmp_path):
+        """stop(drain=True) with a hung worker: the bounded drain gives
+        up at the bound and fails the stuck work loudly — shutdown is
+        never held hostage (the former uncovered drain-timeout path)."""
+        from repro.fleet import FaultEvent, FaultPlan, FleetError
+
+        spec = self.TINY
+
+        async def main():
+            fleet = PumaFleet([spec], num_workers=1,
+                              work_dir=str(tmp_path),
+                              max_batch_size=4,
+                              dispatch_concurrency=1)
+            await fleet.start()
+            await fleet.arm_chaos(FaultPlan(events=(
+                FaultEvent("hang", duration_s=20.0,
+                           path="/v1/predict"),)))
+            stuck = asyncio.create_task(
+                fleet.predict(spec.name, request_inputs(spec, 7)))
+            await asyncio.sleep(0.2)          # dispatched into the hang
+            started = time.monotonic()
+            await fleet.stop(drain=True, drain_timeout_s=0.3)
+            assert time.monotonic() - started < 15.0, \
+                "a hung worker held shutdown hostage"
+            with pytest.raises(FleetError):
+                await stuck
+            assert not fleet._running
+
+        run(main())
+
+    def test_artifact_eviction_races_inflight_traffic(self, tmp_path):
+        """A size-capped store evicting under concurrent GET/PUT traffic
+        never serves a half blob: every GET is either a 404 or the full
+        bytes matching the digest it came with."""
+        from repro.fleet.netstore import SHA_HEADER, blob_digest
+
+        spec = self.TINY
+
+        async def main():
+            async with PumaFleet([spec], num_workers=1,
+                                 work_dir=str(tmp_path),
+                                 max_batch_size=4,
+                                 blob_store_max_bytes=300_000) as fleet:
+                pool = ConnectionPool()
+                rng = np.random.default_rng(0)
+                blobs = {f"{'abcd'[i] * 2}": rng.bytes(120_000)
+                         for i in range(4)}
+
+                async def put(key, data):
+                    return await pool.request(
+                        fleet.host, fleet.http.port, "PUT",
+                        f"/v1/artifacts/{key}", body=data,
+                        headers={SHA_HEADER: blob_digest(data)})
+
+                async def get(key):
+                    response = await pool.request(
+                        fleet.host, fleet.http.port, "GET",
+                        f"/v1/artifacts/{key}")
+                    if response.status == 404:
+                        return None
+                    assert response.status == 200
+                    digest = response.headers[SHA_HEADER.lower()]
+                    assert blob_digest(response.body) == digest, \
+                        "a GET observed a torn blob"
+                    return response.body
+                try:
+                    first = dict(list(blobs.items())[:2])
+                    for key, data in first.items():
+                        assert (await put(key, data)).status == 201
+                    # Interleave reads of the resident blobs with PUTs
+                    # that must evict them to fit under the cap.
+                    results = await asyncio.gather(
+                        get("aa"), put("cc", blobs["cc"]), get("bb"),
+                        put("dd", blobs["dd"]), get("aa"), get("cc"))
+                    for key, body in zip(("aa", "bb", "aa", "cc"),
+                                         (results[0], results[2],
+                                          results[4], results[5])):
+                        assert body is None or body == blobs[key]
+                    metrics = await fleet.metrics()
+                    assert metrics["fleet"]["store_evictions"] >= 1
+                    # The store never exceeds its cap once the dust
+                    # settles, and surviving keys read back intact.
+                    assert fleet.blobs.total_bytes() <= 300_000
+                    for key in fleet.blobs.keys():
+                        if key in blobs:
+                            body = await get(key)
+                            assert body == blobs[key]
+                finally:
+                    await pool.close()
+
+        run(main())

@@ -503,3 +503,113 @@ class TestServerStats:
             assert set(fields) <= set(stats[section]), section
             assert all(isinstance(stats[section][f], int) for f in fields)
         assert stats["queue_depth"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Deadlines + admission control (the resilience layer's serve-side half)
+
+
+class TestDeadlinesAndAdmission:
+    def test_expired_on_arrival_is_shed_before_enqueue(self, engine):
+        from repro.serve import DeadlineExceeded
+
+        async def scenario():
+            async with PumaServer(engine) as server:
+                with pytest.raises(DeadlineExceeded, match="expired"):
+                    await server.submit({"x": float_inputs(1)[0]},
+                                        deadline_s=-0.1)
+                return server.counters
+
+        counters = serve(scenario())
+        assert counters.requests_shed == 1
+        assert counters.batches_formed == 0     # never occupied a lane
+
+    def test_deadline_shed_at_batch_formation(self, engine):
+        """A request that expires while queued is failed at batch
+        formation — promptly, and without spending a batch lane on an
+        answer nobody awaits — while fresh requests still get served."""
+        from repro.serve import DeadlineExceeded
+
+        async def scenario():
+            server = await PumaServer(engine, max_batch_size=2,
+                                      batch_window_s=0.0).start()
+            gate = asyncio.Event()
+            original = server._serve_batch
+
+            async def gated(batch):
+                await gate.wait()
+                return await original(batch)
+
+            server._serve_batch = gated
+            xs = float_inputs(3, seed=4)
+            blocker = asyncio.create_task(server.submit({"x": xs[0]}))
+            await asyncio.sleep(0.01)   # loop claims it, parks at gate
+            doomed = asyncio.create_task(
+                server.submit({"x": xs[1]}, deadline_s=0.02))
+            fresh = asyncio.create_task(server.submit({"x": xs[2]}))
+            await asyncio.sleep(0.05)   # doomed's budget lapses queued
+            gate.set()
+            outcomes = await asyncio.gather(blocker, doomed, fresh,
+                                            return_exceptions=True)
+            await server.stop()
+            return outcomes, server.counters
+
+        (blocked, doomed, fresh), counters = serve(scenario())
+        assert isinstance(blocked, RunResult)
+        assert isinstance(doomed, DeadlineExceeded)
+        assert "deadline" in str(doomed)
+        assert isinstance(fresh, RunResult)
+        assert counters.requests_shed == 1
+        assert counters.requests_served == 2
+
+    def test_admission_bound_rejects_fast_then_recovers(self, engine):
+        from repro.serve import AdmissionError
+
+        async def scenario():
+            server = await PumaServer(engine, max_batch_size=1,
+                                      batch_window_s=0.0,
+                                      max_queue_depth=1).start()
+            gate = asyncio.Event()
+            original = server._serve_batch
+
+            async def gated(batch):
+                await gate.wait()
+                return await original(batch)
+
+            server._serve_batch = gated
+            xs = float_inputs(3, seed=6)
+            inflight = asyncio.create_task(server.submit({"x": xs[0]}))
+            await asyncio.sleep(0.01)   # claimed; parked at the gate
+            queued = asyncio.create_task(server.submit({"x": xs[1]}))
+            await asyncio.sleep(0.01)   # fills the 1-deep queue
+            with pytest.raises(AdmissionError, match="queue full"):
+                await server.submit({"x": xs[2]})
+            gate.set()                  # drain; admission recovers
+            served = await asyncio.gather(inflight, queued)
+            recovered = await server.submit({"x": xs[2]})
+            await server.stop()
+            return served, recovered, server.counters
+
+        served, recovered, counters = serve(scenario())
+        assert all(isinstance(r, RunResult) for r in served)
+        assert isinstance(recovered, RunResult)
+        assert counters.requests_rejected == 1
+        assert counters.requests_served == 3
+
+    def test_stats_expose_shed_and_rejected(self, engine):
+        from repro.serve import DeadlineExceeded
+
+        async def scenario():
+            async with PumaServer(engine, max_queue_depth=4) as server:
+                with pytest.raises(DeadlineExceeded):
+                    await server.submit({"x": float_inputs(1)[0]},
+                                        deadline_s=0.0)
+                return server.stats()
+
+        stats = serve(scenario())
+        assert stats["requests_shed"] == 1
+        assert stats["requests_rejected"] == 0
+
+    def test_queue_depth_validation(self, engine):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            PumaServer(engine, max_queue_depth=0)
