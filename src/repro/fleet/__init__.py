@@ -38,6 +38,7 @@ from repro.fleet.loadgen import (
     LoadReport,
     bursty_trace,
     default_inputs_builder,
+    mixed_priority_trace,
     run_trace,
 )
 from repro.fleet.manager import (
@@ -93,6 +94,7 @@ __all__ = [
     "build_engine",
     "bursty_trace",
     "default_inputs_builder",
+    "mixed_priority_trace",
     "route_key",
     "run_trace",
 ]

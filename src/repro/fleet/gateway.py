@@ -36,12 +36,15 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import math
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 import numpy as np
+
+from repro.serve.clock import Clock, MonotonicClock
 
 from repro.fleet.http import (
     ConnectionPool,
@@ -109,7 +112,12 @@ class _ModelState:
     spec: FleetModelSpec
     key: str
     replicas: int
-    queue: asyncio.Queue = field(default_factory=asyncio.Queue)
+    # Entries are ((-priority, deadline, seq), _Pending): higher-priority
+    # requests dispatch first, earlier deadlines next, arrival order last
+    # — the same EDF order the worker-side scheduler uses, so a burst of
+    # low-priority traffic cannot sit in front of an urgent request.
+    queue: asyncio.PriorityQueue = field(
+        default_factory=asyncio.PriorityQueue)
     dispatchers: list = field(default_factory=list)
     rr: int = 0                     # round-robin cursor over placement
     inflight: int = 0
@@ -131,6 +139,12 @@ class _Pending:
     # token decorrelating this request's backoff jitter from its peers'.
     deadline_at: float | None = None
     token: int = 0
+    priority: int = 0
+
+    def sort_key(self) -> tuple:
+        """EDF order for the gateway queue (mirrors the worker scheduler)."""
+        deadline = math.inf if self.deadline_at is None else self.deadline_at
+        return (-self.priority, deadline, self.token)
 
 
 class PumaFleet:
@@ -181,6 +195,13 @@ class PumaFleet:
             :func:`repro.fleet.resilience.backoff_delay`).
         blob_store_max_bytes: size cap for the artifact plane's LRU
             (``None`` = unbounded, the pre-resilience behavior).
+        scheduler_policy: batch-formation policy each worker's
+            ``PumaServer`` runs (``"edf"`` default, ``"fifo"``
+            baseline); priorities and deadlines ride end-to-end either
+            way, but only EDF orders by them.
+        clock: time source for gateway deadline math and retry backoff
+            (default wall clock; tests inject
+            :class:`~repro.serve.clock.VirtualClock`).
         fault_plan: a chaos schedule armed at startup — worker events
             ride each worker's spawn bootstrap, gateway events
             (``corrupt_blob``) arm on the gateway injector.  More can
@@ -218,6 +239,8 @@ class PumaFleet:
                  blob_store_max_bytes: int | None = None,
                  fault_plan: FaultPlan | None = None,
                  drain_timeout_s: float = PREDICT_TIMEOUT_S,
+                 scheduler_policy: str = "edf",
+                 clock: Clock | None = None,
                  host: str = "127.0.0.1", port: int = 0) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -259,6 +282,10 @@ class PumaFleet:
         self.blob_store_max_bytes = blob_store_max_bytes
         self.fault_plan = fault_plan
         self.drain_timeout_s = drain_timeout_s
+        self.scheduler_policy = scheduler_policy
+        # Every deadline/backoff decision reads this clock, so tests can
+        # inject a VirtualClock and drive gateway time deterministically.
+        self.clock: Clock = clock if clock is not None else MonotonicClock()
         self.host = host
         self._requested_port = port
 
@@ -300,6 +327,7 @@ class PumaFleet:
             max_batch_size=self.max_batch_size,
             batch_window_s=self.batch_window_s, host=self.host,
             max_queue_depth=self.max_queue_depth,
+            scheduler_policy=self.scheduler_policy,
             fault_plan=self.fault_plan)
         await self.manager.spawn_many(self.num_workers)
         for worker_id in self.manager.workers:
@@ -348,7 +376,7 @@ class PumaFleet:
                 await asyncio.sleep(0.01)
         for state in self.models.values():
             while not state.queue.empty():
-                pending = state.queue.get_nowait()
+                _key, pending = state.queue.get_nowait()
                 if not pending.future.done():
                     pending.future.set_exception(FleetError(
                         "fleet stopped before this request was served"))
@@ -407,7 +435,8 @@ class PumaFleet:
 
     async def predict(self, model: str, inputs: dict[str, Any],
                       timeout: float = PREDICT_TIMEOUT_S,
-                      deadline_ms: float | None = None) -> dict:
+                      deadline_ms: float | None = None,
+                      priority: int = 0) -> dict:
         """Run one inference through the fleet; the worker's JSON reply.
 
         ``inputs`` maps input names to 1-D float vectors (lists or
@@ -416,15 +445,19 @@ class PumaFleet:
         ``execution``.  ``deadline_ms`` is the request's *end-to-end*
         time budget: it bounds the gateway queue wait, every dispatch
         attempt, and the worker's batch queue (the remaining budget
-        travels in the request body).  Raises :class:`FleetError` on
-        permanent failure — :class:`FleetAdmissionError` when the
-        model's queue is full, :class:`FleetDeadlineError` when the
-        budget expires — and :class:`KeyError` for an unknown model.
+        travels in the request body).  ``priority`` orders the gateway
+        queue (higher first) and rides to the worker's batch scheduler;
+        it never affects output values, only ordering.  Raises
+        :class:`FleetError` on permanent failure —
+        :class:`FleetAdmissionError` when the model's queue is full,
+        :class:`FleetDeadlineError` when the budget expires — and
+        :class:`KeyError` for an unknown model.
         """
         if not self._running or self._closing:
             raise FleetError("fleet is not accepting requests "
                              "(stopped or draining)")
         state = self.models[model]
+        priority = int(priority)
         if deadline_ms is None:
             deadline_ms = self.default_deadline_ms
         deadline_at = None
@@ -435,7 +468,7 @@ class PumaFleet:
                 raise FleetDeadlineError(
                     f"{model}: deadline_ms={deadline_ms:g} is already "
                     f"expired")
-            deadline_at = time.monotonic() + deadline_ms / 1000.0
+            deadline_at = self.clock.now() + deadline_ms / 1000.0
             # The future resolves with a 504 at the deadline; the extra
             # margin only covers dispatcher scheduling, not more work.
             wait_timeout = min(timeout, deadline_ms / 1000.0 + 1.0)
@@ -449,17 +482,18 @@ class PumaFleet:
         wire_inputs = {name: np.asarray(values, dtype=np.float64).tolist()
                        for name, values in inputs.items()}
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        state.queue.put_nowait(_Pending(
+        pending = _Pending(
             inputs=wire_inputs, future=future,
-            enqueued_at=time.monotonic(), deadline_at=deadline_at,
-            token=next(self._tokens)))
+            enqueued_at=self.clock.now(), deadline_at=deadline_at,
+            token=next(self._tokens), priority=priority)
+        state.queue.put_nowait((pending.sort_key(), pending))
         try:
             return await asyncio.wait_for(future, wait_timeout)
         except asyncio.TimeoutError:
             # wait_for cancelled the future, so the dispatcher (which
             # guards every resolve with future.done()) won't also count
             # this request — the shed tally stays single-entry.
-            if deadline_at is not None and time.monotonic() >= deadline_at:
+            if deadline_at is not None and self.clock.now() >= deadline_at:
                 state.sheds += 1
                 raise FleetDeadlineError(
                     f"{model}: deadline of {deadline_ms:g}ms expired "
@@ -474,11 +508,11 @@ class PumaFleet:
 
     async def _dispatch_loop(self, state: _ModelState) -> None:
         while True:
-            pending = await state.queue.get()
+            _key, pending = await state.queue.get()
             if pending.future.done():
                 continue             # caller gave up (timeout/cancel)
             if pending.deadline_at is not None \
-                    and time.monotonic() >= pending.deadline_at:
+                    and self.clock.now() >= pending.deadline_at:
                 # Expired while queued: shed now, spend no dispatch.
                 state.sheds += 1
                 pending.future.set_exception(FleetDeadlineError(
@@ -523,7 +557,7 @@ class PumaFleet:
         for attempt in range(self.max_attempts):
             remaining_s = None
             if pending.deadline_at is not None:
-                remaining_s = pending.deadline_at - time.monotonic()
+                remaining_s = pending.deadline_at - self.clock.now()
                 if remaining_s <= 0:
                     state.sheds += 1
                     raise FleetDeadlineError(
@@ -534,7 +568,7 @@ class PumaFleet:
             if handle is None:
                 # Everything tried or unhealthy: wait for health/respawn
                 # to restore a replica, then widen the search again.
-                await asyncio.sleep(0.05 * (attempt + 1))
+                await self.clock.sleep(0.05 * (attempt + 1))
                 tried.clear()
                 handle = self._pick_replica(state, tried)
                 if handle is None:
@@ -542,7 +576,8 @@ class PumaFleet:
             tried.add(handle.worker_id)
             breaker = self.breakers.get(handle.worker_id)
             payload: dict[str, Any] = {"route_key": state.key,
-                                       "inputs": pending.inputs}
+                                       "inputs": pending.inputs,
+                                       "priority": pending.priority}
             http_timeout = PREDICT_TIMEOUT_S
             if remaining_s is not None:
                 # The worker sheds on its own clock; the grace margin
@@ -617,7 +652,7 @@ class PumaFleet:
             f"{self.max_attempts} attempts (last error: {last_error})")
 
     async def _backoff(self, attempt: int, token: int) -> None:
-        await asyncio.sleep(backoff_delay(
+        await self.clock.sleep(backoff_delay(
             attempt, base_s=self.backoff_base_s, cap_s=self.backoff_cap_s,
             seed=self.backoff_seed, token=token))
 
@@ -779,8 +814,15 @@ class PumaFleet:
                 return error_response(
                     400, f"bad deadline_ms {payload['deadline_ms']!r}")
         try:
+            priority = int(payload.get("priority", 0))
+        except (TypeError, ValueError):
+            return error_response(
+                400, f"bad priority {payload['priority']!r} "
+                     f"(must be an integer)")
+        try:
             reply = await self.predict(model, inputs,
-                                       deadline_ms=deadline_ms)
+                                       deadline_ms=deadline_ms,
+                                       priority=priority)
         except FleetAdmissionError as error:
             return error_response(
                 429, str(error), reason="queue_full",

@@ -89,6 +89,8 @@ class FleetWorker:
         max_batch_size / batch_window_s: per-model ``PumaServer`` tuning.
         max_queue_depth: per-model admission bound handed to each hosted
             :class:`~repro.serve.PumaServer` (``None`` = unbounded).
+        scheduler_policy: batch-formation policy for each hosted
+            ``PumaServer`` (``"edf"`` default, ``"fifo"`` baseline).
         fault_events: chaos events to arm once serving starts (the
             worker-side slice of a :class:`~repro.fleet.resilience
             .FaultPlan`); more can be armed at runtime via
@@ -102,6 +104,7 @@ class FleetWorker:
                  batch_window_s: float = 0.002,
                  host: str = "127.0.0.1",
                  max_queue_depth: int | None = None,
+                 scheduler_policy: str = "edf",
                  fault_events: tuple[FaultEvent, ...] = (),
                  chaos_seed: int = 0) -> None:
         self.worker_id = worker_id
@@ -110,6 +113,7 @@ class FleetWorker:
         self.max_batch_size = max_batch_size
         self.batch_window_s = batch_window_s
         self.max_queue_depth = max_queue_depth
+        self.scheduler_policy = scheduler_policy
         self.hosted: dict[str, _HostedModel] = {}
         self.shutdown = asyncio.Event()
         self.drain_on_shutdown = True
@@ -281,7 +285,8 @@ class FleetWorker:
             server = PumaServer(engine,
                                 max_batch_size=self.max_batch_size,
                                 batch_window_s=self.batch_window_s,
-                                max_queue_depth=self.max_queue_depth)
+                                max_queue_depth=self.max_queue_depth,
+                                scheduler=self.scheduler_policy)
             await server.start()
             self.hosted[key] = _HostedModel(
                 spec, server, warm_start=(source == "network"),
@@ -335,8 +340,15 @@ class FleetWorker:
                     504, "deadline expired before the request reached "
                          "the model server", reason="deadline_exceeded")
         try:
+            priority = int(payload.get("priority", 0))
+        except (TypeError, ValueError):
+            return error_response(
+                400, f"bad priority {payload['priority']!r} "
+                     f"(must be an integer)")
+        try:
             result = await hosted.server.submit(arrays,
-                                                deadline_s=deadline_s)
+                                                deadline_s=deadline_s,
+                                                priority=priority)
         except ValueError as error:
             return error_response(400, str(error))
         except DeadlineExceeded as error:
@@ -422,6 +434,7 @@ async def _worker_main(bootstrap: dict, conn) -> None:
         batch_window_s=bootstrap.get("batch_window_s", 0.002),
         host=bootstrap.get("host", "127.0.0.1"),
         max_queue_depth=bootstrap.get("max_queue_depth"),
+        scheduler_policy=bootstrap.get("scheduler_policy", "edf"),
         fault_events=tuple(
             FaultEvent.from_dict(item)
             for item in bootstrap.get("fault_events", [])),
@@ -446,6 +459,7 @@ def worker_bootstrap(worker_id: str, work_dir: str, *,
                      batch_window_s: float = 0.002,
                      host: str = "127.0.0.1",
                      max_queue_depth: int | None = None,
+                     scheduler_policy: str = "edf",
                      fault_events: tuple[FaultEvent, ...] = (),
                      chaos_seed: int = 0) -> dict:
     """The picklable config dict :func:`run_worker` consumes."""
@@ -454,5 +468,6 @@ def worker_bootstrap(worker_id: str, work_dir: str, *,
             "max_batch_size": max_batch_size,
             "batch_window_s": batch_window_s, "host": host,
             "max_queue_depth": max_queue_depth,
+            "scheduler_policy": scheduler_policy,
             "fault_events": [event.to_dict() for event in fault_events],
             "chaos_seed": chaos_seed}

@@ -2,18 +2,42 @@
 
 * :class:`RunResult` / :class:`InferenceRequest` — the typed values
   crossing the serving boundary (:mod:`repro.serve.types`);
-* :class:`PumaServer` — asyncio request queue + dynamic micro-batching
+* :class:`PumaServer` — asyncio request queue + scheduled micro-batching
   over an :class:`~repro.engine.InferenceEngine`
   (:mod:`repro.serve.server`);
+* :class:`~repro.serve.scheduler.BatchScheduler` and friends — the
+  pluggable batch-formation policies: EDF with deadline-pressure early
+  close, and the fixed-window FIFO baseline
+  (:mod:`repro.serve.scheduler`);
+* :class:`~repro.serve.continuous.ContinuousBatcher` — continuous
+  batching for sequence workloads: cohorts of lanes join/leave the
+  shared node at recorded step boundaries
+  (:mod:`repro.serve.continuous`);
+* :class:`~repro.serve.clock.VirtualClock` — the deterministic-time
+  test harness every wall-clock decision runs on
+  (:mod:`repro.serve.clock`);
 * :class:`ShardedEngine` — data-parallel batch fan-out across engine
   replicas, merged bitwise-identically (:mod:`repro.serve.sharding`).
 """
 
 from repro.serve.types import InferenceRequest, RunResult
+from repro.serve.clock import Clock, MonotonicClock, VirtualClock
+from repro.serve.continuous import ContinuousBatcher, ContinuousUnsupported
+from repro.serve.scheduler import (
+    SCHEDULER_POLICIES,
+    BatchScheduler,
+    EdfScheduler,
+    FifoScheduler,
+    SchedulerCounters,
+    ServiceTimeTracker,
+    make_scheduler,
+)
 from repro.serve.sharding import (
     SHARD_POLICIES,
     ShardedEngine,
     ShardExecutionError,
+    apportion_lanes,
+    shard_lanes,
 )
 from repro.serve.server import (
     AdmissionError,
@@ -24,12 +48,26 @@ from repro.serve.server import (
 
 __all__ = [
     "AdmissionError",
+    "BatchScheduler",
+    "Clock",
+    "ContinuousBatcher",
+    "ContinuousUnsupported",
     "DeadlineExceeded",
+    "EdfScheduler",
+    "FifoScheduler",
     "InferenceRequest",
+    "MonotonicClock",
     "RunResult",
     "PumaServer",
+    "SCHEDULER_POLICIES",
+    "SchedulerCounters",
     "ServerCounters",
+    "ServiceTimeTracker",
     "SHARD_POLICIES",
     "ShardedEngine",
     "ShardExecutionError",
+    "VirtualClock",
+    "apportion_lanes",
+    "make_scheduler",
+    "shard_lanes",
 ]

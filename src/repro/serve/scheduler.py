@@ -1,0 +1,294 @@
+"""SLO-aware batch formation: priorities, deadlines, EDF, early close.
+
+This is the pluggable policy layer between request intake and engine
+dispatch.  :class:`~repro.serve.server.PumaServer` owns the asyncio
+plumbing (futures, the arrival event, the executor); the scheduler owns
+*which requests form the next batch and how long to keep the window
+open*:
+
+* **FIFO** (``"fifo"``) — arrival order, fixed ``batch_window_s`` hold.
+  The pre-scheduler behavior, kept as the benchmark baseline.
+* **EDF** (``"edf"``, the default) — the queue is ordered by
+  ``(-priority, deadline, arrival)``: higher ``priority`` strictly
+  first, earliest deadline next, arrival order last.  With no
+  priorities or deadlines this degenerates to exact FIFO order, which
+  is why it is safe as the default.
+
+**Early close.**  An EDF window additionally closes *early* when the
+most urgent queued deadline no longer affords waiting: with ``d`` the
+earliest absolute deadline in the queue and ``s`` the EWMA-observed
+service time of the batch we would dispatch (tracked per batch size by
+:class:`ServiceTimeTracker`), the remaining slack is ``d - now - s``.
+When slack runs out before the window does, the batch dispatches
+immediately — trading batch fill for deadline attainment — and the
+event counts in :attr:`SchedulerCounters.early_closes`.
+
+Counter conservation (asserted by
+``tests/test_scheduler_properties.py``): every admitted request is
+eventually dispatched, shed, or drained::
+
+    admitted == dispatched + shed + drained + len(queue)
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+SCHEDULER_POLICIES = ("fifo", "edf")
+
+
+@dataclass
+class SchedulerCounters:
+    """Queue-side accounting, one conservation law.
+
+    Attributes:
+        admitted: requests accepted into the queue (post-validation,
+            post-admission-control).
+        dispatched: requests handed to the engine in some batch.
+        shed: requests removed because their deadline expired while
+            queued.
+        drained: requests removed administratively (server stopping
+            without drain, or the batching loop crashing).
+        early_closes: batch windows closed early by deadline pressure.
+        refills: lanes of a continuous batch refilled from the queue at
+            a step boundary (0 unless continuous batching is on).
+    """
+
+    admitted: int = 0
+    dispatched: int = 0
+    shed: int = 0
+    drained: int = 0
+    early_closes: int = 0
+    refills: int = 0
+
+    def in_balance(self, queued: int) -> bool:
+        """The conservation law; ``queued`` is the live queue depth."""
+        return self.admitted == (self.dispatched + self.shed
+                                 + self.drained + queued)
+
+    def as_dict(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "dispatched": self.dispatched,
+            "shed": self.shed,
+            "drained": self.drained,
+            "early_closes": self.early_closes,
+            "refills": self.refills,
+        }
+
+
+class ServiceTimeTracker:
+    """EWMA of observed per-batch service time, keyed by batch size.
+
+    The server reports every engine pass (``observe(batch_size,
+    seconds)``, measured on the injected clock); the scheduler asks
+    ``estimate(batch_size)`` for the early-close rule.  An exact match
+    is preferred; otherwise the nearest observed batch size answers
+    (service time is monotone-ish in batch size, and a nearby size is a
+    far better predictor than nothing).  Returns ``None`` until the
+    first observation — no estimate means no early close, never a
+    guessed one.
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._ewma: dict[int, float] = {}
+
+    def observe(self, batch_size: int, seconds: float) -> None:
+        if batch_size < 1 or not math.isfinite(seconds) or seconds < 0:
+            return
+        previous = self._ewma.get(batch_size)
+        if previous is None:
+            self._ewma[batch_size] = seconds
+        else:
+            self._ewma[batch_size] = (self.alpha * seconds
+                                      + (1 - self.alpha) * previous)
+
+    def estimate(self, batch_size: int) -> float | None:
+        if not self._ewma:
+            return None
+        if batch_size in self._ewma:
+            return self._ewma[batch_size]
+        nearest = min(self._ewma, key=lambda size: (abs(size - batch_size),
+                                                    size))
+        return self._ewma[nearest]
+
+    def seed(self, batch_size: int, seconds: float) -> None:
+        """Pin an estimate directly (deterministic tests, warm starts)."""
+        self._ewma[int(batch_size)] = float(seconds)
+
+    def snapshot(self) -> dict[int, float]:
+        return dict(self._ewma)
+
+
+@dataclass(order=True)
+class _Entry:
+    sort_key: tuple
+    item: Any = field(compare=False)
+    priority: int = field(compare=False, default=0)
+    deadline_at: float | None = field(compare=False, default=None)
+
+
+class BatchScheduler:
+    """Base: a priority/deadline-aware queue plus the window-hold policy.
+
+    Subclasses choose the ordering (``_sort_key``) and the hold rule
+    (:meth:`hold_for`).  Items are opaque to the scheduler — the server
+    queues its ``_Pending`` records and gets them back in dispatch
+    order.
+    """
+
+    policy = "base"
+
+    def __init__(self, *, max_batch_size: int = 16,
+                 batch_window_s: float = 0.002,
+                 service_times: ServiceTimeTracker | None = None) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, "
+                             f"got {max_batch_size}")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        self.max_batch_size = max_batch_size
+        self.batch_window_s = batch_window_s
+        self.service_times = service_times or ServiceTimeTracker()
+        self.counters = SchedulerCounters()
+        self._heap: list[_Entry] = []
+        self._seq = itertools.count()
+
+    # -- ordering ----------------------------------------------------------
+
+    def _sort_key(self, priority: int, deadline_at: float | None,
+                  seq: int) -> tuple:
+        raise NotImplementedError
+
+    # -- queue operations --------------------------------------------------
+
+    def push(self, item: Any, *, priority: int = 0,
+             deadline_at: float | None = None) -> None:
+        """Admit one request into the queue."""
+        seq = next(self._seq)
+        heapq.heappush(self._heap, _Entry(
+            self._sort_key(priority, deadline_at, seq), item,
+            priority=priority, deadline_at=deadline_at))
+        self.counters.admitted += 1
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def pop_batch(self, limit: int | None = None) -> list[Any]:
+        """Remove and return the next batch, most urgent first."""
+        limit = self.max_batch_size if limit is None else limit
+        batch: list[Any] = []
+        while self._heap and len(batch) < limit:
+            batch.append(heapq.heappop(self._heap).item)
+        self.counters.dispatched += len(batch)
+        return batch
+
+    def pop_expired(self, now: float) -> list[Any]:
+        """Remove and return every queued request whose deadline passed."""
+        expired = [e for e in self._heap
+                   if e.deadline_at is not None and now >= e.deadline_at]
+        if expired:
+            self._heap = [e for e in self._heap
+                          if not (e.deadline_at is not None
+                                  and now >= e.deadline_at)]
+            heapq.heapify(self._heap)
+            self.counters.shed += len(expired)
+        return [e.item for e in expired]
+
+    def drain(self) -> list[Any]:
+        """Remove and return everything queued (shutdown/crash path)."""
+        drained = [e.item for e in sorted(self._heap)]
+        self.counters.drained += len(drained)
+        self._heap.clear()
+        return drained
+
+    # -- the hold policy ---------------------------------------------------
+
+    def earliest_deadline(self) -> float | None:
+        deadlines = [e.deadline_at for e in self._heap
+                     if e.deadline_at is not None]
+        return min(deadlines) if deadlines else None
+
+    def hold_for(self, now: float, window_started_at: float) -> float:
+        """Seconds to keep the forming batch open; ``<= 0`` = dispatch."""
+        raise NotImplementedError
+
+    def observe_service(self, batch_size: int, seconds: float) -> None:
+        self.service_times.observe(batch_size, seconds)
+
+    def stats(self) -> dict:
+        return {
+            "policy": self.policy,
+            "queue_depth": len(self._heap),
+            "service_time_ewma_s": {
+                str(size): seconds
+                for size, seconds in
+                sorted(self.service_times.snapshot().items())},
+            **self.counters.as_dict(),
+        }
+
+
+class FifoScheduler(BatchScheduler):
+    """Arrival order, fixed window — the baseline policy."""
+
+    policy = "fifo"
+
+    def _sort_key(self, priority: int, deadline_at: float | None,
+                  seq: int) -> tuple:
+        return (seq,)
+
+    def hold_for(self, now: float, window_started_at: float) -> float:
+        return (window_started_at + self.batch_window_s) - now
+
+
+class EdfScheduler(BatchScheduler):
+    """Priority-then-earliest-deadline order with deadline-pressure close."""
+
+    policy = "edf"
+
+    def _sort_key(self, priority: int, deadline_at: float | None,
+                  seq: int) -> tuple:
+        deadline_key = math.inf if deadline_at is None else deadline_at
+        return (-priority, deadline_key, seq)
+
+    def hold_for(self, now: float, window_started_at: float) -> float:
+        window_left = (window_started_at + self.batch_window_s) - now
+        if window_left <= 0:
+            return window_left
+        earliest = self.earliest_deadline()
+        if earliest is None:
+            return window_left
+        estimate = self.service_times.estimate(
+            min(len(self._heap), self.max_batch_size))
+        if estimate is None:
+            # No observation yet: the deadline itself still bounds the
+            # hold — never wait past the point of guaranteed failure.
+            slack = earliest - now
+        else:
+            slack = (earliest - now) - estimate
+        if slack < window_left:
+            if slack <= 0:
+                self.counters.early_closes += 1
+            return slack
+        return window_left
+
+
+def make_scheduler(policy: str, *, max_batch_size: int = 16,
+                   batch_window_s: float = 0.002,
+                   service_times: ServiceTimeTracker | None = None,
+                   ) -> BatchScheduler:
+    """Build the named scheduling policy (see :data:`SCHEDULER_POLICIES`)."""
+    classes = {"fifo": FifoScheduler, "edf": EdfScheduler}
+    if policy not in classes:
+        raise ValueError(f"unknown scheduler policy {policy!r}; "
+                         f"choose from {SCHEDULER_POLICIES}")
+    return classes[policy](max_batch_size=max_batch_size,
+                           batch_window_s=batch_window_s,
+                           service_times=service_times)

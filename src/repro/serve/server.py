@@ -1,33 +1,56 @@
-"""PumaServer: an async serving front-end with dynamic micro-batching.
+"""PumaServer: an async serving front-end with SLO-aware micro-batching.
 
 The programmed crossbars are a fixed endpoint (Section 3.2.5: weights are
 written once at configuration time); serving is software's job.
 :class:`PumaServer` is that layer: concurrent clients submit single
-inferences, the server coalesces whatever is waiting — up to
-``max_batch_size`` requests, gathered for at most ``batch_window_s``
-seconds — into one SIMD-over-batch pass on the
-:class:`~repro.engine.InferenceEngine`, and each client gets back its own
-:class:`~repro.serve.types.RunResult`.  Because batched execution is
-bitwise identical to sequential single-input runs (the engine's core
-guarantee), coalescing is invisible to clients except in throughput.
+inferences (optionally carrying a ``priority`` and a ``deadline_s``
+budget), a pluggable scheduler (:mod:`repro.serve.scheduler`) orders the
+queue and decides when the forming batch dispatches, and each client gets
+back its own :class:`~repro.serve.types.RunResult`.  Because batched
+execution is bitwise identical to sequential single-input runs (the
+engine's core guarantee), coalescing is invisible to clients except in
+latency and throughput.
+
+Three scheduling modes:
+
+* **Fixed-window FIFO** (``scheduler="fifo"``) — the original behavior:
+  arrival order, ``batch_window_s`` hold.  Kept as the benchmark
+  baseline.
+* **EDF** (``scheduler="edf"``, the default) — priority-then-earliest-
+  deadline order with an early-close rule: the window also closes when
+  the most urgent queued deadline can no longer afford waiting, given
+  the EWMA-observed per-batch service time.  Degenerates to exact FIFO
+  when no request carries a priority or deadline.
+* **Continuous** (``continuous=True``) — sequence workloads join and
+  leave the active batch at recorded step boundaries
+  (:mod:`repro.serve.continuous`): a lane freed at sequence end refills
+  from the queue instead of idling until the longest rider drains.
+
+All wall-clock decisions go through an injectable :class:`Clock`
+(:mod:`repro.serve.clock`), so the deterministic test harness drives
+windows, deadlines, and EDF order on virtual time.
 
 Usage::
 
     engine = InferenceEngine(model, seed=0)
     async with PumaServer(engine, max_batch_size=16) as server:
         results = await asyncio.gather(
-            *(server.submit({"x": x}) for x in requests))
+            *(server.submit({"x": x}, deadline_s=0.2) for x in requests))
     print(server.counters.summary())
 """
 
 from __future__ import annotations
 
 import asyncio
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.serve.clock import Clock, MonotonicClock
+from repro.serve.continuous import ContinuousBatcher, Cohort
+from repro.serve.scheduler import BatchScheduler, make_scheduler
 from repro.serve.sharding import ShardedEngine
 from repro.serve.types import InferenceRequest, RunResult
 
@@ -64,9 +87,10 @@ class ServerCounters:
         requests_served: requests answered successfully.
         requests_failed: requests answered with an exception.
         requests_shed: deadline-expired requests failed at batch
-            formation (they never occupy a lane).
+            formation or on arrival (they never occupy a lane).
         requests_rejected: requests refused at admission (queue full).
-        batches_formed: simulator passes executed.
+        batches_formed: engine passes executed (cohorts started, in
+            continuous mode).
         lanes_simulated: total batch lanes across all passes (equals
             ``requests_served`` + failed lanes).
     """
@@ -105,29 +129,31 @@ class _Pending:
 
     request: InferenceRequest
     future: "asyncio.Future[RunResult]" = field(repr=False)
-    # Absolute loop.time() after which the request is shed, or None.
+    # Absolute clock.now() after which the request is shed, or None.
     deadline_at: float | None = None
-
-
-_STOP = object()
+    priority: int = 0
 
 
 class PumaServer:
-    """Queueing + dynamic-batching front-end over one inference engine.
+    """Queueing + scheduled micro-batching front-end over one engine.
 
     Args:
         engine: the :class:`~repro.engine.InferenceEngine` to serve.  The
             engine's compiled program and seed are fixed for the server's
             lifetime (program the crossbars once, stream requests through).
-        max_batch_size: most requests coalesced into one simulator pass.
+        max_batch_size: most requests coalesced into one simulator pass
+            (in continuous mode: the node's lane count — the most
+            requests in flight at once).
         batch_window_s: how long to hold an under-full batch open waiting
-            for more arrivals before dispatching it.
+            for more arrivals before dispatching it (the EDF early-close
+            rule can only shorten this, never extend it).
         num_shards: engine replicas each coalesced micro-batch is fanned
             out across (:class:`~repro.serve.sharding.ShardedEngine`);
             1 (the default) serves every batch on the single engine.
             Per-request results are bitwise identical either way.
-        shard_policy: lane assignment for the fan-out (``"contiguous"``
-            or ``"interleaved"``); only meaningful with ``num_shards > 1``.
+        shard_policy: lane assignment for the fan-out (``"contiguous"``,
+            ``"interleaved"``, or ``"proportional"`` — observed-throughput
+            weighted); only meaningful with ``num_shards > 1``.
         shard_executor: worker pool kind for the fan-out (``"auto"``,
             ``"thread"``, or ``"process"``).
         artifact_dir: persistent artifact store directory
@@ -139,12 +165,24 @@ class PumaServer:
             already waiting, :meth:`submit` raises
             :class:`AdmissionError` instead of enqueueing (``None`` =
             unbounded, the pre-resilience behavior).
+        scheduler: batch-formation policy — ``"edf"`` (default),
+            ``"fifo"``, or a pre-built
+            :class:`~repro.serve.scheduler.BatchScheduler` instance
+            (tests seed its service-time tracker directly).
+        continuous: serve via continuous batching
+            (:mod:`repro.serve.continuous`): requests join/leave the
+            active batch at recorded step boundaries.  Requires a
+            tape-replayable engine and is mutually exclusive with
+            ``num_shards > 1``.
+        clock: time source for windows, deadlines, and EDF decisions
+            (default: real monotonic time).  Tests inject a
+            :class:`~repro.serve.clock.VirtualClock`.
 
     Requests are float-first: clients submit 1-D float vectors per model
     input and receive dequantized floats (plus the fixed-point words) in
-    their :class:`RunResult`.  Validation happens at ``submit`` time, so a
-    malformed request fails fast in the caller instead of poisoning a
-    batch.
+    their :class:`RunResult`.  Validation happens at ``submit`` time —
+    *before* any counter or queue-slot side effect — so a malformed
+    request fails fast in the caller instead of poisoning a batch.
     """
 
     def __init__(self, engine: "InferenceEngine", *,
@@ -154,7 +192,10 @@ class PumaServer:
                  shard_policy: str = "contiguous",
                  shard_executor: str = "auto",
                  artifact_dir=None,
-                 max_queue_depth: int | None = None) -> None:
+                 max_queue_depth: int | None = None,
+                 scheduler: str | BatchScheduler = "edf",
+                 continuous: bool = False,
+                 clock: Clock | None = None) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, "
                              f"got {max_batch_size}")
@@ -165,6 +206,10 @@ class PumaServer:
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError(f"max_queue_depth must be >= 1, "
                              f"got {max_queue_depth}")
+        if continuous and num_shards > 1:
+            raise ValueError(
+                "continuous=True is mutually exclusive with num_shards > 1 "
+                "(cohorts share one node; shard the fleet instead)")
         self.engine = engine
         self.max_batch_size = max_batch_size
         self.batch_window_s = batch_window_s
@@ -173,18 +218,33 @@ class PumaServer:
         self.shard_executor = shard_executor
         self.artifact_dir = artifact_dir
         self.max_queue_depth = max_queue_depth
+        self.continuous = continuous
+        self._clock: Clock = clock if clock is not None else MonotonicClock()
+        if isinstance(scheduler, BatchScheduler):
+            self._scheduler = scheduler
+        else:
+            self._scheduler = make_scheduler(
+                scheduler, max_batch_size=max_batch_size,
+                batch_window_s=batch_window_s)
         self.counters = ServerCounters(max_batch_size=max_batch_size)
-        self._queue: asyncio.Queue | None = None
+        self._arrival: asyncio.Event | None = None
         self._batcher_task: asyncio.Task | None = None
         self._sharded: ShardedEngine | None = None
+        self._batcher: ContinuousBatcher | None = None
         self._closed = False
         self._next_request_id = 0
+
+    @property
+    def scheduler(self) -> BatchScheduler:
+        """The live scheduling policy (counters, service-time EWMA)."""
+        return self._scheduler
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> "PumaServer":
         """Spawn the batching loop (and the shard pool); idempotent."""
         if self._batcher_task is None:
+            loop = asyncio.get_running_loop()
             if self.artifact_dir is not None or \
                     self.engine.artifact_dir is not None:
                 # Cross-process warm start: adopt (or write) the on-disk
@@ -200,9 +260,17 @@ class PumaServer:
                     shard_policy=self.shard_policy,
                     executor=self.shard_executor,
                     artifact_dir=self.artifact_dir).start()
-            self._queue = asyncio.Queue()
+            if self.continuous and self._batcher is None:
+                # Warm-up (tape recording) is a blocking interpreter
+                # pass; keep it off the event loop.
+                self._batcher = await loop.run_in_executor(
+                    None, ContinuousBatcher, self.engine,
+                    self.max_batch_size)
+            self._arrival = asyncio.Event()
             self._closed = False
-            self._batcher_task = asyncio.create_task(self._batch_loop())
+            runner = (self._continuous_loop() if self.continuous
+                      else self._batch_loop())
+            self._batcher_task = asyncio.create_task(runner)
         return self
 
     async def stop(self, *, drain: bool = True) -> None:
@@ -230,12 +298,13 @@ class PumaServer:
                 "PumaServer stopped before this request was served "
                 "(stop(drain=False) fails queued requests; the in-flight "
                 "micro-batch still completes)"))
-        self._queue.put_nowait(_STOP)
+        self._arrival.set()
         try:
             await self._batcher_task
         finally:
             self._batcher_task = None
-            self._queue = None
+            self._arrival = None
+            self._batcher = None
             if self._sharded is not None:
                 self._sharded.close()
                 self._sharded = None
@@ -249,164 +318,175 @@ class PumaServer:
     # -- client API --------------------------------------------------------
 
     async def submit(self, inputs: dict[str, np.ndarray], *,
-                     deadline_s: float | None = None) -> RunResult:
+                     deadline_s: float | None = None,
+                     priority: int = 0) -> RunResult:
         """Submit one inference (float 1-D vectors by input name).
+
+        Args:
+            inputs: 1-D float vector per model input name.
+            deadline_s: remaining time budget in seconds; the request is
+                shed (:class:`DeadlineExceeded`) if it has not reached an
+                engine pass when the budget runs out.  Must be finite.
+            priority: larger = served strictly sooner under the EDF
+                scheduler (ties broken by deadline, then arrival).
+                Ignored by the FIFO baseline.
 
         Returns this request's :class:`RunResult` once the batch it was
         coalesced into completes.  Raises :class:`ValueError` immediately
-        for unknown/missing input names or wrong vector lengths,
-        :class:`RuntimeError` if the server is not running,
-        :class:`AdmissionError` if the bounded queue is full, and
-        :class:`DeadlineExceeded` if ``deadline_s`` (remaining time
-        budget in seconds) runs out before the request reaches a batch.
+        for unknown/missing input names, wrong vector lengths, or a
+        non-finite ``deadline_s``; :class:`RuntimeError` if the server is
+        not running; :class:`DeadlineExceeded` if the deadline already
+        expired on arrival (counted as shed — the request will never be
+        servable, so it is not charged against the queue bound);
+        and :class:`AdmissionError` if the bounded queue is full.
+
+        Ordering note: all *validation* happens before any side effect —
+        a rejected request never increments a counter, consumes a
+        request id, or occupies a queue slot.
         """
         if self._batcher_task is None or self._closed:
             raise RuntimeError("server is not running (use 'async with "
                                "PumaServer(engine):' or await start())")
+        # Pure validation first: no counter, id, or queue-slot side
+        # effects until the request is known to be well-formed.
+        request_inputs = {name: np.asarray(values, dtype=np.float64)
+                          for name, values in inputs.items()}
+        self.engine.validate_request(request_inputs)
+        priority = int(priority)
+        if deadline_s is not None:
+            deadline_s = float(deadline_s)
+            if not math.isfinite(deadline_s):
+                raise ValueError(
+                    f"deadline_s must be finite, got {deadline_s} "
+                    f"(omit it for no deadline)")
+        if deadline_s is not None and deadline_s <= 0:
+            self.counters.requests_shed += 1
+            raise DeadlineExceeded(
+                f"deadline expired {-deadline_s * 1000:.0f}ms before "
+                f"the request was enqueued")
         if self.max_queue_depth is not None and \
-                self._queue.qsize() >= self.max_queue_depth:
+                len(self._scheduler) >= self.max_queue_depth:
             self.counters.requests_rejected += 1
             raise AdmissionError(
                 f"queue full ({self.max_queue_depth} requests waiting); "
                 f"retry later")
-        loop = asyncio.get_running_loop()
-        deadline_at = None
-        if deadline_s is not None:
-            if deadline_s <= 0:
-                self.counters.requests_shed += 1
-                raise DeadlineExceeded(
-                    f"deadline expired {-deadline_s * 1000:.0f}ms before "
-                    f"the request was enqueued")
-            deadline_at = loop.time() + deadline_s
+        deadline_at = (self._clock.now() + deadline_s
+                       if deadline_s is not None else None)
         request = InferenceRequest(
-            inputs={name: np.asarray(values, dtype=np.float64)
-                    for name, values in inputs.items()},
-            request_id=self._next_request_id)
+            inputs=request_inputs, request_id=self._next_request_id)
         self._next_request_id += 1
-        self.engine.validate_request(request.inputs)
-        future: asyncio.Future = loop.create_future()
-        self._queue.put_nowait(_Pending(request, future, deadline_at))
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._scheduler.push(
+            _Pending(request, future, deadline_at, priority),
+            priority=priority, deadline_at=deadline_at)
+        self._arrival.set()
         return await future
 
-    # -- batching loop -----------------------------------------------------
+    # -- shared loop helpers -----------------------------------------------
 
-    async def _batch_loop(self) -> None:
-        loop = asyncio.get_running_loop()
-        batch: list[_Pending] = []
-        try:
-            while True:
-                first = await self._queue.get()
-                if first is _STOP:
-                    if self._queue.empty():
-                        return
-                    # Requests raced in behind the sentinel: serve them,
-                    # then re-check.
-                    self._queue.put_nowait(_STOP)
-                    continue
-                batch = [first]
-                stopping = self._drain_into(batch)
-                if not stopping and len(batch) < self.max_batch_size:
-                    stopping = await self._wait_for_arrivals(loop, batch)
-                batch = self._shed_expired(batch, loop)
-                if batch:
-                    await self._serve_batch(batch)
-                batch = []
-                if stopping:
-                    self._queue.put_nowait(_STOP)
-        except BaseException as error:
-            # The loop itself crashed (not a per-batch engine error —
-            # _serve_batch contains those).  A dead loop must not leave
-            # clients awaiting futures that will never resolve: fail the
-            # claimed batch and everything still queued, then surface the
-            # error to stop().
-            failure = RuntimeError(
-                f"PumaServer batching loop crashed: "
-                f"{type(error).__name__}: {error}")
-            failure.__cause__ = error
-            for pending in batch:
-                self.counters.requests_failed += 1
-                if not pending.future.done():
-                    pending.future.set_exception(failure)
-            self._fail_queued(failure)
-            if isinstance(error, asyncio.CancelledError):
-                raise
-            raise failure from error
+    async def _wait_arrival(self, timeout: float | None) -> None:
+        """Park until a new arrival/stop signal, or ``timeout`` clock-secs.
 
-    def _shed_expired(self, batch: list, loop) -> list:
-        """Fail deadline-expired requests now; return the live remainder.
+        The caller must have *cleared* the arrival event before checking
+        the condition it is waiting on (a submit between the check and
+        this wait then completes the event immediately — no lost wakeup).
+        """
+        waiter = asyncio.ensure_future(self._arrival.wait())
+        if timeout is None:
+            await waiter
+            return
+        sleeper = asyncio.ensure_future(self._clock.sleep(timeout))
+        _done, pending = await asyncio.wait(
+            {waiter, sleeper}, return_when=asyncio.FIRST_COMPLETED)
+        for task in pending:
+            task.cancel()
+        await asyncio.gather(*pending, return_exceptions=True)
+
+    def _shed_expired_queued(self) -> None:
+        """Shed every queued request whose deadline has passed.
 
         Shedding happens at batch-formation time, before a lane is
         spent: a request whose deadline already passed gets a prompt
         :class:`DeadlineExceeded` instead of riding (and slowing) a
         batch whose answer nobody is waiting for anymore.
         """
-        now = loop.time()
-        alive: list[_Pending] = []
-        for pending in batch:
-            if pending.deadline_at is not None and now >= pending.deadline_at:
-                self.counters.requests_shed += 1
-                if not pending.future.done():
-                    pending.future.set_exception(DeadlineExceeded(
-                        f"deadline passed while request "
-                        f"{pending.request.request_id} waited in the "
-                        f"batch queue"))
-            else:
-                alive.append(pending)
-        return alive
+        for pending in self._scheduler.pop_expired(self._clock.now()):
+            self.counters.requests_shed += 1
+            if not pending.future.done():
+                pending.future.set_exception(DeadlineExceeded(
+                    f"deadline passed while request "
+                    f"{pending.request.request_id} waited in the "
+                    f"batch queue"))
 
     def _fail_queued(self, error: BaseException) -> None:
         """Resolve every still-queued request with ``error`` (no hangs)."""
-        if self._queue is None:
+        if self._scheduler is None:
             return
-        requeue_stop = False
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except asyncio.QueueEmpty:
-                break
-            if item is _STOP:
-                requeue_stop = True
-                continue
+        for pending in self._scheduler.drain():
             self.counters.requests_failed += 1
-            if not item.future.done():
-                item.future.set_exception(error)
-        if requeue_stop:
-            self._queue.put_nowait(_STOP)
+            if not pending.future.done():
+                pending.future.set_exception(error)
 
-    def _drain_into(self, batch: list) -> bool:
-        """Move already-queued requests into ``batch`` (no waiting).
+    def _crash(self, error: BaseException,
+               claimed: list[_Pending]) -> RuntimeError:
+        """Fail the claimed batch + queue after a loop crash; wrap it."""
+        failure = RuntimeError(
+            f"PumaServer batching loop crashed: "
+            f"{type(error).__name__}: {error}")
+        failure.__cause__ = error
+        for pending in claimed:
+            self.counters.requests_failed += 1
+            if not pending.future.done():
+                pending.future.set_exception(failure)
+        self._fail_queued(failure)
+        return failure
 
-        Returns True if the stop sentinel was seen.
-        """
-        while len(batch) < self.max_batch_size:
-            try:
-                item = self._queue.get_nowait()
-            except asyncio.QueueEmpty:
-                return False
-            if item is _STOP:
-                return True
-            batch.append(item)
-        return False
+    # -- discrete batching loop --------------------------------------------
 
-    async def _wait_for_arrivals(self, loop, batch: list) -> bool:
-        """Hold the batch open for up to ``batch_window_s`` more seconds."""
-        deadline = loop.time() + self.batch_window_s
-        while len(batch) < self.max_batch_size:
-            remaining = deadline - loop.time()
-            if remaining <= 0:
-                return False
-            try:
-                item = await asyncio.wait_for(self._queue.get(), remaining)
-            except asyncio.TimeoutError:
-                return False
-            if item is _STOP:
-                return True
-            batch.append(item)
-            if self._drain_into(batch):
-                return True
-        return False
+    async def _batch_loop(self) -> None:
+        batch: list[_Pending] = []
+        try:
+            while True:
+                # Outer wait: idle until work (or stop) arrives.
+                while True:
+                    self._arrival.clear()
+                    if len(self._scheduler):
+                        break
+                    if self._closed:
+                        return
+                    await self._wait_arrival(None)
+                # Formation: hold the window open per the scheduler's
+                # policy (fixed for FIFO; deadline-pressure early close
+                # for EDF), re-evaluated on every arrival.
+                window_started_at = self._clock.now()
+                while True:
+                    self._arrival.clear()
+                    self._shed_expired_queued()
+                    depth = len(self._scheduler)
+                    if depth == 0 or depth >= self.max_batch_size \
+                            or self._closed:
+                        break
+                    hold = self._scheduler.hold_for(
+                        self._clock.now(), window_started_at)
+                    if hold <= 0:
+                        break
+                    await self._wait_arrival(hold)
+                batch = self._scheduler.pop_batch(self.max_batch_size)
+                if batch:
+                    await self._serve_batch(batch)
+                batch = []
+        except BaseException as error:
+            # The loop itself crashed (not a per-batch engine error —
+            # _serve_batch contains those).  A dead loop must not leave
+            # clients awaiting futures that will never resolve: fail the
+            # claimed batch and everything still queued, then surface the
+            # error to stop().
+            failure = self._crash(error, batch)
+            if isinstance(error, asyncio.CancelledError):
+                raise
+            raise failure from error
 
-    async def _serve_batch(self, batch: list) -> None:
+    async def _serve_batch(self, batch: list[_Pending]) -> None:
         """One coalesced SIMD-over-batch pass; resolve every future.
 
         Every failure mode inside the pass — stacking, the engine run,
@@ -425,7 +505,10 @@ class PumaServer:
             }
             # The simulator pass is pure CPU; run it off-loop so new
             # requests keep queueing (and coalescing) while it executes.
+            started_at = self._clock.now()
             result = await loop.run_in_executor(None, runner, stacked)
+            self._scheduler.observe_service(
+                len(batch), self._clock.now() - started_at)
         except Exception as exc:  # noqa: BLE001 - fail every rider
             self.counters.requests_failed += len(batch)
             for pending in batch:
@@ -437,14 +520,114 @@ class PumaServer:
             if not pending.future.done():
                 pending.future.set_result(result.lane(index))
 
+    # -- continuous batching loop ------------------------------------------
+
+    async def _continuous_loop(self) -> None:
+        batcher = self._batcher
+        loop = asyncio.get_running_loop()
+        window_started_at: float | None = None
+        try:
+            while True:
+                self._arrival.clear()
+                self._shed_expired_queued()
+                depth = len(self._scheduler)
+                if not batcher.busy() and depth == 0:
+                    window_started_at = None
+                    if self._closed:
+                        return
+                    await self._wait_arrival(None)
+                    continue
+                if not batcher.busy() and not self._closed \
+                        and depth < min(self.max_batch_size,
+                                        batcher.max_lanes):
+                    # Idle node, under-full queue: hold the window open
+                    # exactly like the discrete loop.  Once cohorts are
+                    # in flight, ticks happen anyway and arrivals join
+                    # at the next step boundary with no extra hold.
+                    if window_started_at is None:
+                        window_started_at = self._clock.now()
+                    hold = self._scheduler.hold_for(
+                        self._clock.now(), window_started_at)
+                    if hold > 0:
+                        await self._wait_arrival(hold)
+                        continue
+                window_started_at = None
+                if batcher.free_lanes and len(self._scheduler):
+                    refill = batcher.busy()
+                    riders = self._scheduler.pop_batch(batcher.free_lanes)
+                    if riders:
+                        self._start_cohort(riders, refill=refill)
+                if not batcher.busy():
+                    continue  # admission failed or everything shed
+                finished = await loop.run_in_executor(None, batcher.tick)
+                for cohort, words in finished:
+                    await self._finish_cohort(cohort, words)
+        except BaseException as error:
+            claimed = [rider for cohort in batcher.cohorts()
+                       for rider in cohort.tag[0]]
+            failure = self._crash(error, claimed)
+            if isinstance(error, asyncio.CancelledError):
+                raise
+            raise failure from error
+
+    def _start_cohort(self, riders: list[_Pending], *,
+                      refill: bool) -> None:
+        """Admit ``riders`` onto free lanes as one cohort."""
+        batcher = self._batcher
+        try:
+            cohort = batcher.start_cohort(
+                [p.request.inputs for p in riders],
+                tag=(riders, self._clock.now()))
+        except Exception as exc:  # noqa: BLE001 - fail these riders only
+            self.counters.requests_failed += len(riders)
+            for pending in riders:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        self.counters.batches_formed += 1
+        self.counters.lanes_simulated += len(riders)
+        if refill:
+            self._scheduler.counters.refills += len(riders)
+        return
+
+    async def _finish_cohort(self, cohort: Cohort,
+                             words: dict[str, np.ndarray]) -> None:
+        """Resolve one finished cohort's riders from its output rows."""
+        riders, started_at = cohort.tag
+        loop = asyncio.get_running_loop()
+        try:
+            # Timing stats are batch-size dependent; derive (cached on
+            # the tape after first use) off-loop — a shadow simulation.
+            stats = await loop.run_in_executor(
+                None, self.engine._stats_for_batch, self._batcher.tape,
+                len(riders))
+            result = RunResult(words=words, fmt=self.engine.fmt,
+                               stats=stats, batch=len(riders),
+                               execution="continuous")
+            lanes = [result.lane(i) for i in range(len(riders))]
+        except Exception as exc:  # noqa: BLE001 - fail these riders only
+            self.counters.requests_failed += len(riders)
+            for pending in riders:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        self._scheduler.observe_service(
+            len(riders), self._clock.now() - started_at)
+        for pending, lane in zip(riders, lanes):
+            self.counters.requests_served += 1
+            if not pending.future.done():
+                pending.future.set_result(lane)
+
     # -- observability -----------------------------------------------------
 
     def stats(self) -> dict:
         """One observable snapshot of this server's health.
 
-        Combines the per-server batching counters with the process-wide
-        cache counters every serving layer shares — the execution-tape
-        cache (recordings/replays/**fallbacks**), the compile cache
+        Combines the per-server batching counters and the scheduler's
+        queue-side accounting (policy, admission/dispatch/shed/early-
+        close counts, service-time EWMA) with the process-wide cache
+        counters every serving layer shares — the execution-tape cache
+        (recordings/replays/**fallbacks**), the compile cache
         (hits/misses), and the artifact store (saves/loads/rejections) —
         so an operator (or the fleet ``/metrics`` endpoint,
         :mod:`repro.fleet`) can see cache health per worker without
@@ -463,9 +646,10 @@ class PumaServer:
             "mean_batch_size": self.counters.mean_batch_size,
             "mean_occupancy": self.counters.mean_occupancy,
             "max_batch_size": self.max_batch_size,
-            "queue_depth": (self._queue.qsize()
-                            if self._queue is not None else 0),
+            "queue_depth": len(self._scheduler),
             "running": self._batcher_task is not None and not self._closed,
+            "continuous": self.continuous,
+            "scheduler": self._scheduler.stats(),
             "tape_cache": tape_cache_info()._asdict(),
             "compile_cache": compile_cache_info()._asdict(),
             "artifact_store": store_info()._asdict(),

@@ -47,7 +47,9 @@ Usage::
 from __future__ import annotations
 
 import itertools
+import math
 import multiprocessing
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Mapping, Sequence
 
@@ -59,7 +61,7 @@ from repro.sim.stats import SimulationStats
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.engine import InferenceEngine
 
-SHARD_POLICIES = ("contiguous", "interleaved")
+SHARD_POLICIES = ("contiguous", "interleaved", "proportional")
 
 # Handoff registry for fork-based worker pools: the parent registers its
 # engine under a unique token, workers fork and capture it into
@@ -85,8 +87,51 @@ class ShardExecutionError(RuntimeError):
         self.shard_index = shard_index
 
 
+def apportion_lanes(batch: int, weights: Sequence[float]) -> list[int]:
+    """Split ``batch`` lanes into ``len(weights)`` positive counts.
+
+    Largest-remainder apportionment: every shard gets
+    ``floor(batch * w / sum(w))`` lanes, leftovers go to the largest
+    fractional parts (ties broken by lower index — deterministic), and
+    any shard rounded to zero takes one lane from the largest shard (no
+    empty shards; requires ``batch >= len(weights)``).
+
+    >>> apportion_lanes(8, [3.0, 1.0])
+    [6, 2]
+    >>> apportion_lanes(5, [1.0, 1.0])
+    [3, 2]
+    >>> apportion_lanes(3, [100.0, 1.0, 1.0])  # no shard starves to zero
+    [1, 1, 1]
+    """
+    k = len(weights)
+    if k < 1:
+        raise ValueError("need at least one weight")
+    if batch < k:
+        raise ValueError(f"cannot split {batch} lanes across {k} shards")
+    if any(not math.isfinite(w) or w <= 0 for w in weights):
+        raise ValueError(f"weights must be positive and finite, "
+                         f"got {list(weights)}")
+    total = float(sum(weights))
+    ideals = [batch * w / total for w in weights]
+    counts = [int(math.floor(ideal)) for ideal in ideals]
+    leftover = batch - sum(counts)
+    by_fraction = sorted(range(k),
+                         key=lambda i: (-(ideals[i] - counts[i]), i))
+    for i in by_fraction[:leftover]:
+        counts[i] += 1
+    # A tiny weight can floor to zero lanes; an empty shard would change
+    # the merged result's shape bookkeeping, so feed it from the largest.
+    for i in range(k):
+        while counts[i] == 0:
+            donor = max(range(k), key=lambda j: (counts[j], -j))
+            counts[donor] -= 1
+            counts[i] += 1
+    return counts
+
+
 def shard_lanes(batch: int, num_shards: int,
-                policy: str = "contiguous") -> list[np.ndarray]:
+                policy: str = "contiguous",
+                weights: Sequence[float] | None = None) -> list[np.ndarray]:
     """Assign batch lanes to shards; returns one index array per shard.
 
     The shard count is clamped to the batch size (no empty shards — a
@@ -98,7 +143,12 @@ def shard_lanes(batch: int, num_shards: int,
 
     * ``"contiguous"`` — consecutive lane runs (``np.array_split``
       semantics: sizes differ by at most one);
-    * ``"interleaved"`` — lane *i* goes to shard ``i % k`` (round-robin).
+    * ``"interleaved"`` — lane *i* goes to shard ``i % k`` (round-robin);
+    * ``"proportional"`` — consecutive lane runs sized proportionally to
+      ``weights`` (observed per-replica throughput; see
+      :func:`apportion_lanes`).  ``weights=None`` means equal weights —
+      identical to ``"contiguous"``.  When the shard count is clamped,
+      the first ``k`` weights apply.
 
     >>> [lanes.tolist() for lanes in shard_lanes(5, 2)]
     [[0, 1, 2], [3, 4]]
@@ -106,6 +156,9 @@ def shard_lanes(batch: int, num_shards: int,
     [[0, 2, 4], [1, 3]]
     >>> [lanes.tolist() for lanes in shard_lanes(2, 4)]  # clamped: no empties
     [[0], [1]]
+    >>> [lanes.tolist()
+    ...  for lanes in shard_lanes(8, 2, "proportional", [3.0, 1.0])]
+    [[0, 1, 2, 3, 4, 5], [6, 7]]
     """
     if batch < 1:
         raise ValueError(f"batch must be >= 1, got {batch}")
@@ -116,9 +169,13 @@ def shard_lanes(batch: int, num_shards: int,
             f"unknown shard policy {policy!r}; choose from {SHARD_POLICIES}")
     k = min(num_shards, batch)
     lanes = np.arange(batch)
-    if policy == "contiguous":
-        return list(np.array_split(lanes, k))
-    return [lanes[i::k] for i in range(k)]
+    if policy == "interleaved":
+        return [lanes[i::k] for i in range(k)]
+    if policy == "proportional" and weights is not None:
+        counts = apportion_lanes(batch, list(weights)[:k])
+        bounds = np.cumsum(counts)[:-1]
+        return list(np.split(lanes, bounds))
+    return list(np.array_split(lanes, k))
 
 
 def split_batch(inputs: Mapping[str, np.ndarray],
@@ -211,10 +268,16 @@ def _init_fork_worker(token: int) -> None:
 
 def _run_shard_in_worker(inputs: dict[str, np.ndarray]
                          ) -> tuple[dict[str, np.ndarray],
-                                    SimulationStats, int, str | None]:
-    """One shard's pass inside a worker process (plain tuples over IPC)."""
+                                    SimulationStats, int, str | None, float]:
+    """One shard's pass inside a worker process (plain tuples over IPC).
+
+    The elapsed wall time is measured *inside* the worker so the parent's
+    throughput tracking sees compute time, not IPC queueing.
+    """
+    started = time.perf_counter()
     result = _WORKER_ENGINE.run_batch(inputs)
-    return result.words, result.stats, result.batch, result.execution
+    elapsed = time.perf_counter() - started
+    return result.words, result.stats, result.batch, result.execution, elapsed
 
 
 class ShardedEngine:
@@ -227,9 +290,13 @@ class ShardedEngine:
             smaller than this form fewer shards; ``num_shards=1`` (or a
             1-lane batch) bypasses the pool entirely and behaves exactly
             like the plain engine.
-        shard_policy: lane assignment, ``"contiguous"`` (default) or
-            ``"interleaved"`` — see :func:`shard_lanes`.  Either way the
-            merged result is in original lane order.
+        shard_policy: lane assignment — ``"contiguous"`` (default),
+            ``"interleaved"``, or ``"proportional"`` (contiguous runs
+            sized to each shard slot's observed throughput EWMA, lanes
+            per second; equal split until every slot has been observed)
+            — see :func:`shard_lanes`.  Either way the merged result is
+            in original lane order, bitwise identical to the unsharded
+            pass: lane *assignment* never affects lane *values*.
         executor: ``"process"`` (forked worker processes — real
             parallelism, the default where ``fork`` exists),
             ``"thread"`` (in-process pool; GIL-bound but dependency-free
@@ -285,6 +352,13 @@ class ShardedEngine:
         self._pool = None
         self._fork_token: int | None = None
         self._replicas: "list[InferenceEngine]" = []
+        # Per shard-slot throughput EWMA (lanes/second).  Slot i is the
+        # i-th lane set of every sharded call; thread replicas map slots
+        # to replicas 1:1, process pools attribute whichever worker
+        # served the slot (workers are symmetric, so this converges on
+        # the same signal: how fast slot i's share actually completes).
+        self._slot_rate: list[float | None] = [None] * num_shards
+        self._rate_alpha = 0.3
 
     # -- engine facade -----------------------------------------------------
 
@@ -421,7 +495,10 @@ class ShardedEngine:
         """
         self.engine._check_names(inputs)
         batch = self.engine._infer_batch(inputs)
-        lane_sets = shard_lanes(batch, self.num_shards, self.shard_policy)
+        weights = (self._slot_weights() if self.shard_policy == "proportional"
+                   else None)
+        lane_sets = shard_lanes(batch, self.num_shards, self.shard_policy,
+                                weights)
         if len(lane_sets) == 1:
             return self.engine.run_batch(inputs)
         shard_inputs = split_batch(inputs, lane_sets)
@@ -446,11 +523,12 @@ class ShardedEngine:
         handles = [self._pool.apply_async(_run_shard_in_worker, (shard,))
                    for shard in shard_inputs]
         outcomes: list = []
-        for handle in handles:
+        for slot, handle in enumerate(handles):
             # Settle every shard before raising so no work is left
             # dangling in the pool when an error propagates.
             try:
-                words, stats, shard_batch, execution = handle.get()
+                words, stats, shard_batch, execution, elapsed = handle.get()
+                self._observe_slot(slot, shard_batch, elapsed)
                 outcomes.append((RunResult(words=words, fmt=self.engine.fmt,
                                            stats=stats, batch=shard_batch,
                                            execution=execution),
@@ -459,17 +537,49 @@ class ShardedEngine:
                 outcomes.append((None, exc))
         return self._collect(outcomes)
 
+    def _timed_replica_pass(self, replica: "InferenceEngine",
+                            shard: dict[str, np.ndarray]
+                            ) -> tuple[RunResult, float]:
+        started = time.perf_counter()
+        result = replica.run_batch(shard)
+        return result, time.perf_counter() - started
+
     def _run_shards_thread(self, shard_inputs: list[dict[str, np.ndarray]]
                            ) -> list[RunResult]:
         futures = [
-            self._pool.submit(self._replicas[i % len(self._replicas)]
-                              .run_batch, shard)
+            self._pool.submit(self._timed_replica_pass,
+                              self._replicas[i % len(self._replicas)], shard)
             for i, shard in enumerate(shard_inputs)
         ]
         outcomes: list = []
-        for future in futures:
+        for slot, future in enumerate(futures):
             try:
-                outcomes.append((future.result(), None))
+                result, elapsed = future.result()
+                self._observe_slot(slot, result.batch, elapsed)
+                outcomes.append((result, None))
             except Exception as exc:  # noqa: BLE001 - reported per shard
                 outcomes.append((None, exc))
         return self._collect(outcomes)
+
+    # -- throughput tracking -----------------------------------------------
+
+    def _observe_slot(self, slot: int, lanes: int, elapsed: float) -> None:
+        """Fold one shard pass into the slot's lanes/second EWMA."""
+        if slot >= len(self._slot_rate) or lanes < 1 or elapsed <= 0:
+            return
+        rate = lanes / elapsed
+        previous = self._slot_rate[slot]
+        self._slot_rate[slot] = (
+            rate if previous is None
+            else self._rate_alpha * rate + (1 - self._rate_alpha) * previous)
+
+    def _slot_weights(self) -> list[float]:
+        """Current apportionment weights: observed rates, mean for gaps."""
+        observed = [r for r in self._slot_rate if r is not None and r > 0]
+        fallback = sum(observed) / len(observed) if observed else 1.0
+        return [r if r is not None and r > 0 else fallback
+                for r in self._slot_rate]
+
+    def shard_throughput(self) -> list[float | None]:
+        """Per-slot throughput EWMA (lanes/second); ``None`` = unobserved."""
+        return list(self._slot_rate)

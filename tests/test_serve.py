@@ -21,7 +21,9 @@ library, examples, and benchmarks.
 """
 
 import asyncio
+import math
 import re
+import time
 from pathlib import Path
 
 import numpy as np
@@ -39,7 +41,7 @@ from repro.engine import (
     compile_cache_info,
     compile_cached,
 )
-from repro.serve import ServerCounters
+from repro.serve import ServerCounters, VirtualClock
 from repro.workloads.mlp import build_mlp_model, mlp_reference
 
 CFG = default_config()
@@ -253,6 +255,20 @@ def serve(coro):
     return asyncio.run(coro)
 
 
+async def until(predicate, yields=500):
+    """Yield to the event loop until ``predicate()`` holds.
+
+    Pure cooperative yields — no real sleeps, no wall-clock dependence —
+    so tests driven on a :class:`VirtualClock` stay deterministic.
+    """
+    for _ in range(yields):
+        if predicate():
+            return
+        await asyncio.sleep(0)
+    raise AssertionError(
+        f"condition not reached within {yields} event-loop yields")
+
+
 class TestPumaServer:
     def test_concurrent_requests_coalesce_and_match_sequential(self, engine):
         """The acceptance property: N concurrent clients, < N passes,
@@ -325,15 +341,21 @@ class TestPumaServer:
         serve(scenario())
 
     def test_stop_serves_queued_requests(self, engine):
-        """Graceful shutdown: stop() drains the queue before exiting."""
+        """Graceful shutdown: stop() drains the queue before exiting.
+
+        The 5-second batch window runs on a virtual clock, so the drain
+        is proven to short-circuit it rather than merely winning a race
+        against a real timer.
+        """
 
         async def scenario():
             server = await PumaServer(engine, max_batch_size=4,
-                                      batch_window_s=5.0).start()
+                                      batch_window_s=5.0,
+                                      clock=VirtualClock()).start()
             tasks = [asyncio.create_task(
                 server.submit({"x": float_inputs(1, seed=i)[0]}))
                 for i in range(3)]
-            await asyncio.sleep(0)  # let the submissions enqueue
+            await until(lambda: len(server._scheduler) == 3)
             await server.stop()
             return await asyncio.gather(*tasks)
 
@@ -504,6 +526,29 @@ class TestServerStats:
             assert all(isinstance(stats[section][f], int) for f in fields)
         assert stats["queue_depth"] == 0
 
+    def test_stats_expose_scheduler_section(self, engine):
+        async def scenario():
+            async with PumaServer(engine, max_batch_size=4,
+                                  batch_window_s=0.005) as server:
+                xs = float_inputs(3, seed=13)
+                await asyncio.gather(
+                    *(server.submit({"x": xs[i]}, priority=i)
+                      for i in range(3)))
+                return server.stats()
+
+        stats = serve(scenario())
+        sched = stats["scheduler"]
+        assert sched["policy"] == "edf"      # the default
+        assert sched["admitted"] == 3
+        # Conservation with an empty queue: everything admitted was
+        # dispatched, shed, or drained.
+        assert sched["admitted"] == (sched["dispatched"] + sched["shed"]
+                                     + sched["drained"])
+        assert sched["queue_depth"] == 0
+        assert isinstance(sched["early_closes"], int)
+        assert isinstance(sched["refills"], int)
+        assert isinstance(sched["service_time_ewma_s"], dict)
+
 
 # ---------------------------------------------------------------------------
 # Deadlines + admission control (the resilience layer's serve-side half)
@@ -527,12 +572,17 @@ class TestDeadlinesAndAdmission:
     def test_deadline_shed_at_batch_formation(self, engine):
         """A request that expires while queued is failed at batch
         formation — promptly, and without spending a batch lane on an
-        answer nobody awaits — while fresh requests still get served."""
+        answer nobody awaits — while fresh requests still get served.
+
+        Runs entirely on the virtual clock: the 20 ms budget lapses via
+        ``clock.advance``, not a real sleep, so the expiry is exact."""
         from repro.serve import DeadlineExceeded
 
         async def scenario():
+            clock = VirtualClock()
             server = await PumaServer(engine, max_batch_size=2,
-                                      batch_window_s=0.0).start()
+                                      batch_window_s=0.0,
+                                      clock=clock).start()
             gate = asyncio.Event()
             original = server._serve_batch
 
@@ -543,11 +593,14 @@ class TestDeadlinesAndAdmission:
             server._serve_batch = gated
             xs = float_inputs(3, seed=4)
             blocker = asyncio.create_task(server.submit({"x": xs[0]}))
-            await asyncio.sleep(0.01)   # loop claims it, parks at gate
+            # The loop claims the blocker and parks at the gate.
+            await until(
+                lambda: server._scheduler.counters.dispatched == 1)
             doomed = asyncio.create_task(
                 server.submit({"x": xs[1]}, deadline_s=0.02))
             fresh = asyncio.create_task(server.submit({"x": xs[2]}))
-            await asyncio.sleep(0.05)   # doomed's budget lapses queued
+            await until(lambda: len(server._scheduler) == 2)
+            await clock.advance(0.05)   # doomed's budget lapses queued
             gate.set()
             outcomes = await asyncio.gather(blocker, doomed, fresh,
                                             return_exceptions=True)
@@ -579,9 +632,11 @@ class TestDeadlinesAndAdmission:
             server._serve_batch = gated
             xs = float_inputs(3, seed=6)
             inflight = asyncio.create_task(server.submit({"x": xs[0]}))
-            await asyncio.sleep(0.01)   # claimed; parked at the gate
+            # Claimed and parked at the gate — no timing races.
+            await until(
+                lambda: server._scheduler.counters.dispatched == 1)
             queued = asyncio.create_task(server.submit({"x": xs[1]}))
-            await asyncio.sleep(0.01)   # fills the 1-deep queue
+            await until(lambda: len(server._scheduler) == 1)
             with pytest.raises(AdmissionError, match="queue full"):
                 await server.submit({"x": xs[2]})
             gate.set()                  # drain; admission recovers
@@ -613,3 +668,207 @@ class TestDeadlinesAndAdmission:
     def test_queue_depth_validation(self, engine):
         with pytest.raises(ValueError, match="max_queue_depth"):
             PumaServer(engine, max_queue_depth=0)
+
+
+# ---------------------------------------------------------------------------
+# The deterministic-time harness
+
+
+class TestVirtualClockHarness:
+    """The virtual clock itself, then the server driven on it."""
+
+    def test_virtual_clock_wakes_sleepers_in_order(self):
+        async def scenario():
+            clock = VirtualClock()
+            wakes = []
+
+            async def sleeper(name, delay):
+                await clock.sleep(delay)
+                wakes.append((name, clock.now()))
+
+            tasks = [asyncio.create_task(sleeper("late", 2.0)),
+                     asyncio.create_task(sleeper("early", 1.0))]
+            await asyncio.sleep(0)
+            assert clock.pending_sleepers == 2
+            await clock.advance(1.5)
+            # Only the earlier sleeper woke, at exactly its wake time.
+            assert wakes == [("early", 1.0)]
+            assert clock.now() == 1.5
+            assert clock.pending_sleepers == 1
+            await clock.advance(1.0)
+            await asyncio.gather(*tasks)
+            return wakes, clock.now()
+
+        wakes, now = serve(scenario())
+        assert wakes == [("early", 1.0), ("late", 2.0)]
+        assert now == 2.5
+
+    def test_virtual_clock_rejects_negative_advance(self):
+        async def scenario():
+            with pytest.raises(ValueError, match="backwards"):
+                await VirtualClock().advance(-0.1)
+
+        serve(scenario())
+
+    def test_five_second_window_costs_zero_wall_seconds(self, engine):
+        """The point of the harness: a 5-second batch window is held
+        and released purely in virtual time — the test asserts the
+        mid-window state exactly, and never sleeps for real."""
+
+        async def scenario():
+            clock = VirtualClock()
+            server = await PumaServer(engine, max_batch_size=8,
+                                      batch_window_s=5.0,
+                                      clock=clock).start()
+            xs = float_inputs(2, seed=21)
+            riders = [asyncio.create_task(server.submit({"x": xs[i]}))
+                      for i in range(2)]
+            # The batching loop settles onto the window sleeper.
+            await until(lambda: clock.pending_sleepers == 1)
+            # Mid-window: both requests queued, nothing served yet.
+            assert server.counters.requests_served == 0
+            assert len(server._scheduler) == 2
+            await clock.advance(5.0)
+            results = await asyncio.gather(*riders)
+            counters = server.counters
+            await server.stop()
+            return results, counters
+
+        started = time.monotonic()
+        results, counters = serve(scenario())
+        elapsed = time.monotonic() - started
+        assert counters.requests_served == 2
+        assert counters.batches_formed == 1   # one coalesced batch
+        assert all(r["out"].shape == (DIMS[-1],) for r in results)
+        assert elapsed < 2.0, "the 5 s window must not cost wall time"
+
+    def test_edf_parks_on_deadline_not_window(self, engine):
+        """Under EDF the window sleeper is bounded by the earliest
+        queued deadline: a 10 s window with a 1 s deadline sheds the
+        doomed request at exactly t=1 and keeps holding for the rest."""
+        from repro.serve import DeadlineExceeded
+
+        async def scenario():
+            clock = VirtualClock()
+            server = await PumaServer(engine, max_batch_size=8,
+                                      batch_window_s=10.0,
+                                      clock=clock).start()
+            xs = float_inputs(2, seed=17)
+            doomed = asyncio.create_task(
+                server.submit({"x": xs[0]}, deadline_s=1.0))
+            patient = asyncio.create_task(server.submit({"x": xs[1]}))
+            await until(lambda: len(server._scheduler) == 2)
+            # Wait for the loop to open the window at t=0 and park —
+            # only then does advancing time hit the hold it chose.
+            await until(lambda: clock.pending_sleepers == 1)
+            await clock.advance(1.0)
+            # The deadline fired: doomed is shed the moment its budget
+            # lapses, while the window stays open for the patient one.
+            outcome = await asyncio.wait_for(
+                asyncio.gather(doomed, return_exceptions=True), 1.0)
+            assert isinstance(outcome[0], DeadlineExceeded)
+            assert not patient.done()
+            assert len(server._scheduler) == 1
+            await clock.advance(9.0)     # the rest of the window
+            result = await patient
+            counters = server.counters
+            await server.stop()
+            return result, counters
+
+        result, counters = serve(scenario())
+        assert result["out"].shape == (DIMS[-1],)
+        assert counters.requests_shed == 1
+        assert counters.requests_served == 1
+
+
+# ---------------------------------------------------------------------------
+# Submit side-effect ordering (PR 10 regression guard)
+
+
+class TestSubmitSideEffectOrdering:
+    """A rejected submit leaves NO trace.
+
+    Validation runs strictly before any side effect: a request that
+    fails (bad inputs, bad priority, non-finite deadline, expired
+    deadline, full queue) must never consume a request id, occupy a
+    queue slot, or touch any counter other than the one naming its own
+    outcome.  Previously an expired-deadline request arriving at a full
+    queue was *rejected* (charged against the queue it could never
+    join); it is now shed first — the deadline check precedes the
+    admission check.
+    """
+
+    def test_rejected_submits_leave_no_trace(self, engine):
+        from repro.serve import AdmissionError, DeadlineExceeded
+
+        async def scenario():
+            clock = VirtualClock()
+            server = await PumaServer(engine, max_batch_size=8,
+                                      batch_window_s=100.0,
+                                      max_queue_depth=1,
+                                      clock=clock).start()
+            xs = float_inputs(4, seed=5)
+            # Park one request: the 100 s virtual window keeps it
+            # queued (filling the 1-deep queue) while we probe.
+            parked = asyncio.create_task(server.submit({"x": xs[0]}))
+            await until(lambda: len(server._scheduler) == 1)
+            # The loop opens its window at t=0 and parks on the clock;
+            # advancing later must land inside this window.
+            await until(lambda: clock.pending_sleepers == 1)
+
+            def snapshot():
+                return (server._next_request_id,
+                        len(server._scheduler),
+                        server._scheduler.counters.admitted,
+                        server.counters.requests_served,
+                        server.counters.requests_failed,
+                        server.counters.requests_shed,
+                        server.counters.requests_rejected)
+
+            baseline = snapshot()
+            assert baseline[0] == 1      # exactly one id consumed so far
+
+            # Pure-validation failures: nothing moves, not even the
+            # shed/rejected counters.
+            with pytest.raises(ValueError, match="unknown input"):
+                await server.submit({"typo": xs[1]})
+            with pytest.raises(ValueError, match="1-D vector"):
+                await server.submit({"x": float_inputs(2)})
+            with pytest.raises(ValueError):
+                await server.submit({"x": xs[1]}, priority="urgent")
+            with pytest.raises(ValueError, match="finite"):
+                await server.submit({"x": xs[1]}, deadline_s=math.nan)
+            with pytest.raises(ValueError, match="finite"):
+                await server.submit({"x": xs[1]}, deadline_s=math.inf)
+            assert snapshot() == baseline
+
+            # Expired deadline into a FULL queue: shed, not rejected —
+            # and still no id or queue slot consumed.
+            with pytest.raises(DeadlineExceeded, match="expired"):
+                await server.submit({"x": xs[1]}, deadline_s=-0.5)
+            assert server.counters.requests_shed == 1
+            assert server.counters.requests_rejected == 0
+            assert server._next_request_id == baseline[0]
+            assert len(server._scheduler) == 1
+
+            # Queue full: rejected, id still not consumed.
+            with pytest.raises(AdmissionError, match="queue full"):
+                await server.submit({"x": xs[1]})
+            assert server.counters.requests_rejected == 1
+            assert server._next_request_id == baseline[0]
+            assert len(server._scheduler) == 1
+            assert server._scheduler.counters.admitted == 1
+
+            # The parked request was untouched by any of the above.
+            await clock.advance(100.0)
+            result = await parked
+            stats = server.stats()
+            await server.stop()
+            return result, stats
+
+        result, stats = serve(scenario())
+        assert result["out"].shape == (DIMS[-1],)
+        sched = stats["scheduler"]
+        assert sched["admitted"] == 1 == sched["dispatched"]
+        assert sched["shed"] == 0 and sched["drained"] == 0
+        assert stats["requests_served"] == 1

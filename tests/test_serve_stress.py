@@ -120,6 +120,118 @@ def test_stress_interleaved_sharded_server(engine, workload):
     assert server.counters.requests_failed == 0
 
 
+def test_stress_mixed_priority_deadline_clients(engine, workload):
+    """Interleaved urgent and background clients under EDF.
+
+    Every third client is urgent: priority 2 with a (loose) deadline;
+    the rest are background with no deadline.  The scheduler may
+    reorder freely, but: every response stays bitwise-correct for *its*
+    client (no lane swaps under reordering), the deadline-carrying
+    cohort completes 100%, and the scheduler's conservation law holds.
+    """
+    xs, references = workload
+    rng = np.random.default_rng(37)
+    priorities = [2 if i % 3 == 0 else 0 for i in range(NUM_CLIENTS)]
+    deadlines = [10.0 if p else None for p in priorities]
+
+    async def run():
+        server = PumaServer(engine, max_batch_size=8,
+                            batch_window_s=0.004, scheduler="edf")
+        async with server:
+            async def client(i):
+                await asyncio.sleep(float(rng.uniform(0, 0.02)))
+                return await server.submit({"x": xs[i]},
+                                           priority=priorities[i],
+                                           deadline_s=deadlines[i])
+
+            outcomes = await asyncio.gather(
+                *(client(i) for i in range(NUM_CLIENTS)),
+                return_exceptions=True)
+            stats = server.stats()
+        return outcomes, stats, server
+
+    outcomes, stats, server = asyncio.run(run())
+    urgent_done = 0
+    for i, outcome in enumerate(outcomes):
+        assert not isinstance(outcome, Exception), f"client {i}: {outcome}"
+        for name in references[i]:
+            assert np.array_equal(outcome[name], references[i][name])
+        if priorities[i]:
+            urgent_done += 1
+    # The tight-deadline cohort completes in full.
+    assert urgent_done == sum(1 for p in priorities if p)
+    sched = stats["scheduler"]
+    assert sched["policy"] == "edf"
+    assert sched["admitted"] == NUM_CLIENTS
+    assert sched["admitted"] == (sched["dispatched"] + sched["shed"]
+                                 + sched["drained"])
+    assert sched["shed"] == 0
+    assert server.counters.requests_served == NUM_CLIENTS
+    assert server.counters.requests_failed == 0
+
+
+def test_stress_proportional_sharded_server(engine, workload):
+    """Throughput-proportional lane apportionment is invisible too."""
+    xs, references = workload
+    rng = np.random.default_rng(29)
+
+    async def run():
+        server = PumaServer(engine, max_batch_size=16,
+                            batch_window_s=0.003, num_shards=2,
+                            shard_policy="proportional",
+                            shard_executor="thread")
+        async with server:
+            tasks = [asyncio.create_task(
+                _client(server, x, float(rng.uniform(0, 0.015)), rng))
+                for x in xs]
+            results = await asyncio.gather(*tasks)
+            throughput = server._sharded.shard_throughput()
+        return results, server, throughput
+
+    results, server, throughput = asyncio.run(run())
+    for result, reference in zip(results, references):
+        for name in reference:
+            assert np.array_equal(result[name], reference[name])
+    assert server.counters.requests_served == NUM_CLIENTS
+    assert server.counters.requests_failed == 0
+    # The proportional policy had real observations to weigh by.
+    assert len(throughput) == 2
+    assert all(rate is None or rate > 0 for rate in throughput)
+
+
+def test_stress_continuous_server_bitwise(engine, workload):
+    """Continuous batching under the same herd: per-lane bitwise.
+
+    Lanes join and leave the shared node at step boundaries as clients
+    trickle in; every response must still equal its sequential
+    reference bit for bit, with the conservation law intact.
+    """
+    xs, references = workload
+    rng = np.random.default_rng(41)
+
+    async def run():
+        server = PumaServer(engine, max_batch_size=6,
+                            batch_window_s=0.002, continuous=True)
+        async with server:
+            tasks = [asyncio.create_task(
+                _client(server, x, float(rng.uniform(0, 0.03)), rng))
+                for x in xs]
+            results = await asyncio.gather(*tasks)
+            stats = server.stats()
+        return results, stats
+
+    results, stats = asyncio.run(run())
+    for result, reference in zip(results, references):
+        for name in reference:
+            assert np.array_equal(result[name], reference[name])
+        assert result.execution == "continuous"
+    sched = stats["scheduler"]
+    assert sched["admitted"] == NUM_CLIENTS
+    assert sched["admitted"] == (sched["dispatched"] + sched["shed"]
+                                 + sched["drained"])
+    assert stats["requests_served"] == NUM_CLIENTS
+
+
 def test_stress_rejects_after_stop(engine):
     async def run():
         server = PumaServer(engine, max_batch_size=4)
